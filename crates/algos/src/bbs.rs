@@ -1,0 +1,235 @@
+//! BBS — *branch-and-bound skyline* (Papadias, Tao, Fu & Seeger,
+//! SIGMOD 2003 / TODS 2005): the optimal progressive algorithm over an
+//! R-tree, and the classic representative of index-based
+//! partitioning algorithms in the paper's related work.
+//!
+//! Entries (nodes and points) are popped from a min-heap ordered by the
+//! monotone key `sum(lower corner)`. Because the key of any point is at
+//! least the key of every node containing it, all of a point's
+//! dominators are confirmed before the point itself pops — so a single
+//! dominance check against the current skyline suffices, and whole
+//! subtrees are pruned when their lower corner is dominated.
+//!
+//! Dominance-test accounting counts both point-vs-point tests and
+//! point-vs-corner (MBR pruning) tests, as in the original paper's
+//! analysis.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use skyline_core::dataset::Dataset;
+use skyline_core::dominance::dominates;
+use skyline_core::metrics::Metrics;
+use skyline_core::point::PointId;
+
+use crate::rtree::{RNode, RTree};
+use crate::SkylineAlgorithm;
+
+#[derive(Debug)]
+enum HeapItem {
+    Node(usize),
+    Point(PointId),
+}
+
+/// Min-heap entry (BinaryHeap is a max-heap, so the ordering is
+/// reversed).
+///
+/// `tie` breaks rounding-equal keys lexicographically (the point's row,
+/// or a node's lower corner): a dominator's row is lexicographically
+/// smaller than its victim's, and a node's lower corner is
+/// lexicographically ≤ any point inside it, so the "all dominators pop
+/// first" invariant survives floating-point sum collisions. Nodes win
+/// full ties against points so a containing subtree is expanded before
+/// an identical-key point is confirmed.
+#[derive(Debug)]
+struct Entry {
+    key: f64,
+    tie: Vec<f64>,
+    item: HeapItem,
+}
+
+impl Entry {
+    fn kind_rank(&self) -> u8 {
+        match self.item {
+            HeapItem::Node(_) => 0,
+            HeapItem::Point(_) => 1,
+        }
+    }
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: the smallest (key, tie, kind) pops first.
+        other
+            .key
+            .total_cmp(&self.key)
+            .then_with(|| skyline_core::dominance::lex_cmp(&other.tie, &self.tie))
+            .then_with(|| other.kind_rank().cmp(&self.kind_rank()))
+    }
+}
+
+/// Branch-and-bound skyline over a bulk-loaded R-tree.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bbs;
+
+impl SkylineAlgorithm for Bbs {
+    fn name(&self) -> &str {
+        "BBS"
+    }
+
+    fn compute_with_metrics(&self, data: &Dataset, metrics: &mut Metrics) -> Vec<PointId> {
+        let tree = RTree::bulk_load(data);
+        let Some(root) = tree.root() else {
+            return Vec::new();
+        };
+        let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
+        let root_mbr = tree.root_mbr().expect("non-empty tree");
+        heap.push(Entry {
+            key: root_mbr.min_key(),
+            tie: root_mbr.lo.clone(),
+            item: HeapItem::Node(root),
+        });
+
+        let mut skyline: Vec<PointId> = Vec::new();
+        while let Some(entry) = heap.pop() {
+            match entry.item {
+                HeapItem::Node(idx) => match tree.node(idx) {
+                    RNode::Inner(children) => {
+                        for (child, mbr) in children {
+                            if !dominated_by_skyline(data, &skyline, &mbr.lo, metrics) {
+                                heap.push(Entry {
+                                    key: mbr.min_key(),
+                                    tie: mbr.lo.clone(),
+                                    item: HeapItem::Node(*child),
+                                });
+                            }
+                        }
+                    }
+                    RNode::Leaf(ids) => {
+                        for &id in ids {
+                            let row = data.point(id);
+                            if !dominated_by_skyline(data, &skyline, row, metrics) {
+                                heap.push(Entry {
+                                    key: row.iter().sum(),
+                                    tie: row.to_vec(),
+                                    item: HeapItem::Point(id),
+                                });
+                            }
+                        }
+                    }
+                },
+                HeapItem::Point(id) => {
+                    // Points already confirmed since this entry was pushed
+                    // may dominate it: re-check at pop time (the BBS
+                    // "lazy" check).
+                    if !dominated_by_skyline(data, &skyline, data.point(id), metrics) {
+                        skyline.push(id);
+                    }
+                }
+            }
+        }
+        skyline.sort_unstable();
+        skyline
+    }
+}
+
+/// Is the (virtual) point `corner` dominated by any confirmed skyline
+/// point? Works for real points and MBR lower corners alike.
+fn dominated_by_skyline(
+    data: &Dataset,
+    skyline: &[PointId],
+    corner: &[f64],
+    metrics: &mut Metrics,
+) -> bool {
+    for &s in skyline {
+        metrics.count_dt();
+        if dominates(data.point(s), corner) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bnl::Bnl;
+
+    fn pseudo_random_dataset(n: usize, d: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..d)
+                    .map(|k| (((i * 37 + k * 11) * 2654435761usize) % 797) as f64 / 797.0)
+                    .collect()
+            })
+            .collect();
+        Dataset::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn matches_oracle_across_shapes() {
+        for &(n, d) in &[(50usize, 2usize), (300, 3), (800, 4), (400, 6)] {
+            let data = pseudo_random_dataset(n, d);
+            assert_eq!(Bbs.compute(&data), Bnl.compute(&data), "n={n} d={d}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty = Dataset::from_flat(vec![], 2).unwrap();
+        assert!(Bbs.compute(&empty).is_empty());
+        let one = Dataset::from_rows(&[[3.0, 4.0]]).unwrap();
+        assert_eq!(Bbs.compute(&one), vec![0]);
+    }
+
+    #[test]
+    fn duplicates_survive() {
+        let data = Dataset::from_rows(&[[1.0, 1.0], [1.0, 1.0], [2.0, 0.5]]).unwrap();
+        assert_eq!(Bbs.compute(&data), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn correlated_data_needs_few_tests() {
+        // One strong point dominates everything: the branch-and-bound
+        // should prune whole subtrees via their lower corners.
+        let mut rows = vec![[0.0, 0.0, 0.0]];
+        for i in 0..2000 {
+            let v = 1.0 + (i % 50) as f64;
+            rows.push([v, v + 1.0, v + 2.0]);
+        }
+        let data = Dataset::from_rows(&rows).unwrap();
+        let mut m = Metrics::new();
+        let sky = Bbs.compute_with_metrics(&data, &mut m);
+        assert_eq!(sky, vec![0]);
+        // Far fewer tests than points: pruning must bite.
+        assert!(
+            m.dominance_tests < data.len() as u64 / 2,
+            "expected subtree pruning, got {} tests for {} points",
+            m.dominance_tests,
+            data.len()
+        );
+    }
+
+    #[test]
+    fn progressive_order_is_correct_with_negative_values() {
+        let data = Dataset::from_rows(&[
+            [-5.0, 2.0],
+            [2.0, -5.0],
+            [-1.0, -1.0],
+            [3.0, 3.0], // dominated
+        ])
+        .unwrap();
+        assert_eq!(Bbs.compute(&data), Bnl.compute(&data));
+    }
+}

@@ -1,0 +1,115 @@
+//! BNL — *block-nested-loops* (Börzsönyi, Kossmann & Stocker, ICDE 2001).
+//!
+//! The classic windowed nested loop, here with the window held fully in
+//! memory (the paper's experiments are all in-memory too): every point is
+//! compared against the current window; dominated points are dropped,
+//! window points dominated by the new point are evicted, and surviving
+//! points enter the window. With an unbounded in-memory window a single
+//! pass suffices and the final window *is* the skyline.
+//!
+//! BNL makes no assumptions about ordering and is the simplest correct
+//! algorithm in the crate — the integration suite uses it as the oracle.
+
+use skyline_core::dataset::Dataset;
+use skyline_core::dominance::{dominance, DomRelation};
+use skyline_core::metrics::Metrics;
+use skyline_core::point::PointId;
+
+use crate::SkylineAlgorithm;
+
+/// Block-nested-loops skyline (in-memory window).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bnl;
+
+impl SkylineAlgorithm for Bnl {
+    fn name(&self) -> &str {
+        "BNL"
+    }
+
+    fn compute_with_metrics(&self, data: &Dataset, metrics: &mut Metrics) -> Vec<PointId> {
+        let mut window: Vec<PointId> = Vec::new();
+        for (id, p) in data.iter() {
+            let mut dominated = false;
+            let mut i = 0;
+            while i < window.len() {
+                let w = data.point(window[i]);
+                metrics.count_dt();
+                match dominance(w, p) {
+                    DomRelation::Dominates => {
+                        dominated = true;
+                        break;
+                    }
+                    DomRelation::DominatedBy => {
+                        // Evict the dominated window point; do not advance,
+                        // swap_remove moved a new occupant into slot i.
+                        window.swap_remove(i);
+                    }
+                    DomRelation::Equal | DomRelation::Incomparable => {
+                        i += 1;
+                    }
+                }
+            }
+            if !dominated {
+                window.push(id);
+            }
+        }
+        window.sort_unstable();
+        window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_skyline() {
+        let data = Dataset::from_rows(&[
+            [1.0, 9.0],
+            [2.0, 7.0],
+            [3.0, 8.0], // dominated by [2,7]
+            [9.0, 1.0],
+            [5.0, 5.0],
+        ])
+        .unwrap();
+        let mut m = Metrics::new();
+        assert_eq!(Bnl.compute_with_metrics(&data, &mut m), vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn eviction_path() {
+        // A later point dominates several earlier window entries at once.
+        let data = Dataset::from_rows(&[
+            [5.0, 5.0],
+            [6.0, 4.0],
+            [4.0, 6.0],
+            [1.0, 1.0], // dominates all of the above
+        ])
+        .unwrap();
+        assert_eq!(Bnl.compute(&data), vec![3]);
+    }
+
+    #[test]
+    fn duplicates_survive() {
+        let data = Dataset::from_rows(&[[2.0, 2.0], [2.0, 2.0], [3.0, 3.0]]).unwrap();
+        assert_eq!(Bnl.compute(&data), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let data = Dataset::from_flat(vec![], 3).unwrap();
+        assert!(Bnl.compute(&data).is_empty());
+    }
+
+    #[test]
+    fn all_incomparable() {
+        let data = Dataset::from_rows(&[[1.0, 3.0], [2.0, 2.0], [3.0, 1.0]]).unwrap();
+        assert_eq!(Bnl.compute(&data), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn one_dimension_keeps_all_minima() {
+        let data = Dataset::from_rows(&[[2.0], [1.0], [1.0], [3.0]]).unwrap();
+        assert_eq!(Bnl.compute(&data), vec![1, 2]);
+    }
+}

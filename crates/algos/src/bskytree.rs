@@ -1,0 +1,373 @@
+//! BSkyTree-S and BSkyTree-P (Lee & Hwang, EDBT 2010 / Information
+//! Systems 2014) — the state-of-the-art baselines of the paper's
+//! evaluation.
+//!
+//! Both algorithms select a *pivot point* and map every point `q` to a
+//! binary lattice vector `B(q) ∈ {0,1}^d` with bit `i` set iff
+//! `q[i] ≥ pivot[i]`. Two key facts drive everything:
+//!
+//! - `B(q) = 1…1` and `q ≠ pivot` ⇒ the pivot dominates `q` (pruned);
+//! - `p ⪯ q ⇒ B(p) ⊆ B(q)` — so points whose vectors are
+//!   inclusion-incomparable need no dominance test at all.
+//!
+//! **BSkyTree-S** applies this once: after pivot-based pruning, a
+//! sum-presorted SFS-style scan runs in which a candidate is tested only
+//! if its lattice vector is a subset of the testing point's
+//! (the "bypass dominance tests between incomparable points" of the
+//! paper's Section 2).
+//!
+//! **BSkyTree-P** applies it recursively: points are partitioned by their
+//! lattice vector into up to `2^d - 2` regions, each region's skyline is
+//! computed recursively, and region results are filtered only against
+//! regions whose vector is a strict subset (processed in ascending
+//! popcount order).
+//!
+//! Pivot selection is the clean-room *balanced* heuristic: the point with
+//! the lexicographically smallest `(max normalised coordinate, sum)` —
+//! provably a skyline point (any dominator would sort strictly before
+//! it), close to the diagonal, with a large dominance region. This is the
+//! spirit of Lee & Hwang's balanced pivot selection; their exact
+//! range-partitioning tie-breaks are not reproduced.
+
+use std::collections::HashMap;
+
+use skyline_core::dataset::Dataset;
+use skyline_core::dominance::{dominates, lex_cmp, points_equal};
+use skyline_core::metrics::Metrics;
+use skyline_core::point::PointId;
+
+use crate::common::block_skyline;
+use crate::SkylineAlgorithm;
+
+/// Select the balanced pivot among `ids`: minimise
+/// `(max_i norm(q[i]), Σ_i norm(q[i]))` where `norm` rescales each
+/// dimension to `[0,1]` over the id set. The winner is a skyline point of
+/// the set.
+fn balanced_pivot(data: &Dataset, ids: &[PointId]) -> PointId {
+    let dims = data.dims();
+    let mut lo = vec![f64::INFINITY; dims];
+    let mut hi = vec![f64::NEG_INFINITY; dims];
+    for &id in ids {
+        for (d, v) in data.point(id).iter().enumerate() {
+            lo[d] = lo[d].min(*v);
+            hi[d] = hi[d].max(*v);
+        }
+    }
+    let norm = |v: f64, d: usize| {
+        if hi[d] > lo[d] {
+            (v - lo[d]) / (hi[d] - lo[d])
+        } else {
+            0.0
+        }
+    };
+    let mut best: Option<(f64, f64, PointId)> = None;
+    for &id in ids {
+        let mut max_norm: f64 = 0.0;
+        let mut sum_norm = 0.0;
+        for (d, v) in data.point(id).iter().enumerate() {
+            let x = norm(*v, d);
+            max_norm = max_norm.max(x);
+            sum_norm += x;
+        }
+        let better = match &best {
+            None => true,
+            Some((bm, bs, bid)) => {
+                max_norm
+                    .total_cmp(bm)
+                    .then_with(|| sum_norm.total_cmp(bs))
+                    // Rounding can collapse a dominator's strictly smaller
+                    // normalised sum into a tie; the lexicographic
+                    // tie-break keeps the winner a skyline point.
+                    .then_with(|| lex_cmp(data.point(id), data.point(*bid)))
+                    .then(id.cmp(bid))
+                    .is_lt()
+            }
+        };
+        if better {
+            best = Some((max_norm, sum_norm, id));
+        }
+    }
+    best.expect("ids is non-empty").2
+}
+
+/// Lattice vector of `q` with respect to the pivot row: bit `i` set iff
+/// `q[i] ≥ pivot[i]`.
+fn lattice_vector(q: &[f64], pivot: &[f64]) -> u64 {
+    let mut bits = 0u64;
+    for (i, (a, b)) in q.iter().zip(pivot).enumerate() {
+        if a >= b {
+            bits |= 1 << i;
+        }
+    }
+    bits
+}
+
+#[inline]
+fn is_subset(a: u64, b: u64) -> bool {
+    a & !b == 0
+}
+
+/// BSkyTree-S: single pivot, lattice-vector bypass inside a sum-presorted
+/// scan.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BSkyTreeS;
+
+impl SkylineAlgorithm for BSkyTreeS {
+    fn name(&self) -> &str {
+        "BSkyTree-S"
+    }
+
+    fn compute_with_metrics(&self, data: &Dataset, metrics: &mut Metrics) -> Vec<PointId> {
+        if data.is_empty() {
+            return Vec::new();
+        }
+        let full = if data.dims() == 64 { u64::MAX } else { (1u64 << data.dims()) - 1 };
+        let ids: Vec<PointId> = (0..data.len() as PointId).collect();
+        let pivot = balanced_pivot(data, &ids);
+        let pivot_row = data.point(pivot);
+
+        // Map and prune against the pivot. Each mapping doubles as one
+        // dominance test (it inspects every coordinate pair).
+        let mut skyline: Vec<PointId> = vec![pivot];
+        let mut vectors: Vec<(PointId, u64, f64)> = Vec::with_capacity(data.len());
+        for (id, q) in data.iter() {
+            if id == pivot {
+                continue;
+            }
+            metrics.count_dt();
+            let b = lattice_vector(q, pivot_row);
+            if b == full {
+                if points_equal(q, pivot_row) {
+                    skyline.push(id); // duplicate of the pivot
+                }
+                continue; // dominated by the pivot
+            }
+            vectors.push((id, b, q.iter().sum()));
+        }
+
+        // Sum-presorted scan; candidates kept as (id, lattice vector).
+        vectors.sort_unstable_by(|a, b| {
+            a.2.total_cmp(&b.2)
+                // Rounding-equal sums: keep dominators first.
+                .then_with(|| lex_cmp(data.point(a.0), data.point(b.0)))
+                .then(a.0.cmp(&b.0))
+        });
+        let mut confirmed: Vec<(PointId, u64)> = Vec::new();
+        'scan: for &(id, b, _) in &vectors {
+            let q_row = data.point(id);
+            for &(s, sb) in &confirmed {
+                // Bypass: only vectors ⊆ b can dominate (no DT counted —
+                // this is the bitwise incomparability check the method is
+                // about).
+                if !is_subset(sb, b) {
+                    continue;
+                }
+                metrics.count_dt();
+                if dominates(data.point(s), q_row) {
+                    continue 'scan;
+                }
+            }
+            confirmed.push((id, b));
+        }
+        skyline.extend(confirmed.into_iter().map(|(id, _)| id));
+        skyline.sort_unstable();
+        skyline
+    }
+}
+
+/// Default block size for BSkyTree-P's recursion base case.
+pub const DEFAULT_P_BLOCK: usize = 24;
+
+/// BSkyTree-P: recursive lattice partitioning with balanced pivots.
+#[derive(Debug, Clone, Copy)]
+pub struct BSkyTreeP {
+    /// Region size at which recursion falls back to pairwise elimination.
+    pub block: usize,
+}
+
+impl Default for BSkyTreeP {
+    fn default() -> Self {
+        BSkyTreeP { block: DEFAULT_P_BLOCK }
+    }
+}
+
+impl SkylineAlgorithm for BSkyTreeP {
+    fn name(&self) -> &str {
+        "BSkyTree-P"
+    }
+
+    fn compute_with_metrics(&self, data: &Dataset, metrics: &mut Metrics) -> Vec<PointId> {
+        let ids: Vec<PointId> = (0..data.len() as PointId).collect();
+        let mut skyline = self.recurse(data, ids, metrics);
+        skyline.sort_unstable();
+        skyline
+    }
+}
+
+impl BSkyTreeP {
+    fn recurse(&self, data: &Dataset, ids: Vec<PointId>, metrics: &mut Metrics) -> Vec<PointId> {
+        if ids.len() <= self.block.max(2) {
+            return block_skyline(data, &ids, metrics);
+        }
+        let dims = data.dims();
+        let full = if dims == 64 { u64::MAX } else { (1u64 << dims) - 1 };
+        let pivot = balanced_pivot(data, &ids);
+        let pivot_row = data.point(pivot);
+
+        let mut skyline: Vec<PointId> = vec![pivot];
+        let mut regions: HashMap<u64, Vec<PointId>> = HashMap::new();
+        for &id in &ids {
+            if id == pivot {
+                continue;
+            }
+            let q = data.point(id);
+            metrics.count_dt();
+            let b = lattice_vector(q, pivot_row);
+            if b == full {
+                if points_equal(q, pivot_row) {
+                    skyline.push(id);
+                }
+                continue;
+            }
+            regions.entry(b).or_default().push(id);
+        }
+
+        // Ascending popcount is a topological order of the ⊆ lattice:
+        // when region B is processed, every region that could dominate it
+        // (strict subsets of B) is already in `accepted`.
+        let mut order: Vec<u64> = regions.keys().copied().collect();
+        order.sort_unstable_by_key(|b| (b.count_ones(), *b));
+        let mut accepted: Vec<(u64, Vec<PointId>)> = Vec::new();
+        for b in order {
+            let region = regions.remove(&b).expect("key from map");
+            let local = self.recurse(data, region, metrics);
+            let mut kept: Vec<PointId> = Vec::with_capacity(local.len());
+            'points: for q in local {
+                let q_row = data.point(q);
+                for (ab, points) in &accepted {
+                    // Regions with incomparable vectors are skipped
+                    // wholesale — the heart of the lattice method.
+                    if !is_subset(*ab, b) || *ab == b {
+                        continue;
+                    }
+                    for &p in points {
+                        metrics.count_dt();
+                        if dominates(data.point(p), q_row) {
+                            continue 'points;
+                        }
+                    }
+                }
+                kept.push(q);
+            }
+            if !kept.is_empty() {
+                skyline.extend_from_slice(&kept);
+                accepted.push((b, kept));
+            }
+        }
+        skyline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bnl::Bnl;
+
+    fn pseudo_random_dataset(n: usize, d: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..d)
+                    .map(|k| (((i * 31 + k * 17) * 2654435761usize) % 1000) as f64 / 1000.0)
+                    .collect()
+            })
+            .collect();
+        Dataset::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn balanced_pivot_is_a_skyline_point() {
+        let data = pseudo_random_dataset(200, 4);
+        let ids: Vec<PointId> = (0..200).collect();
+        let pivot = balanced_pivot(&data, &ids);
+        let sky = Bnl.compute(&data);
+        assert!(sky.contains(&pivot), "pivot {pivot} must be in the skyline");
+    }
+
+    #[test]
+    fn lattice_vector_definition() {
+        let pivot = [0.5, 0.5, 0.5];
+        assert_eq!(lattice_vector(&[0.4, 0.6, 0.5], &pivot), 0b110);
+        assert_eq!(lattice_vector(&[0.6, 0.6, 0.6], &pivot), 0b111);
+        assert_eq!(lattice_vector(&[0.1, 0.1, 0.1], &pivot), 0);
+    }
+
+    #[test]
+    fn lattice_vector_respects_dominance() {
+        // p ⪯ q ⇒ B(p) ⊆ B(q) for any pivot.
+        let pivot = [0.3, 0.7, 0.5];
+        let p = [0.2, 0.5, 0.5];
+        let q = [0.4, 0.5, 0.9];
+        assert!(dominates(&p, &q));
+        let bp = lattice_vector(&p, &pivot);
+        let bq = lattice_vector(&q, &pivot);
+        assert!(is_subset(bp, bq));
+    }
+
+    #[test]
+    fn s_variant_matches_bnl() {
+        for &(n, d) in &[(50usize, 2usize), (120, 3), (150, 5), (100, 8)] {
+            let data = pseudo_random_dataset(n, d);
+            assert_eq!(BSkyTreeS.compute(&data), Bnl.compute(&data), "n={n} d={d}");
+        }
+    }
+
+    #[test]
+    fn p_variant_matches_bnl() {
+        for &(n, d) in &[(50usize, 2usize), (120, 3), (150, 5), (100, 8)] {
+            let data = pseudo_random_dataset(n, d);
+            let p = BSkyTreeP { block: 8 };
+            assert_eq!(p.compute(&data), Bnl.compute(&data), "n={n} d={d}");
+        }
+    }
+
+    #[test]
+    fn duplicates_of_the_pivot_survive_both_variants() {
+        let mut rows = vec![[0.5, 0.5]; 3];
+        rows.push([0.9, 0.9]);
+        rows.push([0.4, 0.95]);
+        let data = Dataset::from_rows(&rows).unwrap();
+        let expected = Bnl.compute(&data);
+        assert_eq!(BSkyTreeS.compute(&data), expected);
+        assert_eq!(BSkyTreeP { block: 2 }.compute(&data), expected);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty = Dataset::from_flat(vec![], 3).unwrap();
+        assert!(BSkyTreeS.compute(&empty).is_empty());
+        assert!(BSkyTreeP::default().compute(&empty).is_empty());
+        let one = Dataset::from_rows(&[[1.0, 2.0]]).unwrap();
+        assert_eq!(BSkyTreeS.compute(&one), vec![0]);
+        assert_eq!(BSkyTreeP::default().compute(&one), vec![0]);
+    }
+
+    #[test]
+    fn incomparability_bypass_saves_tests() {
+        // Anti-correlated data spreads points across incomparable lattice
+        // regions; BSkyTree-S must do fewer dominance tests than SFS-like
+        // exhaustive filtering would.
+        let rows: Vec<[f64; 2]> =
+            (0..200).map(|i| [i as f64 / 200.0, (199 - i) as f64 / 200.0]).collect();
+        let data = Dataset::from_rows(&rows).unwrap();
+        let mut m = Metrics::new();
+        let sky = BSkyTreeS.compute_with_metrics(&data, &mut m);
+        assert_eq!(sky.len(), 200);
+        // Exhaustive filtering would need ~n²/2 ≈ 20000 tests; the bypass
+        // must cut that down materially.
+        assert!(
+            m.dominance_tests < 15_000,
+            "expected bypass savings, got {} tests",
+            m.dominance_tests
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Shared helpers for the algorithm implementations.
+
+use skyline_core::dataset::Dataset;
+use skyline_core::dominance::{dominates, lex_cmp};
+use skyline_core::metrics::Metrics;
+use skyline_core::point::{coordinate_sum, min_coordinate, PointId};
+
+/// Ids of all points sorted ascending by `sum` of coordinates — the
+/// monotone presorting used by SFS and LESS. Ties cannot dominate each
+/// other (dominance implies a strictly smaller sum), so any tie order is
+/// correct; ids break ties for determinism.
+pub fn order_by_sum(data: &Dataset) -> Vec<PointId> {
+    let keys: Vec<f64> = data.iter().map(|(_, p)| coordinate_sum(p)).collect();
+    let mut order: Vec<PointId> = (0..data.len() as PointId).collect();
+    order.sort_unstable_by(|&a, &b| {
+        keys[a as usize]
+            .total_cmp(&keys[b as usize])
+            // Rounding can collapse a dominator's strictly-smaller sum
+            // into equality; the lexicographic tie-break keeps the
+            // dominator first (see `lex_cmp`).
+            .then_with(|| lex_cmp(data.point(a), data.point(b)))
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// Ids sorted ascending by `(minC, sum)` — SaLSa's presorting. `minC` is
+/// monotone (`p ≺ q ⇒ minC(p) ≤ minC(q)`) and the `sum` tie-break makes
+/// the combination strictly monotone.
+pub fn order_by_min_coordinate(data: &Dataset) -> Vec<PointId> {
+    let keys: Vec<(f64, f64)> = data
+        .iter()
+        .map(|(_, p)| (min_coordinate(p), coordinate_sum(p)))
+        .collect();
+    let mut order: Vec<PointId> = (0..data.len() as PointId).collect();
+    order.sort_unstable_by(|&a, &b| {
+        let (ka, kb) = (&keys[a as usize], &keys[b as usize]);
+        ka.0.total_cmp(&kb.0)
+            .then_with(|| ka.1.total_cmp(&kb.1))
+            .then_with(|| lex_cmp(data.point(a), data.point(b)))
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// The core filter of every presorted scan: keep `id` if no confirmed
+/// skyline point dominates it, confirming it otherwise. Returns the
+/// skyline ids in confirmation order.
+///
+/// Precondition: `order` is ascending under a monotone key, so every
+/// dominator of a point precedes it.
+pub fn presorted_filter(
+    data: &Dataset,
+    order: &[PointId],
+    metrics: &mut Metrics,
+) -> Vec<PointId> {
+    let mut skyline: Vec<PointId> = Vec::new();
+    for &id in order {
+        let p = data.point(id);
+        let mut dominated = false;
+        for &s in &skyline {
+            metrics.count_dt();
+            if dominates(data.point(s), p) {
+                dominated = true;
+                break;
+            }
+        }
+        if !dominated {
+            skyline.push(id);
+        }
+    }
+    skyline
+}
+
+/// Brute-force pairwise skyline of a subset of points — the base case of
+/// the divide-and-conquer algorithms. Quadratic; only for small blocks.
+pub fn block_skyline(data: &Dataset, ids: &[PointId], metrics: &mut Metrics) -> Vec<PointId> {
+    let mut out: Vec<PointId> = Vec::new();
+    'candidates: for &q in ids {
+        let q_row = data.point(q);
+        for &p in ids {
+            if p == q {
+                continue;
+            }
+            metrics.count_dt();
+            if dominates(data.point(p), q_row) {
+                continue 'candidates;
+            }
+        }
+        out.push(q);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Dataset {
+        Dataset::from_rows(&[
+            [3.0, 3.0], // sum 6, minC 3
+            [1.0, 4.0], // sum 5, minC 1
+            [4.0, 0.5], // sum 4.5, minC 0.5
+            [1.0, 4.0], // duplicate of 1
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn sum_order() {
+        assert_eq!(order_by_sum(&data()), vec![2, 1, 3, 0]);
+    }
+
+    #[test]
+    fn min_coordinate_order() {
+        assert_eq!(order_by_min_coordinate(&data()), vec![2, 1, 3, 0]);
+    }
+
+    #[test]
+    fn min_coordinate_tie_break_by_sum() {
+        let ds = Dataset::from_rows(&[
+            [1.0, 9.0], // minC 1, sum 10
+            [1.0, 2.0], // minC 1, sum 3
+        ])
+        .unwrap();
+        assert_eq!(order_by_min_coordinate(&ds), vec![1, 0]);
+    }
+
+    #[test]
+    fn presorted_filter_finds_skyline() {
+        let ds = data();
+        let order = order_by_sum(&ds);
+        let mut m = Metrics::new();
+        let mut sky = presorted_filter(&ds, &order, &mut m);
+        sky.sort_unstable();
+        assert_eq!(sky, vec![0, 1, 2, 3]);
+        assert!(m.dominance_tests > 0);
+    }
+
+    #[test]
+    fn block_skyline_keeps_duplicates() {
+        let ds = data();
+        let ids: Vec<PointId> = (0..4).collect();
+        let mut m = Metrics::new();
+        let mut sky = block_skyline(&ds, &ids, &mut m);
+        sky.sort_unstable();
+        assert_eq!(sky, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn block_skyline_empty_input() {
+        let ds = data();
+        let mut m = Metrics::new();
+        assert!(block_skyline(&ds, &[], &mut m).is_empty());
+    }
+}

@@ -1,0 +1,183 @@
+//! D&C — divide and conquer (Kung, Luccio & Preparata, JACM 1975;
+//! adapted to the skyline setting by Börzsönyi et al., ICDE 2001).
+//!
+//! The point set is recursively split on alternating dimensions at the
+//! midpoint of the dimension's value range; skylines of the two halves are
+//! computed recursively and merged: every *high*-half skyline point is
+//! kept only if no *low*-half skyline point dominates it (low-half points
+//! can never be dominated by high-half points because the split is strict
+//! on the split dimension). Small blocks fall back to pairwise
+//! elimination.
+//!
+//! The merge step here is the practical pairwise filter rather than Kung's
+//! `O(N log^{d-2} N)` recursive merge — the same simplification the
+//! original skyline paper's implementation makes; Godfrey et al.'s
+//! observation that D&C deteriorates with dimensionality applies to both.
+
+use skyline_core::dataset::Dataset;
+use skyline_core::dominance::dominates;
+use skyline_core::metrics::Metrics;
+use skyline_core::point::PointId;
+
+use crate::common::block_skyline;
+use crate::SkylineAlgorithm;
+
+/// Default block size under which recursion stops.
+pub const DEFAULT_BLOCK: usize = 32;
+
+/// Divide-and-conquer skyline.
+#[derive(Debug, Clone, Copy)]
+pub struct DivideAndConquer {
+    /// Block size at which the recursion falls back to pairwise
+    /// elimination.
+    pub block: usize,
+}
+
+impl Default for DivideAndConquer {
+    fn default() -> Self {
+        DivideAndConquer { block: DEFAULT_BLOCK }
+    }
+}
+
+impl SkylineAlgorithm for DivideAndConquer {
+    fn name(&self) -> &str {
+        "D&C"
+    }
+
+    fn compute_with_metrics(&self, data: &Dataset, metrics: &mut Metrics) -> Vec<PointId> {
+        let ids: Vec<PointId> = (0..data.len() as PointId).collect();
+        let mut skyline = self.recurse(data, ids, 0, metrics);
+        skyline.sort_unstable();
+        skyline
+    }
+}
+
+impl DivideAndConquer {
+    fn recurse(
+        &self,
+        data: &Dataset,
+        ids: Vec<PointId>,
+        depth: usize,
+        metrics: &mut Metrics,
+    ) -> Vec<PointId> {
+        if ids.len() <= self.block.max(2) {
+            return block_skyline(data, &ids, metrics);
+        }
+        let dims = data.dims();
+        // Find a splittable dimension starting from the depth-rotated one:
+        // a dimension splits if its value range is non-degenerate.
+        let mut split: Option<(usize, f64)> = None;
+        for offset in 0..dims {
+            let dim = (depth + offset) % dims;
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &id in &ids {
+                let v = data.value(id, dim);
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if lo < hi {
+                // The midpoint can round up to exactly `hi` when lo and
+                // hi are adjacent floats, which would leave the high
+                // partition empty and recurse forever; fall back to
+                // splitting at `lo` (points equal to lo go low, the rest
+                // high — both non-empty because lo < hi).
+                let mut mid = lo + (hi - lo) / 2.0;
+                if mid >= hi {
+                    mid = lo;
+                }
+                split = Some((dim, mid));
+                break;
+            }
+        }
+        let Some((dim, mid)) = split else {
+            // Every point is identical in every dimension: all are
+            // mutually non-dominating duplicates.
+            return ids;
+        };
+        let (low, high): (Vec<PointId>, Vec<PointId>) =
+            ids.into_iter().partition(|&id| data.value(id, dim) <= mid);
+        debug_assert!(!low.is_empty() && !high.is_empty());
+
+        let sky_low = self.recurse(data, low, depth + 1, metrics);
+        let sky_high = self.recurse(data, high, depth + 1, metrics);
+
+        // Merge: a high point survives iff no low skyline point dominates
+        // it. Low points have a strictly smaller value on `dim` than every
+        // high point, so the reverse direction is impossible.
+        let mut merged = sky_low.clone();
+        'high: for &q in &sky_high {
+            let q_row = data.point(q);
+            for &p in &sky_low {
+                metrics.count_dt();
+                if dominates(data.point(p), q_row) {
+                    continue 'high;
+                }
+            }
+            merged.push(q);
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bnl::Bnl;
+
+    #[test]
+    fn matches_bnl_small() {
+        let data = Dataset::from_rows(&[
+            [1.0, 9.0],
+            [2.0, 7.0],
+            [3.0, 8.0],
+            [9.0, 1.0],
+            [5.0, 5.0],
+        ])
+        .unwrap();
+        assert_eq!(DivideAndConquer::default().compute(&data), Bnl.compute(&data));
+    }
+
+    #[test]
+    fn matches_bnl_with_forced_recursion() {
+        // Deterministic pseudo-random 3-D cloud larger than the block.
+        let rows: Vec<[f64; 3]> = (0..300)
+            .map(|i| {
+                let x = ((i * 37) % 101) as f64;
+                let y = ((i * 73) % 97) as f64;
+                let z = ((i * 11) % 89) as f64;
+                [x, y, z]
+            })
+            .collect();
+        let data = Dataset::from_rows(&rows).unwrap();
+        let dnc = DivideAndConquer { block: 8 };
+        assert_eq!(dnc.compute(&data), Bnl.compute(&data));
+    }
+
+    #[test]
+    fn all_identical_points() {
+        let data = Dataset::from_rows(&vec![[1.0, 2.0]; 100]).unwrap();
+        let dnc = DivideAndConquer { block: 4 };
+        let sky = dnc.compute(&data);
+        assert_eq!(sky.len(), 100, "identical points are mutual skyline duplicates");
+    }
+
+    #[test]
+    fn ties_on_split_dimension() {
+        // Half the points share the split value; correctness must not
+        // depend on where ties land.
+        let mut rows = Vec::new();
+        for i in 0..60 {
+            rows.push([(i % 2) as f64, (60 - i) as f64, i as f64]);
+        }
+        let data = Dataset::from_rows(&rows).unwrap();
+        let dnc = DivideAndConquer { block: 4 };
+        assert_eq!(dnc.compute(&data), Bnl.compute(&data));
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let data = Dataset::from_flat(vec![], 2).unwrap();
+        assert!(DivideAndConquer::default().compute(&data).is_empty());
+    }
+}

@@ -1,0 +1,162 @@
+//! Index — the sorted-lists skyline algorithm of Tan, Eng & Ooi
+//! (VLDB 2001), the earliest index-based progressive method in the
+//! paper's related work ("Index builds a B⁺-tree data structure to sort
+//! and index each dimension value of all points in order to prune
+//! irrelevant points and to retrieve skyline points by comparing their
+//! min/max values").
+//!
+//! Points are partitioned into `d` lists by the dimension holding their
+//! minimum coordinate; each list is kept sorted by that minimum (the
+//! role the original's B⁺-tree plays, collapsed to a sorted vector for
+//! in-memory data). The scan repeatedly advances the list whose head has
+//! the smallest key — so points are visited in ascending `minC` order,
+//! which makes the order monotone (every dominator precedes its victims)
+//! — and stops early once every head key strictly exceeds the smallest
+//! `maxC` of the skyline found so far: every unseen point is then
+//! provably dominated.
+
+use skyline_core::dataset::Dataset;
+use skyline_core::dominance::{dominates, lex_cmp};
+use skyline_core::metrics::Metrics;
+use skyline_core::point::{coordinate_sum, max_coordinate, PointId};
+
+use crate::SkylineAlgorithm;
+
+/// The Index algorithm (sorted per-dimension partitions, early stop).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IndexAlgo;
+
+impl SkylineAlgorithm for IndexAlgo {
+    fn name(&self) -> &str {
+        "Index"
+    }
+
+    fn compute_with_metrics(&self, data: &Dataset, metrics: &mut Metrics) -> Vec<PointId> {
+        let d = data.dims();
+        let n = data.len();
+        if n == 0 {
+            return Vec::new();
+        }
+
+        // Partition: point -> list of its argmin dimension, keyed by the
+        // minimum value (sum breaks ties monotonically).
+        let mut lists: Vec<Vec<(f64, f64, PointId)>> = vec![Vec::new(); d];
+        for (id, row) in data.iter() {
+            let (dim, min) = row
+                .iter()
+                .copied()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+                .expect("non-zero dimensionality");
+            lists[dim].push((min, coordinate_sum(row), id));
+        }
+        for list in &mut lists {
+            list.sort_unstable_by(|a, b| {
+                a.0.total_cmp(&b.0)
+                    .then(a.1.total_cmp(&b.1))
+                    .then_with(|| lex_cmp(data.point(a.2), data.point(b.2)))
+                    .then(a.2.cmp(&b.2))
+            });
+        }
+
+        let mut heads = vec![0usize; d];
+        let mut skyline: Vec<PointId> = Vec::new();
+        let mut best_max = f64::INFINITY;
+        let mut remaining = n;
+        while remaining > 0 {
+            // Advance the list whose head key is smallest.
+            let next = (0..d)
+                .filter(|&j| heads[j] < lists[j].len())
+                .min_by(|&a, &b| {
+                    let (ka, kb) = (&lists[a][heads[a]], &lists[b][heads[b]]);
+                    ka.0.total_cmp(&kb.0)
+                        .then(ka.1.total_cmp(&kb.1))
+                        .then_with(|| lex_cmp(data.point(ka.2), data.point(kb.2)))
+                        .then(a.cmp(&b))
+                });
+            let Some(j) = next else { break };
+            let (min_key, _, id) = lists[j][heads[j]];
+
+            // Early stop: every unprocessed point has minC ≥ this key; if
+            // the key strictly exceeds the best skyline maxC, the stop
+            // point dominates them all.
+            if min_key > best_max {
+                metrics.stop_pruned += remaining as u64;
+                break;
+            }
+            heads[j] += 1;
+            remaining -= 1;
+
+            let row = data.point(id);
+            let mut dominated = false;
+            for &s in &skyline {
+                metrics.count_dt();
+                if dominates(data.point(s), row) {
+                    dominated = true;
+                    break;
+                }
+            }
+            if !dominated {
+                best_max = best_max.min(max_coordinate(row));
+                skyline.push(id);
+            }
+        }
+        skyline.sort_unstable();
+        skyline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bnl::Bnl;
+
+    fn pseudo_random_dataset(n: usize, d: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..d)
+                    .map(|k| (((i * 43 + k * 29) * 2654435761usize) % 613) as f64 / 613.0)
+                    .collect()
+            })
+            .collect();
+        Dataset::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn matches_oracle_across_shapes() {
+        for &(n, d) in &[(50usize, 1usize), (80, 2), (300, 3), (500, 5), (200, 8)] {
+            let data = pseudo_random_dataset(n, d);
+            assert_eq!(IndexAlgo.compute(&data), Bnl.compute(&data), "n={n} d={d}");
+        }
+    }
+
+    #[test]
+    fn empty_and_duplicates() {
+        let empty = Dataset::from_flat(vec![], 3).unwrap();
+        assert!(IndexAlgo.compute(&empty).is_empty());
+        let dup = Dataset::from_rows(&[[1.0, 2.0], [1.0, 2.0], [2.0, 3.0]]).unwrap();
+        assert_eq!(IndexAlgo.compute(&dup), vec![0, 1]);
+    }
+
+    #[test]
+    fn early_stop_prunes_the_tail() {
+        let mut rows = vec![[0.2, 0.3], [0.3, 0.2]];
+        for i in 0..500 {
+            rows.push([1.0 + i as f64, 2.0 + i as f64]);
+        }
+        let data = Dataset::from_rows(&rows).unwrap();
+        let mut m = Metrics::new();
+        let sky = IndexAlgo.compute_with_metrics(&data, &mut m);
+        assert_eq!(sky, vec![0, 1]);
+        assert!(m.stop_pruned > 400, "stop point should cut the tail");
+    }
+
+    #[test]
+    fn heavy_ties_on_the_min_dimension() {
+        let rows: Vec<[f64; 3]> = (0..150)
+            .map(|i| [((i * 3) % 4) as f64, ((i * 5) % 4) as f64, ((i * 7) % 4) as f64])
+            .collect();
+        let data = Dataset::from_rows(&rows).unwrap();
+        assert_eq!(IndexAlgo.compute(&data), Bnl.compute(&data));
+    }
+}

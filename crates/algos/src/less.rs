@@ -1,0 +1,150 @@
+//! LESS — *linear elimination sort for skyline* (Godfrey, Shipley & Gryz,
+//! VLDB 2005).
+//!
+//! LESS extends SFS with an *elimination-filter (EF) window* applied during
+//! pass zero of the external sort: a small window of highly dominating
+//! points (those with the best scores seen so far) eliminates most of the
+//! data before it is ever sorted. This implementation is the in-memory
+//! adaptation — the external sort-merge machinery collapses to a plain
+//! in-memory sort, but the EF pass, its window-replacement policy and the
+//! dominance-test accounting are preserved, which is what the DT/RT
+//! metrics measure.
+
+use skyline_core::dataset::Dataset;
+use skyline_core::dominance::{dominates, lex_cmp};
+use skyline_core::metrics::Metrics;
+use skyline_core::point::{coordinate_sum, PointId};
+
+use crate::common::presorted_filter;
+use crate::SkylineAlgorithm;
+
+/// Default EF window size (points). Godfrey et al. found that a handful of
+/// window entries eliminates almost as much as a large window.
+pub const DEFAULT_EF_WINDOW: usize = 16;
+
+/// LESS: elimination-filter pass + SFS scan.
+#[derive(Debug, Clone, Copy)]
+pub struct Less {
+    /// Capacity of the elimination-filter window.
+    pub ef_window: usize,
+}
+
+impl Default for Less {
+    fn default() -> Self {
+        Less { ef_window: DEFAULT_EF_WINDOW }
+    }
+}
+
+impl SkylineAlgorithm for Less {
+    fn name(&self) -> &str {
+        "LESS"
+    }
+
+    fn compute_with_metrics(&self, data: &Dataset, metrics: &mut Metrics) -> Vec<PointId> {
+        // Pass zero: eliminate through the EF window. The window keeps the
+        // `ef_window` points with the smallest sum score seen so far.
+        let mut ef: Vec<(f64, PointId)> = Vec::with_capacity(self.ef_window.max(1));
+        let mut survivors: Vec<(f64, PointId)> = Vec::new();
+        'points: for (id, p) in data.iter() {
+            for &(_, e) in &ef {
+                metrics.count_dt();
+                if dominates(data.point(e), p) {
+                    continue 'points;
+                }
+            }
+            let score = coordinate_sum(p);
+            survivors.push((score, id));
+            // Window replacement: admit the point if the window has room
+            // or it beats the worst (largest-score) entry.
+            if ef.len() < self.ef_window.max(1) {
+                ef.push((score, id));
+            } else if let Some(worst) = ef
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| a.0.total_cmp(&b.0))
+                .map(|(i, _)| i)
+            {
+                if score < ef[worst].0 {
+                    ef[worst] = (score, id);
+                }
+            }
+        }
+
+        // Sort survivors by the monotone score and run the SFS filter.
+        // (EF survivors can still be dominated by points that entered the
+        // window after them — the filter pass settles everything.)
+        survivors.sort_unstable_by(|a, b| {
+            a.0.total_cmp(&b.0)
+                .then_with(|| lex_cmp(data.point(a.1), data.point(b.1)))
+                .then(a.1.cmp(&b.1))
+        });
+        let order: Vec<PointId> = survivors.into_iter().map(|(_, id)| id).collect();
+        let mut skyline = presorted_filter(data, &order, metrics);
+        skyline.sort_unstable();
+        skyline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bnl::Bnl;
+
+    #[test]
+    fn matches_bnl() {
+        let data = Dataset::from_rows(&[
+            [1.0, 9.0],
+            [2.0, 7.0],
+            [3.0, 8.0],
+            [9.0, 1.0],
+            [5.0, 5.0],
+            [5.0, 5.0],
+        ])
+        .unwrap();
+        assert_eq!(Less::default().compute(&data), Bnl.compute(&data));
+    }
+
+    #[test]
+    fn ef_window_eliminates_before_sort() {
+        // A strong early point then a long dominated tail: the EF pass
+        // should drop the tail with one test per point, and the filter
+        // pass should see almost nothing.
+        let mut rows = vec![[0.0, 0.0]];
+        for i in 0..100 {
+            rows.push([1.0 + i as f64, 1.0 + i as f64]);
+        }
+        let data = Dataset::from_rows(&rows).unwrap();
+        let mut m = Metrics::new();
+        let sky = Less::default().compute_with_metrics(&data, &mut m);
+        assert_eq!(sky, vec![0]);
+        // One EF test per tail point; nothing reaches the filter.
+        assert_eq!(m.dominance_tests, 100);
+    }
+
+    #[test]
+    fn tiny_window_still_correct() {
+        let rows: Vec<[f64; 3]> = (0..50)
+            .map(|i| {
+                let x = (i as f64 * 0.37) % 1.0;
+                let y = (i as f64 * 0.71) % 1.0;
+                [x, y, ((x + y) * 0.5) % 1.0]
+            })
+            .collect();
+        let data = Dataset::from_rows(&rows).unwrap();
+        let small = Less { ef_window: 1 }.compute(&data);
+        assert_eq!(small, Bnl.compute(&data));
+    }
+
+    #[test]
+    fn zero_window_is_clamped() {
+        let data = Dataset::from_rows(&[[1.0, 2.0], [2.0, 1.0]]).unwrap();
+        let sky = Less { ef_window: 0 }.compute(&data);
+        assert_eq!(sky, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let data = Dataset::from_flat(vec![], 2).unwrap();
+        assert!(Less::default().compute(&data).is_empty());
+    }
+}

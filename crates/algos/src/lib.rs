@@ -1,0 +1,177 @@
+//! # skyline-algos
+//!
+//! Reference implementations of every skyline algorithm the paper
+//! evaluates or builds on, all instrumented with the paper's *dominance
+//! test* counter:
+//!
+//! | Algorithm | Module | Class |
+//! |---|---|---|
+//! | BNL (Börzsönyi et al. 2001) | [`bnl`] | nested loop (oracle baseline) |
+//! | SFS (Chomicki et al. 2003) | [`sfs`] | sorting-based |
+//! | LESS (Godfrey et al. 2005) | [`less`] | sorting-based |
+//! | SaLSa (Bartolini et al. 2006) | [`salsa`] | sorting-based, early stop |
+//! | SDI (Liu & Li 2020) | [`sdi`] | sorting-based, dimension-indexed |
+//! | D&C (Kung et al. 1975 / Börzsönyi) | [`dnc`] | partitioning-based |
+//! | Index (Tan et al. 2001) | [`index_algo`] | sorted-lists, progressive |
+//! | BBS (Papadias et al. 2003) over an STR R-tree | [`bbs`], [`rtree`] | branch-and-bound, progressive |
+//! | BSkyTree-S / BSkyTree-P (Lee & Hwang 2010/2014) | [`bskytree`] | pivot-based state of the art |
+//! | SFS-/SaLSa-/SDI-Subset (this paper) | [`boosted`] | subset-boosted |
+//! | P-SFS | [`parallel`] | multi-core partition-merge |
+//!
+//! Beyond plain skylines: [`skyband`] (k-skyband), [`subspace_skyline`]
+//! (subspace skylines and the skycube) and [`query`] (a fluent builder
+//! over all of it).
+//!
+//! Every implementation returns the identical skyline (ascending
+//! [`PointId`]s, duplicates included) — the integration test suite checks
+//! them against each other and against a brute-force oracle.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bbs;
+pub mod bnl;
+pub mod boosted;
+pub mod bskytree;
+pub mod dnc;
+pub mod index_algo;
+pub mod less;
+pub mod parallel;
+pub mod query;
+pub mod rtree;
+pub mod salsa;
+pub mod sdi;
+pub mod sfs;
+pub mod skyband;
+pub mod subspace_skyline;
+
+pub(crate) mod common;
+
+use std::time::Instant;
+
+use skyline_core::dataset::Dataset;
+use skyline_core::metrics::{Metrics, RunMeasurement};
+use skyline_core::point::PointId;
+
+/// A skyline algorithm: computes the complete set of non-dominated points.
+///
+/// Contract: the returned ids are ascending and the set is the exact
+/// skyline under Definition 3.1 (duplicates of a skyline point are skyline
+/// points themselves).
+pub trait SkylineAlgorithm {
+    /// Display name, matching the paper's tables (e.g. `"SaLSa-Subset"`).
+    fn name(&self) -> &str;
+
+    /// Compute the skyline, recording counters into `metrics`.
+    fn compute_with_metrics(&self, data: &Dataset, metrics: &mut Metrics) -> Vec<PointId>;
+
+    /// Compute the skyline, discarding counters.
+    fn compute(&self, data: &Dataset) -> Vec<PointId> {
+        let mut metrics = Metrics::new();
+        self.compute_with_metrics(data, &mut metrics)
+    }
+
+    /// Compute the skyline and measure dominance tests plus elapsed time —
+    /// the two metrics of the paper's Section 6.
+    fn run(&self, data: &Dataset) -> RunMeasurement {
+        let mut metrics = Metrics::new();
+        let start = Instant::now();
+        let skyline = self.compute_with_metrics(data, &mut metrics);
+        let elapsed = start.elapsed();
+        RunMeasurement { skyline, metrics, elapsed, cardinality: data.len() }
+    }
+}
+
+/// All algorithms of the paper's evaluation (Section 6), in table order,
+/// with their default configurations. Boosted variants use the paper's
+/// recommended `σ = round(d/3)` unless `sigma` is given.
+pub fn evaluation_suite(sigma: Option<usize>) -> Vec<Box<dyn SkylineAlgorithm>> {
+    vec![
+        Box::new(sfs::Sfs),
+        Box::new(boosted::SfsSubset::new(sigma)),
+        Box::new(salsa::SaLSa),
+        Box::new(boosted::SalsaSubset::new(sigma)),
+        Box::new(sdi::Sdi),
+        Box::new(boosted::SdiSubset::new(sigma)),
+        Box::new(bskytree::BSkyTreeS),
+        Box::new(bskytree::BSkyTreeP::default()),
+    ]
+}
+
+/// Every algorithm in the crate (evaluation suite plus the classic
+/// baselines), with default configurations.
+pub fn all_algorithms() -> Vec<Box<dyn SkylineAlgorithm>> {
+    let mut v: Vec<Box<dyn SkylineAlgorithm>> = vec![
+        Box::new(bnl::Bnl),
+        Box::new(dnc::DivideAndConquer::default()),
+        Box::new(less::Less::default()),
+        Box::new(index_algo::IndexAlgo),
+        Box::new(bbs::Bbs),
+        Box::new(parallel::ParallelSfs::default()),
+    ];
+    v.extend(evaluation_suite(None));
+    v
+}
+
+/// Look an algorithm up by its display name (case-insensitive).
+pub fn algorithm_by_name(name: &str) -> Option<Box<dyn SkylineAlgorithm>> {
+    all_algorithms()
+        .into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique() {
+        let algos = all_algorithms();
+        let mut names: Vec<&str> = algos.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(algorithm_by_name("SFS").is_some());
+        assert!(algorithm_by_name("salsa-subset").is_some());
+        assert!(algorithm_by_name("BSkyTree-P").is_some());
+        assert!(algorithm_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn evaluation_suite_matches_table_layout() {
+        let names: Vec<String> =
+            evaluation_suite(None).iter().map(|a| a.name().to_string()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "SFS",
+                "SFS-Subset",
+                "SaLSa",
+                "SaLSa-Subset",
+                "SDI",
+                "SDI-Subset",
+                "BSkyTree-S",
+                "BSkyTree-P",
+            ]
+        );
+    }
+
+    #[test]
+    fn run_measures_time_and_counts() {
+        let data = skyline_core::dataset::Dataset::from_rows(&[
+            [1.0, 2.0],
+            [2.0, 1.0],
+            [3.0, 3.0],
+        ])
+        .unwrap();
+        let m = bnl::Bnl.run(&data);
+        assert_eq!(m.skyline, vec![0, 1]);
+        assert!(m.metrics.dominance_tests > 0);
+        assert_eq!(m.cardinality, 3);
+    }
+}

@@ -1,0 +1,155 @@
+//! Multi-core skyline computation (partition → local skyline → merge),
+//! in the spirit of the shared-memory parallelisation that Chester et
+//! al. (ICDE 2015) applied to skyline computation — the same work the
+//! paper's real datasets come from.
+//!
+//! The dataset is split into `threads` contiguous chunks; each worker
+//! computes its chunk's local skyline with a sum-presorted filter, and
+//! the local skylines are merged with one final presorted filter. Every
+//! global skyline point is a local skyline point of its chunk, so the
+//! merge is exact. Dominance tests from all workers are summed into the
+//! caller's [`Metrics`].
+
+use std::thread;
+
+use skyline_core::dataset::Dataset;
+use skyline_core::dominance::lex_cmp;
+use skyline_core::metrics::Metrics;
+use skyline_core::point::{coordinate_sum, PointId};
+
+use crate::common::presorted_filter;
+use crate::SkylineAlgorithm;
+
+/// Parallel sort-filter skyline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParallelSfs {
+    /// Worker count; 0 (the default) = one per available CPU.
+    pub threads: usize,
+}
+
+impl ParallelSfs {
+    fn worker_count(&self, n: usize) -> usize {
+        let hw = thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let t = if self.threads == 0 { hw } else { self.threads };
+        // No point spawning workers for tiny chunks.
+        t.clamp(1, n.div_ceil(1024).max(1))
+    }
+}
+
+impl SkylineAlgorithm for ParallelSfs {
+    fn name(&self) -> &str {
+        "P-SFS"
+    }
+
+    fn compute_with_metrics(&self, data: &Dataset, metrics: &mut Metrics) -> Vec<PointId> {
+        let n = data.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.worker_count(n);
+        let chunk = n.div_ceil(workers);
+
+        // Phase 1: local skylines, one worker per chunk.
+        let mut locals: Vec<(Vec<PointId>, Metrics)> = Vec::with_capacity(workers);
+        thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                if lo >= hi {
+                    continue;
+                }
+                handles.push(scope.spawn(move || {
+                    let mut local_metrics = Metrics::new();
+                    let mut ids: Vec<PointId> = (lo as u32..hi as u32).collect();
+                    ids.sort_unstable_by(|&a, &b| {
+                        coordinate_sum(data.point(a))
+                            .total_cmp(&coordinate_sum(data.point(b)))
+                            .then_with(|| lex_cmp(data.point(a), data.point(b)))
+                            .then(a.cmp(&b))
+                    });
+                    let local = presorted_filter(data, &ids, &mut local_metrics);
+                    (local, local_metrics)
+                }));
+            }
+            for h in handles {
+                locals.push(h.join().expect("skyline worker panicked"));
+            }
+        });
+
+        // Phase 2: merge the local skylines with one more presorted
+        // filter over their union.
+        let mut merged: Vec<PointId> = Vec::new();
+        for (local, local_metrics) in &locals {
+            merged.extend_from_slice(local);
+            metrics.absorb(local_metrics);
+        }
+        merged.sort_unstable_by(|&a, &b| {
+            coordinate_sum(data.point(a))
+                .total_cmp(&coordinate_sum(data.point(b)))
+                .then_with(|| lex_cmp(data.point(a), data.point(b)))
+                .then(a.cmp(&b))
+        });
+        let mut skyline = presorted_filter(data, &merged, metrics);
+        skyline.sort_unstable();
+        skyline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bnl::Bnl;
+
+    fn pseudo_random_dataset(n: usize, d: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..d)
+                    .map(|k| (((i * 23 + k * 41) * 2654435761usize) % 887) as f64 / 887.0)
+                    .collect()
+            })
+            .collect();
+        Dataset::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn matches_oracle_across_thread_counts() {
+        let data = pseudo_random_dataset(5000, 5);
+        let expected = Bnl.compute(&data);
+        for threads in [1usize, 2, 3, 8] {
+            let algo = ParallelSfs { threads };
+            assert_eq!(algo.compute(&data), expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn default_uses_available_parallelism() {
+        let data = pseudo_random_dataset(4000, 4);
+        assert_eq!(ParallelSfs::default().compute(&data), Bnl.compute(&data));
+    }
+
+    #[test]
+    fn small_inputs_do_not_over_spawn() {
+        let data = pseudo_random_dataset(10, 3);
+        let algo = ParallelSfs { threads: 64 };
+        assert_eq!(algo.worker_count(data.len()), 1);
+        assert_eq!(algo.compute(&data), Bnl.compute(&data));
+    }
+
+    #[test]
+    fn empty_and_duplicates() {
+        let empty = Dataset::from_flat(vec![], 3).unwrap();
+        assert!(ParallelSfs::default().compute(&empty).is_empty());
+        let dup = Dataset::from_rows(&vec![[1.0, 2.0]; 100]).unwrap();
+        let sky = ParallelSfs { threads: 4 }.compute(&dup);
+        assert_eq!(sky.len(), 100);
+    }
+
+    #[test]
+    fn metrics_accumulate_across_workers() {
+        let data = pseudo_random_dataset(3000, 4);
+        let mut m = Metrics::new();
+        let _ = ParallelSfs { threads: 4 }.compute_with_metrics(&data, &mut m);
+        assert!(m.dominance_tests > 0);
+    }
+}

@@ -1,0 +1,281 @@
+//! A fluent query layer over the whole library — the entry point a
+//! downstream application would typically use.
+//!
+//! ```
+//! use skyline_algos::query::SkylineQuery;
+//!
+//! // Laptops: price ↓, battery hours ↑, weight ↓.
+//! let rows = vec![
+//!     vec![999.0, 10.0, 1.4],
+//!     vec![799.0, 8.0, 1.8],
+//!     vec![999.0, 9.0, 1.5],   // dominated by the first laptop
+//! ];
+//! let result = SkylineQuery::new()
+//!     .minimize()   // column 0: price
+//!     .maximize()   // column 1: battery
+//!     .minimize()   // column 2: weight
+//!     .execute(&rows)
+//!     .unwrap();
+//! assert_eq!(result.ids, vec![0, 1]);
+//! ```
+
+use skyline_core::dataset::Dataset;
+use skyline_core::error::{Error, Result};
+use skyline_core::metrics::Metrics;
+use skyline_core::point::{PointId, Preference};
+use skyline_core::subspace::Subspace;
+
+use crate::boosted::SdiSubset;
+use crate::skyband::{k_skyband, BandPoint};
+use crate::subspace_skyline::subspace_skyline;
+use crate::SkylineAlgorithm;
+
+/// Result of an executed [`SkylineQuery`].
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Row indexes of the answer, ascending.
+    pub ids: Vec<PointId>,
+    /// For k-skyband queries with `k > 1`: exact dominator counts,
+    /// parallel to `ids`. Empty for plain skyline queries.
+    pub dominator_counts: Vec<u32>,
+    /// Counters collected during execution.
+    pub metrics: Metrics,
+}
+
+/// Builder for skyline / subspace-skyline / k-skyband queries over raw
+/// row data.
+pub struct SkylineQuery {
+    prefs: Vec<Preference>,
+    subspace: Option<Subspace>,
+    algorithm: Box<dyn SkylineAlgorithm>,
+    band_k: usize,
+}
+
+impl Default for SkylineQuery {
+    fn default() -> Self {
+        SkylineQuery::new()
+    }
+}
+
+impl SkylineQuery {
+    /// A fresh query with no columns declared yet. The default executor
+    /// is the paper's SDI-Subset with σ = round(d/3).
+    pub fn new() -> Self {
+        SkylineQuery {
+            prefs: Vec::new(),
+            subspace: None,
+            algorithm: Box::new(SdiSubset::default()),
+            band_k: 1,
+        }
+    }
+
+    /// Declare the next column as minimised (e.g. price).
+    #[must_use]
+    pub fn minimize(mut self) -> Self {
+        self.prefs.push(Preference::Min);
+        self
+    }
+
+    /// Declare the next column as maximised (e.g. rating).
+    #[must_use]
+    pub fn maximize(mut self) -> Self {
+        self.prefs.push(Preference::Max);
+        self
+    }
+
+    /// Declare all columns at once.
+    #[must_use]
+    pub fn preferences(mut self, prefs: &[Preference]) -> Self {
+        self.prefs = prefs.to_vec();
+        self
+    }
+
+    /// Restrict the query to a subspace of the declared columns.
+    #[must_use]
+    pub fn subspace(mut self, subspace: Subspace) -> Self {
+        self.subspace = Some(subspace);
+        self
+    }
+
+    /// Use a specific algorithm instead of the default SDI-Subset.
+    #[must_use]
+    pub fn algorithm(mut self, algorithm: Box<dyn SkylineAlgorithm>) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Ask for the k-skyband instead of the skyline (`k = 1`). The
+    /// result then carries exact dominator counts.
+    #[must_use]
+    pub fn skyband(mut self, k: usize) -> Self {
+        self.band_k = k;
+        self
+    }
+
+    /// Execute over raw rows. Columns without a declared preference are
+    /// an error, as are ragged rows and NaNs (validated by the dataset
+    /// layer).
+    pub fn execute<R: AsRef<[f64]>>(&self, rows: &[R]) -> Result<QueryResult> {
+        if self.prefs.is_empty() {
+            return Err(Error::ZeroDimensions);
+        }
+        let data = Dataset::from_rows_with_preferences(rows, &self.prefs)?;
+        self.execute_on(&data)
+    }
+
+    /// Execute over an already-canonicalised dataset (preferences are
+    /// assumed folded; the builder's preference list is only used for
+    /// raw-row execution).
+    pub fn execute_on(&self, data: &Dataset) -> Result<QueryResult> {
+        let mut metrics = Metrics::new();
+        // Subspace restriction applies first.
+        let restricted;
+        let target: &Dataset = match self.subspace {
+            None => data,
+            Some(sub) => {
+                if sub.is_empty() || sub.dims().any(|d| d >= data.dims()) {
+                    return Err(Error::TooManyDimensions {
+                        requested: sub.dims().max().map_or(0, |d| d + 1),
+                        max: data.dims(),
+                    });
+                }
+                restricted = data.project_dims(sub);
+                &restricted
+            }
+        };
+        if self.band_k == 1 {
+            let ids = match self.subspace {
+                None => self.algorithm.compute_with_metrics(data, &mut metrics),
+                Some(sub) => {
+                    subspace_skyline(data, sub, self.algorithm.as_ref(), &mut metrics)
+                }
+            };
+            return Ok(QueryResult { ids, dominator_counts: Vec::new(), metrics });
+        }
+        let band: Vec<BandPoint> = k_skyband(target, self.band_k, &mut metrics);
+        Ok(QueryResult {
+            ids: band.iter().map(|b| b.id).collect(),
+            dominator_counts: band.iter().map(|b| b.dominators).collect(),
+            metrics,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bnl::Bnl;
+
+    fn rows() -> Vec<Vec<f64>> {
+        vec![
+            vec![10.0, 5.0, 3.0],
+            vec![12.0, 7.0, 2.0],
+            vec![10.0, 4.0, 3.0], // dominated by row 0 (maximised col 1)
+            vec![15.0, 9.0, 1.0],
+        ]
+    }
+
+    #[test]
+    fn basic_mixed_preference_query() {
+        let result = SkylineQuery::new()
+            .minimize()
+            .maximize()
+            .minimize()
+            .execute(&rows())
+            .unwrap();
+        assert_eq!(result.ids, vec![0, 1, 3]);
+        assert!(result.dominator_counts.is_empty());
+        assert!(result.metrics.dominance_tests > 0);
+    }
+
+    #[test]
+    fn preferences_in_bulk() {
+        use Preference::{Max, Min};
+        let a = SkylineQuery::new().preferences(&[Min, Max, Min]).execute(&rows()).unwrap();
+        let b = SkylineQuery::new().minimize().maximize().minimize().execute(&rows()).unwrap();
+        assert_eq!(a.ids, b.ids);
+    }
+
+    #[test]
+    fn no_columns_is_an_error() {
+        assert!(SkylineQuery::new().execute(&rows()).is_err());
+    }
+
+    #[test]
+    fn wrong_arity_is_an_error() {
+        let result = SkylineQuery::new().minimize().execute(&rows());
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn custom_algorithm() {
+        let result = SkylineQuery::new()
+            .minimize()
+            .maximize()
+            .minimize()
+            .algorithm(Box::new(Bnl))
+            .execute(&rows())
+            .unwrap();
+        assert_eq!(result.ids, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn subspace_query() {
+        // Only price (col 0, minimised): rows 0 and 2 tie for the
+        // minimum.
+        let result = SkylineQuery::new()
+            .minimize()
+            .maximize()
+            .minimize()
+            .subspace(Subspace::singleton(0))
+            .execute(&rows())
+            .unwrap();
+        assert_eq!(result.ids, vec![0, 2]);
+    }
+
+    #[test]
+    fn out_of_range_subspace_is_an_error() {
+        let result = SkylineQuery::new()
+            .minimize()
+            .maximize()
+            .minimize()
+            .subspace(Subspace::singleton(7))
+            .execute(&rows());
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn skyband_query_carries_counts() {
+        let chain: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64, i as f64]).collect();
+        let result = SkylineQuery::new()
+            .minimize()
+            .minimize()
+            .skyband(3)
+            .execute(&chain)
+            .unwrap();
+        assert_eq!(result.ids, vec![0, 1, 2]);
+        assert_eq!(result.dominator_counts, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn skyband_respects_subspace() {
+        let result = SkylineQuery::new()
+            .minimize()
+            .maximize()
+            .minimize()
+            .subspace(Subspace::from_dims([0, 2]))
+            .skyband(2)
+            .execute(&rows())
+            .unwrap();
+        // Projection onto (price, weight): rows 0 and 2 are identical.
+        assert!(result.ids.contains(&0) && result.ids.contains(&2));
+        assert_eq!(result.ids.len(), result.dominator_counts.len());
+    }
+
+    #[test]
+    fn execute_on_prefolded_dataset() {
+        let data = Dataset::from_rows(&[[1.0, 2.0], [2.0, 1.0], [3.0, 3.0]]).unwrap();
+        let result = SkylineQuery::new().execute_on(&data).unwrap();
+        assert_eq!(result.ids, vec![0, 1]);
+    }
+}

@@ -1,0 +1,280 @@
+//! A static, bulk-loaded R-tree — the index substrate BBS needs
+//! (Papadias et al., SIGMOD 2003: "BBS uses R-tree to partition and
+//! index the dataset").
+//!
+//! Bulk loading uses the classic Sort-Tile-Recursive (STR) packing:
+//! points are sorted by the first dimension, tiled into vertical slabs,
+//! each slab sorted by the second dimension, and so on; leaves pack
+//! `CAPACITY` points each and upper levels pack the resulting MBRs the
+//! same way. The tree is immutable — exactly what a skyline scan needs.
+
+use skyline_core::dataset::Dataset;
+use skyline_core::point::PointId;
+
+/// Fan-out of every node.
+pub const CAPACITY: usize = 32;
+
+/// Minimum bounding rectangle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mbr {
+    /// Lower corner (componentwise minimum).
+    pub lo: Vec<f64>,
+    /// Upper corner (componentwise maximum).
+    pub hi: Vec<f64>,
+}
+
+impl Mbr {
+    fn of_points(data: &Dataset, ids: &[PointId]) -> Mbr {
+        let d = data.dims();
+        let mut lo = vec![f64::INFINITY; d];
+        let mut hi = vec![f64::NEG_INFINITY; d];
+        for &id in ids {
+            for (k, v) in data.point(id).iter().enumerate() {
+                lo[k] = lo[k].min(*v);
+                hi[k] = hi[k].max(*v);
+            }
+        }
+        Mbr { lo, hi }
+    }
+
+    fn union(entries: &[Mbr]) -> Mbr {
+        let d = entries[0].lo.len();
+        let mut lo = vec![f64::INFINITY; d];
+        let mut hi = vec![f64::NEG_INFINITY; d];
+        for m in entries {
+            for k in 0..d {
+                lo[k] = lo[k].min(m.lo[k]);
+                hi[k] = hi[k].max(m.hi[k]);
+            }
+        }
+        Mbr { lo, hi }
+    }
+
+    /// The monotone lower bound BBS orders its heap by: the coordinate
+    /// sum of the lower corner. For any point `p` inside the MBR,
+    /// `sum(lo) ≤ sum(p)`.
+    pub fn min_key(&self) -> f64 {
+        self.lo.iter().sum()
+    }
+
+    /// Whether the rectangle contains `p` (inclusive).
+    pub fn contains(&self, p: &[f64]) -> bool {
+        self.lo.iter().zip(&self.hi).zip(p).all(|((l, h), v)| l <= v && v <= h)
+    }
+}
+
+/// One node of the tree.
+#[derive(Debug, Clone)]
+pub enum RNode {
+    /// Leaf: point ids.
+    Leaf(Vec<PointId>),
+    /// Inner node: `(child index, child MBR)` pairs.
+    Inner(Vec<(usize, Mbr)>),
+}
+
+/// A static R-tree over a dataset.
+#[derive(Debug, Clone)]
+pub struct RTree {
+    nodes: Vec<RNode>,
+    root: Option<usize>,
+    root_mbr: Option<Mbr>,
+}
+
+impl RTree {
+    /// Bulk-load the tree from every point of `data` using STR packing.
+    pub fn bulk_load(data: &Dataset) -> RTree {
+        let n = data.len();
+        if n == 0 {
+            return RTree { nodes: Vec::new(), root: None, root_mbr: None };
+        }
+        let mut ids: Vec<PointId> = (0..n as PointId).collect();
+        let mut nodes: Vec<RNode> = Vec::new();
+
+        // Leaf level: STR-tile the points.
+        let mut leaves: Vec<(usize, Mbr)> = Vec::new();
+        let leaf_groups = str_tile(data, &mut ids, 0);
+        for group in leaf_groups {
+            let mbr = Mbr::of_points(data, &group);
+            nodes.push(RNode::Leaf(group));
+            leaves.push((nodes.len() - 1, mbr));
+        }
+
+        // Upper levels: pack child MBRs (already spatially ordered by the
+        // leaf tiling) sequentially until a single root remains.
+        let mut level = leaves;
+        while level.len() > 1 {
+            let mut next: Vec<(usize, Mbr)> = Vec::new();
+            for chunk in level.chunks(CAPACITY) {
+                let mbr = Mbr::union(&chunk.iter().map(|(_, m)| m.clone()).collect::<Vec<_>>());
+                nodes.push(RNode::Inner(chunk.to_vec()));
+                next.push((nodes.len() - 1, mbr));
+            }
+            level = next;
+        }
+        let (root, root_mbr) = level.into_iter().next().expect("non-empty tree");
+        RTree { nodes, root: Some(root), root_mbr: Some(root_mbr) }
+    }
+
+    /// Root node index, if the tree is non-empty.
+    pub fn root(&self) -> Option<usize> {
+        self.root
+    }
+
+    /// MBR of the whole dataset.
+    pub fn root_mbr(&self) -> Option<&Mbr> {
+        self.root_mbr.as_ref()
+    }
+
+    /// Access a node.
+    pub fn node(&self, idx: usize) -> &RNode {
+        &self.nodes[idx]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Height of the tree (1 for a single leaf).
+    pub fn height(&self) -> usize {
+        fn depth(tree: &RTree, idx: usize) -> usize {
+            match tree.node(idx) {
+                RNode::Leaf(_) => 1,
+                RNode::Inner(children) => {
+                    1 + children.iter().map(|(c, _)| depth(tree, *c)).max().unwrap_or(0)
+                }
+            }
+        }
+        self.root.map_or(0, |r| depth(self, r))
+    }
+
+    /// Every point id stored in the tree (used by validation tests).
+    pub fn all_ids(&self) -> Vec<PointId> {
+        let mut out = Vec::new();
+        for node in &self.nodes {
+            if let RNode::Leaf(ids) = node {
+                out.extend_from_slice(ids);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Recursive STR tiling: returns groups of at most [`CAPACITY`] ids.
+fn str_tile(data: &Dataset, ids: &mut [PointId], dim: usize) -> Vec<Vec<PointId>> {
+    let n = ids.len();
+    if n <= CAPACITY {
+        return vec![ids.to_vec()];
+    }
+    ids.sort_unstable_by(|&a, &b| {
+        data.value(a, dim)
+            .total_cmp(&data.value(b, dim))
+            .then(a.cmp(&b))
+    });
+    if dim + 1 == data.dims() {
+        return ids.chunks(CAPACITY).map(<[PointId]>::to_vec).collect();
+    }
+    // Number of slabs: sqrt-style split so that tiles stay square-ish.
+    let leaves = n.div_ceil(CAPACITY);
+    let slabs = (leaves as f64).sqrt().ceil() as usize;
+    let slab_size = n.div_ceil(slabs.max(1));
+    let mut out = Vec::new();
+    for slab in ids.chunks_mut(slab_size.max(CAPACITY)) {
+        out.extend(str_tile(data, slab, dim + 1));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random_dataset(n: usize, d: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..d).map(|k| (((i * 31 + k * 7) * 2654435761usize) % 1000) as f64).collect())
+            .collect();
+        Dataset::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let data = Dataset::from_flat(vec![], 3).unwrap();
+        let tree = RTree::bulk_load(&data);
+        assert!(tree.root().is_none());
+        assert_eq!(tree.height(), 0);
+        assert!(tree.all_ids().is_empty());
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let data = pseudo_random_dataset(10, 2);
+        let tree = RTree::bulk_load(&data);
+        assert_eq!(tree.height(), 1);
+        assert_eq!(tree.all_ids(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_point_is_stored_exactly_once() {
+        for &(n, d) in &[(100usize, 2usize), (1000, 3), (5000, 6)] {
+            let data = pseudo_random_dataset(n, d);
+            let tree = RTree::bulk_load(&data);
+            assert_eq!(tree.all_ids(), (0..n as PointId).collect::<Vec<_>>(), "n={n} d={d}");
+        }
+    }
+
+    #[test]
+    fn mbrs_contain_their_subtrees() {
+        let data = pseudo_random_dataset(2000, 3);
+        let tree = RTree::bulk_load(&data);
+
+        fn check(tree: &RTree, data: &Dataset, idx: usize, mbr: &Mbr) {
+            match tree.node(idx) {
+                RNode::Leaf(ids) => {
+                    for &id in ids {
+                        assert!(mbr.contains(data.point(id)), "point {id} escapes its MBR");
+                    }
+                }
+                RNode::Inner(children) => {
+                    for (child, child_mbr) in children {
+                        // Child MBR must be inside the parent MBR.
+                        assert!(mbr.contains(&child_mbr.lo));
+                        assert!(mbr.contains(&child_mbr.hi));
+                        check(tree, data, *child, child_mbr);
+                    }
+                }
+            }
+        }
+        let root = tree.root().unwrap();
+        check(&tree, &data, root, tree.root_mbr().unwrap());
+    }
+
+    #[test]
+    fn fan_out_is_respected() {
+        let data = pseudo_random_dataset(3000, 4);
+        let tree = RTree::bulk_load(&data);
+        for i in 0..tree.node_count() {
+            match tree.node(i) {
+                RNode::Leaf(ids) => assert!(ids.len() <= CAPACITY),
+                RNode::Inner(children) => assert!(children.len() <= CAPACITY),
+            }
+        }
+        // log_32(3000) -> height 3 at most for this capacity.
+        assert!(tree.height() <= 3, "height {}", tree.height());
+    }
+
+    #[test]
+    fn min_key_is_a_lower_bound() {
+        let data = pseudo_random_dataset(500, 3);
+        let tree = RTree::bulk_load(&data);
+        for i in 0..tree.node_count() {
+            if let RNode::Leaf(ids) = tree.node(i) {
+                let mbr = Mbr::of_points(&data, ids);
+                for &id in ids {
+                    let sum: f64 = data.point(id).iter().sum();
+                    assert!(mbr.min_key() <= sum + 1e-9);
+                }
+            }
+        }
+    }
+}

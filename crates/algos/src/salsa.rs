@@ -1,0 +1,132 @@
+//! SaLSa — *Sort and Limit Skyline algorithm* (Bartolini, Ciaccia &
+//! Patella, CIKM 2006 / TODS 2008).
+//!
+//! Like SFS, but with the `minC` sorting function (minimum coordinate,
+//! ties broken by sum) and a *stop point*: among all points seen so far,
+//! track the smallest maximum coordinate `maxC*`. As soon as the next
+//! point's `minC` strictly exceeds `maxC*`, the tracked point dominates
+//! every remaining point (its every coordinate is below their every
+//! coordinate), so the scan terminates with the exact skyline without
+//! reading the rest of the data.
+
+use skyline_core::dataset::Dataset;
+use skyline_core::dominance::dominates;
+use skyline_core::metrics::Metrics;
+use skyline_core::point::{max_coordinate, min_coordinate, PointId};
+
+use crate::common::order_by_min_coordinate;
+use crate::SkylineAlgorithm;
+
+/// SaLSa: minC-presorted scan with a stop point.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SaLSa;
+
+impl SkylineAlgorithm for SaLSa {
+    fn name(&self) -> &str {
+        "SaLSa"
+    }
+
+    fn compute_with_metrics(&self, data: &Dataset, metrics: &mut Metrics) -> Vec<PointId> {
+        let order = order_by_min_coordinate(data);
+        // The skyline window is kept sorted ascending by maxC: balanced
+        // points (strong dominators) are tested first, and the head of the
+        // window is the stop-point candidate among skyline points.
+        let mut window: Vec<(f64, PointId)> = Vec::new();
+        let mut best_max = f64::INFINITY;
+        for (scanned, &id) in order.iter().enumerate() {
+            let p = data.point(id);
+            if min_coordinate(p) > best_max {
+                metrics.stop_pruned += (order.len() - scanned) as u64;
+                break;
+            }
+            let maxc = max_coordinate(p);
+            // `s ≺ p` requires `maxC(s) ≤ maxC(p)` (componentwise ≤
+            // implies max ≤), so only the window prefix up to maxC(p) can
+            // contain a dominator.
+            let prefix = window.partition_point(|&(m, _)| m <= maxc);
+            let mut dominated = false;
+            for &(_, s) in &window[..prefix] {
+                metrics.count_dt();
+                if dominates(data.point(s), p) {
+                    dominated = true;
+                    break;
+                }
+            }
+            best_max = best_max.min(maxc);
+            if !dominated {
+                let at = window.partition_point(|&(m, _)| m <= maxc);
+                window.insert(at, (maxc, id));
+            }
+        }
+        let mut skyline: Vec<PointId> = window.into_iter().map(|(_, id)| id).collect();
+        skyline.sort_unstable();
+        skyline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bnl::Bnl;
+
+    #[test]
+    fn matches_bnl() {
+        let data = Dataset::from_rows(&[
+            [1.0, 9.0],
+            [2.0, 7.0],
+            [3.0, 8.0],
+            [9.0, 1.0],
+            [5.0, 5.0],
+            [5.0, 5.0],
+        ])
+        .unwrap();
+        assert_eq!(SaLSa.compute(&data), Bnl.compute(&data));
+    }
+
+    #[test]
+    fn stop_point_fires_on_clustered_data() {
+        // One balanced point near the origin dominates a distant cloud;
+        // the cloud must be cut positionally, not tested.
+        let mut rows = vec![[0.2, 0.3], [0.3, 0.2]];
+        for i in 0..100 {
+            rows.push([1.0 + i as f64, 2.0 + i as f64]);
+        }
+        let data = Dataset::from_rows(&rows).unwrap();
+        let mut m = Metrics::new();
+        let sky = SaLSa.compute_with_metrics(&data, &mut m);
+        assert_eq!(sky, vec![0, 1]);
+        assert_eq!(m.stop_pruned, 100);
+        // Mean DT far below one test per point — SaLSa's signature on
+        // easy data.
+        assert!(m.mean_dominance_tests(data.len()) < 0.1);
+    }
+
+    #[test]
+    fn stop_point_does_not_cut_duplicates_of_the_stopper() {
+        // The stop condition is strict, so ties (including exact
+        // duplicates of the stop point) are still scanned.
+        let data = Dataset::from_rows(&[
+            [0.5, 0.5],
+            [0.5, 0.5],
+            [0.5, 0.6],
+        ])
+        .unwrap();
+        assert_eq!(SaLSa.compute(&data), vec![0, 1]);
+    }
+
+    #[test]
+    fn anti_correlated_line_never_stops_early() {
+        let rows: Vec<[f64; 2]> = (0..20).map(|i| [i as f64, 19.0 - i as f64]).collect();
+        let data = Dataset::from_rows(&rows).unwrap();
+        let mut m = Metrics::new();
+        let sky = SaLSa.compute_with_metrics(&data, &mut m);
+        assert_eq!(sky.len(), 20);
+        assert_eq!(m.stop_pruned, 0);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let data = Dataset::from_flat(vec![], 2).unwrap();
+        assert!(SaLSa.compute(&data).is_empty());
+    }
+}

@@ -1,0 +1,87 @@
+//! SFS — *sort-filter-skyline* (Chomicki, Godfrey, Gryz & Liang,
+//! ICDE 2003).
+//!
+//! All points are presorted by a monotone scoring function `f` such that
+//! `f(p) < f(q) ⇒ q ⊀ p`; we use the coordinate sum (the classic choice —
+//! the original paper also discusses entropy, which orders identically on
+//! the unit cube up to monotone transformation). The minimum-score point
+//! is immediately a skyline point, and each following point only needs
+//! dominance tests against the already-confirmed skyline.
+
+use skyline_core::dataset::Dataset;
+use skyline_core::metrics::Metrics;
+use skyline_core::point::PointId;
+
+use crate::common::{order_by_sum, presorted_filter};
+use crate::SkylineAlgorithm;
+
+/// Sort-filter-skyline with sum presorting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sfs;
+
+impl SkylineAlgorithm for Sfs {
+    fn name(&self) -> &str {
+        "SFS"
+    }
+
+    fn compute_with_metrics(&self, data: &Dataset, metrics: &mut Metrics) -> Vec<PointId> {
+        let order = order_by_sum(data);
+        let mut skyline = presorted_filter(data, &order, metrics);
+        skyline.sort_unstable();
+        skyline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bnl::Bnl;
+
+    #[test]
+    fn matches_bnl_on_small_inputs() {
+        let data = Dataset::from_rows(&[
+            [1.0, 9.0],
+            [2.0, 7.0],
+            [3.0, 8.0],
+            [9.0, 1.0],
+            [5.0, 5.0],
+            [5.0, 5.0],
+        ])
+        .unwrap();
+        assert_eq!(Sfs.compute(&data), Bnl.compute(&data));
+    }
+
+    #[test]
+    fn first_sorted_point_is_never_tested() {
+        let data = Dataset::from_rows(&[[1.0, 1.0], [2.0, 2.0]]).unwrap();
+        let mut m = Metrics::new();
+        let sky = Sfs.compute_with_metrics(&data, &mut m);
+        assert_eq!(sky, vec![0]);
+        // Only the second point is tested, against one skyline point.
+        assert_eq!(m.dominance_tests, 1);
+    }
+
+    #[test]
+    fn dominated_points_tested_against_prefix_only() {
+        // Everything dominated by the first point: exactly one test each.
+        let rows: Vec<[f64; 2]> = (0..10).map(|i| [i as f64, i as f64]).collect();
+        let data = Dataset::from_rows(&rows).unwrap();
+        let mut m = Metrics::new();
+        let sky = Sfs.compute_with_metrics(&data, &mut m);
+        assert_eq!(sky, vec![0]);
+        assert_eq!(m.dominance_tests, 9);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let data = Dataset::from_flat(vec![], 2).unwrap();
+        assert!(Sfs.compute(&data).is_empty());
+    }
+
+    #[test]
+    fn anti_correlated_line() {
+        let rows: Vec<[f64; 2]> = (0..20).map(|i| [i as f64, 19.0 - i as f64]).collect();
+        let data = Dataset::from_rows(&rows).unwrap();
+        assert_eq!(Sfs.compute(&data).len(), 20);
+    }
+}

@@ -1,0 +1,195 @@
+//! The k-skyband operator — the standard generalisation of the skyline
+//! (Papadias et al., SIGMOD 2003): the set of points dominated by fewer
+//! than `k` other points. The skyline is exactly the 1-skyband.
+//!
+//! ## Why band-only counting is exact
+//!
+//! The scan processes points in ascending sum order and counts, for each
+//! point, its dominators **among confirmed band members only**. This is
+//! exact:
+//!
+//! - if `x ≺ q` then `Dom(x) ⊂ Dom(q)`, so every dominator of a band
+//!   member is itself a band member — counts of band members are exact;
+//! - if `|Dom(q)| ≥ k`, order `Dom(q)` by sum: the `i`-th element has at
+//!   most `i` dominators (all its dominators precede it inside
+//!   `Dom(q)`), so the first `k` are band members — the band-only count
+//!   reaches `k` and `q` is correctly rejected.
+//!
+//! Note the *pruning* tricks of plain skyline algorithms do not carry
+//! over: a dominated point may both belong to the band (for `k > 1`) and
+//! dominate later points, so nothing can be discarded mid-scan.
+
+use skyline_core::dataset::Dataset;
+use skyline_core::dominance::dominates;
+use skyline_core::metrics::Metrics;
+use skyline_core::point::PointId;
+
+use crate::common::order_by_sum;
+
+/// One k-skyband member with its exact dominator count (`< k`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BandPoint {
+    /// Id of the point.
+    pub id: PointId,
+    /// Exact number of points dominating it.
+    pub dominators: u32,
+}
+
+/// Compute the k-skyband: all points dominated by fewer than `k` others.
+///
+/// Returns band members ascending by id, each with its exact dominator
+/// count. `k = 1` yields the skyline (all counts 0). `k = 0` is empty by
+/// definition.
+pub fn k_skyband(data: &Dataset, k: usize, metrics: &mut Metrics) -> Vec<BandPoint> {
+    if k == 0 || data.is_empty() {
+        return Vec::new();
+    }
+    let order = order_by_sum(data);
+    // Band members in scan (sum) order; dominators of any point precede
+    // it here, so one pass suffices.
+    let mut band: Vec<BandPoint> = Vec::new();
+    for &id in &order {
+        let row = data.point(id);
+        let mut count = 0u32;
+        for member in &band {
+            metrics.count_dt();
+            if dominates(data.point(member.id), row) {
+                count += 1;
+                if count as usize >= k {
+                    break;
+                }
+            }
+        }
+        if (count as usize) < k {
+            band.push(BandPoint { id, dominators: count });
+        }
+    }
+    band.sort_unstable_by_key(|b| b.id);
+    band
+}
+
+/// Convenience: the ids of the k-skyband, ascending.
+pub fn k_skyband_ids(data: &Dataset, k: usize, metrics: &mut Metrics) -> Vec<PointId> {
+    k_skyband(data, k, metrics).into_iter().map(|b| b.id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bnl::Bnl;
+    use crate::SkylineAlgorithm;
+
+    /// Brute-force oracle: count all dominators of every point.
+    fn oracle(data: &Dataset, k: usize) -> Vec<BandPoint> {
+        let mut out = Vec::new();
+        for (i, p) in data.iter() {
+            let mut dominators = 0u32;
+            for (j, q) in data.iter() {
+                if i != j && dominates(q, p) {
+                    dominators += 1;
+                }
+            }
+            if (dominators as usize) < k {
+                out.push(BandPoint { id: i, dominators });
+            }
+        }
+        out
+    }
+
+    fn pseudo_random_dataset(n: usize, d: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..d)
+                    .map(|x| (((i * 31 + x * 17) * 40503) % 19) as f64)
+                    .collect()
+            })
+            .collect();
+        Dataset::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn one_skyband_is_the_skyline() {
+        let data = pseudo_random_dataset(200, 3);
+        let mut m = Metrics::new();
+        let band = k_skyband(&data, 1, &mut m);
+        let ids: Vec<PointId> = band.iter().map(|b| b.id).collect();
+        assert_eq!(ids, Bnl.compute(&data));
+        assert!(band.iter().all(|b| b.dominators == 0));
+    }
+
+    #[test]
+    fn zero_skyband_is_empty() {
+        let data = pseudo_random_dataset(50, 2);
+        let mut m = Metrics::new();
+        assert!(k_skyband(&data, 0, &mut m).is_empty());
+    }
+
+    #[test]
+    fn matches_oracle_for_various_k() {
+        for &(n, d) in &[(120usize, 2usize), (150, 3), (100, 5)] {
+            let data = pseudo_random_dataset(n, d);
+            for k in [1usize, 2, 3, 5, 10] {
+                let mut m = Metrics::new();
+                assert_eq!(
+                    k_skyband(&data, k, &mut m),
+                    oracle(&data, k),
+                    "n={n} d={d} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn huge_k_returns_everything_with_exact_counts() {
+        let data = pseudo_random_dataset(80, 3);
+        let mut m = Metrics::new();
+        let band = k_skyband(&data, usize::MAX, &mut m);
+        assert_eq!(band.len(), data.len());
+        assert_eq!(band, oracle(&data, usize::MAX));
+    }
+
+    #[test]
+    fn chain_counts() {
+        // A totally ordered chain: point i has exactly i dominators.
+        let rows: Vec<[f64; 2]> = (0..10).map(|i| [i as f64, i as f64]).collect();
+        let data = Dataset::from_rows(&rows).unwrap();
+        let mut m = Metrics::new();
+        let band = k_skyband(&data, 4, &mut m);
+        assert_eq!(band.len(), 4);
+        for (i, b) in band.iter().enumerate() {
+            assert_eq!(b.id, i as PointId);
+            assert_eq!(b.dominators, i as u32);
+        }
+    }
+
+    #[test]
+    fn duplicates_do_not_dominate_each_other() {
+        let data = Dataset::from_rows(&[
+            [1.0, 1.0],
+            [1.0, 1.0],
+            [2.0, 2.0],
+        ])
+        .unwrap();
+        let mut m = Metrics::new();
+        let band = k_skyband(&data, 2, &mut m);
+        // Both duplicates have 0 dominators; [2,2] has 2.
+        assert_eq!(
+            band,
+            vec![
+                BandPoint { id: 0, dominators: 0 },
+                BandPoint { id: 1, dominators: 0 },
+            ]
+        );
+        let band3 = k_skyband(&data, 3, &mut m);
+        assert_eq!(band3[2], BandPoint { id: 2, dominators: 2 });
+    }
+
+    #[test]
+    fn ids_helper() {
+        let data = pseudo_random_dataset(60, 3);
+        let mut m = Metrics::new();
+        let ids = k_skyband_ids(&data, 2, &mut m);
+        let full: Vec<PointId> = k_skyband(&data, 2, &mut m).iter().map(|b| b.id).collect();
+        assert_eq!(ids, full);
+    }
+}

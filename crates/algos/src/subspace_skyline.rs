@@ -1,0 +1,219 @@
+//! Subspace skylines and the skycube.
+//!
+//! A *subspace skyline* is the skyline of the dataset projected onto a
+//! subset of its dimensions (Pei et al., VLDB 2005; Section 1 of the
+//! subset paper uses the same notion of subspace). The *skycube* (Pei et
+//! al., TODS 2006) is the collection of subspace skylines for every
+//! non-empty subspace — `2^d - 1` of them.
+//!
+//! Note that subspace skylines are **not** subsets of the full-space
+//! skyline: a point dominated in full space can be optimal in a subspace
+//! where its dominator ties with it. These helpers therefore recompute
+//! each subspace from the projection, sharing one configurable base
+//! algorithm; the skycube enumerates subspaces bottom-up.
+
+use std::collections::HashMap;
+
+use skyline_core::dataset::Dataset;
+use skyline_core::metrics::Metrics;
+use skyline_core::point::PointId;
+use skyline_core::subspace::Subspace;
+
+use crate::{SkylineAlgorithm,
+            salsa::SaLSa};
+
+/// Compute the skyline of `data` restricted to `subspace`, using `algo`.
+///
+/// # Panics
+///
+/// Panics if the subspace is empty or out of range for the dataset.
+pub fn subspace_skyline(
+    data: &Dataset,
+    subspace: Subspace,
+    algo: &dyn SkylineAlgorithm,
+    metrics: &mut Metrics,
+) -> Vec<PointId> {
+    let projected = data.project_dims(subspace);
+    algo.compute_with_metrics(&projected, metrics)
+}
+
+/// Hard cap on skycube dimensionality: `2^d - 1` subspace skylines get
+/// impractical quickly.
+pub const MAX_SKYCUBE_DIMS: usize = 16;
+
+/// The skycube: one skyline per non-empty subspace.
+#[derive(Debug, Clone)]
+pub struct Skycube {
+    dims: usize,
+    cuboids: HashMap<Subspace, Vec<PointId>>,
+}
+
+impl Skycube {
+    /// Compute the full skycube of `data` with the given base algorithm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.dims() > MAX_SKYCUBE_DIMS` (the result would have
+    /// more than 65,535 cuboids) or if the dataset has zero dimensions.
+    pub fn compute(
+        data: &Dataset,
+        algo: &dyn SkylineAlgorithm,
+        metrics: &mut Metrics,
+    ) -> Skycube {
+        let d = data.dims();
+        assert!(d >= 1, "skycube of a zero-dimensional dataset");
+        assert!(
+            d <= MAX_SKYCUBE_DIMS,
+            "skycube over {d} dimensions would have 2^{d} - 1 cuboids; \
+             the supported maximum is {MAX_SKYCUBE_DIMS}"
+        );
+        let mut cuboids = HashMap::with_capacity((1usize << d) - 1);
+        for bits in 1..(1u64 << d) {
+            let sub = Subspace::from_bits(bits);
+            cuboids.insert(sub, subspace_skyline(data, sub, algo, metrics));
+        }
+        Skycube { dims: d, cuboids }
+    }
+
+    /// As [`Skycube::compute`] with the default base algorithm (SaLSa).
+    pub fn with_default_algorithm(data: &Dataset, metrics: &mut Metrics) -> Skycube {
+        Skycube::compute(data, &SaLSa, metrics)
+    }
+
+    /// Dimensionality of the cube.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of cuboids (`2^d - 1`).
+    pub fn len(&self) -> usize {
+        self.cuboids.len()
+    }
+
+    /// Whether the cube has no cuboids (never true after `compute`).
+    pub fn is_empty(&self) -> bool {
+        self.cuboids.is_empty()
+    }
+
+    /// The skyline of one subspace, if it is part of this cube.
+    pub fn skyline(&self, subspace: Subspace) -> Option<&[PointId]> {
+        self.cuboids.get(&subspace).map(Vec::as_slice)
+    }
+
+    /// Iterate over `(subspace, skyline)` pairs in ascending bit order.
+    pub fn iter(&self) -> impl Iterator<Item = (Subspace, &[PointId])> {
+        let mut keys: Vec<Subspace> = self.cuboids.keys().copied().collect();
+        keys.sort_unstable();
+        keys.into_iter().map(move |k| (k, self.cuboids[&k].as_slice()))
+    }
+
+    /// Ids that appear in at least one cuboid — the points worth keeping
+    /// if any subspace query may be asked later.
+    pub fn union_of_cuboids(&self) -> Vec<PointId> {
+        let mut all: Vec<PointId> = self.cuboids.values().flatten().copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bnl::Bnl;
+
+    fn data() -> Dataset {
+        Dataset::from_rows(&[
+            [1.0, 4.0, 2.0],
+            [2.0, 3.0, 2.0],
+            [3.0, 1.0, 3.0],
+            [4.0, 4.0, 1.0],
+            [4.0, 5.0, 5.0], // dominated in full space
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn single_dimension_subspace() {
+        let ds = data();
+        let mut m = Metrics::new();
+        let sky = subspace_skyline(&ds, Subspace::singleton(0), &Bnl, &mut m);
+        assert_eq!(sky, vec![0], "min of dim 0");
+        let sky2 = subspace_skyline(&ds, Subspace::singleton(2), &Bnl, &mut m);
+        assert_eq!(sky2, vec![3], "min of dim 2");
+    }
+
+    #[test]
+    fn full_space_subspace_equals_plain_skyline() {
+        let ds = data();
+        let mut m = Metrics::new();
+        let sky = subspace_skyline(&ds, Subspace::full(3), &Bnl, &mut m);
+        assert_eq!(sky, Bnl.compute(&ds));
+    }
+
+    #[test]
+    fn subspace_skyline_is_not_a_subset_of_full_skyline() {
+        // The classic non-containment: ties in a subspace resurrect
+        // points dominated in full space.
+        let ds = Dataset::from_rows(&[
+            [1.0, 1.0],
+            [1.0, 2.0], // dominated in full space, ties on dim 0
+        ])
+        .unwrap();
+        let mut m = Metrics::new();
+        let full = Bnl.compute(&ds);
+        assert_eq!(full, vec![0]);
+        let sub = subspace_skyline(&ds, Subspace::singleton(0), &Bnl, &mut m);
+        assert_eq!(sub, vec![0, 1], "both tie for the dim-0 minimum");
+    }
+
+    #[test]
+    fn skycube_has_all_cuboids_and_matches_per_subspace_computation() {
+        let ds = data();
+        let mut m = Metrics::new();
+        let cube = Skycube::with_default_algorithm(&ds, &mut m);
+        assert_eq!(cube.len(), 7);
+        assert_eq!(cube.dims(), 3);
+        assert!(!cube.is_empty());
+        for (sub, sky) in cube.iter() {
+            let mut m2 = Metrics::new();
+            assert_eq!(
+                sky,
+                subspace_skyline(&ds, sub, &Bnl, &mut m2).as_slice(),
+                "cuboid {sub}"
+            );
+        }
+    }
+
+    #[test]
+    fn skycube_lookup() {
+        let ds = data();
+        let mut m = Metrics::new();
+        let cube = Skycube::with_default_algorithm(&ds, &mut m);
+        assert!(cube.skyline(Subspace::full(3)).is_some());
+        assert!(cube.skyline(Subspace::EMPTY).is_none());
+        assert!(cube.skyline(Subspace::from_dims([5])).is_none());
+    }
+
+    #[test]
+    fn union_of_cuboids_covers_every_cuboid() {
+        let ds = data();
+        let mut m = Metrics::new();
+        let cube = Skycube::with_default_algorithm(&ds, &mut m);
+        let union = cube.union_of_cuboids();
+        for (_, sky) in cube.iter() {
+            for id in sky {
+                assert!(union.contains(id));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "supported maximum")]
+    fn skycube_dimensionality_guard() {
+        let rows: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64; 17]).collect();
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let mut m = Metrics::new();
+        let _ = Skycube::with_default_algorithm(&ds, &mut m);
+    }
+}

@@ -1,0 +1,31 @@
+//! Macro benchmark: the full evaluation suite on one moderate workload
+//! per data distribution — the Criterion companion of Tables 2–13.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline_algos::evaluation_suite;
+use skyline_data::{anti_correlated, correlated, uniform_independent};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let workloads = [
+        ("AC-8D-10K", anti_correlated(10_000, 8, 1)),
+        ("CO-8D-10K", correlated(10_000, 8, 1)),
+        ("UI-8D-10K", uniform_independent(10_000, 8, 1)),
+    ];
+    for (label, data) in &workloads {
+        for algo in evaluation_suite(None) {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), label),
+                data,
+                |bencher, data| bencher.iter(|| black_box(algo.compute(data))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Ablation 1 (DESIGN.md): the paper's central claim — swapping the plain
+//! skyline list for the subset-index container inside the same boosted
+//! scan. Everything else (merge phase, sort order) is identical, so the
+//! delta is the container.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline_core::boost::{boosted_skyline_with, BoostConfig, SortStrategy};
+use skyline_core::container::{ListContainer, SubsetContainer};
+use skyline_core::merge::MergeConfig;
+use skyline_core::metrics::Metrics;
+use skyline_data::{anti_correlated, uniform_independent};
+
+fn bench_container(c: &mut Criterion) {
+    let mut group = c.benchmark_group("container");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let workloads = [
+        ("UI-8D", uniform_independent(20_000, 8, 3)),
+        ("AC-8D", anti_correlated(20_000, 8, 3)),
+        ("UI-12D", uniform_independent(10_000, 12, 3)),
+    ];
+    for (label, data) in &workloads {
+        let config = BoostConfig {
+            merge: MergeConfig::recommended(data.dims()),
+            sort: SortStrategy::Sum,
+            use_stop_point: false,
+        };
+        group.bench_with_input(BenchmarkId::new("list", label), data, |bencher, data| {
+            bencher.iter(|| {
+                let mut m = Metrics::new();
+                let mut container = ListContainer::new();
+                black_box(boosted_skyline_with(data, &config, &mut container, &mut m))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("subset", label), data, |bencher, data| {
+            bencher.iter(|| {
+                let mut m = Metrics::new();
+                let mut container: SubsetContainer = SubsetContainer::new(data.dims());
+                black_box(boosted_skyline_with(data, &config, &mut container, &mut m))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_container);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Micro-benchmarks of the dominance primitives — the innermost loop of
+//! every skyline algorithm.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline_core::dominance::{dominance, dominates, dominating_subspace};
+use skyline_data::uniform_independent;
+
+fn bench_dominance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dominance");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for dims in [2usize, 4, 8, 16, 24, 64] {
+        let data = uniform_independent(2, dims, 7);
+        let a = data.point(0).to_vec();
+        let b = data.point(1).to_vec();
+        group.bench_with_input(BenchmarkId::new("three_way", dims), &dims, |bencher, _| {
+            bencher.iter(|| dominance(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("one_sided", dims), &dims, |bencher, _| {
+            bencher.iter(|| dominates(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("dominating_subspace", dims),
+            &dims,
+            |bencher, _| bencher.iter(|| dominating_subspace(black_box(&a), black_box(&b))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dominance);
+criterion_main!(benches);

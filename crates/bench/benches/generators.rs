@@ -1,0 +1,36 @@
+//! Throughput of the synthetic data generators, including the rejection
+//! sampling cost of the anti-correlated distribution at high
+//! dimensionality.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline_data::{generate, Distribution, SyntheticSpec};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for dist in [
+        Distribution::Independent,
+        Distribution::Correlated,
+        Distribution::AntiCorrelated,
+    ] {
+        for dims in [4usize, 8, 16, 24] {
+            let spec = SyntheticSpec {
+                distribution: dist,
+                cardinality: 10_000,
+                dims,
+                seed: 9,
+            };
+            group.bench_with_input(
+                BenchmarkId::new(dist.tag(), dims),
+                &spec,
+                |bencher, spec| bencher.iter(|| black_box(generate(spec))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

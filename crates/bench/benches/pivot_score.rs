@@ -1,0 +1,48 @@
+//! Ablation 3 (DESIGN.md): the pivot scoring function of the merge phase.
+//! The paper uses Euclidean distance and remarks that "any measure can be
+//! applied"; this bench compares Euclidean, sum and minC pivot selection
+//! inside otherwise identical boosted runs.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline_core::boost::{boosted_skyline, BoostConfig, SortStrategy};
+use skyline_core::merge::{MergeConfig, PivotScore};
+use skyline_core::metrics::Metrics;
+use skyline_data::{anti_correlated, uniform_independent};
+
+fn bench_pivot_score(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pivot_score");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let workloads =
+        [("UI-8D", uniform_independent(20_000, 8, 55)), ("AC-8D", anti_correlated(20_000, 8, 55))];
+    for (label, data) in &workloads {
+        for (name, score) in [
+            ("euclidean", PivotScore::Euclidean),
+            ("sum", PivotScore::Sum),
+            ("minc", PivotScore::MinCoordinate),
+        ] {
+            let mut merge = MergeConfig::recommended(data.dims());
+            merge.score = score;
+            let config = BoostConfig {
+                merge,
+                sort: SortStrategy::Sum,
+                use_stop_point: false,
+            };
+            group.bench_with_input(
+                BenchmarkId::new(name, label),
+                data,
+                |bencher, data| {
+                    bencher.iter(|| {
+                        let mut m = Metrics::new();
+                        black_box(boosted_skyline(data, &config, &mut m))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pivot_score);
+criterion_main!(benches);

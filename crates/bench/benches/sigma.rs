@@ -1,0 +1,26 @@
+//! Ablation 2 (DESIGN.md): wall-clock sensitivity to the stability
+//! threshold σ — the Criterion companion of Figures 4/5. The paper's
+//! recommendation is σ ≈ d/3.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline_algos::boosted::SdiSubset;
+use skyline_algos::SkylineAlgorithm;
+use skyline_data::uniform_independent;
+
+fn bench_sigma(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sigma");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let data = uniform_independent(20_000, 8, 41);
+    for sigma in [2usize, 3, 4, 6, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(sigma), &sigma, |bencher, &s| {
+            let algo = SdiSubset::new(Some(s));
+            bencher.iter(|| black_box(algo.compute(&data)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sigma);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Streaming-maintenance throughput: inserts into a maintained skyline,
+//! with and without deletion churn, against batch recomputation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline_algos::{boosted::SdiSubset, SkylineAlgorithm};
+use skyline_core::metrics::Metrics;
+use skyline_core::streaming::StreamingSkyline;
+use skyline_data::{uniform_independent, Distribution, SyntheticSpec};
+
+fn bench_insert_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming_insert");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for dist in [Distribution::Independent, Distribution::Correlated] {
+        let data = SyntheticSpec { distribution: dist, cardinality: 10_000, dims: 6, seed: 8 }
+            .generate();
+        group.bench_with_input(BenchmarkId::from_parameter(dist.tag()), &data, |b, data| {
+            b.iter(|| {
+                let mut sky = StreamingSkyline::new(data.dims()).unwrap();
+                let mut m = Metrics::new();
+                for (_, row) in data.iter() {
+                    sky.insert(row, &mut m).unwrap();
+                }
+                black_box(sky.skyline_len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming_churn");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let data = uniform_independent(10_000, 6, 21);
+    // Sliding window of 2,000 points over the stream.
+    group.bench_function("sliding_window_2000", |b| {
+        b.iter(|| {
+            let mut sky = StreamingSkyline::new(data.dims()).unwrap();
+            let mut m = Metrics::new();
+            let mut ids = std::collections::VecDeque::new();
+            for (_, row) in data.iter() {
+                ids.push_back(sky.insert(row, &mut m).unwrap());
+                if ids.len() > 2_000 {
+                    let victim = ids.pop_front().unwrap();
+                    sky.remove(victim, &mut m);
+                }
+            }
+            black_box(sky.skyline_len())
+        })
+    });
+    // Baseline: batch recomputation at the end of the same stream (what
+    // the streaming structure amortises away).
+    group.bench_function("batch_recompute_final", |b| {
+        let algo = SdiSubset::default();
+        b.iter(|| black_box(algo.compute(&data).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert_throughput, bench_churn);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Put/query cost of the subset index as a function of dimensionality and
+//! stored cardinality — the paper's Lemma 5.2 (`O(d/2)` put) and
+//! Lemma 5.3 (`O((d/2)²)` query) in practice.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use skyline_core::metrics::Metrics;
+use skyline_core::subset_index::SubsetIndex;
+use skyline_core::subspace::Subspace;
+
+fn random_subspaces(dims: usize, count: usize, seed: u64) -> Vec<Subspace> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mask = Subspace::full(dims).bits();
+    (0..count).map(|_| Subspace::from_bits(rng.gen::<u64>() & mask)).collect()
+}
+
+fn bench_put(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subset_index_put");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for dims in [4usize, 8, 16, 24] {
+        let subs = random_subspaces(dims, 4096, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(dims), &dims, |bencher, _| {
+            bencher.iter(|| {
+                let mut index = SubsetIndex::new(dims);
+                for (i, &s) in subs.iter().enumerate() {
+                    index.put(i as u32, s);
+                }
+                black_box(index.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subset_index_query");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for dims in [4usize, 8, 16, 24] {
+        let mut index = SubsetIndex::new(dims);
+        for (i, &s) in random_subspaces(dims, 4096, 13).iter().enumerate() {
+            index.put(i as u32, s);
+        }
+        let queries = random_subspaces(dims, 256, 17);
+        group.bench_with_input(BenchmarkId::from_parameter(dims), &dims, |bencher, _| {
+            let mut out = Vec::new();
+            let mut m = Metrics::new();
+            bencher.iter(|| {
+                let mut total = 0usize;
+                for &q in &queries {
+                    out.clear();
+                    index.query_into(q, &mut out, &mut m);
+                    total += out.len();
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_vs_stored(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subset_index_query_vs_stored");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let dims = 8;
+    for stored in [256usize, 1024, 4096, 16384] {
+        let mut index = SubsetIndex::new(dims);
+        for (i, &s) in random_subspaces(dims, stored, 19).iter().enumerate() {
+            index.put(i as u32, s);
+        }
+        let queries = random_subspaces(dims, 64, 23);
+        group.bench_with_input(BenchmarkId::from_parameter(stored), &stored, |bencher, _| {
+            let mut out = Vec::new();
+            let mut m = Metrics::new();
+            bencher.iter(|| {
+                let mut total = 0usize;
+                for &q in &queries {
+                    out.clear();
+                    index.query_into(q, &mut out, &mut m);
+                    total += out.len();
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_put, bench_query, bench_query_vs_stored);
+criterion_main!(benches);

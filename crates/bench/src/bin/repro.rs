@@ -1,0 +1,93 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro list                 # experiment index
+//! repro <exp-id>... [--full] [--runs N]
+//! repro all [--full]         # everything, in paper order
+//! ```
+//!
+//! Default workloads are laptop-scale; `--full` uses the paper's exact
+//! cardinalities (hours of compute for the AC sweeps). Results print to
+//! stdout; progress goes to stderr.
+
+use std::process::ExitCode;
+
+use skyline_bench::experiments::{experiment_index, run_experiment};
+use skyline_bench::harness::Scale;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let runs = match args.iter().position(|a| a == "--runs") {
+        None => {
+            if full {
+                10
+            } else {
+                1
+            }
+        }
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(r) if r >= 1 => r,
+            _ => {
+                eprintln!("error: --runs expects a positive integer");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let scale = Scale { full, runs };
+
+    let mut ids: Vec<String> = Vec::new();
+    let mut skip_next = false;
+    for a in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        match a.as_str() {
+            "--full" => {}
+            "--runs" => skip_next = true,
+            other => ids.push(other.to_string()),
+        }
+    }
+
+    if ids.is_empty() || ids[0] == "list" {
+        println!("experiments (laptop-scale by default; add --full for paper sizes):");
+        for (id, desc) in experiment_index() {
+            println!("  {id:<9} {desc}");
+        }
+        println!("  all       run everything in paper order");
+        return ExitCode::SUCCESS;
+    }
+
+    if ids.len() == 1 && ids[0] == "all" {
+        ids = experiment_index()
+            .iter()
+            .map(|(id, _)| id.to_string())
+            // The RT ids alias their DT sibling; running both would just
+            // repeat the same computation.
+            .filter(|id| !matches!(id.as_str(), "fig5" | "table3" | "table5" | "table7" | "table9" | "table11" | "table13"))
+            .collect();
+    }
+
+    for id in &ids {
+        eprintln!(
+            "==> {id} ({} scale, {} run{} per cell)",
+            if full { "paper" } else { "laptop" },
+            runs,
+            if runs == 1 { "" } else { "s" }
+        );
+        let start = std::time::Instant::now();
+        match run_experiment(id, scale) {
+            Ok(output) => {
+                println!("{output}");
+                eprintln!("    done in {:.1}s", start.elapsed().as_secs_f64());
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("run `repro list` for the experiment index");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,488 @@
+//! One reproduction routine per table/figure of the paper (Section 6).
+//!
+//! Every routine returns the rendered artefact as a string; the `repro`
+//! binary prints it. Default workloads are laptop-scale (documented per
+//! experiment in `EXPERIMENTS.md`); `Scale::full()` switches to the
+//! paper's exact sizes.
+
+use skyline_algos::boosted::{SalsaSubset, SdiSubset, SfsSubset};
+use skyline_algos::{evaluation_suite, SkylineAlgorithm};
+use skyline_core::dataset::Dataset;
+use skyline_core::merge::{merge, MergeConfig, PivotScore};
+use skyline_core::metrics::Metrics;
+use skyline_data::real::{
+    house, house_scaled, nba, nba_scaled, weather, weather_scaled, HOUSE_SIGMA, NBA_SIGMA,
+    WEATHER_SIGMA,
+};
+use skyline_data::{Distribution, SyntheticSpec};
+
+use crate::harness::{measure, render_histogram, Scale, Table};
+
+/// The dimensionalities of the paper's dimension sweeps (Tables 2/3, 6/7,
+/// 10/11).
+pub const DIM_SWEEP: [usize; 9] = [2, 4, 6, 8, 10, 12, 16, 20, 24];
+
+/// Deterministic seed per workload so that every invocation regenerates
+/// identical datasets.
+fn seed_for(dist: Distribution, n: usize, d: usize) -> u64 {
+    let tag = match dist {
+        Distribution::Independent => 1u64,
+        Distribution::Correlated => 2,
+        Distribution::AntiCorrelated => 3,
+    };
+    0x5CA1E * tag + (n as u64).wrapping_mul(31) + (d as u64).wrapping_mul(7)
+}
+
+fn dataset(dist: Distribution, n: usize, d: usize) -> Dataset {
+    SyntheticSpec { distribution: dist, cardinality: n, dims: d, seed: seed_for(dist, n, d) }
+        .generate()
+}
+
+/// Run the full evaluation suite over a sequence of workloads and build
+/// the paper-layout DT and RT tables.
+fn sweep(
+    title_dt: String,
+    title_rt: String,
+    param_label: &str,
+    workloads: Vec<(String, Dataset)>,
+    sigma: Option<usize>,
+    runs: usize,
+) -> (Table, Table) {
+    let suite = evaluation_suite(sigma);
+    let mut dt_rows: Vec<(String, Vec<f64>)> =
+        suite.iter().map(|a| (a.name().to_string(), Vec::new())).collect();
+    let mut rt_rows = dt_rows.clone();
+    let mut columns = Vec::new();
+    for (label, data) in &workloads {
+        columns.push(label.clone());
+        let mut skyline_size: Option<usize> = None;
+        for (i, algo) in suite.iter().enumerate() {
+            let cell = measure(algo.as_ref(), data, runs);
+            dt_rows[i].1.push(cell.mean_dt);
+            rt_rows[i].1.push(cell.ms);
+            match skyline_size {
+                None => skyline_size = Some(cell.skyline),
+                Some(s) => assert_eq!(
+                    s,
+                    cell.skyline,
+                    "{} disagrees on the skyline for {label}",
+                    algo.name()
+                ),
+            }
+        }
+    }
+    (
+        Table {
+            title: title_dt,
+            param_label: param_label.to_string(),
+            columns: columns.clone(),
+            rows: dt_rows,
+        },
+        Table { title: title_rt, param_label: param_label.to_string(), columns, rows: rt_rows },
+    )
+}
+
+/// Tables 2/3 (AC), 6/7 (CO), 10/11 (UI): dimensionality sweep at fixed
+/// cardinality. Renders both the DT and the RT table (they come from the
+/// same runs).
+pub fn dim_sweep_tables(dist: Distribution, scale: Scale) -> String {
+    let n = scale.pick(10_000, 200_000);
+    let workloads: Vec<(String, Dataset)> = DIM_SWEEP
+        .iter()
+        .map(|&d| (format!("{d}-D"), dataset(dist, n, d)))
+        .collect();
+    let (table_no_dt, table_no_rt) = match dist {
+        Distribution::AntiCorrelated => (2, 3),
+        Distribution::Correlated => (6, 7),
+        Distribution::Independent => (10, 11),
+    };
+    let tag = dist.tag();
+    let (dt, rt) = sweep(
+        format!(
+            "Table {table_no_dt}: mean dominance test numbers on {tag} ({n} points) vs dimensionality"
+        ),
+        format!(
+            "Table {table_no_rt}: elapsed processor time (ms) on {tag} ({n} points) vs dimensionality"
+        ),
+        "Dimensionality",
+        workloads,
+        None, // σ = round(d/3) per column via the per-run default
+        scale.runs,
+    );
+    format!("{}\n{}", dt.render(), rt.render())
+}
+
+/// Tables 4/5 (AC), 8/9 (CO), 12/13 (UI): cardinality sweep at 8-D.
+pub fn card_sweep_tables(dist: Distribution, scale: Scale) -> String {
+    let cards: Vec<usize> = if scale.full {
+        (1..=10).map(|i| i * 100_000).collect()
+    } else {
+        (1..=5).map(|i| i * 10_000).collect()
+    };
+    let d = 8;
+    let workloads: Vec<(String, Dataset)> = cards
+        .iter()
+        .map(|&n| (format!("{}K", n / 1000), dataset(dist, n, d)))
+        .collect();
+    let (table_no_dt, table_no_rt) = match dist {
+        Distribution::AntiCorrelated => (4, 5),
+        Distribution::Correlated => (8, 9),
+        Distribution::Independent => (12, 13),
+    };
+    let tag = dist.tag();
+    let (dt, rt) = sweep(
+        format!("Table {table_no_dt}: mean dominance test numbers on 8-D {tag} vs cardinality"),
+        format!("Table {table_no_rt}: elapsed processor time (ms) on 8-D {tag} vs cardinality"),
+        "Cardinality",
+        workloads,
+        None,
+        scale.runs,
+    );
+    format!("{}\n{}", dt.render(), rt.render())
+}
+
+/// Table 1: skyline sizes of all synthetic datasets (both sweeps).
+pub fn table1(scale: Scale) -> String {
+    use std::fmt::Write as _;
+    let algo = skyline_algos::bskytree::BSkyTreeP::default();
+    let mut out = String::new();
+    let n_fixed = scale.pick(10_000, 200_000);
+    let _ = writeln!(out, "### Table 1: skyline size of synthetic datasets");
+    let _ = writeln!(out, "-- dimensionality sweep at {n_fixed} points --");
+    let _ = write!(out, "{:<14}", "Dimensionality");
+    for d in DIM_SWEEP {
+        let _ = write!(out, "{:>9}", format!("{d}-D"));
+    }
+    let _ = writeln!(out);
+    for dist in [
+        Distribution::AntiCorrelated,
+        Distribution::Correlated,
+        Distribution::Independent,
+    ] {
+        let _ = write!(out, "{:<14}", format!("{} datasets", dist.tag()));
+        for d in DIM_SWEEP {
+            let size = algo.compute(&dataset(dist, n_fixed, d)).len();
+            let _ = write!(out, "{size:>9}");
+        }
+        let _ = writeln!(out);
+    }
+    let cards: Vec<usize> = if scale.full {
+        (1..=10).map(|i| i * 100_000).collect()
+    } else {
+        (1..=5).map(|i| i * 10_000).collect()
+    };
+    let _ = writeln!(out, "-- cardinality sweep at 8-D --");
+    let _ = write!(out, "{:<14}", "Cardinality");
+    for &n in &cards {
+        let _ = write!(out, "{:>9}", format!("{}K", n / 1000));
+    }
+    let _ = writeln!(out);
+    for dist in [
+        Distribution::AntiCorrelated,
+        Distribution::Correlated,
+        Distribution::Independent,
+    ] {
+        let _ = write!(out, "{:<14}", format!("{} datasets", dist.tag()));
+        for &n in &cards {
+            let size = algo.compute(&dataset(dist, n, 8)).len();
+            let _ = write!(out, "{size:>9}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Figure 2: distribution of points per subspace size after a *single*
+/// pivot (the skyline point with minimal Euclidean distance to zero).
+pub fn fig2(scale: Scale) -> String {
+    subspace_histograms(scale, 1, usize::MAX, "Figure 2 (single pivot)")
+}
+
+/// Figure 6: the same distribution with the stability threshold σ = 3.
+pub fn fig6(scale: Scale) -> String {
+    subspace_histograms(scale, usize::MAX, 3, "Figure 6 (sigma = 3)")
+}
+
+fn subspace_histograms(scale: Scale, max_pivots: usize, sigma: usize, caption: &str) -> String {
+    let n = scale.pick(20_000, 100_000);
+    let d = 8;
+    let mut out = String::new();
+    for dist in [
+        Distribution::AntiCorrelated,
+        Distribution::Correlated,
+        Distribution::Independent,
+    ] {
+        let data = dataset(dist, n, d);
+        let mut metrics = Metrics::new();
+        let config = MergeConfig {
+            sigma: sigma.min(d),
+            max_pivots: max_pivots.min(skyline_core::merge::DEFAULT_MAX_PIVOTS),
+            score: PivotScore::Euclidean,
+        };
+        let outcome = merge(&data, &config, &mut metrics);
+        let hist = outcome.size_histogram(d);
+        out.push_str(&render_histogram(
+            &format!(
+                "{caption}: {} {n} points 8-D — {} pivot(s), {} survivors",
+                dist.tag(),
+                outcome.pivots.len(),
+                outcome.survivors.len()
+            ),
+            &hist,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+/// Figures 4 and 5: mean DT / elapsed time of the boosted algorithms as a
+/// function of the stability threshold σ ∈ [2, d].
+pub fn fig4_fig5(scale: Scale) -> String {
+    let n = scale.pick(20_000, 100_000);
+    let d = 8;
+    let mut out = String::new();
+    for dist in [
+        Distribution::AntiCorrelated,
+        Distribution::Correlated,
+        Distribution::Independent,
+    ] {
+        let data = dataset(dist, n, d);
+        let columns: Vec<String> = (2..=d).map(|s| format!("σ={s}")).collect();
+        let mut dt_rows: Vec<(String, Vec<f64>)> = Vec::new();
+        let mut rt_rows: Vec<(String, Vec<f64>)> = Vec::new();
+        type AlgoFactory = Box<dyn Fn(usize) -> Box<dyn SkylineAlgorithm>>;
+        let algos: Vec<(&str, AlgoFactory)> = vec![
+            ("SFS-Subset", Box::new(|s| Box::new(SfsSubset::new(Some(s))))),
+            ("SaLSa-Subset", Box::new(|s| Box::new(SalsaSubset::new(Some(s))))),
+            ("SDI-Subset", Box::new(|s| Box::new(SdiSubset::new(Some(s))))),
+        ];
+        for (name, make) in &algos {
+            let mut dts = Vec::new();
+            let mut rts = Vec::new();
+            for sigma in 2..=d {
+                let algo = make(sigma);
+                let cell = measure(algo.as_ref(), &data, scale.runs);
+                dts.push(cell.mean_dt);
+                rts.push(cell.ms);
+            }
+            dt_rows.push((name.to_string(), dts));
+            rt_rows.push((name.to_string(), rts));
+        }
+        let dt = Table {
+            title: format!(
+                "Figure 4: mean dominance tests vs stability threshold — {} {n} points 8-D",
+                dist.tag()
+            ),
+            param_label: "Threshold".into(),
+            columns: columns.clone(),
+            rows: dt_rows,
+        };
+        let rt = Table {
+            title: format!(
+                "Figure 5: elapsed time (ms) vs stability threshold — {} {n} points 8-D",
+                dist.tag()
+            ),
+            param_label: "Threshold".into(),
+            columns,
+            rows: rt_rows,
+        };
+        out.push_str(&dt.render());
+        out.push('\n');
+        out.push_str(&rt.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Table 14: the large 4-D UI dataset (1M points in the paper).
+pub fn table14(scale: Scale) -> String {
+    let n = scale.pick(100_000, 1_000_000);
+    let data = dataset(Distribution::Independent, n, 4);
+    two_metric_table(
+        &format!("Table 14: results on 4-D UI dataset with {n} points"),
+        &data,
+        None,
+        scale.runs,
+    )
+}
+
+/// Tables 15–17: the real-dataset stand-ins with the paper's manually
+/// tuned σ.
+pub fn real_table(which: usize, scale: Scale) -> String {
+    let (name, data, sigma) = match which {
+        15 => (
+            "HOUSE' (6-D anti-correlated stand-in)",
+            if scale.full { house() } else { house_scaled(20_000) },
+            HOUSE_SIGMA,
+        ),
+        16 => (
+            "NBA' (8-D mildly correlated stand-in)",
+            if scale.full { nba() } else { nba_scaled(17_264) },
+            NBA_SIGMA,
+        ),
+        17 => (
+            "WEATHER' (15-D duplicate-heavy stand-in)",
+            if scale.full { weather() } else { weather_scaled(30_000) },
+            WEATHER_SIGMA,
+        ),
+        other => panic!("no real-dataset table {other}"),
+    };
+    two_metric_table(
+        &format!(
+            "Table {which}: the {name} dataset — {} points, sigma = {sigma}",
+            data.len()
+        ),
+        &data,
+        Some(sigma),
+        scale.runs,
+    )
+}
+
+/// A DT+RT two-column table over the whole evaluation suite on one
+/// dataset (the layout of Tables 14–17).
+fn two_metric_table(title: &str, data: &Dataset, sigma: Option<usize>, runs: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "### {title}");
+    let _ = writeln!(out, "{:<18} {:>14} {:>14} {:>10}", "Method", "DT", "RT (ms)", "skyline");
+    let suite = evaluation_suite(sigma);
+    let mut prev: Option<(String, f64, f64)> = None;
+    for algo in &suite {
+        let cell = measure(algo.as_ref(), data, runs);
+        let _ = writeln!(
+            out,
+            "{:<18} {:>14} {:>14} {:>10}",
+            algo.name(),
+            crate::harness::format_metric(cell.mean_dt),
+            crate::harness::format_metric(cell.ms),
+            cell.skyline
+        );
+        if let Some((base_name, base_dt, base_rt)) = prev.take() {
+            if algo.name() == format!("{base_name}-Subset") {
+                let gain = |base: f64, boosted: f64| -> String {
+                    if boosted > 0.0 && base / boosted > 1.005 {
+                        format!("x{:.2}", base / boosted)
+                    } else {
+                        "-".to_string()
+                    }
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<18} {:>14} {:>14}",
+                    "Performance Gain",
+                    gain(base_dt, cell.mean_dt),
+                    gain(base_rt, cell.ms)
+                );
+            }
+        }
+        if !algo.name().ends_with("-Subset") {
+            prev = Some((algo.name().to_string(), cell.mean_dt, cell.ms));
+        }
+    }
+    out
+}
+
+/// All experiment ids accepted by [`run_experiment`], with one-line
+/// descriptions.
+pub fn experiment_index() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("fig2", "points per subspace size, single pivot (AC/CO/UI, 8-D)"),
+        ("fig4", "mean DT vs stability threshold σ (boosted algorithms, 8-D)"),
+        ("fig5", "elapsed time vs stability threshold σ (same runs as fig4)"),
+        ("fig6", "points per subspace size at σ = 3 (AC/CO/UI, 8-D)"),
+        ("table1", "skyline sizes of all synthetic datasets"),
+        ("table2", "DT on AC, dimensionality sweep (prints Table 3 too)"),
+        ("table3", "RT on AC, dimensionality sweep (alias of table2)"),
+        ("table4", "DT on AC, cardinality sweep (prints Table 5 too)"),
+        ("table5", "RT on AC, cardinality sweep (alias of table4)"),
+        ("table6", "DT on CO, dimensionality sweep (prints Table 7 too)"),
+        ("table7", "RT on CO, dimensionality sweep (alias of table6)"),
+        ("table8", "DT on CO, cardinality sweep (prints Table 9 too)"),
+        ("table9", "RT on CO, cardinality sweep (alias of table8)"),
+        ("table10", "DT on UI, dimensionality sweep (prints Table 11 too)"),
+        ("table11", "RT on UI, dimensionality sweep (alias of table10)"),
+        ("table12", "DT on UI, cardinality sweep (prints Table 13 too)"),
+        ("table13", "RT on UI, cardinality sweep (alias of table12)"),
+        ("table14", "all methods on the large 4-D UI dataset"),
+        ("table15", "the HOUSE' stand-in (σ = 4)"),
+        ("table16", "the NBA' stand-in (σ = 2)"),
+        ("table17", "the WEATHER' stand-in (σ = 3)"),
+    ]
+}
+
+/// Run one experiment by id.
+pub fn run_experiment(id: &str, scale: Scale) -> Result<String, String> {
+    let out = match id {
+        "fig2" => fig2(scale),
+        "fig4" | "fig5" => fig4_fig5(scale),
+        "fig6" => fig6(scale),
+        "table1" => table1(scale),
+        "table2" | "table3" => dim_sweep_tables(Distribution::AntiCorrelated, scale),
+        "table4" | "table5" => card_sweep_tables(Distribution::AntiCorrelated, scale),
+        "table6" | "table7" => dim_sweep_tables(Distribution::Correlated, scale),
+        "table8" | "table9" => card_sweep_tables(Distribution::Correlated, scale),
+        "table10" | "table11" => dim_sweep_tables(Distribution::Independent, scale),
+        "table12" | "table13" => card_sweep_tables(Distribution::Independent, scale),
+        "table14" => table14(scale),
+        "table15" => real_table(15, scale),
+        "table16" => real_table(16, scale),
+        "table17" => real_table(17, scale),
+        other => return Err(format!("unknown experiment id {other:?}")),
+    };
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale { full: false, runs: 1 }
+    }
+
+    #[test]
+    fn seeds_are_distinct_across_distributions() {
+        let a = seed_for(Distribution::Independent, 100, 4);
+        let b = seed_for(Distribution::Correlated, 100, 4);
+        let c = seed_for(Distribution::AntiCorrelated, 100, 4);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn experiment_index_covers_every_table_and_figure() {
+        let ids: Vec<&str> = experiment_index().iter().map(|(id, _)| *id).collect();
+        for t in 1..=17 {
+            assert!(ids.contains(&format!("table{t}").as_str()), "table{t} missing");
+        }
+        for f in [2, 4, 5, 6] {
+            assert!(ids.contains(&format!("fig{f}").as_str()), "fig{f} missing");
+        }
+    }
+
+    #[test]
+    fn unknown_id_is_an_error() {
+        assert!(run_experiment("table99", tiny()).is_err());
+    }
+
+    #[test]
+    fn two_metric_table_renders_gains() {
+        let data = dataset(Distribution::Independent, 400, 4);
+        let s = two_metric_table("demo", &data, Some(2), 1);
+        assert!(s.contains("SFS-Subset"));
+        assert!(s.contains("Performance Gain"));
+        assert!(s.contains("BSkyTree-P"));
+    }
+
+    #[test]
+    fn histograms_render_for_all_distributions() {
+        // Use the internal helper with a tiny workload by calling merge
+        // directly — fig2/fig6 at experiment scale is exercised by the
+        // repro binary, not unit tests.
+        let data = dataset(Distribution::Independent, 300, 8);
+        let mut m = Metrics::new();
+        let out = merge(&data, &MergeConfig { sigma: 3, max_pivots: 1, score: PivotScore::default() }, &mut m);
+        let hist = out.size_histogram(8);
+        assert_eq!(hist.iter().sum::<usize>(), out.survivors.len());
+    }
+}

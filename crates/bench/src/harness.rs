@@ -1,0 +1,228 @@
+//! Shared measurement and table-formatting infrastructure for the
+//! reproduction experiments.
+
+use skyline_algos::SkylineAlgorithm;
+use skyline_core::dataset::Dataset;
+
+/// Scale of an experiment run.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// `true` = the paper's exact workload sizes; `false` = laptop scale.
+    pub full: bool,
+    /// Number of timed repetitions per cell (the paper uses 10).
+    pub runs: usize,
+}
+
+impl Scale {
+    /// Quick laptop-scale configuration (single run per cell).
+    pub fn quick() -> Self {
+        Scale { full: false, runs: 1 }
+    }
+
+    /// The paper's configuration (full sizes, mean of 10 runs).
+    pub fn full() -> Self {
+        Scale { full: true, runs: 10 }
+    }
+
+    /// Pick between the scaled-down and the paper's value.
+    pub fn pick(&self, quick: usize, full: usize) -> usize {
+        if self.full {
+            full
+        } else {
+            quick
+        }
+    }
+}
+
+/// One measured cell: the paper's two metrics plus the skyline size.
+#[derive(Debug, Clone, Copy)]
+pub struct Cell {
+    /// Mean dominance-test number (total dominance tests / cardinality).
+    pub mean_dt: f64,
+    /// Mean elapsed processor time in milliseconds.
+    pub ms: f64,
+    /// Skyline cardinality (identical across algorithms, used for checks).
+    pub skyline: usize,
+}
+
+/// Run one algorithm `runs` times on `data` and average the metrics.
+pub fn measure(algo: &dyn SkylineAlgorithm, data: &Dataset, runs: usize) -> Cell {
+    let runs = runs.max(1);
+    let mut dt = 0.0;
+    let mut ms = 0.0;
+    let mut skyline = 0usize;
+    for _ in 0..runs {
+        let r = algo.run(data);
+        dt += r.mean_dominance_tests();
+        ms += r.elapsed_ms();
+        skyline = r.skyline.len();
+    }
+    Cell { mean_dt: dt / runs as f64, ms: ms / runs as f64, skyline }
+}
+
+/// A metric matrix in the paper's layout: one row per method (with
+/// interleaved "Performance Gain" rows), one column per workload
+/// parameter.
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Label of the parameter row (e.g. "Dimensionality").
+    pub param_label: String,
+    /// Column headers (e.g. "2-D", "4-D", …).
+    pub columns: Vec<String>,
+    /// `(method name, values)` rows, in paper order.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    /// Render in the paper's layout. Gain rows are inserted after each
+    /// `<base>` / `<base>-Subset` pair, computed as base ÷ boosted and
+    /// printed as `x N.NN`, or `-` when there is no gain (the paper's
+    /// convention).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}", self.title);
+        let width = 12usize;
+        let name_width = self
+            .rows
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain([self.param_label.len(), "Performance Gain".len()])
+            .max()
+            .unwrap_or(16)
+            + 2;
+        let _ = write!(out, "{:<name_width$}", self.param_label);
+        for c in &self.columns {
+            let _ = write!(out, "{c:>width$}");
+        }
+        let _ = writeln!(out);
+        let mut i = 0;
+        while i < self.rows.len() {
+            let (name, values) = &self.rows[i];
+            let _ = write!(out, "{name:<name_width$}");
+            for v in values {
+                let _ = write!(out, "{:>width$}", format_metric(*v));
+            }
+            let _ = writeln!(out);
+            // Insert the gain row when the next row is this row's -Subset
+            // variant.
+            if let Some((next_name, next_values)) = self.rows.get(i + 1) {
+                if *next_name == format!("{name}-Subset") {
+                    let _ = write!(out, "{next_name:<name_width$}");
+                    for v in next_values {
+                        let _ = write!(out, "{:>width$}", format_metric(*v));
+                    }
+                    let _ = writeln!(out);
+                    let _ = write!(out, "{:<name_width$}", "Performance Gain");
+                    for (base, boosted) in values.iter().zip(next_values) {
+                        let gain = if *boosted > 0.0 { base / boosted } else { f64::INFINITY };
+                        let cell = if gain > 1.005 {
+                            if gain.is_finite() {
+                                format!("x {gain:.2}")
+                            } else {
+                                "x inf".to_string()
+                            }
+                        } else {
+                            "-".to_string()
+                        };
+                        let _ = write!(out, "{cell:>width$}");
+                    }
+                    let _ = writeln!(out);
+                    i += 2;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        out
+    }
+}
+
+/// Compact numeric formatting matching the paper's mixed precision.
+pub fn format_metric(v: f64) -> String {
+    if !v.is_finite() {
+        "inf".to_string()
+    } else if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 10_000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.5}")
+    }
+}
+
+/// Render a subspace-size histogram (Figures 2 and 6) as an ASCII bar
+/// chart plus exact counts.
+pub fn render_histogram(title: &str, hist: &[usize]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "### {title}");
+    let max = hist.iter().copied().max().unwrap_or(0).max(1);
+    for (size_minus_one, &count) in hist.iter().enumerate() {
+        let bar = "#".repeat((count * 48).div_ceil(max).min(48));
+        let _ = writeln!(out, "size {:>2}: {count:>8}  {bar}", size_minus_one + 1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyline_algos::bnl::Bnl;
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::quick().pick(10, 100), 10);
+        assert_eq!(Scale::full().pick(10, 100), 100);
+        assert_eq!(Scale::full().runs, 10);
+    }
+
+    #[test]
+    fn measure_averages_runs() {
+        let data = Dataset::from_rows(&[[1.0, 2.0], [2.0, 1.0], [3.0, 3.0]]).unwrap();
+        let cell = measure(&Bnl, &data, 3);
+        assert_eq!(cell.skyline, 2);
+        assert!(cell.mean_dt > 0.0);
+        assert!(cell.ms >= 0.0);
+    }
+
+    #[test]
+    fn table_renders_gain_rows() {
+        let t = Table {
+            title: "demo".into(),
+            param_label: "Dimensionality".into(),
+            columns: vec!["2-D".into(), "4-D".into()],
+            rows: vec![
+                ("SFS".into(), vec![10.0, 100.0]),
+                ("SFS-Subset".into(), vec![10.0, 20.0]),
+                ("BSkyTree-P".into(), vec![3.0, 4.0]),
+            ],
+        };
+        let s = t.render();
+        assert!(s.contains("Performance Gain"));
+        assert!(s.contains("x 5.00"), "expected a x5 gain cell:\n{s}");
+        assert!(s.contains('-'), "no-gain cells print a dash");
+        assert!(s.contains("BSkyTree-P"));
+    }
+
+    #[test]
+    fn metric_formatting_bands() {
+        assert_eq!(format_metric(0.0), "0");
+        assert_eq!(format_metric(0.12345678), "0.12346");
+        assert_eq!(format_metric(5.5), "5.500");
+        assert_eq!(format_metric(123.456), "123.5");
+        assert_eq!(format_metric(54321.0), "54321");
+    }
+
+    #[test]
+    fn histogram_rendering() {
+        let s = render_histogram("demo", &[5, 0, 10]);
+        assert!(s.contains("size  1:        5"));
+        assert!(s.contains("size  3:       10"));
+    }
+}

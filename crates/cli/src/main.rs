@@ -1,0 +1,333 @@
+//! `skyline` — command-line skyline computation over CSV files.
+//!
+//! ```text
+//! skyline compute  <input.csv> [--algo NAME] [--sigma N] [--prefs MIN,MAX,...]
+//!                  [--skyband K] [--rows]
+//! skyline bench    <input.csv> [--sigma N]
+//! skyline generate --dist UI|CO|AC -n N -d D [--seed S] [-o out.csv]
+//! skyline stats    <input.csv>
+//! skyline tune     <input.csv> [--sample N]
+//! skyline algorithms
+//! ```
+
+use std::process::ExitCode;
+
+use skyline_algos::{algorithm_by_name, all_algorithms, evaluation_suite, SkylineAlgorithm};
+use skyline_core::dataset::Dataset;
+use skyline_core::point::{apply_preferences, Preference};
+use skyline_data::io::{read_csv_file, write_csv, write_csv_file};
+use skyline_data::{Distribution, SyntheticSpec};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  skyline compute  <input.csv> [--algo NAME] [--sigma N] [--prefs MIN,MAX,...]
+                   [--skyband K] [--rows]
+  skyline bench    <input.csv> [--sigma N]
+  skyline generate --dist UI|CO|AC -n N -d D [--seed S] [-o out.csv]
+  skyline stats    <input.csv>
+  skyline tune     <input.csv> [--sample N]
+  skyline algorithms";
+
+
+/// Write one line to `out`, treating a closed pipe (e.g. `| head`) as a
+/// polite request to stop rather than an error. Returns `false` when the
+/// consumer has gone away.
+fn write_line(out: &mut dyn std::io::Write, line: std::fmt::Arguments<'_>) -> Result<bool, String> {
+    match out.write_fmt(line).and_then(|()| out.write_all(b"\n")) {
+        Ok(()) => Ok(true),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(false),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// Forward an I/O result, treating a broken pipe as success.
+fn pipe_ok(r: std::io::Result<()>) -> Result<(), String> {
+    match r {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(()),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("compute") => compute(&args[1..]),
+        Some("bench") => bench(&args[1..]),
+        Some("generate") => generate(&args[1..]),
+        Some("stats") => stats(&args[1..]),
+        Some("tune") => tune(&args[1..]),
+        Some("algorithms") => {
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            for algo in all_algorithms() {
+                if !write_line(&mut out, format_args!("{}", algo.name()))? {
+                    break;
+                }
+            }
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}")),
+        None => Err("missing command".to_string()),
+    }
+}
+
+/// Pull the value following a flag out of the argument list.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .map(|s| Some(s.as_str()))
+            .ok_or_else(|| format!("flag {flag} requires a value")),
+    }
+}
+
+fn parse_sigma(args: &[String]) -> Result<Option<usize>, String> {
+    match flag_value(args, "--sigma")? {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<usize>()
+            .map(Some)
+            .map_err(|_| format!("--sigma expects an integer, got {v:?}")),
+    }
+}
+
+fn load(path: &str, args: &[String]) -> Result<Dataset, String> {
+    let mut data = read_csv_file(path).map_err(|e| format!("{path}: {e}"))?;
+    if let Some(spec) = flag_value(args, "--prefs")? {
+        let prefs: Result<Vec<Preference>, String> = spec
+            .split(',')
+            .map(|s| match s.trim().to_ascii_uppercase().as_str() {
+                "MIN" => Ok(Preference::Min),
+                "MAX" => Ok(Preference::Max),
+                other => Err(format!("--prefs entries must be MIN or MAX, got {other:?}")),
+            })
+            .collect();
+        let prefs = prefs?;
+        if prefs.len() != data.dims() {
+            return Err(format!(
+                "--prefs has {} entries but the dataset has {} dimensions",
+                prefs.len(),
+                data.dims()
+            ));
+        }
+        let mut flat = data.as_flat().to_vec();
+        apply_preferences(&mut flat, &prefs);
+        data = Dataset::from_flat(flat, prefs.len()).map_err(|e| e.to_string())?;
+    }
+    Ok(data)
+}
+
+fn compute(args: &[String]) -> Result<(), String> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("compute requires an input file")?;
+    let data = load(path, args)?;
+
+    // k-skyband mode bypasses the algorithm registry.
+    if let Some(k) = flag_value(args, "--skyband")? {
+        let k: usize = k.parse().map_err(|_| "--skyband expects an integer")?;
+        let mut metrics = skyline_core::metrics::Metrics::new();
+        let band = skyline_algos::skyband::k_skyband(&data, k, &mut metrics);
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        for b in &band {
+            if !write_line(&mut out, format_args!("{},{}", b.id, b.dominators))? {
+                return Ok(());
+            }
+        }
+        eprintln!(
+            "{k}-skyband: {} of {} points | mean DT {:.4}",
+            band.len(),
+            data.len(),
+            metrics.mean_dominance_tests(data.len())
+        );
+        return Ok(());
+    }
+
+    let algo: Box<dyn SkylineAlgorithm> = match flag_value(args, "--algo")? {
+        None => Box::new(skyline_algos::boosted::SdiSubset::new(parse_sigma(args)?)),
+        Some(name) => {
+            algorithm_by_name(name).ok_or_else(|| format!("unknown algorithm {name:?}"))?
+        }
+    };
+    let result = algo.run(&data);
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if args.iter().any(|a| a == "--rows") {
+        let rows = data.project(&result.skyline);
+        pipe_ok(write_csv(&mut out, &rows))?;
+    } else {
+        for id in &result.skyline {
+            if !write_line(&mut out, format_args!("{id}"))? {
+                break;
+            }
+        }
+    }
+    eprintln!(
+        "{}: {} skyline points of {} | mean DT {:.4} | {:.3} ms",
+        algo.name(),
+        result.skyline.len(),
+        data.len(),
+        result.mean_dominance_tests(),
+        result.elapsed_ms()
+    );
+    Ok(())
+}
+
+fn stats(args: &[String]) -> Result<(), String> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("stats requires an input file")?;
+    let data = load(path, args)?;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    write_line(&mut out, format_args!("points:        {}", data.len()))?;
+    write_line(&mut out, format_args!("dimensions:    {}", data.dims()))?;
+    write_line(
+        &mut out,
+        format_args!(
+            "mean pairwise correlation: {:+.4}",
+            skyline_data::stats::mean_pairwise_correlation(&data)
+        ),
+    )?;
+    write_line(
+        &mut out,
+        format_args!("{:<6} {:>14} {:>14} {:>10}", "dim", "min", "max", "distinct"),
+    )?;
+    for (d, (lo, hi)) in skyline_data::stats::ranges(&data).into_iter().enumerate() {
+        if !write_line(
+            &mut out,
+            format_args!(
+                "{:<6} {:>14.6} {:>14.6} {:>10}",
+                d,
+                lo,
+                hi,
+                skyline_data::stats::distinct_values(&data, d)
+            ),
+        )? {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn tune(args: &[String]) -> Result<(), String> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("tune requires an input file")?;
+    let data = load(path, args)?;
+    let sample_size = match flag_value(args, "--sample")? {
+        None => skyline_core::tuner::TunerConfig::default().sample_size,
+        Some(v) => v.parse().map_err(|_| "--sample expects an integer")?,
+    };
+    let config = skyline_core::tuner::TunerConfig { sample_size, ..Default::default() };
+    let report = skyline_core::tuner::tune_sigma(&data, &config);
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    write_line(
+        &mut out,
+        format_args!(
+            "recommended sigma: {} (paper default round(d/3) = {})",
+            report.sigma,
+            ((data.dims() as f64) / 3.0).round().max(2.0) as usize
+        ),
+    )?;
+    if !report.trials.is_empty() {
+        write_line(&mut out, format_args!("sample size: {}", report.sample_size))?;
+        write_line(
+            &mut out,
+            format_args!(
+                "{:<6} {:>14} {:>12} {:>12} {:>8}",
+                "sigma", "cost", "DTs", "nodes", "pivots"
+            ),
+        )?;
+        for t in &report.trials {
+            if !write_line(
+                &mut out,
+                format_args!(
+                    "{:<6} {:>14.1} {:>12} {:>12} {:>8}",
+                    t.sigma, t.cost, t.dominance_tests, t.nodes_visited, t.pivots
+                ),
+            )? {
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn bench(args: &[String]) -> Result<(), String> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("bench requires an input file")?;
+    let data = load(path, args)?;
+    let sigma = parse_sigma(args)?;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    write_line(
+        &mut out,
+        format_args!("{:<14} {:>12} {:>12} {:>10}", "algorithm", "mean DT", "time (ms)", "skyline"),
+    )?;
+    for algo in evaluation_suite(sigma) {
+        let r = algo.run(&data);
+        if !write_line(
+            &mut out,
+            format_args!(
+                "{:<14} {:>12.4} {:>12.3} {:>10}",
+                algo.name(),
+                r.mean_dominance_tests(),
+                r.elapsed_ms(),
+                r.skyline.len()
+            ),
+        )? {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn generate(args: &[String]) -> Result<(), String> {
+    let dist = flag_value(args, "--dist")?
+        .ok_or_else(|| "generate requires --dist UI|CO|AC".to_string())
+        .and_then(|t| {
+            Distribution::from_tag(t).ok_or_else(|| "--dist must be UI, CO or AC".to_string())
+        })?;
+    let n: usize = flag_value(args, "-n")?
+        .ok_or("generate requires -n <cardinality>")?
+        .parse()
+        .map_err(|_| "-n expects an integer")?;
+    let d: usize = flag_value(args, "-d")?
+        .ok_or("generate requires -d <dims>")?
+        .parse()
+        .map_err(|_| "-d expects an integer")?;
+    let seed: u64 = match flag_value(args, "--seed")? {
+        None => 42,
+        Some(s) => s.parse().map_err(|_| "--seed expects an integer")?,
+    };
+    let data = SyntheticSpec { distribution: dist, cardinality: n, dims: d, seed }.generate();
+    match flag_value(args, "-o")? {
+        Some(path) => write_csv_file(path, &data).map_err(|e| e.to_string())?,
+        None => {
+            let stdout = std::io::stdout();
+            pipe_ok(write_csv(stdout.lock(), &data))?;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,196 @@
+//! The generic skyline-container abstraction.
+//!
+//! The paper presents its method "as a component like a container that
+//! allows to store (as put function) the skyline points and to retrieve (as
+//! a get function) a minimum number of skyline points to compare with a
+//! testing point" (Section 1). Sorting-based algorithms are boosted by
+//! swapping their plain skyline list for the subset index behind this
+//! trait; nothing else in the algorithm changes.
+
+use crate::metrics::Metrics;
+use crate::point::PointId;
+use crate::subset_index::{Children, GenericSubsetIndex, HashChildren};
+use crate::subspace::Subspace;
+
+/// A container of confirmed skyline points that can serve the candidates a
+/// testing point must be dominance-tested against.
+pub trait SkylineContainer {
+    /// Store a newly confirmed skyline point together with its maximum
+    /// dominating subspace.
+    fn put(&mut self, point: PointId, subspace: Subspace, metrics: &mut Metrics);
+
+    /// Append to `out` every stored point that a testing point with
+    /// maximum dominating subspace `subspace` must be compared with.
+    ///
+    /// Completeness contract: the result must include every stored point
+    /// that dominates the testing point. Returning extra points only costs
+    /// dominance tests, never correctness.
+    fn candidates_into(
+        &self,
+        subspace: Subspace,
+        out: &mut Vec<PointId>,
+        metrics: &mut Metrics,
+    );
+
+    /// Number of stored points.
+    fn len(&self) -> usize;
+
+    /// Whether the container is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The trivial container: a plain list, every stored point is a candidate
+/// for every test. This is what un-boosted SFS/SaLSa effectively use.
+#[derive(Debug, Default, Clone)]
+pub struct ListContainer {
+    points: Vec<PointId>,
+}
+
+impl ListContainer {
+    /// An empty list container.
+    pub fn new() -> Self {
+        ListContainer::default()
+    }
+}
+
+impl SkylineContainer for ListContainer {
+    fn put(&mut self, point: PointId, _subspace: Subspace, metrics: &mut Metrics) {
+        self.points.push(point);
+        metrics.container_puts += 1;
+    }
+
+    fn candidates_into(
+        &self,
+        _subspace: Subspace,
+        out: &mut Vec<PointId>,
+        metrics: &mut Metrics,
+    ) {
+        out.extend_from_slice(&self.points);
+        metrics.container_gets += 1;
+        metrics.candidates_returned += self.points.len() as u64;
+    }
+
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+}
+
+/// The paper's container: skyline points partitioned by maximum dominating
+/// subspace in the subset-query trie. Candidates for a testing point are
+/// exactly the stored points whose subspace is a superset of the testing
+/// point's (Lemma 5.1).
+#[derive(Debug, Clone)]
+pub struct SubsetContainer<C: Children = HashChildren> {
+    index: GenericSubsetIndex<C>,
+}
+
+impl<C: Children> SubsetContainer<C> {
+    /// An empty subset container over a `dims`-dimensional space.
+    pub fn new(dims: usize) -> Self {
+        SubsetContainer { index: GenericSubsetIndex::new(dims) }
+    }
+
+    /// Access the underlying index (e.g. for size statistics).
+    pub fn index(&self) -> &GenericSubsetIndex<C> {
+        &self.index
+    }
+}
+
+impl<C: Children> SkylineContainer for SubsetContainer<C> {
+    fn put(&mut self, point: PointId, subspace: Subspace, metrics: &mut Metrics) {
+        self.index.put(point, subspace);
+        metrics.container_puts += 1;
+    }
+
+    fn candidates_into(
+        &self,
+        subspace: Subspace,
+        out: &mut Vec<PointId>,
+        metrics: &mut Metrics,
+    ) {
+        self.index.query_into(subspace, out, metrics);
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sub(dims: &[usize]) -> Subspace {
+        Subspace::from_dims(dims.iter().copied())
+    }
+
+    #[test]
+    fn list_container_returns_everything() {
+        let mut c = ListContainer::new();
+        let mut m = Metrics::new();
+        c.put(1, sub(&[0]), &mut m);
+        c.put(2, sub(&[1]), &mut m);
+        let mut out = Vec::new();
+        c.candidates_into(sub(&[2]), &mut out, &mut m);
+        assert_eq!(out, vec![1, 2]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(m.container_puts, 2);
+        assert_eq!(m.container_gets, 1);
+        assert_eq!(m.candidates_returned, 2);
+    }
+
+    #[test]
+    fn subset_container_filters_by_superset() {
+        let mut c = SubsetContainer::<HashChildren>::new(4);
+        let mut m = Metrics::new();
+        c.put(1, sub(&[0, 1, 2]), &mut m);
+        c.put(2, sub(&[3]), &mut m);
+        let mut out = Vec::new();
+        c.candidates_into(sub(&[0, 1]), &mut out, &mut m);
+        assert_eq!(out, vec![1]);
+        assert!(!c.is_empty());
+        assert_eq!(c.index().len(), 2);
+    }
+
+    #[test]
+    fn subset_container_is_conservative_superset_of_dominators() {
+        // The subset container may return fewer points than the list, but
+        // never misses a potential dominator: a point with subspace S can
+        // only be dominated by points with subspace ⊇ S (Lemma 4.3).
+        let mut list = ListContainer::new();
+        let mut subset = SubsetContainer::<HashChildren>::new(3);
+        let mut m = Metrics::new();
+        let entries = [
+            (0, sub(&[0])),
+            (1, sub(&[0, 1])),
+            (2, sub(&[0, 1, 2])),
+            (3, sub(&[2])),
+        ];
+        for (p, s) in entries {
+            list.put(p, s, &mut m);
+            subset.put(p, s, &mut m);
+        }
+        for (_, q) in entries {
+            let mut from_subset = Vec::new();
+            subset.candidates_into(q, &mut from_subset, &mut m);
+            for (p, s) in entries {
+                if s.is_superset_of(q) {
+                    assert!(from_subset.contains(&p), "missing {p} for query {q:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trait_object_usability() {
+        let mut m = Metrics::new();
+        let mut containers: Vec<Box<dyn SkylineContainer>> =
+            vec![Box::new(ListContainer::new()), Box::new(SubsetContainer::<HashChildren>::new(2))];
+        for c in &mut containers {
+            c.put(9, sub(&[0]), &mut m);
+            assert_eq!(c.len(), 1);
+        }
+    }
+}

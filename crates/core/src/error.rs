@@ -1,0 +1,104 @@
+//! Error types for the skyline-core crate.
+
+use std::fmt;
+
+/// Errors produced while constructing or validating skyline inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The dataset has zero dimensions.
+    ZeroDimensions,
+    /// The dimensionality exceeds [`crate::subspace::MAX_DIMS`].
+    TooManyDimensions {
+        /// Requested dimensionality.
+        requested: usize,
+        /// Maximum supported dimensionality.
+        max: usize,
+    },
+    /// A row does not match the dataset dimensionality.
+    RowLength {
+        /// Index of the offending row.
+        row: usize,
+        /// Its length.
+        got: usize,
+        /// The dataset dimensionality.
+        expected: usize,
+    },
+    /// A value is NaN, which has no place in a totally ordered domain.
+    NotANumber {
+        /// Row containing the NaN.
+        row: usize,
+        /// Dimension containing the NaN.
+        dim: usize,
+    },
+    /// The flat buffer length is not a multiple of the dimensionality.
+    BufferShape {
+        /// Buffer length.
+        len: usize,
+        /// The dataset dimensionality.
+        dims: usize,
+    },
+    /// A stability threshold outside the meaningful range `1 < sigma <= d`.
+    InvalidStability {
+        /// Requested threshold.
+        sigma: usize,
+        /// The dataset dimensionality.
+        dims: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Error::ZeroDimensions => write!(f, "dataset must have at least one dimension"),
+            Error::TooManyDimensions { requested, max } => {
+                write!(f, "dimensionality {requested} exceeds the supported maximum {max}")
+            }
+            Error::RowLength { row, got, expected } => {
+                write!(f, "row {row} has {got} values but the dataset has {expected} dimensions")
+            }
+            Error::NotANumber { row, dim } => {
+                write!(f, "row {row}, dimension {dim} is NaN; skyline domains must be totally ordered")
+            }
+            Error::BufferShape { len, dims } => {
+                write!(f, "flat buffer of length {len} is not a multiple of dimensionality {dims}")
+            }
+            Error::InvalidStability { sigma, dims } => {
+                write!(f, "stability threshold {sigma} is outside the meaningful range 1 < sigma <= {dims}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience result alias for fallible skyline-core operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::RowLength { row: 3, got: 2, expected: 4 };
+        let msg = e.to_string();
+        assert!(msg.contains("row 3"));
+        assert!(msg.contains('2'));
+        assert!(msg.contains('4'));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::ZeroDimensions, Error::ZeroDimensions);
+        assert_ne!(
+            Error::ZeroDimensions,
+            Error::NotANumber { row: 0, dim: 0 }
+        );
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(Error::ZeroDimensions);
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,79 @@
+//! # skyline-core
+//!
+//! A faithful, production-quality Rust implementation of
+//! *“Subset Approach to Efficient Skyline Computation”*
+//! (Dominique H. Li, EDBT 2023).
+//!
+//! The paper's contribution is a **generic component** that boosts
+//! sorting-based skyline algorithms by storing confirmed skyline points in
+//! a *subset-query index* keyed by *maximum dominating subspaces*, so that
+//! each testing point is dominance-tested only against the few skyline
+//! points that can possibly dominate it. This crate provides:
+//!
+//! - the data model: [`dataset::Dataset`], [`point`], [`subspace::Subspace`];
+//! - instrumented dominance primitives: [`dominance`], [`metrics::Metrics`];
+//! - **Algorithm 1** (subspace union / pivot selection): [`merge`];
+//! - **Algorithms 2–4** (the subset-query trie): [`subset_index`];
+//! - the container abstraction and the boosted scan driver:
+//!   [`container`], [`boost`].
+//!
+//! Concrete skyline algorithms (SFS, SaLSa, SDI, BSkyTree, …) live in the
+//! companion `skyline-algos` crate; synthetic benchmark data in
+//! `skyline-data`.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use skyline_core::prelude::*;
+//!
+//! // Hotels: (price, distance-to-beach), both minimised.
+//! let data = Dataset::from_rows(&[
+//!     [50.0, 8.0],
+//!     [65.0, 3.0],
+//!     [80.0, 2.0],
+//!     [90.0, 7.0], // dominated by the first hotel
+//! ]).unwrap();
+//!
+//! let config = BoostConfig {
+//!     merge: MergeConfig::recommended(data.dims()),
+//!     sort: SortStrategy::Sum,
+//!     use_stop_point: false,
+//! };
+//! let mut metrics = Metrics::new();
+//! let result = boosted_skyline(&data, &config, &mut metrics);
+//! assert_eq!(result.skyline, vec![0, 1, 2]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod boost;
+pub mod container;
+pub mod dataset;
+pub mod dominance;
+pub mod error;
+pub mod merge;
+pub mod metrics;
+pub mod point;
+pub mod streaming;
+pub mod subset_index;
+pub mod subspace;
+pub mod tuner;
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::boost::{
+        boosted_skyline, boosted_skyline_with, BoostConfig, BoostOutcome, SortStrategy,
+    };
+    pub use crate::container::{ListContainer, SkylineContainer, SubsetContainer};
+    pub use crate::dataset::Dataset;
+    pub use crate::dominance::{dominance, dominates, dominating_subspace, DomRelation};
+    pub use crate::error::{Error, Result};
+    pub use crate::merge::{merge, MergeConfig, MergeOutcome, PivotScore};
+    pub use crate::metrics::{Metrics, RunMeasurement};
+    pub use crate::point::{PointId, Preference};
+    pub use crate::streaming::StreamingSkyline;
+    pub use crate::subset_index::{SortedSubsetIndex, SubsetIndex};
+    pub use crate::subspace::Subspace;
+    pub use crate::tuner::{tune_sigma, TunerConfig, TunerReport};
+}

@@ -1,0 +1,146 @@
+//! Point identifiers and preference orders.
+//!
+//! The skyline operator is defined over a *preference order* per dimension
+//! (Definition 3.1 of the paper). Internally every algorithm in this
+//! workspace minimises: smaller values are better. [`Preference`] lets users
+//! describe mixed min/max objectives; [`apply_preferences`] folds them into
+//! the canonical minimising form at dataset construction time so that the
+//! hot dominance-test path never branches on direction.
+
+/// Identifier of a point inside a [`crate::dataset::Dataset`].
+///
+/// Stored as `u32` to keep index structures compact; a dataset is limited to
+/// `u32::MAX` rows, far beyond the paper's largest workload (10^6 points).
+pub type PointId = u32;
+
+/// Direction of the preference order on one dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Preference {
+    /// Smaller values are better (the canonical form, e.g. price).
+    #[default]
+    Min,
+    /// Larger values are better (e.g. rating); folded into `Min` by negation.
+    Max,
+}
+
+impl Preference {
+    /// Convert a raw value into the canonical minimising form.
+    #[inline]
+    pub fn canonicalize(self, value: f64) -> f64 {
+        match self {
+            Preference::Min => value,
+            Preference::Max => -value,
+        }
+    }
+}
+
+/// Fold per-dimension preferences into the canonical minimising form.
+///
+/// `values` is a row-major buffer of `dims = prefs.len()` columns. Columns
+/// whose preference is [`Preference::Max`] are negated in place.
+///
+/// # Panics
+///
+/// Panics if `values.len()` is not a multiple of `prefs.len()` (enforced
+/// upstream by dataset validation) or if `prefs` is empty.
+pub fn apply_preferences(values: &mut [f64], prefs: &[Preference]) {
+    assert!(!prefs.is_empty(), "preferences must cover at least one dimension");
+    assert_eq!(
+        values.len() % prefs.len(),
+        0,
+        "value buffer is not a multiple of the dimensionality"
+    );
+    if prefs.iter().all(|p| *p == Preference::Min) {
+        return;
+    }
+    for row in values.chunks_exact_mut(prefs.len()) {
+        for (v, p) in row.iter_mut().zip(prefs) {
+            *v = p.canonicalize(*v);
+        }
+    }
+}
+
+/// Squared Euclidean distance of a point to the zero point.
+///
+/// Algorithm 1 of the paper scores points by Euclidean distance to the
+/// origin; the square preserves the ordering and avoids the `sqrt`.
+#[inline]
+pub fn squared_norm(point: &[f64]) -> f64 {
+    point.iter().map(|v| v * v).sum()
+}
+
+/// Sum of all coordinates — the monotone scoring function used by SFS.
+#[inline]
+pub fn coordinate_sum(point: &[f64]) -> f64 {
+    point.iter().sum()
+}
+
+/// Minimum coordinate — the `minC` scoring function used by SaLSa.
+#[inline]
+pub fn min_coordinate(point: &[f64]) -> f64 {
+    point.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum coordinate — used by SaLSa's stop-point test.
+#[inline]
+pub fn max_coordinate(point: &[f64]) -> f64 {
+    point.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalize_min_is_identity() {
+        assert_eq!(Preference::Min.canonicalize(3.5), 3.5);
+    }
+
+    #[test]
+    fn canonicalize_max_negates() {
+        assert_eq!(Preference::Max.canonicalize(3.5), -3.5);
+    }
+
+    #[test]
+    fn apply_preferences_mixed() {
+        let mut buf = vec![1.0, 2.0, 3.0, 4.0];
+        apply_preferences(&mut buf, &[Preference::Min, Preference::Max]);
+        assert_eq!(buf, vec![1.0, -2.0, 3.0, -4.0]);
+    }
+
+    #[test]
+    fn apply_preferences_all_min_is_noop() {
+        let mut buf = vec![1.0, 2.0];
+        apply_preferences(&mut buf, &[Preference::Min, Preference::Min]);
+        assert_eq!(buf, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the dimensionality")]
+    fn apply_preferences_shape_mismatch_panics() {
+        let mut buf = vec![1.0, 2.0, 3.0];
+        apply_preferences(&mut buf, &[Preference::Max, Preference::Max]);
+    }
+
+    #[test]
+    fn scoring_functions() {
+        let p = [3.0, 4.0, 1.0];
+        assert_eq!(squared_norm(&p), 26.0);
+        assert_eq!(coordinate_sum(&p), 8.0);
+        assert_eq!(min_coordinate(&p), 1.0);
+        assert_eq!(max_coordinate(&p), 4.0);
+    }
+
+    #[test]
+    fn scoring_functions_empty_point() {
+        assert_eq!(squared_norm(&[]), 0.0);
+        assert_eq!(coordinate_sum(&[]), 0.0);
+        assert_eq!(min_coordinate(&[]), f64::INFINITY);
+        assert_eq!(max_coordinate(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn preference_default_is_min() {
+        assert_eq!(Preference::default(), Preference::Min);
+    }
+}

@@ -1,0 +1,558 @@
+//! Section 5 of the paper: the **subset-query skyline index**
+//! (Figure 3, Algorithms 2–4).
+//!
+//! Skyline points are stored under their *reversed* maximum dominating
+//! subspace `D_p^¬ = D \ D_{p≺S}` in a map-based prefix trie: each trie
+//! path is the ascending dimension sequence of one reversed subspace, and
+//! each node holds the ids of the points stored at exactly that path.
+//!
+//! Lemma 5.1 reduces "which skyline points can possibly dominate a testing
+//! point `q`" to the reversed subset query: return every stored point whose
+//! reversed subspace is a **subset** of the query's reversed subspace
+//! `D_q^¬` — equivalently, whose maximum dominating subspace is a
+//! **superset** of `D_{q≺S}`. The query walks only trie children whose
+//! dimension index belongs to `D_q^¬` (Algorithms 3 and 4), which visits at
+//! most `2^{|D_q^¬|}` nodes and runs in `O((d/2)²)` on average (Lemma 5.3).
+//!
+//! The paper's data structure is "any map"; hash maps give `O(1)` node
+//! access and sorted maps `O(log d)` (discussed under Lemma 5.2). Both are
+//! provided here: [`SubsetIndex`] (hash) and [`SortedSubsetIndex`]
+//! (B-tree), sharing one generic implementation.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::metrics::Metrics;
+use crate::point::PointId;
+use crate::subspace::Subspace;
+
+/// Storage of a trie node's children, keyed by dimension index.
+///
+/// Implementations must iterate children in a deterministic order is *not*
+/// required for correctness — query results are order-insensitive sets —
+/// but [`SortedChildren`] does iterate in ascending dimension order.
+pub trait Children: Default {
+    /// Get the child for `dim`, inserting an empty node if absent.
+    fn get_or_insert(&mut self, dim: u8) -> &mut TrieNode<Self>;
+    /// Get the child for `dim`, if present.
+    fn get_mut(&mut self, dim: u8) -> Option<&mut TrieNode<Self>>;
+    /// Remove the child for `dim` (no-op if absent).
+    fn remove_child(&mut self, dim: u8);
+    /// Visit every `(dim, child)` pair.
+    fn visit<'a>(&'a self, f: &mut dyn FnMut(u8, &'a TrieNode<Self>));
+    /// Number of children.
+    fn len(&self) -> usize;
+    /// Whether there are no children.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Hash-map children: `O(1)` expected node access (the paper's
+/// recommendation).
+#[derive(Debug, Default, Clone)]
+pub struct HashChildren(HashMap<u8, TrieNode<HashChildren>>);
+
+impl Children for HashChildren {
+    fn get_or_insert(&mut self, dim: u8) -> &mut TrieNode<HashChildren> {
+        self.0.entry(dim).or_default()
+    }
+
+    fn get_mut(&mut self, dim: u8) -> Option<&mut TrieNode<HashChildren>> {
+        self.0.get_mut(&dim)
+    }
+
+    fn remove_child(&mut self, dim: u8) {
+        self.0.remove(&dim);
+    }
+
+    fn visit<'a>(&'a self, f: &mut dyn FnMut(u8, &'a TrieNode<HashChildren>)) {
+        for (&dim, child) in &self.0 {
+            f(dim, child);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// Sorted-map children: `O(log d)` node access, deterministic ascending
+/// iteration (the paper's "sorted map" alternative).
+#[derive(Debug, Default, Clone)]
+pub struct SortedChildren(BTreeMap<u8, TrieNode<SortedChildren>>);
+
+impl Children for SortedChildren {
+    fn get_or_insert(&mut self, dim: u8) -> &mut TrieNode<SortedChildren> {
+        self.0.entry(dim).or_default()
+    }
+
+    fn get_mut(&mut self, dim: u8) -> Option<&mut TrieNode<SortedChildren>> {
+        self.0.get_mut(&dim)
+    }
+
+    fn remove_child(&mut self, dim: u8) {
+        self.0.remove(&dim);
+    }
+
+    fn visit<'a>(&'a self, f: &mut dyn FnMut(u8, &'a TrieNode<SortedChildren>)) {
+        for (&dim, child) in &self.0 {
+            f(dim, child);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// One node of the prefix trie: the points stored at this exact path plus
+/// the sub-maps (Figure 3's key-value pairs).
+#[derive(Debug, Clone)]
+pub struct TrieNode<C: Children> {
+    points: Vec<PointId>,
+    children: C,
+}
+
+impl<C: Children> Default for TrieNode<C> {
+    fn default() -> Self {
+        TrieNode { points: Vec::new(), children: C::default() }
+    }
+}
+
+/// The subset-query skyline index, generic over the node map.
+///
+/// Use the [`SubsetIndex`] alias (hash-map nodes) unless you are running
+/// the sorted-map ablation.
+#[derive(Debug, Clone)]
+pub struct GenericSubsetIndex<C: Children> {
+    root: TrieNode<C>,
+    len: usize,
+    dims: usize,
+}
+
+/// Hash-map-backed subset index (the paper's default).
+pub type SubsetIndex = GenericSubsetIndex<HashChildren>;
+
+/// Sorted-map-backed subset index (the paper's `O(log d)` alternative).
+pub type SortedSubsetIndex = GenericSubsetIndex<SortedChildren>;
+
+impl<C: Children> GenericSubsetIndex<C> {
+    /// An empty index over a `dims`-dimensional space.
+    pub fn new(dims: usize) -> Self {
+        assert!(
+            dims <= crate::subspace::MAX_DIMS,
+            "dimensionality {dims} exceeds {}",
+            crate::subspace::MAX_DIMS
+        );
+        GenericSubsetIndex { root: TrieNode::default(), len: 0, dims }
+    }
+
+    /// Dimensionality of the indexed space.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index stores no points.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Algorithm 2 (**Add**): store `point` under its *maximum dominating
+    /// subspace* `subspace`. Internally the trie is keyed by the reversed
+    /// subspace `subspace^¬`, walked in ascending dimension order.
+    pub fn put(&mut self, point: PointId, subspace: Subspace) {
+        let reversed = subspace.complement(self.dims);
+        let mut node = &mut self.root;
+        for dim in reversed.dims() {
+            node = node.children.get_or_insert(dim as u8);
+        }
+        node.points.push(point);
+        self.len += 1;
+    }
+
+    /// Algorithms 3 + 4 (**Query**): append to `out` every stored point
+    /// whose maximum dominating subspace is a superset of `subspace`
+    /// (equivalently: reversed subspace ⊆ `subspace^¬`). These are exactly
+    /// the stored points a testing point with this subspace must be
+    /// dominance-tested against (Lemma 5.1).
+    ///
+    /// `metrics` records the trie nodes visited and candidates returned.
+    pub fn query_into(
+        &self,
+        subspace: Subspace,
+        out: &mut Vec<PointId>,
+        metrics: &mut Metrics,
+    ) {
+        let reversed = subspace.complement(self.dims);
+        let before = out.len();
+        let mut visited = 0u64;
+        Self::query_node(&self.root, reversed, out, &mut visited);
+        metrics.index_nodes_visited += visited;
+        metrics.candidates_returned += (out.len() - before) as u64;
+        metrics.container_gets += 1;
+    }
+
+    /// Convenience wrapper over [`Self::query_into`] that allocates.
+    pub fn query(&self, subspace: Subspace, metrics: &mut Metrics) -> Vec<PointId> {
+        let mut out = Vec::new();
+        self.query_into(subspace, &mut out, metrics);
+        out
+    }
+
+    fn query_node(
+        node: &TrieNode<C>,
+        reversed_query: Subspace,
+        out: &mut Vec<PointId>,
+        visited: &mut u64,
+    ) {
+        *visited += 1;
+        out.extend_from_slice(&node.points);
+        node.children.visit(&mut |dim, child| {
+            if reversed_query.contains(dim as usize) {
+                Self::query_node(child, reversed_query, out, visited);
+            }
+        });
+    }
+
+    /// Remove one occurrence of `point` stored under `subspace`. Returns
+    /// `false` when the point was not stored there. Emptied trie branches
+    /// are pruned.
+    ///
+    /// Removal is not part of the paper's algorithms (its scans only ever
+    /// add skyline points) but is required by the streaming extension
+    /// ([`crate::streaming`]) where skyline points can be evicted.
+    pub fn remove(&mut self, point: PointId, subspace: Subspace) -> bool {
+        let reversed = subspace.complement(self.dims);
+        let dims: Vec<u8> = reversed.dims().map(|d| d as u8).collect();
+        let removed = Self::remove_rec(&mut self.root, &dims, point);
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// Returns whether the point was removed; prunes empty children on
+    /// the way back up.
+    fn remove_rec(node: &mut TrieNode<C>, path: &[u8], point: PointId) -> bool {
+        match path.split_first() {
+            None => match node.points.iter().position(|&p| p == point) {
+                Some(at) => {
+                    node.points.swap_remove(at);
+                    true
+                }
+                None => false,
+            },
+            Some((&dim, rest)) => {
+                let Some(child) = node.children.get_mut(dim) else {
+                    return false;
+                };
+                let removed = Self::remove_rec(child, rest, point);
+                if removed && child.points.is_empty() && child.children.is_empty() {
+                    node.children.remove_child(dim);
+                }
+                removed
+            }
+        }
+    }
+
+    /// Total number of trie nodes, including the root — the index-size
+    /// component the paper discusses at the end of Section 5.
+    pub fn node_count(&self) -> usize {
+        fn count<C: Children>(node: &TrieNode<C>) -> usize {
+            let mut n = 1;
+            node.children.visit(&mut |_, child| n += count(child));
+            n
+        }
+        count(&self.root)
+    }
+
+    /// Iterate over every stored `(point, maximum dominating subspace)`
+    /// pair. Ordering is unspecified.
+    pub fn entries(&self) -> Vec<(PointId, Subspace)> {
+        fn walk<C: Children>(
+            node: &TrieNode<C>,
+            path: Subspace,
+            dims: usize,
+            out: &mut Vec<(PointId, Subspace)>,
+        ) {
+            let subspace = path.complement(dims);
+            for &p in &node.points {
+                out.push((p, subspace));
+            }
+            node.children.visit(&mut |dim, child| {
+                let mut next = path;
+                next.insert(dim as usize);
+                walk(child, next, dims, out);
+            });
+        }
+        let mut out = Vec::with_capacity(self.len);
+        walk(&self.root, Subspace::EMPTY, self.dims, &mut out);
+        out
+    }
+
+    /// Drop all stored points, keeping the dimensionality.
+    pub fn clear(&mut self) {
+        self.root = TrieNode::default();
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sub(dims: &[usize]) -> Subspace {
+        Subspace::from_dims(dims.iter().copied())
+    }
+
+    /// Brute-force oracle for the subset query semantics.
+    fn oracle(
+        entries: &[(PointId, Subspace)],
+        query: Subspace,
+    ) -> Vec<PointId> {
+        let mut v: Vec<PointId> = entries
+            .iter()
+            .filter(|(_, s)| s.is_superset_of(query))
+            .map(|(p, _)| *p)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn check_against_oracle<C: Children>(
+        index: &GenericSubsetIndex<C>,
+        entries: &[(PointId, Subspace)],
+        query: Subspace,
+    ) {
+        let mut m = Metrics::new();
+        let mut got = index.query(query, &mut m);
+        got.sort_unstable();
+        assert_eq!(got, oracle(entries, query), "query {query:?}");
+    }
+
+    #[test]
+    fn paper_figure_3_example() {
+        // The subspaces of Figure 3 (dimensions renumbered to 0-based:
+        // paper {1,2} -> {0,1}, etc.) are *reversed* subspaces; `put`
+        // expects the forward subspace, so complement them for an 8-D
+        // space (the figure's universe includes dimension 7 = paper's 8).
+        let dims = 8;
+        let reversed: Vec<Subspace> = vec![
+            sub(&[0, 1]),
+            sub(&[0, 2, 4, 6]),
+            sub(&[0, 4]),
+            sub(&[0, 6]),
+            sub(&[2, 4]),
+            sub(&[2, 6]),
+            sub(&[4, 6]),
+        ];
+        let mut index = SubsetIndex::new(dims);
+        let mut entries = Vec::new();
+        for (i, r) in reversed.iter().enumerate() {
+            let forward = r.complement(dims);
+            index.put(i as PointId, forward);
+            entries.push((i as PointId, forward));
+        }
+        assert_eq!(index.len(), 7);
+
+        // Query set {1,3,5} of the paper = reversed {0,2,4} here. Stored
+        // reversed subsets of {0,2,4}: {0,4} and {2,4} -> points 2 and 4.
+        let query = sub(&[0, 2, 4]).complement(dims);
+        let mut m = Metrics::new();
+        let mut got = index.query(query, &mut m);
+        got.sort_unstable();
+        assert_eq!(got, vec![2, 4]);
+        check_against_oracle(&index, &entries, query);
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let index = SubsetIndex::new(4);
+        let mut m = Metrics::new();
+        assert!(index.query(sub(&[1]), &mut m).is_empty());
+        assert_eq!(index.len(), 0);
+        assert!(index.is_empty());
+        assert_eq!(index.node_count(), 1); // just the root
+    }
+
+    #[test]
+    fn full_subspace_point_matches_every_query() {
+        // D_p = full space => reversed empty => stored at the root =>
+        // returned for every query.
+        let mut index = SubsetIndex::new(4);
+        index.put(7, Subspace::full(4));
+        for query_bits in 0..16u64 {
+            let mut m = Metrics::new();
+            let got = index.query(Subspace::from_bits(query_bits), &mut m);
+            assert_eq!(got, vec![7]);
+        }
+    }
+
+    #[test]
+    fn disjoint_subspaces_do_not_match() {
+        let mut index = SubsetIndex::new(4);
+        index.put(1, sub(&[0, 1])); // reversed {2,3}
+        let mut m = Metrics::new();
+        // Query subspace {2}: D_p = {0,1} is not a superset of {2}.
+        assert!(index.query(sub(&[2]), &mut m).is_empty());
+        // Query subspace {0}: {0,1} ⊇ {0}.
+        assert_eq!(index.query(sub(&[0]), &mut m), vec![1]);
+    }
+
+    #[test]
+    fn multiple_points_same_subspace_share_a_node() {
+        let mut index = SubsetIndex::new(5);
+        index.put(1, sub(&[0, 2]));
+        index.put(2, sub(&[0, 2]));
+        index.put(3, sub(&[0, 2]));
+        let nodes = index.node_count();
+        let mut m = Metrics::new();
+        let mut got = index.query(sub(&[0, 2]), &mut m);
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3]);
+        index.put(4, sub(&[0, 2]));
+        assert_eq!(index.node_count(), nodes, "no new node for a shared subspace");
+    }
+
+    #[test]
+    fn exhaustive_small_universe_hash() {
+        exhaustive_small_universe::<HashChildren>();
+    }
+
+    #[test]
+    fn exhaustive_small_universe_sorted() {
+        exhaustive_small_universe::<SortedChildren>();
+    }
+
+    /// Store every subspace of a 5-D universe, then check every possible
+    /// query against the brute-force oracle.
+    fn exhaustive_small_universe<C: Children>() {
+        let dims = 5;
+        let mut index = GenericSubsetIndex::<C>::new(dims);
+        let mut entries = Vec::new();
+        for bits in 0..(1u64 << dims) {
+            let s = Subspace::from_bits(bits);
+            index.put(bits as PointId, s);
+            entries.push((bits as PointId, s));
+        }
+        assert_eq!(index.len(), 1 << dims);
+        for qbits in 0..(1u64 << dims) {
+            check_against_oracle(&index, &entries, Subspace::from_bits(qbits));
+        }
+    }
+
+    #[test]
+    fn metrics_accounting() {
+        let mut index = SubsetIndex::new(4);
+        index.put(0, sub(&[0, 1, 2, 3]));
+        index.put(1, sub(&[1, 2, 3]));
+        let mut m = Metrics::new();
+        let got = index.query(sub(&[1]), &mut m);
+        assert_eq!(got.len(), 2);
+        assert_eq!(m.container_gets, 1);
+        assert_eq!(m.candidates_returned, 2);
+        assert!(m.index_nodes_visited >= 2);
+    }
+
+    #[test]
+    fn entries_roundtrip() {
+        let mut index = SortedSubsetIndex::new(6);
+        let items = [
+            (10, sub(&[0, 1])),
+            (11, sub(&[2, 3, 4])),
+            (12, Subspace::full(6)),
+            (13, sub(&[5])),
+        ];
+        for (p, s) in items {
+            index.put(p, s);
+        }
+        let mut got = index.entries();
+        got.sort_unstable();
+        let mut expected = items.to_vec();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut index = SubsetIndex::new(3);
+        index.put(0, sub(&[0]));
+        index.clear();
+        assert!(index.is_empty());
+        assert_eq!(index.node_count(), 1);
+        assert_eq!(index.dims(), 3);
+    }
+
+    #[test]
+    fn remove_deletes_exactly_one_occurrence() {
+        let mut index = SubsetIndex::new(4);
+        index.put(1, sub(&[0, 1]));
+        index.put(2, sub(&[0, 1]));
+        index.put(1, sub(&[2]));
+        assert_eq!(index.len(), 3);
+        assert!(index.remove(1, sub(&[0, 1])));
+        assert_eq!(index.len(), 2);
+        // Same point under another subspace survives.
+        let mut m = Metrics::new();
+        assert_eq!(index.query(sub(&[2]), &mut m), vec![1]);
+        // Removing again fails.
+        assert!(!index.remove(1, sub(&[0, 1])));
+        assert!(index.remove(2, sub(&[0, 1])));
+        assert!(index.remove(1, sub(&[2])));
+        assert!(index.is_empty());
+        assert_eq!(index.node_count(), 1, "emptied branches must be pruned");
+    }
+
+    #[test]
+    fn remove_missing_subspace_is_noop() {
+        let mut index = SubsetIndex::new(4);
+        index.put(1, sub(&[0]));
+        assert!(!index.remove(1, sub(&[1])));
+        assert_eq!(index.len(), 1);
+    }
+
+    #[test]
+    fn remove_then_query_consistency() {
+        let dims = 5;
+        let mut index = SubsetIndex::new(dims);
+        let mut entries: Vec<(PointId, Subspace)> = Vec::new();
+        for bits in 0..(1u64 << dims) {
+            let s = Subspace::from_bits(bits);
+            index.put(bits as PointId, s);
+            entries.push((bits as PointId, s));
+        }
+        // Remove every third entry and re-verify all queries.
+        entries.retain(|&(p, s)| {
+            if p % 3 == 0 {
+                assert!(index.remove(p, s));
+                false
+            } else {
+                true
+            }
+        });
+        for qbits in 0..(1u64 << dims) {
+            check_against_oracle(&index, &entries, Subspace::from_bits(qbits));
+        }
+    }
+
+    #[test]
+    fn query_into_appends() {
+        let mut index = SubsetIndex::new(3);
+        index.put(5, sub(&[0, 1, 2]));
+        let mut out = vec![99];
+        let mut m = Metrics::new();
+        index.query_into(sub(&[1]), &mut out, &mut m);
+        assert_eq!(out, vec![99, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn too_many_dims_panics() {
+        let _ = SubsetIndex::new(65);
+    }
+}

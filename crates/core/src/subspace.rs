@@ -1,0 +1,342 @@
+//! Subspaces as bitmasks (Definitions 3.3 and 3.4 of the paper).
+//!
+//! A *subspace* of a `d`-dimensional space `D = {1, …, d}` is any subset of
+//! its dimensions. The paper's subset-query index and all incomparability
+//! lemmas (3.5, 3.6, 4.2, 4.3) reduce to set algebra over subspaces, so we
+//! represent them as `u64` bitmasks: bit `i` set means dimension `i`
+//! (0-based here; the paper numbers dimensions from 1) is in the subspace.
+//! This bounds the supported dimensionality to [`MAX_DIMS`] = 64, well above
+//! the paper's largest experiment (24-D).
+
+use std::fmt;
+
+/// Maximum supported dimensionality (bits of the mask word).
+pub const MAX_DIMS: usize = 64;
+
+/// A set of dimensions, packed into a `u64` bitmask.
+///
+/// The empty subspace and the full space are both representable; the paper
+/// excludes them from *dominating* subspaces of skyline survivors, which is
+/// enforced by the algorithms, not the type.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Subspace {
+    bits: u64,
+}
+
+impl Subspace {
+    /// The empty subspace.
+    pub const EMPTY: Subspace = Subspace { bits: 0 };
+
+    /// Build a subspace from a raw bitmask.
+    #[inline]
+    pub const fn from_bits(bits: u64) -> Self {
+        Subspace { bits }
+    }
+
+    /// The raw bitmask.
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// The full space `D = {0, …, dims-1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims > MAX_DIMS`.
+    #[inline]
+    pub fn full(dims: usize) -> Self {
+        assert!(dims <= MAX_DIMS, "dimensionality {dims} exceeds {MAX_DIMS}");
+        if dims == MAX_DIMS {
+            Subspace { bits: u64::MAX }
+        } else {
+            Subspace { bits: (1u64 << dims) - 1 }
+        }
+    }
+
+    /// Build a subspace from an iterator of dimension indices.
+    pub fn from_dims<I: IntoIterator<Item = usize>>(dims: I) -> Self {
+        let mut bits = 0u64;
+        for d in dims {
+            assert!(d < MAX_DIMS, "dimension {d} exceeds {MAX_DIMS}");
+            bits |= 1u64 << d;
+        }
+        Subspace { bits }
+    }
+
+    /// A single-dimension subspace.
+    #[inline]
+    pub fn singleton(dim: usize) -> Self {
+        assert!(dim < MAX_DIMS, "dimension {dim} exceeds {MAX_DIMS}");
+        Subspace { bits: 1u64 << dim }
+    }
+
+    /// Number of dimensions in the subspace (the paper's *subspace size*).
+    #[inline]
+    pub fn size(self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// Whether the subspace is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.bits == 0
+    }
+
+    /// Whether `dim` belongs to the subspace.
+    #[inline]
+    pub fn contains(self, dim: usize) -> bool {
+        dim < MAX_DIMS && self.bits & (1u64 << dim) != 0
+    }
+
+    /// Insert a dimension.
+    #[inline]
+    pub fn insert(&mut self, dim: usize) {
+        assert!(dim < MAX_DIMS, "dimension {dim} exceeds {MAX_DIMS}");
+        self.bits |= 1u64 << dim;
+    }
+
+    /// Remove a dimension.
+    #[inline]
+    pub fn remove(&mut self, dim: usize) {
+        if dim < MAX_DIMS {
+            self.bits &= !(1u64 << dim);
+        }
+    }
+
+    /// Set union (the paper's subspace *merge*, Definition 4.1).
+    #[inline]
+    #[must_use]
+    pub fn union(self, other: Subspace) -> Subspace {
+        Subspace { bits: self.bits | other.bits }
+    }
+
+    /// Set intersection.
+    #[inline]
+    #[must_use]
+    pub fn intersection(self, other: Subspace) -> Subspace {
+        Subspace { bits: self.bits & other.bits }
+    }
+
+    /// Set difference `self \ other`.
+    #[inline]
+    #[must_use]
+    pub fn difference(self, other: Subspace) -> Subspace {
+        Subspace { bits: self.bits & !other.bits }
+    }
+
+    /// Complement with respect to the full `dims`-dimensional space — the
+    /// paper's *reversed* subspace `D^¬` used as subset-query key.
+    #[inline]
+    #[must_use]
+    pub fn complement(self, dims: usize) -> Subspace {
+        Subspace { bits: Subspace::full(dims).bits & !self.bits }
+    }
+
+    /// `self ⊆ other`.
+    #[inline]
+    pub fn is_subset_of(self, other: Subspace) -> bool {
+        self.bits & !other.bits == 0
+    }
+
+    /// `self ⊇ other`.
+    #[inline]
+    pub fn is_superset_of(self, other: Subspace) -> bool {
+        other.is_subset_of(self)
+    }
+
+    /// `self ⊂ other` (strict).
+    #[inline]
+    pub fn is_strict_subset_of(self, other: Subspace) -> bool {
+        self.bits != other.bits && self.is_subset_of(other)
+    }
+
+    /// Whether the two subspaces are incomparable under set inclusion —
+    /// the premise of Lemma 3.5 / Lemma 4.2.
+    #[inline]
+    pub fn is_inclusion_incomparable(self, other: Subspace) -> bool {
+        !self.is_subset_of(other) && !other.is_subset_of(self)
+    }
+
+    /// Iterate over the dimensions of the subspace in ascending order.
+    #[inline]
+    pub fn dims(self) -> DimIter {
+        DimIter { bits: self.bits }
+    }
+}
+
+impl fmt::Debug for Subspace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Subspace{{")?;
+        let mut first = true;
+        for d in self.dims() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for Subspace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl FromIterator<usize> for Subspace {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        Subspace::from_dims(iter)
+    }
+}
+
+/// Iterator over the dimensions of a [`Subspace`], ascending.
+#[derive(Debug, Clone)]
+pub struct DimIter {
+    bits: u64,
+}
+
+impl Iterator for DimIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.bits == 0 {
+            return None;
+        }
+        let dim = self.bits.trailing_zeros() as usize;
+        self.bits &= self.bits - 1;
+        Some(dim)
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.bits.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for DimIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_space() {
+        assert_eq!(Subspace::full(3).bits(), 0b111);
+        assert_eq!(Subspace::full(0), Subspace::EMPTY);
+        assert_eq!(Subspace::full(64).bits(), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn full_space_too_large_panics() {
+        let _ = Subspace::full(65);
+    }
+
+    #[test]
+    fn from_dims_and_contains() {
+        let s = Subspace::from_dims([0, 2, 5]);
+        assert!(s.contains(0));
+        assert!(!s.contains(1));
+        assert!(s.contains(2));
+        assert!(s.contains(5));
+        assert!(!s.contains(63));
+        assert_eq!(s.size(), 3);
+    }
+
+    #[test]
+    fn insert_remove() {
+        let mut s = Subspace::EMPTY;
+        s.insert(7);
+        assert!(s.contains(7));
+        s.remove(7);
+        assert!(s.is_empty());
+        // Removing an absent or out-of-range dim is a no-op.
+        s.remove(63);
+        s.remove(7);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn union_is_merge() {
+        let a = Subspace::from_dims([0, 1]);
+        let b = Subspace::from_dims([1, 3]);
+        assert_eq!(a.union(b), Subspace::from_dims([0, 1, 3]));
+    }
+
+    #[test]
+    fn intersection_difference() {
+        let a = Subspace::from_dims([0, 1, 2]);
+        let b = Subspace::from_dims([1, 2, 3]);
+        assert_eq!(a.intersection(b), Subspace::from_dims([1, 2]));
+        assert_eq!(a.difference(b), Subspace::singleton(0));
+    }
+
+    #[test]
+    fn complement_is_reversed_subspace() {
+        let s = Subspace::from_dims([0, 2]);
+        assert_eq!(s.complement(4), Subspace::from_dims([1, 3]));
+        assert_eq!(Subspace::EMPTY.complement(3), Subspace::full(3));
+        assert_eq!(Subspace::full(3).complement(3), Subspace::EMPTY);
+    }
+
+    #[test]
+    fn complement_is_involutive() {
+        let s = Subspace::from_dims([1, 4, 7]);
+        assert_eq!(s.complement(8).complement(8), s);
+    }
+
+    #[test]
+    fn subset_relations() {
+        let small = Subspace::from_dims([1]);
+        let big = Subspace::from_dims([0, 1, 2]);
+        assert!(small.is_subset_of(big));
+        assert!(big.is_superset_of(small));
+        assert!(small.is_strict_subset_of(big));
+        assert!(!big.is_strict_subset_of(big));
+        assert!(big.is_subset_of(big));
+    }
+
+    #[test]
+    fn inclusion_incomparability() {
+        let a = Subspace::from_dims([0, 1]);
+        let b = Subspace::from_dims([1, 2]);
+        assert!(a.is_inclusion_incomparable(b));
+        assert!(!a.is_inclusion_incomparable(a));
+        assert!(!Subspace::EMPTY.is_inclusion_incomparable(a));
+    }
+
+    #[test]
+    fn dim_iteration_ascending() {
+        let s = Subspace::from_dims([5, 0, 63, 17]);
+        let dims: Vec<usize> = s.dims().collect();
+        assert_eq!(dims, vec![0, 5, 17, 63]);
+        assert_eq!(s.dims().len(), 4);
+    }
+
+    #[test]
+    fn debug_format() {
+        let s = Subspace::from_dims([0, 3]);
+        assert_eq!(format!("{s:?}"), "Subspace{0,3}");
+        assert_eq!(format!("{s}"), "Subspace{0,3}");
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: Subspace = [2usize, 4].into_iter().collect();
+        assert_eq!(s, Subspace::from_dims([2, 4]));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = [Subspace::from_dims([3]),
+            Subspace::EMPTY,
+            Subspace::from_dims([0, 1])];
+        v.sort();
+        assert_eq!(v[0], Subspace::EMPTY);
+    }
+}

@@ -1,0 +1,259 @@
+//! CSV import/export for datasets.
+//!
+//! Minimal, dependency-free CSV: comma-separated numeric columns, one
+//! point per line, optional header line. This is the interchange format of
+//! the `skyline` CLI and of the original `randdataset` tool.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use skyline_core::dataset::Dataset;
+
+/// Errors raised by CSV import.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A cell failed to parse as a number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based column number.
+        column: usize,
+        /// The offending cell content.
+        content: String,
+    },
+    /// A line has the wrong number of columns.
+    ColumnCount {
+        /// 1-based line number.
+        line: usize,
+        /// Columns found on this line.
+        got: usize,
+        /// Columns established by the first data line.
+        expected: usize,
+    },
+    /// The file contains no data rows.
+    Empty,
+    /// The parsed values failed dataset validation (NaN, shape).
+    Invalid(skyline_core::error::Error),
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "I/O error: {e}"),
+            CsvError::Parse { line, column, content } => {
+                write!(f, "line {line}, column {column}: cannot parse {content:?} as a number")
+            }
+            CsvError::ColumnCount { line, got, expected } => {
+                write!(f, "line {line}: found {got} columns, expected {expected}")
+            }
+            CsvError::Empty => write!(f, "no data rows found"),
+            CsvError::Invalid(e) => write!(f, "invalid dataset: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            CsvError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Read a dataset from CSV text.
+///
+/// If the first line contains any cell that does not parse as a number it
+/// is treated as a header and skipped. Empty lines are ignored.
+pub fn read_csv<R: Read>(reader: R) -> Result<Dataset, CsvError> {
+    let reader = BufReader::new(reader);
+    let mut values: Vec<f64> = Vec::new();
+    let mut dims: Option<usize> = None;
+    let mut data_lines = 0usize;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        let parsed: Result<Vec<f64>, (usize, &str)> = cells
+            .iter()
+            .enumerate()
+            .map(|(c, cell)| cell.parse::<f64>().map_err(|_| (c + 1, *cell)))
+            .collect();
+        match parsed {
+            Err((column, content)) => {
+                // A non-numeric first data line is a header; anywhere else
+                // it is an error.
+                if data_lines == 0 && dims.is_none() {
+                    continue;
+                }
+                return Err(CsvError::Parse {
+                    line: line_no,
+                    column,
+                    content: content.to_string(),
+                });
+            }
+            Ok(row) => {
+                match dims {
+                    None => dims = Some(row.len()),
+                    Some(d) if d != row.len() => {
+                        return Err(CsvError::ColumnCount {
+                            line: line_no,
+                            got: row.len(),
+                            expected: d,
+                        });
+                    }
+                    Some(_) => {}
+                }
+                values.extend_from_slice(&row);
+                data_lines += 1;
+            }
+        }
+    }
+    let dims = dims.ok_or(CsvError::Empty)?;
+    Dataset::from_flat(values, dims).map_err(CsvError::Invalid)
+}
+
+/// Read a dataset from a CSV file.
+pub fn read_csv_file<P: AsRef<Path>>(path: P) -> Result<Dataset, CsvError> {
+    read_csv(File::open(path)?)
+}
+
+/// Write a dataset as CSV (no header, full `f64` round-trip precision).
+pub fn write_csv<W: Write>(writer: W, data: &Dataset) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    for (_, point) in data.iter() {
+        for (i, v) in point.iter().enumerate() {
+            if i > 0 {
+                write!(w, ",")?;
+            }
+            // `{:?}` on f64 produces the shortest representation that
+            // round-trips exactly.
+            write!(w, "{v:?}")?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// Write a dataset to a CSV file.
+pub fn write_csv_file<P: AsRef<Path>>(path: P, data: &Dataset) -> io::Result<()> {
+    write_csv(File::create(path)?, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_exact() {
+        let ds = crate::synthetic::uniform_independent(50, 3, 77);
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &ds).unwrap();
+        let back = read_csv(&buf[..]).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn header_is_skipped() {
+        let csv = "price,distance\n1.0,2.0\n3.0,4.0\n";
+        let ds = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.point(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn no_header_works() {
+        let csv = "1.0,2.0\n3.0,4.0\n";
+        let ds = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn blank_lines_ignored() {
+        let csv = "\n1.0,2.0\n\n3.0,4.0\n\n";
+        let ds = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let csv = " 1.0 , 2.0 \n";
+        let ds = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(ds.point(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn ragged_line_rejected() {
+        let csv = "1.0,2.0\n3.0\n";
+        match read_csv(csv.as_bytes()) {
+            Err(CsvError::ColumnCount { line: 2, got: 1, expected: 2 }) => {}
+            other => panic!("expected ColumnCount, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_numeric_cell_mid_file_rejected() {
+        let csv = "1.0,2.0\nfoo,4.0\n";
+        match read_csv(csv.as_bytes()) {
+            Err(CsvError::Parse { line: 2, column: 1, content }) => {
+                assert_eq!(content, "foo");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        match read_csv("".as_bytes()) {
+            Err(CsvError::Empty) => {}
+            other => panic!("expected Empty, got {other:?}"),
+        }
+        // Header-only counts as empty too.
+        match read_csv("a,b\n".as_bytes()) {
+            Err(CsvError::Empty) => {}
+            other => panic!("expected Empty, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_rejected() {
+        let csv = "1.0,NaN\n";
+        match read_csv(csv.as_bytes()) {
+            Err(CsvError::Invalid(_)) => {}
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("skyline-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.csv");
+        let ds = crate::synthetic::correlated(20, 4, 3);
+        write_csv_file(&path, &ds).unwrap();
+        let back = read_csv_file(&path).unwrap();
+        assert_eq!(ds, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CsvError::ColumnCount { line: 3, got: 1, expected: 2 };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,24 @@
+//! # skyline-data
+//!
+//! Benchmark data for the skyline-subset workspace:
+//!
+//! - [`synthetic`] — a re-implementation of the classic *Skyline Benchmark
+//!   Data Generator* (Börzsönyi et al., ICDE 2001): anti-correlated (AC),
+//!   correlated (CO) and uniform-independent (UI) point sets, seeded and
+//!   deterministic;
+//! - [`real`] — seeded stand-ins for the paper's HOUSE / NBA / WEATHER
+//!   real-world datasets (see module docs for the substitution rationale);
+//! - [`io`] — dependency-free CSV import/export;
+//! - [`stats`] — dataset statistics used to validate generator character.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod io;
+pub mod real;
+pub mod stats;
+pub mod synthetic;
+
+pub use synthetic::{
+    anti_correlated, correlated, generate, uniform_independent, Distribution, SyntheticSpec,
+};

@@ -1,0 +1,125 @@
+//! Dataset statistics: correlation structure, value cardinality, extrema.
+//!
+//! Used by tests to verify generator character (CO really correlates, AC
+//! really anti-correlates, WEATHER′ really has duplicate-heavy dimensions)
+//! and by the reproduction harness to describe workloads.
+
+use skyline_core::dataset::Dataset;
+
+/// Pearson correlation coefficient between two dimensions.
+///
+/// Returns 0.0 when either dimension is constant (undefined correlation).
+pub fn pearson(data: &Dataset, dim_a: usize, dim_b: usize) -> f64 {
+    let n = data.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let (mut sum_a, mut sum_b) = (0.0, 0.0);
+    for (_, p) in data.iter() {
+        sum_a += p[dim_a];
+        sum_b += p[dim_b];
+    }
+    let (mean_a, mean_b) = (sum_a / n as f64, sum_b / n as f64);
+    let (mut cov, mut var_a, mut var_b) = (0.0, 0.0, 0.0);
+    for (_, p) in data.iter() {
+        let (da, db) = (p[dim_a] - mean_a, p[dim_b] - mean_b);
+        cov += da * db;
+        var_a += da * da;
+        var_b += db * db;
+    }
+    if var_a == 0.0 || var_b == 0.0 {
+        return 0.0;
+    }
+    cov / (var_a.sqrt() * var_b.sqrt())
+}
+
+/// Mean Pearson correlation over all dimension pairs — a one-number
+/// summary of whether a dataset is CO- (positive), AC- (negative) or
+/// UI-like (near zero).
+pub fn mean_pairwise_correlation(data: &Dataset) -> f64 {
+    let d = data.dims();
+    if d < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for a in 0..d {
+        for b in (a + 1)..d {
+            total += pearson(data, a, b);
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+/// Number of distinct values in one dimension.
+///
+/// Exact-bits comparison; meant for quantised (duplicate-heavy) data where
+/// equality is intentional.
+pub fn distinct_values(data: &Dataset, dim: usize) -> usize {
+    let mut values: Vec<u64> = data.iter().map(|(_, p)| p[dim].to_bits()).collect();
+    values.sort_unstable();
+    values.dedup();
+    values.len()
+}
+
+/// Per-dimension `(min, max)` ranges.
+pub fn ranges(data: &Dataset) -> Vec<(f64, f64)> {
+    let d = data.dims();
+    let mut out = vec![(f64::INFINITY, f64::NEG_INFINITY); d];
+    for (_, p) in data.iter() {
+        for (r, v) in out.iter_mut().zip(p) {
+            r.0 = r.0.min(*v);
+            r.1 = r.1.max(*v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_positive() {
+        let ds = Dataset::from_rows(&[[1.0, 2.0], [2.0, 4.0], [3.0, 6.0]]).unwrap();
+        assert!((pearson(&ds, 0, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_negative() {
+        let ds = Dataset::from_rows(&[[1.0, 3.0], [2.0, 2.0], [3.0, 1.0]]).unwrap();
+        assert!((pearson(&ds, 0, 1) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_dimension_is_zero() {
+        let ds = Dataset::from_rows(&[[1.0, 5.0], [2.0, 5.0]]).unwrap();
+        assert_eq!(pearson(&ds, 0, 1), 0.0);
+    }
+
+    #[test]
+    fn pearson_tiny_dataset_is_zero() {
+        let ds = Dataset::from_rows(&[[1.0, 5.0]]).unwrap();
+        assert_eq!(pearson(&ds, 0, 1), 0.0);
+    }
+
+    #[test]
+    fn mean_pairwise_on_one_dim_is_zero() {
+        let ds = Dataset::from_rows(&[[1.0], [2.0]]).unwrap();
+        assert_eq!(mean_pairwise_correlation(&ds), 0.0);
+    }
+
+    #[test]
+    fn distinct_value_counting() {
+        let ds = Dataset::from_rows(&[[1.0, 0.5], [1.0, 0.7], [2.0, 0.5]]).unwrap();
+        assert_eq!(distinct_values(&ds, 0), 2);
+        assert_eq!(distinct_values(&ds, 1), 2);
+    }
+
+    #[test]
+    fn range_computation() {
+        let ds = Dataset::from_rows(&[[1.0, -2.0], [3.0, 5.0]]).unwrap();
+        assert_eq!(ranges(&ds), vec![(1.0, 3.0), (-2.0, 5.0)]);
+    }
+}

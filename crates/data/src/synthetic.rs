@@ -1,0 +1,300 @@
+//! Synthetic skyline benchmark data.
+//!
+//! Re-implementation of the three canonical distributions of the *Skyline
+//! Benchmark Data Generator* (`randdataset`, originally distributed via
+//! pgfoundry and specified in the appendix of Börzsönyi, Kossmann &
+//! Stocker, *The Skyline Operator*, ICDE 2001), which the paper uses for
+//! every synthetic experiment:
+//!
+//! - **UI** (*uniform independent*): every coordinate iid uniform `[0,1)`.
+//! - **CO** (*correlated*): a diagonal position `v` is drawn from a peaked
+//!   (Irwin–Hall) distribution, every coordinate starts at `v`, and small
+//!   normally distributed, sum-preserving pairwise perturbations are
+//!   applied — points hug the main diagonal, the skyline is tiny.
+//! - **AC** (*anti-correlated*): the plane position `v` is drawn from a
+//!   normal-like distribution centred at `0.5`, and wide *uniform*
+//!   sum-preserving perturbations spread points across the hyperplane
+//!   `Σxᵢ ≈ d·v` — being good in one dimension means being bad in another,
+//!   the skyline is huge.
+//!
+//! Out-of-range candidate points are rejected and redrawn, exactly like the
+//! original generator. All generation is deterministic given a seed
+//! (ChaCha8), which the reproduction harness relies on.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use skyline_core::dataset::Dataset;
+
+/// The three canonical data types of the skyline literature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Distribution {
+    /// Uniform independent (`UI`).
+    Independent,
+    /// Correlated (`CO`).
+    Correlated,
+    /// Anti-correlated (`AC`).
+    AntiCorrelated,
+}
+
+impl Distribution {
+    /// The two-letter tag used in the paper's tables.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Distribution::Independent => "UI",
+            Distribution::Correlated => "CO",
+            Distribution::AntiCorrelated => "AC",
+        }
+    }
+
+    /// Parse the paper's two-letter tag (case-insensitive).
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        match tag.to_ascii_uppercase().as_str() {
+            "UI" => Some(Distribution::Independent),
+            "CO" => Some(Distribution::Correlated),
+            "AC" => Some(Distribution::AntiCorrelated),
+            _ => None,
+        }
+    }
+}
+
+/// Parameters of one synthetic dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SyntheticSpec {
+    /// Which distribution to draw from.
+    pub distribution: Distribution,
+    /// Number of points `N`.
+    pub cardinality: usize,
+    /// Dimensionality `d`.
+    pub dims: usize,
+    /// RNG seed; the same spec always yields the same dataset.
+    pub seed: u64,
+}
+
+impl SyntheticSpec {
+    /// Generate the dataset described by this spec.
+    pub fn generate(&self) -> Dataset {
+        generate(self)
+    }
+}
+
+/// Sum of `steps` uniform draws over `[min, max)`, normalised back into
+/// `[min, max)` — the original generator's `random_peak`, an Irwin–Hall
+/// approximation of a normal distribution peaked at the interval midpoint.
+fn random_peak<R: Rng>(rng: &mut R, min: f64, max: f64, steps: usize) -> f64 {
+    let mut acc = 0.0;
+    for _ in 0..steps {
+        acc += rng.gen_range(0.0..1.0);
+    }
+    min + (max - min) * acc / steps as f64
+}
+
+/// The original generator's `random_normal`: a 12-step peak around `med`.
+fn random_normal<R: Rng>(rng: &mut R, med: f64, var: f64) -> f64 {
+    random_peak(rng, med - var, med + var, 12)
+}
+
+fn point_in_unit_cube(p: &[f64]) -> bool {
+    p.iter().all(|v| (0.0..=1.0).contains(v))
+}
+
+/// One correlated candidate point (may land outside the unit cube).
+fn correlated_candidate<R: Rng>(rng: &mut R, dims: usize, out: &mut [f64]) {
+    let v = random_peak(rng, 0.0, 1.0, dims.max(2));
+    let l = if v <= 0.5 { v } else { 1.0 - v };
+    out.fill(v);
+    for d in 0..dims {
+        let h = random_normal(rng, 0.0, l);
+        out[d] += h;
+        out[(d + 1) % dims] -= h;
+    }
+}
+
+/// One anti-correlated candidate point (may land outside the unit cube).
+fn anti_correlated_candidate<R: Rng>(rng: &mut R, dims: usize, out: &mut [f64]) {
+    let v = random_normal(rng, 0.5, 0.25);
+    let l = if v <= 0.5 { v } else { 1.0 - v };
+    out.fill(v);
+    for d in 0..dims {
+        let h = rng.gen_range(-l..=l);
+        out[d] += h;
+        out[(d + 1) % dims] -= h;
+    }
+}
+
+/// Generate a synthetic dataset.
+///
+/// # Panics
+///
+/// Panics if `dims` is 0 or exceeds [`skyline_core::subspace::MAX_DIMS`]
+/// (the resulting buffer would fail dataset validation anyway).
+pub fn generate(spec: &SyntheticSpec) -> Dataset {
+    assert!(spec.dims >= 1, "dimensionality must be at least 1");
+    let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+    let mut values = Vec::with_capacity(spec.cardinality * spec.dims);
+    let mut row = vec![0.0f64; spec.dims];
+    for _ in 0..spec.cardinality {
+        match spec.distribution {
+            Distribution::Independent => {
+                for v in row.iter_mut() {
+                    *v = rng.gen_range(0.0..1.0);
+                }
+            }
+            Distribution::Correlated => loop {
+                correlated_candidate(&mut rng, spec.dims, &mut row);
+                if point_in_unit_cube(&row) {
+                    break;
+                }
+            },
+            Distribution::AntiCorrelated => loop {
+                anti_correlated_candidate(&mut rng, spec.dims, &mut row);
+                if point_in_unit_cube(&row) {
+                    break;
+                }
+            },
+        }
+        values.extend_from_slice(&row);
+    }
+    Dataset::from_flat(values, spec.dims).expect("generator output is always valid")
+}
+
+/// Shorthand: uniform-independent dataset.
+pub fn uniform_independent(cardinality: usize, dims: usize, seed: u64) -> Dataset {
+    generate(&SyntheticSpec {
+        distribution: Distribution::Independent,
+        cardinality,
+        dims,
+        seed,
+    })
+}
+
+/// Shorthand: correlated dataset.
+pub fn correlated(cardinality: usize, dims: usize, seed: u64) -> Dataset {
+    generate(&SyntheticSpec { distribution: Distribution::Correlated, cardinality, dims, seed })
+}
+
+/// Shorthand: anti-correlated dataset.
+pub fn anti_correlated(cardinality: usize, dims: usize, seed: u64) -> Dataset {
+    generate(&SyntheticSpec {
+        distribution: Distribution::AntiCorrelated,
+        cardinality,
+        dims,
+        seed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::mean_pairwise_correlation;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = uniform_independent(100, 4, 7);
+        let b = uniform_independent(100, 4, 7);
+        let c = uniform_independent(100, 4, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shapes_are_correct() {
+        for dist in [
+            Distribution::Independent,
+            Distribution::Correlated,
+            Distribution::AntiCorrelated,
+        ] {
+            let ds = generate(&SyntheticSpec {
+                distribution: dist,
+                cardinality: 200,
+                dims: 6,
+                seed: 1,
+            });
+            assert_eq!(ds.len(), 200, "{dist:?}");
+            assert_eq!(ds.dims(), 6);
+        }
+    }
+
+    #[test]
+    fn values_in_unit_cube() {
+        for dist in [
+            Distribution::Independent,
+            Distribution::Correlated,
+            Distribution::AntiCorrelated,
+        ] {
+            let ds = generate(&SyntheticSpec {
+                distribution: dist,
+                cardinality: 500,
+                dims: 8,
+                seed: 3,
+            });
+            assert!(
+                ds.as_flat().iter().all(|v| (0.0..=1.0).contains(v)),
+                "{dist:?} escaped the unit cube"
+            );
+        }
+    }
+
+    #[test]
+    fn correlation_signs_match_the_names() {
+        let co = correlated(2000, 4, 11);
+        let ac = anti_correlated(2000, 4, 11);
+        let ui = uniform_independent(2000, 4, 11);
+        let r_co = mean_pairwise_correlation(&co);
+        let r_ac = mean_pairwise_correlation(&ac);
+        let r_ui = mean_pairwise_correlation(&ui);
+        assert!(r_co > 0.5, "correlated data should correlate strongly, got {r_co}");
+        assert!(r_ac < -0.1, "anti-correlated data should anti-correlate, got {r_ac}");
+        assert!(r_ui.abs() < 0.1, "independent data should not correlate, got {r_ui}");
+    }
+
+    #[test]
+    fn tags_roundtrip() {
+        for dist in [
+            Distribution::Independent,
+            Distribution::Correlated,
+            Distribution::AntiCorrelated,
+        ] {
+            assert_eq!(Distribution::from_tag(dist.tag()), Some(dist));
+        }
+        assert_eq!(Distribution::from_tag("ui"), Some(Distribution::Independent));
+        assert_eq!(Distribution::from_tag("xx"), None);
+    }
+
+    #[test]
+    fn one_dimensional_generation_works() {
+        // d = 1 degenerates gracefully (pairwise perturbations cancel).
+        for dist in [
+            Distribution::Independent,
+            Distribution::Correlated,
+            Distribution::AntiCorrelated,
+        ] {
+            let ds = generate(&SyntheticSpec {
+                distribution: dist,
+                cardinality: 50,
+                dims: 1,
+                seed: 5,
+            });
+            assert_eq!(ds.len(), 50);
+        }
+    }
+
+    #[test]
+    fn high_dimensional_anti_correlated_terminates() {
+        // The rejection loop must stay practical at the paper's largest
+        // dimensionality.
+        let ds = anti_correlated(200, 24, 9);
+        assert_eq!(ds.len(), 200);
+        assert_eq!(ds.dims(), 24);
+    }
+
+    #[test]
+    fn spec_generate_matches_free_function() {
+        let spec = SyntheticSpec {
+            distribution: Distribution::Correlated,
+            cardinality: 64,
+            dims: 3,
+            seed: 21,
+        };
+        assert_eq!(spec.generate(), correlated(64, 3, 21));
+    }
+}

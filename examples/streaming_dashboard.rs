@@ -1,0 +1,69 @@
+//! A live "best offers" dashboard: flight offers stream in and expire,
+//! and the Pareto front of (price, duration, stops) is maintained
+//! incrementally with [`StreamingSkyline`] — the paper's future-work
+//! item on updating data (Section 7), built on the same subset index.
+//!
+//! Run with: `cargo run -p skyline-examples --example streaming_dashboard`
+
+use skyline_core::metrics::Metrics;
+use skyline_core::streaming::StreamingSkyline;
+
+struct Offer {
+    airline: &'static str,
+    price: f64,
+    hours: f64,
+    stops: f64,
+}
+
+fn main() {
+    let mut sky = StreamingSkyline::new(3).expect("3 dimensions");
+    let mut metrics = Metrics::new();
+
+    let offers = [
+        Offer { airline: "AeroNova", price: 420.0, hours: 11.5, stops: 1.0 },
+        Offer { airline: "BlueJet", price: 380.0, hours: 14.0, stops: 2.0 },
+        Offer { airline: "CloudAir", price: 650.0, hours: 8.0, stops: 0.0 },
+        Offer { airline: "AeroNova", price: 430.0, hours: 12.0, stops: 1.0 }, // worse than #0
+        Offer { airline: "DeltaWave", price: 390.0, hours: 13.5, stops: 2.0 }, // beats BlueJet? no: pricier but faster
+        Offer { airline: "EchoFly", price: 350.0, hours: 16.0, stops: 3.0 },
+    ];
+
+    let mut ids = Vec::new();
+    for offer in &offers {
+        let id = sky
+            .insert(&[offer.price, offer.hours, offer.stops], &mut metrics)
+            .expect("valid offer");
+        ids.push(id);
+        println!(
+            "+ {:<9} ${:>3.0} {:>5.1}h {} stop(s) -> front size {}",
+            offer.airline, offer.price, offer.hours, offer.stops, sky.skyline_len()
+        );
+    }
+
+    println!("\ncurrent Pareto front:");
+    for id in sky.skyline() {
+        let o = &offers[id as usize];
+        println!("  [{id}] {:<9} ${:>3.0} {:>5.1}h {} stop(s)", o.airline, o.price, o.hours, o.stops);
+    }
+
+    // CloudAir's nonstop offer expires: whoever it was shadowing
+    // resurfaces automatically.
+    println!("\n- CloudAir offer expires");
+    sky.remove(ids[2], &mut metrics);
+    println!("front size is now {}", sky.skyline_len());
+
+    // The cheapest offer expires too.
+    println!("- EchoFly offer expires");
+    sky.remove(ids[5], &mut metrics);
+
+    println!("\nfinal Pareto front:");
+    for id in sky.skyline() {
+        let o = &offers[id as usize];
+        println!("  [{id}] {:<9} ${:>3.0} {:>5.1}h {} stop(s)", o.airline, o.price, o.hours, o.stops);
+    }
+    println!(
+        "\n{} live offers, {} dominance tests total",
+        sky.len(),
+        metrics.dominance_tests
+    );
+}

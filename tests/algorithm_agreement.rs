@@ -1,0 +1,126 @@
+//! Every algorithm in the crate returns the exact same skyline as a
+//! brute-force oracle, on all three data distributions and several
+//! dataset shapes — including degenerate ones.
+
+use skyline_algos::all_algorithms;
+use skyline_core::dataset::Dataset;
+use skyline_integration_tests::{oracle_skyline, workload_grid};
+
+#[test]
+fn all_algorithms_agree_with_the_oracle_on_synthetic_data() {
+    for (data, label) in workload_grid() {
+        let expected = oracle_skyline(&data);
+        for algo in all_algorithms() {
+            let got = algo.compute(&data);
+            assert_eq!(got, expected, "{} on {label}", algo.name());
+        }
+    }
+}
+
+#[test]
+fn all_algorithms_agree_on_real_dataset_stand_ins() {
+    let datasets = [
+        ("HOUSE'", skyline_data::real::house_scaled(800)),
+        ("NBA'", skyline_data::real::nba_scaled(800)),
+        ("WEATHER'", skyline_data::real::weather_scaled(800)),
+    ];
+    for (label, data) in datasets {
+        let expected = oracle_skyline(&data);
+        for algo in all_algorithms() {
+            assert_eq!(algo.compute(&data), expected, "{} on {label}", algo.name());
+        }
+    }
+}
+
+#[test]
+fn empty_dataset_yields_empty_skyline() {
+    let data = Dataset::from_flat(vec![], 4).unwrap();
+    for algo in all_algorithms() {
+        assert!(algo.compute(&data).is_empty(), "{}", algo.name());
+    }
+}
+
+#[test]
+fn singleton_dataset() {
+    let data = Dataset::from_rows(&[[5.0, 5.0, 5.0]]).unwrap();
+    for algo in all_algorithms() {
+        assert_eq!(algo.compute(&data), vec![0], "{}", algo.name());
+    }
+}
+
+#[test]
+fn one_dimensional_dataset() {
+    let data = Dataset::from_rows(&[[3.0], [1.0], [2.0], [1.0], [7.0]]).unwrap();
+    for algo in all_algorithms() {
+        assert_eq!(algo.compute(&data), vec![1, 3], "{}", algo.name());
+    }
+}
+
+#[test]
+fn two_dimensional_dataset_with_heavy_ties() {
+    // d = 2 is the paper's degenerate case for the subset index; ties
+    // stress every sort-order tie-break.
+    let rows: Vec<[f64; 2]> = (0..100)
+        .map(|i| [((i * 3) % 5) as f64, ((i * 7) % 5) as f64])
+        .collect();
+    let data = Dataset::from_rows(&rows).unwrap();
+    let expected = oracle_skyline(&data);
+    for algo in all_algorithms() {
+        assert_eq!(algo.compute(&data), expected, "{}", algo.name());
+    }
+}
+
+#[test]
+fn all_points_identical() {
+    let data = Dataset::from_rows(&vec![[4.0, 2.0, 9.0]; 64]).unwrap();
+    let expected: Vec<u32> = (0..64).collect();
+    for algo in all_algorithms() {
+        assert_eq!(algo.compute(&data), expected, "{}", algo.name());
+    }
+}
+
+#[test]
+fn totally_ordered_chain() {
+    let rows: Vec<[f64; 4]> = (0..50)
+        .map(|i| [i as f64, i as f64 + 1.0, i as f64 * 2.0, i as f64])
+        .collect();
+    let data = Dataset::from_rows(&rows).unwrap();
+    for algo in all_algorithms() {
+        assert_eq!(algo.compute(&data), vec![0], "{}", algo.name());
+    }
+}
+
+#[test]
+fn max_supported_dimensionality() {
+    // 64-D is the Subspace bitmask limit; make sure nothing overflows.
+    let rows: Vec<Vec<f64>> = (0..40)
+        .map(|i| (0..64).map(|k| (((i * 7 + k * 13) % 23) as f64) / 23.0).collect())
+        .collect();
+    let data = Dataset::from_rows(&rows).unwrap();
+    let expected = oracle_skyline(&data);
+    for algo in all_algorithms() {
+        assert_eq!(algo.compute(&data), expected, "{}", algo.name());
+    }
+}
+
+#[test]
+fn negative_values_from_max_preferences() {
+    use skyline_core::point::Preference;
+    // Ratings are maximised; the canonical form contains negatives.
+    let rows = [
+        [10.0, 4.5],
+        [12.0, 4.9],
+        [10.0, 4.4], // dominated by row 0
+        [9.0, 3.0],
+    ];
+    let data = Dataset::from_rows_with_preferences(
+        &rows,
+        &[Preference::Min, Preference::Max],
+    )
+    .unwrap();
+    let expected = oracle_skyline(&data);
+    assert_eq!(expected, vec![0, 1, 3]);
+    for algo in all_algorithms() {
+        assert_eq!(algo.compute(&data), expected, "{}", algo.name());
+    }
+}

@@ -1,0 +1,82 @@
+//! End-to-end pipeline tests: generate → write CSV → read CSV → compute,
+//! exactly what a downstream user of the library (or the `skyline` CLI)
+//! does.
+
+use skyline_algos::algorithm_by_name;
+use skyline_core::point::Preference;
+use skyline_data::io::{read_csv, write_csv};
+use skyline_data::{Distribution, SyntheticSpec};
+use skyline_integration_tests::oracle_skyline;
+
+#[test]
+fn generate_write_read_compute_roundtrip() {
+    for dist in [
+        Distribution::Independent,
+        Distribution::Correlated,
+        Distribution::AntiCorrelated,
+    ] {
+        let data = SyntheticSpec {
+            distribution: dist,
+            cardinality: 500,
+            dims: 5,
+            seed: 404,
+        }
+        .generate();
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &data).unwrap();
+        let back = read_csv(&buf[..]).unwrap();
+        assert_eq!(data, back, "{dist:?}: CSV round-trip changed the data");
+
+        let algo = algorithm_by_name("SDI-Subset").unwrap();
+        assert_eq!(algo.compute(&back), oracle_skyline(&data), "{dist:?}");
+    }
+}
+
+#[test]
+fn mixed_preferences_pipeline() {
+    // A realistic product table: price ↓, battery ↑, weight ↓, rating ↑.
+    let rows = [
+        [999.0, 12.0, 1.3, 4.6],
+        [799.0, 10.0, 1.5, 4.4],
+        [1099.0, 14.0, 1.2, 4.8],
+        [999.0, 11.0, 1.4, 4.5],  // dominated by row 0
+        [649.0, 8.0, 1.8, 4.0],
+        [1500.0, 13.0, 1.25, 4.7], // dominated by row 2
+    ];
+    let prefs =
+        [Preference::Min, Preference::Max, Preference::Min, Preference::Max];
+    let data =
+        skyline_core::dataset::Dataset::from_rows_with_preferences(&rows, &prefs).unwrap();
+    let expected = oracle_skyline(&data);
+    assert_eq!(expected, vec![0, 1, 2, 4]);
+    for name in ["BNL", "SFS-Subset", "SaLSa-Subset", "SDI-Subset", "BSkyTree-P"] {
+        let algo = algorithm_by_name(name).unwrap();
+        assert_eq!(algo.compute(&data), expected, "{name}");
+    }
+}
+
+#[test]
+fn skyline_of_skyline_is_itself() {
+    let data = skyline_data::anti_correlated(2000, 5, 77);
+    let algo = algorithm_by_name("SaLSa-Subset").unwrap();
+    let skyline = algo.compute(&data);
+    let projected = data.project(&skyline);
+    let again = algo.compute(&projected);
+    // Every projected point must survive: the skyline is a fixpoint.
+    assert_eq!(again.len(), skyline.len());
+}
+
+#[test]
+fn skyline_sizes_track_the_papers_ordering() {
+    // Table 1's structural fact: |skyline(AC)| ≫ |skyline(UI)| ≫
+    // |skyline(CO)| at equal shape.
+    let n = 4000;
+    let d = 8;
+    let algo = algorithm_by_name("BSkyTree-P").unwrap();
+    let ac = algo.compute(&skyline_data::anti_correlated(n, d, 1)).len();
+    let ui = algo.compute(&skyline_data::uniform_independent(n, d, 1)).len();
+    let co = algo.compute(&skyline_data::correlated(n, d, 1)).len();
+    assert!(ac > ui, "AC skyline ({ac}) must exceed UI ({ui})");
+    assert!(ui > co, "UI skyline ({ui}) must exceed CO ({co})");
+    assert!(co < n / 20, "CO skyline must be tiny, got {co}");
+}

@@ -1,0 +1,165 @@
+//! Cross-crate tests of the library extensions: streaming maintenance,
+//! the σ tuner, subspace skylines / skycube, the k-skyband, the query
+//! builder and the parallel algorithm — all validated against oracles on
+//! realistic generated data.
+
+use skyline_algos::query::SkylineQuery;
+use skyline_algos::skyband::k_skyband;
+use skyline_algos::subspace_skyline::{subspace_skyline, Skycube};
+use skyline_algos::{algorithm_by_name, bnl::Bnl, parallel::ParallelSfs, SkylineAlgorithm};
+use skyline_core::metrics::Metrics;
+use skyline_core::streaming::StreamingSkyline;
+use skyline_core::subspace::Subspace;
+use skyline_core::tuner::{tune_sigma, TunerConfig};
+use skyline_integration_tests::{oracle_skyline, workload_grid};
+
+#[test]
+fn streaming_reaches_the_batch_skyline_on_every_distribution() {
+    for (data, label) in workload_grid() {
+        let mut sky = StreamingSkyline::new(data.dims()).unwrap();
+        let mut metrics = Metrics::new();
+        for (_, row) in data.iter() {
+            sky.insert(row, &mut metrics).unwrap();
+        }
+        assert_eq!(sky.skyline(), oracle_skyline(&data), "{label}");
+        sky.check_invariants();
+    }
+}
+
+#[test]
+fn streaming_deletion_matches_batch_recomputation() {
+    let data = skyline_data::uniform_independent(400, 4, 777);
+    let mut sky = StreamingSkyline::new(4).unwrap();
+    let mut metrics = Metrics::new();
+    for (_, row) in data.iter() {
+        sky.insert(row, &mut metrics).unwrap();
+    }
+    // Delete every skyline point, one at a time, and compare against a
+    // batch recomputation of the remaining multiset after each step.
+    let mut deleted = vec![false; data.len()];
+    for victim in oracle_skyline(&data) {
+        assert!(sky.remove(victim, &mut metrics));
+        deleted[victim as usize] = true;
+        let alive: Vec<u32> =
+            (0..data.len() as u32).filter(|&i| !deleted[i as usize]).collect();
+        let rest = data.project(&alive);
+        let expected: Vec<u32> =
+            oracle_skyline(&rest).into_iter().map(|i| alive[i as usize]).collect();
+        assert_eq!(sky.skyline(), expected);
+    }
+    sky.check_invariants();
+}
+
+#[test]
+fn tuner_recommendation_is_usable_and_sane() {
+    for (data, label) in workload_grid() {
+        let report = tune_sigma(&data, &TunerConfig::default());
+        assert!(report.sigma >= 2, "{label}");
+        assert!(report.sigma <= data.dims().max(2), "{label}");
+        // The recommended sigma must produce a correct skyline.
+        let algo = skyline_algos::boosted::SdiSubset::new(Some(report.sigma));
+        assert_eq!(algo.compute(&data), oracle_skyline(&data), "{label}");
+    }
+}
+
+#[test]
+fn skycube_cuboids_match_projected_oracles() {
+    let data = skyline_data::anti_correlated(300, 4, 4242);
+    let mut metrics = Metrics::new();
+    let cube = Skycube::with_default_algorithm(&data, &mut metrics);
+    assert_eq!(cube.len(), 15);
+    for (sub, skyline) in cube.iter() {
+        let projected = data.project_dims(sub);
+        assert_eq!(skyline, oracle_skyline(&projected), "cuboid {sub}");
+    }
+}
+
+#[test]
+fn subspace_skyline_with_every_algorithm() {
+    let data = skyline_data::uniform_independent(500, 5, 99);
+    let sub = Subspace::from_dims([1, 3, 4]);
+    let expected = oracle_skyline(&data.project_dims(sub));
+    for name in ["BNL", "SFS", "SaLSa-Subset", "SDI-Subset", "BSkyTree-P", "P-SFS"] {
+        let algo = algorithm_by_name(name).unwrap();
+        let mut m = Metrics::new();
+        assert_eq!(
+            subspace_skyline(&data, sub, algo.as_ref(), &mut m),
+            expected,
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn skyband_nests_and_contains_the_skyline() {
+    let data = skyline_data::uniform_independent(800, 4, 31);
+    let mut m = Metrics::new();
+    let skyline = oracle_skyline(&data);
+    let mut previous: Vec<u32> = Vec::new();
+    for k in 1..=5usize {
+        let band: Vec<u32> =
+            k_skyband(&data, k, &mut m).into_iter().map(|b| b.id).collect();
+        if k == 1 {
+            assert_eq!(band, skyline);
+        }
+        // Bands are nested: (k)-band ⊆ (k+1)-band.
+        for id in &previous {
+            assert!(band.contains(id), "k={k} lost point {id}");
+        }
+        previous = band;
+    }
+}
+
+#[test]
+fn query_builder_end_to_end_on_generated_data() {
+    let data = skyline_data::correlated(600, 4, 5);
+    let rows: Vec<Vec<f64>> = data.iter().map(|(_, r)| r.to_vec()).collect();
+    let result = SkylineQuery::new()
+        .minimize()
+        .minimize()
+        .minimize()
+        .minimize()
+        .execute(&rows)
+        .unwrap();
+    assert_eq!(result.ids, oracle_skyline(&data));
+}
+
+#[test]
+fn parallel_sfs_agrees_on_the_full_grid() {
+    for (data, label) in workload_grid() {
+        let expected = oracle_skyline(&data);
+        for threads in [1usize, 4] {
+            assert_eq!(
+                ParallelSfs { threads }.compute(&data),
+                expected,
+                "{label} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn streaming_and_batch_agree_after_heavy_churn() {
+    // Insert two generations of data, expire the first generation
+    // entirely, and compare with a batch run over the survivors.
+    let gen1 = skyline_data::anti_correlated(250, 3, 1);
+    let gen2 = skyline_data::uniform_independent(250, 3, 2);
+    let mut sky = StreamingSkyline::new(3).unwrap();
+    let mut metrics = Metrics::new();
+    let mut gen1_ids = Vec::new();
+    for (_, row) in gen1.iter() {
+        gen1_ids.push(sky.insert(row, &mut metrics).unwrap());
+    }
+    for (_, row) in gen2.iter() {
+        sky.insert(row, &mut metrics).unwrap();
+    }
+    for id in gen1_ids {
+        sky.remove(id, &mut metrics);
+    }
+    sky.rebuild_reference(&mut metrics);
+    sky.check_invariants();
+    let expected: Vec<u32> =
+        oracle_skyline(&gen2).iter().map(|&i| i + gen1.len() as u32).collect();
+    assert_eq!(sky.skyline(), expected);
+    assert_eq!(Bnl.compute(&gen2).len(), sky.skyline_len());
+}

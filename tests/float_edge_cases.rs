@@ -1,0 +1,151 @@
+//! Regression tests for the floating-point edge cases found during code
+//! review: rounding-collapsed monotone scores, signed zeros, adjacent
+//! float midpoints, and an unsound stop-point configuration.
+//!
+//! Each of these used to make at least one algorithm return a
+//! non-skyline point or diverge.
+
+use skyline_algos::{all_algorithms, dnc::DivideAndConquer, SkylineAlgorithm};
+use skyline_core::boost::{boosted_skyline, BoostConfig, SortStrategy};
+use skyline_core::dataset::Dataset;
+use skyline_core::merge::MergeConfig;
+use skyline_core::metrics::Metrics;
+use skyline_integration_tests::oracle_skyline;
+
+/// `1e16 + 1.0` rounds back to `1e16`: the dominated point's coordinate
+/// sum equals its dominator's, so id-based tie-breaks used to scan the
+/// victim first and confirm it.
+#[test]
+fn rounding_collapsed_sum_ties() {
+    let data = Dataset::from_rows(&[
+        [1e16, 1.0], // dominated by the next row, same rounded sum
+        [1e16, 0.0],
+    ])
+    .unwrap();
+    let expected = oracle_skyline(&data);
+    assert_eq!(expected, vec![1]);
+    for algo in all_algorithms() {
+        assert_eq!(algo.compute(&data), expected, "{}", algo.name());
+    }
+}
+
+/// The same collapse inside a larger set, with an extreme third point so
+/// pivot-based algorithms pick it and the tied pair survives pruning.
+#[test]
+fn rounding_collapsed_ties_with_pivot_noise() {
+    let data = Dataset::from_rows(&[
+        [1e16, 1.0],
+        [1e16, 0.0],
+        [0.0, 1e17],
+        [1e16, 2.0], // also dominated by row 1
+    ])
+    .unwrap();
+    let expected = oracle_skyline(&data);
+    for algo in all_algorithms() {
+        assert_eq!(algo.compute(&data), expected, "{}", algo.name());
+    }
+}
+
+/// `-0.0` and `+0.0` are equal under the preference order, but
+/// `total_cmp` separates them; a victim holding `-0.0` used to be scanned
+/// before its dominator holding `+0.0`.
+#[test]
+fn signed_zero_is_canonicalised() {
+    let data = Dataset::from_rows(&[
+        [-0.0, 1.0], // dominated by the next row
+        [0.0, 0.5],
+    ])
+    .unwrap();
+    // Canonicalisation happens at construction: no -0.0 survives.
+    assert!(data.as_flat().iter().all(|v| v.to_bits() != (-0.0f64).to_bits()));
+    let expected = oracle_skyline(&data);
+    assert_eq!(expected, vec![1]);
+    for algo in all_algorithms() {
+        assert_eq!(algo.compute(&data), expected, "{}", algo.name());
+    }
+}
+
+/// Signed zeros through the streaming structure (which bypasses Dataset
+/// construction).
+#[test]
+fn signed_zero_in_streaming() {
+    use skyline_core::streaming::StreamingSkyline;
+    let mut sky = StreamingSkyline::new(2).unwrap();
+    let mut m = Metrics::new();
+    let a = sky.insert(&[-0.0, 1.0], &mut m).unwrap();
+    let b = sky.insert(&[0.0, 0.5], &mut m).unwrap();
+    assert!(!sky.is_skyline(a));
+    assert_eq!(sky.skyline(), vec![b]);
+    sky.check_invariants();
+}
+
+/// Adjacent f64 values on the split dimension: the D&C midpoint can
+/// round to the upper bound, which used to leave the high partition
+/// empty and recurse forever.
+#[test]
+fn dnc_adjacent_float_split() {
+    let lo = 1.0f64 + f64::EPSILON;
+    let hi = f64::from_bits(lo.to_bits() + 1);
+    assert!(lo < hi);
+    let mut rows = Vec::new();
+    for i in 0..40 {
+        rows.push([if i % 2 == 0 { lo } else { hi }, i as f64]);
+    }
+    let data = Dataset::from_rows(&rows).unwrap();
+    let dnc = DivideAndConquer { block: 8 };
+    assert_eq!(dnc.compute(&data), oracle_skyline(&data));
+}
+
+/// The stop-point rule is only allowed to abort the scan under minC
+/// ordering; with Sum ordering it must degrade to per-point skips and
+/// still return the exact skyline.
+#[test]
+fn stop_point_with_non_minc_sort_stays_exact() {
+    let data = Dataset::from_rows(&[
+        [-1000.0, 1000.0],
+        [1.0, 2.0],
+        [11.0, 12.0],
+        [0.5, 100.0],
+    ])
+    .unwrap();
+    let expected = oracle_skyline(&data);
+    for sort in [SortStrategy::Sum, SortStrategy::Euclidean, SortStrategy::MinCoordinate] {
+        let config = BoostConfig {
+            merge: MergeConfig::recommended(data.dims()),
+            sort,
+            use_stop_point: true,
+        };
+        let mut m = Metrics::new();
+        let out = boosted_skyline(&data, &config, &mut m);
+        assert_eq!(out.skyline, expected, "{sort:?}");
+    }
+}
+
+/// A broader randomised sweep over near-tie values: large magnitudes
+/// with small perturbations maximise rounding collisions.
+#[test]
+fn randomised_rounding_stress() {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(4096);
+    for trial in 0..20 {
+        let n = 40;
+        let d = 3;
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                (0..d)
+                    .map(|_| 1e16 + rng.gen_range(0..4) as f64)
+                    .collect()
+            })
+            .collect();
+        let data = Dataset::from_rows(&rows).unwrap();
+        let expected = oracle_skyline(&data);
+        for algo in all_algorithms() {
+            assert_eq!(
+                algo.compute(&data),
+                expected,
+                "trial {trial}: {}",
+                algo.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use skyline_core::dataset::Dataset;
+use skyline_core::dominance::{dominance, DomRelation};
+use skyline_core::point::PointId;
+
+/// Brute-force quadratic skyline — the oracle every algorithm is checked
+/// against. Independent of any crate algorithm (including BNL).
+pub fn oracle_skyline(data: &Dataset) -> Vec<PointId> {
+    let mut out = Vec::new();
+    for (i, p) in data.iter() {
+        let mut dominated = false;
+        for (j, q) in data.iter() {
+            if i != j && dominance(q, p) == DomRelation::Dominates {
+                dominated = true;
+                break;
+            }
+        }
+        if !dominated {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// The standard small workload grid used across the integration tests:
+/// all three distributions at a few (n, d) shapes.
+pub fn workload_grid() -> Vec<(Dataset, String)> {
+    let mut out = Vec::new();
+    for dist in [
+        skyline_data::Distribution::Independent,
+        skyline_data::Distribution::Correlated,
+        skyline_data::Distribution::AntiCorrelated,
+    ] {
+        for &(n, d) in &[(200usize, 2usize), (300, 4), (300, 6), (200, 8), (150, 10)] {
+            let spec = skyline_data::SyntheticSpec {
+                distribution: dist,
+                cardinality: n,
+                dims: d,
+                seed: 0xBEEF + n as u64 + d as u64,
+            };
+            out.push((spec.generate(), format!("{} n={n} d={d}", dist.tag())));
+        }
+    }
+    out
+}

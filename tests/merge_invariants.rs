@@ -1,0 +1,137 @@
+//! Invariants of the Merge phase (Algorithm 1), checked on realistic
+//! workloads: pivots are true skyline points, survivors are incomparable
+//! with every pivot, subspaces match Definition 4.1, and nothing is lost —
+//! pruned points are exactly those dominated by some pivot.
+
+use skyline_core::dominance::{dominates, dominating_subspace, points_equal};
+use skyline_core::merge::{merge, MergeConfig, PivotScore};
+use skyline_core::metrics::Metrics;
+use skyline_core::subspace::Subspace;
+use skyline_integration_tests::{oracle_skyline, workload_grid};
+
+#[test]
+fn pivots_are_true_skyline_points() {
+    for (data, label) in workload_grid() {
+        let skyline = oracle_skyline(&data);
+        let mut m = Metrics::new();
+        let out = merge(&data, &MergeConfig::recommended(data.dims()), &mut m);
+        for &p in &out.pivots {
+            assert!(skyline.contains(&p), "{label}: pivot {p} not in skyline");
+        }
+        for &p in &out.duplicate_skyline {
+            assert!(skyline.contains(&p), "{label}: duplicate {p} not in skyline");
+        }
+    }
+}
+
+#[test]
+fn survivors_are_incomparable_with_every_pivot() {
+    for (data, label) in workload_grid() {
+        let mut m = Metrics::new();
+        let out = merge(&data, &MergeConfig::recommended(data.dims()), &mut m);
+        for &q in &out.survivors {
+            for &p in &out.pivots {
+                assert!(
+                    !dominates(data.point(p), data.point(q)),
+                    "{label}: pivot {p} dominates survivor {q}"
+                );
+                assert!(
+                    !dominates(data.point(q), data.point(p)),
+                    "{label}: survivor {q} dominates pivot {p}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn subspaces_are_the_union_over_pivots() {
+    for (data, label) in workload_grid() {
+        let mut m = Metrics::new();
+        let out = merge(&data, &MergeConfig::recommended(data.dims()), &mut m);
+        for (&q, &sub) in out.survivors.iter().zip(&out.subspaces) {
+            let expected = out.pivots.iter().fold(Subspace::EMPTY, |acc, &p| {
+                acc.union(dominating_subspace(data.point(q), data.point(p)))
+            });
+            assert_eq!(sub, expected, "{label}: survivor {q}");
+            assert!(!sub.is_empty(), "{label}: survivor {q} with empty subspace");
+            assert!(sub.size() <= data.dims());
+        }
+    }
+}
+
+#[test]
+fn every_point_is_accounted_for() {
+    for (data, label) in workload_grid() {
+        let mut m = Metrics::new();
+        let out = merge(&data, &MergeConfig::recommended(data.dims()), &mut m);
+        let mut seen = vec![false; data.len()];
+        for &p in out.pivots.iter().chain(&out.duplicate_skyline).chain(&out.survivors) {
+            assert!(!seen[p as usize], "{label}: {p} appears twice");
+            seen[p as usize] = true;
+        }
+        // Unaccounted points must be dominated by (or equal to... no:
+        // equal points join duplicate_skyline) some pivot.
+        for (q, row) in data.iter() {
+            if seen[q as usize] {
+                continue;
+            }
+            let pruned_by_pivot = out.pivots.iter().any(|&p| {
+                dominates(data.point(p), row) || points_equal(data.point(p), row)
+            });
+            assert!(pruned_by_pivot, "{label}: point {q} vanished without a dominator");
+        }
+    }
+}
+
+#[test]
+fn sigma_controls_pivot_count_monotonically_in_spirit() {
+    // Larger σ never stops *earlier* than a smaller σ on the same data
+    // (the stability loop runs until σ' ≥ σ, and σ' is computed the same
+    // way for both runs).
+    for (data, label) in workload_grid() {
+        if data.dims() < 4 {
+            continue;
+        }
+        let mut m = Metrics::new();
+        let small = merge(
+            &data,
+            &MergeConfig { sigma: 2, max_pivots: 64, score: PivotScore::default() },
+            &mut m,
+        );
+        let large = merge(
+            &data,
+            &MergeConfig { sigma: data.dims(), max_pivots: 64, score: PivotScore::default() },
+            &mut m,
+        );
+        assert!(
+            small.pivots.len() <= large.pivots.len(),
+            "{label}: σ=2 used {} pivots, σ=d used {}",
+            small.pivots.len(),
+            large.pivots.len()
+        );
+    }
+}
+
+#[test]
+fn exhaustion_produces_the_full_skyline() {
+    // On strongly correlated data a handful of pivots often consumes the
+    // whole dataset; in that case merge alone must deliver the skyline.
+    let data = skyline_data::correlated(2000, 4, 31);
+    let mut m = Metrics::new();
+    let out = merge(&data, &MergeConfig { sigma: 4, max_pivots: 256, score: PivotScore::default() }, &mut m);
+    if out.exhausted {
+        assert_eq!(out.confirmed_skyline(), oracle_skyline(&data));
+    } else {
+        // Not exhausted: pivots + survivors together still cover the
+        // skyline.
+        let skyline = oracle_skyline(&data);
+        let confirmed = out.confirmed_skyline();
+        for s in skyline {
+            assert!(
+                confirmed.contains(&s) || out.survivors.contains(&s),
+                "skyline point {s} lost"
+            );
+        }
+    }
+}
