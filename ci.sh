@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Offline CI for the skyline-subset workspace.
+#
+# Everything here runs without network access: the workspace has no
+# registry dependencies (proptest and criterion are in-tree shims under
+# crates/), so a cold `cargo build` never touches crates.io.
+#
+#   ./ci.sh         # fmt + clippy + tier-1 build/test + gated targets
+#   ./ci.sh quick   # tier-1 only (what the driver enforces)
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+quick=${1:-}
+
+if [[ "$quick" != "quick" ]]; then
+    echo "==> cargo fmt --check"
+    cargo fmt --check
+
+    echo "==> cargo clippy --all-targets -- -D warnings"
+    cargo clippy --all-targets --quiet -- -D warnings
+fi
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+if [[ "$quick" != "quick" ]]; then
+    echo "==> opt-in: property tests"
+    cargo test -q -p skyline-integration-tests --features property-tests \
+        --test property_skyline
+
+    echo "==> opt-in: criterion benches compile + smoke"
+    cargo clippy -p skyline-bench --features criterion-benches --benches \
+        --quiet -- -D warnings
+    cargo bench -p skyline-bench --features criterion-benches \
+        --bench dominance -- --test >/dev/null
+
+    echo "==> trace smoke: compute --trace + report"
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT
+    ./target/release/skyline generate --dist UI -n 500 -d 4 --seed 1 \
+        -o "$tmp/ui.csv"
+    ./target/release/skyline compute "$tmp/ui.csv" --trace "$tmp/t.jsonl" \
+        >/dev/null
+    ./target/release/skyline report "$tmp/t.jsonl" | grep -q "algorithm runs"
+fi
+
+echo "CI OK"

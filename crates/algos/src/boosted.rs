@@ -10,13 +10,14 @@
 //! `sigma = None` selects the paper's recommended stability threshold
 //! `σ = round(d/3)` at run time.
 
-use skyline_core::boost::{boosted_skyline, BoostConfig, SortStrategy};
+use skyline_core::boost::{boosted_skyline, boosted_skyline_traced, BoostConfig, SortStrategy};
 use skyline_core::container::{SkylineContainer, SubsetContainer};
 use skyline_core::dataset::Dataset;
 use skyline_core::dominance::{dominates, lex_cmp, points_equal};
-use skyline_core::merge::{merge, MergeConfig};
+use skyline_core::merge::{merge_traced, MergeConfig};
 use skyline_core::metrics::Metrics;
 use skyline_core::point::{coordinate_sum, PointId};
+use skyline_obs::{NoopRecorder, Recorder};
 
 use crate::SkylineAlgorithm;
 
@@ -58,6 +59,20 @@ impl SkylineAlgorithm for SfsSubset {
         };
         boosted_skyline(data, &config, metrics).skyline
     }
+
+    fn compute_traced(
+        &self,
+        data: &Dataset,
+        metrics: &mut Metrics,
+        rec: &mut dyn Recorder,
+    ) -> Vec<PointId> {
+        let config = BoostConfig {
+            merge: merge_config(self.sigma, data.dims()),
+            sort: SortStrategy::Sum,
+            use_stop_point: false,
+        };
+        boosted_skyline_traced(data, &config, metrics, rec).skyline
+    }
 }
 
 /// SaLSa boosted by the subset index (minC presorting + stop point).
@@ -86,6 +101,20 @@ impl SkylineAlgorithm for SalsaSubset {
             use_stop_point: true,
         };
         boosted_skyline(data, &config, metrics).skyline
+    }
+
+    fn compute_traced(
+        &self,
+        data: &Dataset,
+        metrics: &mut Metrics,
+        rec: &mut dyn Recorder,
+    ) -> Vec<PointId> {
+        let config = BoostConfig {
+            merge: merge_config(self.sigma, data.dims()),
+            sort: SortStrategy::MinCoordinate,
+            use_stop_point: true,
+        };
+        boosted_skyline_traced(data, &config, metrics, rec).skyline
     }
 }
 
@@ -121,17 +150,29 @@ impl SkylineAlgorithm for SdiSubset {
     }
 
     fn compute_with_metrics(&self, data: &Dataset, metrics: &mut Metrics) -> Vec<PointId> {
+        self.compute_traced(data, metrics, &mut NoopRecorder)
+    }
+
+    fn compute_traced(
+        &self,
+        data: &Dataset,
+        metrics: &mut Metrics,
+        rec: &mut dyn Recorder,
+    ) -> Vec<PointId> {
         let dims = data.dims();
-        let outcome = merge(data, &merge_config(self.sigma, dims), metrics);
+        let outcome = merge_traced(data, &merge_config(self.sigma, dims), metrics, rec);
         let mut skyline = outcome.confirmed_skyline();
         if outcome.exhausted {
             return skyline;
         }
+        rec.span_start("sort");
 
         let survivors = &outcome.survivors;
         let m = survivors.len();
-        let sums: Vec<f64> =
-            survivors.iter().map(|&q| coordinate_sum(data.point(q))).collect();
+        let sums: Vec<f64> = survivors
+            .iter()
+            .map(|&q| coordinate_sum(data.point(q)))
+            .collect();
 
         // Per-dimension sorted indexes over survivor *positions*.
         let mut orders: Vec<Vec<u32>> = Vec::with_capacity(dims);
@@ -171,6 +212,8 @@ impl SkylineAlgorithm for SdiSubset {
             })
             .expect("survivors is non-empty");
         let stop_row = data.point(survivors[stop_pos]).to_vec();
+        rec.span_end("sort");
+        rec.span_start("scan");
 
         let mut container: SubsetContainer = SubsetContainer::new(dims);
         let mut status = vec![Status::Unknown; m];
@@ -255,9 +298,12 @@ impl SkylineAlgorithm for SdiSubset {
         }
 
         skyline.extend(
-            (0..m).filter(|&i| status[i] == Status::Skyline).map(|i| survivors[i]),
+            (0..m)
+                .filter(|&i| status[i] == Status::Skyline)
+                .map(|i| survivors[i]),
         );
         skyline.sort_unstable();
+        rec.span_end("scan");
         skyline
     }
 }
@@ -287,7 +333,11 @@ mod tests {
             let data = pseudo_random_dataset(n, d);
             let oracle = Bnl.compute(&data);
             assert_eq!(Sfs.compute(&data), oracle, "SFS n={n} d={d}");
-            assert_eq!(SfsSubset::default().compute(&data), oracle, "SFS-Subset n={n} d={d}");
+            assert_eq!(
+                SfsSubset::default().compute(&data),
+                oracle,
+                "SFS-Subset n={n} d={d}"
+            );
             assert_eq!(SaLSa.compute(&data), oracle, "SaLSa n={n} d={d}");
             assert_eq!(
                 SalsaSubset::default().compute(&data),
@@ -295,7 +345,11 @@ mod tests {
                 "SaLSa-Subset n={n} d={d}"
             );
             assert_eq!(Sdi.compute(&data), oracle, "SDI n={n} d={d}");
-            assert_eq!(SdiSubset::default().compute(&data), oracle, "SDI-Subset n={n} d={d}");
+            assert_eq!(
+                SdiSubset::default().compute(&data),
+                oracle,
+                "SDI-Subset n={n} d={d}"
+            );
         }
     }
 
@@ -320,8 +374,7 @@ mod tests {
     #[test]
     fn merge_exhaustion_path() {
         // A totally ordered chain: the merge phase consumes everything.
-        let rows: Vec<[f64; 3]> =
-            (0..40).map(|i| [i as f64, i as f64, i as f64]).collect();
+        let rows: Vec<[f64; 3]> = (0..40).map(|i| [i as f64, i as f64, i as f64]).collect();
         let data = Dataset::from_rows(&rows).unwrap();
         assert_eq!(SdiSubset::default().compute(&data), vec![0]);
         assert_eq!(SfsSubset::default().compute(&data), vec![0]);

@@ -121,7 +121,11 @@ impl SkylineAlgorithm for BSkyTreeS {
         if data.is_empty() {
             return Vec::new();
         }
-        let full = if data.dims() == 64 { u64::MAX } else { (1u64 << data.dims()) - 1 };
+        let full = if data.dims() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << data.dims()) - 1
+        };
         let ids: Vec<PointId> = (0..data.len() as PointId).collect();
         let pivot = balanced_pivot(data, &ids);
         let pivot_row = data.point(pivot);
@@ -187,7 +191,9 @@ pub struct BSkyTreeP {
 
 impl Default for BSkyTreeP {
     fn default() -> Self {
-        BSkyTreeP { block: DEFAULT_P_BLOCK }
+        BSkyTreeP {
+            block: DEFAULT_P_BLOCK,
+        }
     }
 }
 
@@ -210,7 +216,11 @@ impl BSkyTreeP {
             return block_skyline(data, &ids, metrics);
         }
         let dims = data.dims();
-        let full = if dims == 64 { u64::MAX } else { (1u64 << dims) - 1 };
+        let full = if dims == 64 {
+            u64::MAX
+        } else {
+            (1u64 << dims) - 1
+        };
         let pivot = balanced_pivot(data, &ids);
         let pivot_row = data.point(pivot);
 
@@ -356,8 +366,9 @@ mod tests {
         // Anti-correlated data spreads points across incomparable lattice
         // regions; BSkyTree-S must do fewer dominance tests than SFS-like
         // exhaustive filtering would.
-        let rows: Vec<[f64; 2]> =
-            (0..200).map(|i| [i as f64 / 200.0, (199 - i) as f64 / 200.0]).collect();
+        let rows: Vec<[f64; 2]> = (0..200)
+            .map(|i| [i as f64 / 200.0, (199 - i) as f64 / 200.0])
+            .collect();
         let data = Dataset::from_rows(&rows).unwrap();
         let mut m = Metrics::new();
         let sky = BSkyTreeS.compute_with_metrics(&data, &mut m);

@@ -49,11 +49,7 @@ pub fn order_by_min_coordinate(data: &Dataset) -> Vec<PointId> {
 ///
 /// Precondition: `order` is ascending under a monotone key, so every
 /// dominator of a point precedes it.
-pub fn presorted_filter(
-    data: &Dataset,
-    order: &[PointId],
-    metrics: &mut Metrics,
-) -> Vec<PointId> {
+pub fn presorted_filter(data: &Dataset, order: &[PointId], metrics: &mut Metrics) -> Vec<PointId> {
     let mut skyline: Vec<PointId> = Vec::new();
     for &id in order {
         let p = data.point(id);

@@ -35,7 +35,9 @@ pub struct DivideAndConquer {
 
 impl Default for DivideAndConquer {
     fn default() -> Self {
-        DivideAndConquer { block: DEFAULT_BLOCK }
+        DivideAndConquer {
+            block: DEFAULT_BLOCK,
+        }
     }
 }
 
@@ -127,15 +129,13 @@ mod tests {
 
     #[test]
     fn matches_bnl_small() {
-        let data = Dataset::from_rows(&[
-            [1.0, 9.0],
-            [2.0, 7.0],
-            [3.0, 8.0],
-            [9.0, 1.0],
-            [5.0, 5.0],
-        ])
-        .unwrap();
-        assert_eq!(DivideAndConquer::default().compute(&data), Bnl.compute(&data));
+        let data =
+            Dataset::from_rows(&[[1.0, 9.0], [2.0, 7.0], [3.0, 8.0], [9.0, 1.0], [5.0, 5.0]])
+                .unwrap();
+        assert_eq!(
+            DivideAndConquer::default().compute(&data),
+            Bnl.compute(&data)
+        );
     }
 
     #[test]
@@ -159,7 +159,11 @@ mod tests {
         let data = Dataset::from_rows(&vec![[1.0, 2.0]; 100]).unwrap();
         let dnc = DivideAndConquer { block: 4 };
         let sky = dnc.compute(&data);
-        assert_eq!(sky.len(), 100, "identical points are mutual skyline duplicates");
+        assert_eq!(
+            sky.len(),
+            100,
+            "identical points are mutual skyline duplicates"
+        );
     }
 
     #[test]

@@ -154,7 +154,13 @@ mod tests {
     #[test]
     fn heavy_ties_on_the_min_dimension() {
         let rows: Vec<[f64; 3]> = (0..150)
-            .map(|i| [((i * 3) % 4) as f64, ((i * 5) % 4) as f64, ((i * 7) % 4) as f64])
+            .map(|i| {
+                [
+                    ((i * 3) % 4) as f64,
+                    ((i * 5) % 4) as f64,
+                    ((i * 7) % 4) as f64,
+                ]
+            })
             .collect();
         let data = Dataset::from_rows(&rows).unwrap();
         assert_eq!(IndexAlgo.compute(&data), Bnl.compute(&data));

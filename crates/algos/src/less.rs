@@ -31,7 +31,9 @@ pub struct Less {
 
 impl Default for Less {
     fn default() -> Self {
-        Less { ef_window: DEFAULT_EF_WINDOW }
+        Less {
+            ef_window: DEFAULT_EF_WINDOW,
+        }
     }
 }
 

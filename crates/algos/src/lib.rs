@@ -52,6 +52,7 @@ use std::time::Instant;
 use skyline_core::dataset::Dataset;
 use skyline_core::metrics::{Metrics, RunMeasurement};
 use skyline_core::point::PointId;
+use skyline_obs::{Event, Recorder};
 
 /// A skyline algorithm: computes the complete set of non-dominated points.
 ///
@@ -78,7 +79,68 @@ pub trait SkylineAlgorithm {
         let start = Instant::now();
         let skyline = self.compute_with_metrics(data, &mut metrics);
         let elapsed = start.elapsed();
-        RunMeasurement { skyline, metrics, elapsed, cardinality: data.len() }
+        RunMeasurement {
+            skyline,
+            metrics,
+            elapsed,
+            cardinality: data.len(),
+        }
+    }
+
+    /// Compute the skyline with tracing. The default forwards to
+    /// [`SkylineAlgorithm::compute_with_metrics`] and ignores the
+    /// recorder — algorithms with internal phases (the subset-boosted
+    /// variants) override this to emit spans and per-phase events.
+    fn compute_traced(
+        &self,
+        data: &Dataset,
+        metrics: &mut Metrics,
+        _rec: &mut dyn Recorder,
+    ) -> Vec<PointId> {
+        self.compute_with_metrics(data, metrics)
+    }
+
+    /// [`SkylineAlgorithm::run`] with tracing: emits a `run_start` event,
+    /// wraps the computation in a `"run"` span, then emits `trie_stats`
+    /// (when the run touched the subset index) and a closing
+    /// `run_summary`.
+    fn run_traced(&self, data: &Dataset, rec: &mut dyn Recorder) -> RunMeasurement {
+        let mut metrics = Metrics::new();
+        if rec.enabled() {
+            rec.event(Event::RunStart {
+                algorithm: self.name().to_string(),
+                points: data.len() as u64,
+                dims: data.dims() as u64,
+            });
+        }
+        rec.span_start("run");
+        let start = Instant::now();
+        let skyline = self.compute_traced(data, &mut metrics, rec);
+        let elapsed = start.elapsed();
+        rec.span_end("run");
+        if rec.enabled() {
+            if !metrics.trie_depth.is_empty() || !metrics.trie_candidates.is_empty() {
+                rec.event(Event::TrieStats {
+                    nodes: metrics.index_nodes_visited,
+                    entries: metrics.container_puts,
+                    depth: metrics.trie_depth,
+                    candidates: metrics.trie_candidates,
+                });
+            }
+            rec.event(Event::RunSummary {
+                algorithm: self.name().to_string(),
+                skyline_size: skyline.len() as u64,
+                dominance_tests: metrics.dominance_tests,
+                container_gets: metrics.container_gets,
+                elapsed_us: elapsed.as_micros() as u64,
+            });
+        }
+        RunMeasurement {
+            skyline,
+            metrics,
+            elapsed,
+            cardinality: data.len(),
+        }
     }
 }
 
@@ -144,8 +206,10 @@ mod tests {
 
     #[test]
     fn evaluation_suite_matches_table_layout() {
-        let names: Vec<String> =
-            evaluation_suite(None).iter().map(|a| a.name().to_string()).collect();
+        let names: Vec<String> = evaluation_suite(None)
+            .iter()
+            .map(|a| a.name().to_string())
+            .collect();
         assert_eq!(
             names,
             vec![
@@ -163,12 +227,8 @@ mod tests {
 
     #[test]
     fn run_measures_time_and_counts() {
-        let data = skyline_core::dataset::Dataset::from_rows(&[
-            [1.0, 2.0],
-            [2.0, 1.0],
-            [3.0, 3.0],
-        ])
-        .unwrap();
+        let data = skyline_core::dataset::Dataset::from_rows(&[[1.0, 2.0], [2.0, 1.0], [3.0, 3.0]])
+            .unwrap();
         let m = bnl::Bnl.run(&data);
         assert_eq!(m.skyline, vec![0, 1]);
         assert!(m.metrics.dominance_tests > 0);

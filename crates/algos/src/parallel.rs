@@ -29,7 +29,9 @@ pub struct ParallelSfs {
 
 impl ParallelSfs {
     fn worker_count(&self, n: usize) -> usize {
-        let hw = thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let hw = thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
         let t = if self.threads == 0 { hw } else { self.threads };
         // No point spawning workers for tiny chunks.
         t.clamp(1, n.div_ceil(1024).max(1))

@@ -146,11 +146,13 @@ impl SkylineQuery {
         if self.band_k == 1 {
             let ids = match self.subspace {
                 None => self.algorithm.compute_with_metrics(data, &mut metrics),
-                Some(sub) => {
-                    subspace_skyline(data, sub, self.algorithm.as_ref(), &mut metrics)
-                }
+                Some(sub) => subspace_skyline(data, sub, self.algorithm.as_ref(), &mut metrics),
             };
-            return Ok(QueryResult { ids, dominator_counts: Vec::new(), metrics });
+            return Ok(QueryResult {
+                ids,
+                dominator_counts: Vec::new(),
+                metrics,
+            });
         }
         let band: Vec<BandPoint> = k_skyband(target, self.band_k, &mut metrics);
         Ok(QueryResult {
@@ -191,8 +193,16 @@ mod tests {
     #[test]
     fn preferences_in_bulk() {
         use Preference::{Max, Min};
-        let a = SkylineQuery::new().preferences(&[Min, Max, Min]).execute(&rows()).unwrap();
-        let b = SkylineQuery::new().minimize().maximize().minimize().execute(&rows()).unwrap();
+        let a = SkylineQuery::new()
+            .preferences(&[Min, Max, Min])
+            .execute(&rows())
+            .unwrap();
+        let b = SkylineQuery::new()
+            .minimize()
+            .maximize()
+            .minimize()
+            .execute(&rows())
+            .unwrap();
         assert_eq!(a.ids, b.ids);
     }
 

@@ -59,7 +59,11 @@ impl Mbr {
 
     /// Whether the rectangle contains `p` (inclusive).
     pub fn contains(&self, p: &[f64]) -> bool {
-        self.lo.iter().zip(&self.hi).zip(p).all(|((l, h), v)| l <= v && v <= h)
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(p)
+            .all(|((l, h), v)| l <= v && v <= h)
     }
 }
 
@@ -85,7 +89,11 @@ impl RTree {
     pub fn bulk_load(data: &Dataset) -> RTree {
         let n = data.len();
         if n == 0 {
-            return RTree { nodes: Vec::new(), root: None, root_mbr: None };
+            return RTree {
+                nodes: Vec::new(),
+                root: None,
+                root_mbr: None,
+            };
         }
         let mut ids: Vec<PointId> = (0..n as PointId).collect();
         let mut nodes: Vec<RNode> = Vec::new();
@@ -112,7 +120,11 @@ impl RTree {
             level = next;
         }
         let (root, root_mbr) = level.into_iter().next().expect("non-empty tree");
-        RTree { nodes, root: Some(root), root_mbr: Some(root_mbr) }
+        RTree {
+            nodes,
+            root: Some(root),
+            root_mbr: Some(root_mbr),
+        }
     }
 
     /// Root node index, if the tree is non-empty.
@@ -141,7 +153,11 @@ impl RTree {
             match tree.node(idx) {
                 RNode::Leaf(_) => 1,
                 RNode::Inner(children) => {
-                    1 + children.iter().map(|(c, _)| depth(tree, *c)).max().unwrap_or(0)
+                    1 + children
+                        .iter()
+                        .map(|(c, _)| depth(tree, *c))
+                        .max()
+                        .unwrap_or(0)
                 }
             }
         }
@@ -192,7 +208,11 @@ mod tests {
 
     fn pseudo_random_dataset(n: usize, d: usize) -> Dataset {
         let rows: Vec<Vec<f64>> = (0..n)
-            .map(|i| (0..d).map(|k| (((i * 31 + k * 7) * 2654435761usize) % 1000) as f64).collect())
+            .map(|i| {
+                (0..d)
+                    .map(|k| (((i * 31 + k * 7) * 2654435761usize) % 1000) as f64)
+                    .collect()
+            })
             .collect();
         Dataset::from_rows(&rows).unwrap()
     }
@@ -219,7 +239,11 @@ mod tests {
         for &(n, d) in &[(100usize, 2usize), (1000, 3), (5000, 6)] {
             let data = pseudo_random_dataset(n, d);
             let tree = RTree::bulk_load(&data);
-            assert_eq!(tree.all_ids(), (0..n as PointId).collect::<Vec<_>>(), "n={n} d={d}");
+            assert_eq!(
+                tree.all_ids(),
+                (0..n as PointId).collect::<Vec<_>>(),
+                "n={n} d={d}"
+            );
         }
     }
 

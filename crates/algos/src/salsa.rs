@@ -105,12 +105,7 @@ mod tests {
     fn stop_point_does_not_cut_duplicates_of_the_stopper() {
         // The stop condition is strict, so ties (including exact
         // duplicates of the stop point) are still scanned.
-        let data = Dataset::from_rows(&[
-            [0.5, 0.5],
-            [0.5, 0.5],
-            [0.5, 0.6],
-        ])
-        .unwrap();
+        let data = Dataset::from_rows(&[[0.5, 0.5], [0.5, 0.5], [0.5, 0.6]]).unwrap();
         assert_eq!(SaLSa.compute(&data), vec![0, 1]);
     }
 

@@ -78,8 +78,11 @@ pub(crate) fn stop_point(data: &Dataset) -> PointId {
     }
     let mut best = (f64::INFINITY, 0 as PointId);
     for (id, p) in data.iter() {
-        let score: f64 =
-            p.iter().zip(&min_corner).map(|(v, m)| (v - m) * (v - m)).sum();
+        let score: f64 = p
+            .iter()
+            .zip(&min_corner)
+            .map(|(v, m)| (v - m) * (v - m))
+            .sum();
         if score < best.0 {
             best = (score, id);
         }
@@ -117,9 +120,10 @@ impl SkylineAlgorithm for Sdi {
         loop {
             if pos[current] >= n {
                 // Dimension exhausted: hop to the next live one.
-                match (0..dims).filter(|&d| pos[d] < n).min_by_key(|&d| {
-                    (dim_skyline[d].len(), d)
-                }) {
+                match (0..dims)
+                    .filter(|&d| pos[d] < n)
+                    .min_by_key(|&d| (dim_skyline[d].len(), d))
+                {
                     Some(d) => {
                         current = d;
                         continue;
@@ -253,19 +257,17 @@ mod tests {
         let mut m = Metrics::new();
         let sky = Sdi.compute_with_metrics(&data, &mut m);
         assert_eq!(sky, vec![0]);
-        assert!(m.stop_pruned > 150, "expected positional pruning, got {}", m.stop_pruned);
+        assert!(
+            m.stop_pruned > 150,
+            "expected positional pruning, got {}",
+            m.stop_pruned
+        );
         assert!(m.mean_dominance_tests(data.len()) < 1.0);
     }
 
     #[test]
     fn duplicates_of_the_stop_point_survive() {
-        let data = Dataset::from_rows(&[
-            [0.1, 0.1],
-            [0.1, 0.1],
-            [0.5, 0.6],
-            [0.7, 0.8],
-        ])
-        .unwrap();
+        let data = Dataset::from_rows(&[[0.1, 0.1], [0.1, 0.1], [0.5, 0.6], [0.7, 0.8]]).unwrap();
         assert_eq!(Sdi.compute(&data), vec![0, 1]);
     }
 

@@ -61,7 +61,10 @@ pub fn k_skyband(data: &Dataset, k: usize, metrics: &mut Metrics) -> Vec<BandPoi
             }
         }
         if (count as usize) < k {
-            band.push(BandPoint { id, dominators: count });
+            band.push(BandPoint {
+                id,
+                dominators: count,
+            });
         }
     }
     band.sort_unstable_by_key(|b| b.id);
@@ -70,7 +73,10 @@ pub fn k_skyband(data: &Dataset, k: usize, metrics: &mut Metrics) -> Vec<BandPoi
 
 /// Convenience: the ids of the k-skyband, ascending.
 pub fn k_skyband_ids(data: &Dataset, k: usize, metrics: &mut Metrics) -> Vec<PointId> {
-    k_skyband(data, k, metrics).into_iter().map(|b| b.id).collect()
+    k_skyband(data, k, metrics)
+        .into_iter()
+        .map(|b| b.id)
+        .collect()
 }
 
 #[cfg(test)]
@@ -164,24 +170,31 @@ mod tests {
 
     #[test]
     fn duplicates_do_not_dominate_each_other() {
-        let data = Dataset::from_rows(&[
-            [1.0, 1.0],
-            [1.0, 1.0],
-            [2.0, 2.0],
-        ])
-        .unwrap();
+        let data = Dataset::from_rows(&[[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]]).unwrap();
         let mut m = Metrics::new();
         let band = k_skyband(&data, 2, &mut m);
         // Both duplicates have 0 dominators; [2,2] has 2.
         assert_eq!(
             band,
             vec![
-                BandPoint { id: 0, dominators: 0 },
-                BandPoint { id: 1, dominators: 0 },
+                BandPoint {
+                    id: 0,
+                    dominators: 0
+                },
+                BandPoint {
+                    id: 1,
+                    dominators: 0
+                },
             ]
         );
         let band3 = k_skyband(&data, 3, &mut m);
-        assert_eq!(band3[2], BandPoint { id: 2, dominators: 2 });
+        assert_eq!(
+            band3[2],
+            BandPoint {
+                id: 2,
+                dominators: 2
+            }
+        );
     }
 
     #[test]

@@ -19,8 +19,7 @@ use skyline_core::metrics::Metrics;
 use skyline_core::point::PointId;
 use skyline_core::subspace::Subspace;
 
-use crate::{SkylineAlgorithm,
-            salsa::SaLSa};
+use crate::{salsa::SaLSa, SkylineAlgorithm};
 
 /// Compute the skyline of `data` restricted to `subspace`, using `algo`.
 ///
@@ -55,11 +54,7 @@ impl Skycube {
     ///
     /// Panics if `data.dims() > MAX_SKYCUBE_DIMS` (the result would have
     /// more than 65,535 cuboids) or if the dataset has zero dimensions.
-    pub fn compute(
-        data: &Dataset,
-        algo: &dyn SkylineAlgorithm,
-        metrics: &mut Metrics,
-    ) -> Skycube {
+    pub fn compute(data: &Dataset, algo: &dyn SkylineAlgorithm, metrics: &mut Metrics) -> Skycube {
         let d = data.dims();
         assert!(d >= 1, "skycube of a zero-dimensional dataset");
         assert!(
@@ -104,7 +99,8 @@ impl Skycube {
     pub fn iter(&self) -> impl Iterator<Item = (Subspace, &[PointId])> {
         let mut keys: Vec<Subspace> = self.cuboids.keys().copied().collect();
         keys.sort_unstable();
-        keys.into_iter().map(move |k| (k, self.cuboids[&k].as_slice()))
+        keys.into_iter()
+            .map(move |k| (k, self.cuboids[&k].as_slice()))
     }
 
     /// Ids that appear in at least one cuboid — the points worth keeping

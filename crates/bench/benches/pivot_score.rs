@@ -14,8 +14,10 @@ fn bench_pivot_score(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     group.sample_size(10);
-    let workloads =
-        [("UI-8D", uniform_independent(20_000, 8, 55)), ("AC-8D", anti_correlated(20_000, 8, 55))];
+    let workloads = [
+        ("UI-8D", uniform_independent(20_000, 8, 55)),
+        ("AC-8D", anti_correlated(20_000, 8, 55)),
+    ];
     for (label, data) in &workloads {
         for (name, score) in [
             ("euclidean", PivotScore::Euclidean),
@@ -29,16 +31,12 @@ fn bench_pivot_score(c: &mut Criterion) {
                 sort: SortStrategy::Sum,
                 use_stop_point: false,
             };
-            group.bench_with_input(
-                BenchmarkId::new(name, label),
-                data,
-                |bencher, data| {
-                    bencher.iter(|| {
-                        let mut m = Metrics::new();
-                        black_box(boosted_skyline(data, &config, &mut m))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, label), data, |bencher, data| {
+                bencher.iter(|| {
+                    let mut m = Metrics::new();
+                    black_box(boosted_skyline(data, &config, &mut m))
+                })
+            });
         }
     }
     group.finish();

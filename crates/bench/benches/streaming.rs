@@ -13,8 +13,13 @@ fn bench_insert_throughput(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.sample_size(10);
     for dist in [Distribution::Independent, Distribution::Correlated] {
-        let data = SyntheticSpec { distribution: dist, cardinality: 10_000, dims: 6, seed: 8 }
-            .generate();
+        let data = SyntheticSpec {
+            distribution: dist,
+            cardinality: 10_000,
+            dims: 6,
+            seed: 8,
+        }
+        .generate();
         group.bench_with_input(BenchmarkId::from_parameter(dist.tag()), &data, |b, data| {
             b.iter(|| {
                 let mut sky = StreamingSkyline::new(data.dims()).unwrap();

@@ -3,16 +3,17 @@
 //! Lemma 5.3 (`O((d/2)²)` query) in practice.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 use skyline_core::metrics::Metrics;
 use skyline_core::subset_index::SubsetIndex;
 use skyline_core::subspace::Subspace;
+use skyline_data::rng::Rng64;
 
 fn random_subspaces(dims: usize, count: usize, seed: u64) -> Vec<Subspace> {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mask = Subspace::full(dims).bits();
-    (0..count).map(|_| Subspace::from_bits(rng.gen::<u64>() & mask)).collect()
+    (0..count)
+        .map(|_| Subspace::from_bits(rng.next_u64() & mask))
+        .collect()
 }
 
 fn bench_put(c: &mut Criterion) {
@@ -72,19 +73,23 @@ fn bench_query_vs_stored(c: &mut Criterion) {
             index.put(i as u32, s);
         }
         let queries = random_subspaces(dims, 64, 23);
-        group.bench_with_input(BenchmarkId::from_parameter(stored), &stored, |bencher, _| {
-            let mut out = Vec::new();
-            let mut m = Metrics::new();
-            bencher.iter(|| {
-                let mut total = 0usize;
-                for &q in &queries {
-                    out.clear();
-                    index.query_into(q, &mut out, &mut m);
-                    total += out.len();
-                }
-                black_box(total)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(stored),
+            &stored,
+            |bencher, _| {
+                let mut out = Vec::new();
+                let mut m = Metrics::new();
+                bencher.iter(|| {
+                    let mut total = 0usize;
+                    for &q in &queries {
+                        out.clear();
+                        index.query_into(q, &mut out, &mut m);
+                        total += out.len();
+                    }
+                    black_box(total)
+                })
+            },
+        );
     }
     group.finish();
 }

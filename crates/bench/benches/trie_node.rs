@@ -3,16 +3,17 @@
 //! (Lemma 5.2 discussion).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 use skyline_core::metrics::Metrics;
 use skyline_core::subset_index::{SortedSubsetIndex, SubsetIndex};
 use skyline_core::subspace::Subspace;
+use skyline_data::rng::Rng64;
 
 fn subspaces(dims: usize, count: usize, seed: u64) -> Vec<Subspace> {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mask = Subspace::full(dims).bits();
-    (0..count).map(|_| Subspace::from_bits(rng.gen::<u64>() & mask)).collect()
+    (0..count)
+        .map(|_| Subspace::from_bits(rng.next_u64() & mask))
+        .collect()
 }
 
 fn bench_trie_node(c: &mut Criterion) {

@@ -1,0 +1,106 @@
+//! Machine-readable benchmark artefacts (`BENCH_*.json`).
+//!
+//! Each PR in the repository's history leaves one `BENCH_<PR>.json` at
+//! the repo root: the evaluation suite measured on a fixed reference
+//! workload, one record per algorithm with the paper's two metrics
+//! (mean dominance tests, milliseconds) plus the skyline size. The
+//! sequence of artefacts is the performance trajectory of the codebase.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use skyline_algos::evaluation_suite;
+use skyline_data::{Distribution, SyntheticSpec};
+use skyline_obs::json::ObjectWriter;
+
+use crate::harness::measure;
+
+/// The reference workload every `BENCH_*.json` is measured on: the
+/// paper's hard case (anti-correlated) at laptop scale.
+pub fn reference_workload() -> SyntheticSpec {
+    SyntheticSpec {
+        distribution: Distribution::AntiCorrelated,
+        cardinality: 5_000,
+        dims: 6,
+        seed: 42,
+    }
+}
+
+/// Measure the evaluation suite on `spec` and serialise the result as a
+/// `BENCH_*.json` document (pretty-printed, one algorithm per line).
+pub fn bench_artifact_json(label: &str, spec: &SyntheticSpec, runs: usize) -> String {
+    let data = spec.generate();
+    let mut algos = String::from("[");
+    for (i, algo) in evaluation_suite(None).iter().enumerate() {
+        let cell = measure(algo.as_ref(), &data, runs);
+        let mut w = ObjectWriter::new();
+        w.str_field("algorithm", algo.name())
+            .f64_field("mean_dt", cell.mean_dt)
+            .f64_field("ms", cell.ms)
+            .u64_field("skyline", cell.skyline as u64);
+        let _ = write!(algos, "{}{}", if i == 0 { "" } else { "," }, w.finish());
+    }
+    algos.push(']');
+
+    let mut workload = ObjectWriter::new();
+    workload
+        .str_field("distribution", spec.distribution.tag())
+        .u64_field("cardinality", spec.cardinality as u64)
+        .u64_field("dims", spec.dims as u64)
+        .u64_field("seed", spec.seed)
+        .u64_field("runs", runs.max(1) as u64);
+
+    let mut doc = ObjectWriter::new();
+    doc.str_field("artifact", label)
+        .raw_field("workload", &workload.finish())
+        .raw_field("algorithms", &algos);
+    let mut out = doc.finish();
+    out.push('\n');
+    out
+}
+
+/// Write a `BENCH_*.json` artefact to `path`.
+pub fn write_bench_artifact(
+    path: &Path,
+    label: &str,
+    spec: &SyntheticSpec,
+    runs: usize,
+) -> std::io::Result<()> {
+    std::fs::write(path, bench_artifact_json(label, spec, runs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyline_obs::json::Value;
+
+    #[test]
+    fn artifact_is_valid_json_with_all_algorithms() {
+        let spec = SyntheticSpec {
+            distribution: Distribution::Independent,
+            cardinality: 200,
+            dims: 4,
+            seed: 7,
+        };
+        let doc = bench_artifact_json("BENCH_TEST", &spec, 1);
+        let v = Value::parse(doc.trim()).expect("artifact parses");
+        assert_eq!(v.get("artifact").unwrap().as_str(), Some("BENCH_TEST"));
+        let w = v.get("workload").unwrap();
+        assert_eq!(w.get("cardinality").unwrap().as_u64(), Some(200));
+        assert_eq!(w.get("distribution").unwrap().as_str(), Some("UI"));
+        let algos = v.get("algorithms").unwrap().as_arr().unwrap();
+        assert_eq!(algos.len(), evaluation_suite(None).len());
+        // Every algorithm computes the same skyline.
+        let sizes: Vec<u64> = algos
+            .iter()
+            .map(|a| a.get("skyline").unwrap().as_u64().unwrap())
+            .collect();
+        assert!(
+            sizes.windows(2).all(|w| w[0] == w[1]),
+            "skyline sizes differ: {sizes:?}"
+        );
+        assert!(algos
+            .iter()
+            .all(|a| a.get("mean_dt").unwrap().as_f64().unwrap() > 0.0));
+    }
+}

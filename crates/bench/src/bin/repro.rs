@@ -4,7 +4,12 @@
 //! repro list                 # experiment index
 //! repro <exp-id>... [--full] [--runs N]
 //! repro all [--full]         # everything, in paper order
+//! repro bench-json [--out BENCH_PR1.json] [--runs N]
 //! ```
+//!
+//! `bench-json` measures the evaluation suite on the fixed reference
+//! workload and writes a machine-readable `BENCH_*.json` artefact
+//! (per-algorithm mean DT, milliseconds, skyline size).
 //!
 //! Default workloads are laptop-scale; `--full` uses the paper's exact
 //! cardinalities (hours of compute for the AC sweeps). Results print to
@@ -12,11 +17,58 @@
 
 use std::process::ExitCode;
 
+use skyline_bench::artifact::{reference_workload, write_bench_artifact};
 use skyline_bench::experiments::{experiment_index, run_experiment};
 use skyline_bench::harness::Scale;
 
+fn bench_json(args: &[String]) -> ExitCode {
+    let out = match args.iter().position(|a| a == "--out") {
+        None => "BENCH_PR1.json".to_string(),
+        Some(i) => match args.get(i + 1) {
+            Some(p) => p.clone(),
+            None => {
+                eprintln!("error: --out expects a path");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let runs = match args.iter().position(|a| a == "--runs") {
+        None => 3,
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(r) if r >= 1 => r,
+            _ => {
+                eprintln!("error: --runs expects a positive integer");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let label = std::path::Path::new(&out)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("BENCH")
+        .to_string();
+    let spec = reference_workload();
+    eprintln!(
+        "==> bench-json: {} n={} d={} seed={} ({runs} runs) -> {out}",
+        spec.distribution.tag(),
+        spec.cardinality,
+        spec.dims,
+        spec.seed
+    );
+    match write_bench_artifact(std::path::Path::new(&out), &label, &spec, runs) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {out}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("bench-json") {
+        return bench_json(&args[1..]);
+    }
     let full = args.iter().any(|a| a == "--full");
     let runs = match args.iter().position(|a| a == "--runs") {
         None => {
@@ -56,6 +108,7 @@ fn main() -> ExitCode {
             println!("  {id:<9} {desc}");
         }
         println!("  all       run everything in paper order");
+        println!("  bench-json [--out BENCH_PR1.json] [--runs N]  machine-readable suite timings");
         return ExitCode::SUCCESS;
     }
 
@@ -65,7 +118,12 @@ fn main() -> ExitCode {
             .map(|(id, _)| id.to_string())
             // The RT ids alias their DT sibling; running both would just
             // repeat the same computation.
-            .filter(|id| !matches!(id.as_str(), "fig5" | "table3" | "table5" | "table7" | "table9" | "table11" | "table13"))
+            .filter(|id| {
+                !matches!(
+                    id.as_str(),
+                    "fig5" | "table3" | "table5" | "table7" | "table9" | "table11" | "table13"
+                )
+            })
             .collect();
     }
 

@@ -34,8 +34,13 @@ fn seed_for(dist: Distribution, n: usize, d: usize) -> u64 {
 }
 
 fn dataset(dist: Distribution, n: usize, d: usize) -> Dataset {
-    SyntheticSpec { distribution: dist, cardinality: n, dims: d, seed: seed_for(dist, n, d) }
-        .generate()
+    SyntheticSpec {
+        distribution: dist,
+        cardinality: n,
+        dims: d,
+        seed: seed_for(dist, n, d),
+    }
+    .generate()
 }
 
 /// Run the full evaluation suite over a sequence of workloads and build
@@ -49,8 +54,10 @@ fn sweep(
     runs: usize,
 ) -> (Table, Table) {
     let suite = evaluation_suite(sigma);
-    let mut dt_rows: Vec<(String, Vec<f64>)> =
-        suite.iter().map(|a| (a.name().to_string(), Vec::new())).collect();
+    let mut dt_rows: Vec<(String, Vec<f64>)> = suite
+        .iter()
+        .map(|a| (a.name().to_string(), Vec::new()))
+        .collect();
     let mut rt_rows = dt_rows.clone();
     let mut columns = Vec::new();
     for (label, data) in &workloads {
@@ -78,7 +85,12 @@ fn sweep(
             columns: columns.clone(),
             rows: dt_rows,
         },
-        Table { title: title_rt, param_label: param_label.to_string(), columns, rows: rt_rows },
+        Table {
+            title: title_rt,
+            param_label: param_label.to_string(),
+            columns,
+            rows: rt_rows,
+        },
     )
 }
 
@@ -252,9 +264,18 @@ pub fn fig4_fig5(scale: Scale) -> String {
         let mut rt_rows: Vec<(String, Vec<f64>)> = Vec::new();
         type AlgoFactory = Box<dyn Fn(usize) -> Box<dyn SkylineAlgorithm>>;
         let algos: Vec<(&str, AlgoFactory)> = vec![
-            ("SFS-Subset", Box::new(|s| Box::new(SfsSubset::new(Some(s))))),
-            ("SaLSa-Subset", Box::new(|s| Box::new(SalsaSubset::new(Some(s))))),
-            ("SDI-Subset", Box::new(|s| Box::new(SdiSubset::new(Some(s))))),
+            (
+                "SFS-Subset",
+                Box::new(|s| Box::new(SfsSubset::new(Some(s)))),
+            ),
+            (
+                "SaLSa-Subset",
+                Box::new(|s| Box::new(SalsaSubset::new(Some(s)))),
+            ),
+            (
+                "SDI-Subset",
+                Box::new(|s| Box::new(SdiSubset::new(Some(s)))),
+            ),
         ];
         for (name, make) in &algos {
             let mut dts = Vec::new();
@@ -312,17 +333,29 @@ pub fn real_table(which: usize, scale: Scale) -> String {
     let (name, data, sigma) = match which {
         15 => (
             "HOUSE' (6-D anti-correlated stand-in)",
-            if scale.full { house() } else { house_scaled(20_000) },
+            if scale.full {
+                house()
+            } else {
+                house_scaled(20_000)
+            },
             HOUSE_SIGMA,
         ),
         16 => (
             "NBA' (8-D mildly correlated stand-in)",
-            if scale.full { nba() } else { nba_scaled(17_264) },
+            if scale.full {
+                nba()
+            } else {
+                nba_scaled(17_264)
+            },
             NBA_SIGMA,
         ),
         17 => (
             "WEATHER' (15-D duplicate-heavy stand-in)",
-            if scale.full { weather() } else { weather_scaled(30_000) },
+            if scale.full {
+                weather()
+            } else {
+                weather_scaled(30_000)
+            },
             WEATHER_SIGMA,
         ),
         other => panic!("no real-dataset table {other}"),
@@ -344,7 +377,11 @@ fn two_metric_table(title: &str, data: &Dataset, sigma: Option<usize>, runs: usi
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "### {title}");
-    let _ = writeln!(out, "{:<18} {:>14} {:>14} {:>10}", "Method", "DT", "RT (ms)", "skyline");
+    let _ = writeln!(
+        out,
+        "{:<18} {:>14} {:>14} {:>10}",
+        "Method", "DT", "RT (ms)", "skyline"
+    );
     let suite = evaluation_suite(sigma);
     let mut prev: Option<(String, f64, f64)> = None;
     for algo in &suite {
@@ -386,22 +423,46 @@ fn two_metric_table(title: &str, data: &Dataset, sigma: Option<usize>, runs: usi
 /// descriptions.
 pub fn experiment_index() -> Vec<(&'static str, &'static str)> {
     vec![
-        ("fig2", "points per subspace size, single pivot (AC/CO/UI, 8-D)"),
-        ("fig4", "mean DT vs stability threshold σ (boosted algorithms, 8-D)"),
-        ("fig5", "elapsed time vs stability threshold σ (same runs as fig4)"),
+        (
+            "fig2",
+            "points per subspace size, single pivot (AC/CO/UI, 8-D)",
+        ),
+        (
+            "fig4",
+            "mean DT vs stability threshold σ (boosted algorithms, 8-D)",
+        ),
+        (
+            "fig5",
+            "elapsed time vs stability threshold σ (same runs as fig4)",
+        ),
         ("fig6", "points per subspace size at σ = 3 (AC/CO/UI, 8-D)"),
         ("table1", "skyline sizes of all synthetic datasets"),
-        ("table2", "DT on AC, dimensionality sweep (prints Table 3 too)"),
+        (
+            "table2",
+            "DT on AC, dimensionality sweep (prints Table 3 too)",
+        ),
         ("table3", "RT on AC, dimensionality sweep (alias of table2)"),
         ("table4", "DT on AC, cardinality sweep (prints Table 5 too)"),
         ("table5", "RT on AC, cardinality sweep (alias of table4)"),
-        ("table6", "DT on CO, dimensionality sweep (prints Table 7 too)"),
+        (
+            "table6",
+            "DT on CO, dimensionality sweep (prints Table 7 too)",
+        ),
         ("table7", "RT on CO, dimensionality sweep (alias of table6)"),
         ("table8", "DT on CO, cardinality sweep (prints Table 9 too)"),
         ("table9", "RT on CO, cardinality sweep (alias of table8)"),
-        ("table10", "DT on UI, dimensionality sweep (prints Table 11 too)"),
-        ("table11", "RT on UI, dimensionality sweep (alias of table10)"),
-        ("table12", "DT on UI, cardinality sweep (prints Table 13 too)"),
+        (
+            "table10",
+            "DT on UI, dimensionality sweep (prints Table 11 too)",
+        ),
+        (
+            "table11",
+            "RT on UI, dimensionality sweep (alias of table10)",
+        ),
+        (
+            "table12",
+            "DT on UI, cardinality sweep (prints Table 13 too)",
+        ),
         ("table13", "RT on UI, cardinality sweep (alias of table12)"),
         ("table14", "all methods on the large 4-D UI dataset"),
         ("table15", "the HOUSE' stand-in (σ = 4)"),
@@ -437,7 +498,10 @@ mod tests {
     use super::*;
 
     fn tiny() -> Scale {
-        Scale { full: false, runs: 1 }
+        Scale {
+            full: false,
+            runs: 1,
+        }
     }
 
     #[test]
@@ -453,7 +517,10 @@ mod tests {
     fn experiment_index_covers_every_table_and_figure() {
         let ids: Vec<&str> = experiment_index().iter().map(|(id, _)| *id).collect();
         for t in 1..=17 {
-            assert!(ids.contains(&format!("table{t}").as_str()), "table{t} missing");
+            assert!(
+                ids.contains(&format!("table{t}").as_str()),
+                "table{t} missing"
+            );
         }
         for f in [2, 4, 5, 6] {
             assert!(ids.contains(&format!("fig{f}").as_str()), "fig{f} missing");
@@ -481,7 +548,15 @@ mod tests {
         // repro binary, not unit tests.
         let data = dataset(Distribution::Independent, 300, 8);
         let mut m = Metrics::new();
-        let out = merge(&data, &MergeConfig { sigma: 3, max_pivots: 1, score: PivotScore::default() }, &mut m);
+        let out = merge(
+            &data,
+            &MergeConfig {
+                sigma: 3,
+                max_pivots: 1,
+                score: PivotScore::default(),
+            },
+            &mut m,
+        );
         let hist = out.size_histogram(8);
         assert_eq!(hist.iter().sum::<usize>(), out.survivors.len());
     }

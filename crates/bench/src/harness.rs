@@ -16,12 +16,18 @@ pub struct Scale {
 impl Scale {
     /// Quick laptop-scale configuration (single run per cell).
     pub fn quick() -> Self {
-        Scale { full: false, runs: 1 }
+        Scale {
+            full: false,
+            runs: 1,
+        }
     }
 
     /// The paper's configuration (full sizes, mean of 10 runs).
     pub fn full() -> Self {
-        Scale { full: true, runs: 10 }
+        Scale {
+            full: true,
+            runs: 10,
+        }
     }
 
     /// Pick between the scaled-down and the paper's value.
@@ -57,7 +63,11 @@ pub fn measure(algo: &dyn SkylineAlgorithm, data: &Dataset, runs: usize) -> Cell
         ms += r.elapsed_ms();
         skyline = r.skyline.len();
     }
-    Cell { mean_dt: dt / runs as f64, ms: ms / runs as f64, skyline }
+    Cell {
+        mean_dt: dt / runs as f64,
+        ms: ms / runs as f64,
+        skyline,
+    }
 }
 
 /// A metric matrix in the paper's layout: one row per method (with
@@ -116,7 +126,11 @@ impl Table {
                     let _ = writeln!(out);
                     let _ = write!(out, "{:<name_width$}", "Performance Gain");
                     for (base, boosted) in values.iter().zip(next_values) {
-                        let gain = if *boosted > 0.0 { base / boosted } else { f64::INFINITY };
+                        let gain = if *boosted > 0.0 {
+                            base / boosted
+                        } else {
+                            f64::INFINITY
+                        };
                         let cell = if gain > 1.005 {
                             if gain.is_finite() {
                                 format!("x {gain:.2}")

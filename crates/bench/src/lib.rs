@@ -11,5 +11,6 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod artifact;
 pub mod experiments;
 pub mod harness;

@@ -2,21 +2,30 @@
 //!
 //! ```text
 //! skyline compute  <input.csv> [--algo NAME] [--sigma N] [--prefs MIN,MAX,...]
-//!                  [--skyband K] [--rows]
-//! skyline bench    <input.csv> [--sigma N]
+//!                  [--skyband K] [--rows] [--trace out.jsonl]
+//! skyline bench    <input.csv> [--sigma N] [--trace out.jsonl]
+//! skyline report   <trace.jsonl>
 //! skyline generate --dist UI|CO|AC -n N -d D [--seed S] [-o out.csv]
 //! skyline stats    <input.csv>
 //! skyline tune     <input.csv> [--sample N]
 //! skyline algorithms
 //! ```
+//!
+//! Tracing: `--trace <path>` (or the `SKYLINE_TRACE` environment
+//! variable) appends structured JSON-lines telemetry — spans, Merge
+//! iterations, trie statistics, run summaries — which `skyline report`
+//! aggregates back into tables.
 
+use std::fs::File;
 use std::process::ExitCode;
 
 use skyline_algos::{algorithm_by_name, all_algorithms, evaluation_suite, SkylineAlgorithm};
 use skyline_core::dataset::Dataset;
+use skyline_core::metrics::RunMeasurement;
 use skyline_core::point::{apply_preferences, Preference};
 use skyline_data::io::{read_csv_file, write_csv, write_csv_file};
 use skyline_data::{Distribution, SyntheticSpec};
+use skyline_obs::{JsonlRecorder, TraceSummary};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,13 +42,16 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   skyline compute  <input.csv> [--algo NAME] [--sigma N] [--prefs MIN,MAX,...]
-                   [--skyband K] [--rows]
-  skyline bench    <input.csv> [--sigma N]
+                   [--skyband K] [--rows] [--trace out.jsonl]
+  skyline bench    <input.csv> [--sigma N] [--trace out.jsonl]
+  skyline report   <trace.jsonl>
   skyline generate --dist UI|CO|AC -n N -d D [--seed S] [-o out.csv]
   skyline stats    <input.csv>
   skyline tune     <input.csv> [--sample N]
-  skyline algorithms";
+  skyline algorithms
 
+tracing: --trace PATH (or env SKYLINE_TRACE=PATH) writes JSON-lines
+telemetry; `skyline report` renders a trace file as tables.";
 
 /// Write one line to `out`, treating a closed pipe (e.g. `| head`) as a
 /// polite request to stop rather than an error. Returns `false` when the
@@ -65,6 +77,7 @@ fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("compute") => compute(&args[1..]),
         Some("bench") => bench(&args[1..]),
+        Some("report") => report(&args[1..]),
         Some("generate") => generate(&args[1..]),
         Some("stats") => stats(&args[1..]),
         Some("tune") => tune(&args[1..]),
@@ -91,6 +104,52 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, Str
             .get(i + 1)
             .map(|s| Some(s.as_str()))
             .ok_or_else(|| format!("flag {flag} requires a value")),
+    }
+}
+
+/// Open the JSON-lines trace sink selected by `--trace <path>` or, when
+/// the flag is absent, the `SKYLINE_TRACE` environment variable.
+fn open_trace(args: &[String]) -> Result<Option<JsonlRecorder<File>>, String> {
+    let from_env = std::env::var("SKYLINE_TRACE")
+        .ok()
+        .filter(|p| !p.is_empty());
+    let path = match flag_value(args, "--trace")? {
+        Some(p) => Some(p.to_string()),
+        None => from_env,
+    };
+    match path {
+        None => Ok(None),
+        Some(p) => JsonlRecorder::create(std::path::Path::new(&p))
+            .map(Some)
+            .map_err(|e| format!("--trace {p}: {e}")),
+    }
+}
+
+/// Flush and close a trace sink, surfacing any write errors it swallowed.
+fn finish_trace(trace: Option<JsonlRecorder<File>>) -> Result<(), String> {
+    match trace {
+        None => Ok(()),
+        Some(rec) => {
+            let errors = rec.io_errors();
+            rec.into_inner().map_err(|e| format!("trace: {e}"))?;
+            if errors > 0 {
+                Err(format!("trace: {errors} records failed to write"))
+            } else {
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Run an algorithm, tracing into `rec` when a sink is open.
+fn run_maybe_traced(
+    algo: &dyn SkylineAlgorithm,
+    data: &Dataset,
+    rec: &mut Option<JsonlRecorder<File>>,
+) -> RunMeasurement {
+    match rec {
+        Some(rec) => algo.run_traced(data, rec),
+        None => algo.run(data),
     }
 }
 
@@ -164,7 +223,9 @@ fn compute(args: &[String]) -> Result<(), String> {
             algorithm_by_name(name).ok_or_else(|| format!("unknown algorithm {name:?}"))?
         }
     };
-    let result = algo.run(&data);
+    let mut trace = open_trace(args)?;
+    let result = run_maybe_traced(algo.as_ref(), &data, &mut trace);
+    finish_trace(trace)?;
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     if args.iter().any(|a| a == "--rows") {
@@ -207,7 +268,10 @@ fn stats(args: &[String]) -> Result<(), String> {
     )?;
     write_line(
         &mut out,
-        format_args!("{:<6} {:>14} {:>14} {:>10}", "dim", "min", "max", "distinct"),
+        format_args!(
+            "{:<6} {:>14} {:>14} {:>10}",
+            "dim", "min", "max", "distinct"
+        ),
     )?;
     for (d, (lo, hi)) in skyline_data::stats::ranges(&data).into_iter().enumerate() {
         if !write_line(
@@ -236,7 +300,10 @@ fn tune(args: &[String]) -> Result<(), String> {
         None => skyline_core::tuner::TunerConfig::default().sample_size,
         Some(v) => v.parse().map_err(|_| "--sample expects an integer")?,
     };
-    let config = skyline_core::tuner::TunerConfig { sample_size, ..Default::default() };
+    let config = skyline_core::tuner::TunerConfig {
+        sample_size,
+        ..Default::default()
+    };
     let report = skyline_core::tuner::tune_sigma(&data, &config);
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -249,7 +316,10 @@ fn tune(args: &[String]) -> Result<(), String> {
         ),
     )?;
     if !report.trials.is_empty() {
-        write_line(&mut out, format_args!("sample size: {}", report.sample_size))?;
+        write_line(
+            &mut out,
+            format_args!("sample size: {}", report.sample_size),
+        )?;
         write_line(
             &mut out,
             format_args!(
@@ -279,14 +349,18 @@ fn bench(args: &[String]) -> Result<(), String> {
         .ok_or("bench requires an input file")?;
     let data = load(path, args)?;
     let sigma = parse_sigma(args)?;
+    let mut trace = open_trace(args)?;
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     write_line(
         &mut out,
-        format_args!("{:<14} {:>12} {:>12} {:>10}", "algorithm", "mean DT", "time (ms)", "skyline"),
+        format_args!(
+            "{:<14} {:>12} {:>12} {:>10}",
+            "algorithm", "mean DT", "time (ms)", "skyline"
+        ),
     )?;
     for algo in evaluation_suite(sigma) {
-        let r = algo.run(&data);
+        let r = run_maybe_traced(algo.as_ref(), &data, &mut trace);
         if !write_line(
             &mut out,
             format_args!(
@@ -300,6 +374,23 @@ fn bench(args: &[String]) -> Result<(), String> {
             break;
         }
     }
+    finish_trace(trace)?;
+    Ok(())
+}
+
+fn report(args: &[String]) -> Result<(), String> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("report requires a trace file")?;
+    let summary =
+        TraceSummary::from_file(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    pipe_ok(std::io::Write::write_all(
+        &mut out,
+        summary.render().as_bytes(),
+    ))?;
     Ok(())
 }
 
@@ -321,7 +412,13 @@ fn generate(args: &[String]) -> Result<(), String> {
         None => 42,
         Some(s) => s.parse().map_err(|_| "--seed expects an integer")?,
     };
-    let data = SyntheticSpec { distribution: dist, cardinality: n, dims: d, seed }.generate();
+    let data = SyntheticSpec {
+        distribution: dist,
+        cardinality: n,
+        dims: d,
+        seed,
+    }
+    .generate();
     match flag_value(args, "-o")? {
         Some(path) => write_csv_file(path, &data).map_err(|e| e.to_string())?,
         None => {

@@ -18,10 +18,12 @@
 //! confirmed when the point is tested (the presorting condition of
 //! Lemma 5.1).
 
+use skyline_obs::{NoopRecorder, Recorder};
+
 use crate::container::{SkylineContainer, SubsetContainer};
 use crate::dataset::Dataset;
 use crate::dominance::{dominates, lex_cmp};
-use crate::merge::{merge, MergeConfig, MergeOutcome};
+use crate::merge::{merge_traced, MergeConfig, MergeOutcome};
 use crate::metrics::Metrics;
 use crate::point::{coordinate_sum, max_coordinate, min_coordinate, PointId};
 use crate::subspace::Subspace;
@@ -47,9 +49,7 @@ impl SortStrategy {
     fn key(self, point: &[f64], min_corner: &[f64]) -> (f64, f64) {
         match self {
             SortStrategy::Sum => (coordinate_sum(point), 0.0),
-            SortStrategy::MinCoordinate => {
-                (min_coordinate(point), coordinate_sum(point))
-            }
+            SortStrategy::MinCoordinate => (min_coordinate(point), coordinate_sum(point)),
             SortStrategy::Euclidean => (
                 point
                     .iter()
@@ -96,6 +96,17 @@ pub fn boosted_skyline(
     boosted_skyline_with(data, config, &mut container, metrics)
 }
 
+/// [`boosted_skyline`] with tracing (see [`boosted_skyline_traced_with`]).
+pub fn boosted_skyline_traced(
+    data: &Dataset,
+    config: &BoostConfig,
+    metrics: &mut Metrics,
+    rec: &mut dyn Recorder,
+) -> BoostOutcome {
+    let mut container: SubsetContainer = SubsetContainer::new(data.dims());
+    boosted_skyline_traced_with(data, config, &mut container, metrics, rec)
+}
+
 /// Run the boosted computation with an arbitrary container (used by the
 /// container ablation and by the degenerate list variant).
 pub fn boosted_skyline_with(
@@ -104,7 +115,22 @@ pub fn boosted_skyline_with(
     container: &mut dyn SkylineContainer,
     metrics: &mut Metrics,
 ) -> BoostOutcome {
-    let outcome = merge(data, &config.merge, metrics);
+    boosted_skyline_traced_with(data, config, container, metrics, &mut NoopRecorder)
+}
+
+/// [`boosted_skyline_with`] with tracing: the merge phase runs under a
+/// `"merge"` span with per-iteration events, the survivor presort under a
+/// `"sort"` span, and the container-filtered scan under a `"scan"` span.
+/// Recorder calls happen only at these phase boundaries, never inside the
+/// per-point loop.
+pub fn boosted_skyline_traced_with(
+    data: &Dataset,
+    config: &BoostConfig,
+    container: &mut dyn SkylineContainer,
+    metrics: &mut Metrics,
+    rec: &mut dyn Recorder,
+) -> BoostOutcome {
+    let outcome = merge_traced(data, &config.merge, metrics, rec);
     let mut skyline = outcome.confirmed_skyline();
     if outcome.exhausted {
         return BoostOutcome {
@@ -113,7 +139,15 @@ pub fn boosted_skyline_with(
             merge_exhausted: true,
         };
     }
-    scan_survivors(data, config, &outcome, container, &mut skyline, metrics);
+    scan_survivors(
+        data,
+        config,
+        &outcome,
+        container,
+        &mut skyline,
+        metrics,
+        rec,
+    );
     skyline.sort_unstable();
     BoostOutcome {
         skyline,
@@ -124,6 +158,7 @@ pub fn boosted_skyline_with(
 
 /// The scan phase: presort the merge survivors and filter them through the
 /// container.
+#[allow(clippy::too_many_arguments)]
 fn scan_survivors(
     data: &Dataset,
     config: &BoostConfig,
@@ -131,7 +166,9 @@ fn scan_survivors(
     container: &mut dyn SkylineContainer,
     skyline: &mut Vec<PointId>,
     metrics: &mut Metrics,
+    rec: &mut dyn Recorder,
 ) {
+    rec.span_start("sort");
     let dims = data.dims();
     let mut min_corner = vec![f64::INFINITY; dims];
     if config.sort == SortStrategy::Euclidean {
@@ -164,6 +201,8 @@ fn scan_survivors(
                 )
             })
     });
+    rec.span_end("sort");
+    rec.span_start("scan");
 
     // Stop-point state: smallest maxC over every point seen so far (the
     // merge-phase skyline counts as seen).
@@ -187,7 +226,7 @@ fn scan_survivors(
             // current point may be skipped.
             if config.sort == SortStrategy::MinCoordinate {
                 metrics.stop_pruned += (order.len() - scanned) as u64;
-                return;
+                break;
             }
             metrics.stop_pruned += 1;
             continue;
@@ -211,15 +250,48 @@ fn scan_survivors(
             skyline.push(q);
         }
     }
+    rec.span_end("scan");
+}
+
+/// Minimal deterministic PRNG for the fuzz tests below. `skyline-core`
+/// sits at the bottom of the workspace, so it cannot dev-depend on
+/// `skyline-data`'s generator without a cycle; splitmix64 is plenty for
+/// shaking out scan-order edge cases.
+#[cfg(test)]
+mod test_rng {
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        pub fn seed_from_u64(seed: u64) -> Self {
+            TestRng(seed)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `0..bound` (modulo bias is irrelevant at these sizes).
+        pub fn gen_below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound.max(1)
+        }
+
+        pub fn gen_bool(&mut self, p: f64) -> bool {
+            ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::container::ListContainer;
-    use crate::merge::PivotScore;
     use crate::dominance::dominance;
     use crate::dominance::DomRelation;
+    use crate::merge::PivotScore;
 
     /// Quadratic reference skyline.
     fn naive_skyline(data: &Dataset) -> Vec<PointId> {
@@ -242,13 +314,21 @@ mod tests {
     fn configs(dims: usize) -> Vec<BoostConfig> {
         let merge = MergeConfig::recommended(dims);
         vec![
-            BoostConfig { merge: merge.clone(), sort: SortStrategy::Sum, use_stop_point: false },
+            BoostConfig {
+                merge: merge.clone(),
+                sort: SortStrategy::Sum,
+                use_stop_point: false,
+            },
             BoostConfig {
                 merge: merge.clone(),
                 sort: SortStrategy::MinCoordinate,
                 use_stop_point: true,
             },
-            BoostConfig { merge, sort: SortStrategy::Euclidean, use_stop_point: false },
+            BoostConfig {
+                merge,
+                sort: SortStrategy::Euclidean,
+                use_stop_point: false,
+            },
         ]
     }
 
@@ -285,8 +365,7 @@ mod tests {
             let mut m1 = Metrics::new();
             let mut m2 = Metrics::new();
             let mut list = ListContainer::new();
-            let with_list =
-                boosted_skyline_with(&data, &config, &mut list, &mut m1);
+            let with_list = boosted_skyline_with(&data, &config, &mut list, &mut m1);
             let with_subset = boosted_skyline(&data, &config, &mut m2);
             assert_eq!(with_list.skyline, with_subset.skyline);
             // The subset container can only reduce candidate volume.
@@ -317,7 +396,11 @@ mod tests {
         }
         let data = Dataset::from_rows(&rows).unwrap();
         let config = BoostConfig {
-            merge: MergeConfig { sigma: 2, max_pivots: 1, score: PivotScore::default() },
+            merge: MergeConfig {
+                sigma: 2,
+                max_pivots: 1,
+                score: PivotScore::default(),
+            },
             sort: SortStrategy::MinCoordinate,
             use_stop_point: true,
         };
@@ -329,14 +412,9 @@ mod tests {
 
     #[test]
     fn duplicates_are_all_reported() {
-        let data = Dataset::from_rows(&[
-            [0.5, 0.5],
-            [0.5, 0.5],
-            [0.1, 0.9],
-            [0.1, 0.9],
-            [0.9, 0.9],
-        ])
-        .unwrap();
+        let data =
+            Dataset::from_rows(&[[0.5, 0.5], [0.5, 0.5], [0.1, 0.9], [0.1, 0.9], [0.9, 0.9]])
+                .unwrap();
         let expected = naive_skyline(&data);
         assert_eq!(expected, vec![0, 1, 2, 3]);
         for config in configs(2) {
@@ -350,7 +428,11 @@ mod tests {
     fn merge_exhaustion_short_circuits() {
         let data = Dataset::from_rows(&[[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]]).unwrap();
         let config = BoostConfig {
-            merge: MergeConfig { sigma: 2, max_pivots: 16, score: PivotScore::default() },
+            merge: MergeConfig {
+                sigma: 2,
+                max_pivots: 16,
+                score: PivotScore::default(),
+            },
             sort: SortStrategy::Sum,
             use_stop_point: false,
         };
@@ -372,11 +454,10 @@ mod tests {
 
     #[test]
     fn randomised_agreement_with_naive() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        let mut rng = crate::boost::test_rng::TestRng::seed_from_u64(42);
         for &(n, d) in &[(60usize, 2usize), (80, 3), (120, 5), (64, 8)] {
             let rows: Vec<Vec<f64>> = (0..n)
-                .map(|_| (0..d).map(|_| (rng.gen_range(0..12) as f64) / 4.0).collect())
+                .map(|_| (0..d).map(|_| (rng.gen_below(12) as f64) / 4.0).collect())
                 .collect();
             let data = Dataset::from_rows(&rows).unwrap();
             let expected = naive_skyline(&data);
@@ -392,41 +473,53 @@ mod tests {
 #[cfg(test)]
 mod audit_tests {
     use super::*;
-    use crate::merge::PivotScore;
     use crate::dominance::{dominance, DomRelation};
+    use crate::merge::PivotScore;
 
     fn naive(data: &Dataset) -> Vec<PointId> {
         let mut out = Vec::new();
         for (i, p) in data.iter() {
             let mut dom = false;
             for (j, q) in data.iter() {
-                if i != j && dominance(q, p) == DomRelation::Dominates { dom = true; break; }
+                if i != j && dominance(q, p) == DomRelation::Dominates {
+                    dom = true;
+                    break;
+                }
             }
-            if !dom { out.push(i); }
+            if !dom {
+                out.push(i);
+            }
         }
         out
     }
 
     #[test]
     fn stop_point_with_sum_sort_fuzz() {
-        use rand::{Rng, SeedableRng};
         for seed in 0..200u64 {
-            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-            let n = 40; let d = 3;
+            let mut rng = crate::boost::test_rng::TestRng::seed_from_u64(seed);
+            let n = 40;
+            let d = 3;
             let rows: Vec<Vec<f64>> = (0..n)
-                .map(|_| (0..d).map(|_| (rng.gen_range(0..20) as f64) / 4.0).collect())
+                .map(|_| (0..d).map(|_| (rng.gen_below(20) as f64) / 4.0).collect())
                 .collect();
             let data = Dataset::from_rows(&rows).unwrap();
             let expected = naive(&data);
             for sort in [SortStrategy::Sum, SortStrategy::Euclidean] {
                 let config = BoostConfig {
-                    merge: MergeConfig { sigma: 2, max_pivots: 2, score: PivotScore::default() },
+                    merge: MergeConfig {
+                        sigma: 2,
+                        max_pivots: 2,
+                        score: PivotScore::default(),
+                    },
                     sort,
                     use_stop_point: true,
                 };
                 let mut m = Metrics::new();
                 let out = boosted_skyline(&data, &config, &mut m);
-                assert_eq!(out.skyline, expected, "seed {seed} sort {sort:?} rows {rows:?}");
+                assert_eq!(
+                    out.skyline, expected,
+                    "seed {seed} sort {sort:?} rows {rows:?}"
+                );
             }
         }
     }
@@ -435,39 +528,55 @@ mod audit_tests {
 #[cfg(test)]
 mod audit_tests2 {
     use super::*;
-    use crate::merge::PivotScore;
     use crate::dominance::{dominance, DomRelation};
+    use crate::merge::PivotScore;
 
     fn naive(data: &Dataset) -> Vec<PointId> {
         let mut out = Vec::new();
         for (i, p) in data.iter() {
             let mut dom = false;
             for (j, q) in data.iter() {
-                if i != j && dominance(q, p) == DomRelation::Dominates { dom = true; break; }
+                if i != j && dominance(q, p) == DomRelation::Dominates {
+                    dom = true;
+                    break;
+                }
             }
-            if !dom { out.push(i); }
+            if !dom {
+                out.push(i);
+            }
         }
         out
     }
 
     #[test]
     fn stop_point_sum_sort_heavy_tail() {
-        use rand::{Rng, SeedableRng};
         let mut failures = 0;
         for seed in 0..2000u64 {
-            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-            let n = 30; let d = rng.gen_range(2..5usize);
+            let mut rng = crate::boost::test_rng::TestRng::seed_from_u64(seed);
+            let n = 30;
+            let d = 2 + rng.gen_below(3) as usize;
             let rows: Vec<Vec<f64>> = (0..n)
-                .map(|_| (0..d).map(|_| {
-                    if rng.gen_bool(0.3) { rng.gen_range(0..5) as f64 * 10.0 }
-                    else { rng.gen_range(0..10) as f64 / 10.0 }
-                }).collect())
+                .map(|_| {
+                    (0..d)
+                        .map(|_| {
+                            if rng.gen_bool(0.3) {
+                                rng.gen_below(5) as f64 * 10.0
+                            } else {
+                                rng.gen_below(10) as f64 / 10.0
+                            }
+                        })
+                        .collect()
+                })
                 .collect();
             let data = Dataset::from_rows(&rows).unwrap();
             let expected = naive(&data);
             for sort in [SortStrategy::Sum, SortStrategy::Euclidean] {
                 let config = BoostConfig {
-                    merge: MergeConfig { sigma: 2, max_pivots: rng.gen_range(1..4), score: PivotScore::default() },
+                    merge: MergeConfig {
+                        sigma: 2,
+                        max_pivots: 1 + rng.gen_below(3) as usize,
+                        score: PivotScore::default(),
+                    },
                     sort,
                     use_stop_point: true,
                 };
@@ -495,7 +604,11 @@ mod audit_tests3 {
         // point 1 dominates point 0; both have NaN Euclidean scores.
         let data = Dataset::from_rows(&[[f64::INFINITY, 5.0], [f64::INFINITY, 1.0]]).unwrap();
         let config = BoostConfig {
-            merge: MergeConfig { sigma: 2, max_pivots: 16, score: PivotScore::Euclidean },
+            merge: MergeConfig {
+                sigma: 2,
+                max_pivots: 16,
+                score: PivotScore::Euclidean,
+            },
             sort: SortStrategy::Sum,
             use_stop_point: false,
         };
@@ -507,13 +620,13 @@ mod audit_tests3 {
     #[test]
     fn sum_absorption() {
         // q=[1e200,0.5] dominates p=[1e200,1.0] but sum keys are equal.
-        let data = Dataset::from_rows(&[
-            [1e200, 1.0],
-            [1e200, 0.5],
-            [0.0, 3.0],
-        ]).unwrap();
+        let data = Dataset::from_rows(&[[1e200, 1.0], [1e200, 0.5], [0.0, 3.0]]).unwrap();
         let config = BoostConfig {
-            merge: MergeConfig { sigma: 2, max_pivots: 1, score: PivotScore::Euclidean },
+            merge: MergeConfig {
+                sigma: 2,
+                max_pivots: 1,
+                score: PivotScore::Euclidean,
+            },
             sort: SortStrategy::Sum,
             use_stop_point: false,
         };

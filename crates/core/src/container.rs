@@ -25,12 +25,7 @@ pub trait SkylineContainer {
     /// Completeness contract: the result must include every stored point
     /// that dominates the testing point. Returning extra points only costs
     /// dominance tests, never correctness.
-    fn candidates_into(
-        &self,
-        subspace: Subspace,
-        out: &mut Vec<PointId>,
-        metrics: &mut Metrics,
-    );
+    fn candidates_into(&self, subspace: Subspace, out: &mut Vec<PointId>, metrics: &mut Metrics);
 
     /// Number of stored points.
     fn len(&self) -> usize;
@@ -61,12 +56,7 @@ impl SkylineContainer for ListContainer {
         metrics.container_puts += 1;
     }
 
-    fn candidates_into(
-        &self,
-        _subspace: Subspace,
-        out: &mut Vec<PointId>,
-        metrics: &mut Metrics,
-    ) {
+    fn candidates_into(&self, _subspace: Subspace, out: &mut Vec<PointId>, metrics: &mut Metrics) {
         out.extend_from_slice(&self.points);
         metrics.container_gets += 1;
         metrics.candidates_returned += self.points.len() as u64;
@@ -89,7 +79,9 @@ pub struct SubsetContainer<C: Children = HashChildren> {
 impl<C: Children> SubsetContainer<C> {
     /// An empty subset container over a `dims`-dimensional space.
     pub fn new(dims: usize) -> Self {
-        SubsetContainer { index: GenericSubsetIndex::new(dims) }
+        SubsetContainer {
+            index: GenericSubsetIndex::new(dims),
+        }
     }
 
     /// Access the underlying index (e.g. for size statistics).
@@ -104,12 +96,7 @@ impl<C: Children> SkylineContainer for SubsetContainer<C> {
         metrics.container_puts += 1;
     }
 
-    fn candidates_into(
-        &self,
-        subspace: Subspace,
-        out: &mut Vec<PointId>,
-        metrics: &mut Metrics,
-    ) {
+    fn candidates_into(&self, subspace: Subspace, out: &mut Vec<PointId>, metrics: &mut Metrics) {
         self.index.query_into(subspace, out, metrics);
     }
 
@@ -186,8 +173,10 @@ mod tests {
     #[test]
     fn trait_object_usability() {
         let mut m = Metrics::new();
-        let mut containers: Vec<Box<dyn SkylineContainer>> =
-            vec![Box::new(ListContainer::new()), Box::new(SubsetContainer::<HashChildren>::new(2))];
+        let mut containers: Vec<Box<dyn SkylineContainer>> = vec![
+            Box::new(ListContainer::new()),
+            Box::new(SubsetContainer::<HashChildren>::new(2)),
+        ];
         for c in &mut containers {
             c.put(9, sub(&[0]), &mut m);
             assert_eq!(c.len(), 1);

@@ -30,14 +30,23 @@ impl Dataset {
             return Err(Error::ZeroDimensions);
         }
         if dims > MAX_DIMS {
-            return Err(Error::TooManyDimensions { requested: dims, max: MAX_DIMS });
+            return Err(Error::TooManyDimensions {
+                requested: dims,
+                max: MAX_DIMS,
+            });
         }
         if values.len() % dims != 0 {
-            return Err(Error::BufferShape { len: values.len(), dims });
+            return Err(Error::BufferShape {
+                len: values.len(),
+                dims,
+            });
         }
         for (idx, v) in values.iter_mut().enumerate() {
             if v.is_nan() {
-                return Err(Error::NotANumber { row: idx / dims, dim: idx % dims });
+                return Err(Error::NotANumber {
+                    row: idx / dims,
+                    dim: idx % dims,
+                });
             }
             if *v == 0.0 {
                 *v = 0.0; // -0.0 -> +0.0
@@ -56,7 +65,11 @@ impl Dataset {
         for (i, row) in rows.iter().enumerate() {
             let row = row.as_ref();
             if row.len() != dims {
-                return Err(Error::RowLength { row: i, got: row.len(), expected: dims });
+                return Err(Error::RowLength {
+                    row: i,
+                    got: row.len(),
+                    expected: dims,
+                });
             }
             values.extend_from_slice(row);
         }
@@ -72,7 +85,11 @@ impl Dataset {
     ) -> Result<Self> {
         let mut ds = Dataset::from_rows(rows)?;
         if prefs.len() != ds.dims {
-            return Err(Error::RowLength { row: 0, got: prefs.len(), expected: ds.dims });
+            return Err(Error::RowLength {
+                row: 0,
+                got: prefs.len(),
+                expected: ds.dims,
+            });
         }
         apply_preferences(&mut ds.values, prefs);
         Ok(ds)
@@ -144,7 +161,10 @@ impl Dataset {
         for &id in ids {
             values.extend_from_slice(self.point(id));
         }
-        Dataset { values, dims: self.dims }
+        Dataset {
+            values,
+            dims: self.dims,
+        }
     }
 
     /// Project every point onto a subspace (keeping all rows), for
@@ -168,7 +188,10 @@ impl Dataset {
                 values.push(row[d]);
             }
         }
-        Dataset { values, dims: dims.len() }
+        Dataset {
+            values,
+            dims: dims.len(),
+        }
     }
 }
 
@@ -210,7 +233,11 @@ mod tests {
         let rows: Vec<Vec<f64>> = vec![vec![1.0, 2.0], vec![3.0]];
         assert_eq!(
             Dataset::from_rows(&rows),
-            Err(Error::RowLength { row: 1, got: 1, expected: 2 })
+            Err(Error::RowLength {
+                row: 1,
+                got: 1,
+                expected: 2
+            })
         );
     }
 

@@ -145,16 +145,25 @@ mod tests {
     #[test]
     fn classifies_all_relations() {
         assert_eq!(dominance(&[1.0, 1.0], &[2.0, 2.0]), DomRelation::Dominates);
-        assert_eq!(dominance(&[2.0, 2.0], &[1.0, 1.0]), DomRelation::DominatedBy);
+        assert_eq!(
+            dominance(&[2.0, 2.0], &[1.0, 1.0]),
+            DomRelation::DominatedBy
+        );
         assert_eq!(dominance(&[1.0, 2.0], &[1.0, 2.0]), DomRelation::Equal);
-        assert_eq!(dominance(&[1.0, 2.0], &[2.0, 1.0]), DomRelation::Incomparable);
+        assert_eq!(
+            dominance(&[1.0, 2.0], &[2.0, 1.0]),
+            DomRelation::Incomparable
+        );
     }
 
     #[test]
     fn dominance_requires_strict_improvement_somewhere() {
         // Equal in one dim, better in the other: still dominates.
         assert_eq!(dominance(&[1.0, 1.0], &[1.0, 2.0]), DomRelation::Dominates);
-        assert_eq!(dominance(&[1.0, 2.0], &[1.0, 1.0]), DomRelation::DominatedBy);
+        assert_eq!(
+            dominance(&[1.0, 2.0], &[1.0, 1.0]),
+            DomRelation::DominatedBy
+        );
     }
 
     #[test]
@@ -236,7 +245,10 @@ mod tests {
     #[test]
     fn negative_and_mixed_values() {
         // Canonical minimising form can contain negated (Max) columns.
-        assert_eq!(dominance(&[-5.0, 0.0], &[-1.0, 0.0]), DomRelation::Dominates);
+        assert_eq!(
+            dominance(&[-5.0, 0.0], &[-1.0, 0.0]),
+            DomRelation::Dominates
+        );
         assert_eq!(
             dominating_subspace(&[-5.0, 1.0], &[-1.0, 0.0]),
             Subspace::singleton(0)

@@ -51,16 +51,28 @@ impl fmt::Display for Error {
         match *self {
             Error::ZeroDimensions => write!(f, "dataset must have at least one dimension"),
             Error::TooManyDimensions { requested, max } => {
-                write!(f, "dimensionality {requested} exceeds the supported maximum {max}")
+                write!(
+                    f,
+                    "dimensionality {requested} exceeds the supported maximum {max}"
+                )
             }
             Error::RowLength { row, got, expected } => {
-                write!(f, "row {row} has {got} values but the dataset has {expected} dimensions")
+                write!(
+                    f,
+                    "row {row} has {got} values but the dataset has {expected} dimensions"
+                )
             }
             Error::NotANumber { row, dim } => {
-                write!(f, "row {row}, dimension {dim} is NaN; skyline domains must be totally ordered")
+                write!(
+                    f,
+                    "row {row}, dimension {dim} is NaN; skyline domains must be totally ordered"
+                )
             }
             Error::BufferShape { len, dims } => {
-                write!(f, "flat buffer of length {len} is not a multiple of dimensionality {dims}")
+                write!(
+                    f,
+                    "flat buffer of length {len} is not a multiple of dimensionality {dims}"
+                )
             }
             Error::InvalidStability { sigma, dims } => {
                 write!(f, "stability threshold {sigma} is outside the meaningful range 1 < sigma <= {dims}")
@@ -80,7 +92,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = Error::RowLength { row: 3, got: 2, expected: 4 };
+        let e = Error::RowLength {
+            row: 3,
+            got: 2,
+            expected: 4,
+        };
         let msg = e.to_string();
         assert!(msg.contains("row 3"));
         assert!(msg.contains('2'));
@@ -90,10 +106,7 @@ mod tests {
     #[test]
     fn errors_are_comparable() {
         assert_eq!(Error::ZeroDimensions, Error::ZeroDimensions);
-        assert_ne!(
-            Error::ZeroDimensions,
-            Error::NotANumber { row: 0, dim: 0 }
-        );
+        assert_ne!(Error::ZeroDimensions, Error::NotANumber { row: 0, dim: 0 });
     }
 
     #[test]

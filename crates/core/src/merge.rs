@@ -26,6 +26,8 @@
 //! input: if `p ≺ q` then `p - m ≤ q - m` componentwise with all entries
 //! non-negative, hence `‖p - m‖ < ‖q - m‖`.
 
+use skyline_obs::{Event, NoopRecorder, Recorder};
+
 use crate::dataset::Dataset;
 use crate::dominance::{dominating_subspace, lex_cmp, points_equal};
 use crate::error::{Error, Result};
@@ -121,8 +123,12 @@ impl MergeOutcome {
     /// All skyline points confirmed so far (pivots plus duplicates),
     /// ascending.
     pub fn confirmed_skyline(&self) -> Vec<PointId> {
-        let mut all: Vec<PointId> =
-            self.pivots.iter().chain(&self.duplicate_skyline).copied().collect();
+        let mut all: Vec<PointId> = self
+            .pivots
+            .iter()
+            .chain(&self.duplicate_skyline)
+            .copied()
+            .collect();
         all.sort_unstable();
         all
     }
@@ -147,6 +153,32 @@ impl MergeOutcome {
 /// `metrics` (the subspace computation *is* the dominance test: an empty
 /// dominating subspace means the pivot weakly dominates the point).
 pub fn merge(data: &Dataset, config: &MergeConfig, metrics: &mut Metrics) -> MergeOutcome {
+    merge_traced(data, config, metrics, &mut NoopRecorder)
+}
+
+/// [`merge`] with tracing: wraps the phase in a `"merge"` span and emits
+/// one [`Event::MergeIteration`] per pivot (pivot id, points pruned,
+/// survivor count, the σ stability count, and the subspace-size buckets
+/// the stability rule compares). Event payloads are only built when
+/// `rec.enabled()`, so the no-op recorder adds one branch per *pivot*.
+pub fn merge_traced(
+    data: &Dataset,
+    config: &MergeConfig,
+    metrics: &mut Metrics,
+    rec: &mut dyn Recorder,
+) -> MergeOutcome {
+    rec.span_start("merge");
+    let out = merge_inner(data, config, metrics, rec);
+    rec.span_end("merge");
+    out
+}
+
+fn merge_inner(
+    data: &Dataset,
+    config: &MergeConfig,
+    metrics: &mut Metrics,
+    rec: &mut dyn Recorder,
+) -> MergeOutcome {
     let dims = data.dims();
     let n = data.len();
 
@@ -168,7 +200,10 @@ pub fn merge(data: &Dataset, config: &MergeConfig, metrics: &mut Metrics) -> Mer
             data.iter()
                 .map(|(_, p)| {
                     (
-                        p.iter().zip(&min_corner).map(|(v, m)| (v - m) * (v - m)).sum(),
+                        p.iter()
+                            .zip(&min_corner)
+                            .map(|(v, m)| (v - m) * (v - m))
+                            .sum(),
                         0.0,
                     )
                 })
@@ -223,6 +258,7 @@ pub fn merge(data: &Dataset, config: &MergeConfig, metrics: &mut Metrics) -> Mer
         let pivot_row = data.point(pivot);
 
         // Compare the pivot with every remaining point.
+        let before_len = survivors.len();
         let mut hist = vec![0usize; dims];
         let mut kept = 0usize;
         for i in 0..survivors.len() {
@@ -260,14 +296,23 @@ pub fn merge(data: &Dataset, config: &MergeConfig, metrics: &mut Metrics) -> Mer
         // any 2-D dataset, which has a single meaningful size) would burn
         // pivots until `max_pivots`.
         let frozen = hist == prev_hist;
+        if rec.enabled() {
+            rec.event(Event::MergeIteration {
+                iteration: (iterations - 1) as u64,
+                pivot: pivot as u64,
+                pruned: (before_len - kept) as u64,
+                survivors: kept as u64,
+                stable: stable as u64,
+                subspace_hist: hist.iter().map(|&c| c as u64).collect(),
+            });
+        }
         prev_hist = hist;
         if stable >= config.sigma || frozen {
             break;
         }
     }
 
-    let out_subspaces: Vec<Subspace> =
-        survivors.iter().map(|&q| subspaces[q as usize]).collect();
+    let out_subspaces: Vec<Subspace> = survivors.iter().map(|&q| subspaces[q as usize]).collect();
     debug_assert!(out_subspaces.iter().all(|s| !s.is_empty()));
     let exhausted = survivors.is_empty();
     MergeOutcome {
@@ -319,7 +364,15 @@ mod tests {
     fn pivots_are_skyline_points() {
         let data = small_dataset();
         let mut m = Metrics::new();
-        let out = merge(&data, &MergeConfig { sigma: 2, max_pivots: 16, score: PivotScore::default() }, &mut m);
+        let out = merge(
+            &data,
+            &MergeConfig {
+                sigma: 2,
+                max_pivots: 16,
+                score: PivotScore::default(),
+            },
+            &mut m,
+        );
         for &p in &out.pivots {
             for (q, row) in data.iter() {
                 if q != p {
@@ -338,7 +391,15 @@ mod tests {
     fn survivors_are_incomparable_with_pivots() {
         let data = small_dataset();
         let mut m = Metrics::new();
-        let out = merge(&data, &MergeConfig { sigma: 2, max_pivots: 2, score: PivotScore::default() }, &mut m);
+        let out = merge(
+            &data,
+            &MergeConfig {
+                sigma: 2,
+                max_pivots: 2,
+                score: PivotScore::default(),
+            },
+            &mut m,
+        );
         for &q in &out.survivors {
             for &p in &out.pivots {
                 assert!(!dominates(data.point(p), data.point(q)));
@@ -350,12 +411,19 @@ mod tests {
     fn survivor_subspaces_match_definition() {
         let data = small_dataset();
         let mut m = Metrics::new();
-        let out = merge(&data, &MergeConfig { sigma: 2, max_pivots: 3, score: PivotScore::default() }, &mut m);
+        let out = merge(
+            &data,
+            &MergeConfig {
+                sigma: 2,
+                max_pivots: 3,
+                score: PivotScore::default(),
+            },
+            &mut m,
+        );
         for (&q, &sub) in out.survivors.iter().zip(&out.subspaces) {
             let mut expected = Subspace::EMPTY;
             for &p in &out.pivots {
-                expected =
-                    expected.union(dominating_subspace(data.point(q), data.point(p)));
+                expected = expected.union(dominating_subspace(data.point(q), data.point(p)));
             }
             assert_eq!(sub, expected, "survivor {q}");
             assert!(!sub.is_empty());
@@ -365,14 +433,17 @@ mod tests {
     #[test]
     fn exhausted_when_everything_pruned() {
         // One dominating point plus its dominated shadow copies.
-        let data = Dataset::from_rows(&[
-            [1.0, 1.0],
-            [2.0, 2.0],
-            [3.0, 3.0],
-        ])
-        .unwrap();
+        let data = Dataset::from_rows(&[[1.0, 1.0], [2.0, 2.0], [3.0, 3.0]]).unwrap();
         let mut m = Metrics::new();
-        let out = merge(&data, &MergeConfig { sigma: 2, max_pivots: 16, score: PivotScore::default() }, &mut m);
+        let out = merge(
+            &data,
+            &MergeConfig {
+                sigma: 2,
+                max_pivots: 16,
+                score: PivotScore::default(),
+            },
+            &mut m,
+        );
         assert!(out.exhausted);
         assert_eq!(out.confirmed_skyline(), vec![0]);
         assert!(out.survivors.is_empty());
@@ -380,14 +451,17 @@ mod tests {
 
     #[test]
     fn duplicates_of_pivot_join_the_skyline() {
-        let data = Dataset::from_rows(&[
-            [1.0, 1.0],
-            [1.0, 1.0],
-            [2.0, 2.0],
-        ])
-        .unwrap();
+        let data = Dataset::from_rows(&[[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]]).unwrap();
         let mut m = Metrics::new();
-        let out = merge(&data, &MergeConfig { sigma: 2, max_pivots: 16, score: PivotScore::default() }, &mut m);
+        let out = merge(
+            &data,
+            &MergeConfig {
+                sigma: 2,
+                max_pivots: 16,
+                score: PivotScore::default(),
+            },
+            &mut m,
+        );
         assert!(out.exhausted);
         assert_eq!(out.confirmed_skyline(), vec![0, 1]);
     }
@@ -399,7 +473,15 @@ mod tests {
         let rows: Vec<[f64; 2]> = (0..50).map(|i| [i as f64, 50.0 - i as f64]).collect();
         let data = Dataset::from_rows(&rows).unwrap();
         let mut m = Metrics::new();
-        let out = merge(&data, &MergeConfig { sigma: 2, max_pivots: 3, score: PivotScore::default() }, &mut m);
+        let out = merge(
+            &data,
+            &MergeConfig {
+                sigma: 2,
+                max_pivots: 3,
+                score: PivotScore::default(),
+            },
+            &mut m,
+        );
         assert!(out.pivots.len() <= 3);
         assert_eq!(out.iterations, out.pivots.len());
     }
@@ -408,7 +490,15 @@ mod tests {
     fn size_histogram_counts_survivors() {
         let data = small_dataset();
         let mut m = Metrics::new();
-        let out = merge(&data, &MergeConfig { sigma: 2, max_pivots: 1, score: PivotScore::default() }, &mut m);
+        let out = merge(
+            &data,
+            &MergeConfig {
+                sigma: 2,
+                max_pivots: 1,
+                score: PivotScore::default(),
+            },
+            &mut m,
+        );
         let hist = out.size_histogram(data.dims());
         assert_eq!(hist.iter().sum::<usize>(), out.survivors.len());
     }
@@ -424,7 +514,15 @@ mod tests {
         ])
         .unwrap();
         let mut m = Metrics::new();
-        let out = merge(&data, &MergeConfig { sigma: 2, max_pivots: 16, score: PivotScore::default() }, &mut m);
+        let out = merge(
+            &data,
+            &MergeConfig {
+                sigma: 2,
+                max_pivots: 16,
+                score: PivotScore::default(),
+            },
+            &mut m,
+        );
         assert!(out.exhausted);
         assert_eq!(out.confirmed_skyline(), vec![0, 1]);
     }
@@ -434,7 +532,15 @@ mod tests {
         // With max_pivots = 1 the count is exactly n - 1.
         let data = small_dataset();
         let mut m = Metrics::new();
-        let _ = merge(&data, &MergeConfig { sigma: 2, max_pivots: 1, score: PivotScore::default() }, &mut m);
+        let _ = merge(
+            &data,
+            &MergeConfig {
+                sigma: 2,
+                max_pivots: 1,
+                score: PivotScore::default(),
+            },
+            &mut m,
+        );
         assert_eq!(m.dominance_tests, (data.len() - 1) as u64);
     }
 }

@@ -8,7 +8,15 @@
 
 use std::time::Duration;
 
+use skyline_obs::Histogram;
+
 /// Counters collected during one skyline computation.
+///
+/// Besides the plain `u64` counters, two [`Histogram`]s capture the shape
+/// of subset-index behaviour (query recursion depth, candidates returned
+/// per query). Recording into them is one array-index increment per
+/// *container query*, not per dominance test, so the struct stays cheap
+/// enough to thread through every hot loop unconditionally.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Metrics {
     /// Total number of pairwise dominance tests (any direction / arity).
@@ -24,6 +32,10 @@ pub struct Metrics {
     /// Points pruned positionally (stop point / early termination), i.e.
     /// discarded without any dominance test.
     pub stop_pruned: u64,
+    /// Distribution of subset-index query recursion depth.
+    pub trie_depth: Histogram,
+    /// Distribution of candidates returned per subset-index query.
+    pub trie_candidates: Histogram,
 }
 
 impl Metrics {
@@ -64,6 +76,8 @@ impl Metrics {
         self.candidates_returned += other.candidates_returned;
         self.index_nodes_visited += other.index_nodes_visited;
         self.stop_pruned += other.stop_pruned;
+        self.trie_depth.merge(&other.trie_depth);
+        self.trie_candidates.merge(&other.trie_candidates);
     }
 }
 
@@ -122,20 +136,26 @@ mod tests {
             candidates_returned: 4,
             index_nodes_visited: 5,
             stop_pruned: 6,
+            ..Metrics::default()
         };
+        a.trie_depth.record(2);
+        a.trie_candidates.record(7);
         let b = a.clone();
         a.absorb(&b);
-        assert_eq!(
-            a,
-            Metrics {
-                dominance_tests: 2,
-                container_puts: 4,
-                container_gets: 6,
-                candidates_returned: 8,
-                index_nodes_visited: 10,
-                stop_pruned: 12,
-            }
-        );
+        let mut expected = Metrics {
+            dominance_tests: 2,
+            container_puts: 4,
+            container_gets: 6,
+            candidates_returned: 8,
+            index_nodes_visited: 10,
+            stop_pruned: 12,
+            ..Metrics::default()
+        };
+        expected.trie_depth.record(2);
+        expected.trie_depth.record(2);
+        expected.trie_candidates.record(7);
+        expected.trie_candidates.record(7);
+        assert_eq!(a, expected);
     }
 
     #[test]

@@ -44,7 +44,10 @@ impl Preference {
 /// Panics if `values.len()` is not a multiple of `prefs.len()` (enforced
 /// upstream by dataset validation) or if `prefs` is empty.
 pub fn apply_preferences(values: &mut [f64], prefs: &[Preference]) {
-    assert!(!prefs.is_empty(), "preferences must cover at least one dimension");
+    assert!(
+        !prefs.is_empty(),
+        "preferences must cover at least one dimension"
+    );
     assert_eq!(
         values.len() % prefs.len(),
         0,

@@ -92,7 +92,10 @@ impl StreamingSkyline {
             return Err(Error::ZeroDimensions);
         }
         if dims > MAX_DIMS {
-            return Err(Error::TooManyDimensions { requested: dims, max: MAX_DIMS });
+            return Err(Error::TooManyDimensions {
+                requested: dims,
+                max: MAX_DIMS,
+            });
         }
         Ok(StreamingSkyline {
             dims,
@@ -151,9 +154,9 @@ impl StreamingSkyline {
     }
 
     fn subspace_of(&self, row: &[f64]) -> Subspace {
-        self.reference
-            .iter()
-            .fold(Subspace::EMPTY, |acc, r| acc.union(dominating_subspace(row, r)))
+        self.reference.iter().fold(Subspace::EMPTY, |acc, r| {
+            acc.union(dominating_subspace(row, r))
+        })
     }
 
     /// Insert a point; returns its handle.
@@ -163,16 +166,27 @@ impl StreamingSkyline {
     /// candidates).
     pub fn insert(&mut self, row: &[f64], metrics: &mut Metrics) -> Result<PointId> {
         if row.len() != self.dims {
-            return Err(Error::RowLength { row: self.rows.len(), got: row.len(), expected: self.dims });
+            return Err(Error::RowLength {
+                row: self.rows.len(),
+                got: row.len(),
+                expected: self.dims,
+            });
         }
         if let Some(at) = row.iter().position(|v| v.is_nan()) {
-            return Err(Error::NotANumber { row: self.rows.len(), dim: at });
+            return Err(Error::NotANumber {
+                row: self.rows.len(),
+                dim: at,
+            });
         }
         let id = self.rows.len() as PointId;
         // Canonicalise -0.0 -> +0.0, as Dataset construction does: the
         // two compare equal under the preference order but differ under
         // the total_cmp-based orderings used elsewhere.
-        self.rows.push(row.iter().map(|&v| if v == 0.0 { 0.0 } else { v }).collect());
+        self.rows.push(
+            row.iter()
+                .map(|&v| if v == 0.0 { 0.0 } else { v })
+                .collect(),
+        );
         self.state.push(EntryState::Deleted); // placeholder, set below
         self.live += 1;
 
@@ -195,7 +209,8 @@ impl StreamingSkyline {
         let sub = self.subspace_of(&self.rows[id as usize]);
         // Dominator check: only skyline points with D ⊇ sub can dominate.
         let mut candidates = Vec::new();
-        self.dominator_index.query_into(sub, &mut candidates, metrics);
+        self.dominator_index
+            .query_into(sub, &mut candidates, metrics);
         for &s in &candidates {
             metrics.count_dt();
             if dominates(&self.rows[s as usize], &self.rows[id as usize]) {
@@ -209,7 +224,8 @@ impl StreamingSkyline {
         // only those with D ⊆ sub can be dominated (stored complemented,
         // hence the complemented query).
         let mut victims = Vec::new();
-        self.evict_index.query_into(sub.complement(self.dims), &mut victims, metrics);
+        self.evict_index
+            .query_into(sub.complement(self.dims), &mut victims, metrics);
         for &s in &victims {
             metrics.count_dt();
             if dominates(&self.rows[id as usize], &self.rows[s as usize]) {
@@ -285,7 +301,10 @@ impl StreamingSkyline {
                 .then(a.cmp(&b))
         });
         for q in orphans {
-            debug_assert!(matches!(self.state[q as usize], EntryState::Shadowed { .. }));
+            debug_assert!(matches!(
+                self.state[q as usize],
+                EntryState::Shadowed { .. }
+            ));
             self.classify(q, metrics);
         }
     }
@@ -314,7 +333,8 @@ impl StreamingSkyline {
                 let sub = self.subspace_of(&self.rows[id]);
                 self.state[id] = EntryState::Skyline(sub);
                 self.dominator_index.put(id as PointId, sub);
-                self.evict_index.put(id as PointId, sub.complement(self.dims));
+                self.evict_index
+                    .put(id as PointId, sub.complement(self.dims));
             }
         }
     }
@@ -521,7 +541,9 @@ mod tests {
         let mut lcg = || {
             // Deterministic LCG; the streaming structure itself is what
             // is under test.
-            next = next.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            next = next
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((next >> 33) % 9) as f64
         };
         for step in 0..300 {
@@ -578,7 +600,11 @@ mod tests {
         }
         let before = s.skyline();
         s.rebuild_reference(&mut metrics);
-        assert_eq!(s.skyline(), before, "re-anchoring must not change the skyline");
+        assert_eq!(
+            s.skyline(),
+            before,
+            "re-anchoring must not change the skyline"
+        );
         s.check_invariants();
         // And the structure keeps working afterwards.
         s.insert(&[-1.0, -1.0], &mut metrics).unwrap();

@@ -47,10 +47,50 @@ pub trait Children: Default {
     }
 }
 
-/// Hash-map children: `O(1)` expected node access (the paper's
-/// recommendation).
+/// A fixed-seed `u8` hasher (splitmix64 finaliser). Dimension keys never
+/// exceed `d ≤ 255`, so `RandomState`'s DoS hardening buys nothing here —
+/// while its per-map random seed makes trie iteration order, and with it
+/// the exact dominance-test count, vary between runs. A fixed seed keeps
+/// `O(1)` access and makes every run (and every trace) reproducible.
 #[derive(Debug, Default, Clone)]
-pub struct HashChildren(HashMap<u8, TrieNode<HashChildren>>);
+pub struct DimHasher(u64);
+
+impl std::hash::Hasher for DimHasher {
+    fn finish(&self) -> u64 {
+        let mut z = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = self.0.wrapping_mul(0x100).wrapping_add(b as u64);
+        }
+    }
+
+    fn write_u8(&mut self, b: u8) {
+        self.0 = self.0.wrapping_mul(0x100).wrapping_add(b as u64);
+    }
+}
+
+/// [`std::hash::BuildHasher`] for [`DimHasher`].
+#[derive(Debug, Default, Clone)]
+pub struct DimHasherBuilder;
+
+impl std::hash::BuildHasher for DimHasherBuilder {
+    type Hasher = DimHasher;
+
+    fn build_hasher(&self) -> DimHasher {
+        DimHasher::default()
+    }
+}
+
+/// Hash-map children: `O(1)` expected node access (the paper's
+/// recommendation), with a deterministic fixed-seed hasher so runs are
+/// reproducible.
+#[derive(Debug, Default, Clone)]
+pub struct HashChildren(HashMap<u8, TrieNode<HashChildren>, DimHasherBuilder>);
 
 impl Children for HashChildren {
     fn get_or_insert(&mut self, dim: u8) -> &mut TrieNode<HashChildren> {
@@ -115,7 +155,10 @@ pub struct TrieNode<C: Children> {
 
 impl<C: Children> Default for TrieNode<C> {
     fn default() -> Self {
-        TrieNode { points: Vec::new(), children: C::default() }
+        TrieNode {
+            points: Vec::new(),
+            children: C::default(),
+        }
     }
 }
 
@@ -144,7 +187,11 @@ impl<C: Children> GenericSubsetIndex<C> {
             "dimensionality {dims} exceeds {}",
             crate::subspace::MAX_DIMS
         );
-        GenericSubsetIndex { root: TrieNode::default(), len: 0, dims }
+        GenericSubsetIndex {
+            root: TrieNode::default(),
+            len: 0,
+            dims,
+        }
     }
 
     /// Dimensionality of the indexed space.
@@ -181,20 +228,20 @@ impl<C: Children> GenericSubsetIndex<C> {
     /// the stored points a testing point with this subspace must be
     /// dominance-tested against (Lemma 5.1).
     ///
-    /// `metrics` records the trie nodes visited and candidates returned.
-    pub fn query_into(
-        &self,
-        subspace: Subspace,
-        out: &mut Vec<PointId>,
-        metrics: &mut Metrics,
-    ) {
+    /// `metrics` records the trie nodes visited, candidates returned, and
+    /// the depth/candidate-count distributions.
+    pub fn query_into(&self, subspace: Subspace, out: &mut Vec<PointId>, metrics: &mut Metrics) {
         let reversed = subspace.complement(self.dims);
         let before = out.len();
         let mut visited = 0u64;
-        Self::query_node(&self.root, reversed, out, &mut visited);
+        let mut max_depth = 0u64;
+        Self::query_node(&self.root, reversed, out, &mut visited, 0, &mut max_depth);
+        let returned = (out.len() - before) as u64;
         metrics.index_nodes_visited += visited;
-        metrics.candidates_returned += (out.len() - before) as u64;
+        metrics.candidates_returned += returned;
         metrics.container_gets += 1;
+        metrics.trie_depth.record(max_depth);
+        metrics.trie_candidates.record(returned);
     }
 
     /// Convenience wrapper over [`Self::query_into`] that allocates.
@@ -209,12 +256,15 @@ impl<C: Children> GenericSubsetIndex<C> {
         reversed_query: Subspace,
         out: &mut Vec<PointId>,
         visited: &mut u64,
+        depth: u64,
+        max_depth: &mut u64,
     ) {
         *visited += 1;
+        *max_depth = (*max_depth).max(depth);
         out.extend_from_slice(&node.points);
         node.children.visit(&mut |dim, child| {
             if reversed_query.contains(dim as usize) {
-                Self::query_node(child, reversed_query, out, visited);
+                Self::query_node(child, reversed_query, out, visited, depth + 1, max_depth);
             }
         });
     }
@@ -311,10 +361,7 @@ mod tests {
     }
 
     /// Brute-force oracle for the subset query semantics.
-    fn oracle(
-        entries: &[(PointId, Subspace)],
-        query: Subspace,
-    ) -> Vec<PointId> {
+    fn oracle(entries: &[(PointId, Subspace)], query: Subspace) -> Vec<PointId> {
         let mut v: Vec<PointId> = entries
             .iter()
             .filter(|(_, s)| s.is_superset_of(query))
@@ -416,7 +463,11 @@ mod tests {
         got.sort_unstable();
         assert_eq!(got, vec![1, 2, 3]);
         index.put(4, sub(&[0, 2]));
-        assert_eq!(index.node_count(), nodes, "no new node for a shared subspace");
+        assert_eq!(
+            index.node_count(),
+            nodes,
+            "no new node for a shared subspace"
+        );
     }
 
     #[test]

@@ -50,7 +50,9 @@ impl Subspace {
         if dims == MAX_DIMS {
             Subspace { bits: u64::MAX }
         } else {
-            Subspace { bits: (1u64 << dims) - 1 }
+            Subspace {
+                bits: (1u64 << dims) - 1,
+            }
         }
     }
 
@@ -108,21 +110,27 @@ impl Subspace {
     #[inline]
     #[must_use]
     pub fn union(self, other: Subspace) -> Subspace {
-        Subspace { bits: self.bits | other.bits }
+        Subspace {
+            bits: self.bits | other.bits,
+        }
     }
 
     /// Set intersection.
     #[inline]
     #[must_use]
     pub fn intersection(self, other: Subspace) -> Subspace {
-        Subspace { bits: self.bits & other.bits }
+        Subspace {
+            bits: self.bits & other.bits,
+        }
     }
 
     /// Set difference `self \ other`.
     #[inline]
     #[must_use]
     pub fn difference(self, other: Subspace) -> Subspace {
-        Subspace { bits: self.bits & !other.bits }
+        Subspace {
+            bits: self.bits & !other.bits,
+        }
     }
 
     /// Complement with respect to the full `dims`-dimensional space — the
@@ -130,7 +138,9 @@ impl Subspace {
     #[inline]
     #[must_use]
     pub fn complement(self, dims: usize) -> Subspace {
-        Subspace { bits: Subspace::full(dims).bits & !self.bits }
+        Subspace {
+            bits: Subspace::full(dims).bits & !self.bits,
+        }
     }
 
     /// `self ⊆ other`.
@@ -333,9 +343,11 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = [Subspace::from_dims([3]),
+        let mut v = [
+            Subspace::from_dims([3]),
             Subspace::EMPTY,
-            Subspace::from_dims([0, 1])];
+            Subspace::from_dims([0, 1]),
+        ];
         v.sort();
         assert_eq!(v[0], Subspace::EMPTY);
     }

@@ -86,7 +86,11 @@ pub struct TunerReport {
 pub fn tune_sigma(data: &Dataset, config: &TunerConfig) -> TunerReport {
     let d = data.dims();
     if d < 3 || data.len() < 4 {
-        return TunerReport { sigma: 2, trials: Vec::new(), sample_size: 0 };
+        return TunerReport {
+            sigma: 2,
+            trials: Vec::new(),
+            sample_size: 0,
+        };
     }
 
     let sample = strided_sample(data, config.sample_size.max(16));
@@ -105,8 +109,7 @@ pub fn tune_sigma(data: &Dataset, config: &TunerConfig) -> TunerReport {
             use_stop_point: config.use_stop_point,
         };
         let outcome = boosted_skyline(&sample, &boost, &mut metrics);
-        let cost = metrics.dominance_tests as f64
-            + node_cost * metrics.index_nodes_visited as f64;
+        let cost = metrics.dominance_tests as f64 + node_cost * metrics.index_nodes_visited as f64;
         trials.push(TunerTrial {
             sigma,
             cost,
@@ -120,7 +123,11 @@ pub fn tune_sigma(data: &Dataset, config: &TunerConfig) -> TunerReport {
         .min_by(|a, b| a.cost.total_cmp(&b.cost).then(a.sigma.cmp(&b.sigma)))
         .map(|t| t.sigma)
         .unwrap_or(2);
-    TunerReport { sigma, trials, sample_size: sample.len() }
+    TunerReport {
+        sigma,
+        trials,
+        sample_size: sample.len(),
+    }
 }
 
 /// Deterministic strided sample of about `target` rows.
@@ -130,8 +137,11 @@ fn strided_sample(data: &Dataset, target: usize) -> Dataset {
         return data.clone();
     }
     let stride = n / target;
-    let ids: Vec<crate::point::PointId> =
-        (0..n).step_by(stride.max(1)).take(target).map(|i| i as u32).collect();
+    let ids: Vec<crate::point::PointId> = (0..n)
+        .step_by(stride.max(1))
+        .take(target)
+        .map(|i| i as u32)
+        .collect();
     data.project(&ids)
 }
 
@@ -141,7 +151,11 @@ mod tests {
 
     fn grid(n: usize, d: usize) -> Dataset {
         let rows: Vec<Vec<f64>> = (0..n)
-            .map(|i| (0..d).map(|k| (((i * 31 + k * 17) * 2654435761usize) % 97) as f64).collect())
+            .map(|i| {
+                (0..d)
+                    .map(|k| (((i * 31 + k * 17) * 2654435761usize) % 97) as f64)
+                    .collect()
+            })
             .collect();
         Dataset::from_rows(&rows).unwrap()
     }
@@ -175,7 +189,11 @@ mod tests {
     fn winner_minimises_the_cost_model() {
         let data = grid(800, 5);
         let report = tune_sigma(&data, &TunerConfig::default());
-        let best = report.trials.iter().find(|t| t.sigma == report.sigma).unwrap();
+        let best = report
+            .trials
+            .iter()
+            .find(|t| t.sigma == report.sigma)
+            .unwrap();
         for t in &report.trials {
             assert!(best.cost <= t.cost, "σ={} beat the winner", t.sigma);
         }
@@ -195,7 +213,10 @@ mod tests {
         let data = grid(50, 4);
         let report = tune_sigma(
             &data,
-            &TunerConfig { sample_size: 10_000, ..TunerConfig::default() },
+            &TunerConfig {
+                sample_size: 10_000,
+                ..TunerConfig::default()
+            },
         );
         assert_eq!(report.sample_size, 50);
     }
@@ -203,15 +224,29 @@ mod tests {
     #[test]
     fn node_cost_override_changes_the_model() {
         let data = grid(500, 6);
-        let cheap_nodes =
-            tune_sigma(&data, &TunerConfig { node_cost: Some(0.0), ..Default::default() });
-        let pricey_nodes =
-            tune_sigma(&data, &TunerConfig { node_cost: Some(100.0), ..Default::default() });
+        let cheap_nodes = tune_sigma(
+            &data,
+            &TunerConfig {
+                node_cost: Some(0.0),
+                ..Default::default()
+            },
+        );
+        let pricey_nodes = tune_sigma(
+            &data,
+            &TunerConfig {
+                node_cost: Some(100.0),
+                ..Default::default()
+            },
+        );
         // With free node visits only DTs matter; with very expensive node
         // visits the tuner avoids index traffic. The reports must at
         // least be internally consistent.
         for report in [&cheap_nodes, &pricey_nodes] {
-            let best = report.trials.iter().find(|t| t.sigma == report.sigma).unwrap();
+            let best = report
+                .trials
+                .iter()
+                .find(|t| t.sigma == report.sigma)
+                .unwrap();
             assert!(report.trials.iter().all(|t| best.cost <= t.cost));
         }
     }

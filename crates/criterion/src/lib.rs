@@ -1,0 +1,349 @@
+//! In-tree stand-in for the [`criterion`](https://docs.rs/criterion)
+//! bench harness.
+//!
+//! The workspace builds **offline**, so the real criterion cannot be
+//! fetched. This shim keeps every `benches/*.rs` target compiling and
+//! runnable (`cargo bench --features criterion-benches`) with the same
+//! source: `Criterion`, benchmark groups, `BenchmarkId`, `Bencher::iter`,
+//! `black_box`, and the two declaration macros.
+//!
+//! Measurement is intentionally simple — per benchmark it warms up, picks
+//! an iteration count that fills a sample, then reports the median and
+//! min/max of the per-iteration time over a fixed number of samples.
+//! There is no statistical outlier analysis, plotting, or baseline
+//! comparison; numbers are for coarse tracking, not criterion-grade
+//! confidence intervals. When invoked by `cargo test` (`--test` flag),
+//! every benchmark body runs exactly once as a smoke test.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — stops the optimiser from deleting benchmark
+/// bodies. Re-exported name matches criterion's.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark inside a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted where a benchmark name is expected (string or
+/// [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    config: MeasureConfig,
+    /// Filled by [`Bencher::iter`]: (median, min, max) per-iteration time.
+    result: Option<(Duration, Duration, Duration)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MeasureConfig {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig {
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            sample_size: 20,
+            test_mode: false,
+        }
+    }
+}
+
+impl Bencher {
+    /// Measure `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.config.test_mode {
+            black_box(routine());
+            self.result = Some((Duration::ZERO, Duration::ZERO, Duration::ZERO));
+            return;
+        }
+        // Warm-up, also estimating the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+        // Iterations per sample so that all samples fit the measurement
+        // budget.
+        let budget_ns = self.config.measurement_time.as_nanos();
+        let per_sample_ns = budget_ns / self.config.sample_size.max(1) as u128;
+        let iters = (per_sample_ns / per_iter.max(1)).clamp(1, u128::from(u32::MAX)) as u64;
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.config.sample_size);
+        let measure_start = Instant::now();
+        for _ in 0..self.config.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(t.elapsed() / iters as u32);
+            if measure_start.elapsed() > self.config.measurement_time * 2 {
+                break; // runaway routine: keep the harness responsive
+            }
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let max = *samples.last().expect("at least one sample");
+        self.result = Some((median, min, max));
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// The harness entry point; collects configuration and runs benchmarks.
+#[derive(Default)]
+pub struct Criterion {
+    config: MeasureConfig,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Build from command-line arguments (supports the `--test` flag cargo
+    /// passes on `cargo test`, and a positional substring filter).
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.config.test_mode = true,
+                // Flags cargo or users may pass that the shim ignores.
+                "--bench" | "--quiet" | "-q" | "--verbose" | "--noplot" => {}
+                other if !other.starts_with('-') => c.filter = Some(other.to_string()),
+                _ => {}
+            }
+        }
+        c
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            config: MeasureConfig::default(),
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        let config = self.config;
+        self.run_one(&id.into_id(), config, f);
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut config: MeasureConfig, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        config.test_mode = self.config.test_mode;
+        let mut bencher = Bencher {
+            config,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            _ if config.test_mode => println!("{id}: ok (test mode)"),
+            Some((median, min, max)) => println!(
+                "{id:<48} time: [{} {} {}]",
+                format_duration(min),
+                format_duration(median),
+                format_duration(max)
+            ),
+            None => println!("{id}: no measurement recorded"),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    config: MeasureConfig,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        let full = format!("{}/{}", self.name, id.into_id());
+        self.criterion.run_one(&full, self.config, f);
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&full, self.config, |b| f(b, input));
+    }
+
+    /// End the group (formatting no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Declare a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("algo", 8).id, "algo/8");
+        assert_eq!(BenchmarkId::from_parameter("UI").id, "UI");
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut calls = 0u64;
+        let mut b = Bencher {
+            config: MeasureConfig {
+                test_mode: true,
+                ..MeasureConfig::default()
+            },
+            result: None,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.result.is_some());
+    }
+
+    #[test]
+    fn measurement_produces_ordered_stats() {
+        let mut b = Bencher {
+            config: MeasureConfig {
+                warm_up_time: Duration::from_millis(5),
+                measurement_time: Duration::from_millis(20),
+                sample_size: 5,
+                test_mode: false,
+            },
+            result: None,
+        };
+        b.iter(|| black_box(3u64.wrapping_mul(7)));
+        let (median, min, max) = b.result.expect("measured");
+        assert!(min <= median && median <= max);
+    }
+
+    #[test]
+    fn groups_respect_filters() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            ..Criterion::default()
+        };
+        let mut ran = false;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("case", |_b| ran = true);
+        group.finish();
+        assert!(!ran, "filtered-out benchmark must not run");
+    }
+
+    #[test]
+    fn duration_formatting_bands() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(format_duration(Duration::from_micros(3)), "3.000 µs");
+        assert_eq!(format_duration(Duration::from_millis(40)), "40.000 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

@@ -44,10 +44,21 @@ impl fmt::Display for CsvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CsvError::Io(e) => write!(f, "I/O error: {e}"),
-            CsvError::Parse { line, column, content } => {
-                write!(f, "line {line}, column {column}: cannot parse {content:?} as a number")
+            CsvError::Parse {
+                line,
+                column,
+                content,
+            } => {
+                write!(
+                    f,
+                    "line {line}, column {column}: cannot parse {content:?} as a number"
+                )
             }
-            CsvError::ColumnCount { line, got, expected } => {
+            CsvError::ColumnCount {
+                line,
+                got,
+                expected,
+            } => {
                 write!(f, "line {line}: found {got} columns, expected {expected}")
             }
             CsvError::Empty => write!(f, "no data rows found"),
@@ -201,7 +212,11 @@ mod tests {
     fn ragged_line_rejected() {
         let csv = "1.0,2.0\n3.0\n";
         match read_csv(csv.as_bytes()) {
-            Err(CsvError::ColumnCount { line: 2, got: 1, expected: 2 }) => {}
+            Err(CsvError::ColumnCount {
+                line: 2,
+                got: 1,
+                expected: 2,
+            }) => {}
             other => panic!("expected ColumnCount, got {other:?}"),
         }
     }
@@ -210,7 +225,11 @@ mod tests {
     fn non_numeric_cell_mid_file_rejected() {
         let csv = "1.0,2.0\nfoo,4.0\n";
         match read_csv(csv.as_bytes()) {
-            Err(CsvError::Parse { line: 2, column: 1, content }) => {
+            Err(CsvError::Parse {
+                line: 2,
+                column: 1,
+                content,
+            }) => {
                 assert_eq!(content, "foo");
             }
             other => panic!("expected Parse, got {other:?}"),
@@ -253,7 +272,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = CsvError::ColumnCount { line: 3, got: 1, expected: 2 };
+        let e = CsvError::ColumnCount {
+            line: 3,
+            got: 1,
+            expected: 2,
+        };
         assert!(e.to_string().contains("line 3"));
     }
 }

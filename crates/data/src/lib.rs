@@ -9,13 +9,17 @@
 //! - [`real`] — seeded stand-ins for the paper's HOUSE / NBA / WEATHER
 //!   real-world datasets (see module docs for the substitution rationale);
 //! - [`io`] — dependency-free CSV import/export;
-//! - [`stats`] — dataset statistics used to validate generator character.
+//! - [`stats`] — dataset statistics used to validate generator character;
+//! - [`rng`] — the in-tree deterministic PRNG (xoshiro256++) every
+//!   generator draws from, keeping the workspace free of network
+//!   dependencies.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod io;
 pub mod real;
+pub mod rng;
 pub mod stats;
 pub mod synthetic;
 

@@ -17,9 +17,9 @@
 //! (which methods benefit, where the index I/O overhead shows) is what the
 //! stand-ins reproduce.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 use skyline_core::dataset::Dataset;
+
+use crate::rng::Rng64;
 
 use crate::synthetic::anti_correlated;
 
@@ -57,13 +57,13 @@ pub fn nba() -> Dataset {
 /// NBA′ at a reduced cardinality (same character).
 pub fn nba_scaled(cardinality: usize) -> Dataset {
     let dims = NBA_SHAPE.1;
-    let mut rng = ChaCha8Rng::seed_from_u64(0x4E42_4131); // "NBA1"
+    let mut rng = Rng64::seed_from_u64(0x4E42_4131); // "NBA1"
     let mut values = Vec::with_capacity(cardinality * dims);
     for _ in 0..cardinality {
         // Latent player quality; costs are minimised so smaller = better.
-        let quality: f64 = rng.gen_range(0.0..1.0);
+        let quality: f64 = rng.gen_f64();
         for _ in 0..dims {
-            let noise: f64 = rng.gen_range(0.0..1.0);
+            let noise: f64 = rng.gen_f64();
             values.push(0.55 * quality + 0.45 * noise);
         }
     }
@@ -81,11 +81,11 @@ pub fn weather() -> Dataset {
 /// WEATHER′ at a reduced cardinality (same character).
 pub fn weather_scaled(cardinality: usize) -> Dataset {
     let dims = WEATHER_SHAPE.1;
-    let mut rng = ChaCha8Rng::seed_from_u64(0x5745_4154_4845_5231); // "WEATHER1"
-    // Grid sizes per dimension: several very coarse (duplicate-heavy)
-    // dimensions, some moderately fine ones — mimicking a mixture of
-    // categorical-ish (wind direction, cloud octas) and near-continuous
-    // (temperature) measurements.
+    let mut rng = Rng64::seed_from_u64(0x5745_4154_4845_5231); // "WEATHER1"
+                                                               // Grid sizes per dimension: several very coarse (duplicate-heavy)
+                                                               // dimensions, some moderately fine ones — mimicking a mixture of
+                                                               // categorical-ish (wind direction, cloud octas) and near-continuous
+                                                               // (temperature) measurements.
     let grid: Vec<u32> = (0..dims)
         .map(|d| match d % 5 {
             0 => 8,    // very coarse
@@ -98,7 +98,7 @@ pub fn weather_scaled(cardinality: usize) -> Dataset {
     let mut values = Vec::with_capacity(cardinality * dims);
     for _ in 0..cardinality {
         for &g in &grid {
-            let raw: f64 = rng.gen_range(0.0..1.0);
+            let raw: f64 = rng.gen_f64();
             values.push((raw * g as f64).floor() / g as f64);
         }
     }
@@ -123,7 +123,10 @@ mod tests {
         let ds = nba_scaled(3000);
         assert_eq!(ds.dims(), NBA_SHAPE.1);
         let r = mean_pairwise_correlation(&ds);
-        assert!(r > 0.2 && r < 0.9, "mild positive correlation expected, got {r}");
+        assert!(
+            r > 0.2 && r < 0.9,
+            "mild positive correlation expected, got {r}"
+        );
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! Small in-tree deterministic PRNG.
+//!
+//! The workspace must build and test with **no network access**, so the
+//! external `rand` / `rand_chacha` crates are replaced by this module: a
+//! [xoshiro256++](https://prng.di.unimi.it/) generator seeded through
+//! SplitMix64, exactly as recommended by its authors. The generator is
+//! not cryptographic — it exists to produce high-quality, reproducible
+//! benchmark data (the correlation-structure tests in
+//! [`crate::synthetic`] double as a sanity check of its uniformity).
+//!
+//! Everything is deterministic given a seed; all dataset generators in
+//! this crate derive their streams from [`Rng64::seed_from_u64`], which
+//! mixes the seed so that consecutive seeds yield unrelated streams.
+
+/// xoshiro256++ pseudo-random generator, seeded via SplitMix64.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng64 {
+    state: [u64; 4],
+}
+
+/// One step of SplitMix64 — used to expand a 64-bit seed into the
+/// 256-bit xoshiro state (and a decent tiny generator in its own right).
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng64 {
+    /// Deterministic construction from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut s = seed;
+        let state = [
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+        ];
+        Rng64 { state }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is non-finite.
+    #[inline]
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(
+            lo <= hi && lo.is_finite() && hi.is_finite(),
+            "bad range [{lo}, {hi})"
+        );
+        lo + (hi - lo) * self.gen_f64()
+    }
+
+    /// Uniform `u64` in `[0, bound)` via Lemire's multiply-shift with
+    /// rejection (unbiased).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    #[inline]
+    pub fn gen_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        // Rejection zone keeps the mapping exactly uniform.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    #[inline]
+    pub fn gen_range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + self.gen_below((hi - lo) as u64) as usize
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let mut a = Rng64::seed_from_u64(7);
+        let mut b = Rng64::seed_from_u64(7);
+        let mut c = Rng64::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn reference_vector_matches_xoshiro256pp() {
+        // State {1, 2, 3, 4} — first outputs of the reference C
+        // implementation (prng.di.unimi.it/xoshiro256plusplus.c).
+        let mut rng = Rng64 {
+            state: [1, 2, 3, 4],
+        };
+        let got: Vec<u64> = (0..5).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                41943041,
+                58720359,
+                3588806011781223,
+                3591011842654386,
+                9228616714210784205
+            ]
+        );
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval_and_fills_it() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            let v = rng.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+            lo = lo.min(v);
+            hi = hi.max(v);
+            sum += v;
+        }
+        assert!(lo < 0.01 && hi > 0.99, "poor coverage: [{lo}, {hi}]");
+        let mean = sum / N as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = Rng64::seed_from_u64(3);
+        for _ in 0..5000 {
+            let v = rng.gen_range_f64(-2.5, 4.0);
+            assert!((-2.5..4.0).contains(&v));
+            let u = rng.gen_range_usize(3, 17);
+            assert!((3..17).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_below_is_roughly_uniform() {
+        let mut rng = Rng64::seed_from_u64(11);
+        let mut counts = [0usize; 8];
+        for _ in 0..80_000 {
+            counts[rng.gen_below(8) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Rng64::seed_from_u64(5);
+        let hits = (0..50_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 50_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+}

@@ -19,10 +19,10 @@
 //!
 //! Out-of-range candidate points are rejected and redrawn, exactly like the
 //! original generator. All generation is deterministic given a seed
-//! (ChaCha8), which the reproduction harness relies on.
+//! (the in-tree xoshiro256++ of [`crate::rng`]), which the reproduction
+//! harness relies on.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use crate::rng::Rng64;
 use skyline_core::dataset::Dataset;
 
 /// The three canonical data types of the skyline literature.
@@ -80,16 +80,16 @@ impl SyntheticSpec {
 /// Sum of `steps` uniform draws over `[min, max)`, normalised back into
 /// `[min, max)` — the original generator's `random_peak`, an Irwin–Hall
 /// approximation of a normal distribution peaked at the interval midpoint.
-fn random_peak<R: Rng>(rng: &mut R, min: f64, max: f64, steps: usize) -> f64 {
+fn random_peak(rng: &mut Rng64, min: f64, max: f64, steps: usize) -> f64 {
     let mut acc = 0.0;
     for _ in 0..steps {
-        acc += rng.gen_range(0.0..1.0);
+        acc += rng.gen_f64();
     }
     min + (max - min) * acc / steps as f64
 }
 
 /// The original generator's `random_normal`: a 12-step peak around `med`.
-fn random_normal<R: Rng>(rng: &mut R, med: f64, var: f64) -> f64 {
+fn random_normal(rng: &mut Rng64, med: f64, var: f64) -> f64 {
     random_peak(rng, med - var, med + var, 12)
 }
 
@@ -98,7 +98,7 @@ fn point_in_unit_cube(p: &[f64]) -> bool {
 }
 
 /// One correlated candidate point (may land outside the unit cube).
-fn correlated_candidate<R: Rng>(rng: &mut R, dims: usize, out: &mut [f64]) {
+fn correlated_candidate(rng: &mut Rng64, dims: usize, out: &mut [f64]) {
     let v = random_peak(rng, 0.0, 1.0, dims.max(2));
     let l = if v <= 0.5 { v } else { 1.0 - v };
     out.fill(v);
@@ -110,12 +110,12 @@ fn correlated_candidate<R: Rng>(rng: &mut R, dims: usize, out: &mut [f64]) {
 }
 
 /// One anti-correlated candidate point (may land outside the unit cube).
-fn anti_correlated_candidate<R: Rng>(rng: &mut R, dims: usize, out: &mut [f64]) {
+fn anti_correlated_candidate(rng: &mut Rng64, dims: usize, out: &mut [f64]) {
     let v = random_normal(rng, 0.5, 0.25);
     let l = if v <= 0.5 { v } else { 1.0 - v };
     out.fill(v);
     for d in 0..dims {
-        let h = rng.gen_range(-l..=l);
+        let h = rng.gen_range_f64(-l, l);
         out[d] += h;
         out[(d + 1) % dims] -= h;
     }
@@ -129,14 +129,14 @@ fn anti_correlated_candidate<R: Rng>(rng: &mut R, dims: usize, out: &mut [f64]) 
 /// (the resulting buffer would fail dataset validation anyway).
 pub fn generate(spec: &SyntheticSpec) -> Dataset {
     assert!(spec.dims >= 1, "dimensionality must be at least 1");
-    let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+    let mut rng = Rng64::seed_from_u64(spec.seed);
     let mut values = Vec::with_capacity(spec.cardinality * spec.dims);
     let mut row = vec![0.0f64; spec.dims];
     for _ in 0..spec.cardinality {
         match spec.distribution {
             Distribution::Independent => {
                 for v in row.iter_mut() {
-                    *v = rng.gen_range(0.0..1.0);
+                    *v = rng.gen_f64();
                 }
             }
             Distribution::Correlated => loop {
@@ -169,7 +169,12 @@ pub fn uniform_independent(cardinality: usize, dims: usize, seed: u64) -> Datase
 
 /// Shorthand: correlated dataset.
 pub fn correlated(cardinality: usize, dims: usize, seed: u64) -> Dataset {
-    generate(&SyntheticSpec { distribution: Distribution::Correlated, cardinality, dims, seed })
+    generate(&SyntheticSpec {
+        distribution: Distribution::Correlated,
+        cardinality,
+        dims,
+        seed,
+    })
 }
 
 /// Shorthand: anti-correlated dataset.
@@ -242,9 +247,18 @@ mod tests {
         let r_co = mean_pairwise_correlation(&co);
         let r_ac = mean_pairwise_correlation(&ac);
         let r_ui = mean_pairwise_correlation(&ui);
-        assert!(r_co > 0.5, "correlated data should correlate strongly, got {r_co}");
-        assert!(r_ac < -0.1, "anti-correlated data should anti-correlate, got {r_ac}");
-        assert!(r_ui.abs() < 0.1, "independent data should not correlate, got {r_ui}");
+        assert!(
+            r_co > 0.5,
+            "correlated data should correlate strongly, got {r_co}"
+        );
+        assert!(
+            r_ac < -0.1,
+            "anti-correlated data should anti-correlate, got {r_ac}"
+        );
+        assert!(
+            r_ui.abs() < 0.1,
+            "independent data should not correlate, got {r_ui}"
+        );
     }
 
     #[test]
@@ -256,7 +270,10 @@ mod tests {
         ] {
             assert_eq!(Distribution::from_tag(dist.tag()), Some(dist));
         }
-        assert_eq!(Distribution::from_tag("ui"), Some(Distribution::Independent));
+        assert_eq!(
+            Distribution::from_tag("ui"),
+            Some(Distribution::Independent)
+        );
         assert_eq!(Distribution::from_tag("xx"), None);
     }
 

@@ -1,0 +1,275 @@
+//! Typed trace events.
+//!
+//! Every event serialises to one JSON-lines record with a `"type"`
+//! discriminator. Together with the two span records the recorders emit
+//! (`span_start` / `span_end`), a trace file contains six distinct event
+//! types.
+
+use crate::histogram::{Histogram, BUCKETS};
+use crate::json::{ObjectWriter, Value};
+
+/// A structured telemetry event emitted by an instrumented algorithm.
+// Events are emitted at most once per phase or per Merge pivot, never in
+// per-point loops, so `TrieStats`' two inline histograms (the size-skew
+// clippy flags) are cheaper than boxing them would be.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// One algorithm run is starting.
+    RunStart {
+        /// Algorithm display name, e.g. `"SFS-SUBSET"`.
+        algorithm: String,
+        /// Number of input points.
+        points: u64,
+        /// Input dimensionality.
+        dims: u64,
+    },
+    /// One iteration of the Merge phase (Algorithm 1) finished.
+    MergeIteration {
+        /// 0-based iteration index.
+        iteration: u64,
+        /// Point id of the pivot chosen this iteration.
+        pivot: u64,
+        /// Points removed (dominated in the full space) this iteration.
+        pruned: u64,
+        /// Points still alive after this iteration.
+        survivors: u64,
+        /// Points whose maximum dominating subspace did not change —
+        /// the stability count that drives the σ termination rule.
+        stable: u64,
+        /// Survivor counts per subspace size: `subspace_hist[k]` = number
+        /// of survivors whose maximum dominating subspace has size `k+1`.
+        /// These are exactly the buckets the σ stability rule compares.
+        subspace_hist: Vec<u64>,
+    },
+    /// Subset-index statistics for one run, taken after the scan phase.
+    TrieStats {
+        /// Total trie nodes visited across the run's container queries.
+        nodes: u64,
+        /// Points stored into the container (`put` operations).
+        entries: u64,
+        /// Distribution of query recursion depth.
+        depth: Histogram,
+        /// Distribution of candidates returned per container query.
+        candidates: Histogram,
+    },
+    /// One algorithm run finished.
+    RunSummary {
+        /// Algorithm display name.
+        algorithm: String,
+        /// Skyline cardinality.
+        skyline_size: u64,
+        /// Full-space dominance tests performed.
+        dominance_tests: u64,
+        /// Container queries issued during the scan phase.
+        container_gets: u64,
+        /// Wall-clock time of the whole run in microseconds.
+        elapsed_us: u64,
+    },
+}
+
+fn histogram_json(h: &Histogram) -> String {
+    let mut w = ObjectWriter::new();
+    w.u64_field("count", h.count())
+        .u64_field("sum", h.sum())
+        .u64_field("min", h.min())
+        .u64_field("max", h.max())
+        .u64_array_field("buckets", h.buckets());
+    w.finish()
+}
+
+fn histogram_from(v: &Value) -> Option<Histogram> {
+    let count = v.get("count")?.as_u64()?;
+    let sum = v.get("sum")?.as_u64()?;
+    let min = v.get("min")?.as_u64()?;
+    let max = v.get("max")?.as_u64()?;
+    let raw = v.get("buckets")?.as_arr()?;
+    if raw.len() != BUCKETS {
+        return None;
+    }
+    let mut buckets = [0u64; BUCKETS];
+    for (slot, val) in buckets.iter_mut().zip(raw) {
+        *slot = val.as_u64()?;
+    }
+    Some(Histogram::from_parts(buckets, count, sum, min, max))
+}
+
+fn u64_vec(v: &Value) -> Option<Vec<u64>> {
+    v.as_arr()?.iter().map(Value::as_u64).collect()
+}
+
+impl Event {
+    /// The `"type"` discriminator this event serialises under.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Event::RunStart { .. } => "run_start",
+            Event::MergeIteration { .. } => "merge_iteration",
+            Event::TrieStats { .. } => "trie_stats",
+            Event::RunSummary { .. } => "run_summary",
+        }
+    }
+
+    /// Serialise to one JSON-lines record (no trailing newline).
+    /// `ts_us` is the microsecond offset from the start of the trace.
+    pub fn to_json(&self, ts_us: u64) -> String {
+        let mut w = ObjectWriter::new();
+        w.str_field("type", self.type_name())
+            .u64_field("ts_us", ts_us);
+        match self {
+            Event::RunStart {
+                algorithm,
+                points,
+                dims,
+            } => {
+                w.str_field("algorithm", algorithm)
+                    .u64_field("points", *points)
+                    .u64_field("dims", *dims);
+            }
+            Event::MergeIteration {
+                iteration,
+                pivot,
+                pruned,
+                survivors,
+                stable,
+                subspace_hist,
+            } => {
+                w.u64_field("iteration", *iteration)
+                    .u64_field("pivot", *pivot)
+                    .u64_field("pruned", *pruned)
+                    .u64_field("survivors", *survivors)
+                    .u64_field("stable", *stable)
+                    .u64_array_field("subspace_hist", subspace_hist);
+            }
+            Event::TrieStats {
+                nodes,
+                entries,
+                depth,
+                candidates,
+            } => {
+                w.u64_field("nodes", *nodes)
+                    .u64_field("entries", *entries)
+                    .raw_field("depth", &histogram_json(depth))
+                    .raw_field("candidates", &histogram_json(candidates));
+            }
+            Event::RunSummary {
+                algorithm,
+                skyline_size,
+                dominance_tests,
+                container_gets,
+                elapsed_us,
+            } => {
+                w.str_field("algorithm", algorithm)
+                    .u64_field("skyline_size", *skyline_size)
+                    .u64_field("dominance_tests", *dominance_tests)
+                    .u64_field("container_gets", *container_gets)
+                    .u64_field("elapsed_us", *elapsed_us);
+            }
+        }
+        w.finish()
+    }
+
+    /// Reconstruct an event from a parsed trace record. Returns `None`
+    /// for span records and unknown types — callers treat those
+    /// separately.
+    pub fn from_value(v: &Value) -> Option<Event> {
+        match v.get("type")?.as_str()? {
+            "run_start" => Some(Event::RunStart {
+                algorithm: v.get("algorithm")?.as_str()?.to_string(),
+                points: v.get("points")?.as_u64()?,
+                dims: v.get("dims")?.as_u64()?,
+            }),
+            "merge_iteration" => Some(Event::MergeIteration {
+                iteration: v.get("iteration")?.as_u64()?,
+                pivot: v.get("pivot")?.as_u64()?,
+                pruned: v.get("pruned")?.as_u64()?,
+                survivors: v.get("survivors")?.as_u64()?,
+                stable: v.get("stable")?.as_u64()?,
+                subspace_hist: u64_vec(v.get("subspace_hist")?)?,
+            }),
+            "trie_stats" => Some(Event::TrieStats {
+                nodes: v.get("nodes")?.as_u64()?,
+                entries: v.get("entries")?.as_u64()?,
+                depth: histogram_from(v.get("depth")?)?,
+                candidates: histogram_from(v.get("candidates")?)?,
+            }),
+            "run_summary" => Some(Event::RunSummary {
+                algorithm: v.get("algorithm")?.as_str()?.to_string(),
+                skyline_size: v.get("skyline_size")?.as_u64()?,
+                dominance_tests: v.get("dominance_tests")?.as_u64()?,
+                container_gets: v.get("container_gets")?.as_u64()?,
+                elapsed_us: v.get("elapsed_us")?.as_u64()?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        let mut depth = Histogram::new();
+        depth.record(2);
+        depth.record(5);
+        let mut candidates = Histogram::new();
+        candidates.record(0);
+        candidates.record(120);
+        vec![
+            Event::RunStart {
+                algorithm: "SFS-SUBSET".into(),
+                points: 1000,
+                dims: 8,
+            },
+            Event::MergeIteration {
+                iteration: 0,
+                pivot: 412,
+                pruned: 73,
+                survivors: 927,
+                stable: 800,
+                subspace_hist: vec![0, 3, 12, 900],
+            },
+            Event::TrieStats {
+                nodes: 99,
+                entries: 40,
+                depth,
+                candidates,
+            },
+            Event::RunSummary {
+                algorithm: "SFS-SUBSET".into(),
+                skyline_size: 211,
+                dominance_tests: 48_213,
+                container_gets: 927,
+                elapsed_us: 1523,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_round_trips_through_json() {
+        for (i, e) in sample_events().into_iter().enumerate() {
+            let line = e.to_json(i as u64 * 10);
+            let v = Value::parse(&line).unwrap_or_else(|err| panic!("{line}: {err}"));
+            assert_eq!(v.get("ts_us").unwrap().as_u64(), Some(i as u64 * 10));
+            let back = Event::from_value(&v).unwrap_or_else(|| panic!("no parse: {line}"));
+            assert_eq!(back, e, "round-trip mismatch for {line}");
+        }
+    }
+
+    #[test]
+    fn type_names_are_distinct() {
+        let names: Vec<&str> = sample_events().iter().map(|e| e.type_name()).collect();
+        let mut unique = names.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len());
+    }
+
+    #[test]
+    fn unknown_and_span_types_are_skipped() {
+        let v = Value::parse(r#"{"type":"span_start","name":"merge","ts_us":0}"#).unwrap();
+        assert!(Event::from_value(&v).is_none());
+        let v = Value::parse(r#"{"type":"mystery"}"#).unwrap();
+        assert!(Event::from_value(&v).is_none());
+    }
+}

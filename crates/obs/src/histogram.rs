@@ -1,0 +1,269 @@
+//! Fixed-bucket power-of-two histograms.
+//!
+//! Distributions the algorithms care about (trie query depth, candidates
+//! returned per container query, subspace sizes per Merge iteration) span
+//! a few orders of magnitude but never need fine resolution — a log2
+//! bucketing with a fixed bucket count captures the shape with a single
+//! array-index increment per sample and no allocation. Keeping the state
+//! a plain array of `u64` lets `Histogram` live inside `Metrics` without
+//! disturbing its `Default`/`PartialEq`/`Eq` derives.
+
+/// Number of log2 buckets. Bucket `i` (for `i >= 1`) holds values `v`
+/// with `2^(i-1) <= v < 2^i`; bucket 0 holds the value `0`. The last
+/// bucket absorbs everything at or above `2^(BUCKETS-2)`.
+pub const BUCKETS: usize = 16;
+
+/// A log2-bucketed histogram over `u64` samples with exact count / sum /
+/// min / max side statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// Index of the bucket that `value` falls into.
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    ((u64::BITS - value.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Fold another histogram into this one. Merging is commutative and
+    /// associative, so per-run histograms can be absorbed in any order.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// True when no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Rebuild a histogram from serialized parts (used by the trace
+    /// reader). `min`/`max` of an empty histogram are normalised.
+    pub fn from_parts(buckets: [u64; BUCKETS], count: u64, sum: u64, min: u64, max: u64) -> Self {
+        if count == 0 {
+            Histogram::default()
+        } else {
+            Histogram {
+                buckets,
+                count,
+                sum,
+                min,
+                max,
+            }
+        }
+    }
+
+    /// Human-readable range label of bucket `i`, e.g. `"0"`, `"1"`,
+    /// `"2-3"`, `"4-7"`, or `">=16384"` for the overflow bucket.
+    pub fn bucket_label(i: usize) -> String {
+        assert!(i < BUCKETS);
+        match i {
+            0 => "0".to_string(),
+            1 => "1".to_string(),
+            _ if i == BUCKETS - 1 => format!(">={}", 1u64 << (BUCKETS - 2)),
+            _ => format!("{}-{}", 1u64 << (i - 1), (1u64 << i) - 1),
+        }
+    }
+
+    /// Compact one-line rendering of the non-empty buckets, e.g.
+    /// `"1:3 2-3:17 4-7:2"`. Empty histograms render as `"-"`.
+    pub fn render_compact(&self) -> String {
+        if self.is_empty() {
+            return "-".to_string();
+        }
+        let parts: Vec<String> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| format!("{}:{}", Self::bucket_label(i), c))
+            .collect();
+        parts.join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(7), 3);
+        assert_eq!(bucket_of(8), 4);
+        assert_eq!(bucket_of((1 << 14) - 1), 14);
+        assert_eq!(bucket_of(1 << 14), BUCKETS - 1);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn stats_track_samples() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.min(), 0);
+        for v in [3u64, 0, 9, 9, 1] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 22);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 9);
+        assert!((h.mean() - 4.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut c = Histogram::new();
+        for v in 0..50u64 {
+            a.record(v * 3);
+        }
+        for v in 0..20u64 {
+            b.record(v * v);
+        }
+        c.record(u64::MAX);
+
+        // (a + b) + c
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        // a + (b + c)
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        assert_eq!(left, right);
+
+        // b + a == a + b
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merging_empty_is_identity() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.record(100);
+        let before = h;
+        h.merge(&Histogram::new());
+        assert_eq!(h, before);
+
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn labels_and_compact_rendering() {
+        assert_eq!(Histogram::bucket_label(0), "0");
+        assert_eq!(Histogram::bucket_label(1), "1");
+        assert_eq!(Histogram::bucket_label(2), "2-3");
+        assert_eq!(Histogram::bucket_label(4), "8-15");
+        assert_eq!(Histogram::bucket_label(BUCKETS - 1), ">=16384");
+
+        let mut h = Histogram::new();
+        assert_eq!(h.render_compact(), "-");
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        assert_eq!(h.render_compact(), "1:1 2-3:2");
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let mut h = Histogram::new();
+        for v in [1u64, 6, 6, 80] {
+            h.record(v);
+        }
+        let r = Histogram::from_parts(*h.buckets(), h.count(), h.sum(), h.min(), h.max());
+        assert_eq!(r, h);
+        assert_eq!(
+            Histogram::from_parts([0; BUCKETS], 0, 0, 0, 0),
+            Histogram::default()
+        );
+    }
+}

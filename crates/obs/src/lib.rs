@@ -1,0 +1,32 @@
+//! # skyline-obs
+//!
+//! Zero-dependency structured observability for the skyline workspace:
+//!
+//! - [`Recorder`] — the sink trait algorithms are instrumented against,
+//!   with a no-op default ([`NoopRecorder`]) whose disabled path costs
+//!   one virtual `enabled()` check per *phase*, never per point;
+//! - [`Event`] — typed telemetry (run boundaries, per-Merge-iteration
+//!   stats, trie statistics) that serialises to JSON lines;
+//! - [`Histogram`] — fixed-bucket log2 histograms cheap enough to live
+//!   inside hot-path metrics structs;
+//! - [`JsonlRecorder`] — a hand-rolled JSON-lines sink (no serde),
+//!   selected at the CLI via `--trace <path>` or `SKYLINE_TRACE=<path>`;
+//! - [`TraceSummary`] — reads a trace file back and aggregates it into
+//!   human-readable tables (`skyline report <trace.jsonl>`).
+//!
+//! The crate deliberately depends on nothing outside `std` so that the
+//! bottom-most crate of the workspace (`skyline-core`) can depend on it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod histogram;
+pub mod json;
+pub mod recorder;
+pub mod summary;
+
+pub use event::Event;
+pub use histogram::{Histogram, BUCKETS};
+pub use recorder::{JsonlRecorder, MemoryRecorder, NoopRecorder, Record, Recorder};
+pub use summary::TraceSummary;

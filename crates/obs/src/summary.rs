@@ -1,0 +1,372 @@
+//! Aggregating a JSON-lines trace back into human-readable tables.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::event::Event;
+use crate::histogram::Histogram;
+use crate::json::Value;
+
+/// Aggregate statistics for one span name.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Number of completed spans with this name.
+    pub count: u64,
+    /// Total duration across all completions, microseconds.
+    pub total_us: u64,
+    /// Longest single completion, microseconds.
+    pub max_us: u64,
+}
+
+/// Aggregate statistics for one algorithm's `run_summary` events.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct AlgoStats {
+    /// Number of runs.
+    pub runs: u64,
+    /// Total skyline cardinality over all runs.
+    pub skyline_total: u64,
+    /// Total dominance tests over all runs.
+    pub dominance_tests: u64,
+    /// Total container queries over all runs.
+    pub container_gets: u64,
+    /// Total wall-clock, microseconds.
+    pub elapsed_us: u64,
+}
+
+/// Everything a trace file aggregates to.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Parsed JSONL records.
+    pub lines: u64,
+    /// Lines that failed to parse or had an unknown shape.
+    pub skipped: u64,
+    /// Record count per `"type"` discriminator.
+    pub type_counts: BTreeMap<String, u64>,
+    /// Span timings keyed by span name.
+    pub spans: BTreeMap<String, SpanStats>,
+    /// Per-algorithm run summaries.
+    pub algorithms: BTreeMap<String, AlgoStats>,
+    /// Merge-phase telemetry: iterations observed.
+    pub merge_iterations: u64,
+    /// Total points pruned across all Merge iterations.
+    pub merge_pruned: u64,
+    /// Aggregated subspace-size buckets over every Merge iteration
+    /// (index `k` = survivors with subspace size `k+1`, summed).
+    pub merge_subspace_buckets: Vec<u64>,
+    /// Merged distribution of trie query depth.
+    pub trie_depth: Histogram,
+    /// Merged distribution of candidates returned per container query.
+    pub trie_candidates: Histogram,
+    /// Total trie nodes visited, summed over every `trie_stats` event.
+    pub trie_nodes: u64,
+    /// Total container puts, summed over every `trie_stats` event.
+    pub trie_entries: u64,
+}
+
+impl TraceSummary {
+    /// Parse and aggregate a whole trace file.
+    pub fn from_file(path: &Path) -> std::io::Result<TraceSummary> {
+        Ok(Self::from_text(&std::fs::read_to_string(path)?))
+    }
+
+    /// Parse and aggregate trace text (one JSON object per line).
+    pub fn from_text(text: &str) -> TraceSummary {
+        let mut s = TraceSummary::default();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            s.lines += 1;
+            match Value::parse(line) {
+                Ok(v) => s.ingest(&v),
+                Err(_) => s.skipped += 1,
+            }
+        }
+        s
+    }
+
+    fn ingest(&mut self, v: &Value) {
+        let Some(ty) = v.get("type").and_then(Value::as_str) else {
+            self.skipped += 1;
+            return;
+        };
+        *self.type_counts.entry(ty.to_string()).or_insert(0) += 1;
+        match ty {
+            "span_start" => {} // counted; durations come from span_end
+            "span_end" => {
+                let (Some(name), Some(dur)) = (
+                    v.get("name").and_then(Value::as_str),
+                    v.get("dur_us").and_then(Value::as_u64),
+                ) else {
+                    self.skipped += 1;
+                    return;
+                };
+                let stats = self.spans.entry(name.to_string()).or_default();
+                stats.count += 1;
+                stats.total_us += dur;
+                stats.max_us = stats.max_us.max(dur);
+            }
+            _ => match Event::from_value(v) {
+                Some(Event::RunStart { .. }) => {}
+                Some(Event::MergeIteration {
+                    pruned,
+                    subspace_hist,
+                    ..
+                }) => {
+                    self.merge_iterations += 1;
+                    self.merge_pruned += pruned;
+                    if self.merge_subspace_buckets.len() < subspace_hist.len() {
+                        self.merge_subspace_buckets.resize(subspace_hist.len(), 0);
+                    }
+                    for (acc, b) in self.merge_subspace_buckets.iter_mut().zip(&subspace_hist) {
+                        *acc += b;
+                    }
+                }
+                Some(Event::TrieStats {
+                    nodes,
+                    entries,
+                    depth,
+                    candidates,
+                }) => {
+                    self.trie_nodes += nodes;
+                    self.trie_entries += entries;
+                    self.trie_depth.merge(&depth);
+                    self.trie_candidates.merge(&candidates);
+                }
+                Some(Event::RunSummary {
+                    algorithm,
+                    skyline_size,
+                    dominance_tests,
+                    container_gets,
+                    elapsed_us,
+                }) => {
+                    let stats = self.algorithms.entry(algorithm).or_default();
+                    stats.runs += 1;
+                    stats.skyline_total += skyline_size;
+                    stats.dominance_tests += dominance_tests;
+                    stats.container_gets += container_gets;
+                    stats.elapsed_us += elapsed_us;
+                }
+                None => self.skipped += 1,
+            },
+        }
+    }
+
+    /// Render the summary as plain-text tables.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace: {} records ({} skipped), {} event types",
+            self.lines,
+            self.skipped,
+            self.type_counts.len()
+        );
+        if !self.type_counts.is_empty() {
+            let _ = writeln!(out, "\n== records by type ==");
+            for (ty, n) in &self.type_counts {
+                let _ = writeln!(out, "  {ty:<18} {n:>8}");
+            }
+        }
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "\n== phase timings ==");
+            let _ = writeln!(
+                out,
+                "  {:<12} {:>6} {:>12} {:>12} {:>12}",
+                "span", "count", "total ms", "mean ms", "max ms"
+            );
+            for (name, s) in &self.spans {
+                let mean = if s.count == 0 {
+                    0.0
+                } else {
+                    s.total_us as f64 / s.count as f64
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:<12} {:>6} {:>12.3} {:>12.3} {:>12.3}",
+                    name,
+                    s.count,
+                    s.total_us as f64 / 1e3,
+                    mean / 1e3,
+                    s.max_us as f64 / 1e3
+                );
+            }
+        }
+        if !self.algorithms.is_empty() {
+            let _ = writeln!(out, "\n== algorithm runs ==");
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>5} {:>10} {:>14} {:>12} {:>10}",
+                "algorithm", "runs", "skyline", "dom tests", "ctr gets", "ms"
+            );
+            for (name, a) in &self.algorithms {
+                let _ = writeln!(
+                    out,
+                    "  {:<14} {:>5} {:>10} {:>14} {:>12} {:>10.3}",
+                    name,
+                    a.runs,
+                    a.skyline_total,
+                    a.dominance_tests,
+                    a.container_gets,
+                    a.elapsed_us as f64 / 1e3
+                );
+            }
+        }
+        if self.merge_iterations > 0 {
+            let _ = writeln!(out, "\n== merge phase ==");
+            let _ = writeln!(out, "  iterations       {:>8}", self.merge_iterations);
+            let _ = writeln!(out, "  points pruned    {:>8}", self.merge_pruned);
+            let buckets: Vec<String> = self
+                .merge_subspace_buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| format!("|D|={}:{}", i + 1, c))
+                .collect();
+            let _ = writeln!(
+                out,
+                "  subspace sizes   {}",
+                if buckets.is_empty() {
+                    "-".to_string()
+                } else {
+                    buckets.join(" ")
+                }
+            );
+        }
+        if !self.trie_depth.is_empty() || !self.trie_candidates.is_empty() {
+            let _ = writeln!(out, "\n== subset-index (trie) ==");
+            let _ = writeln!(out, "  nodes visited    {:>8}", self.trie_nodes);
+            let _ = writeln!(out, "  points stored    {:>8}", self.trie_entries);
+            let _ = writeln!(
+                out,
+                "  query depth      mean {:.2}  max {}  [{}]",
+                self.trie_depth.mean(),
+                self.trie_depth.max(),
+                self.trie_depth.render_compact()
+            );
+            let _ = writeln!(
+                out,
+                "  candidates/query mean {:.2}  max {}  [{}]",
+                self.trie_candidates.mean(),
+                self.trie_candidates.max(),
+                self.trie_candidates.render_compact()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{JsonlRecorder, Recorder};
+
+    fn sample_trace() -> String {
+        let mut r = JsonlRecorder::new(Vec::new());
+        r.span_start("run");
+        r.event(Event::RunStart {
+            algorithm: "SDI-SUBSET".into(),
+            points: 500,
+            dims: 6,
+        });
+        r.span_start("merge");
+        r.event(Event::MergeIteration {
+            iteration: 0,
+            pivot: 3,
+            pruned: 120,
+            survivors: 380,
+            stable: 300,
+            subspace_hist: vec![0, 5, 100, 275],
+        });
+        r.event(Event::MergeIteration {
+            iteration: 1,
+            pivot: 17,
+            pruned: 40,
+            survivors: 340,
+            stable: 330,
+            subspace_hist: vec![0, 2, 80, 258],
+        });
+        r.span_end("merge");
+        r.span_start("scan");
+        let mut depth = Histogram::new();
+        depth.record(3);
+        let mut cands = Histogram::new();
+        cands.record(12);
+        r.event(Event::TrieStats {
+            nodes: 42,
+            entries: 40,
+            depth,
+            candidates: cands,
+        });
+        r.span_end("scan");
+        r.event(Event::RunSummary {
+            algorithm: "SDI-SUBSET".into(),
+            skyline_size: 99,
+            dominance_tests: 12_345,
+            container_gets: 340,
+            elapsed_us: 777,
+        });
+        r.span_end("run");
+        String::from_utf8(r.into_inner().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn aggregates_every_event_type() {
+        let s = TraceSummary::from_text(&sample_trace());
+        assert_eq!(s.skipped, 0);
+        assert_eq!(
+            s.type_counts.len(),
+            6,
+            "six distinct record types: {:?}",
+            s.type_counts
+        );
+        assert_eq!(s.type_counts["merge_iteration"], 2);
+        assert_eq!(s.merge_iterations, 2);
+        assert_eq!(s.merge_pruned, 160);
+        assert_eq!(s.merge_subspace_buckets, vec![0, 7, 180, 533]);
+        assert_eq!(s.spans["run"].count, 1);
+        assert_eq!(s.spans["merge"].count, 1);
+        let a = &s.algorithms["SDI-SUBSET"];
+        assert_eq!(a.runs, 1);
+        assert_eq!(a.skyline_total, 99);
+        assert_eq!(a.dominance_tests, 12_345);
+        assert_eq!(s.trie_nodes, 42);
+        assert_eq!(s.trie_depth.count(), 1);
+        assert_eq!(s.trie_candidates.max(), 12);
+    }
+
+    #[test]
+    fn render_mentions_each_section() {
+        let s = TraceSummary::from_text(&sample_trace());
+        let text = s.render();
+        for needle in [
+            "records by type",
+            "phase timings",
+            "algorithm runs",
+            "merge phase",
+            "subset-index (trie)",
+            "SDI-SUBSET",
+            "merge_iteration",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_counted_not_fatal() {
+        let text = "not json\n{\"type\":\"mystery\"}\n{\"no_type\":1}\n\n";
+        let s = TraceSummary::from_text(text);
+        assert_eq!(s.lines, 3);
+        // "mystery" has a type (counted) but parses to no event.
+        assert_eq!(s.skipped, 3);
+        assert_eq!(s.type_counts.get("mystery"), Some(&1));
+    }
+
+    #[test]
+    fn empty_trace_renders() {
+        let s = TraceSummary::from_text("");
+        let text = s.render();
+        assert!(text.contains("0 records"));
+    }
+}

@@ -1,0 +1,115 @@
+//! In-tree stand-in for the [`proptest`](https://docs.rs/proptest) crate.
+//!
+//! This workspace must build and test **offline**, so the real proptest
+//! cannot be fetched. This shim re-implements the small API surface the
+//! workspace's property suites use — `proptest!`, `prop_assert!`,
+//! `prop_assert_eq!`, range/tuple/`vec`/`any` strategies, `prop_map`, and
+//! `ProptestConfig::with_cases` — on top of a deterministic xoshiro256++
+//! generator.
+//!
+//! Differences from the real crate, by design:
+//!
+//! - **No shrinking.** A failing case reports the exact generated input
+//!   (plus the case number) instead of a minimised one.
+//! - **Determinism.** Inputs derive from a fixed hash of the test name and
+//!   the case index, so a failure always reproduces; there is no
+//!   `proptest-regressions` persistence.
+//! - Only the strategy combinators used in this workspace exist.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The items a property test file conventionally imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Declare a block of property tests.
+///
+/// Mirrors proptest's macro shape: an optional
+/// `#![proptest_config(expr)]` header followed by `#[test]` functions
+/// whose arguments use `name in strategy` binders. Each function expands
+/// to a plain `#[test]` that draws `cases` inputs and runs the body on
+/// each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::test_runner::run(
+                &config,
+                stringify!($name),
+                ($($strat,)+),
+                move |($($arg,)+)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+}
+
+/// Assert inside a property body; on failure the current case is rejected
+/// with the formatted message (instead of panicking without input context).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}

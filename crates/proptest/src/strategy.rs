@@ -1,0 +1,150 @@
+//! The `Strategy` trait and the combinators the workspace uses.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike the real proptest there is no shrinking: a strategy is just a
+/// deterministic function of the runner's RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every generated value with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map {
+            source: self,
+            map: f,
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.gen_below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                let span = (end as i128 - start as i128 + 1) as u128;
+                let draw = if span > u64::MAX as u128 {
+                    rng.next_u64()
+                } else {
+                    rng.gen_below(span as u64)
+                };
+                (start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + (self.end - self.start) * rng.gen_f64()
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($S:ident : $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("strategy_unit_tests", 0)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..2000 {
+            let v = (-3i8..5).generate(&mut r);
+            assert!((-3..5).contains(&v));
+            let u = (1usize..=64).generate(&mut r);
+            assert!((1..=64).contains(&u));
+            let f = (-5.0f64..5.0).generate(&mut r);
+            assert!((-5.0..5.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut r = rng();
+        let doubled = (0u32..10).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            assert_eq!(doubled.generate(&mut r) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut r = rng();
+        let (a, b, c) = (0u32..4, 10u64..20, 0.0f64..1.0).generate(&mut r);
+        assert!(a < 4);
+        assert!((10..20).contains(&b));
+        assert!((0.0..1.0).contains(&c));
+    }
+}

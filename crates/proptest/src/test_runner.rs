@@ -1,0 +1,149 @@
+//! Deterministic case generation and execution.
+
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::strategy::Strategy;
+
+/// Runner configuration; only the knob the workspace uses.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real proptest's default.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A rejected test case (produced by `prop_assert!` and friends).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(message: String) -> Self {
+        TestCaseError { message }
+    }
+
+    /// The failure message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Deterministic generator handed to strategies: xoshiro256++ seeded from
+/// the test name and case index.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// RNG for one `(test, case)` pair. FNV-1a over the test name keeps
+    /// different tests on unrelated streams.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut s = h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        TestRng {
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `u64` below `bound` (unbiased; `bound` must be non-zero).
+    pub fn gen_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let m = (self.next_u64() as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Drive one property: generate `config.cases` inputs from `strategy` and
+/// run `body` on each. A `prop_assert` failure or a panic inside the body
+/// reports the offending input and case number, then panics.
+pub fn run<S, F>(config: &ProptestConfig, name: &str, strategy: S, mut body: F)
+where
+    S: Strategy,
+    S::Value: fmt::Debug,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    for case in 0..config.cases {
+        let mut rng = TestRng::for_case(name, case);
+        let input = strategy.generate(&mut rng);
+        let shown = format!("{input:?}");
+        match catch_unwind(AssertUnwindSafe(|| body(input))) {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => panic!(
+                "property `{name}` failed at case {case}/{}: {}\n  input: {shown}",
+                config.cases,
+                e.message()
+            ),
+            Err(panic) => {
+                eprintln!(
+                    "property `{name}` panicked at case {case}/{}\n  input: {shown}",
+                    config.cases
+                );
+                resume_unwind(panic);
+            }
+        }
+    }
+}

@@ -23,20 +23,30 @@ fn main() {
         let pairs: Vec<(f64, f64)> = vec![
             (
                 Sfs.run(&data).mean_dominance_tests(),
-                boosted::SfsSubset::default().run(&data).mean_dominance_tests(),
+                boosted::SfsSubset::default()
+                    .run(&data)
+                    .mean_dominance_tests(),
             ),
             (
                 SaLSa.run(&data).mean_dominance_tests(),
-                boosted::SalsaSubset::default().run(&data).mean_dominance_tests(),
+                boosted::SalsaSubset::default()
+                    .run(&data)
+                    .mean_dominance_tests(),
             ),
             (
                 Sdi.run(&data).mean_dominance_tests(),
-                boosted::SdiSubset::default().run(&data).mean_dominance_tests(),
+                boosted::SdiSubset::default()
+                    .run(&data)
+                    .mean_dominance_tests(),
             ),
         ];
         print!("{d:>4}");
         for (base, boosted) in pairs {
-            let gain = if boosted > 0.0 { base / boosted } else { f64::INFINITY };
+            let gain = if boosted > 0.0 {
+                base / boosted
+            } else {
+                f64::INFINITY
+            };
             print!(" {base:>10.2} {boosted:>10.2} {gain:>5.1}x");
         }
         println!();

@@ -17,18 +17,60 @@ struct Hotel {
 
 fn main() {
     let hotels = [
-        Hotel { name: "Aurora", price: 85.0, distance: 0.4, rating: 3.9 },
-        Hotel { name: "Bayview", price: 125.0, distance: 0.2, rating: 4.4 },
-        Hotel { name: "Cascade", price: 90.0, distance: 1.8, rating: 3.1 }, // dominated
-        Hotel { name: "Dune", price: 60.0, distance: 2.5, rating: 3.7 },
-        Hotel { name: "Ember", price: 150.0, distance: 0.2, rating: 4.2 }, // dominated
-        Hotel { name: "Fjord", price: 60.0, distance: 2.5, rating: 3.7 }, // tie with Dune
-        Hotel { name: "Grove", price: 45.0, distance: 4.0, rating: 2.8 },
-        Hotel { name: "Haven", price: 200.0, distance: 0.1, rating: 4.9 },
+        Hotel {
+            name: "Aurora",
+            price: 85.0,
+            distance: 0.4,
+            rating: 3.9,
+        },
+        Hotel {
+            name: "Bayview",
+            price: 125.0,
+            distance: 0.2,
+            rating: 4.4,
+        },
+        Hotel {
+            name: "Cascade",
+            price: 90.0,
+            distance: 1.8,
+            rating: 3.1,
+        }, // dominated
+        Hotel {
+            name: "Dune",
+            price: 60.0,
+            distance: 2.5,
+            rating: 3.7,
+        },
+        Hotel {
+            name: "Ember",
+            price: 150.0,
+            distance: 0.2,
+            rating: 4.2,
+        }, // dominated
+        Hotel {
+            name: "Fjord",
+            price: 60.0,
+            distance: 2.5,
+            rating: 3.7,
+        }, // tie with Dune
+        Hotel {
+            name: "Grove",
+            price: 45.0,
+            distance: 4.0,
+            rating: 2.8,
+        },
+        Hotel {
+            name: "Haven",
+            price: 200.0,
+            distance: 0.1,
+            rating: 4.9,
+        },
     ];
 
-    let rows: Vec<[f64; 3]> =
-        hotels.iter().map(|h| [h.price, h.distance, h.rating]).collect();
+    let rows: Vec<[f64; 3]> = hotels
+        .iter()
+        .map(|h| [h.price, h.distance, h.rating])
+        .collect();
     let data = Dataset::from_rows_with_preferences(
         &rows,
         &[Preference::Min, Preference::Min, Preference::Max],
@@ -54,7 +96,13 @@ fn main() {
     // Cascade and Ember are strictly worse than some other hotel on every
     // criterion; everything else survives (Dune/Fjord are exact ties and
     // both stay).
-    let names: Vec<&str> =
-        result.skyline.iter().map(|&id| hotels[id as usize].name).collect();
-    assert_eq!(names, vec!["Aurora", "Bayview", "Dune", "Fjord", "Grove", "Haven"]);
+    let names: Vec<&str> = result
+        .skyline
+        .iter()
+        .map(|&id| hotels[id as usize].name)
+        .collect();
+    assert_eq!(
+        names,
+        vec!["Aurora", "Bayview", "Dune", "Fjord", "Grove", "Haven"]
+    );
 }

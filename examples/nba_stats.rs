@@ -20,7 +20,10 @@ fn main() {
         NBA_SIGMA
     );
     println!();
-    println!("{:<14} {:>10} {:>12} {:>10}", "algorithm", "mean DT", "time (ms)", "skyline");
+    println!(
+        "{:<14} {:>10} {:>12} {:>10}",
+        "algorithm", "mean DT", "time (ms)", "skyline"
+    );
 
     let mut skyline_size = None;
     for algo in evaluation_suite(Some(NBA_SIGMA)) {

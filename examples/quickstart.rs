@@ -11,12 +11,12 @@ fn main() {
     // A tiny dataset of laptops: (price in $100s, weight in kg, boot
     // seconds). All three criteria are minimised.
     let data = Dataset::from_rows(&[
-        [12.0, 1.1, 8.0],  // 0: light ultrabook
-        [7.0, 2.3, 14.0],  // 1: budget workhorse
-        [13.0, 1.2, 9.0],  // 2: dominated by 0
-        [9.0, 1.8, 11.0],  // 3: balanced midrange
-        [7.0, 2.3, 16.0],  // 4: dominated by 1
-        [20.0, 0.9, 7.0],  // 5: premium featherweight
+        [12.0, 1.1, 8.0], // 0: light ultrabook
+        [7.0, 2.3, 14.0], // 1: budget workhorse
+        [13.0, 1.2, 9.0], // 2: dominated by 0
+        [9.0, 1.8, 11.0], // 3: balanced midrange
+        [7.0, 2.3, 16.0], // 4: dominated by 1
+        [20.0, 0.9, 7.0], // 5: premium featherweight
     ])
     .expect("valid rows");
 
@@ -28,7 +28,9 @@ fn main() {
     let result = SdiSubset::default().run(&data);
     println!(
         "SDI-Subset skyline: {:?} ({} dominance tests, {:.3} ms)",
-        result.skyline, result.metrics.dominance_tests, result.elapsed_ms()
+        result.skyline,
+        result.metrics.dominance_tests,
+        result.elapsed_ms()
     );
     assert_eq!(skyline, result.skyline);
 

@@ -20,12 +20,42 @@ fn main() {
     let mut metrics = Metrics::new();
 
     let offers = [
-        Offer { airline: "AeroNova", price: 420.0, hours: 11.5, stops: 1.0 },
-        Offer { airline: "BlueJet", price: 380.0, hours: 14.0, stops: 2.0 },
-        Offer { airline: "CloudAir", price: 650.0, hours: 8.0, stops: 0.0 },
-        Offer { airline: "AeroNova", price: 430.0, hours: 12.0, stops: 1.0 }, // worse than #0
-        Offer { airline: "DeltaWave", price: 390.0, hours: 13.5, stops: 2.0 }, // beats BlueJet? no: pricier but faster
-        Offer { airline: "EchoFly", price: 350.0, hours: 16.0, stops: 3.0 },
+        Offer {
+            airline: "AeroNova",
+            price: 420.0,
+            hours: 11.5,
+            stops: 1.0,
+        },
+        Offer {
+            airline: "BlueJet",
+            price: 380.0,
+            hours: 14.0,
+            stops: 2.0,
+        },
+        Offer {
+            airline: "CloudAir",
+            price: 650.0,
+            hours: 8.0,
+            stops: 0.0,
+        },
+        Offer {
+            airline: "AeroNova",
+            price: 430.0,
+            hours: 12.0,
+            stops: 1.0,
+        }, // worse than #0
+        Offer {
+            airline: "DeltaWave",
+            price: 390.0,
+            hours: 13.5,
+            stops: 2.0,
+        }, // beats BlueJet? no: pricier but faster
+        Offer {
+            airline: "EchoFly",
+            price: 350.0,
+            hours: 16.0,
+            stops: 3.0,
+        },
     ];
 
     let mut ids = Vec::new();
@@ -36,14 +66,21 @@ fn main() {
         ids.push(id);
         println!(
             "+ {:<9} ${:>3.0} {:>5.1}h {} stop(s) -> front size {}",
-            offer.airline, offer.price, offer.hours, offer.stops, sky.skyline_len()
+            offer.airline,
+            offer.price,
+            offer.hours,
+            offer.stops,
+            sky.skyline_len()
         );
     }
 
     println!("\ncurrent Pareto front:");
     for id in sky.skyline() {
         let o = &offers[id as usize];
-        println!("  [{id}] {:<9} ${:>3.0} {:>5.1}h {} stop(s)", o.airline, o.price, o.hours, o.stops);
+        println!(
+            "  [{id}] {:<9} ${:>3.0} {:>5.1}h {} stop(s)",
+            o.airline, o.price, o.hours, o.stops
+        );
     }
 
     // CloudAir's nonstop offer expires: whoever it was shadowing
@@ -59,7 +96,10 @@ fn main() {
     println!("\nfinal Pareto front:");
     for id in sky.skyline() {
         let o = &offers[id as usize];
-        println!("  [{id}] {:<9} ${:>3.0} {:>5.1}h {} stop(s)", o.airline, o.price, o.hours, o.stops);
+        println!(
+            "  [{id}] {:<9} ${:>3.0} {:>5.1}h {} stop(s)",
+            o.airline, o.price, o.hours, o.stops
+        );
     }
     println!(
         "\n{} live offers, {} dominance tests total",

@@ -94,7 +94,11 @@ fn totally_ordered_chain() {
 fn max_supported_dimensionality() {
     // 64-D is the Subspace bitmask limit; make sure nothing overflows.
     let rows: Vec<Vec<f64>> = (0..40)
-        .map(|i| (0..64).map(|k| (((i * 7 + k * 13) % 23) as f64) / 23.0).collect())
+        .map(|i| {
+            (0..64)
+                .map(|k| (((i * 7 + k * 13) % 23) as f64) / 23.0)
+                .collect()
+        })
         .collect();
     let data = Dataset::from_rows(&rows).unwrap();
     let expected = oracle_skyline(&data);
@@ -113,11 +117,8 @@ fn negative_values_from_max_preferences() {
         [10.0, 4.4], // dominated by row 0
         [9.0, 3.0],
     ];
-    let data = Dataset::from_rows_with_preferences(
-        &rows,
-        &[Preference::Min, Preference::Max],
-    )
-    .unwrap();
+    let data =
+        Dataset::from_rows_with_preferences(&rows, &[Preference::Min, Preference::Max]).unwrap();
     let expected = oracle_skyline(&data);
     assert_eq!(expected, vec![0, 1, 3]);
     for algo in all_algorithms() {

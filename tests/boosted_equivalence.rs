@@ -20,13 +20,21 @@ fn boosted_equals_base_for_every_sigma() {
         assert_eq!(base_sfs, base_sdi, "{label}");
         for sigma in 2..=data.dims().max(2) {
             let s = Some(sigma);
-            assert_eq!(SfsSubset::new(s).compute(&data), base_sfs, "SFS {label} σ={sigma}");
+            assert_eq!(
+                SfsSubset::new(s).compute(&data),
+                base_sfs,
+                "SFS {label} σ={sigma}"
+            );
             assert_eq!(
                 SalsaSubset::new(s).compute(&data),
                 base_salsa,
                 "SaLSa {label} σ={sigma}"
             );
-            assert_eq!(SdiSubset::new(s).compute(&data), base_sdi, "SDI {label} σ={sigma}");
+            assert_eq!(
+                SdiSubset::new(s).compute(&data),
+                base_sdi,
+                "SDI {label} σ={sigma}"
+            );
         }
     }
 }
@@ -71,9 +79,11 @@ fn boosted_dt_reduction_materialises_at_higher_dims() {
     let base = Sfs.run(&data);
     let boosted = SfsSubset::default().run(&data);
     assert_eq!(base.skyline, boosted.skyline);
-    let gain =
-        base.metrics.dominance_tests as f64 / boosted.metrics.dominance_tests as f64;
-    assert!(gain > 2.0, "expected a clear DT gain on 8-D UI data, got {gain:.2}x");
+    let gain = base.metrics.dominance_tests as f64 / boosted.metrics.dominance_tests as f64;
+    assert!(
+        gain > 2.0,
+        "expected a clear DT gain on 8-D UI data, got {gain:.2}x"
+    );
 }
 
 #[test]

@@ -39,17 +39,26 @@ fn mixed_preferences_pipeline() {
         [999.0, 12.0, 1.3, 4.6],
         [799.0, 10.0, 1.5, 4.4],
         [1099.0, 14.0, 1.2, 4.8],
-        [999.0, 11.0, 1.4, 4.5],  // dominated by row 0
+        [999.0, 11.0, 1.4, 4.5], // dominated by row 0
         [649.0, 8.0, 1.8, 4.0],
         [1500.0, 13.0, 1.25, 4.7], // dominated by row 2
     ];
-    let prefs =
-        [Preference::Min, Preference::Max, Preference::Min, Preference::Max];
-    let data =
-        skyline_core::dataset::Dataset::from_rows_with_preferences(&rows, &prefs).unwrap();
+    let prefs = [
+        Preference::Min,
+        Preference::Max,
+        Preference::Min,
+        Preference::Max,
+    ];
+    let data = skyline_core::dataset::Dataset::from_rows_with_preferences(&rows, &prefs).unwrap();
     let expected = oracle_skyline(&data);
     assert_eq!(expected, vec![0, 1, 2, 4]);
-    for name in ["BNL", "SFS-Subset", "SaLSa-Subset", "SDI-Subset", "BSkyTree-P"] {
+    for name in [
+        "BNL",
+        "SFS-Subset",
+        "SaLSa-Subset",
+        "SDI-Subset",
+        "BSkyTree-P",
+    ] {
         let algo = algorithm_by_name(name).unwrap();
         assert_eq!(algo.compute(&data), expected, "{name}");
     }
@@ -74,7 +83,9 @@ fn skyline_sizes_track_the_papers_ordering() {
     let d = 8;
     let algo = algorithm_by_name("BSkyTree-P").unwrap();
     let ac = algo.compute(&skyline_data::anti_correlated(n, d, 1)).len();
-    let ui = algo.compute(&skyline_data::uniform_independent(n, d, 1)).len();
+    let ui = algo
+        .compute(&skyline_data::uniform_independent(n, d, 1))
+        .len();
     let co = algo.compute(&skyline_data::correlated(n, d, 1)).len();
     assert!(ac > ui, "AC skyline ({ac}) must exceed UI ({ui})");
     assert!(ui > co, "UI skyline ({ui}) must exceed CO ({co})");

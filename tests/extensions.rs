@@ -40,11 +40,14 @@ fn streaming_deletion_matches_batch_recomputation() {
     for victim in oracle_skyline(&data) {
         assert!(sky.remove(victim, &mut metrics));
         deleted[victim as usize] = true;
-        let alive: Vec<u32> =
-            (0..data.len() as u32).filter(|&i| !deleted[i as usize]).collect();
+        let alive: Vec<u32> = (0..data.len() as u32)
+            .filter(|&i| !deleted[i as usize])
+            .collect();
         let rest = data.project(&alive);
-        let expected: Vec<u32> =
-            oracle_skyline(&rest).into_iter().map(|i| alive[i as usize]).collect();
+        let expected: Vec<u32> = oracle_skyline(&rest)
+            .into_iter()
+            .map(|i| alive[i as usize])
+            .collect();
         assert_eq!(sky.skyline(), expected);
     }
     sky.check_invariants();
@@ -79,7 +82,14 @@ fn subspace_skyline_with_every_algorithm() {
     let data = skyline_data::uniform_independent(500, 5, 99);
     let sub = Subspace::from_dims([1, 3, 4]);
     let expected = oracle_skyline(&data.project_dims(sub));
-    for name in ["BNL", "SFS", "SaLSa-Subset", "SDI-Subset", "BSkyTree-P", "P-SFS"] {
+    for name in [
+        "BNL",
+        "SFS",
+        "SaLSa-Subset",
+        "SDI-Subset",
+        "BSkyTree-P",
+        "P-SFS",
+    ] {
         let algo = algorithm_by_name(name).unwrap();
         let mut m = Metrics::new();
         assert_eq!(
@@ -97,8 +107,10 @@ fn skyband_nests_and_contains_the_skyline() {
     let skyline = oracle_skyline(&data);
     let mut previous: Vec<u32> = Vec::new();
     for k in 1..=5usize {
-        let band: Vec<u32> =
-            k_skyband(&data, k, &mut m).into_iter().map(|b| b.id).collect();
+        let band: Vec<u32> = k_skyband(&data, k, &mut m)
+            .into_iter()
+            .map(|b| b.id)
+            .collect();
         if k == 1 {
             assert_eq!(band, skyline);
         }
@@ -158,8 +170,10 @@ fn streaming_and_batch_agree_after_heavy_churn() {
     }
     sky.rebuild_reference(&mut metrics);
     sky.check_invariants();
-    let expected: Vec<u32> =
-        oracle_skyline(&gen2).iter().map(|&i| i + gen1.len() as u32).collect();
+    let expected: Vec<u32> = oracle_skyline(&gen2)
+        .iter()
+        .map(|&i| i + gen1.len() as u32)
+        .collect();
     assert_eq!(sky.skyline(), expected);
     assert_eq!(Bnl.compute(&gen2).len(), sky.skyline_len());
 }

@@ -57,7 +57,10 @@ fn signed_zero_is_canonicalised() {
     ])
     .unwrap();
     // Canonicalisation happens at construction: no -0.0 survives.
-    assert!(data.as_flat().iter().all(|v| v.to_bits() != (-0.0f64).to_bits()));
+    assert!(data
+        .as_flat()
+        .iter()
+        .all(|v| v.to_bits() != (-0.0f64).to_bits()));
     let expected = oracle_skyline(&data);
     assert_eq!(expected, vec![1]);
     for algo in all_algorithms() {
@@ -101,15 +104,14 @@ fn dnc_adjacent_float_split() {
 /// still return the exact skyline.
 #[test]
 fn stop_point_with_non_minc_sort_stays_exact() {
-    let data = Dataset::from_rows(&[
-        [-1000.0, 1000.0],
-        [1.0, 2.0],
-        [11.0, 12.0],
-        [0.5, 100.0],
-    ])
-    .unwrap();
+    let data =
+        Dataset::from_rows(&[[-1000.0, 1000.0], [1.0, 2.0], [11.0, 12.0], [0.5, 100.0]]).unwrap();
     let expected = oracle_skyline(&data);
-    for sort in [SortStrategy::Sum, SortStrategy::Euclidean, SortStrategy::MinCoordinate] {
+    for sort in [
+        SortStrategy::Sum,
+        SortStrategy::Euclidean,
+        SortStrategy::MinCoordinate,
+    ] {
         let config = BoostConfig {
             merge: MergeConfig::recommended(data.dims()),
             sort,
@@ -125,17 +127,12 @@ fn stop_point_with_non_minc_sort_stays_exact() {
 /// with small perturbations maximise rounding collisions.
 #[test]
 fn randomised_rounding_stress() {
-    use rand::{Rng, SeedableRng};
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(4096);
+    let mut rng = skyline_data::rng::Rng64::seed_from_u64(4096);
     for trial in 0..20 {
         let n = 40;
         let d = 3;
         let rows: Vec<Vec<f64>> = (0..n)
-            .map(|_| {
-                (0..d)
-                    .map(|_| 1e16 + rng.gen_range(0..4) as f64)
-                    .collect()
-            })
+            .map(|_| (0..d).map(|_| 1e16 + rng.gen_below(4) as f64).collect())
             .collect();
         let data = Dataset::from_rows(&rows).unwrap();
         let expected = oracle_skyline(&data);

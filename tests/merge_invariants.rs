@@ -19,7 +19,10 @@ fn pivots_are_true_skyline_points() {
             assert!(skyline.contains(&p), "{label}: pivot {p} not in skyline");
         }
         for &p in &out.duplicate_skyline {
-            assert!(skyline.contains(&p), "{label}: duplicate {p} not in skyline");
+            assert!(
+                skyline.contains(&p),
+                "{label}: duplicate {p} not in skyline"
+            );
         }
     }
 }
@@ -66,7 +69,12 @@ fn every_point_is_accounted_for() {
         let mut m = Metrics::new();
         let out = merge(&data, &MergeConfig::recommended(data.dims()), &mut m);
         let mut seen = vec![false; data.len()];
-        for &p in out.pivots.iter().chain(&out.duplicate_skyline).chain(&out.survivors) {
+        for &p in out
+            .pivots
+            .iter()
+            .chain(&out.duplicate_skyline)
+            .chain(&out.survivors)
+        {
             assert!(!seen[p as usize], "{label}: {p} appears twice");
             seen[p as usize] = true;
         }
@@ -76,10 +84,14 @@ fn every_point_is_accounted_for() {
             if seen[q as usize] {
                 continue;
             }
-            let pruned_by_pivot = out.pivots.iter().any(|&p| {
-                dominates(data.point(p), row) || points_equal(data.point(p), row)
-            });
-            assert!(pruned_by_pivot, "{label}: point {q} vanished without a dominator");
+            let pruned_by_pivot = out
+                .pivots
+                .iter()
+                .any(|&p| dominates(data.point(p), row) || points_equal(data.point(p), row));
+            assert!(
+                pruned_by_pivot,
+                "{label}: point {q} vanished without a dominator"
+            );
         }
     }
 }
@@ -96,12 +108,20 @@ fn sigma_controls_pivot_count_monotonically_in_spirit() {
         let mut m = Metrics::new();
         let small = merge(
             &data,
-            &MergeConfig { sigma: 2, max_pivots: 64, score: PivotScore::default() },
+            &MergeConfig {
+                sigma: 2,
+                max_pivots: 64,
+                score: PivotScore::default(),
+            },
             &mut m,
         );
         let large = merge(
             &data,
-            &MergeConfig { sigma: data.dims(), max_pivots: 64, score: PivotScore::default() },
+            &MergeConfig {
+                sigma: data.dims(),
+                max_pivots: 64,
+                score: PivotScore::default(),
+            },
             &mut m,
         );
         assert!(
@@ -119,7 +139,15 @@ fn exhaustion_produces_the_full_skyline() {
     // whole dataset; in that case merge alone must deliver the skyline.
     let data = skyline_data::correlated(2000, 4, 31);
     let mut m = Metrics::new();
-    let out = merge(&data, &MergeConfig { sigma: 4, max_pivots: 256, score: PivotScore::default() }, &mut m);
+    let out = merge(
+        &data,
+        &MergeConfig {
+            sigma: 4,
+            max_pivots: 256,
+            score: PivotScore::default(),
+        },
+        &mut m,
+    );
     if out.exhausted {
         assert_eq!(out.confirmed_skyline(), oracle_skyline(&data));
     } else {

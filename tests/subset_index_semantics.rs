@@ -3,13 +3,12 @@
 //! Lemma 5.1) — checked against a brute-force oracle on randomised
 //! workloads and on subspaces produced by a real Merge run.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 use skyline_core::merge::{merge, MergeConfig};
 use skyline_core::metrics::Metrics;
 use skyline_core::point::PointId;
 use skyline_core::subset_index::{SortedSubsetIndex, SubsetIndex};
 use skyline_core::subspace::Subspace;
+use skyline_data::rng::Rng64;
 use skyline_integration_tests::workload_grid;
 
 fn oracle(entries: &[(PointId, Subspace)], query: Subspace) -> Vec<PointId> {
@@ -24,20 +23,24 @@ fn oracle(entries: &[(PointId, Subspace)], query: Subspace) -> Vec<PointId> {
 
 #[test]
 fn randomised_queries_match_the_oracle() {
-    let mut rng = ChaCha8Rng::seed_from_u64(2023);
+    let mut rng = Rng64::seed_from_u64(2023);
     for dims in [3usize, 5, 8, 12, 16, 24] {
-        let mask = if dims == 64 { u64::MAX } else { (1u64 << dims) - 1 };
+        let mask = if dims == 64 {
+            u64::MAX
+        } else {
+            (1u64 << dims) - 1
+        };
         let mut hash_index = SubsetIndex::new(dims);
         let mut sorted_index = SortedSubsetIndex::new(dims);
         let mut entries = Vec::new();
         for id in 0..300u32 {
-            let s = Subspace::from_bits(rng.gen::<u64>() & mask);
+            let s = Subspace::from_bits(rng.next_u64() & mask);
             hash_index.put(id, s);
             sorted_index.put(id, s);
             entries.push((id, s));
         }
         for _ in 0..200 {
-            let q = Subspace::from_bits(rng.gen::<u64>() & mask);
+            let q = Subspace::from_bits(rng.next_u64() & mask);
             let expected = oracle(&entries, q);
             let mut m = Metrics::new();
             let mut got_hash = hash_index.query(q, &mut m);
@@ -79,12 +82,12 @@ fn merge_produced_subspaces_roundtrip_through_the_index() {
 
 #[test]
 fn node_count_is_bounded_by_total_path_length() {
-    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut rng = Rng64::seed_from_u64(7);
     let dims = 10;
     let mut index = SubsetIndex::new(dims);
     let mut total_path = 0usize;
     for id in 0..500u32 {
-        let s = Subspace::from_bits(rng.gen::<u64>() & 0x3FF);
+        let s = Subspace::from_bits(rng.next_u64() & 0x3FF);
         total_path += s.complement(dims).size();
         index.put(id, s);
     }
@@ -95,15 +98,15 @@ fn node_count_is_bounded_by_total_path_length() {
 
 #[test]
 fn query_visits_no_more_nodes_than_exist() {
-    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let mut rng = Rng64::seed_from_u64(11);
     let dims = 8;
     let mut index = SubsetIndex::new(dims);
     for id in 0..200u32 {
-        index.put(id, Subspace::from_bits(rng.gen::<u64>() & 0xFF));
+        index.put(id, Subspace::from_bits(rng.next_u64() & 0xFF));
     }
     let nodes = index.node_count() as u64;
     for _ in 0..50 {
-        let q = Subspace::from_bits(rng.gen::<u64>() & 0xFF);
+        let q = Subspace::from_bits(rng.next_u64() & 0xFF);
         let mut m = Metrics::new();
         let _ = index.query(q, &mut m);
         assert!(m.index_nodes_visited <= nodes);

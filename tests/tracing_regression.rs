@@ -1,0 +1,177 @@
+//! Tracing must be a pure observer: running any algorithm through the
+//! traced entry points — with the no-op recorder or with a real sink —
+//! must produce the identical skyline and the identical `Metrics` as
+//! the plain untraced path.
+
+use skyline_algos::{evaluation_suite, SkylineAlgorithm};
+use skyline_core::dataset::Dataset;
+use skyline_core::metrics::Metrics;
+use skyline_data::{Distribution, SyntheticSpec};
+use skyline_obs::{Event, JsonlRecorder, MemoryRecorder, NoopRecorder, Record, TraceSummary};
+
+fn workload() -> Dataset {
+    SyntheticSpec {
+        distribution: Distribution::AntiCorrelated,
+        cardinality: 600,
+        dims: 5,
+        seed: 99,
+    }
+    .generate()
+}
+
+/// The no-op recorder path changes nothing: same skyline, same counters,
+/// same histograms, for every algorithm in the evaluation suite.
+#[test]
+fn noop_recorder_changes_no_metrics() {
+    let data = workload();
+    for algo in evaluation_suite(None) {
+        let mut plain = Metrics::new();
+        let sky_plain = algo.compute_with_metrics(&data, &mut plain);
+
+        let mut traced = Metrics::new();
+        let sky_traced = algo.compute_traced(&data, &mut traced, &mut NoopRecorder);
+
+        assert_eq!(
+            sky_plain,
+            sky_traced,
+            "{}: skyline drifted under tracing",
+            algo.name()
+        );
+        assert_eq!(
+            plain,
+            traced,
+            "{}: Metrics drifted under tracing",
+            algo.name()
+        );
+    }
+}
+
+/// A live recorder observes the run without perturbing it.
+#[test]
+fn live_recorder_is_a_pure_observer() {
+    let data = workload();
+    for algo in evaluation_suite(None) {
+        let mut plain = Metrics::new();
+        let sky_plain = algo.compute_with_metrics(&data, &mut plain);
+
+        let mut rec = MemoryRecorder::new();
+        let mut traced = Metrics::new();
+        let sky_traced = algo.compute_traced(&data, &mut traced, &mut rec);
+
+        assert_eq!(sky_plain, sky_traced, "{}: skyline drifted", algo.name());
+        assert_eq!(
+            plain,
+            traced,
+            "{}: Metrics drifted with live recorder",
+            algo.name()
+        );
+        assert!(
+            rec.open_spans().is_empty(),
+            "{}: unbalanced spans",
+            algo.name()
+        );
+    }
+}
+
+/// The boosted variants emit the full event vocabulary and their spans
+/// nest run ⊃ {merge, sort, scan} in order.
+#[test]
+fn boosted_runs_emit_phase_spans_and_events() {
+    let data = workload();
+    for name in ["SFS-Subset", "SaLSa-Subset", "SDI-Subset"] {
+        let algo = skyline_algos::algorithm_by_name(name).unwrap();
+        let mut rec = MemoryRecorder::new();
+        let m = algo.run_traced(&data, &mut rec);
+        assert!(!m.skyline.is_empty());
+
+        let span_starts: Vec<(&str, usize)> = rec
+            .records()
+            .iter()
+            .filter_map(|r| match r {
+                Record::SpanStart { name, depth } => Some((*name, *depth)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            span_starts,
+            vec![("run", 0), ("merge", 1), ("sort", 1), ("scan", 1)],
+            "{name}: unexpected span structure"
+        );
+        assert!(rec.open_spans().is_empty(), "{name}: spans left open");
+
+        let mut merge_iterations = 0u64;
+        let mut have = [false; 3]; // run_start, trie_stats, run_summary
+        for e in rec.events() {
+            match e {
+                Event::RunStart {
+                    algorithm,
+                    points,
+                    dims,
+                } => {
+                    assert_eq!(algorithm, name);
+                    assert_eq!(*points, data.len() as u64);
+                    assert_eq!(*dims, data.dims() as u64);
+                    have[0] = true;
+                }
+                Event::MergeIteration { iteration, .. } => {
+                    assert_eq!(
+                        *iteration, merge_iterations,
+                        "{name}: iterations out of order"
+                    );
+                    merge_iterations += 1;
+                }
+                Event::TrieStats { entries, .. } => {
+                    assert!(*entries > 0);
+                    have[1] = true;
+                }
+                Event::RunSummary {
+                    algorithm,
+                    skyline_size,
+                    ..
+                } => {
+                    assert_eq!(algorithm, name);
+                    assert_eq!(*skyline_size, m.skyline.len() as u64);
+                    have[2] = true;
+                }
+            }
+        }
+        assert!(merge_iterations > 0, "{name}: no merge telemetry");
+        assert!(
+            have.iter().all(|&b| b),
+            "{name}: missing lifecycle events {have:?}"
+        );
+    }
+}
+
+/// Full pipeline: run traced into a JSONL sink, read it back through
+/// `TraceSummary`, and check the aggregate matches the measurement.
+#[test]
+fn jsonl_trace_round_trips_through_summary() {
+    let data = workload();
+    let mut rec = JsonlRecorder::new(Vec::new());
+    let algo = skyline_algos::boosted::SdiSubset::default();
+    let m = algo.run_traced(&data, &mut rec);
+    assert_eq!(rec.io_errors(), 0);
+    let text = String::from_utf8(rec.into_inner().unwrap()).unwrap();
+
+    let s = TraceSummary::from_text(&text);
+    assert_eq!(s.skipped, 0, "every emitted line must parse");
+    assert_eq!(
+        s.type_counts.len(),
+        6,
+        "six record types: {:?}",
+        s.type_counts
+    );
+    let a = &s.algorithms["SDI-Subset"];
+    assert_eq!(a.runs, 1);
+    assert_eq!(a.skyline_total, m.skyline.len() as u64);
+    assert_eq!(a.dominance_tests, m.metrics.dominance_tests);
+    assert_eq!(a.container_gets, m.metrics.container_gets);
+    assert_eq!(s.trie_entries, m.metrics.container_puts);
+    assert!(s.merge_iterations > 0);
+    assert_eq!(s.spans["run"].count, 1);
+    assert!(s.spans["run"].total_us >= s.spans["merge"].total_us);
+    let rendered = s.render();
+    assert!(rendered.contains("SDI-Subset"));
+    assert!(rendered.contains("merge phase"));
+}
