@@ -28,6 +28,11 @@ echo "==> cargo test -q"
 cargo test -q
 
 if [[ "$quick" != "quick" ]]; then
+    echo "==> parallel differential tests (single- and multi-threaded runner)"
+    RUST_TEST_THREADS=1 cargo test -q -p skyline-integration-tests \
+        --test parallel_agreement
+    cargo test -q -p skyline-integration-tests --test parallel_agreement
+
     echo "==> opt-in: property tests"
     cargo test -q -p skyline-integration-tests --features property-tests \
         --test property_skyline
@@ -46,6 +51,13 @@ if [[ "$quick" != "quick" ]]; then
     ./target/release/skyline compute "$tmp/ui.csv" --trace "$tmp/t.jsonl" \
         >/dev/null
     ./target/release/skyline report "$tmp/t.jsonl" | grep -q "algorithm runs"
+
+    echo "==> trace smoke: parallel engine (--threads) emits shard telemetry"
+    ./target/release/skyline compute "$tmp/ui.csv" --threads 3 \
+        --trace "$tmp/p.jsonl" >/dev/null
+    ./target/release/skyline report "$tmp/p.jsonl" | grep -q "parallel engine"
+    grep -q '"type":"shard_scan"' "$tmp/p.jsonl"
+    grep -q '"type":"parallel_merge"' "$tmp/p.jsonl"
 fi
 
 echo "CI OK"

@@ -17,6 +17,7 @@
 //! | BSkyTree-S / BSkyTree-P (Lee & Hwang 2010/2014) | [`bskytree`] | pivot-based state of the art |
 //! | SFS-/SaLSa-/SDI-Subset (this paper) | [`boosted`] | subset-boosted |
 //! | P-SFS | [`parallel`] | multi-core partition-merge |
+//! | P-SFS-/P-SaLSa-/P-SDI-Subset | [`parallel`] | multi-core, subset-boosted per shard |
 //!
 //! Beyond plain skylines: [`skyband`] (k-skyband), [`subspace_skyline`]
 //! (subspace skylines and the skycube) and [`query`] (a fluent builder
@@ -160,8 +161,46 @@ pub fn evaluation_suite(sigma: Option<usize>) -> Vec<Box<dyn SkylineAlgorithm>> 
     ]
 }
 
+/// The multi-core engines: `P-SFS` plus the subset-boosted trio wrapped
+/// in [`parallel::ParallelBoosted`]. `threads == 0` means one worker per
+/// available CPU.
+pub fn parallel_suite(sigma: Option<usize>, threads: usize) -> Vec<Box<dyn SkylineAlgorithm>> {
+    vec![
+        Box::new(parallel::ParallelSfs { threads }),
+        Box::new(parallel::ParallelBoosted::new(
+            boosted::SfsSubset::new(sigma),
+            threads,
+        )),
+        Box::new(parallel::ParallelBoosted::new(
+            boosted::SalsaSubset::new(sigma),
+            threads,
+        )),
+        Box::new(parallel::ParallelBoosted::new(
+            boosted::SdiSubset::new(sigma),
+            threads,
+        )),
+    ]
+}
+
+/// Resolve a name to its parallel engine with the given worker count.
+/// Accepts both the sequential name (`"SFS-Subset"`) and the prefixed
+/// parallel one (`"P-SFS-Subset"`), case-insensitively.
+pub fn parallel_algorithm(
+    name: &str,
+    sigma: Option<usize>,
+    threads: usize,
+) -> Option<Box<dyn SkylineAlgorithm>> {
+    let base = name
+        .strip_prefix("P-")
+        .or_else(|| name.strip_prefix("p-"))
+        .unwrap_or(name);
+    parallel_suite(sigma, threads)
+        .into_iter()
+        .find(|a| a.name()["P-".len()..].eq_ignore_ascii_case(base))
+}
+
 /// Every algorithm in the crate (evaluation suite plus the classic
-/// baselines), with default configurations.
+/// baselines and the parallel engines), with default configurations.
 pub fn all_algorithms() -> Vec<Box<dyn SkylineAlgorithm>> {
     let mut v: Vec<Box<dyn SkylineAlgorithm>> = vec![
         Box::new(bnl::Bnl),
@@ -169,9 +208,9 @@ pub fn all_algorithms() -> Vec<Box<dyn SkylineAlgorithm>> {
         Box::new(less::Less::default()),
         Box::new(index_algo::IndexAlgo),
         Box::new(bbs::Bbs),
-        Box::new(parallel::ParallelSfs::default()),
     ];
     v.extend(evaluation_suite(None));
+    v.extend(parallel_suite(None, 0));
     v
 }
 
@@ -201,7 +240,29 @@ mod tests {
         assert!(algorithm_by_name("SFS").is_some());
         assert!(algorithm_by_name("salsa-subset").is_some());
         assert!(algorithm_by_name("BSkyTree-P").is_some());
+        assert!(algorithm_by_name("p-sdi-subset").is_some());
         assert!(algorithm_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn parallel_lookup_accepts_both_name_forms() {
+        for name in ["SFS-Subset", "P-SFS-Subset", "p-sfs-subset", "SFS", "P-SFS"] {
+            let a = parallel_algorithm(name, None, 3).unwrap_or_else(|| panic!("{name}"));
+            assert!(a.name().starts_with("P-"), "{name} -> {}", a.name());
+        }
+        assert!(parallel_algorithm("BNL", None, 2).is_none());
+    }
+
+    #[test]
+    fn parallel_suite_names_mirror_the_sequential_ones() {
+        let names: Vec<String> = parallel_suite(None, 2)
+            .iter()
+            .map(|a| a.name().to_string())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["P-SFS", "P-SFS-Subset", "P-SaLSa-Subset", "P-SDI-Subset"]
+        );
     }
 
     #[test]

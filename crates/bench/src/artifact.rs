@@ -9,11 +9,21 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
-use skyline_algos::evaluation_suite;
+use skyline_algos::{evaluation_suite, parallel_suite, SkylineAlgorithm};
 use skyline_data::{Distribution, SyntheticSpec};
 use skyline_obs::json::ObjectWriter;
 
 use crate::harness::measure;
+
+/// Worker count the artefact's `P-*` rows use when the caller passes 0:
+/// one per available CPU, but at least two so the partition-merge path
+/// (shard + cross-shard merge) is actually exercised on small machines.
+pub fn default_bench_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .max(2)
+}
 
 /// The reference workload every `BENCH_*.json` is measured on: the
 /// paper's hard case (anti-correlated) at laptop scale.
@@ -26,12 +36,26 @@ pub fn reference_workload() -> SyntheticSpec {
     }
 }
 
-/// Measure the evaluation suite on `spec` and serialise the result as a
-/// `BENCH_*.json` document (pretty-printed, one algorithm per line).
-pub fn bench_artifact_json(label: &str, spec: &SyntheticSpec, runs: usize) -> String {
+/// Measure the evaluation suite plus the parallel engines on `spec` and
+/// serialise the result as a `BENCH_*.json` document (one algorithm per
+/// line). `threads == 0` picks [`default_bench_threads`]; the worker
+/// count of the `P-*` rows is recorded in the workload header.
+pub fn bench_artifact_json(
+    label: &str,
+    spec: &SyntheticSpec,
+    runs: usize,
+    threads: usize,
+) -> String {
+    let threads = if threads == 0 {
+        default_bench_threads()
+    } else {
+        threads
+    };
     let data = spec.generate();
+    let mut suite: Vec<Box<dyn SkylineAlgorithm>> = evaluation_suite(None);
+    suite.extend(parallel_suite(None, threads));
     let mut algos = String::from("[");
-    for (i, algo) in evaluation_suite(None).iter().enumerate() {
+    for (i, algo) in suite.iter().enumerate() {
         let cell = measure(algo.as_ref(), &data, runs);
         let mut w = ObjectWriter::new();
         w.str_field("algorithm", algo.name())
@@ -48,7 +72,8 @@ pub fn bench_artifact_json(label: &str, spec: &SyntheticSpec, runs: usize) -> St
         .u64_field("cardinality", spec.cardinality as u64)
         .u64_field("dims", spec.dims as u64)
         .u64_field("seed", spec.seed)
-        .u64_field("runs", runs.max(1) as u64);
+        .u64_field("runs", runs.max(1) as u64)
+        .u64_field("threads", threads as u64);
 
     let mut doc = ObjectWriter::new();
     doc.str_field("artifact", label)
@@ -65,8 +90,9 @@ pub fn write_bench_artifact(
     label: &str,
     spec: &SyntheticSpec,
     runs: usize,
+    threads: usize,
 ) -> std::io::Result<()> {
-    std::fs::write(path, bench_artifact_json(label, spec, runs))
+    std::fs::write(path, bench_artifact_json(label, spec, runs, threads))
 }
 
 #[cfg(test)]
@@ -82,14 +108,26 @@ mod tests {
             dims: 4,
             seed: 7,
         };
-        let doc = bench_artifact_json("BENCH_TEST", &spec, 1);
+        let doc = bench_artifact_json("BENCH_TEST", &spec, 1, 2);
         let v = Value::parse(doc.trim()).expect("artifact parses");
         assert_eq!(v.get("artifact").unwrap().as_str(), Some("BENCH_TEST"));
         let w = v.get("workload").unwrap();
         assert_eq!(w.get("cardinality").unwrap().as_u64(), Some(200));
         assert_eq!(w.get("distribution").unwrap().as_str(), Some("UI"));
+        assert_eq!(w.get("threads").unwrap().as_u64(), Some(2));
         let algos = v.get("algorithms").unwrap().as_arr().unwrap();
-        assert_eq!(algos.len(), evaluation_suite(None).len());
+        assert_eq!(
+            algos.len(),
+            evaluation_suite(None).len() + parallel_suite(None, 2).len()
+        );
+        // The parallel rows sit next to their sequential counterparts.
+        let names: Vec<&str> = algos
+            .iter()
+            .map(|a| a.get("algorithm").unwrap().as_str().unwrap())
+            .collect();
+        for p in ["P-SFS", "P-SFS-Subset", "P-SaLSa-Subset", "P-SDI-Subset"] {
+            assert!(names.contains(&p), "{p} missing from {names:?}");
+        }
         // Every algorithm computes the same skyline.
         let sizes: Vec<u64> = algos
             .iter()

@@ -4,12 +4,15 @@
 //! repro list                 # experiment index
 //! repro <exp-id>... [--full] [--runs N]
 //! repro all [--full]         # everything, in paper order
-//! repro bench-json [--out BENCH_PR1.json] [--runs N]
+//! repro bench-json [--out BENCH_PR2.json] [--runs N] [--threads T]
 //! ```
 //!
-//! `bench-json` measures the evaluation suite on the fixed reference
-//! workload and writes a machine-readable `BENCH_*.json` artefact
-//! (per-algorithm mean DT, milliseconds, skyline size).
+//! `bench-json` measures the evaluation suite plus the parallel engines
+//! on the fixed reference workload and writes a machine-readable
+//! `BENCH_*.json` artefact (per-algorithm mean DT, milliseconds, skyline
+//! size). `--threads` sets the worker count of the `P-*` rows; the
+//! default is one per CPU, minimum two so the partition-merge path is
+//! exercised.
 //!
 //! Default workloads are laptop-scale; `--full` uses the paper's exact
 //! cardinalities (hours of compute for the AC sweeps). Results print to
@@ -23,7 +26,7 @@ use skyline_bench::harness::Scale;
 
 fn bench_json(args: &[String]) -> ExitCode {
     let out = match args.iter().position(|a| a == "--out") {
-        None => "BENCH_PR1.json".to_string(),
+        None => "BENCH_PR2.json".to_string(),
         Some(i) => match args.get(i + 1) {
             Some(p) => p.clone(),
             None => {
@@ -42,6 +45,16 @@ fn bench_json(args: &[String]) -> ExitCode {
             }
         },
     };
+    let threads = match args.iter().position(|a| a == "--threads") {
+        None => 0, // auto: one per CPU, minimum two
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(t) if t >= 1 => t,
+            _ => {
+                eprintln!("error: --threads expects a positive integer");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
     let label = std::path::Path::new(&out)
         .file_stem()
         .and_then(|s| s.to_str())
@@ -55,7 +68,7 @@ fn bench_json(args: &[String]) -> ExitCode {
         spec.dims,
         spec.seed
     );
-    match write_bench_artifact(std::path::Path::new(&out), &label, &spec, runs) {
+    match write_bench_artifact(std::path::Path::new(&out), &label, &spec, runs, threads) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {out}: {e}");
@@ -108,7 +121,9 @@ fn main() -> ExitCode {
             println!("  {id:<9} {desc}");
         }
         println!("  all       run everything in paper order");
-        println!("  bench-json [--out BENCH_PR1.json] [--runs N]  machine-readable suite timings");
+        println!(
+            "  bench-json [--out BENCH_PR2.json] [--runs N] [--threads T]  machine-readable suite timings"
+        );
         return ExitCode::SUCCESS;
     }
 

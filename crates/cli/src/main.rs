@@ -1,9 +1,9 @@
 //! `skyline` — command-line skyline computation over CSV files.
 //!
 //! ```text
-//! skyline compute  <input.csv> [--algo NAME] [--sigma N] [--prefs MIN,MAX,...]
-//!                  [--skyband K] [--rows] [--trace out.jsonl]
-//! skyline bench    <input.csv> [--sigma N] [--trace out.jsonl]
+//! skyline compute  <input.csv> [--algo NAME] [--sigma N] [--threads T]
+//!                  [--prefs MIN,MAX,...] [--skyband K] [--rows] [--trace out.jsonl]
+//! skyline bench    <input.csv> [--sigma N] [--threads T] [--trace out.jsonl]
 //! skyline report   <trace.jsonl>
 //! skyline generate --dist UI|CO|AC -n N -d D [--seed S] [-o out.csv]
 //! skyline stats    <input.csv>
@@ -11,15 +11,23 @@
 //! skyline algorithms
 //! ```
 //!
+//! Parallel engines: `--threads T` switches `compute` to the multi-core
+//! partition-merge engine wrapping the selected algorithm (`--threads 0`
+//! = one worker per CPU), and makes `bench` measure the `P-*` rows next
+//! to their sequential counterparts.
+//!
 //! Tracing: `--trace <path>` (or the `SKYLINE_TRACE` environment
 //! variable) appends structured JSON-lines telemetry — spans, Merge
-//! iterations, trie statistics, run summaries — which `skyline report`
-//! aggregates back into tables.
+//! iterations, trie statistics, per-shard scans, run summaries — which
+//! `skyline report` aggregates back into tables.
 
 use std::fs::File;
 use std::process::ExitCode;
 
-use skyline_algos::{algorithm_by_name, all_algorithms, evaluation_suite, SkylineAlgorithm};
+use skyline_algos::{
+    algorithm_by_name, all_algorithms, evaluation_suite, parallel_algorithm, parallel_suite,
+    SkylineAlgorithm,
+};
 use skyline_core::dataset::Dataset;
 use skyline_core::metrics::RunMeasurement;
 use skyline_core::point::{apply_preferences, Preference};
@@ -41,14 +49,17 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  skyline compute  <input.csv> [--algo NAME] [--sigma N] [--prefs MIN,MAX,...]
-                   [--skyband K] [--rows] [--trace out.jsonl]
-  skyline bench    <input.csv> [--sigma N] [--trace out.jsonl]
+  skyline compute  <input.csv> [--algo NAME] [--sigma N] [--threads T]
+                   [--prefs MIN,MAX,...] [--skyband K] [--rows] [--trace out.jsonl]
+  skyline bench    <input.csv> [--sigma N] [--threads T] [--trace out.jsonl]
   skyline report   <trace.jsonl>
   skyline generate --dist UI|CO|AC -n N -d D [--seed S] [-o out.csv]
   skyline stats    <input.csv>
   skyline tune     <input.csv> [--sample N]
   skyline algorithms
+
+parallel: --threads T runs the multi-core partition-merge engine (T=0 =
+one worker per CPU); bench adds the P-* rows to the table.
 
 tracing: --trace PATH (or env SKYLINE_TRACE=PATH) writes JSON-lines
 telemetry; `skyline report` renders a trace file as tables.";
@@ -163,6 +174,18 @@ fn parse_sigma(args: &[String]) -> Result<Option<usize>, String> {
     }
 }
 
+/// `--threads T` selects the parallel engines; `T == 0` means one worker
+/// per available CPU. `None` (flag absent) keeps the sequential path.
+fn parse_threads(args: &[String]) -> Result<Option<usize>, String> {
+    match flag_value(args, "--threads")? {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<usize>()
+            .map(Some)
+            .map_err(|_| format!("--threads expects an integer, got {v:?}")),
+    }
+}
+
 fn load(path: &str, args: &[String]) -> Result<Dataset, String> {
     let mut data = read_csv_file(path).map_err(|e| format!("{path}: {e}"))?;
     if let Some(spec) = flag_value(args, "--prefs")? {
@@ -217,11 +240,20 @@ fn compute(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
 
-    let algo: Box<dyn SkylineAlgorithm> = match flag_value(args, "--algo")? {
-        None => Box::new(skyline_algos::boosted::SdiSubset::new(parse_sigma(args)?)),
-        Some(name) => {
+    let algo: Box<dyn SkylineAlgorithm> = match (flag_value(args, "--algo")?, parse_threads(args)?)
+    {
+        (None, None) => Box::new(skyline_algos::boosted::SdiSubset::new(parse_sigma(args)?)),
+        (None, Some(threads)) => Box::new(skyline_algos::parallel::ParallelBoosted::new(
+            skyline_algos::boosted::SdiSubset::new(parse_sigma(args)?),
+            threads,
+        )),
+        (Some(name), None) => {
             algorithm_by_name(name).ok_or_else(|| format!("unknown algorithm {name:?}"))?
         }
+        (Some(name), Some(threads)) => parallel_algorithm(name, parse_sigma(args)?, threads)
+            .ok_or_else(|| {
+                format!("no parallel engine for {name:?} (see `skyline algorithms` for P-* names)")
+            })?,
     };
     let mut trace = open_trace(args)?;
     let result = run_maybe_traced(algo.as_ref(), &data, &mut trace);
@@ -349,6 +381,10 @@ fn bench(args: &[String]) -> Result<(), String> {
         .ok_or("bench requires an input file")?;
     let data = load(path, args)?;
     let sigma = parse_sigma(args)?;
+    let mut suite = evaluation_suite(sigma);
+    if let Some(threads) = parse_threads(args)? {
+        suite.extend(parallel_suite(sigma, threads));
+    }
     let mut trace = open_trace(args)?;
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -359,7 +395,7 @@ fn bench(args: &[String]) -> Result<(), String> {
             "algorithm", "mean DT", "time (ms)", "skyline"
         ),
     )?;
-    for algo in evaluation_suite(sigma) {
+    for algo in suite {
         let r = run_maybe_traced(algo.as_ref(), &data, &mut trace);
         if !write_line(
             &mut out,

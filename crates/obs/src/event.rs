@@ -2,8 +2,8 @@
 //!
 //! Every event serialises to one JSON-lines record with a `"type"`
 //! discriminator. Together with the two span records the recorders emit
-//! (`span_start` / `span_end`), a trace file contains six distinct event
-//! types.
+//! (`span_start` / `span_end`), a trace file contains eight distinct
+//! record types.
 
 use crate::histogram::{Histogram, BUCKETS};
 use crate::json::{ObjectWriter, Value};
@@ -52,6 +52,36 @@ pub enum Event {
         depth: Histogram,
         /// Distribution of candidates returned per container query.
         candidates: Histogram,
+    },
+    /// One shard of a parallel engine finished its local skyline.
+    ///
+    /// Emitted once per shard after the workers join; `elapsed_us` is the
+    /// worker's own wall-clock, measured inside the worker thread, so the
+    /// trace stays exact even though the event is written afterwards.
+    ShardScan {
+        /// 0-based shard index.
+        shard: u64,
+        /// First point id of the shard (inclusive).
+        lo: u64,
+        /// One past the last point id of the shard.
+        hi: u64,
+        /// Local skyline cardinality of the shard.
+        skyline_size: u64,
+        /// Dominance tests the worker performed.
+        dominance_tests: u64,
+        /// Worker wall-clock in microseconds.
+        elapsed_us: u64,
+    },
+    /// The cross-shard merge of a parallel engine finished.
+    ParallelMerge {
+        /// Local skyline sizes, one entry per shard.
+        shard_skylines: Vec<u64>,
+        /// Size of the merged candidate union fed into the final pass.
+        candidates: u64,
+        /// Global skyline cardinality after the merge.
+        skyline_size: u64,
+        /// Dominance tests performed by the merge pass alone.
+        dominance_tests: u64,
     },
     /// One algorithm run finished.
     RunSummary {
@@ -105,6 +135,8 @@ impl Event {
             Event::RunStart { .. } => "run_start",
             Event::MergeIteration { .. } => "merge_iteration",
             Event::TrieStats { .. } => "trie_stats",
+            Event::ShardScan { .. } => "shard_scan",
+            Event::ParallelMerge { .. } => "parallel_merge",
             Event::RunSummary { .. } => "run_summary",
         }
     }
@@ -151,6 +183,32 @@ impl Event {
                     .raw_field("depth", &histogram_json(depth))
                     .raw_field("candidates", &histogram_json(candidates));
             }
+            Event::ShardScan {
+                shard,
+                lo,
+                hi,
+                skyline_size,
+                dominance_tests,
+                elapsed_us,
+            } => {
+                w.u64_field("shard", *shard)
+                    .u64_field("lo", *lo)
+                    .u64_field("hi", *hi)
+                    .u64_field("skyline_size", *skyline_size)
+                    .u64_field("dominance_tests", *dominance_tests)
+                    .u64_field("elapsed_us", *elapsed_us);
+            }
+            Event::ParallelMerge {
+                shard_skylines,
+                candidates,
+                skyline_size,
+                dominance_tests,
+            } => {
+                w.u64_array_field("shard_skylines", shard_skylines)
+                    .u64_field("candidates", *candidates)
+                    .u64_field("skyline_size", *skyline_size)
+                    .u64_field("dominance_tests", *dominance_tests);
+            }
             Event::RunSummary {
                 algorithm,
                 skyline_size,
@@ -191,6 +249,20 @@ impl Event {
                 entries: v.get("entries")?.as_u64()?,
                 depth: histogram_from(v.get("depth")?)?,
                 candidates: histogram_from(v.get("candidates")?)?,
+            }),
+            "shard_scan" => Some(Event::ShardScan {
+                shard: v.get("shard")?.as_u64()?,
+                lo: v.get("lo")?.as_u64()?,
+                hi: v.get("hi")?.as_u64()?,
+                skyline_size: v.get("skyline_size")?.as_u64()?,
+                dominance_tests: v.get("dominance_tests")?.as_u64()?,
+                elapsed_us: v.get("elapsed_us")?.as_u64()?,
+            }),
+            "parallel_merge" => Some(Event::ParallelMerge {
+                shard_skylines: u64_vec(v.get("shard_skylines")?)?,
+                candidates: v.get("candidates")?.as_u64()?,
+                skyline_size: v.get("skyline_size")?.as_u64()?,
+                dominance_tests: v.get("dominance_tests")?.as_u64()?,
             }),
             "run_summary" => Some(Event::RunSummary {
                 algorithm: v.get("algorithm")?.as_str()?.to_string(),
@@ -234,6 +306,20 @@ mod tests {
                 entries: 40,
                 depth,
                 candidates,
+            },
+            Event::ShardScan {
+                shard: 2,
+                lo: 500,
+                hi: 750,
+                skyline_size: 61,
+                dominance_tests: 4_812,
+                elapsed_us: 311,
+            },
+            Event::ParallelMerge {
+                shard_skylines: vec![64, 58, 61, 70],
+                candidates: 253,
+                skyline_size: 211,
+                dominance_tests: 1_099,
             },
             Event::RunSummary {
                 algorithm: "SFS-SUBSET".into(),

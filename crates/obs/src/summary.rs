@@ -54,6 +54,18 @@ pub struct TraceSummary {
     /// Aggregated subspace-size buckets over every Merge iteration
     /// (index `k` = survivors with subspace size `k+1`, summed).
     pub merge_subspace_buckets: Vec<u64>,
+    /// Parallel engines: shard local-skyline scans observed.
+    pub shard_scans: u64,
+    /// Total worker wall-clock across all shard scans, microseconds
+    /// (CPU time, not elapsed: workers overlap).
+    pub shard_elapsed_us: u64,
+    /// Longest single shard scan, microseconds (the parallel critical
+    /// path of phase 1).
+    pub shard_max_us: u64,
+    /// Parallel engines: cross-shard merge passes observed.
+    pub parallel_merges: u64,
+    /// Total candidate-union size fed into the merge passes.
+    pub parallel_candidates: u64,
     /// Merged distribution of trie query depth.
     pub trie_depth: Histogram,
     /// Merged distribution of candidates returned per container query.
@@ -133,6 +145,15 @@ impl TraceSummary {
                     self.trie_entries += entries;
                     self.trie_depth.merge(&depth);
                     self.trie_candidates.merge(&candidates);
+                }
+                Some(Event::ShardScan { elapsed_us, .. }) => {
+                    self.shard_scans += 1;
+                    self.shard_elapsed_us += elapsed_us;
+                    self.shard_max_us = self.shard_max_us.max(elapsed_us);
+                }
+                Some(Event::ParallelMerge { candidates, .. }) => {
+                    self.parallel_merges += 1;
+                    self.parallel_candidates += candidates;
                 }
                 Some(Event::RunSummary {
                     algorithm,
@@ -233,6 +254,18 @@ impl TraceSummary {
                     buckets.join(" ")
                 }
             );
+        }
+        if self.shard_scans > 0 {
+            let _ = writeln!(out, "\n== parallel engine ==");
+            let _ = writeln!(out, "  shard scans      {:>8}", self.shard_scans);
+            let _ = writeln!(
+                out,
+                "  worker cpu       {:>8.3} ms (max shard {:.3} ms)",
+                self.shard_elapsed_us as f64 / 1e3,
+                self.shard_max_us as f64 / 1e3
+            );
+            let _ = writeln!(out, "  merge passes     {:>8}", self.parallel_merges);
+            let _ = writeln!(out, "  merge candidates {:>8}", self.parallel_candidates);
         }
         if !self.trie_depth.is_empty() || !self.trie_candidates.is_empty() {
             let _ = writeln!(out, "\n== subset-index (trie) ==");
@@ -351,6 +384,43 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn parallel_events_aggregate_into_their_own_section() {
+        let mut r = JsonlRecorder::new(Vec::new());
+        r.span_start("parallel_scan");
+        for (shard, (lo, hi, us)) in [(0u64, 250u64, 900u64), (250, 500, 1400)]
+            .iter()
+            .enumerate()
+        {
+            r.event(Event::ShardScan {
+                shard: shard as u64,
+                lo: *lo,
+                hi: *hi,
+                skyline_size: 40 + shard as u64,
+                dominance_tests: 1000,
+                elapsed_us: *us,
+            });
+        }
+        r.span_end("parallel_scan");
+        r.event(Event::ParallelMerge {
+            shard_skylines: vec![40, 41],
+            candidates: 81,
+            skyline_size: 77,
+            dominance_tests: 300,
+        });
+        let text = String::from_utf8(r.into_inner().unwrap()).unwrap();
+        let s = TraceSummary::from_text(&text);
+        assert_eq!(s.skipped, 0);
+        assert_eq!(s.shard_scans, 2);
+        assert_eq!(s.shard_elapsed_us, 2300);
+        assert_eq!(s.shard_max_us, 1400);
+        assert_eq!(s.parallel_merges, 1);
+        assert_eq!(s.parallel_candidates, 81);
+        let rendered = s.render();
+        assert!(rendered.contains("parallel engine"), "{rendered}");
+        assert!(rendered.contains("merge candidates"), "{rendered}");
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Differential tests for the parallel engines: across every
+//! distribution, dimensionality 2–8 and a spread of worker counts, each
+//! `P-*` engine must return *exactly* the skyline of its sequential
+//! counterpart (same sorted `PointId`s, duplicates included), and the
+//! per-shard breakdown must be internally consistent.
+
+use skyline_algos::boosted::{SalsaSubset, SdiSubset, SfsSubset};
+use skyline_algos::parallel::{ParallelBoosted, ParallelSfs};
+use skyline_algos::{parallel_suite, SkylineAlgorithm};
+use skyline_core::dataset::Dataset;
+use skyline_core::metrics::Metrics;
+use skyline_data::{Distribution, SyntheticSpec};
+use skyline_integration_tests::oracle_skyline;
+use skyline_obs::NoopRecorder;
+
+/// Worker counts every engine is exercised at: degenerate single-worker,
+/// even and odd shardings, more shards than CPUs, and whatever the host
+/// actually has.
+fn thread_counts() -> Vec<usize> {
+    let hw = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut counts = vec![1, 2, 3, 7, hw];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+fn grid() -> Vec<(Dataset, String)> {
+    let mut out = Vec::new();
+    for dist in [
+        Distribution::Independent,
+        Distribution::Correlated,
+        Distribution::AntiCorrelated,
+    ] {
+        for dims in 2..=8 {
+            let spec = SyntheticSpec {
+                distribution: dist,
+                cardinality: 350,
+                dims,
+                seed: 0xD1FF + dims as u64,
+            };
+            out.push((spec.generate(), format!("{} d={dims}", dist.tag())));
+        }
+    }
+    out
+}
+
+#[test]
+fn parallel_engines_match_their_sequential_counterparts() {
+    for (data, label) in grid() {
+        // One sequential reference per dataset; the counterparts all
+        // agree with each other (and the oracle) by the agreement suite.
+        let expected = oracle_skyline(&data);
+        for threads in thread_counts() {
+            let engines: Vec<(Box<dyn SkylineAlgorithm>, Box<dyn SkylineAlgorithm>)> = vec![
+                (
+                    Box::new(skyline_algos::sfs::Sfs),
+                    Box::new(ParallelSfs { threads }),
+                ),
+                (
+                    Box::new(SfsSubset::default()),
+                    Box::new(ParallelBoosted::new(SfsSubset::default(), threads)),
+                ),
+                (
+                    Box::new(SalsaSubset::default()),
+                    Box::new(ParallelBoosted::new(SalsaSubset::default(), threads)),
+                ),
+                (
+                    Box::new(SdiSubset::default()),
+                    Box::new(ParallelBoosted::new(SdiSubset::default(), threads)),
+                ),
+            ];
+            for (seq, par) in &engines {
+                let sequential = seq.compute(&data);
+                assert_eq!(sequential, expected, "{} on {label}", seq.name());
+                let parallel = par.compute(&data);
+                assert_eq!(
+                    parallel,
+                    sequential,
+                    "{} (threads={threads}) diverges from {} on {label}",
+                    par.name(),
+                    seq.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_suite_matches_on_real_dataset_stand_ins() {
+    let datasets = [
+        ("HOUSE'", skyline_data::real::house_scaled(600)),
+        ("NBA'", skyline_data::real::nba_scaled(600)),
+    ];
+    for (label, data) in datasets {
+        let expected = oracle_skyline(&data);
+        for threads in thread_counts() {
+            for algo in parallel_suite(None, threads) {
+                assert_eq!(
+                    algo.compute(&data),
+                    expected,
+                    "{} (threads={threads}) on {label}",
+                    algo.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn shard_breakdown_is_internally_consistent() {
+    let spec = SyntheticSpec {
+        distribution: Distribution::AntiCorrelated,
+        cardinality: 700,
+        dims: 5,
+        seed: 99,
+    };
+    let data = spec.generate();
+    for threads in thread_counts() {
+        let engine = ParallelBoosted::new(SalsaSubset::default(), threads);
+        let outcome = engine.compute_detailed(&data, &mut NoopRecorder);
+
+        // Shards tile [0, n) contiguously, and every shard's local
+        // skyline stays inside its own id range.
+        assert_eq!(outcome.workers, outcome.shards.len());
+        let mut next = 0usize;
+        for s in &outcome.shards {
+            assert_eq!(s.lo, next, "threads={threads}: shard gap");
+            assert!(s.lo < s.hi);
+            assert!(s.skyline.windows(2).all(|w| w[0] < w[1]));
+            assert!(s
+                .skyline
+                .iter()
+                .all(|&id| (s.lo..s.hi).contains(&(id as usize))));
+            next = s.hi;
+        }
+        assert_eq!(next, data.len(), "threads={threads}: shards do not tile");
+
+        // The global skyline is a subset of the union of local skylines,
+        // and the summed worker metrics equal what the plain entry point
+        // reports for the same run.
+        for &id in &outcome.skyline {
+            let shard = outcome
+                .shards
+                .iter()
+                .find(|s| (s.lo..s.hi).contains(&(id as usize)))
+                .expect("skyline id inside some shard");
+            assert!(
+                shard.skyline.contains(&id),
+                "threads={threads}: {id} skipped its shard"
+            );
+        }
+        let mut via_plain = Metrics::new();
+        let plain = engine.compute_with_metrics(&data, &mut via_plain);
+        assert_eq!(plain, outcome.skyline);
+        let total = outcome.total_metrics();
+        assert_eq!(via_plain.dominance_tests, total.dominance_tests);
+        assert_eq!(via_plain.container_puts, total.container_puts);
+        assert_eq!(via_plain.container_gets, total.container_gets);
+    }
+}

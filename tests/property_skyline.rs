@@ -4,7 +4,7 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
-use skyline_algos::all_algorithms;
+use skyline_algos::{all_algorithms, SkylineAlgorithm};
 use skyline_core::dataset::Dataset;
 use skyline_core::dominance::{dominance, dominating_subspace, DomRelation};
 use skyline_core::metrics::Metrics;
@@ -202,6 +202,90 @@ proptest! {
             prop_assert_eq!(sky.skyline(), expected);
         }
         sky.check_invariants();
+    }
+
+    /// Parallel partition-merge engines agree with the sequential oracle
+    /// on arbitrary tie-heavy point sets, at arbitrary worker counts —
+    /// including counts far above the point count.
+    #[test]
+    fn parallel_engines_match_oracle_at_arbitrary_thread_counts(
+        data in arb_dataset(50, 4),
+        threads in 1usize..12,
+    ) {
+        use skyline_algos::parallel_suite;
+        let expected = oracle_skyline(&data);
+        for algo in parallel_suite(None, threads) {
+            prop_assert_eq!(
+                algo.compute(&data),
+                expected.clone(),
+                "{} (threads={}) disagrees",
+                algo.name(),
+                threads
+            );
+        }
+    }
+
+    /// Duplicate rows enter and leave the skyline as a block, no matter
+    /// where shard boundaries fall between the copies.
+    #[test]
+    fn shard_boundaries_preserve_duplicate_blocks(
+        base in vec(vec(0..4i8, 3), 2..20),
+        copies in 2usize..5,
+        threads in 2usize..8,
+    ) {
+        use skyline_algos::boosted::SalsaSubset;
+        use skyline_algos::parallel::ParallelBoosted;
+        // Interleave `copies` copies of each base row so duplicates are
+        // guaranteed to straddle shard boundaries.
+        let rows: Vec<Vec<f64>> = (0..copies)
+            .flat_map(|_| base.iter())
+            .map(|r| r.iter().map(|&v| v as f64).collect())
+            .collect();
+        let data = Dataset::from_rows(&rows).expect("valid rows");
+        let expected = oracle_skyline(&data);
+        let engine = ParallelBoosted::new(SalsaSubset::default(), threads);
+        let got = engine.compute(&data);
+        prop_assert_eq!(got.clone(), expected, "threads={}", threads);
+        // Every skyline row's duplicates are all present: ids i and
+        // i + k·base.len() reference identical rows.
+        let n = base.len();
+        for &id in &got {
+            let canonical = id as usize % n;
+            for c in 0..copies {
+                let twin = (canonical + c * n) as u32;
+                prop_assert!(
+                    got.contains(&twin),
+                    "duplicate {} of skyline point {} dropped",
+                    twin,
+                    id
+                );
+            }
+        }
+    }
+
+    /// The merge never drops or duplicates a point: the detailed outcome's
+    /// skyline is strictly sorted, every id appears in its own shard's
+    /// local skyline, and equals the sequential skyline as a set.
+    #[test]
+    fn shard_merge_neither_drops_nor_duplicates(
+        data in arb_dataset(60, 3),
+        threads in 2usize..7,
+    ) {
+        use skyline_algos::boosted::SfsSubset;
+        use skyline_algos::parallel::ParallelBoosted;
+        use skyline_obs::NoopRecorder;
+        let engine = ParallelBoosted::new(SfsSubset::default(), threads);
+        let outcome = engine.compute_detailed(&data, &mut NoopRecorder);
+        prop_assert!(outcome.skyline.windows(2).all(|w| w[0] < w[1]));
+        for &id in &outcome.skyline {
+            let shard = outcome
+                .shards
+                .iter()
+                .find(|s| (s.lo..s.hi).contains(&(id as usize)))
+                .expect("inside a shard");
+            prop_assert!(shard.skyline.contains(&id));
+        }
+        prop_assert_eq!(outcome.skyline, oracle_skyline(&data));
     }
 
     /// The k-skyband agrees with a brute-force dominator count, for all k.

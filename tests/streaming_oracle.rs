@@ -1,0 +1,113 @@
+//! Randomised insert/delete fuzz for [`StreamingSkyline`] against a
+//! naive recompute oracle: after every mutation the maintained skyline
+//! must equal the brute-force skyline of the live rows, and the
+//! structure's own invariants must hold.
+
+use skyline_core::dataset::Dataset;
+use skyline_core::metrics::Metrics;
+use skyline_core::point::PointId;
+use skyline_core::streaming::StreamingSkyline;
+use skyline_integration_tests::oracle_skyline;
+
+/// Deterministic xorshift so the fuzz schedule is reproducible.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next() % 10_000) as f64 / 10_000.0
+    }
+}
+
+/// Brute-force skyline of the live points only, as streaming ids.
+fn live_oracle(live: &[(PointId, Vec<f64>)]) -> Vec<PointId> {
+    if live.is_empty() {
+        return Vec::new();
+    }
+    let rows: Vec<Vec<f64>> = live.iter().map(|(_, r)| r.clone()).collect();
+    let data = Dataset::from_rows(&rows).unwrap();
+    oracle_skyline(&data)
+        .into_iter()
+        .map(|i| live[i as usize].0)
+        .collect()
+}
+
+fn fuzz(dims: usize, steps: usize, seed: u64, delete_bias: u64) {
+    let mut rng = Rng(seed);
+    let mut sky = StreamingSkyline::new(dims).unwrap();
+    let mut metrics = Metrics::new();
+    let mut live: Vec<(PointId, Vec<f64>)> = Vec::new();
+
+    for step in 0..steps {
+        let delete = !live.is_empty() && rng.next() % 100 < delete_bias;
+        if delete {
+            let victim = live.remove((rng.next() as usize) % live.len()).0;
+            assert!(sky.remove(victim, &mut metrics), "step {step}: live remove");
+            // A second delete of the same id must be a no-op.
+            assert!(!sky.remove(victim, &mut metrics));
+        } else {
+            // Quantised coordinates so duplicates and ties actually occur.
+            let row: Vec<f64> = (0..dims).map(|_| (rng.f64() * 8.0).floor() / 8.0).collect();
+            let id = sky.insert(&row, &mut metrics).unwrap();
+            live.push((id, row));
+        }
+
+        sky.check_invariants();
+        assert_eq!(sky.len(), live.len(), "step {step}: live count");
+        let mut expected = live_oracle(&live);
+        expected.sort_unstable();
+        assert_eq!(
+            sky.skyline(),
+            expected,
+            "step {step}: maintained skyline diverged (dims={dims} seed={seed})"
+        );
+    }
+}
+
+#[test]
+fn insert_only_stream_matches_oracle() {
+    fuzz(4, 120, 0xA11CE, 0);
+}
+
+#[test]
+fn mixed_insert_delete_stream_matches_oracle() {
+    fuzz(3, 150, 0xB0B, 35);
+}
+
+#[test]
+fn delete_heavy_stream_matches_oracle() {
+    // Deletion-dominated schedule: the structure repeatedly re-resolves
+    // shadowed points as their killers disappear.
+    fuzz(5, 120, 0xCAFE, 60);
+}
+
+#[test]
+fn low_dimensional_tie_heavy_stream() {
+    // d = 2 with coarse quantisation: many exact duplicates, which must
+    // enter and leave the skyline together.
+    fuzz(2, 150, 0xD00D, 30);
+}
+
+#[test]
+fn draining_to_empty_restores_the_empty_skyline() {
+    let mut rng = Rng(7);
+    let mut sky = StreamingSkyline::new(3).unwrap();
+    let mut metrics = Metrics::new();
+    let mut live: Vec<PointId> = Vec::new();
+    for _ in 0..40 {
+        let row: Vec<f64> = (0..3).map(|_| rng.f64()).collect();
+        live.push(sky.insert(&row, &mut metrics).unwrap());
+    }
+    while let Some(id) = live.pop() {
+        assert!(sky.remove(id, &mut metrics));
+        sky.check_invariants();
+    }
+    assert!(sky.is_empty());
+    assert!(sky.skyline().is_empty());
+}

@@ -133,6 +133,9 @@ fn boosted_runs_emit_phase_spans_and_events() {
                     assert_eq!(*skyline_size, m.skyline.len() as u64);
                     have[2] = true;
                 }
+                Event::ShardScan { .. } | Event::ParallelMerge { .. } => {
+                    panic!("{name}: sequential run emitted a parallel event");
+                }
             }
         }
         assert!(merge_iterations > 0, "{name}: no merge telemetry");
