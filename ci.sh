@@ -58,6 +58,35 @@ if [[ "$quick" != "quick" ]]; then
     ./target/release/skyline report "$tmp/p.jsonl" | grep -q "parallel engine"
     grep -q '"type":"shard_scan"' "$tmp/p.jsonl"
     grep -q '"type":"parallel_merge"' "$tmp/p.jsonl"
+
+    echo "==> server smoke: serve + healthz/skyline/metrics + cache hit + shutdown"
+    ./target/release/skyline serve --port 0 --threads 2 \
+        --trace "$tmp/serve.jsonl" > "$tmp/serve.out" &
+    serve_pid=$!
+    for _ in $(seq 1 50); do
+        grep -q '^listening on ' "$tmp/serve.out" && break
+        sleep 0.1
+    done
+    addr=$(sed -n 's/^listening on //p' "$tmp/serve.out")
+    [[ -n "$addr" ]] || { echo "server never reported its address"; exit 1; }
+    curl -sf "http://$addr/healthz" | grep -q '"status":"ok"'
+    curl -sf -X POST "http://$addr/datasets" \
+        -d '{"name": "ci", "synthetic": {"distribution": "UI", "n": 400, "dims": 4, "seed": 1}}' \
+        | grep -q '"points":400'
+    curl -sf "http://$addr/skyline?dataset=ci&algo=SDI-Subset" \
+        | grep -q '"cached":false'
+    curl -sf "http://$addr/skyline?dataset=ci&algo=SDI-Subset" \
+        | grep -q '"cached":true'
+    curl -sf "http://$addr/metrics" | grep -q '"hits":1'
+    curl -sf -X POST "http://$addr/shutdown" | grep -q 'shutting down'
+    wait "$serve_pid"   # clean exit after graceful shutdown
+    grep -q '"type":"request"' "$tmp/serve.jsonl"
+    grep -q '"type":"cache_hit"' "$tmp/serve.jsonl"
+
+    echo "==> serve bench artefact (quick)"
+    ./target/release/repro bench-json --serve --requests 3 \
+        --out "$tmp/BENCH_SERVE.json" 2>/dev/null
+    grep -q '"req_per_sec"' "$tmp/BENCH_SERVE.json"
 fi
 
 echo "CI OK"

@@ -5,6 +5,7 @@
 //! repro <exp-id>... [--full] [--runs N]
 //! repro all [--full]         # everything, in paper order
 //! repro bench-json [--out BENCH_PR2.json] [--runs N] [--threads T]
+//! repro bench-json --serve [--out BENCH_PR3.json] [--requests N] [--threads T]
 //! ```
 //!
 //! `bench-json` measures the evaluation suite plus the parallel engines
@@ -13,6 +14,12 @@
 //! size). `--threads` sets the worker count of the `P-*` rows; the
 //! default is one per CPU, minimum two so the partition-merge path is
 //! exercised.
+//!
+//! `bench-json --serve` benchmarks the HTTP query service instead:
+//! request throughput and p50/p99 latency, cold (cache invalidated by a
+//! streaming insert before every query) versus cached (identical query
+//! repeated). `--requests N` sets the cold sample count (cached takes
+//! 4×N); `--threads` sizes the server's worker pool.
 //!
 //! Default workloads are laptop-scale; `--full` uses the paper's exact
 //! cardinalities (hours of compute for the AC sweeps). Results print to
@@ -23,9 +30,12 @@ use std::process::ExitCode;
 use skyline_bench::artifact::{reference_workload, write_bench_artifact};
 use skyline_bench::experiments::{experiment_index, run_experiment};
 use skyline_bench::harness::Scale;
+use skyline_bench::serve_bench::write_serve_bench_artifact;
 
 fn bench_json(args: &[String]) -> ExitCode {
+    let serve = args.iter().any(|a| a == "--serve");
     let out = match args.iter().position(|a| a == "--out") {
+        None if serve => "BENCH_PR3.json".to_string(),
         None => "BENCH_PR2.json".to_string(),
         Some(i) => match args.get(i + 1) {
             Some(p) => p.clone(),
@@ -61,6 +71,40 @@ fn bench_json(args: &[String]) -> ExitCode {
         .unwrap_or("BENCH")
         .to_string();
     let spec = reference_workload();
+    if serve {
+        let cold = match args.iter().position(|a| a == "--requests") {
+            None => 60,
+            Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                Some(r) if r >= 1 => r,
+                _ => {
+                    eprintln!("error: --requests expects a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+        };
+        eprintln!(
+            "==> bench-json --serve: {} n={} d={} seed={} ({cold} cold / {} cached) -> {out}",
+            spec.distribution.tag(),
+            spec.cardinality,
+            spec.dims,
+            spec.seed,
+            cold * 4
+        );
+        return match write_serve_bench_artifact(
+            std::path::Path::new(&out),
+            &label,
+            &spec,
+            cold,
+            cold * 4,
+            threads,
+        ) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {out}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     eprintln!(
         "==> bench-json: {} n={} d={} seed={} ({runs} runs) -> {out}",
         spec.distribution.tag(),
@@ -123,6 +167,9 @@ fn main() -> ExitCode {
         println!("  all       run everything in paper order");
         println!(
             "  bench-json [--out BENCH_PR2.json] [--runs N] [--threads T]  machine-readable suite timings"
+        );
+        println!(
+            "  bench-json --serve [--out BENCH_PR3.json] [--requests N]    HTTP service throughput/latency"
         );
         return ExitCode::SUCCESS;
     }

@@ -14,3 +14,4 @@
 pub mod artifact;
 pub mod experiments;
 pub mod harness;
+pub mod serve_bench;

@@ -1,0 +1,241 @@
+//! Serving-mode benchmark: measure the HTTP query service end to end —
+//! request throughput and latency percentiles, cold (every request
+//! recomputes, because a streaming insert invalidated the cache) versus
+//! cached (every request is a cache hit).
+//!
+//! The client side uses the in-tree keep-alive [`Session`], so the
+//! numbers measure the server, not TCP handshakes.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+use skyline_data::SyntheticSpec;
+use skyline_obs::json::ObjectWriter;
+use skyline_serve::client::Session;
+use skyline_serve::{Server, ServerConfig};
+
+/// One measured phase: sorted per-request latencies plus wall clock.
+struct Phase {
+    latencies_us: Vec<u64>,
+    wall_secs: f64,
+}
+
+/// Nearest-rank percentile over an ascending latency list.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn phase_json(phase: &Phase) -> String {
+    let n = phase.latencies_us.len();
+    let sum: u64 = phase.latencies_us.iter().sum();
+    let mut w = ObjectWriter::new();
+    w.u64_field("requests", n as u64)
+        .u64_field("p50_us", percentile(&phase.latencies_us, 50.0))
+        .u64_field("p99_us", percentile(&phase.latencies_us, 99.0))
+        .f64_field("mean_us", if n == 0 { 0.0 } else { sum as f64 / n as f64 })
+        .f64_field(
+            "req_per_sec",
+            if phase.wall_secs > 0.0 {
+                n as f64 / phase.wall_secs
+            } else {
+                0.0
+            },
+        );
+    w.finish()
+}
+
+fn expect_field(body: &str, needle: &str) -> std::io::Result<()> {
+    if body.contains(needle) {
+        Ok(())
+    } else {
+        Err(std::io::Error::other(format!(
+            "response missing {needle:?}: {body}"
+        )))
+    }
+}
+
+/// Run the serving benchmark and return the `BENCH_*.json` document.
+///
+/// Cold phase: before each query one dominated point is streamed in, so
+/// the content version moves and the query recomputes. Cached phase: the
+/// same query repeated verbatim, all cache hits. `threads` is the
+/// server's worker-pool size (0 = the artefact default).
+pub fn serve_bench_json(
+    label: &str,
+    spec: &SyntheticSpec,
+    cold_requests: usize,
+    cached_requests: usize,
+    threads: usize,
+) -> std::io::Result<String> {
+    let threads = if threads == 0 {
+        crate::artifact::default_bench_threads()
+    } else {
+        threads
+    };
+    let mut server = Server::start(ServerConfig {
+        threads,
+        ..Default::default()
+    })?;
+    let addr = server.local_addr();
+    let mut session = Session::connect(addr)?;
+
+    let create_body = format!(
+        "{{\"name\": \"bench\", \"synthetic\": {{\"distribution\": \"{}\", \"n\": {}, \"dims\": {}, \"seed\": {}}}}}",
+        spec.distribution.tag(),
+        spec.cardinality,
+        spec.dims,
+        spec.seed
+    );
+    let created = session.request("POST", "/datasets", create_body.as_bytes())?;
+    if created.status != 201 {
+        return Err(std::io::Error::other(format!(
+            "dataset creation failed: {}",
+            created.body_str()
+        )));
+    }
+
+    const QUERY: &str = "/skyline?dataset=bench&algo=SDI-Subset";
+    // A point beaten by everything: the streaming insert is cheap and the
+    // skyline itself never changes, so every cold sample does equal work.
+    let dominated_row: Vec<String> = (0..spec.dims).map(|_| "1e9".to_string()).collect();
+    let insert_body = format!("{{\"rows\": [[{}]]}}", dominated_row.join(","));
+
+    // Warm-up (also verifies the query path before timing anything).
+    expect_field(&session.request("GET", QUERY, &[])?.body_str(), "\"ids\"")?;
+
+    let mut cold = Phase {
+        latencies_us: Vec::with_capacity(cold_requests),
+        wall_secs: 0.0,
+    };
+    let cold_start = Instant::now();
+    for _ in 0..cold_requests {
+        let resp = session.request("POST", "/datasets/bench/points", insert_body.as_bytes())?;
+        if resp.status != 200 {
+            return Err(std::io::Error::other(format!(
+                "insert failed: {}",
+                resp.body_str()
+            )));
+        }
+        let t = Instant::now();
+        let resp = session.request("GET", QUERY, &[])?;
+        cold.latencies_us.push(t.elapsed().as_micros() as u64);
+        expect_field(&resp.body_str(), "\"cached\":false")?;
+    }
+    cold.wall_secs = cold_start.elapsed().as_secs_f64();
+
+    // The final cold query already primed the cache at the final
+    // version, so every request from here on is a pure hit.
+    let mut cached = Phase {
+        latencies_us: Vec::with_capacity(cached_requests),
+        wall_secs: 0.0,
+    };
+    let cached_start = Instant::now();
+    for _ in 0..cached_requests {
+        let t = Instant::now();
+        let resp = session.request("GET", QUERY, &[])?;
+        cached.latencies_us.push(t.elapsed().as_micros() as u64);
+        expect_field(&resp.body_str(), "\"cached\":true")?;
+    }
+    cached.wall_secs = cached_start.elapsed().as_secs_f64();
+
+    cold.latencies_us.sort_unstable();
+    cached.latencies_us.sort_unstable();
+    let stats = server.cache_stats();
+    server.shutdown();
+
+    let mut cache = ObjectWriter::new();
+    cache
+        .u64_field("hits", stats.hits)
+        .u64_field("misses", stats.misses)
+        .u64_field("invalidations", stats.invalidations);
+
+    let mut workload = ObjectWriter::new();
+    workload
+        .str_field("distribution", spec.distribution.tag())
+        .u64_field("cardinality", spec.cardinality as u64)
+        .u64_field("dims", spec.dims as u64)
+        .u64_field("seed", spec.seed)
+        .str_field("algorithm", "SDI-Subset")
+        .u64_field("server_threads", threads as u64);
+
+    let mut serve = ObjectWriter::new();
+    serve
+        .raw_field("cold", &phase_json(&cold))
+        .raw_field("cached", &phase_json(&cached))
+        .raw_field("cache", &cache.finish());
+
+    let mut doc = ObjectWriter::new();
+    doc.str_field("artifact", label)
+        .raw_field("workload", &workload.finish())
+        .raw_field("serve", &serve.finish());
+    let mut out = doc.finish();
+    out.push('\n');
+    Ok(out)
+}
+
+/// Write the serving benchmark artefact to `path`, echoing a short
+/// summary to stderr.
+pub fn write_serve_bench_artifact(
+    path: &Path,
+    label: &str,
+    spec: &SyntheticSpec,
+    cold_requests: usize,
+    cached_requests: usize,
+    threads: usize,
+) -> std::io::Result<()> {
+    let doc = serve_bench_json(label, spec, cold_requests, cached_requests, threads)?;
+    let mut summary = String::new();
+    let _ = write!(summary, "    serve: {} bytes", doc.len());
+    eprintln!("{summary}");
+    std::fs::write(path, doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyline_data::Distribution;
+    use skyline_obs::json::Value;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50.0), 51);
+        assert_eq!(percentile(&v, 99.0), 99);
+        assert_eq!(percentile(&v, 100.0), 100);
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[7], 99.0), 7);
+    }
+
+    #[test]
+    fn serve_bench_produces_a_valid_artifact() {
+        let spec = SyntheticSpec {
+            distribution: Distribution::Independent,
+            cardinality: 300,
+            dims: 4,
+            seed: 11,
+        };
+        let doc = serve_bench_json("BENCH_TEST_SERVE", &spec, 5, 10, 2).expect("bench runs");
+        let v = Value::parse(doc.trim()).expect("valid JSON");
+        assert_eq!(
+            v.get("artifact").unwrap().as_str(),
+            Some("BENCH_TEST_SERVE")
+        );
+        let serve = v.get("serve").unwrap();
+        let cold = serve.get("cold").unwrap();
+        let cached = serve.get("cached").unwrap();
+        assert_eq!(cold.get("requests").unwrap().as_u64(), Some(5));
+        assert_eq!(cached.get("requests").unwrap().as_u64(), Some(10));
+        assert!(cold.get("p99_us").unwrap().as_u64().unwrap() >= 1);
+        assert!(cached.get("req_per_sec").unwrap().as_f64().unwrap() > 0.0);
+        // Cold queries recompute; cached ones must not be slower than the
+        // cold p99 on the same connection (they skip the whole algorithm).
+        let cache = serve.get("cache").unwrap();
+        assert_eq!(cache.get("hits").unwrap().as_u64(), Some(10));
+        assert!(cache.get("invalidations").unwrap().as_u64().unwrap() >= 1);
+    }
+}

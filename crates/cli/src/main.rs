@@ -8,6 +8,7 @@
 //! skyline generate --dist UI|CO|AC -n N -d D [--seed S] [-o out.csv]
 //! skyline stats    <input.csv>
 //! skyline tune     <input.csv> [--sample N]
+//! skyline serve    [--port P] [--bind ADDR] [--threads T] [--cache N] [--trace out.jsonl]
 //! skyline algorithms
 //! ```
 //!
@@ -15,6 +16,10 @@
 //! partition-merge engine wrapping the selected algorithm (`--threads 0`
 //! = one worker per CPU), and makes `bench` measure the `P-*` rows next
 //! to their sequential counterparts.
+//!
+//! Serving: `skyline serve` starts the zero-dependency HTTP query
+//! service from the `skyline-serve` crate (dataset registry + result
+//! cache); stop it with `POST /shutdown`.
 //!
 //! Tracing: `--trace <path>` (or the `SKYLINE_TRACE` environment
 //! variable) appends structured JSON-lines telemetry — spans, Merge
@@ -56,6 +61,7 @@ const USAGE: &str = "usage:
   skyline generate --dist UI|CO|AC -n N -d D [--seed S] [-o out.csv]
   skyline stats    <input.csv>
   skyline tune     <input.csv> [--sample N]
+  skyline serve    [--port P] [--bind ADDR] [--threads T] [--cache N] [--trace out.jsonl]
   skyline algorithms
 
 parallel: --threads T runs the multi-core partition-merge engine (T=0 =
@@ -92,6 +98,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("generate") => generate(&args[1..]),
         Some("stats") => stats(&args[1..]),
         Some("tune") => tune(&args[1..]),
+        Some("serve") => serve(&args[1..]),
         Some("algorithms") => {
             let stdout = std::io::stdout();
             let mut out = stdout.lock();
@@ -219,8 +226,14 @@ fn compute(args: &[String]) -> Result<(), String> {
         .ok_or("compute requires an input file")?;
     let data = load(path, args)?;
 
-    // k-skyband mode bypasses the algorithm registry.
+    // k-skyband mode bypasses the algorithm registry — but an unknown
+    // --algo must still fail loudly instead of being silently ignored.
     if let Some(k) = flag_value(args, "--skyband")? {
+        if let Some(name) = flag_value(args, "--algo")? {
+            if algorithm_by_name(name).is_none() {
+                return Err(format!("unknown algorithm {name:?}"));
+            }
+        }
         let k: usize = k.parse().map_err(|_| "--skyband expects an integer")?;
         let mut metrics = skyline_core::metrics::Metrics::new();
         let band = skyline_algos::skyband::k_skyband(&data, k, &mut metrics);
@@ -411,6 +424,40 @@ fn bench(args: &[String]) -> Result<(), String> {
         }
     }
     finish_trace(trace)?;
+    Ok(())
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    let port: u16 = match flag_value(args, "--port")? {
+        None => 0, // ephemeral: the resolved port is printed below
+        Some(v) => v.parse().map_err(|_| "--port expects a port number")?,
+    };
+    let bind = flag_value(args, "--bind")?.unwrap_or("127.0.0.1");
+    let threads = parse_threads(args)?.unwrap_or(4).max(1);
+    let cache_capacity: usize = match flag_value(args, "--cache")? {
+        None => 256,
+        Some(v) => v.parse().map_err(|_| "--cache expects an entry count")?,
+    };
+    let trace = match flag_value(args, "--trace")? {
+        Some(p) => Some(std::path::PathBuf::from(p)),
+        None => std::env::var("SKYLINE_TRACE")
+            .ok()
+            .filter(|p| !p.is_empty())
+            .map(std::path::PathBuf::from),
+    };
+    let config = skyline_serve::ServerConfig {
+        bind: format!("{bind}:{port}"),
+        threads,
+        cache_capacity,
+        trace,
+        ..Default::default()
+    };
+    let mut handle = skyline_serve::Server::start(config).map_err(|e| format!("serve: {e}"))?;
+    // Scripts parse this line for the resolved ephemeral port.
+    println!("listening on {}", handle.local_addr());
+    pipe_ok(std::io::Write::flush(&mut std::io::stdout()))?;
+    handle.wait();
+    eprintln!("server stopped");
     Ok(())
 }
 

@@ -1,0 +1,76 @@
+//! Exit-code regression tests for the `skyline` binary.
+//!
+//! `compute --skyband K` bypasses the algorithm registry, and an early
+//! version returned exit 0 even when `--algo` named a nonexistent
+//! algorithm. Unknown names must fail loudly on every path.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_skyline"))
+}
+
+/// Write a tiny CSV fixture and return its path.
+fn fixture(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("skyline-cli-test-{}-{name}", std::process::id()));
+    std::fs::write(&path, "1.0,5.0\n5.0,1.0\n6.0,6.0\n").expect("write fixture");
+    path
+}
+
+#[test]
+fn unknown_algo_fails_in_skyband_mode() {
+    let csv = fixture("skyband.csv");
+    let out = bin()
+        .args([
+            "compute",
+            csv.to_str().unwrap(),
+            "--algo",
+            "definitely-not-an-algorithm",
+            "--skyband",
+            "2",
+        ])
+        .output()
+        .expect("run skyline");
+    assert!(
+        !out.status.success(),
+        "unknown --algo with --skyband must fail, got exit 0; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown algorithm"),
+        "stderr names the problem: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn unknown_algo_fails_in_compute_mode() {
+    let csv = fixture("compute.csv");
+    let out = bin()
+        .args(["compute", csv.to_str().unwrap(), "--algo", "bogus"])
+        .output()
+        .expect("run skyline");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn valid_invocations_still_exit_zero() {
+    let csv = fixture("ok.csv");
+    for extra in [vec!["--algo", "SFS"], vec!["--skyband", "2"]] {
+        let mut args = vec!["compute", csv.to_str().unwrap()];
+        args.extend(extra.iter());
+        let out = bin().args(&args).output().expect("run skyline");
+        assert!(
+            out.status.success(),
+            "{args:?} should succeed; stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = bin().arg("frobnicate").output().expect("run skyline");
+    assert!(!out.status.success());
+}

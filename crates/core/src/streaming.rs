@@ -76,6 +76,7 @@ pub struct StreamingSkyline {
     shadowed_by: HashMap<PointId, Vec<PointId>>,
     live: usize,
     skyline_len: usize,
+    version: u64,
 }
 
 impl StreamingSkyline {
@@ -108,6 +109,7 @@ impl StreamingSkyline {
             shadowed_by: HashMap::new(),
             live: 0,
             skyline_len: 0,
+            version: 0,
         })
     }
 
@@ -129,6 +131,36 @@ impl StreamingSkyline {
     /// Current skyline cardinality.
     pub fn skyline_len(&self) -> usize {
         self.skyline_len
+    }
+
+    /// Content version: starts at 0 and increments on every successful
+    /// [`StreamingSkyline::insert`] or [`StreamingSkyline::remove`].
+    /// Re-anchoring does not change the live multiset and does not bump
+    /// it. Snapshot consumers (e.g. a serving layer keying caches by
+    /// dataset state) can use equality of versions as equality of
+    /// contents.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Ids of every live point (skyline and shadowed), ascending.
+    pub fn live_ids(&self) -> Vec<PointId> {
+        (0..self.state.len() as PointId)
+            .filter(|&id| !matches!(self.state[id as usize], EntryState::Deleted))
+            .collect()
+    }
+
+    /// Materialise the live multiset as `(handles, rows)`: `rows[i]` is
+    /// the coordinate vector of live point `handles[i]`, handles
+    /// ascending. Row indices of any batch computation over the rows map
+    /// back to stable stream handles through `handles`.
+    pub fn snapshot_rows(&self) -> (Vec<PointId>, Vec<Vec<f64>>) {
+        let ids = self.live_ids();
+        let rows = ids
+            .iter()
+            .map(|&id| self.rows[id as usize].clone())
+            .collect();
+        (ids, rows)
     }
 
     /// Ids of the current skyline, ascending.
@@ -200,6 +232,7 @@ impl StreamingSkyline {
             self.reanchor(metrics);
         }
         self.classify(id, metrics);
+        self.version += 1;
         Ok(id)
     }
 
@@ -256,6 +289,14 @@ impl StreamingSkyline {
     /// Deleting a shadowed point is O(1); deleting a skyline point
     /// re-resolves exactly the points it was shadowing.
     pub fn remove(&mut self, id: PointId, metrics: &mut Metrics) -> bool {
+        let removed = self.remove_inner(id, metrics);
+        if removed {
+            self.version += 1;
+        }
+        removed
+    }
+
+    fn remove_inner(&mut self, id: PointId, metrics: &mut Metrics) -> bool {
         match self.state.get(id as usize).cloned() {
             None | Some(EntryState::Deleted) => false,
             Some(EntryState::Shadowed { killer }) => {
@@ -582,6 +623,38 @@ mod tests {
             expected.sort_unstable();
             assert_eq!(s.skyline(), expected, "step {step}");
         }
+    }
+
+    #[test]
+    fn version_tracks_successful_mutations_only() {
+        let mut s = StreamingSkyline::new(2).unwrap();
+        let mut metrics = m();
+        assert_eq!(s.version(), 0);
+        let a = s.insert(&[1.0, 2.0], &mut metrics).unwrap();
+        let b = s.insert(&[2.0, 1.0], &mut metrics).unwrap();
+        assert_eq!(s.version(), 2);
+        assert!(s.insert(&[1.0], &mut metrics).is_err(), "bad row");
+        assert_eq!(s.version(), 2, "failed insert must not bump");
+        s.rebuild_reference(&mut metrics);
+        assert_eq!(s.version(), 2, "re-anchoring must not bump");
+        assert!(s.remove(a, &mut metrics));
+        assert_eq!(s.version(), 3);
+        assert!(!s.remove(a, &mut metrics), "double delete");
+        assert_eq!(s.version(), 3, "no-op remove must not bump");
+        assert_eq!(s.live_ids(), vec![b]);
+    }
+
+    #[test]
+    fn snapshot_rows_maps_row_indices_to_handles() {
+        let mut s = StreamingSkyline::new(2).unwrap();
+        let mut metrics = m();
+        let a = s.insert(&[1.0, 5.0], &mut metrics).unwrap();
+        let b = s.insert(&[5.0, 1.0], &mut metrics).unwrap();
+        let c = s.insert(&[3.0, 3.0], &mut metrics).unwrap();
+        assert!(s.remove(b, &mut metrics));
+        let (handles, rows) = s.snapshot_rows();
+        assert_eq!(handles, vec![a, c]);
+        assert_eq!(rows, vec![vec![1.0, 5.0], vec![3.0, 3.0]]);
     }
 
     #[test]

@@ -231,11 +231,19 @@ impl<C: Children> GenericSubsetIndex<C> {
     /// `metrics` records the trie nodes visited, candidates returned, and
     /// the depth/candidate-count distributions.
     pub fn query_into(&self, subspace: Subspace, out: &mut Vec<PointId>, metrics: &mut Metrics) {
-        let reversed = subspace.complement(self.dims);
         let before = out.len();
         let mut visited = 0u64;
         let mut max_depth = 0u64;
-        Self::query_node(&self.root, reversed, out, &mut visited, 0, &mut max_depth);
+        if subspace.is_empty() {
+            // Fast path: the reversed query is the full dimension set, so
+            // every child qualifies and every stored point is returned.
+            // Collect without the per-child membership tests the general
+            // walk pays on each node.
+            Self::collect_all(&self.root, out, &mut visited, 0, &mut max_depth);
+        } else {
+            let reversed = subspace.complement(self.dims);
+            Self::query_node(&self.root, reversed, out, &mut visited, 0, &mut max_depth);
+        }
         let returned = (out.len() - before) as u64;
         metrics.index_nodes_visited += visited;
         metrics.candidates_returned += returned;
@@ -266,6 +274,25 @@ impl<C: Children> GenericSubsetIndex<C> {
             if reversed_query.contains(dim as usize) {
                 Self::query_node(child, reversed_query, out, visited, depth + 1, max_depth);
             }
+        });
+    }
+
+    /// Unconditional collection for the empty-query fast path: identical
+    /// traversal order and metrics accounting to [`Self::query_node`]
+    /// with a full reversed query, minus the subset membership test per
+    /// child.
+    fn collect_all(
+        node: &TrieNode<C>,
+        out: &mut Vec<PointId>,
+        visited: &mut u64,
+        depth: u64,
+        max_depth: &mut u64,
+    ) {
+        *visited += 1;
+        *max_depth = (*max_depth).max(depth);
+        out.extend_from_slice(&node.points);
+        node.children.visit(&mut |_, child| {
+            Self::collect_all(child, out, visited, depth + 1, max_depth);
         });
     }
 
@@ -495,6 +522,38 @@ mod tests {
         for qbits in 0..(1u64 << dims) {
             check_against_oracle(&index, &entries, Subspace::from_bits(qbits));
         }
+    }
+
+    #[test]
+    fn empty_query_fast_path_returns_every_entry() {
+        // The empty subspace mask reverses to the full dimension set:
+        // every stored subspace is a superset of ∅, so the fast path must
+        // return every stored point — with candidate counts pinned to the
+        // exact index size for both backends.
+        fn check<C: Children>() {
+            let dims = 6;
+            let mut index = GenericSubsetIndex::<C>::new(dims);
+            let mut entries = Vec::new();
+            for bits in [0u64, 0b1, 0b101, 0b11010, 0b111111, 0b100100] {
+                let s = Subspace::from_bits(bits);
+                index.put(bits as PointId, s);
+                entries.push((bits as PointId, s));
+            }
+            let mut m = Metrics::new();
+            let mut got = index.query(Subspace::EMPTY, &mut m);
+            got.sort_unstable();
+            assert_eq!(got, oracle(&entries, Subspace::EMPTY));
+            assert_eq!(got.len(), index.len(), "every stored point matches");
+            assert_eq!(m.candidates_returned, index.len() as u64);
+            assert_eq!(m.container_gets, 1);
+            assert_eq!(
+                m.index_nodes_visited,
+                index.node_count() as u64,
+                "the collect-all walk visits each node exactly once"
+            );
+        }
+        check::<HashChildren>();
+        check::<SortedChildren>();
     }
 
     #[test]

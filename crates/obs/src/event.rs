@@ -83,6 +83,27 @@ pub enum Event {
         /// Dominance tests performed by the merge pass alone.
         dominance_tests: u64,
     },
+    /// One HTTP request handled by `skyline-serve`.
+    Request {
+        /// Request method (`GET`, `POST`, `DELETE`).
+        method: String,
+        /// Normalised endpoint (path pattern, e.g. `/skyline` or
+        /// `/datasets/{name}/points`), not the raw request path.
+        endpoint: String,
+        /// HTTP status code of the response.
+        status: u64,
+        /// End-to-end handling time in microseconds.
+        elapsed_us: u64,
+    },
+    /// A skyline query was answered from the server's result cache.
+    CacheHit {
+        /// Dataset name the cached result belongs to.
+        dataset: String,
+        /// Algorithm the cached result was computed with.
+        algorithm: String,
+        /// Dataset content version the result was computed at.
+        version: u64,
+    },
     /// One algorithm run finished.
     RunSummary {
         /// Algorithm display name.
@@ -137,6 +158,8 @@ impl Event {
             Event::TrieStats { .. } => "trie_stats",
             Event::ShardScan { .. } => "shard_scan",
             Event::ParallelMerge { .. } => "parallel_merge",
+            Event::Request { .. } => "request",
+            Event::CacheHit { .. } => "cache_hit",
             Event::RunSummary { .. } => "run_summary",
         }
     }
@@ -209,6 +232,26 @@ impl Event {
                     .u64_field("skyline_size", *skyline_size)
                     .u64_field("dominance_tests", *dominance_tests);
             }
+            Event::Request {
+                method,
+                endpoint,
+                status,
+                elapsed_us,
+            } => {
+                w.str_field("method", method)
+                    .str_field("endpoint", endpoint)
+                    .u64_field("status", *status)
+                    .u64_field("elapsed_us", *elapsed_us);
+            }
+            Event::CacheHit {
+                dataset,
+                algorithm,
+                version,
+            } => {
+                w.str_field("dataset", dataset)
+                    .str_field("algorithm", algorithm)
+                    .u64_field("version", *version);
+            }
             Event::RunSummary {
                 algorithm,
                 skyline_size,
@@ -263,6 +306,17 @@ impl Event {
                 candidates: v.get("candidates")?.as_u64()?,
                 skyline_size: v.get("skyline_size")?.as_u64()?,
                 dominance_tests: v.get("dominance_tests")?.as_u64()?,
+            }),
+            "request" => Some(Event::Request {
+                method: v.get("method")?.as_str()?.to_string(),
+                endpoint: v.get("endpoint")?.as_str()?.to_string(),
+                status: v.get("status")?.as_u64()?,
+                elapsed_us: v.get("elapsed_us")?.as_u64()?,
+            }),
+            "cache_hit" => Some(Event::CacheHit {
+                dataset: v.get("dataset")?.as_str()?.to_string(),
+                algorithm: v.get("algorithm")?.as_str()?.to_string(),
+                version: v.get("version")?.as_u64()?,
             }),
             "run_summary" => Some(Event::RunSummary {
                 algorithm: v.get("algorithm")?.as_str()?.to_string(),
@@ -320,6 +374,17 @@ mod tests {
                 candidates: 253,
                 skyline_size: 211,
                 dominance_tests: 1_099,
+            },
+            Event::Request {
+                method: "GET".into(),
+                endpoint: "/skyline".into(),
+                status: 200,
+                elapsed_us: 412,
+            },
+            Event::CacheHit {
+                dataset: "hotels".into(),
+                algorithm: "SDI-Subset".into(),
+                version: 17,
             },
             Event::RunSummary {
                 algorithm: "SFS-SUBSET".into(),

@@ -19,6 +19,19 @@ pub struct SpanStats {
     pub max_us: u64,
 }
 
+/// Aggregate statistics for one server endpoint's `request` events.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct EndpointStats {
+    /// Requests handled.
+    pub count: u64,
+    /// Responses with a 4xx/5xx status.
+    pub errors: u64,
+    /// Total handling time, microseconds.
+    pub total_us: u64,
+    /// Slowest single request, microseconds.
+    pub max_us: u64,
+}
+
 /// Aggregate statistics for one algorithm's `run_summary` events.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct AlgoStats {
@@ -66,6 +79,10 @@ pub struct TraceSummary {
     pub parallel_merges: u64,
     /// Total candidate-union size fed into the merge passes.
     pub parallel_candidates: u64,
+    /// Server: request statistics keyed by `method endpoint`.
+    pub endpoints: BTreeMap<String, EndpointStats>,
+    /// Server: skyline queries answered from the result cache.
+    pub cache_hits: u64,
     /// Merged distribution of trie query depth.
     pub trie_depth: Histogram,
     /// Merged distribution of candidates returned per container query.
@@ -155,6 +172,22 @@ impl TraceSummary {
                     self.parallel_merges += 1;
                     self.parallel_candidates += candidates;
                 }
+                Some(Event::Request {
+                    method,
+                    endpoint,
+                    status,
+                    elapsed_us,
+                }) => {
+                    let stats = self
+                        .endpoints
+                        .entry(format!("{method} {endpoint}"))
+                        .or_default();
+                    stats.count += 1;
+                    stats.errors += u64::from(status >= 400);
+                    stats.total_us += elapsed_us;
+                    stats.max_us = stats.max_us.max(elapsed_us);
+                }
+                Some(Event::CacheHit { .. }) => self.cache_hits += 1,
                 Some(Event::RunSummary {
                     algorithm,
                     skyline_size,
@@ -266,6 +299,31 @@ impl TraceSummary {
             );
             let _ = writeln!(out, "  merge passes     {:>8}", self.parallel_merges);
             let _ = writeln!(out, "  merge candidates {:>8}", self.parallel_candidates);
+        }
+        if !self.endpoints.is_empty() || self.cache_hits > 0 {
+            let _ = writeln!(out, "\n== server ==");
+            let _ = writeln!(
+                out,
+                "  {:<30} {:>7} {:>7} {:>10} {:>10}",
+                "endpoint", "count", "errors", "mean ms", "max ms"
+            );
+            for (name, e) in &self.endpoints {
+                let mean = if e.count == 0 {
+                    0.0
+                } else {
+                    e.total_us as f64 / e.count as f64
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:<30} {:>7} {:>7} {:>10.3} {:>10.3}",
+                    name,
+                    e.count,
+                    e.errors,
+                    mean / 1e3,
+                    e.max_us as f64 / 1e3
+                );
+            }
+            let _ = writeln!(out, "  cache hits       {:>8}", self.cache_hits);
         }
         if !self.trie_depth.is_empty() || !self.trie_candidates.is_empty() {
             let _ = writeln!(out, "\n== subset-index (trie) ==");
@@ -421,6 +479,44 @@ mod tests {
         let rendered = s.render();
         assert!(rendered.contains("parallel engine"), "{rendered}");
         assert!(rendered.contains("merge candidates"), "{rendered}");
+    }
+
+    #[test]
+    fn server_events_aggregate_into_their_own_section() {
+        let mut r = JsonlRecorder::new(Vec::new());
+        for (status, us) in [(200u64, 900u64), (200, 1500), (404, 80)] {
+            r.event(Event::Request {
+                method: "GET".into(),
+                endpoint: "/skyline".into(),
+                status,
+                elapsed_us: us,
+            });
+        }
+        r.event(Event::Request {
+            method: "POST".into(),
+            endpoint: "/datasets".into(),
+            status: 201,
+            elapsed_us: 4000,
+        });
+        r.event(Event::CacheHit {
+            dataset: "d".into(),
+            algorithm: "SFS".into(),
+            version: 3,
+        });
+        let text = String::from_utf8(r.into_inner().unwrap()).unwrap();
+        let s = TraceSummary::from_text(&text);
+        assert_eq!(s.skipped, 0);
+        let sky = &s.endpoints["GET /skyline"];
+        assert_eq!(sky.count, 3);
+        assert_eq!(sky.errors, 1);
+        assert_eq!(sky.total_us, 2480);
+        assert_eq!(sky.max_us, 1500);
+        assert_eq!(s.endpoints["POST /datasets"].count, 1);
+        assert_eq!(s.cache_hits, 1);
+        let rendered = s.render();
+        assert!(rendered.contains("== server =="), "{rendered}");
+        assert!(rendered.contains("GET /skyline"), "{rendered}");
+        assert!(rendered.contains("cache hits"), "{rendered}");
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! The skyline result cache.
+//!
+//! Results are keyed by everything that determines the answer bytes:
+//! dataset name **and content version**, canonical algorithm name,
+//! subspace mask, k-skyband depth, and worker count. Because the version
+//! is part of the key, a stale entry can never be served; explicit
+//! [`ResultCache::invalidate_dataset`] on every streaming mutation exists
+//! for memory hygiene and for the observable invalidation counter, not
+//! for correctness.
+//!
+//! Eviction is least-recently-used over a bounded map. The capacity is
+//! small (hundreds), so the eviction scan is a cheap linear pass rather
+//! than an intrusive list.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use skyline_core::point::PointId;
+
+/// Everything that determines a cached skyline result.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Dataset name.
+    pub dataset: String,
+    /// Dataset content version the result was computed at.
+    pub version: u64,
+    /// Canonical algorithm display name (registry spelling).
+    pub algorithm: String,
+    /// Subspace mask bits; the full space is stored as its full mask.
+    pub mask_bits: u64,
+    /// k-skyband depth; `1` is the plain skyline.
+    pub k: u64,
+    /// Worker count for parallel engines; `0` for sequential.
+    pub threads: u64,
+}
+
+/// A cached skyline (public stream handles, ascending).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedResult {
+    /// Skyline point handles.
+    pub ids: Vec<PointId>,
+    /// Wall-clock of the original computation, microseconds.
+    pub elapsed_us: u64,
+}
+
+/// Counters exposed through `/metrics`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// Entries dropped by dataset invalidation.
+    pub invalidations: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<CacheKey, (u64, Arc<CachedResult>)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    invalidations: u64,
+}
+
+/// Bounded, thread-safe LRU cache of skyline results.
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` results (minimum 1).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Maximum number of resident entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Look `key` up, bumping its recency and the hit/miss counters.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<CachedResult>> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some((last_used, result)) => {
+                *last_used = tick;
+                let result = Arc::clone(result);
+                inner.hits += 1;
+                Some(result)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a result, evicting the least-recently-used entry when full.
+    pub fn insert(&self, key: CacheKey, result: CachedResult) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            if let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (used, _))| *used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&oldest);
+                inner.evictions += 1;
+            }
+        }
+        inner.map.insert(key, (tick, Arc::new(result)));
+    }
+
+    /// Drop every entry belonging to `dataset` (any version). Returns the
+    /// number of entries removed.
+    pub fn invalidate_dataset(&self, dataset: &str) -> usize {
+        let mut inner = self.inner.lock().expect("cache lock");
+        let before = inner.map.len();
+        inner.map.retain(|k, _| k.dataset != dataset);
+        let removed = before - inner.map.len();
+        inner.invalidations += removed as u64;
+        removed
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache lock");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            invalidations: inner.invalidations,
+            entries: inner.map.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(dataset: &str, version: u64, mask: u64) -> CacheKey {
+        CacheKey {
+            dataset: dataset.to_string(),
+            version,
+            algorithm: "SDI-Subset".to_string(),
+            mask_bits: mask,
+            k: 1,
+            threads: 0,
+        }
+    }
+
+    fn result(ids: &[PointId]) -> CachedResult {
+        CachedResult {
+            ids: ids.to_vec(),
+            elapsed_us: 5,
+        }
+    }
+
+    #[test]
+    fn hit_miss_and_stats() {
+        let cache = ResultCache::new(8);
+        assert!(cache.get(&key("a", 1, 3)).is_none());
+        cache.insert(key("a", 1, 3), result(&[1, 2]));
+        let got = cache.get(&key("a", 1, 3)).expect("hit");
+        assert_eq!(got.ids, vec![1, 2]);
+        // A different version is a different key.
+        assert!(cache.get(&key("a", 2, 3)).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 2, 1));
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let cache = ResultCache::new(2);
+        cache.insert(key("a", 1, 1), result(&[1]));
+        cache.insert(key("a", 1, 2), result(&[2]));
+        // Touch mask 1 so mask 2 is now the coldest.
+        assert!(cache.get(&key("a", 1, 1)).is_some());
+        cache.insert(key("a", 1, 4), result(&[3]));
+        assert!(
+            cache.get(&key("a", 1, 1)).is_some(),
+            "recently used survives"
+        );
+        assert!(cache.get(&key("a", 1, 2)).is_none(), "coldest evicted");
+        assert!(cache.get(&key("a", 1, 4)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let cache = ResultCache::new(2);
+        cache.insert(key("a", 1, 1), result(&[1]));
+        cache.insert(key("a", 1, 2), result(&[2]));
+        cache.insert(key("a", 1, 1), result(&[9]));
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.get(&key("a", 1, 1)).unwrap().ids, vec![9]);
+        assert!(cache.get(&key("a", 1, 2)).is_some());
+    }
+
+    #[test]
+    fn invalidation_is_per_dataset() {
+        let cache = ResultCache::new(8);
+        cache.insert(key("a", 1, 1), result(&[1]));
+        cache.insert(key("a", 2, 1), result(&[1]));
+        cache.insert(key("b", 1, 1), result(&[2]));
+        assert_eq!(cache.invalidate_dataset("a"), 2);
+        assert!(cache.get(&key("b", 1, 1)).is_some());
+        let s = cache.stats();
+        assert_eq!(s.invalidations, 2);
+        assert_eq!(s.entries, 1);
+    }
+}

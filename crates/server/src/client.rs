@@ -1,0 +1,179 @@
+//! A minimal blocking HTTP/1.1 client, just enough to exercise the
+//! server from integration tests and benchmarks without pulling in an
+//! external crate. One request per connection (`Connection: close`)
+//! unless a keep-alive session is opened explicitly.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// Body as UTF-8 (lossy).
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn read_response<R: BufRead>(reader: &mut R) -> io::Result<ClientResponse> {
+    let mut status_line = String::new();
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(bad("connection closed before status line"));
+    }
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+
+    let mut content_length: Option<usize> = None;
+    let mut close = false;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(bad("connection closed inside headers"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            if name == "content-length" {
+                content_length = Some(value.parse().map_err(|_| bad("bad content-length"))?);
+            } else if name == "connection" && value.eq_ignore_ascii_case("close") {
+                close = true;
+            }
+        }
+    }
+
+    let body = match content_length {
+        Some(n) => {
+            let mut body = vec![0u8; n];
+            reader.read_exact(&mut body)?;
+            body
+        }
+        None if close => {
+            let mut body = Vec::new();
+            reader.read_to_end(&mut body)?;
+            body
+        }
+        None => Vec::new(),
+    };
+    Ok(ClientResponse { status, body })
+}
+
+fn write_request<W: Write>(
+    writer: &mut W,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    close: bool,
+) -> io::Result<()> {
+    let connection = if close { "close" } else { "keep-alive" };
+    let mut buf = Vec::with_capacity(body.len() + 128);
+    write!(
+        buf,
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nConnection: {connection}\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )?;
+    buf.extend_from_slice(body);
+    writer.write_all(&buf)?;
+    writer.flush()
+}
+
+/// Issue one request on a fresh connection and read the full response.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> io::Result<ClientResponse> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    write_request(&mut writer, method, path, body, true)?;
+    let mut reader = BufReader::new(stream);
+    read_response(&mut reader)
+}
+
+/// GET convenience wrapper around [`request`].
+pub fn get(addr: SocketAddr, path: &str) -> io::Result<ClientResponse> {
+    request(addr, "GET", path, &[])
+}
+
+/// POST convenience wrapper around [`request`].
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> io::Result<ClientResponse> {
+    request(addr, "POST", path, body.as_bytes())
+}
+
+/// A persistent keep-alive connection for latency benchmarks, where the
+/// TCP handshake would otherwise dominate the measurement.
+pub struct Session {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Session {
+    /// Open a connection to the server.
+    pub fn connect(addr: SocketAddr) -> io::Result<Session> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Session {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Issue one request on the persistent connection.
+    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<ClientResponse> {
+        write_request(&mut self.writer, method, path, body, false)?;
+        read_response(&mut self.reader)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_a_response_with_content_length() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 4\r\n\r\n{\"\":1}";
+        let resp = read_response(&mut Cursor::new(&raw[..])).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"{\"\":");
+    }
+
+    #[test]
+    fn reads_to_eof_when_connection_close_without_length() {
+        let raw = b"HTTP/1.1 500 Internal Server Error\r\nConnection: close\r\n\r\noops";
+        let resp = read_response(&mut Cursor::new(&raw[..])).unwrap();
+        assert_eq!(resp.status, 500);
+        assert_eq!(resp.body_str(), "oops");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let raw = b"not http at all\r\n\r\n";
+        assert!(read_response(&mut Cursor::new(&raw[..])).is_err());
+    }
+}

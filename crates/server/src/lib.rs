@@ -1,0 +1,776 @@
+//! # skyline-serve
+//!
+//! A zero-dependency concurrent skyline query service: a hand-rolled
+//! HTTP/1.1 server over `std::net` (no async runtime, no HTTP crate — the
+//! workspace builds with zero network access) exposing the algorithm
+//! suite over a **dataset registry** with a version-keyed **result
+//! cache**.
+//!
+//! Architecture, bottom-up:
+//!
+//! - [`http`] — request/response framing with hard limits;
+//! - [`pool`] — a fixed-size worker pool over `mpsc`; dropping the sender
+//!   is the graceful-shutdown signal;
+//! - [`registry`] — named datasets, each a [`StreamingSkyline`] plus an
+//!   immutable snapshot rebuilt on mutation, behind an `RwLock` so
+//!   readers only pay an `Arc` clone;
+//! - [`cache`] — an LRU over results keyed by (dataset, **content
+//!   version**, algorithm, subspace mask, k, threads); the version in the
+//!   key makes staleness impossible, explicit invalidation on mutation
+//!   keeps memory honest;
+//! - [`metrics`] — per-endpoint latency histograms for `/metrics`;
+//! - [`client`] — a minimal blocking client for tests and benchmarks.
+//!
+//! Endpoints: `GET /healthz`, `GET /metrics`, `GET /datasets`,
+//! `POST /datasets`, `POST|DELETE /datasets/{name}/points`,
+//! `GET /skyline?dataset=&algo=&dims=&k=&threads=`, `POST /shutdown`.
+//!
+//! [`StreamingSkyline`]: skyline_core::streaming::StreamingSkyline
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod pool;
+pub mod registry;
+
+use std::fs::File;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use skyline_algos::skyband::k_skyband_ids;
+use skyline_algos::{algorithm_by_name, parallel_algorithm, SkylineAlgorithm};
+use skyline_core::dataset::Dataset;
+use skyline_core::metrics::Metrics;
+use skyline_core::point::PointId;
+use skyline_core::subspace::Subspace;
+use skyline_data::synthetic::{Distribution, SyntheticSpec};
+use skyline_obs::json::{ObjectWriter, Value};
+use skyline_obs::{Event, JsonlRecorder, Recorder};
+
+use cache::{CacheKey, CachedResult, ResultCache};
+use http::{HttpError, Request, Response};
+use metrics::ServerMetrics;
+use pool::ThreadPool;
+use registry::{Registry, RegistryError};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks an ephemeral port.
+    pub bind: String,
+    /// Worker threads handling connections.
+    pub threads: usize,
+    /// Result cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Per-request socket timeout (read and write).
+    pub request_timeout: Duration,
+    /// Request body cap, bytes.
+    pub max_body: usize,
+    /// JSONL trace sink for `request` / `cache_hit` events.
+    pub trace: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            bind: "127.0.0.1:0".to_string(),
+            threads: 4,
+            cache_capacity: 256,
+            request_timeout: Duration::from_secs(30),
+            max_body: http::DEFAULT_MAX_BODY,
+            trace: None,
+        }
+    }
+}
+
+/// State shared by every worker.
+struct Shared {
+    addr: SocketAddr,
+    registry: Registry,
+    cache: ResultCache,
+    metrics: ServerMetrics,
+    recorder: Option<Mutex<JsonlRecorder<File>>>,
+    shutdown: AtomicBool,
+    started: Instant,
+    threads: usize,
+}
+
+impl Shared {
+    fn emit(&self, event: Event) {
+        if let Some(rec) = &self.recorder {
+            rec.lock().expect("recorder lock").event(event);
+        }
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (with the resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Current cache counters (for tests and post-run reports).
+    pub fn cache_stats(&self) -> cache::CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Block until the server stops (via `POST /shutdown` or
+    /// [`ServerHandle::shutdown`] from another thread).
+    pub fn wait(&mut self) {
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Stop accepting connections, drain in-flight requests, and join
+    /// every thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Nudge the blocking accept() so the loop observes the flag.
+        let _ = TcpStream::connect(self.shared.addr);
+        self.wait();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The server: binds, spawns the accept loop, returns a handle.
+pub struct Server;
+
+impl Server {
+    /// Bind `config.bind` and start serving on a background thread.
+    pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.bind)?;
+        let addr = listener.local_addr()?;
+        let recorder = match &config.trace {
+            Some(path) => Some(Mutex::new(JsonlRecorder::create(path)?)),
+            None => None,
+        };
+        let shared = Arc::new(Shared {
+            addr,
+            registry: Registry::new(),
+            cache: ResultCache::new(config.cache_capacity),
+            metrics: ServerMetrics::new(),
+            recorder,
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            threads: config.threads.max(1),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let timeout = config.request_timeout;
+        let max_body = config.max_body;
+        let threads = config.threads;
+        let accept = std::thread::Builder::new()
+            .name("skyline-accept".to_string())
+            .spawn(move || {
+                // The pool lives in the accept thread: when the loop
+                // breaks, dropping it drains queued connections and joins
+                // the workers, so shutdown never truncates a response.
+                let pool = ThreadPool::new(threads, "skyline-worker");
+                for stream in listener.incoming() {
+                    if accept_shared.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let conn_shared = Arc::clone(&accept_shared);
+                    if pool
+                        .execute(move || handle_connection(stream, conn_shared, timeout, max_body))
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            })?;
+        Ok(ServerHandle {
+            shared,
+            accept: Some(accept),
+        })
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>, timeout: Duration, max_body: usize) {
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let _ = stream.set_nodelay(true); // latency over throughput: no Nagle stalls
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match Request::read_from(&mut reader, max_body) {
+            Ok(Some(req)) => {
+                let start = Instant::now();
+                let (response, endpoint) = route(&shared, &req);
+                let elapsed_us = start.elapsed().as_micros() as u64;
+                shared
+                    .metrics
+                    .record(&req.method, endpoint, response.status, elapsed_us);
+                shared.emit(Event::Request {
+                    method: req.method.clone(),
+                    endpoint: endpoint.to_string(),
+                    status: response.status as u64,
+                    elapsed_us,
+                });
+                let close = req.wants_close() || shared.shutdown.load(Ordering::Acquire);
+                if response.write_to(&mut writer).is_err() || close {
+                    return;
+                }
+            }
+            Ok(None) => return,              // idle keep-alive connection closed
+            Err(HttpError::Io(_)) => return, // timeout or reset: peer is gone
+            Err(e) => {
+                let status = match e {
+                    HttpError::TooLarge { .. } => 413,
+                    _ => 400,
+                };
+                shared.metrics.record("?", "(malformed)", status, 0);
+                let _ = Response::error(status, &e.to_string()).write_to(&mut writer);
+                return;
+            }
+        }
+    }
+}
+
+/// Dispatch one request. Returns the response plus the normalised
+/// endpoint label used for metrics and trace events.
+fn route(shared: &Shared, req: &Request) -> (Response, &'static str) {
+    if let Some(name) = req
+        .path
+        .strip_prefix("/datasets/")
+        .and_then(|rest| rest.strip_suffix("/points"))
+    {
+        let endpoint = "/datasets/{name}/points";
+        let response = match req.method.as_str() {
+            "POST" => handle_insert(shared, name, req),
+            "DELETE" => handle_remove(shared, name, req),
+            _ => Response::error(405, "points supports POST and DELETE"),
+        };
+        return (response, endpoint);
+    }
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (handle_healthz(shared), "/healthz"),
+        ("GET", "/metrics") => (handle_metrics(shared), "/metrics"),
+        ("GET", "/skyline") => (handle_skyline(shared, req), "/skyline"),
+        ("GET", "/datasets") => (handle_list(shared), "/datasets"),
+        ("POST", "/datasets") => (handle_create(shared, req), "/datasets"),
+        ("POST", "/shutdown") => (handle_shutdown(shared), "/shutdown"),
+        (_, "/healthz" | "/metrics" | "/skyline" | "/datasets" | "/shutdown") => (
+            Response::error(405, "method not allowed on this endpoint"),
+            "(bad-method)",
+        ),
+        _ => (
+            Response::error(404, &format!("no such endpoint {}", req.path)),
+            "(unknown)",
+        ),
+    }
+}
+
+fn registry_response(err: RegistryError) -> Response {
+    let status = match err {
+        RegistryError::Unknown(_) => 404,
+        RegistryError::Exists(_) => 409,
+        RegistryError::BadName(_) | RegistryError::BadData(_) => 400,
+    };
+    Response::error(status, &err.to_string())
+}
+
+fn handle_healthz(shared: &Shared) -> Response {
+    let mut w = ObjectWriter::new();
+    w.str_field("status", "ok")
+        .u64_field("datasets", shared.registry.len() as u64)
+        .u64_field("uptime_us", shared.started.elapsed().as_micros() as u64);
+    Response::json(200, w.finish())
+}
+
+fn handle_shutdown(shared: &Shared) -> Response {
+    shared.shutdown.store(true, Ordering::Release);
+    // Nudge accept() from here too, in case no further connection comes.
+    let _ = TcpStream::connect(shared.addr);
+    let mut w = ObjectWriter::new();
+    w.str_field("status", "shutting down");
+    Response::json(200, w.finish())
+}
+
+fn dataset_info_json(info: &registry::DatasetInfo) -> String {
+    let mut w = ObjectWriter::new();
+    w.str_field("name", &info.name)
+        .u64_field("dims", info.dims as u64)
+        .u64_field("points", info.points as u64)
+        .u64_field("skyline", info.skyline_len as u64)
+        .u64_field("version", info.version);
+    w.finish()
+}
+
+fn handle_list(shared: &Shared) -> Response {
+    let objs: Vec<String> = shared
+        .registry
+        .list()
+        .iter()
+        .map(dataset_info_json)
+        .collect();
+    let mut w = ObjectWriter::new();
+    w.raw_field("datasets", &format!("[{}]", objs.join(",")));
+    Response::json(200, w.finish())
+}
+
+fn handle_metrics(shared: &Shared) -> Response {
+    let stats = shared.cache.stats();
+    let mut cache_obj = ObjectWriter::new();
+    cache_obj
+        .u64_field("hits", stats.hits)
+        .u64_field("misses", stats.misses)
+        .u64_field("evictions", stats.evictions)
+        .u64_field("invalidations", stats.invalidations)
+        .u64_field("entries", stats.entries)
+        .u64_field("capacity", shared.cache.capacity() as u64);
+    let datasets: Vec<String> = shared
+        .registry
+        .list()
+        .iter()
+        .map(dataset_info_json)
+        .collect();
+    let mut w = ObjectWriter::new();
+    w.u64_field("uptime_us", shared.started.elapsed().as_micros() as u64)
+        .u64_field("threads", shared.threads as u64)
+        .u64_field("requests", shared.metrics.total_requests())
+        .raw_field("endpoints", &shared.metrics.render_json())
+        .raw_field("cache", &cache_obj.finish())
+        .raw_field("datasets", &format!("[{}]", datasets.join(",")));
+    Response::json(200, w.finish())
+}
+
+fn parse_rows(v: &Value) -> Result<Vec<Vec<f64>>, String> {
+    let arr = v.as_arr().ok_or("\"rows\" must be an array of arrays")?;
+    arr.iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let row = row
+                .as_arr()
+                .ok_or_else(|| format!("row {i} is not an array"))?;
+            row.iter()
+                .enumerate()
+                .map(|(j, val)| {
+                    val.as_f64()
+                        .ok_or_else(|| format!("row {i}, value {j} is not a number"))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn parse_body(req: &Request) -> Result<Value, Response> {
+    let text = req
+        .body_str()
+        .map_err(|e| Response::error(400, &e.to_string()))?;
+    Value::parse(text).map_err(|e| Response::error(400, &format!("bad JSON body: {e}")))
+}
+
+/// `POST /datasets` — body: `{"name": ..., "rows": [[...], ...]}` or
+/// `{"name": ..., "synthetic": {"distribution": "AC", "n": 1000,
+/// "dims": 6, "seed": 42}}`; an empty dataset needs explicit `"dims"`.
+fn handle_create(shared: &Shared, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let Some(name) = body.get("name").and_then(Value::as_str) else {
+        return Response::error(400, "missing string field \"name\"");
+    };
+    let (rows, dims) = if let Some(synth) = body.get("synthetic") {
+        let tag = synth
+            .get("distribution")
+            .and_then(Value::as_str)
+            .unwrap_or("UI");
+        let Some(distribution) = Distribution::from_tag(tag) else {
+            return Response::error(400, &format!("unknown distribution {tag:?} (UI, CO, AC)"));
+        };
+        let Some(n) = synth.get("n").and_then(Value::as_u64) else {
+            return Response::error(400, "synthetic spec needs numeric \"n\"");
+        };
+        let Some(dims) = synth.get("dims").and_then(Value::as_u64) else {
+            return Response::error(400, "synthetic spec needs numeric \"dims\"");
+        };
+        let seed = synth.get("seed").and_then(Value::as_u64).unwrap_or(42);
+        let spec = SyntheticSpec {
+            distribution,
+            cardinality: n as usize,
+            dims: dims as usize,
+            seed,
+        };
+        let data = spec.generate();
+        let rows: Vec<Vec<f64>> = data.iter().map(|(_, row)| row.to_vec()).collect();
+        (rows, data.dims())
+    } else if let Some(rows_value) = body.get("rows") {
+        let rows = match parse_rows(rows_value) {
+            Ok(rows) => rows,
+            Err(msg) => return Response::error(400, &msg),
+        };
+        let dims = match (rows.first(), body.get("dims").and_then(Value::as_u64)) {
+            (Some(first), _) => first.len(),
+            (None, Some(dims)) => dims as usize,
+            (None, None) => {
+                return Response::error(400, "empty \"rows\" needs explicit \"dims\"");
+            }
+        };
+        (rows, dims)
+    } else {
+        return Response::error(400, "body needs either \"rows\" or \"synthetic\"");
+    };
+    match shared.registry.create(name, dims, &rows) {
+        Ok(entry) => Response::json(201, dataset_info_json(&entry.info())),
+        Err(e) => registry_response(e),
+    }
+}
+
+/// `POST /datasets/{name}/points` — body `{"rows": [[...], ...]}`.
+fn handle_insert(shared: &Shared, name: &str, req: &Request) -> Response {
+    let entry = match shared.registry.get(name) {
+        Ok(e) => e,
+        Err(e) => return registry_response(e),
+    };
+    let body = match parse_body(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let Some(rows_value) = body.get("rows") else {
+        return Response::error(400, "body needs \"rows\"");
+    };
+    let rows = match parse_rows(rows_value) {
+        Ok(rows) => rows,
+        Err(msg) => return Response::error(400, &msg),
+    };
+    match entry.insert_rows(&rows) {
+        Ok((ids, version, skyline_len)) => {
+            let invalidated = if ids.is_empty() {
+                0
+            } else {
+                shared.cache.invalidate_dataset(name)
+            };
+            let ids64: Vec<u64> = ids.iter().map(|&i| i as u64).collect();
+            let mut w = ObjectWriter::new();
+            w.u64_field("inserted", ids.len() as u64)
+                .u64_array_field("ids", &ids64)
+                .u64_field("version", version)
+                .u64_field("skyline", skyline_len as u64)
+                .u64_field("cache_invalidated", invalidated as u64);
+            Response::json(200, w.finish())
+        }
+        Err(e) => registry_response(e),
+    }
+}
+
+/// `DELETE /datasets/{name}/points` — body `{"ids": [...]}`.
+fn handle_remove(shared: &Shared, name: &str, req: &Request) -> Response {
+    let entry = match shared.registry.get(name) {
+        Ok(e) => e,
+        Err(e) => return registry_response(e),
+    };
+    let body = match parse_body(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let Some(ids_value) = body.get("ids").and_then(Value::as_arr) else {
+        return Response::error(400, "body needs an \"ids\" array");
+    };
+    let mut ids = Vec::with_capacity(ids_value.len());
+    for (i, v) in ids_value.iter().enumerate() {
+        match v.as_u64() {
+            Some(id) if id <= PointId::MAX as u64 => ids.push(id as PointId),
+            _ => return Response::error(400, &format!("ids[{i}] is not a point id")),
+        }
+    }
+    match entry.remove_ids(&ids) {
+        Ok((removed, version, skyline_len)) => {
+            let invalidated = if removed == 0 {
+                0
+            } else {
+                shared.cache.invalidate_dataset(name)
+            };
+            let mut w = ObjectWriter::new();
+            w.u64_field("removed", removed as u64)
+                .u64_field("version", version)
+                .u64_field("skyline", skyline_len as u64)
+                .u64_field("cache_invalidated", invalidated as u64);
+            Response::json(200, w.finish())
+        }
+        Err(e) => registry_response(e),
+    }
+}
+
+fn skyline_json(key: &CacheKey, cached: bool, ids: &[PointId], elapsed_us: u64) -> String {
+    let ids64: Vec<u64> = ids.iter().map(|&i| i as u64).collect();
+    let mut w = ObjectWriter::new();
+    w.str_field("dataset", &key.dataset)
+        .str_field("algorithm", &key.algorithm)
+        .u64_field("version", key.version)
+        .u64_field("mask_bits", key.mask_bits)
+        .u64_field("k", key.k)
+        .bool_field("cached", cached)
+        .u64_field("count", ids.len() as u64)
+        .u64_field("elapsed_us", elapsed_us)
+        .u64_array_field("ids", &ids64);
+    w.finish()
+}
+
+/// `GET /skyline?dataset=&algo=&dims=&k=&threads=`.
+fn handle_skyline(shared: &Shared, req: &Request) -> Response {
+    let Some(name) = req.query_param("dataset") else {
+        return Response::error(400, "missing query parameter \"dataset\"");
+    };
+    let entry = match shared.registry.get(name) {
+        Ok(e) => e,
+        Err(e) => return registry_response(e),
+    };
+    let threads: u64 = match req.query_param("threads") {
+        None | Some("") => 0,
+        Some(raw) => match raw.parse() {
+            Ok(n) => n,
+            Err(_) => return Response::error(400, &format!("bad \"threads\" value {raw:?}")),
+        },
+    };
+    let k: u64 = match req.query_param("k") {
+        None | Some("") => 1,
+        Some(raw) => match raw.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => return Response::error(400, &format!("bad \"k\" value {raw:?} (k >= 1)")),
+        },
+    };
+    let algo_name = match req.query_param("algo") {
+        None | Some("") => "SDI-Subset",
+        Some(a) => a,
+    };
+    let wants_parallel = threads > 0 || algo_name.starts_with("P-") || algo_name.starts_with("p-");
+    let algo: Box<dyn SkylineAlgorithm> = if wants_parallel {
+        match parallel_algorithm(algo_name, None, threads as usize) {
+            Some(a) => a,
+            None => {
+                return Response::error(
+                    400,
+                    &format!("no parallel engine for algorithm {algo_name:?}"),
+                )
+            }
+        }
+    } else {
+        match algorithm_by_name(algo_name) {
+            Some(a) => a,
+            None => return Response::error(400, &format!("unknown algorithm {algo_name:?}")),
+        }
+    };
+
+    let total_dims = entry.dims();
+    let full = Subspace::full(total_dims);
+    let mask = match req.query_param("dims") {
+        None | Some("") => full,
+        Some(raw) => {
+            let mut picked = Vec::new();
+            for part in raw.split(',').filter(|p| !p.is_empty()) {
+                match part.trim().parse::<usize>() {
+                    Ok(d) if d < total_dims => picked.push(d),
+                    _ => {
+                        return Response::error(
+                            400,
+                            &format!("bad dimension {part:?} (dataset has {total_dims} dims)"),
+                        )
+                    }
+                }
+            }
+            if picked.is_empty() {
+                return Response::error(400, "\"dims\" must name at least one dimension");
+            }
+            Subspace::from_dims(picked)
+        }
+    };
+
+    let snapshot = entry.snapshot();
+    let key = CacheKey {
+        dataset: name.to_string(),
+        version: snapshot.version,
+        algorithm: algo.name().to_string(),
+        mask_bits: mask.bits(),
+        k,
+        threads,
+    };
+    let start = Instant::now();
+    if let Some(hit) = shared.cache.get(&key) {
+        shared.emit(Event::CacheHit {
+            dataset: name.to_string(),
+            algorithm: algo.name().to_string(),
+            version: snapshot.version,
+        });
+        let elapsed_us = start.elapsed().as_micros() as u64;
+        let body = skyline_json(&key, true, &hit.ids, elapsed_us);
+        return Response::json(200, body);
+    }
+
+    let ids: Vec<PointId> = match &snapshot.dataset {
+        None => Vec::new(),
+        Some(data) => {
+            let mut metrics = Metrics::new();
+            let projected;
+            let target: &Dataset = if mask == full {
+                data
+            } else {
+                projected = data.project_dims(mask);
+                &projected
+            };
+            let mut rows = if k > 1 {
+                let mut band = k_skyband_ids(target, k as usize, &mut metrics);
+                band.sort_unstable();
+                band
+            } else {
+                algo.compute_with_metrics(target, &mut metrics)
+            };
+            // Row indices → stable stream handles. The handle list is
+            // ascending, so ascending row ids stay ascending.
+            for id in rows.iter_mut() {
+                *id = snapshot.handles[*id as usize];
+            }
+            rows
+        }
+    };
+    let elapsed_us = start.elapsed().as_micros() as u64;
+    let body = skyline_json(&key, false, &ids, elapsed_us);
+    shared.cache.insert(key, CachedResult { ids, elapsed_us });
+    Response::json(200, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start_test_server() -> ServerHandle {
+        Server::start(ServerConfig {
+            threads: 2,
+            cache_capacity: 16,
+            ..ServerConfig::default()
+        })
+        .expect("start server")
+    }
+
+    #[test]
+    fn healthz_and_unknown_endpoint() {
+        let server = start_test_server();
+        let addr = server.local_addr();
+        let ok = client::get(addr, "/healthz").unwrap();
+        assert_eq!(ok.status, 200);
+        let v = Value::parse(&ok.body_str()).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(client::get(addr, "/nope").unwrap().status, 404);
+        assert_eq!(client::post(addr, "/healthz", "").unwrap().status, 405);
+    }
+
+    #[test]
+    fn create_query_cache_and_invalidate() {
+        let server = start_test_server();
+        let addr = server.local_addr();
+        let created = client::post(
+            addr,
+            "/datasets",
+            r#"{"name": "t", "rows": [[1, 5], [5, 1], [6, 6]]}"#,
+        )
+        .unwrap();
+        assert_eq!(created.status, 201, "{}", created.body_str());
+
+        let first = client::get(addr, "/skyline?dataset=t&algo=SFS").unwrap();
+        assert_eq!(first.status, 200, "{}", first.body_str());
+        let v1 = Value::parse(&first.body_str()).unwrap();
+        assert_eq!(v1.get("cached").unwrap(), &Value::Bool(false));
+        assert_eq!(v1.get("count").unwrap().as_u64(), Some(2));
+
+        let second = client::get(addr, "/skyline?dataset=t&algo=SFS").unwrap();
+        let v2 = Value::parse(&second.body_str()).unwrap();
+        assert_eq!(v2.get("cached").unwrap(), &Value::Bool(true));
+        assert_eq!(v2.get("ids").unwrap(), v1.get("ids").unwrap());
+
+        // A streaming insert bumps the version and invalidates the cache.
+        let inserted =
+            client::post(addr, "/datasets/t/points", r#"{"rows": [[0.5, 0.5]]}"#).unwrap();
+        assert_eq!(inserted.status, 200, "{}", inserted.body_str());
+        let vi = Value::parse(&inserted.body_str()).unwrap();
+        assert_eq!(vi.get("cache_invalidated").unwrap().as_u64(), Some(1));
+
+        let third = client::get(addr, "/skyline?dataset=t&algo=SFS").unwrap();
+        let v3 = Value::parse(&third.body_str()).unwrap();
+        assert_eq!(v3.get("cached").unwrap(), &Value::Bool(false));
+        assert_eq!(
+            v3.get("count").unwrap().as_u64(),
+            Some(1),
+            "new point dominates"
+        );
+        assert_eq!(v3.get("ids").unwrap().as_arr().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn subspace_skyband_and_bad_requests() {
+        let server = start_test_server();
+        let addr = server.local_addr();
+        client::post(
+            addr,
+            "/datasets",
+            r#"{"name": "s", "rows": [[1, 9, 9], [9, 1, 9], [9, 9, 1], [2, 2, 2]]}"#,
+        )
+        .unwrap();
+        let sub = client::get(addr, "/skyline?dataset=s&algo=SaLSa&dims=0,1").unwrap();
+        let v = Value::parse(&sub.body_str()).unwrap();
+        assert_eq!(v.get("mask_bits").unwrap().as_u64(), Some(3));
+        let band = client::get(addr, "/skyline?dataset=s&k=2").unwrap();
+        let vb = Value::parse(&band.body_str()).unwrap();
+        assert_eq!(vb.get("count").unwrap().as_u64(), Some(4));
+
+        assert_eq!(client::get(addr, "/skyline").unwrap().status, 400);
+        assert_eq!(
+            client::get(addr, "/skyline?dataset=missing")
+                .unwrap()
+                .status,
+            404
+        );
+        assert_eq!(
+            client::get(addr, "/skyline?dataset=s&algo=bogus")
+                .unwrap()
+                .status,
+            400
+        );
+        assert_eq!(
+            client::get(addr, "/skyline?dataset=s&dims=7")
+                .unwrap()
+                .status,
+            400
+        );
+        assert_eq!(
+            client::get(addr, "/skyline?dataset=s&algo=BNL&threads=2")
+                .unwrap()
+                .status,
+            400,
+            "BNL has no parallel engine"
+        );
+    }
+
+    #[test]
+    fn shutdown_endpoint_stops_the_server() {
+        let mut server = start_test_server();
+        let addr = server.local_addr();
+        let resp = client::post(addr, "/shutdown", "").unwrap();
+        assert_eq!(resp.status, 200);
+        server.wait(); // returns because the accept loop exited
+        assert!(client::get(addr, "/healthz").is_err(), "listener is closed");
+    }
+}

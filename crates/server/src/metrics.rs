@@ -1,0 +1,92 @@
+//! Server-side metrics, reusing the obs histogram for latencies.
+//!
+//! One [`Histogram`] per endpoint (power-of-two microsecond buckets, the
+//! same shape the trace summary uses) plus request/error counters. The
+//! `/metrics` endpoint renders this together with cache and registry
+//! state as one JSON object.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use skyline_obs::histogram::Histogram;
+use skyline_obs::json::ObjectWriter;
+
+#[derive(Default)]
+struct EndpointMetrics {
+    requests: u64,
+    errors: u64,
+    latency_us: Histogram,
+}
+
+/// Aggregated request counters, grouped by `"{method} {endpoint}"`.
+#[derive(Default)]
+pub struct ServerMetrics {
+    endpoints: Mutex<BTreeMap<String, EndpointMetrics>>,
+}
+
+impl ServerMetrics {
+    /// Empty metrics.
+    pub fn new() -> ServerMetrics {
+        ServerMetrics::default()
+    }
+
+    /// Record one finished request.
+    pub fn record(&self, method: &str, endpoint: &str, status: u16, elapsed_us: u64) {
+        let mut map = self.endpoints.lock().expect("metrics lock");
+        let m = map.entry(format!("{method} {endpoint}")).or_default();
+        m.requests += 1;
+        if status >= 400 {
+            m.errors += 1;
+        }
+        m.latency_us.record(elapsed_us);
+    }
+
+    /// Total requests across all endpoints.
+    pub fn total_requests(&self) -> u64 {
+        let map = self.endpoints.lock().expect("metrics lock");
+        map.values().map(|m| m.requests).sum()
+    }
+
+    /// Render per-endpoint stats as a JSON object (endpoint → stats).
+    pub fn render_json(&self) -> String {
+        let map = self.endpoints.lock().expect("metrics lock");
+        let mut out = ObjectWriter::new();
+        for (key, m) in map.iter() {
+            let mut ep = ObjectWriter::new();
+            ep.u64_field("requests", m.requests)
+                .u64_field("errors", m.errors)
+                .u64_field("latency_us_sum", m.latency_us.sum())
+                .u64_field("latency_us_max", m.latency_us.max());
+            if m.latency_us.count() > 0 {
+                ep.f64_field("latency_us_mean", m.latency_us.mean());
+            }
+            out.raw_field(key, &ep.finish());
+        }
+        out.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyline_obs::json::Value;
+
+    #[test]
+    fn records_and_renders_per_endpoint() {
+        let m = ServerMetrics::new();
+        m.record("GET", "/skyline", 200, 120);
+        m.record("GET", "/skyline", 200, 80);
+        m.record("GET", "/skyline", 404, 5);
+        m.record("GET", "/healthz", 200, 1);
+        assert_eq!(m.total_requests(), 4);
+
+        let v = Value::parse(&m.render_json()).expect("valid json");
+        let sky = v.get("GET /skyline").expect("endpoint present");
+        assert_eq!(sky.get("requests").unwrap().as_u64(), Some(3));
+        assert_eq!(sky.get("errors").unwrap().as_u64(), Some(1));
+        assert_eq!(sky.get("latency_us_sum").unwrap().as_u64(), Some(205));
+        assert_eq!(sky.get("latency_us_max").unwrap().as_u64(), Some(120));
+        let health = v.get("GET /healthz").expect("endpoint present");
+        assert_eq!(health.get("errors").unwrap().as_u64(), Some(0));
+    }
+}

@@ -1,0 +1,117 @@
+//! A fixed-size worker thread pool over `std::sync::mpsc`.
+//!
+//! Connections are queued as boxed jobs; workers pull from a shared
+//! receiver. Dropping the sender is the shutdown signal: workers finish
+//! the job in hand, drain whatever is already queued, and exit — so a
+//! graceful shutdown never truncates an in-flight response.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The pool has been shut down; the job was not queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolClosed;
+
+impl std::fmt::Display for PoolClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool is shut down")
+    }
+}
+
+/// Fixed-size worker pool.
+pub struct ThreadPool {
+    workers: Vec<JoinHandle<()>>,
+    sender: Option<Sender<Job>>,
+}
+
+impl ThreadPool {
+    /// Spawn `size` workers (minimum 1) named `{name}-{i}`.
+    pub fn new(size: usize, name: &str) -> ThreadPool {
+        let size = size.max(1);
+        let (sender, receiver): (Sender<Job>, Receiver<Job>) = channel();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..size)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || loop {
+                        // Holding the lock only for the recv keeps the
+                        // other workers free to pick up queued jobs.
+                        let job = match receiver.lock() {
+                            Ok(rx) => rx.recv(),
+                            Err(_) => break, // a worker panicked mid-recv
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // sender dropped: shutdown
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        ThreadPool {
+            workers,
+            sender: Some(sender),
+        }
+    }
+
+    /// Number of workers.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queue a job. Fails only after [`ThreadPool::shutdown`].
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) -> Result<(), PoolClosed> {
+        match &self.sender {
+            Some(tx) => tx.send(Box::new(job)).map_err(|_| PoolClosed),
+            None => Err(PoolClosed),
+        }
+    }
+
+    /// Stop accepting jobs, drain the queue, and join every worker.
+    pub fn shutdown(&mut self) {
+        self.sender.take(); // closing the channel is the signal
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_queued_job_before_joining() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut pool = ThreadPool::new(4, "test");
+        assert_eq!(pool.size(), 4);
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+        assert!(pool.execute(|| ()).is_err(), "closed after shutdown");
+    }
+
+    #[test]
+    fn zero_size_is_clamped_to_one() {
+        let pool = ThreadPool::new(0, "clamp");
+        assert_eq!(pool.size(), 1);
+    }
+}

@@ -1,0 +1,378 @@
+//! The dataset registry: named, resident, mutable datasets.
+//!
+//! Each dataset is a [`StreamingSkyline`] (so inserts and deletes update
+//! the skyline incrementally) plus a cached immutable *snapshot* — the
+//! live rows materialised as a batch [`Dataset`] with a row-index →
+//! stream-handle map. The snapshot is rebuilt under the write lock at
+//! mutation time, so readers never pay the materialisation: they take the
+//! read lock just long enough to clone an `Arc`, then compute against a
+//! consistent version with no locks held.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, RwLock};
+
+use skyline_core::dataset::Dataset;
+use skyline_core::metrics::Metrics;
+use skyline_core::point::PointId;
+use skyline_core::streaming::StreamingSkyline;
+
+/// Errors raised by registry operations.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// A dataset with this name already exists.
+    Exists(String),
+    /// No dataset with this name.
+    Unknown(String),
+    /// The dataset name is empty, too long, or has unsafe characters.
+    BadName(String),
+    /// Rows failed validation (shape, NaN) or core rejected them.
+    BadData(String),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Exists(n) => write!(f, "dataset {n:?} already exists"),
+            RegistryError::Unknown(n) => write!(f, "no such dataset {n:?}"),
+            RegistryError::BadName(n) => {
+                write!(f, "bad dataset name {n:?} (1-64 chars from [A-Za-z0-9._-])")
+            }
+            RegistryError::BadData(m) => write!(f, "bad data: {m}"),
+        }
+    }
+}
+
+/// An immutable view of one dataset version.
+///
+/// `dataset.point(i)` is the row of stream handle `handles[i]`; any batch
+/// skyline over `dataset` maps back to stable public ids through
+/// `handles`. `dataset` is `None` when the version is empty.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// Content version this snapshot materialises.
+    pub version: u64,
+    /// Row index → stream handle, ascending.
+    pub handles: Vec<PointId>,
+    /// The live rows as a batch dataset (`None` when empty).
+    pub dataset: Option<Dataset>,
+}
+
+/// Summary row for listings and `/metrics`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetInfo {
+    /// Dataset name.
+    pub name: String,
+    /// Dimensionality.
+    pub dims: usize,
+    /// Live points.
+    pub points: usize,
+    /// Current incremental skyline cardinality.
+    pub skyline_len: usize,
+    /// Content version.
+    pub version: u64,
+}
+
+struct Inner {
+    stream: StreamingSkyline,
+    snapshot: Arc<Snapshot>,
+}
+
+/// One named dataset: a streaming skyline plus its current snapshot.
+pub struct DatasetEntry {
+    name: String,
+    dims: usize,
+    inner: RwLock<Inner>,
+}
+
+fn build_snapshot(stream: &StreamingSkyline) -> Result<Arc<Snapshot>, RegistryError> {
+    let (handles, rows) = stream.snapshot_rows();
+    let dataset = if rows.is_empty() {
+        None
+    } else {
+        Some(Dataset::from_rows(&rows).map_err(|e| RegistryError::BadData(e.to_string()))?)
+    };
+    Ok(Arc::new(Snapshot {
+        version: stream.version(),
+        handles,
+        dataset,
+    }))
+}
+
+impl DatasetEntry {
+    fn new(name: &str, dims: usize, rows: &[Vec<f64>]) -> Result<DatasetEntry, RegistryError> {
+        let mut stream =
+            StreamingSkyline::new(dims).map_err(|e| RegistryError::BadData(e.to_string()))?;
+        validate_rows(rows, dims)?;
+        let mut metrics = Metrics::new();
+        for row in rows {
+            stream
+                .insert(row, &mut metrics)
+                .map_err(|e| RegistryError::BadData(e.to_string()))?;
+        }
+        let snapshot = build_snapshot(&stream)?;
+        Ok(DatasetEntry {
+            name: name.to_string(),
+            dims,
+            inner: RwLock::new(Inner { stream, snapshot }),
+        })
+    }
+
+    /// Dataset name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The current snapshot (lock held only for the `Arc` clone).
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.inner.read().expect("registry lock").snapshot)
+    }
+
+    /// Summary counters.
+    pub fn info(&self) -> DatasetInfo {
+        let inner = self.inner.read().expect("registry lock");
+        DatasetInfo {
+            name: self.name.clone(),
+            dims: self.dims,
+            points: inner.stream.len(),
+            skyline_len: inner.stream.skyline_len(),
+            version: inner.stream.version(),
+        }
+    }
+
+    /// The incrementally maintained full-space skyline with its version.
+    pub fn streaming_skyline(&self) -> (u64, Vec<PointId>) {
+        let inner = self.inner.read().expect("registry lock");
+        (inner.stream.version(), inner.stream.skyline())
+    }
+
+    /// Insert rows (all-or-nothing), returning their handles and the new
+    /// `(version, skyline_len)`.
+    pub fn insert_rows(
+        &self,
+        rows: &[Vec<f64>],
+    ) -> Result<(Vec<PointId>, u64, usize), RegistryError> {
+        validate_rows(rows, self.dims)?;
+        let mut inner = self.inner.write().expect("registry lock");
+        let mut metrics = Metrics::new();
+        let mut ids = Vec::with_capacity(rows.len());
+        for row in rows {
+            // Cannot fail: rows were validated above.
+            let id = inner
+                .stream
+                .insert(row, &mut metrics)
+                .map_err(|e| RegistryError::BadData(e.to_string()))?;
+            ids.push(id);
+        }
+        inner.snapshot = build_snapshot(&inner.stream)?;
+        Ok((ids, inner.stream.version(), inner.stream.skyline_len()))
+    }
+
+    /// Remove points by handle, returning how many were live and the new
+    /// `(version, skyline_len)`. Unknown or already-deleted handles are
+    /// counted out, not errors.
+    pub fn remove_ids(&self, ids: &[PointId]) -> Result<(usize, u64, usize), RegistryError> {
+        let mut inner = self.inner.write().expect("registry lock");
+        let mut metrics = Metrics::new();
+        let mut removed = 0;
+        for &id in ids {
+            if inner.stream.remove(id, &mut metrics) {
+                removed += 1;
+            }
+        }
+        if removed > 0 {
+            inner.snapshot = build_snapshot(&inner.stream)?;
+        }
+        Ok((removed, inner.stream.version(), inner.stream.skyline_len()))
+    }
+}
+
+fn validate_rows(rows: &[Vec<f64>], dims: usize) -> Result<(), RegistryError> {
+    for (i, row) in rows.iter().enumerate() {
+        if row.len() != dims {
+            return Err(RegistryError::BadData(format!(
+                "row {i} has {} values, expected {dims}",
+                row.len()
+            )));
+        }
+        if let Some(at) = row.iter().position(|v| v.is_nan()) {
+            return Err(RegistryError::BadData(format!(
+                "row {i}, dimension {at} is NaN"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn validate_name(name: &str) -> Result<(), RegistryError> {
+    let ok = !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'));
+    if ok {
+        Ok(())
+    } else {
+        Err(RegistryError::BadName(name.to_string()))
+    }
+}
+
+/// All resident datasets, by name. The outer `RwLock` guards the name
+/// table only; per-dataset state has its own lock, so queries against one
+/// dataset never block loads of another.
+#[derive(Default)]
+pub struct Registry {
+    datasets: RwLock<HashMap<String, Arc<DatasetEntry>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Create a dataset from rows. `dims` must be given when `rows` is
+    /// empty; otherwise it must match the rows.
+    pub fn create(
+        &self,
+        name: &str,
+        dims: usize,
+        rows: &[Vec<f64>],
+    ) -> Result<Arc<DatasetEntry>, RegistryError> {
+        validate_name(name)?;
+        let entry = Arc::new(DatasetEntry::new(name, dims, rows)?);
+        let mut map = self.datasets.write().expect("registry lock");
+        if map.contains_key(name) {
+            return Err(RegistryError::Exists(name.to_string()));
+        }
+        map.insert(name.to_string(), Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Look a dataset up by name.
+    pub fn get(&self, name: &str) -> Result<Arc<DatasetEntry>, RegistryError> {
+        self.datasets
+            .read()
+            .expect("registry lock")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RegistryError::Unknown(name.to_string()))
+    }
+
+    /// Summaries of every dataset, sorted by name.
+    pub fn list(&self) -> Vec<DatasetInfo> {
+        let mut infos: Vec<DatasetInfo> = self
+            .datasets
+            .read()
+            .expect("registry lock")
+            .values()
+            .map(|e| e.info())
+            .collect();
+        infos.sort_by(|a, b| a.name.cmp(&b.name));
+        infos
+    }
+
+    /// Number of resident datasets.
+    pub fn len(&self) -> usize {
+        self.datasets.read().expect("registry lock").len()
+    }
+
+    /// Whether no datasets are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(v: &[[f64; 2]]) -> Vec<Vec<f64>> {
+        v.iter().map(|r| r.to_vec()).collect()
+    }
+
+    #[test]
+    fn create_query_and_mutate() {
+        let reg = Registry::new();
+        let entry = reg
+            .create("demo", 2, &rows(&[[1.0, 5.0], [5.0, 1.0], [6.0, 6.0]]))
+            .unwrap();
+        let info = entry.info();
+        assert_eq!((info.points, info.skyline_len), (3, 2));
+        let snap = entry.snapshot();
+        assert_eq!(snap.handles, vec![0, 1, 2]);
+        assert_eq!(snap.version, 3, "one version bump per initial row");
+
+        let (ids, v, sky) = entry.insert_rows(&rows(&[[0.5, 0.5]])).unwrap();
+        assert_eq!(ids, vec![3]);
+        assert_eq!(v, 4);
+        assert_eq!(sky, 1, "new point dominates everything");
+        let (version, skyline) = entry.streaming_skyline();
+        assert_eq!(version, 4);
+        assert_eq!(skyline, vec![3]);
+
+        let (removed, v2, sky2) = entry.remove_ids(&[3, 99]).unwrap();
+        assert_eq!(removed, 1);
+        assert_eq!(v2, 5);
+        assert_eq!(sky2, 2, "old skyline resurfaces");
+        let snap2 = entry.snapshot();
+        assert_eq!(snap2.handles, vec![0, 1, 2]);
+        assert_eq!(snap2.version, 5);
+    }
+
+    #[test]
+    fn snapshot_is_immutable_across_mutations() {
+        let reg = Registry::new();
+        let entry = reg.create("pin", 2, &rows(&[[1.0, 2.0]])).unwrap();
+        let before = entry.snapshot();
+        entry.insert_rows(&rows(&[[0.0, 0.0]])).unwrap();
+        assert_eq!(before.handles, vec![0], "old snapshot unchanged");
+        assert_eq!(entry.snapshot().handles, vec![0, 1]);
+    }
+
+    #[test]
+    fn names_and_duplicates_are_validated() {
+        let reg = Registry::new();
+        assert!(matches!(
+            reg.create("", 2, &[]),
+            Err(RegistryError::BadName(_))
+        ));
+        assert!(matches!(
+            reg.create("no spaces", 2, &[]),
+            Err(RegistryError::BadName(_))
+        ));
+        reg.create("ok-name_1.2", 2, &[]).unwrap();
+        assert!(matches!(
+            reg.create("ok-name_1.2", 2, &[]),
+            Err(RegistryError::Exists(_))
+        ));
+        assert!(matches!(reg.get("missing"), Err(RegistryError::Unknown(_))));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn rows_are_validated_atomically() {
+        let reg = Registry::new();
+        let entry = reg.create("atomic", 2, &rows(&[[1.0, 1.0]])).unwrap();
+        let bad = vec![vec![2.0, 2.0], vec![3.0]];
+        assert!(entry.insert_rows(&bad).is_err());
+        assert_eq!(entry.info().points, 1, "nothing inserted on failure");
+        let nan = vec![vec![f64::NAN, 1.0]];
+        assert!(entry.insert_rows(&nan).is_err());
+    }
+
+    #[test]
+    fn empty_dataset_has_no_batch_snapshot() {
+        let reg = Registry::new();
+        let entry = reg.create("empty", 3, &[]).unwrap();
+        let snap = entry.snapshot();
+        assert_eq!(snap.version, 0);
+        assert!(snap.dataset.is_none());
+        assert!(snap.handles.is_empty());
+    }
+}

@@ -3,6 +3,53 @@
 use skyline_core::dataset::Dataset;
 use skyline_core::dominance::{dominance, DomRelation};
 use skyline_core::point::PointId;
+use skyline_obs::json::Value;
+
+/// The in-tree HTTP client, re-exported for the server tests.
+pub use skyline_serve::client as http_client;
+
+/// Start a `skyline-serve` instance on an ephemeral port with
+/// test-friendly defaults.
+pub fn start_server() -> skyline_serve::ServerHandle {
+    skyline_serve::Server::start(skyline_serve::ServerConfig {
+        threads: 4,
+        cache_capacity: 64,
+        ..Default::default()
+    })
+    .expect("start test server")
+}
+
+/// Render rows as the JSON array-of-arrays the server expects.
+/// `f64::to_string` round-trips exactly, so the server sees the same
+/// values the test computes with locally.
+pub fn rows_json(rows: &[Vec<f64>]) -> String {
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let vals: Vec<String> = r.iter().map(f64::to_string).collect();
+            format!("[{}]", vals.join(","))
+        })
+        .collect();
+    format!("[{}]", rendered.join(","))
+}
+
+/// Parse a `/skyline` response body into `(version, cached, ids)`.
+pub fn parse_skyline_response(body: &str) -> (u64, bool, Vec<PointId>) {
+    let v = Value::parse(body).unwrap_or_else(|e| panic!("bad JSON {body:?}: {e}"));
+    let version = v.get("version").and_then(Value::as_u64).expect("version");
+    let cached = match v.get("cached") {
+        Some(Value::Bool(b)) => *b,
+        other => panic!("bad \"cached\" field {other:?}"),
+    };
+    let ids = v
+        .get("ids")
+        .and_then(Value::as_arr)
+        .expect("ids")
+        .iter()
+        .map(|x| x.as_u64().expect("numeric id") as PointId)
+        .collect();
+    (version, cached, ids)
+}
 
 /// Brute-force quadratic skyline — the oracle every algorithm is checked
 /// against. Independent of any crate algorithm (including BNL).

@@ -1,0 +1,117 @@
+//! Concurrent-reader stress test: several reader threads query the
+//! skyline over HTTP while one writer streams inserts into the same
+//! dataset. Every response must equal the brute-force oracle **at the
+//! content version the response reports** — the registry's snapshot
+//! discipline means a reader never sees a half-applied mutation.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use skyline_core::dataset::Dataset;
+use skyline_core::point::PointId;
+use skyline_integration_tests::{
+    http_client as client, oracle_skyline, parse_skyline_response, rows_json, start_server,
+};
+
+const INITIAL: usize = 60;
+const STREAMED: usize = 90;
+const READERS: usize = 4;
+const QUERIES_PER_READER: usize = 25;
+
+fn all_rows() -> Vec<Vec<f64>> {
+    let spec = skyline_data::SyntheticSpec {
+        distribution: skyline_data::Distribution::AntiCorrelated,
+        cardinality: INITIAL + STREAMED,
+        dims: 4,
+        seed: 0x57AE55,
+    };
+    spec.generate()
+        .iter()
+        .map(|(_, row)| row.to_vec())
+        .collect()
+}
+
+/// Oracle skyline of the first `version` rows (insert-only stream ⇒
+/// content version v is exactly the prefix of length v, with identity
+/// handle mapping).
+fn oracle_at(
+    rows: &[Vec<f64>],
+    version: u64,
+    memo: &Mutex<HashMap<u64, Vec<PointId>>>,
+) -> Vec<PointId> {
+    if let Some(hit) = memo.lock().unwrap().get(&version) {
+        return hit.clone();
+    }
+    let prefix = Dataset::from_rows(&rows[..version as usize]).unwrap();
+    let skyline = oracle_skyline(&prefix);
+    memo.lock().unwrap().insert(version, skyline.clone());
+    skyline
+}
+
+#[test]
+fn concurrent_readers_always_see_a_consistent_version() {
+    let rows = all_rows();
+    let server = start_server();
+    let addr = server.local_addr();
+    let created = client::post(
+        addr,
+        "/datasets",
+        &format!(
+            "{{\"name\": \"stress\", \"rows\": {}}}",
+            rows_json(&rows[..INITIAL])
+        ),
+    )
+    .unwrap();
+    assert_eq!(created.status, 201, "{}", created.body_str());
+
+    let memo: Mutex<HashMap<u64, Vec<PointId>>> = Mutex::new(HashMap::new());
+    let algos = ["SFS", "SDI-Subset", "SaLSa-Subset", "P-SFS"];
+
+    std::thread::scope(|scope| {
+        // One writer, streaming the remaining rows one insert at a time.
+        let writer_rows = &rows;
+        scope.spawn(move || {
+            for row in &writer_rows[INITIAL..] {
+                let body = format!("{{\"rows\": {}}}", rows_json(std::slice::from_ref(row)));
+                let resp = client::post(addr, "/datasets/stress/points", &body).unwrap();
+                assert_eq!(resp.status, 200, "writer: {}", resp.body_str());
+            }
+        });
+
+        // N readers hammering /skyline with a rotation of engines.
+        for reader in 0..READERS {
+            let rows = &rows;
+            let memo = &memo;
+            scope.spawn(move || {
+                let mut last_version = 0u64;
+                for i in 0..QUERIES_PER_READER {
+                    let algo = algos[(reader + i) % algos.len()];
+                    let resp =
+                        client::get(addr, &format!("/skyline?dataset=stress&algo={algo}")).unwrap();
+                    assert_eq!(resp.status, 200, "reader {reader}: {}", resp.body_str());
+                    let (version, _, ids) = parse_skyline_response(&resp.body_str());
+                    assert!(
+                        (INITIAL as u64..=(INITIAL + STREAMED) as u64).contains(&version),
+                        "reader {reader} saw version {version}"
+                    );
+                    assert!(
+                        version >= last_version,
+                        "reader {reader}: version went backwards ({last_version} -> {version})"
+                    );
+                    last_version = version;
+                    let expected = oracle_at(rows, version, memo);
+                    assert_eq!(
+                        ids, expected,
+                        "reader {reader} iter {i}: {algo} at version {version} diverges from oracle"
+                    );
+                }
+            });
+        }
+    });
+
+    // After the writer finishes, the final version is fully visible.
+    let final_resp = client::get(addr, "/skyline?dataset=stress&algo=SFS").unwrap();
+    let (version, _, ids) = parse_skyline_response(&final_resp.body_str());
+    assert_eq!(version, (INITIAL + STREAMED) as u64);
+    assert_eq!(ids, oracle_at(&rows, version, &memo));
+}

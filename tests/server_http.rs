@@ -1,0 +1,204 @@
+//! End-to-end tests of the HTTP query service: byte-identical results
+//! between the HTTP path and a direct library call, cache-hit semantics
+//! on repeated queries, and cache invalidation under streaming
+//! maintenance.
+
+use skyline_algos::{algorithm_by_name, parallel_algorithm};
+use skyline_core::dataset::Dataset;
+use skyline_core::subspace::Subspace;
+use skyline_integration_tests::{
+    http_client as client, oracle_skyline, parse_skyline_response, rows_json, start_server,
+};
+
+fn workload_rows() -> Vec<Vec<f64>> {
+    let spec = skyline_data::SyntheticSpec {
+        distribution: skyline_data::Distribution::AntiCorrelated,
+        cardinality: 400,
+        dims: 5,
+        seed: 0xD1CE,
+    };
+    let data = spec.generate();
+    data.iter().map(|(_, row)| row.to_vec()).collect()
+}
+
+/// HTTP responses carry exactly the ids a direct library call produces,
+/// across sequential and parallel engines.
+#[test]
+fn http_skyline_matches_direct_library_call() {
+    let rows = workload_rows();
+    let data = Dataset::from_rows(&rows).unwrap();
+    let server = start_server();
+    let addr = server.local_addr();
+    let created = client::post(
+        addr,
+        "/datasets",
+        &format!("{{\"name\": \"w\", \"rows\": {}}}", rows_json(&rows)),
+    )
+    .unwrap();
+    assert_eq!(created.status, 201, "{}", created.body_str());
+
+    // Handles are 0..n for a freshly created dataset, so direct row ids
+    // and HTTP ids are directly comparable.
+    let oracle = oracle_skyline(&data);
+    for algo_name in ["SFS", "SaLSa-Subset", "SDI-Subset", "BSkyTree-S"] {
+        let resp = client::get(addr, &format!("/skyline?dataset=w&algo={algo_name}")).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body_str());
+        let (version, cached, ids) = parse_skyline_response(&resp.body_str());
+        assert_eq!(version, rows.len() as u64);
+        assert!(!cached, "first request for {algo_name} computes");
+        let direct = algorithm_by_name(algo_name).unwrap().compute(&data);
+        assert_eq!(ids, direct, "{algo_name}: HTTP != direct");
+        assert_eq!(ids, oracle, "{algo_name}: != oracle");
+    }
+
+    // Parallel engine, selected by P-* name and by ?threads=.
+    for query in ["algo=P-SFS-Subset", "algo=SDI-Subset&threads=3"] {
+        let resp = client::get(addr, &format!("/skyline?dataset=w&{query}")).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body_str());
+        let (_, _, ids) = parse_skyline_response(&resp.body_str());
+        let direct = parallel_algorithm("SFS-Subset", None, 3)
+            .unwrap()
+            .compute(&data);
+        assert_eq!(ids, direct, "{query}: HTTP != direct parallel");
+        assert_eq!(ids, oracle, "{query}: != oracle");
+    }
+}
+
+/// Subspace queries over HTTP match `project_dims` + compute locally.
+#[test]
+fn http_subspace_matches_direct_projection() {
+    let rows = workload_rows();
+    let data = Dataset::from_rows(&rows).unwrap();
+    let server = start_server();
+    let addr = server.local_addr();
+    client::post(
+        addr,
+        "/datasets",
+        &format!("{{\"name\": \"sub\", \"rows\": {}}}", rows_json(&rows)),
+    )
+    .unwrap();
+    for dims in [vec![0usize, 2], vec![1, 3, 4], vec![2]] {
+        let spec: Vec<String> = dims.iter().map(usize::to_string).collect();
+        let resp = client::get(
+            addr,
+            &format!("/skyline?dataset=sub&algo=SaLSa&dims={}", spec.join(",")),
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body_str());
+        let (_, _, ids) = parse_skyline_response(&resp.body_str());
+        let projected = data.project_dims(Subspace::from_dims(dims.iter().copied()));
+        let direct = algorithm_by_name("SaLSa").unwrap().compute(&projected);
+        assert_eq!(ids, direct, "dims {dims:?}: HTTP != direct");
+    }
+}
+
+/// The second identical request is served from the cache with the same
+/// ids; a different algorithm or subspace is a separate cache entry.
+#[test]
+fn second_identical_request_is_a_cache_hit() {
+    let rows = workload_rows();
+    let server = start_server();
+    let addr = server.local_addr();
+    client::post(
+        addr,
+        "/datasets",
+        &format!("{{\"name\": \"c\", \"rows\": {}}}", rows_json(&rows)),
+    )
+    .unwrap();
+
+    let first = client::get(addr, "/skyline?dataset=c&algo=SDI-Subset").unwrap();
+    let (v1, cached1, ids1) = parse_skyline_response(&first.body_str());
+    assert!(!cached1);
+    let second = client::get(addr, "/skyline?dataset=c&algo=SDI-Subset").unwrap();
+    let (v2, cached2, ids2) = parse_skyline_response(&second.body_str());
+    assert!(cached2, "identical request must hit the cache");
+    assert_eq!((v1, &ids1), (v2, &ids2), "cache returns identical ids");
+
+    // Same dataset, different algorithm: its own key, so a miss — but
+    // the same answer.
+    let other = client::get(addr, "/skyline?dataset=c&algo=SFS").unwrap();
+    let (_, cached3, ids3) = parse_skyline_response(&other.body_str());
+    assert!(!cached3);
+    assert_eq!(ids1, ids3);
+
+    let stats = server.cache_stats();
+    assert_eq!(stats.hits, 1, "{stats:?}");
+    assert_eq!(stats.misses, 2, "{stats:?}");
+}
+
+/// Streaming maintenance invalidates the cache: after an insert the next
+/// response recomputes and reflects the new point; after a delete it
+/// reflects the removal.
+#[test]
+fn streaming_mutation_invalidates_cache_and_updates_results() {
+    let rows = vec![
+        vec![1.0, 5.0, 5.0],
+        vec![5.0, 1.0, 5.0],
+        vec![5.0, 5.0, 1.0],
+        vec![6.0, 6.0, 6.0],
+    ];
+    let server = start_server();
+    let addr = server.local_addr();
+    client::post(
+        addr,
+        "/datasets",
+        &format!("{{\"name\": \"m\", \"rows\": {}}}", rows_json(&rows)),
+    )
+    .unwrap();
+
+    let warm = client::get(addr, "/skyline?dataset=m&algo=SFS").unwrap();
+    let (v0, _, ids0) = parse_skyline_response(&warm.body_str());
+    assert_eq!(ids0, vec![0, 1, 2]);
+    assert!(
+        parse_skyline_response(
+            &client::get(addr, "/skyline?dataset=m&algo=SFS")
+                .unwrap()
+                .body_str()
+        )
+        .1
+    );
+
+    // Insert a point that dominates everything.
+    let inserted =
+        client::post(addr, "/datasets/m/points", "{\"rows\": [[0.5, 0.5, 0.5]]}").unwrap();
+    assert_eq!(inserted.status, 200, "{}", inserted.body_str());
+    let after = client::get(addr, "/skyline?dataset=m&algo=SFS").unwrap();
+    let (v1, cached, ids1) = parse_skyline_response(&after.body_str());
+    assert!(!cached, "mutation invalidated the cached entry");
+    assert!(v1 > v0);
+    assert_eq!(ids1, vec![4], "the new point is the whole skyline");
+
+    // Remove it again: the old skyline resurfaces under a new version.
+    let removed = client::request(addr, "DELETE", "/datasets/m/points", b"{\"ids\": [4]}").unwrap();
+    assert_eq!(removed.status, 200, "{}", removed.body_str());
+    let last = client::get(addr, "/skyline?dataset=m&algo=SFS").unwrap();
+    let (v2, cached2, ids2) = parse_skyline_response(&last.body_str());
+    assert!(!cached2);
+    assert!(v2 > v1);
+    assert_eq!(ids2, vec![0, 1, 2]);
+}
+
+/// The synthetic-spec form of `POST /datasets` generates server-side and
+/// agrees with the same spec generated locally.
+#[test]
+fn synthetic_datasets_are_reproducible() {
+    let server = start_server();
+    let addr = server.local_addr();
+    let created = client::post(
+        addr,
+        "/datasets",
+        "{\"name\": \"gen\", \"synthetic\": {\"distribution\": \"AC\", \"n\": 250, \"dims\": 4, \"seed\": 7}}",
+    )
+    .unwrap();
+    assert_eq!(created.status, 201, "{}", created.body_str());
+    let resp = client::get(addr, "/skyline?dataset=gen&algo=SFS").unwrap();
+    let (_, _, ids) = parse_skyline_response(&resp.body_str());
+    let local = skyline_data::SyntheticSpec {
+        distribution: skyline_data::Distribution::AntiCorrelated,
+        cardinality: 250,
+        dims: 4,
+        seed: 7,
+    }
+    .generate();
+    assert_eq!(ids, oracle_skyline(&local));
+}

@@ -136,6 +136,9 @@ fn boosted_runs_emit_phase_spans_and_events() {
                 Event::ShardScan { .. } | Event::ParallelMerge { .. } => {
                     panic!("{name}: sequential run emitted a parallel event");
                 }
+                Event::Request { .. } | Event::CacheHit { .. } => {
+                    panic!("{name}: library run emitted a server event");
+                }
             }
         }
         assert!(merge_iterations > 0, "{name}: no merge telemetry");
