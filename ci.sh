@@ -87,6 +87,46 @@ if [[ "$quick" != "quick" ]]; then
     ./target/release/repro bench-json --serve --requests 3 \
         --out "$tmp/BENCH_SERVE.json" 2>/dev/null
     grep -q '"req_per_sec"' "$tmp/BENCH_SERVE.json"
+
+    echo "==> chaos smoke: kill -9 mid-flight, reboot from the WAL, same answer"
+    ./target/release/skyline serve --port 0 --threads 2 \
+        --data-dir "$tmp/data" --fsync always > "$tmp/crash.out" &
+    serve_pid=$!
+    for _ in $(seq 1 50); do
+        grep -q '^listening on ' "$tmp/crash.out" && break
+        sleep 0.1
+    done
+    addr=$(sed -n 's/^listening on //p' "$tmp/crash.out")
+    [[ -n "$addr" ]] || { echo "durable server never reported its address"; exit 1; }
+    curl -sf -X POST "http://$addr/datasets" \
+        -d '{"name": "crashy", "synthetic": {"distribution": "AC", "n": 200, "dims": 4, "seed": 9}}' \
+        | grep -q '"points":200'
+    curl -sf -X POST "http://$addr/datasets/crashy/points" \
+        -d '{"rows": [[0.001, 0.001, 0.001, 0.001]]}' | grep -q '"inserted":1'
+    before=$(curl -sf "http://$addr/skyline?dataset=crashy&algo=SFS")
+    kill -9 "$serve_pid"    # hard crash: no graceful shutdown, no final flush
+    wait "$serve_pid" 2>/dev/null || true
+
+    ./target/release/skyline serve --port 0 --threads 2 \
+        --data-dir "$tmp/data" > "$tmp/reboot.out" &
+    serve_pid=$!
+    for _ in $(seq 1 50); do
+        grep -q '^listening on ' "$tmp/reboot.out" && break
+        sleep 0.1
+    done
+    addr=$(sed -n 's/^listening on //p' "$tmp/reboot.out")
+    [[ -n "$addr" ]] || { echo "rebooted server never reported its address"; exit 1; }
+    after=$(curl -sf "http://$addr/skyline?dataset=crashy&algo=SFS")
+    before_core=$(printf '%s' "$before" | sed 's/"elapsed_us":[0-9]*//')
+    after_core=$(printf '%s' "$after" | sed 's/"elapsed_us":[0-9]*//')
+    [[ "$before_core" == "$after_core" ]] || {
+        echo "recovery mismatch:"; echo "  before: $before"; echo "  after:  $after"; exit 1; }
+    curl -sf "http://$addr/metrics" | grep -q '"recovery_replayed_records":20[12]'
+    curl -sf -X POST "http://$addr/shutdown" | grep -q 'shutting down'
+    wait "$serve_pid"
+
+    echo "==> opt-in: chaos fault-injection harness"
+    cargo test -q -p skyline-integration-tests --features chaos --test chaos
 fi
 
 echo "CI OK"

@@ -10,11 +10,14 @@
 //! `sigma = None` selects the paper's recommended stability threshold
 //! `σ = round(d/3)` at run time.
 
-use skyline_core::boost::{boosted_skyline, boosted_skyline_traced, BoostConfig, SortStrategy};
+use skyline_core::boost::{
+    boosted_skyline, boosted_skyline_cancellable, boosted_skyline_traced, BoostConfig, SortStrategy,
+};
+use skyline_core::cancel::{CancelToken, Cancelled, CHECK_STRIDE};
 use skyline_core::container::{SkylineContainer, SubsetContainer};
 use skyline_core::dataset::Dataset;
 use skyline_core::dominance::{dominates, lex_cmp, points_equal};
-use skyline_core::merge::{merge_traced, MergeConfig};
+use skyline_core::merge::{merge_traced_cancel, MergeConfig};
 use skyline_core::metrics::Metrics;
 use skyline_core::point::{coordinate_sum, PointId};
 use skyline_obs::{NoopRecorder, Recorder};
@@ -60,6 +63,20 @@ impl SkylineAlgorithm for SfsSubset {
         boosted_skyline(data, &config, metrics).skyline
     }
 
+    fn compute_cancellable(
+        &self,
+        data: &Dataset,
+        metrics: &mut Metrics,
+        cancel: &CancelToken,
+    ) -> Result<Vec<PointId>, Cancelled> {
+        let config = BoostConfig {
+            merge: merge_config(self.sigma, data.dims()),
+            sort: SortStrategy::Sum,
+            use_stop_point: false,
+        };
+        boosted_skyline_cancellable(data, &config, metrics, cancel).map(|o| o.skyline)
+    }
+
     fn compute_traced(
         &self,
         data: &Dataset,
@@ -101,6 +118,20 @@ impl SkylineAlgorithm for SalsaSubset {
             use_stop_point: true,
         };
         boosted_skyline(data, &config, metrics).skyline
+    }
+
+    fn compute_cancellable(
+        &self,
+        data: &Dataset,
+        metrics: &mut Metrics,
+        cancel: &CancelToken,
+    ) -> Result<Vec<PointId>, Cancelled> {
+        let config = BoostConfig {
+            merge: merge_config(self.sigma, data.dims()),
+            sort: SortStrategy::MinCoordinate,
+            use_stop_point: true,
+        };
+        boosted_skyline_cancellable(data, &config, metrics, cancel).map(|o| o.skyline)
     }
 
     fn compute_traced(
@@ -153,17 +184,43 @@ impl SkylineAlgorithm for SdiSubset {
         self.compute_traced(data, metrics, &mut NoopRecorder)
     }
 
+    fn compute_cancellable(
+        &self,
+        data: &Dataset,
+        metrics: &mut Metrics,
+        cancel: &CancelToken,
+    ) -> Result<Vec<PointId>, Cancelled> {
+        self.compute_traced_cancel(data, metrics, &mut NoopRecorder, cancel)
+    }
+
     fn compute_traced(
         &self,
         data: &Dataset,
         metrics: &mut Metrics,
         rec: &mut dyn Recorder,
     ) -> Vec<PointId> {
+        self.compute_traced_cancel(data, metrics, rec, &CancelToken::none())
+            .expect("the none token never cancels")
+    }
+}
+
+impl SdiSubset {
+    /// The full SDI-Subset machinery with tracing and cancellation. The
+    /// token is checked once per merge pivot and every [`CHECK_STRIDE`]
+    /// steps of the dimension traversal.
+    fn compute_traced_cancel(
+        &self,
+        data: &Dataset,
+        metrics: &mut Metrics,
+        rec: &mut dyn Recorder,
+        cancel: &CancelToken,
+    ) -> Result<Vec<PointId>, Cancelled> {
         let dims = data.dims();
-        let outcome = merge_traced(data, &merge_config(self.sigma, dims), metrics, rec);
+        let outcome =
+            merge_traced_cancel(data, &merge_config(self.sigma, dims), metrics, rec, cancel)?;
         let mut skyline = outcome.confirmed_skyline();
         if outcome.exhausted {
-            return skyline;
+            return Ok(skyline);
         }
         rec.span_start("sort");
 
@@ -224,7 +281,13 @@ impl SkylineAlgorithm for SdiSubset {
         let mut candidates: Vec<PointId> = Vec::new();
 
         // Breadth-first traversal among dimensions, as in plain SDI.
+        let mut steps = 0usize;
         loop {
+            if steps % CHECK_STRIDE == 0 && cancel.check().is_err() {
+                rec.span_end("scan");
+                return Err(Cancelled);
+            }
+            steps += 1;
             if pos[current] >= m {
                 match (0..dims)
                     .filter(|&d| pos[d] < m)
@@ -304,7 +367,7 @@ impl SkylineAlgorithm for SdiSubset {
         );
         skyline.sort_unstable();
         rec.span_end("scan");
-        skyline
+        Ok(skyline)
     }
 }
 

@@ -1,5 +1,6 @@
 //! Shared helpers for the algorithm implementations.
 
+use skyline_core::cancel::{CancelToken, Cancelled, CHECK_STRIDE};
 use skyline_core::dataset::Dataset;
 use skyline_core::dominance::{dominates, lex_cmp};
 use skyline_core::metrics::Metrics;
@@ -50,8 +51,23 @@ pub fn order_by_min_coordinate(data: &Dataset) -> Vec<PointId> {
 /// Precondition: `order` is ascending under a monotone key, so every
 /// dominator of a point precedes it.
 pub fn presorted_filter(data: &Dataset, order: &[PointId], metrics: &mut Metrics) -> Vec<PointId> {
+    presorted_filter_cancel(data, order, metrics, &CancelToken::none())
+        .expect("the none token never cancels")
+}
+
+/// [`presorted_filter`] with cooperative cancellation, checked every
+/// [`CHECK_STRIDE`] points of the scan.
+pub fn presorted_filter_cancel(
+    data: &Dataset,
+    order: &[PointId],
+    metrics: &mut Metrics,
+    cancel: &CancelToken,
+) -> Result<Vec<PointId>, Cancelled> {
     let mut skyline: Vec<PointId> = Vec::new();
-    for &id in order {
+    for (scanned, &id) in order.iter().enumerate() {
+        if scanned % CHECK_STRIDE == 0 {
+            cancel.check()?;
+        }
         let p = data.point(id);
         let mut dominated = false;
         for &s in &skyline {
@@ -65,7 +81,7 @@ pub fn presorted_filter(data: &Dataset, order: &[PointId], metrics: &mut Metrics
             skyline.push(id);
         }
     }
-    skyline
+    Ok(skyline)
 }
 
 /// Brute-force pairwise skyline of a subset of points — the base case of

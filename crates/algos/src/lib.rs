@@ -50,6 +50,7 @@ pub(crate) mod common;
 
 use std::time::Instant;
 
+use skyline_core::cancel::{CancelToken, Cancelled};
 use skyline_core::dataset::Dataset;
 use skyline_core::metrics::{Metrics, RunMeasurement};
 use skyline_core::point::PointId;
@@ -86,6 +87,25 @@ pub trait SkylineAlgorithm {
             elapsed,
             cardinality: data.len(),
         }
+    }
+
+    /// Compute the skyline with cooperative cancellation: return
+    /// `Err(Cancelled)` once `cancel` fires instead of running to
+    /// completion. The serving layer uses this for query deadlines.
+    ///
+    /// The default implementation checks the token once up front and then
+    /// runs the plain computation — correct for every algorithm (an
+    /// already-expired deadline is rejected before any work), with
+    /// cancellation latency bounded by one full run. The subset-boosted
+    /// and parallel engines override this with strided in-loop checks.
+    fn compute_cancellable(
+        &self,
+        data: &Dataset,
+        metrics: &mut Metrics,
+        cancel: &CancelToken,
+    ) -> Result<Vec<PointId>, Cancelled> {
+        cancel.check()?;
+        Ok(self.compute_with_metrics(data, metrics))
     }
 
     /// Compute the skyline with tracing. The default forwards to
@@ -284,6 +304,34 @@ mod tests {
                 "BSkyTree-P",
             ]
         );
+    }
+
+    #[test]
+    fn every_algorithm_supports_cancellation() {
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| {
+                vec![
+                    ((i * 7) % 13) as f64,
+                    ((i * 11) % 17) as f64,
+                    ((i * 5) % 19) as f64,
+                ]
+            })
+            .collect();
+        let data = skyline_core::dataset::Dataset::from_rows(&rows).unwrap();
+        let expired = CancelToken::with_deadline(std::time::Duration::ZERO);
+        for algo in all_algorithms() {
+            let mut m = Metrics::new();
+            assert!(
+                algo.compute_cancellable(&data, &mut m, &expired).is_err(),
+                "{} must reject an expired deadline",
+                algo.name()
+            );
+            let mut m2 = Metrics::new();
+            let sky = algo
+                .compute_cancellable(&data, &mut m2, &CancelToken::none())
+                .expect("none token never cancels");
+            assert_eq!(sky, algo.compute(&data), "{}", algo.name());
+        }
     }
 
     #[test]

@@ -37,6 +37,7 @@
 use std::thread;
 use std::time::Instant;
 
+use skyline_core::cancel::{CancelToken, Cancelled, CHECK_STRIDE};
 use skyline_core::container::{SkylineContainer, SubsetContainer};
 use skyline_core::dataset::Dataset;
 use skyline_core::dominance::{dominates, dominating_subspace, lex_cmp, points_equal};
@@ -45,7 +46,7 @@ use skyline_core::point::{coordinate_sum, max_coordinate, min_coordinate, PointI
 use skyline_core::subspace::Subspace;
 use skyline_obs::{Event, NoopRecorder, Recorder};
 
-use crate::common::presorted_filter;
+use crate::common::presorted_filter_cancel;
 use crate::SkylineAlgorithm;
 
 /// Resolve a requested worker count against the dataset size.
@@ -77,23 +78,26 @@ impl ParallelSfs {
     fn worker_count(&self, n: usize) -> usize {
         resolve_workers(self.threads, n)
     }
-}
 
-impl SkylineAlgorithm for ParallelSfs {
-    fn name(&self) -> &str {
-        "P-SFS"
-    }
-
-    fn compute_with_metrics(&self, data: &Dataset, metrics: &mut Metrics) -> Vec<PointId> {
+    /// The partition-merge pipeline with cooperative cancellation: every
+    /// worker's presorted filter checks the shared token, as does the
+    /// final merge filter.
+    fn compute_cancel_inner(
+        &self,
+        data: &Dataset,
+        metrics: &mut Metrics,
+        cancel: &CancelToken,
+    ) -> Result<Vec<PointId>, Cancelled> {
         let n = data.len();
         if n == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let workers = self.worker_count(n);
         let chunk = n.div_ceil(workers);
 
         // Phase 1: local skylines, one worker per chunk.
         let mut locals: Vec<(Vec<PointId>, Metrics)> = Vec::with_capacity(workers);
+        let mut cancelled = false;
         thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for w in 0..workers {
@@ -111,14 +115,22 @@ impl SkylineAlgorithm for ParallelSfs {
                             .then_with(|| lex_cmp(data.point(a), data.point(b)))
                             .then(a.cmp(&b))
                     });
-                    let local = presorted_filter(data, &ids, &mut local_metrics);
-                    (local, local_metrics)
+                    presorted_filter_cancel(data, &ids, &mut local_metrics, cancel)
+                        .map(|local| (local, local_metrics))
                 }));
             }
+            // Join every worker even when one reports cancellation: all of
+            // them share the token, so the stragglers abort promptly.
             for h in handles {
-                locals.push(h.join().expect("skyline worker panicked"));
+                match h.join().expect("skyline worker panicked") {
+                    Ok(pair) => locals.push(pair),
+                    Err(Cancelled) => cancelled = true,
+                }
             }
         });
+        if cancelled {
+            return Err(Cancelled);
+        }
 
         // Phase 2: merge the local skylines with one more presorted
         // filter over their union.
@@ -133,9 +145,29 @@ impl SkylineAlgorithm for ParallelSfs {
                 .then_with(|| lex_cmp(data.point(a), data.point(b)))
                 .then(a.cmp(&b))
         });
-        let mut skyline = presorted_filter(data, &merged, metrics);
+        let mut skyline = presorted_filter_cancel(data, &merged, metrics, cancel)?;
         skyline.sort_unstable();
-        skyline
+        Ok(skyline)
+    }
+}
+
+impl SkylineAlgorithm for ParallelSfs {
+    fn name(&self) -> &str {
+        "P-SFS"
+    }
+
+    fn compute_with_metrics(&self, data: &Dataset, metrics: &mut Metrics) -> Vec<PointId> {
+        self.compute_cancel_inner(data, metrics, &CancelToken::none())
+            .expect("the none token never cancels")
+    }
+
+    fn compute_cancellable(
+        &self,
+        data: &Dataset,
+        metrics: &mut Metrics,
+        cancel: &CancelToken,
+    ) -> Result<Vec<PointId>, Cancelled> {
+        self.compute_cancel_inner(data, metrics, cancel)
     }
 }
 
@@ -222,14 +254,28 @@ impl<A: SkylineAlgorithm + Sync> ParallelBoosted<A> {
     /// spans) closed by one [`Event::ParallelMerge`] carrying the shard
     /// skyline sizes.
     pub fn compute_detailed(&self, data: &Dataset, rec: &mut dyn Recorder) -> ParallelOutcome {
+        self.compute_detailed_cancel(data, rec, &CancelToken::none())
+            .expect("the none token never cancels")
+    }
+
+    /// [`ParallelBoosted::compute_detailed`] with cooperative
+    /// cancellation: every shard worker runs the wrapped algorithm's
+    /// cancellable entry point against the shared token, and the
+    /// cross-shard merge checks it every [`CHECK_STRIDE`] candidates.
+    pub fn compute_detailed_cancel(
+        &self,
+        data: &Dataset,
+        rec: &mut dyn Recorder,
+        cancel: &CancelToken,
+    ) -> Result<ParallelOutcome, Cancelled> {
         let n = data.len();
         if n == 0 {
-            return ParallelOutcome {
+            return Ok(ParallelOutcome {
                 workers: 0,
                 shards: Vec::new(),
                 merge_metrics: Metrics::new(),
                 skyline: Vec::new(),
-            };
+            });
         }
         let workers = resolve_workers(self.threads, n);
         let chunk = n.div_ceil(workers);
@@ -255,6 +301,7 @@ impl<A: SkylineAlgorithm + Sync> ParallelBoosted<A> {
         // exact.
         rec.span_start("parallel_scan");
         let mut shards: Vec<ShardRun> = Vec::with_capacity(workers);
+        let mut cancelled = false;
         thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for w in 0..workers {
@@ -272,7 +319,7 @@ impl<A: SkylineAlgorithm + Sync> ParallelBoosted<A> {
                     ids.extend(lo as u32..hi as u32);
                     let shard_data = data.project(&ids);
                     let mut metrics = Metrics::new();
-                    let local = inner.compute_with_metrics(&shard_data, &mut metrics);
+                    let local = inner.compute_cancellable(&shard_data, &mut metrics, cancel)?;
                     // Drop the ghost prefix and shift shard-local offsets
                     // back to global ids.
                     let skyline: Vec<PointId> = local
@@ -280,19 +327,28 @@ impl<A: SkylineAlgorithm + Sync> ParallelBoosted<A> {
                         .filter(|&id| id as usize >= ghosts)
                         .map(|id| id - ghosts as u32 + lo as u32)
                         .collect();
-                    ShardRun {
+                    Ok(ShardRun {
                         lo,
                         hi,
                         skyline,
                         metrics,
                         elapsed_us: start.elapsed().as_micros() as u64,
-                    }
+                    })
                 }));
             }
+            // Join every worker even on cancellation: the token is shared,
+            // so the rest abort promptly rather than being abandoned.
             for h in handles {
-                shards.push(h.join().expect("skyline worker panicked"));
+                match h.join().expect("skyline worker panicked") {
+                    Ok(shard) => shards.push(shard),
+                    Err(Cancelled) => cancelled = true,
+                }
             }
         });
+        if cancelled {
+            rec.span_end("parallel_scan");
+            return Err(Cancelled);
+        }
         if rec.enabled() {
             for (i, s) in shards.iter().enumerate() {
                 rec.event(Event::ShardScan {
@@ -312,9 +368,9 @@ impl<A: SkylineAlgorithm + Sync> ParallelBoosted<A> {
             shards[0].skyline.clone()
         } else {
             rec.span_start("parallel_merge");
-            let skyline = merge_shards(data, &shards, &elites, &mut merge_metrics, rec);
+            let merged = merge_shards(data, &shards, &elites, &mut merge_metrics, rec, cancel);
             rec.span_end("parallel_merge");
-            skyline
+            merged?
         };
         if rec.enabled() {
             rec.event(Event::ParallelMerge {
@@ -324,12 +380,12 @@ impl<A: SkylineAlgorithm + Sync> ParallelBoosted<A> {
                 dominance_tests: merge_metrics.dominance_tests,
             });
         }
-        ParallelOutcome {
+        Ok(ParallelOutcome {
             workers: shards.len(),
             shards,
             merge_metrics,
             skyline,
-        }
+        })
     }
 }
 
@@ -373,7 +429,8 @@ fn merge_shards(
     elites: &[PointId],
     metrics: &mut Metrics,
     rec: &mut dyn Recorder,
-) -> Vec<PointId> {
+    cancel: &CancelToken,
+) -> Result<Vec<PointId>, Cancelled> {
     let dims = data.dims();
 
     // Subspace assignment against the shared elite set, dropping points
@@ -382,6 +439,10 @@ fn merge_shards(
     rec.span_start("sort");
     let mut entries: Vec<(PointId, u32, Subspace)> = Vec::new();
     for (i, shard) in shards.iter().enumerate() {
+        if cancel.check().is_err() {
+            rec.span_end("sort");
+            return Err(Cancelled);
+        }
         'points: for &q in &shard.skyline {
             let q_row = data.point(q);
             let mut sub = Subspace::from_bits(0);
@@ -417,6 +478,10 @@ fn merge_shards(
         .collect();
     let mut candidates: Vec<PointId> = Vec::new();
     for (scanned, &(q, q_shard, q_sub)) in entries.iter().enumerate() {
+        if scanned % CHECK_STRIDE == 0 && cancel.check().is_err() {
+            rec.span_end("scan");
+            return Err(Cancelled);
+        }
         let q_row = data.point(q);
         if min_coordinate(q_row) > best_max {
             // The stop point strictly dominates q, and under minC
@@ -448,7 +513,7 @@ fn merge_shards(
     rec.span_end("scan");
 
     skyline.sort_unstable();
-    skyline
+    Ok(skyline)
 }
 
 impl<A: SkylineAlgorithm + Sync> SkylineAlgorithm for ParallelBoosted<A> {
@@ -458,6 +523,17 @@ impl<A: SkylineAlgorithm + Sync> SkylineAlgorithm for ParallelBoosted<A> {
 
     fn compute_with_metrics(&self, data: &Dataset, metrics: &mut Metrics) -> Vec<PointId> {
         self.compute_traced(data, metrics, &mut NoopRecorder)
+    }
+
+    fn compute_cancellable(
+        &self,
+        data: &Dataset,
+        metrics: &mut Metrics,
+        cancel: &CancelToken,
+    ) -> Result<Vec<PointId>, Cancelled> {
+        let outcome = self.compute_detailed_cancel(data, &mut NoopRecorder, cancel)?;
+        metrics.absorb(&outcome.total_metrics());
+        Ok(outcome.skyline)
     }
 
     fn compute_traced(
@@ -563,6 +639,32 @@ mod tests {
                 ParallelBoosted::new(SdiSubset::default(), threads).compute(&data),
                 expected,
                 "P-SDI-Subset threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn cancellable_runs_match_plain_and_honour_the_token() {
+        let data = pseudo_random_dataset(2000, 4);
+        let expected = Bnl.compute(&data);
+        let engines: Vec<Box<dyn SkylineAlgorithm>> = vec![
+            Box::new(ParallelSfs { threads: 3 }),
+            Box::new(ParallelBoosted::new(SfsSubset::default(), 3)),
+            Box::new(ParallelBoosted::new(SdiSubset::default(), 3)),
+        ];
+        for algo in engines {
+            let mut m = Metrics::new();
+            let sky = algo
+                .compute_cancellable(&data, &mut m, &CancelToken::none())
+                .expect("none token never cancels");
+            assert_eq!(sky, expected, "{}", algo.name());
+            let token = CancelToken::manual();
+            token.cancel();
+            let mut m2 = Metrics::new();
+            assert!(
+                algo.compute_cancellable(&data, &mut m2, &token).is_err(),
+                "{} must honour a cancelled token",
+                algo.name()
             );
         }
     }

@@ -12,7 +12,7 @@ use std::time::Instant;
 
 use skyline_data::SyntheticSpec;
 use skyline_obs::json::ObjectWriter;
-use skyline_serve::client::Session;
+use skyline_serve::client::{request_with_retry, RetryPolicy, Session};
 use skyline_serve::{Server, ServerConfig};
 
 /// One measured phase: sorted per-request latencies plus wall clock.
@@ -82,7 +82,6 @@ pub fn serve_bench_json(
         ..Default::default()
     })?;
     let addr = server.local_addr();
-    let mut session = Session::connect(addr)?;
 
     let create_body = format!(
         "{{\"name\": \"bench\", \"synthetic\": {{\"distribution\": \"{}\", \"n\": {}, \"dims\": {}, \"seed\": {}}}}}",
@@ -91,7 +90,16 @@ pub fn serve_bench_json(
         spec.dims,
         spec.seed
     );
-    let created = session.request("POST", "/datasets", create_body.as_bytes())?;
+    // Setup goes through the retrying client: a freshly started server
+    // under load may shed the first attempt, which must not fail the
+    // whole benchmark run.
+    let created = request_with_retry(
+        addr,
+        "POST",
+        "/datasets",
+        create_body.as_bytes(),
+        &RetryPolicy::default(),
+    )?;
     if created.status != 201 {
         return Err(std::io::Error::other(format!(
             "dataset creation failed: {}",
@@ -99,6 +107,7 @@ pub fn serve_bench_json(
         )));
     }
 
+    let mut session = Session::connect(addr)?;
     const QUERY: &str = "/skyline?dataset=bench&algo=SDI-Subset";
     // A point beaten by everything: the streaming insert is cheap and the
     // skyline itself never changes, so every cold sample does equal work.

@@ -9,6 +9,7 @@
 //! skyline stats    <input.csv>
 //! skyline tune     <input.csv> [--sample N]
 //! skyline serve    [--port P] [--bind ADDR] [--threads T] [--cache N] [--trace out.jsonl]
+//!                  [--data-dir DIR] [--fsync always|never|interval[=MS]] [--max-inflight N]
 //! skyline algorithms
 //! ```
 //!
@@ -19,7 +20,11 @@
 //!
 //! Serving: `skyline serve` starts the zero-dependency HTTP query
 //! service from the `skyline-serve` crate (dataset registry + result
-//! cache); stop it with `POST /shutdown`.
+//! cache); stop it with `POST /shutdown`. With `--data-dir` every
+//! mutation is write-ahead logged and datasets recover on restart;
+//! `--fsync` picks the durability/throughput trade-off and
+//! `--max-inflight` caps concurrent queries (excess load is shed with
+//! 503 + `Retry-After`).
 //!
 //! Tracing: `--trace <path>` (or the `SKYLINE_TRACE` environment
 //! variable) appends structured JSON-lines telemetry — spans, Merge
@@ -62,6 +67,7 @@ const USAGE: &str = "usage:
   skyline stats    <input.csv>
   skyline tune     <input.csv> [--sample N]
   skyline serve    [--port P] [--bind ADDR] [--threads T] [--cache N] [--trace out.jsonl]
+                   [--data-dir DIR] [--fsync always|never|interval[=MS]] [--max-inflight N]
   skyline algorithms
 
 parallel: --threads T runs the multi-core partition-merge engine (T=0 =
@@ -445,11 +451,27 @@ fn serve(args: &[String]) -> Result<(), String> {
             .filter(|p| !p.is_empty())
             .map(std::path::PathBuf::from),
     };
+    let data_dir = flag_value(args, "--data-dir")?.map(std::path::PathBuf::from);
+    let fsync = match flag_value(args, "--fsync")? {
+        None => skyline_serve::wal::FsyncPolicy::default(),
+        Some(v) => v
+            .parse()
+            .map_err(|_| "--fsync expects always, never, interval, or interval=<ms>")?,
+    };
+    let max_inflight: usize = match flag_value(args, "--max-inflight")? {
+        None => 0,
+        Some(v) => v
+            .parse()
+            .map_err(|_| "--max-inflight expects a query count (0 = unlimited)")?,
+    };
     let config = skyline_serve::ServerConfig {
         bind: format!("{bind}:{port}"),
         threads,
         cache_capacity,
         trace,
+        data_dir,
+        fsync,
+        max_inflight,
         ..Default::default()
     };
     let mut handle = skyline_serve::Server::start(config).map_err(|e| format!("serve: {e}"))?;

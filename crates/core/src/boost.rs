@@ -20,10 +20,11 @@
 
 use skyline_obs::{NoopRecorder, Recorder};
 
+use crate::cancel::{CancelToken, Cancelled, CHECK_STRIDE};
 use crate::container::{SkylineContainer, SubsetContainer};
 use crate::dataset::Dataset;
 use crate::dominance::{dominates, lex_cmp};
-use crate::merge::{merge_traced, MergeConfig, MergeOutcome};
+use crate::merge::{merge_traced_cancel, MergeConfig, MergeOutcome};
 use crate::metrics::Metrics;
 use crate::point::{coordinate_sum, max_coordinate, min_coordinate, PointId};
 use crate::subspace::Subspace;
@@ -130,14 +131,50 @@ pub fn boosted_skyline_traced_with(
     metrics: &mut Metrics,
     rec: &mut dyn Recorder,
 ) -> BoostOutcome {
-    let outcome = merge_traced(data, &config.merge, metrics, rec);
+    boosted_skyline_cancellable_with(data, config, container, metrics, rec, &CancelToken::none())
+        .expect("the none token never cancels")
+}
+
+/// Cancellable boosted run with the paper's subset container. The token
+/// is checked once per merge pivot and every [`CHECK_STRIDE`] points of
+/// the scan phase; on cancellation `Err(Cancelled)` is returned and the
+/// partial state is discarded.
+pub fn boosted_skyline_cancellable(
+    data: &Dataset,
+    config: &BoostConfig,
+    metrics: &mut Metrics,
+    cancel: &CancelToken,
+) -> Result<BoostOutcome, Cancelled> {
+    let mut container: SubsetContainer = SubsetContainer::new(data.dims());
+    boosted_skyline_cancellable_with(
+        data,
+        config,
+        &mut container,
+        metrics,
+        &mut NoopRecorder,
+        cancel,
+    )
+}
+
+/// [`boosted_skyline_traced_with`] with cooperative cancellation — the
+/// full-generality entry point the serving layer's deadline support is
+/// built on.
+pub fn boosted_skyline_cancellable_with(
+    data: &Dataset,
+    config: &BoostConfig,
+    container: &mut dyn SkylineContainer,
+    metrics: &mut Metrics,
+    rec: &mut dyn Recorder,
+    cancel: &CancelToken,
+) -> Result<BoostOutcome, Cancelled> {
+    let outcome = merge_traced_cancel(data, &config.merge, metrics, rec, cancel)?;
     let mut skyline = outcome.confirmed_skyline();
     if outcome.exhausted {
-        return BoostOutcome {
+        return Ok(BoostOutcome {
             skyline,
             pivots: outcome.pivots.len(),
             merge_exhausted: true,
-        };
+        });
     }
     scan_survivors(
         data,
@@ -147,13 +184,14 @@ pub fn boosted_skyline_traced_with(
         &mut skyline,
         metrics,
         rec,
-    );
+        cancel,
+    )?;
     skyline.sort_unstable();
-    BoostOutcome {
+    Ok(BoostOutcome {
         skyline,
         pivots: outcome.pivots.len(),
         merge_exhausted: false,
-    }
+    })
 }
 
 /// The scan phase: presort the merge survivors and filter them through the
@@ -167,7 +205,8 @@ fn scan_survivors(
     skyline: &mut Vec<PointId>,
     metrics: &mut Metrics,
     rec: &mut dyn Recorder,
-) {
+    cancel: &CancelToken,
+) -> Result<(), Cancelled> {
     rec.span_start("sort");
     let dims = data.dims();
     let mut min_corner = vec![f64::INFINITY; dims];
@@ -215,6 +254,10 @@ fn scan_survivors(
 
     let mut candidates: Vec<PointId> = Vec::new();
     for (scanned, &pos) in order.iter().enumerate() {
+        if scanned % CHECK_STRIDE == 0 && cancel.check().is_err() {
+            rec.span_end("scan");
+            return Err(Cancelled);
+        }
         let q = outcome.survivors[pos as usize];
         let q_row = data.point(q);
         if config.use_stop_point && min_coordinate(q_row) > best_max {
@@ -251,6 +294,7 @@ fn scan_survivors(
         }
     }
     rec.span_end("scan");
+    Ok(())
 }
 
 /// Minimal deterministic PRNG for the fuzz tests below. `skyline-core`
@@ -449,6 +493,27 @@ mod tests {
             let mut m = Metrics::new();
             let out = boosted_skyline(&data, &config, &mut m);
             assert_eq!(out.skyline, vec![0]);
+        }
+    }
+
+    #[test]
+    fn cancellable_run_matches_plain_and_honours_the_token() {
+        let data = grid_dataset();
+        for config in configs(data.dims()) {
+            let mut m1 = Metrics::new();
+            let mut m2 = Metrics::new();
+            let plain = boosted_skyline(&data, &config, &mut m1);
+            let free = boosted_skyline_cancellable(&data, &config, &mut m2, &CancelToken::none())
+                .expect("none token never cancels");
+            assert_eq!(plain.skyline, free.skyline);
+
+            let token = CancelToken::manual();
+            token.cancel();
+            let mut m3 = Metrics::new();
+            assert!(
+                boosted_skyline_cancellable(&data, &config, &mut m3, &token).is_err(),
+                "cancelled token must abort"
+            );
         }
     }
 

@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 
 pub mod boost;
+pub mod cancel;
 pub mod container;
 pub mod dataset;
 pub mod dominance;
@@ -63,8 +64,10 @@ pub mod tuner;
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::boost::{
-        boosted_skyline, boosted_skyline_with, BoostConfig, BoostOutcome, SortStrategy,
+        boosted_skyline, boosted_skyline_cancellable, boosted_skyline_with, BoostConfig,
+        BoostOutcome, SortStrategy,
     };
+    pub use crate::cancel::{CancelToken, Cancelled};
     pub use crate::container::{ListContainer, SkylineContainer, SubsetContainer};
     pub use crate::dataset::Dataset;
     pub use crate::dominance::{dominance, dominates, dominating_subspace, DomRelation};

@@ -28,6 +28,7 @@
 
 use skyline_obs::{Event, NoopRecorder, Recorder};
 
+use crate::cancel::{CancelToken, Cancelled};
 use crate::dataset::Dataset;
 use crate::dominance::{dominating_subspace, lex_cmp, points_equal};
 use crate::error::{Error, Result};
@@ -167,8 +168,23 @@ pub fn merge_traced(
     metrics: &mut Metrics,
     rec: &mut dyn Recorder,
 ) -> MergeOutcome {
+    merge_traced_cancel(data, config, metrics, rec, &CancelToken::none())
+        .expect("the none token never cancels")
+}
+
+/// [`merge_traced`] with cooperative cancellation: the token is checked
+/// once per pivot iteration (each iteration is a full pass over the
+/// survivors, so per-iteration granularity bounds cancellation latency to
+/// `O(N)` dominance tests).
+pub fn merge_traced_cancel(
+    data: &Dataset,
+    config: &MergeConfig,
+    metrics: &mut Metrics,
+    rec: &mut dyn Recorder,
+    cancel: &CancelToken,
+) -> std::result::Result<MergeOutcome, Cancelled> {
     rec.span_start("merge");
-    let out = merge_inner(data, config, metrics, rec);
+    let out = merge_inner(data, config, metrics, rec, cancel);
     rec.span_end("merge");
     out
 }
@@ -178,7 +194,8 @@ fn merge_inner(
     config: &MergeConfig,
     metrics: &mut Metrics,
     rec: &mut dyn Recorder,
-) -> MergeOutcome {
+    cancel: &CancelToken,
+) -> std::result::Result<MergeOutcome, Cancelled> {
     let dims = data.dims();
     let n = data.len();
 
@@ -232,6 +249,7 @@ fn merge_inner(
     let mut iterations = 0usize;
 
     loop {
+        cancel.check()?;
         if survivors.is_empty() || pivots.len() >= config.max_pivots {
             break;
         }
@@ -315,14 +333,14 @@ fn merge_inner(
     let out_subspaces: Vec<Subspace> = survivors.iter().map(|&q| subspaces[q as usize]).collect();
     debug_assert!(out_subspaces.iter().all(|s| !s.is_empty()));
     let exhausted = survivors.is_empty();
-    MergeOutcome {
+    Ok(MergeOutcome {
         pivots,
         duplicate_skyline,
         survivors,
         subspaces: out_subspaces,
         exhausted,
         iterations,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -525,6 +543,22 @@ mod tests {
         );
         assert!(out.exhausted);
         assert_eq!(out.confirmed_skyline(), vec![0, 1]);
+    }
+
+    #[test]
+    fn cancelled_token_aborts_the_merge() {
+        let data = small_dataset();
+        let mut m = Metrics::new();
+        let token = CancelToken::manual();
+        token.cancel();
+        let out = merge_traced_cancel(
+            &data,
+            &MergeConfig::recommended(2),
+            &mut m,
+            &mut NoopRecorder,
+            &token,
+        );
+        assert!(matches!(out, Err(Cancelled)));
     }
 
     #[test]

@@ -1,9 +1,8 @@
 //! Typed trace events.
 //!
 //! Every event serialises to one JSON-lines record with a `"type"`
-//! discriminator. Together with the two span records the recorders emit
-//! (`span_start` / `span_end`), a trace file contains eight distinct
-//! record types.
+//! discriminator; the recorders add two span record types
+//! (`span_start` / `span_end`) on top.
 
 use crate::histogram::{Histogram, BUCKETS};
 use crate::json::{ObjectWriter, Value};
@@ -104,6 +103,34 @@ pub enum Event {
         /// Dataset content version the result was computed at.
         version: u64,
     },
+    /// A request was shed by the server's overload gate (503).
+    Shed {
+        /// Normalised endpoint the shed request targeted.
+        endpoint: String,
+    },
+    /// A skyline query was cancelled at its client-supplied deadline.
+    DeadlineExceeded {
+        /// Dataset name the query targeted.
+        dataset: String,
+        /// Algorithm the query requested.
+        algorithm: String,
+        /// The deadline the client asked for, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// A request handler panicked and was isolated into a 500.
+    HandlerPanic {
+        /// Normalised endpoint whose handler panicked.
+        endpoint: String,
+    },
+    /// One dataset was recovered from its WAL/snapshot at boot.
+    Recovery {
+        /// Dataset name.
+        dataset: String,
+        /// WAL records replayed on top of the snapshot.
+        replayed: u64,
+        /// Content version the dataset recovered to.
+        version: u64,
+    },
     /// One algorithm run finished.
     RunSummary {
         /// Algorithm display name.
@@ -160,6 +187,10 @@ impl Event {
             Event::ParallelMerge { .. } => "parallel_merge",
             Event::Request { .. } => "request",
             Event::CacheHit { .. } => "cache_hit",
+            Event::Shed { .. } => "shed",
+            Event::DeadlineExceeded { .. } => "deadline_exceeded",
+            Event::HandlerPanic { .. } => "handler_panic",
+            Event::Recovery { .. } => "recovery",
             Event::RunSummary { .. } => "run_summary",
         }
     }
@@ -252,6 +283,30 @@ impl Event {
                     .str_field("algorithm", algorithm)
                     .u64_field("version", *version);
             }
+            Event::Shed { endpoint } => {
+                w.str_field("endpoint", endpoint);
+            }
+            Event::DeadlineExceeded {
+                dataset,
+                algorithm,
+                deadline_ms,
+            } => {
+                w.str_field("dataset", dataset)
+                    .str_field("algorithm", algorithm)
+                    .u64_field("deadline_ms", *deadline_ms);
+            }
+            Event::HandlerPanic { endpoint } => {
+                w.str_field("endpoint", endpoint);
+            }
+            Event::Recovery {
+                dataset,
+                replayed,
+                version,
+            } => {
+                w.str_field("dataset", dataset)
+                    .u64_field("replayed", *replayed)
+                    .u64_field("version", *version);
+            }
             Event::RunSummary {
                 algorithm,
                 skyline_size,
@@ -316,6 +371,22 @@ impl Event {
             "cache_hit" => Some(Event::CacheHit {
                 dataset: v.get("dataset")?.as_str()?.to_string(),
                 algorithm: v.get("algorithm")?.as_str()?.to_string(),
+                version: v.get("version")?.as_u64()?,
+            }),
+            "shed" => Some(Event::Shed {
+                endpoint: v.get("endpoint")?.as_str()?.to_string(),
+            }),
+            "deadline_exceeded" => Some(Event::DeadlineExceeded {
+                dataset: v.get("dataset")?.as_str()?.to_string(),
+                algorithm: v.get("algorithm")?.as_str()?.to_string(),
+                deadline_ms: v.get("deadline_ms")?.as_u64()?,
+            }),
+            "handler_panic" => Some(Event::HandlerPanic {
+                endpoint: v.get("endpoint")?.as_str()?.to_string(),
+            }),
+            "recovery" => Some(Event::Recovery {
+                dataset: v.get("dataset")?.as_str()?.to_string(),
+                replayed: v.get("replayed")?.as_u64()?,
                 version: v.get("version")?.as_u64()?,
             }),
             "run_summary" => Some(Event::RunSummary {
@@ -385,6 +456,22 @@ mod tests {
                 dataset: "hotels".into(),
                 algorithm: "SDI-Subset".into(),
                 version: 17,
+            },
+            Event::Shed {
+                endpoint: "/skyline".into(),
+            },
+            Event::DeadlineExceeded {
+                dataset: "hotels".into(),
+                algorithm: "SDI-Subset".into(),
+                deadline_ms: 25,
+            },
+            Event::HandlerPanic {
+                endpoint: "/skyline".into(),
+            },
+            Event::Recovery {
+                dataset: "hotels".into(),
+                replayed: 42,
+                version: 58,
             },
             Event::RunSummary {
                 algorithm: "SFS-SUBSET".into(),

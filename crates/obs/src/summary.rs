@@ -83,6 +83,16 @@ pub struct TraceSummary {
     pub endpoints: BTreeMap<String, EndpointStats>,
     /// Server: skyline queries answered from the result cache.
     pub cache_hits: u64,
+    /// Server: requests shed by the overload gate (503).
+    pub shed_total: u64,
+    /// Server: queries cancelled at their deadline (504).
+    pub deadline_exceeded_total: u64,
+    /// Server: handler panics isolated into 500s.
+    pub panics_total: u64,
+    /// Server: datasets recovered from WAL/snapshot at boot.
+    pub recoveries: u64,
+    /// Server: WAL records replayed across all boot recoveries.
+    pub recovery_replayed: u64,
     /// Merged distribution of trie query depth.
     pub trie_depth: Histogram,
     /// Merged distribution of candidates returned per container query.
@@ -188,6 +198,13 @@ impl TraceSummary {
                     stats.max_us = stats.max_us.max(elapsed_us);
                 }
                 Some(Event::CacheHit { .. }) => self.cache_hits += 1,
+                Some(Event::Shed { .. }) => self.shed_total += 1,
+                Some(Event::DeadlineExceeded { .. }) => self.deadline_exceeded_total += 1,
+                Some(Event::HandlerPanic { .. }) => self.panics_total += 1,
+                Some(Event::Recovery { replayed, .. }) => {
+                    self.recoveries += 1;
+                    self.recovery_replayed += replayed;
+                }
                 Some(Event::RunSummary {
                     algorithm,
                     skyline_size,
@@ -300,7 +317,12 @@ impl TraceSummary {
             let _ = writeln!(out, "  merge passes     {:>8}", self.parallel_merges);
             let _ = writeln!(out, "  merge candidates {:>8}", self.parallel_candidates);
         }
-        if !self.endpoints.is_empty() || self.cache_hits > 0 {
+        let server_counters = self.cache_hits
+            + self.shed_total
+            + self.deadline_exceeded_total
+            + self.panics_total
+            + self.recoveries;
+        if !self.endpoints.is_empty() || server_counters > 0 {
             let _ = writeln!(out, "\n== server ==");
             let _ = writeln!(
                 out,
@@ -324,6 +346,20 @@ impl TraceSummary {
                 );
             }
             let _ = writeln!(out, "  cache hits       {:>8}", self.cache_hits);
+            let _ = writeln!(out, "  shed (503)       {:>8}", self.shed_total);
+            let _ = writeln!(
+                out,
+                "  deadline (504)   {:>8}",
+                self.deadline_exceeded_total
+            );
+            let _ = writeln!(out, "  handler panics   {:>8}", self.panics_total);
+            if self.recoveries > 0 {
+                let _ = writeln!(
+                    out,
+                    "  recoveries       {:>8} ({} WAL records replayed)",
+                    self.recoveries, self.recovery_replayed
+                );
+            }
         }
         if !self.trie_depth.is_empty() || !self.trie_candidates.is_empty() {
             let _ = writeln!(out, "\n== subset-index (trie) ==");
@@ -517,6 +553,49 @@ mod tests {
         assert!(rendered.contains("== server =="), "{rendered}");
         assert!(rendered.contains("GET /skyline"), "{rendered}");
         assert!(rendered.contains("cache hits"), "{rendered}");
+    }
+
+    #[test]
+    fn robustness_events_aggregate_into_the_server_section() {
+        let mut r = JsonlRecorder::new(Vec::new());
+        r.event(Event::Shed {
+            endpoint: "/skyline".into(),
+        });
+        r.event(Event::Shed {
+            endpoint: "/skyline".into(),
+        });
+        r.event(Event::DeadlineExceeded {
+            dataset: "d".into(),
+            algorithm: "SFS-SUBSET".into(),
+            deadline_ms: 5,
+        });
+        r.event(Event::HandlerPanic {
+            endpoint: "/metrics".into(),
+        });
+        r.event(Event::Recovery {
+            dataset: "d".into(),
+            replayed: 12,
+            version: 30,
+        });
+        r.event(Event::Recovery {
+            dataset: "e".into(),
+            replayed: 3,
+            version: 3,
+        });
+        let text = String::from_utf8(r.into_inner().unwrap()).unwrap();
+        let s = TraceSummary::from_text(&text);
+        assert_eq!(s.skipped, 0);
+        assert_eq!(s.shed_total, 2);
+        assert_eq!(s.deadline_exceeded_total, 1);
+        assert_eq!(s.panics_total, 1);
+        assert_eq!(s.recoveries, 2);
+        assert_eq!(s.recovery_replayed, 15);
+        let rendered = s.render();
+        assert!(rendered.contains("== server =="), "{rendered}");
+        assert!(rendered.contains("shed (503)"), "{rendered}");
+        assert!(rendered.contains("deadline (504)"), "{rendered}");
+        assert!(rendered.contains("handler panics"), "{rendered}");
+        assert!(rendered.contains("15 WAL records replayed"), "{rendered}");
     }
 
     #[test]

@@ -12,6 +12,8 @@ use std::time::Duration;
 pub struct ClientResponse {
     /// Status code from the status line.
     pub status: u16,
+    /// Response headers as `(lowercased-name, value)` pairs, in order.
+    pub headers: Vec<(String, String)>,
     /// Response body bytes.
     pub body: Vec<u8>,
 }
@@ -20,6 +22,15 @@ impl ClientResponse {
     /// Body as UTF-8 (lossy).
     pub fn body_str(&self) -> String {
         String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// First header with this name (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -40,6 +51,7 @@ fn read_response<R: BufRead>(reader: &mut R) -> io::Result<ClientResponse> {
 
     let mut content_length: Option<usize> = None;
     let mut close = false;
+    let mut headers = Vec::new();
     loop {
         let mut line = String::new();
         if reader.read_line(&mut line)? == 0 {
@@ -57,6 +69,7 @@ fn read_response<R: BufRead>(reader: &mut R) -> io::Result<ClientResponse> {
             } else if name == "connection" && value.eq_ignore_ascii_case("close") {
                 close = true;
             }
+            headers.push((name, value.to_string()));
         }
     }
 
@@ -73,7 +86,11 @@ fn read_response<R: BufRead>(reader: &mut R) -> io::Result<ClientResponse> {
         }
         None => Vec::new(),
     };
-    Ok(ClientResponse { status, body })
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
 }
 
 fn write_request<W: Write>(
@@ -110,6 +127,80 @@ pub fn request(
     write_request(&mut writer, method, path, body, true)?;
     let mut reader = BufReader::new(stream);
     read_response(&mut reader)
+}
+
+/// Bounded retry with jittered exponential backoff.
+///
+/// Retries fire only on *safe-to-repeat* failures: connection errors
+/// (the server never saw the request, or it was shed before a worker
+/// picked it up) and 503 shed responses (explicitly retryable — the
+/// server sets `Retry-After`). Any other status, including 5xx from a
+/// handler, is returned as-is: the request may have had effects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (minimum 1).
+    pub attempts: u32,
+    /// Backoff before the second attempt; doubles per retry.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 4,
+            base_delay: Duration::from_millis(25),
+            max_delay: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `retry` (1-based), with ±50% jitter
+    /// so synchronised clients do not re-converge on the server.
+    fn backoff(&self, retry: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << (retry - 1).min(16))
+            .min(self.max_delay);
+        // Cheap jitter from the clock's sub-microsecond bits: this is
+        // decorrelation, not cryptography.
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0) as u64;
+        let jitter_pct = 50 + (nanos.wrapping_mul(6364136223846793005) >> 57) % 101; // 50..=150
+        exp.mul_f64(jitter_pct as f64 / 100.0).min(self.max_delay)
+    }
+}
+
+/// Issue a request with [`RetryPolicy`] retries on connect errors and
+/// 503 shed responses.
+pub fn request_with_retry(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    policy: &RetryPolicy,
+) -> io::Result<ClientResponse> {
+    let attempts = policy.attempts.max(1);
+    let mut last_err: Option<io::Error> = None;
+    for attempt in 1..=attempts {
+        match request(addr, method, path, body) {
+            Ok(resp) if resp.status != 503 => return Ok(resp),
+            Ok(resp) if attempt == attempts => return Ok(resp), // budget spent: surface the 503
+            Ok(_) => {}
+            Err(e) => {
+                if attempt == attempts {
+                    return Err(e);
+                }
+                last_err = Some(e);
+            }
+        }
+        std::thread::sleep(policy.backoff(attempt));
+    }
+    Err(last_err.unwrap_or_else(|| bad("retry budget exhausted")))
 }
 
 /// GET convenience wrapper around [`request`].
@@ -175,5 +266,45 @@ mod tests {
     fn rejects_garbage() {
         let raw = b"not http at all\r\n\r\n";
         assert!(read_response(&mut Cursor::new(&raw[..])).is_err());
+    }
+
+    #[test]
+    fn headers_are_collected_and_looked_up_case_insensitively() {
+        let raw =
+            b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\nContent-Length: 0\r\n\r\n";
+        let resp = read_response(&mut Cursor::new(&raw[..])).unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        assert_eq!(resp.header("Retry-After"), Some("1"));
+        assert_eq!(resp.header("x-missing"), None);
+    }
+
+    #[test]
+    fn backoff_grows_and_stays_bounded() {
+        let p = RetryPolicy {
+            attempts: 5,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(200),
+        };
+        for retry in 1..=10 {
+            let d = p.backoff(retry);
+            assert!(d <= p.max_delay, "retry {retry}: {d:?} over ceiling");
+            assert!(
+                d >= Duration::from_millis(5),
+                "retry {retry}: {d:?} under floor"
+            );
+        }
+    }
+
+    #[test]
+    fn retry_surfaces_connect_errors_after_budget() {
+        // Port 1 on localhost refuses connections.
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let policy = RetryPolicy {
+            attempts: 2,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+        };
+        assert!(request_with_retry(addr, "GET", "/healthz", &[], &policy).is_err());
     }
 }

@@ -1,0 +1,165 @@
+//! Fault injection for the chaos harness.
+//!
+//! With the `chaos` feature enabled, tests can arm faults at named
+//! sites inside the server — WAL appends, snapshot writes, request
+//! handlers, the query compute path — and the corresponding `check_*`
+//! probe fires the fault (an I/O error, a delay, or a panic) the next
+//! time execution passes the site. Without the feature every probe is
+//! an inlined no-op, so production builds pay nothing.
+//!
+//! Sites used by the server:
+//!
+//! - `"wal_append"` — I/O error or delay on WAL record writes;
+//! - `"snapshot"` — I/O error on snapshot compaction;
+//! - `"handler"` — panic inside request routing;
+//! - `"compute"` — delay inside the skyline compute path.
+
+#[cfg(feature = "chaos")]
+pub use enabled::*;
+
+#[cfg(feature = "chaos")]
+mod enabled {
+    use std::collections::HashMap;
+    use std::io;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    /// What an armed site does when execution reaches it.
+    #[derive(Debug, Clone)]
+    pub enum Fault {
+        /// Fail with `io::ErrorKind::Other` for the next `n` probes.
+        IoError(u32),
+        /// Sleep this long at every probe.
+        Delay(Duration),
+        /// Panic for the next `n` probes.
+        Panic(u32),
+    }
+
+    fn table() -> &'static Mutex<HashMap<String, Fault>> {
+        static TABLE: std::sync::OnceLock<Mutex<HashMap<String, Fault>>> =
+            std::sync::OnceLock::new();
+        TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    fn lock() -> std::sync::MutexGuard<'static, HashMap<String, Fault>> {
+        table().lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Arm `site` with `fault`, replacing whatever was armed before.
+    pub fn inject(site: &str, fault: Fault) {
+        lock().insert(site.to_string(), fault);
+    }
+
+    /// Disarm every site.
+    pub fn clear() {
+        lock().clear();
+    }
+
+    /// I/O probe: fails while `site` is armed with [`Fault::IoError`]
+    /// (decrementing its budget), sleeps on [`Fault::Delay`].
+    pub fn check_io(site: &str) -> io::Result<()> {
+        let action = {
+            let mut t = lock();
+            match t.get_mut(site) {
+                Some(Fault::IoError(n)) => {
+                    *n -= 1;
+                    if *n == 0 {
+                        t.remove(site);
+                    }
+                    Some(Err(io::Error::other(format!("injected fault at {site}"))))
+                }
+                Some(Fault::Delay(d)) => Some(Ok(*d)),
+                _ => None,
+            }
+        };
+        match action {
+            Some(Err(e)) => Err(e),
+            Some(Ok(d)) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// Delay probe: sleeps while `site` is armed with [`Fault::Delay`].
+    pub fn check_delay(site: &str) {
+        let delay = match lock().get(site) {
+            Some(Fault::Delay(d)) => Some(*d),
+            _ => None,
+        };
+        if let Some(d) = delay {
+            std::thread::sleep(d);
+        }
+    }
+
+    /// Panic probe: panics while `site` is armed with [`Fault::Panic`]
+    /// (decrementing its budget).
+    pub fn check_panic(site: &str) {
+        let fire = {
+            let mut t = lock();
+            match t.get_mut(site) {
+                Some(Fault::Panic(n)) => {
+                    *n -= 1;
+                    if *n == 0 {
+                        t.remove(site);
+                    }
+                    true
+                }
+                _ => false,
+            }
+        };
+        if fire {
+            panic!("injected panic at {site}");
+        }
+    }
+}
+
+#[cfg(not(feature = "chaos"))]
+mod disabled {
+    /// I/O probe; no-op without the `chaos` feature.
+    #[inline(always)]
+    pub fn check_io(_site: &str) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    /// Delay probe; no-op without the `chaos` feature.
+    #[inline(always)]
+    pub fn check_delay(_site: &str) {}
+
+    /// Panic probe; no-op without the `chaos` feature.
+    #[inline(always)]
+    pub fn check_panic(_site: &str) {}
+}
+
+#[cfg(not(feature = "chaos"))]
+pub use disabled::*;
+
+#[cfg(all(test, feature = "chaos"))]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn faults_fire_and_exhaust() {
+        clear();
+        inject("t_io", Fault::IoError(2));
+        assert!(check_io("t_io").is_err());
+        assert!(check_io("t_io").is_err());
+        assert!(check_io("t_io").is_ok(), "budget exhausted");
+
+        inject("t_delay", Fault::Delay(Duration::from_millis(30)));
+        let t = Instant::now();
+        check_delay("t_delay");
+        assert!(t.elapsed() >= Duration::from_millis(25));
+        clear();
+        let t = Instant::now();
+        check_delay("t_delay");
+        assert!(t.elapsed() < Duration::from_millis(25));
+
+        inject("t_panic", Fault::Panic(1));
+        assert!(std::panic::catch_unwind(|| check_panic("t_panic")).is_err());
+        check_panic("t_panic"); // exhausted: no panic
+        clear();
+    }
+}

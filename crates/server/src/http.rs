@@ -248,12 +248,18 @@ pub struct Response {
     pub status: u16,
     /// Body text (always JSON here).
     pub body: String,
+    /// Extra response headers (`Retry-After`, …), written verbatim.
+    pub headers: Vec<(String, String)>,
 }
 
 impl Response {
     /// A JSON response with the given status.
     pub fn json(status: u16, body: String) -> Response {
-        Response { status, body }
+        Response {
+            status,
+            body,
+            headers: Vec::new(),
+        }
     }
 
     /// A JSON error response: `{"error": msg}`.
@@ -263,7 +269,14 @@ impl Response {
         Response {
             status,
             body: w.finish(),
+            headers: Vec::new(),
         }
+    }
+
+    /// Attach an extra response header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
     }
 
     /// The reason phrase for a status code.
@@ -279,6 +292,7 @@ impl Response {
             413 => "Payload Too Large",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
+            504 => "Gateway Timeout",
             _ => "Unknown",
         }
     }
@@ -289,11 +303,15 @@ impl Response {
         let mut buf = Vec::with_capacity(self.body.len() + 96);
         write!(
             buf,
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
             self.status,
             Self::status_text(self.status),
             self.body.len()
         )?;
+        for (name, value) in &self.headers {
+            write!(buf, "{name}: {value}\r\n")?;
+        }
+        buf.extend_from_slice(b"\r\n");
         buf.extend_from_slice(self.body.as_bytes());
         w.write_all(&buf)?;
         w.flush()
@@ -389,5 +407,23 @@ mod tests {
         let err = Response::error(404, "no such dataset \"x\"");
         assert_eq!(err.status, 404);
         assert!(err.body.contains("no such dataset"));
+    }
+
+    #[test]
+    fn extra_headers_are_written_before_the_body() {
+        let mut buf = Vec::new();
+        Response::error(503, "shed")
+            .with_header("Retry-After", "1")
+            .write_to(&mut buf)
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+        let headers_end = text.find("\r\n\r\n").unwrap();
+        assert!(text.find("Retry-After").unwrap() < headers_end);
+        assert_eq!(Response::status_text(504), "Gateway Timeout");
     }
 }

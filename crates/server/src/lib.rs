@@ -18,12 +18,26 @@
 //!   version**, algorithm, subspace mask, k, threads); the version in the
 //!   key makes staleness impossible, explicit invalidation on mutation
 //!   keeps memory honest;
-//! - [`metrics`] — per-endpoint latency histograms for `/metrics`;
-//! - [`client`] — a minimal blocking client for tests and benchmarks.
+//! - [`wal`] — per-dataset write-ahead log plus compacted snapshots;
+//!   with a `data_dir` the registry recovers every dataset to its exact
+//!   pre-crash content version on boot;
+//! - [`metrics`] — per-endpoint latency histograms plus robustness
+//!   counters (shed, deadline, panic) for `/metrics`;
+//! - [`faults`] — fault-injection probes for the chaos harness (no-ops
+//!   unless built with the `chaos` feature);
+//! - [`client`] — a minimal blocking client (with optional retry) for
+//!   tests and benchmarks.
+//!
+//! Robustness: `/skyline` honours a cooperative `deadline_ms` (504 on
+//! expiry), an admission gate sheds excess load with 503 +
+//! `Retry-After` (global `max_inflight`, per-dataset caps, and a
+//! connection-queue limit), and handler panics are isolated into 500s
+//! while the worker pool respawns panicked workers.
 //!
 //! Endpoints: `GET /healthz`, `GET /metrics`, `GET /datasets`,
 //! `POST /datasets`, `POST|DELETE /datasets/{name}/points`,
-//! `GET /skyline?dataset=&algo=&dims=&k=&threads=`, `POST /shutdown`.
+//! `GET /skyline?dataset=&algo=&dims=&k=&threads=&deadline_ms=`,
+//! `POST /shutdown`.
 //!
 //! [`StreamingSkyline`]: skyline_core::streaming::StreamingSkyline
 
@@ -32,22 +46,25 @@
 
 pub mod cache;
 pub mod client;
+pub mod faults;
 pub mod http;
 pub mod metrics;
 pub mod pool;
 pub mod registry;
+pub mod wal;
 
 use std::fs::File;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use skyline_algos::skyband::k_skyband_ids;
 use skyline_algos::{algorithm_by_name, parallel_algorithm, SkylineAlgorithm};
+use skyline_core::cancel::CancelToken;
 use skyline_core::dataset::Dataset;
 use skyline_core::metrics::Metrics;
 use skyline_core::point::PointId;
@@ -77,6 +94,19 @@ pub struct ServerConfig {
     pub max_body: usize,
     /// JSONL trace sink for `request` / `cache_hit` events.
     pub trace: Option<PathBuf>,
+    /// Durability directory (WAL + snapshots). `None` = memory-only.
+    pub data_dir: Option<PathBuf>,
+    /// WAL fsync policy; only meaningful with `data_dir`.
+    pub fsync: wal::FsyncPolicy,
+    /// Concurrently executing `/skyline` queries before the admission
+    /// gate sheds with 503. `0` = unlimited.
+    pub max_inflight: usize,
+    /// Connection backlog (queued, not yet picked up by a worker) before
+    /// the accept loop sheds with 503. `0` = unlimited.
+    pub queue_limit: usize,
+    /// Concurrent `/skyline` queries per dataset before shedding with
+    /// 503. `0` = unlimited.
+    pub max_queries_per_dataset: usize,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +118,11 @@ impl Default for ServerConfig {
             request_timeout: Duration::from_secs(30),
             max_body: http::DEFAULT_MAX_BODY,
             trace: None,
+            data_dir: None,
+            fsync: wal::FsyncPolicy::default(),
+            max_inflight: 0,
+            queue_limit: 1024,
+            max_queries_per_dataset: 0,
         }
     }
 }
@@ -102,14 +137,109 @@ struct Shared {
     shutdown: AtomicBool,
     started: Instant,
     threads: usize,
+    /// `/skyline` queries currently executing (admission gate).
+    inflight: AtomicUsize,
+    max_inflight: usize,
+    /// Per-dataset concurrent `/skyline` query counts.
+    dataset_inflight: Mutex<std::collections::HashMap<String, usize>>,
+    max_queries_per_dataset: usize,
 }
 
 impl Shared {
     fn emit(&self, event: Event) {
         if let Some(rec) = &self.recorder {
-            rec.lock().expect("recorder lock").event(event);
+            rec.lock().unwrap_or_else(|e| e.into_inner()).event(event);
         }
     }
+}
+
+/// RAII permit from the global admission gate: decrements the inflight
+/// count on drop, panic or not.
+struct InflightPermit<'a> {
+    shared: &'a Shared,
+}
+
+impl Drop for InflightPermit<'_> {
+    fn drop(&mut self) {
+        self.shared.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// `Ok(None)` = no cap configured, `Ok(Some)` = admitted, `Err(())` =
+/// the gate is full and the request must be shed.
+fn acquire_inflight(shared: &Shared) -> Result<Option<InflightPermit<'_>>, ()> {
+    if shared.max_inflight == 0 {
+        return Ok(None); // unlimited: no permit needed
+    }
+    let mut current = shared.inflight.load(Ordering::Acquire);
+    loop {
+        if current >= shared.max_inflight {
+            return Err(());
+        }
+        match shared.inflight.compare_exchange_weak(
+            current,
+            current + 1,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => return Ok(Some(InflightPermit { shared })),
+            Err(now) => current = now,
+        }
+    }
+}
+
+/// RAII permit from a dataset's concurrency cap.
+struct DatasetPermit<'a> {
+    shared: &'a Shared,
+    name: String,
+}
+
+impl Drop for DatasetPermit<'_> {
+    fn drop(&mut self) {
+        let mut map = self
+            .shared
+            .dataset_inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if let Some(n) = map.get_mut(&self.name) {
+            *n -= 1;
+            if *n == 0 {
+                map.remove(&self.name);
+            }
+        }
+    }
+}
+
+/// Same contract as [`acquire_inflight`], but per dataset.
+fn acquire_dataset_slot<'a>(
+    shared: &'a Shared,
+    name: &str,
+) -> Result<Option<DatasetPermit<'a>>, ()> {
+    if shared.max_queries_per_dataset == 0 {
+        return Ok(None); // unlimited
+    }
+    let mut map = shared
+        .dataset_inflight
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    let n = map.entry(name.to_string()).or_insert(0);
+    if *n >= shared.max_queries_per_dataset {
+        return Err(());
+    }
+    *n += 1;
+    Ok(Some(DatasetPermit {
+        shared,
+        name: name.to_string(),
+    }))
+}
+
+/// A 503 with `Retry-After`, counted and traced as shed load.
+fn shed_response(shared: &Shared, endpoint: &str, why: &str) -> Response {
+    shared.metrics.inc_shed();
+    shared.emit(Event::Shed {
+        endpoint: endpoint.to_string(),
+    });
+    Response::error(503, why).with_header("Retry-After", "1")
 }
 
 /// A running server. Dropping the handle shuts the server down.
@@ -165,20 +295,40 @@ impl Server {
             Some(path) => Some(Mutex::new(JsonlRecorder::create(path)?)),
             None => None,
         };
+        let registry = match &config.data_dir {
+            Some(dir) => {
+                let mut storage = wal::StorageConfig::new(dir.clone());
+                storage.fsync = config.fsync;
+                Registry::open(storage)?
+            }
+            None => Registry::new(),
+        };
         let shared = Arc::new(Shared {
             addr,
-            registry: Registry::new(),
+            registry,
             cache: ResultCache::new(config.cache_capacity),
             metrics: ServerMetrics::new(),
             recorder,
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             threads: config.threads.max(1),
+            inflight: AtomicUsize::new(0),
+            max_inflight: config.max_inflight,
+            dataset_inflight: Mutex::new(std::collections::HashMap::new()),
+            max_queries_per_dataset: config.max_queries_per_dataset,
         });
+        for (dataset, replayed, version) in shared.registry.recovery_log() {
+            shared.emit(Event::Recovery {
+                dataset: dataset.clone(),
+                replayed: *replayed,
+                version: *version,
+            });
+        }
         let accept_shared = Arc::clone(&shared);
         let timeout = config.request_timeout;
         let max_body = config.max_body;
         let threads = config.threads;
+        let queue_limit = config.queue_limit;
         let accept = std::thread::Builder::new()
             .name("skyline-accept".to_string())
             .spawn(move || {
@@ -191,6 +341,10 @@ impl Server {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
+                    if queue_limit > 0 && pool.queue_depth() >= queue_limit {
+                        shed_connection(stream, &accept_shared);
+                        continue;
+                    }
                     let conn_shared = Arc::clone(&accept_shared);
                     if pool
                         .execute(move || handle_connection(stream, conn_shared, timeout, max_body))
@@ -207,6 +361,19 @@ impl Server {
     }
 }
 
+/// Shed a connection straight from the accept loop: the worker queue is
+/// over its limit, so write one 503 inline without occupying a worker.
+fn shed_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    shared.metrics.record("?", "(shed)", 503, 0);
+    let response = shed_response(
+        shared,
+        "(accept)",
+        "server overloaded: connection queue is full",
+    );
+    let _ = response.write_to(&mut stream);
+}
+
 fn handle_connection(stream: TcpStream, shared: Arc<Shared>, timeout: Duration, max_body: usize) {
     let _ = stream.set_read_timeout(Some(timeout));
     let _ = stream.set_write_timeout(Some(timeout));
@@ -219,7 +386,27 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>, timeout: Duration, 
         match Request::read_from(&mut reader, max_body) {
             Ok(Some(req)) => {
                 let start = Instant::now();
-                let (response, endpoint) = route(&shared, &req);
+                // Panic isolation: a handler bug takes down one request,
+                // not the worker (and with it the keep-alive connection
+                // queue). The sentinel in [`pool`] would respawn the
+                // worker anyway, but catching here turns the failure into
+                // a well-formed 500 instead of a dropped connection.
+                let (response, endpoint) =
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        route(&shared, &req)
+                    })) {
+                        Ok(pair) => pair,
+                        Err(_) => {
+                            shared.metrics.inc_panics();
+                            shared.emit(Event::HandlerPanic {
+                                endpoint: req.path.clone(),
+                            });
+                            (
+                                Response::error(500, "internal error: handler panicked"),
+                                "(panic)",
+                            )
+                        }
+                    };
                 let elapsed_us = start.elapsed().as_micros() as u64;
                 shared
                     .metrics
@@ -253,6 +440,7 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>, timeout: Duration, 
 /// Dispatch one request. Returns the response plus the normalised
 /// endpoint label used for metrics and trace events.
 fn route(shared: &Shared, req: &Request) -> (Response, &'static str) {
+    faults::check_panic("handler");
     if let Some(name) = req
         .path
         .strip_prefix("/datasets/")
@@ -289,6 +477,7 @@ fn registry_response(err: RegistryError) -> Response {
         RegistryError::Unknown(_) => 404,
         RegistryError::Exists(_) => 409,
         RegistryError::BadName(_) | RegistryError::BadData(_) => 400,
+        RegistryError::Io(_) => 500,
     };
     Response::error(status, &err.to_string())
 }
@@ -352,6 +541,17 @@ fn handle_metrics(shared: &Shared) -> Response {
     w.u64_field("uptime_us", shared.started.elapsed().as_micros() as u64)
         .u64_field("threads", shared.threads as u64)
         .u64_field("requests", shared.metrics.total_requests())
+        .u64_field("shed_total", shared.metrics.shed_total())
+        .u64_field(
+            "deadline_exceeded_total",
+            shared.metrics.deadline_exceeded_total(),
+        )
+        .u64_field("panics_total", shared.metrics.panics_total())
+        .u64_field("wal_bytes", shared.registry.wal_bytes())
+        .u64_field(
+            "recovery_replayed_records",
+            shared.registry.recovery_replayed(),
+        )
         .raw_field("endpoints", &shared.metrics.render_json())
         .raw_field("cache", &cache_obj.finish())
         .raw_field("datasets", &format!("[{}]", datasets.join(",")));
@@ -531,14 +731,49 @@ fn skyline_json(key: &CacheKey, cached: bool, ids: &[PointId], elapsed_us: u64) 
     w.finish()
 }
 
-/// `GET /skyline?dataset=&algo=&dims=&k=&threads=`.
+/// `GET /skyline?dataset=&algo=&dims=&k=&threads=&deadline_ms=`.
 fn handle_skyline(shared: &Shared, req: &Request) -> Response {
     let Some(name) = req.query_param("dataset") else {
         return Response::error(400, "missing query parameter \"dataset\"");
     };
+    // Global admission gate: beyond `max_inflight` concurrent queries,
+    // shed immediately rather than queueing work the server cannot keep
+    // up with.
+    let _inflight = match acquire_inflight(shared) {
+        Ok(permit) => permit,
+        Err(()) => {
+            return shed_response(
+                shared,
+                "/skyline",
+                "server overloaded: too many queries in flight",
+            )
+        }
+    };
     let entry = match shared.registry.get(name) {
         Ok(e) => e,
         Err(e) => return registry_response(e),
+    };
+    let _dataset_slot = match acquire_dataset_slot(shared, name) {
+        Ok(permit) => permit,
+        Err(()) => {
+            return shed_response(
+                shared,
+                "/skyline",
+                &format!("dataset {name:?} overloaded: too many concurrent queries"),
+            )
+        }
+    };
+    let deadline_ms: Option<u64> = match req.query_param("deadline_ms") {
+        None | Some("") => None,
+        Some(raw) => match raw.parse() {
+            Ok(ms) if ms > 0 => Some(ms),
+            _ => {
+                return Response::error(
+                    400,
+                    &format!("bad \"deadline_ms\" value {raw:?} (positive integer)"),
+                )
+            }
+        },
     };
     let threads: u64 = match req.query_param("threads") {
         None | Some("") => 0,
@@ -621,9 +856,31 @@ fn handle_skyline(shared: &Shared, req: &Request) -> Response {
         return Response::json(200, body);
     }
 
+    // The deadline starts at compute time: parsing and cache probing are
+    // bounded, the algorithm run is not.
+    let token = match deadline_ms {
+        Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+        None => CancelToken::none(),
+    };
+    let deadline_response = || {
+        shared.metrics.inc_deadline_exceeded();
+        shared.emit(Event::DeadlineExceeded {
+            dataset: name.to_string(),
+            algorithm: algo.name().to_string(),
+            deadline_ms: deadline_ms.unwrap_or(0),
+        });
+        Response::error(
+            504,
+            &format!(
+                "deadline of {} ms exceeded computing skyline of {name:?}",
+                deadline_ms.unwrap_or(0)
+            ),
+        )
+    };
     let ids: Vec<PointId> = match &snapshot.dataset {
         None => Vec::new(),
         Some(data) => {
+            faults::check_delay("compute");
             let mut metrics = Metrics::new();
             let projected;
             let target: &Dataset = if mask == full {
@@ -633,11 +890,19 @@ fn handle_skyline(shared: &Shared, req: &Request) -> Response {
                 &projected
             };
             let mut rows = if k > 1 {
+                // The skyband path has no in-loop cancellation; honour
+                // the deadline with an up-front check.
+                if token.check().is_err() {
+                    return deadline_response();
+                }
                 let mut band = k_skyband_ids(target, k as usize, &mut metrics);
                 band.sort_unstable();
                 band
             } else {
-                algo.compute_with_metrics(target, &mut metrics)
+                match algo.compute_cancellable(target, &mut metrics, &token) {
+                    Ok(rows) => rows,
+                    Err(_) => return deadline_response(),
+                }
             };
             // Row indices → stable stream handles. The handle list is
             // ascending, so ascending row ids stay ascending.

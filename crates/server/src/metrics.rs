@@ -6,6 +6,7 @@
 //! state as one JSON object.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use skyline_obs::histogram::Histogram;
@@ -18,10 +19,14 @@ struct EndpointMetrics {
     latency_us: Histogram,
 }
 
-/// Aggregated request counters, grouped by `"{method} {endpoint}"`.
+/// Aggregated request counters, grouped by `"{method} {endpoint}"`,
+/// plus robustness counters (shed, deadline, panic) for `/metrics`.
 #[derive(Default)]
 pub struct ServerMetrics {
     endpoints: Mutex<BTreeMap<String, EndpointMetrics>>,
+    shed: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    panics: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -32,7 +37,7 @@ impl ServerMetrics {
 
     /// Record one finished request.
     pub fn record(&self, method: &str, endpoint: &str, status: u16, elapsed_us: u64) {
-        let mut map = self.endpoints.lock().expect("metrics lock");
+        let mut map = self.endpoints.lock().unwrap_or_else(|e| e.into_inner());
         let m = map.entry(format!("{method} {endpoint}")).or_default();
         m.requests += 1;
         if status >= 400 {
@@ -43,13 +48,43 @@ impl ServerMetrics {
 
     /// Total requests across all endpoints.
     pub fn total_requests(&self) -> u64 {
-        let map = self.endpoints.lock().expect("metrics lock");
+        let map = self.endpoints.lock().unwrap_or_else(|e| e.into_inner());
         map.values().map(|m| m.requests).sum()
+    }
+
+    /// Count one request shed by the overload gate (503).
+    pub fn inc_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests shed under overload since boot.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Count one query that blew its deadline (504).
+    pub fn inc_deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Queries cancelled at their deadline since boot.
+    pub fn deadline_exceeded_total(&self) -> u64 {
+        self.deadline_exceeded.load(Ordering::Relaxed)
+    }
+
+    /// Count one handler panic turned into a 500.
+    pub fn inc_panics(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Handler panics caught and isolated since boot.
+    pub fn panics_total(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
     }
 
     /// Render per-endpoint stats as a JSON object (endpoint → stats).
     pub fn render_json(&self) -> String {
-        let map = self.endpoints.lock().expect("metrics lock");
+        let map = self.endpoints.lock().unwrap_or_else(|e| e.into_inner());
         let mut out = ObjectWriter::new();
         for (key, m) in map.iter() {
             let mut ep = ObjectWriter::new();
@@ -88,5 +123,18 @@ mod tests {
         assert_eq!(sky.get("latency_us_max").unwrap().as_u64(), Some(120));
         let health = v.get("GET /healthz").expect("endpoint present");
         assert_eq!(health.get("errors").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn robustness_counters_accumulate() {
+        let m = ServerMetrics::new();
+        assert_eq!(m.shed_total(), 0);
+        m.inc_shed();
+        m.inc_shed();
+        m.inc_deadline_exceeded();
+        m.inc_panics();
+        assert_eq!(m.shed_total(), 2);
+        assert_eq!(m.deadline_exceeded_total(), 1);
+        assert_eq!(m.panics_total(), 1);
     }
 }

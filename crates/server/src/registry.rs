@@ -7,6 +7,12 @@
 //! mutation time, so readers never pay the materialisation: they take the
 //! read lock just long enough to clone an `Arc`, then compute against a
 //! consistent version with no locks held.
+//!
+//! With a [`StorageConfig`] the registry is durable: every mutation is
+//! logged to a per-dataset write-ahead log *before* it is acknowledged
+//! (see [`crate::wal`]), and [`Registry::open`] replays snapshot + log
+//! on boot, recovering every dataset to its exact pre-crash content
+//! version.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -16,6 +22,8 @@ use skyline_core::dataset::Dataset;
 use skyline_core::metrics::Metrics;
 use skyline_core::point::PointId;
 use skyline_core::streaming::StreamingSkyline;
+
+use crate::wal::{self, DatasetWal, StorageConfig};
 
 /// Errors raised by registry operations.
 #[derive(Debug)]
@@ -28,6 +36,9 @@ pub enum RegistryError {
     BadName(String),
     /// Rows failed validation (shape, NaN) or core rejected them.
     BadData(String),
+    /// Durability failure: the write-ahead log could not be written, so
+    /// the operation is not acknowledged.
+    Io(String),
 }
 
 impl fmt::Display for RegistryError {
@@ -39,6 +50,7 @@ impl fmt::Display for RegistryError {
                 write!(f, "bad dataset name {n:?} (1-64 chars from [A-Za-z0-9._-])")
             }
             RegistryError::BadData(m) => write!(f, "bad data: {m}"),
+            RegistryError::Io(m) => write!(f, "durability failure: {m}"),
         }
     }
 }
@@ -76,6 +88,8 @@ pub struct DatasetInfo {
 struct Inner {
     stream: StreamingSkyline,
     snapshot: Arc<Snapshot>,
+    /// Durability log; `None` for a memory-only registry.
+    wal: Option<DatasetWal>,
 }
 
 /// One named dataset: a streaming skyline plus its current snapshot.
@@ -83,6 +97,17 @@ pub struct DatasetEntry {
     name: String,
     dims: usize,
     inner: RwLock<Inner>,
+}
+
+/// Lock helpers that survive a poisoned lock: a panicking handler must
+/// not take the registry down with it (the data is a skyline index, not
+/// a partially applied invariant).
+fn read_lock(lock: &RwLock<Inner>) -> std::sync::RwLockReadGuard<'_, Inner> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_lock(lock: &RwLock<Inner>) -> std::sync::RwLockWriteGuard<'_, Inner> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
 }
 
 fn build_snapshot(stream: &StreamingSkyline) -> Result<Arc<Snapshot>, RegistryError> {
@@ -100,21 +125,60 @@ fn build_snapshot(stream: &StreamingSkyline) -> Result<Arc<Snapshot>, RegistryEr
 }
 
 impl DatasetEntry {
-    fn new(name: &str, dims: usize, rows: &[Vec<f64>]) -> Result<DatasetEntry, RegistryError> {
+    fn new(
+        name: &str,
+        dims: usize,
+        rows: &[Vec<f64>],
+        storage: Option<&StorageConfig>,
+    ) -> Result<DatasetEntry, RegistryError> {
         let mut stream =
             StreamingSkyline::new(dims).map_err(|e| RegistryError::BadData(e.to_string()))?;
         validate_rows(rows, dims)?;
         let mut metrics = Metrics::new();
+        let mut records = vec![wal::create_record(dims)];
         for row in rows {
+            records.push(wal::insert_record(row, stream.version() + 1));
             stream
                 .insert(row, &mut metrics)
                 .map_err(|e| RegistryError::BadData(e.to_string()))?;
         }
+        let wal = match storage {
+            Some(config) => {
+                let mut wal = DatasetWal::create(config, name)
+                    .map_err(|e| RegistryError::Io(e.to_string()))?;
+                wal.append_batch(&records)
+                    .map_err(|e| RegistryError::Io(e.to_string()))?;
+                Some(wal)
+            }
+            None => None,
+        };
         let snapshot = build_snapshot(&stream)?;
         Ok(DatasetEntry {
             name: name.to_string(),
             dims,
-            inner: RwLock::new(Inner { stream, snapshot }),
+            inner: RwLock::new(Inner {
+                stream,
+                snapshot,
+                wal,
+            }),
+        })
+    }
+
+    /// Rehydrate an entry from recovery.
+    fn recovered(
+        name: &str,
+        stream: StreamingSkyline,
+        wal: DatasetWal,
+    ) -> Result<DatasetEntry, RegistryError> {
+        let snapshot = build_snapshot(&stream)?;
+        Ok(DatasetEntry {
+            name: name.to_string(),
+            dims: stream.dims(),
+            inner: RwLock::new(Inner {
+                stream,
+                snapshot,
+                wal: Some(wal),
+            }),
         })
     }
 
@@ -130,12 +194,12 @@ impl DatasetEntry {
 
     /// The current snapshot (lock held only for the `Arc` clone).
     pub fn snapshot(&self) -> Arc<Snapshot> {
-        Arc::clone(&self.inner.read().expect("registry lock").snapshot)
+        Arc::clone(&read_lock(&self.inner).snapshot)
     }
 
     /// Summary counters.
     pub fn info(&self) -> DatasetInfo {
-        let inner = self.inner.read().expect("registry lock");
+        let inner = read_lock(&self.inner);
         DatasetInfo {
             name: self.name.clone(),
             dims: self.dims,
@@ -147,18 +211,46 @@ impl DatasetEntry {
 
     /// The incrementally maintained full-space skyline with its version.
     pub fn streaming_skyline(&self) -> (u64, Vec<PointId>) {
-        let inner = self.inner.read().expect("registry lock");
+        let inner = read_lock(&self.inner);
         (inner.stream.version(), inner.stream.skyline())
+    }
+
+    /// Current size of this dataset's write-ahead log, bytes (0 for a
+    /// memory-only registry).
+    pub fn wal_bytes(&self) -> u64 {
+        read_lock(&self.inner)
+            .wal
+            .as_ref()
+            .map_or(0, DatasetWal::wal_bytes)
     }
 
     /// Insert rows (all-or-nothing), returning their handles and the new
     /// `(version, skyline_len)`.
+    ///
+    /// Durable registries log the whole batch *before* touching memory:
+    /// a WAL failure rejects the batch with nothing applied, so the
+    /// in-memory state never runs ahead of the log on the insert path
+    /// (replay reconstructs handles from insert order, which must match).
     pub fn insert_rows(
         &self,
         rows: &[Vec<f64>],
     ) -> Result<(Vec<PointId>, u64, usize), RegistryError> {
         validate_rows(rows, self.dims)?;
-        let mut inner = self.inner.write().expect("registry lock");
+        let mut inner = write_lock(&self.inner);
+        if inner.wal.is_some() {
+            let base = inner.stream.version();
+            let records: Vec<String> = rows
+                .iter()
+                .enumerate()
+                .map(|(i, row)| wal::insert_record(row, base + i as u64 + 1))
+                .collect();
+            inner
+                .wal
+                .as_mut()
+                .expect("checked above")
+                .append_batch(&records)
+                .map_err(|e| RegistryError::Io(e.to_string()))?;
+        }
         let mut metrics = Metrics::new();
         let mut ids = Vec::with_capacity(rows.len());
         for row in rows {
@@ -169,26 +261,50 @@ impl DatasetEntry {
                 .map_err(|e| RegistryError::BadData(e.to_string()))?;
             ids.push(id);
         }
-        inner.snapshot = build_snapshot(&inner.stream)?;
+        self.after_mutation(&mut inner)?;
         Ok((ids, inner.stream.version(), inner.stream.skyline_len()))
     }
 
     /// Remove points by handle, returning how many were live and the new
     /// `(version, skyline_len)`. Unknown or already-deleted handles are
     /// counted out, not errors.
+    ///
+    /// Removals apply to memory first (whether a handle is live is only
+    /// known then) and are logged after. A WAL failure here returns an
+    /// error — the removal is not acknowledged and may resurrect on
+    /// recovery — but handle assignment stays consistent either way.
     pub fn remove_ids(&self, ids: &[PointId]) -> Result<(usize, u64, usize), RegistryError> {
-        let mut inner = self.inner.write().expect("registry lock");
+        let mut inner = write_lock(&self.inner);
         let mut metrics = Metrics::new();
         let mut removed = 0;
+        let mut records = Vec::new();
         for &id in ids {
             if inner.stream.remove(id, &mut metrics) {
                 removed += 1;
+                let v = inner.stream.version();
+                records.push(wal::remove_record(id, v));
             }
         }
         if removed > 0 {
-            inner.snapshot = build_snapshot(&inner.stream)?;
+            if let Some(wal) = inner.wal.as_mut() {
+                wal.append_batch(&records)
+                    .map_err(|e| RegistryError::Io(e.to_string()))?;
+            }
+            self.after_mutation(&mut inner)?;
         }
         Ok((removed, inner.stream.version(), inner.stream.skyline_len()))
+    }
+
+    /// Post-mutation upkeep under the write lock: rebuild the read
+    /// snapshot and compact the log if it outgrew its threshold.
+    fn after_mutation(&self, inner: &mut Inner) -> Result<(), RegistryError> {
+        inner.snapshot = build_snapshot(&inner.stream)?;
+        if let Some(wal) = inner.wal.as_mut() {
+            // A failed compaction is not a durability failure: the log
+            // still holds the full history, so just carry on.
+            let _ = wal.maybe_compact(&inner.stream);
+        }
+        Ok(())
     }
 }
 
@@ -228,12 +344,67 @@ fn validate_name(name: &str) -> Result<(), RegistryError> {
 #[derive(Default)]
 pub struct Registry {
     datasets: RwLock<HashMap<String, Arc<DatasetEntry>>>,
+    /// Serialises creations: two racing creates of the same name must
+    /// not both touch that name's WAL files.
+    create_lock: std::sync::Mutex<()>,
+    /// Durability settings; `None` for a memory-only registry.
+    storage: Option<StorageConfig>,
+    /// WAL records replayed at boot, summed over every dataset.
+    recovery_replayed: u64,
+    /// Per-dataset recovery results: `(name, replayed, version)`.
+    recovery_log: Vec<(String, u64, u64)>,
 }
 
 impl Registry {
-    /// An empty registry.
+    /// An empty, memory-only registry.
     pub fn new() -> Registry {
         Registry::default()
+    }
+
+    /// A durable registry: creates the data directory if needed and
+    /// recovers every dataset found there from snapshot + log.
+    pub fn open(storage: StorageConfig) -> std::io::Result<Registry> {
+        std::fs::create_dir_all(&storage.dir)?;
+        let mut map = HashMap::new();
+        let mut recovery_replayed = 0;
+        let mut recovery_log = Vec::new();
+        for name in wal::list_datasets(&storage.dir)? {
+            let Some(recovered) = wal::recover(&storage, &name)? else {
+                continue;
+            };
+            recovery_replayed += recovered.replayed;
+            recovery_log.push((name.clone(), recovered.replayed, recovered.stream.version()));
+            let entry = DatasetEntry::recovered(&name, recovered.stream, recovered.wal)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            map.insert(name, Arc::new(entry));
+        }
+        Ok(Registry {
+            datasets: RwLock::new(map),
+            create_lock: std::sync::Mutex::new(()),
+            storage: Some(storage),
+            recovery_replayed,
+            recovery_log,
+        })
+    }
+
+    /// WAL records replayed on boot, summed over every dataset.
+    pub fn recovery_replayed(&self) -> u64 {
+        self.recovery_replayed
+    }
+
+    /// Per-dataset recovery results from boot: `(name, replayed, version)`.
+    pub fn recovery_log(&self) -> &[(String, u64, u64)] {
+        &self.recovery_log
+    }
+
+    /// Total bytes across every dataset's write-ahead log.
+    pub fn wal_bytes(&self) -> u64 {
+        self.datasets
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .map(|e| e.wal_bytes())
+            .sum()
     }
 
     /// Create a dataset from rows. `dims` must be given when `rows` is
@@ -245,11 +416,17 @@ impl Registry {
         rows: &[Vec<f64>],
     ) -> Result<Arc<DatasetEntry>, RegistryError> {
         validate_name(name)?;
-        let entry = Arc::new(DatasetEntry::new(name, dims, rows)?);
-        let mut map = self.datasets.write().expect("registry lock");
-        if map.contains_key(name) {
-            return Err(RegistryError::Exists(name.to_string()));
+        // Serialise creations: a racing duplicate must not truncate the
+        // winner's WAL files while it is still being registered.
+        let _creating = self.create_lock.lock().unwrap_or_else(|e| e.into_inner());
+        {
+            let map = self.datasets.read().unwrap_or_else(|e| e.into_inner());
+            if map.contains_key(name) {
+                return Err(RegistryError::Exists(name.to_string()));
+            }
         }
+        let entry = Arc::new(DatasetEntry::new(name, dims, rows, self.storage.as_ref())?);
+        let mut map = self.datasets.write().unwrap_or_else(|e| e.into_inner());
         map.insert(name.to_string(), Arc::clone(&entry));
         Ok(entry)
     }
@@ -258,7 +435,7 @@ impl Registry {
     pub fn get(&self, name: &str) -> Result<Arc<DatasetEntry>, RegistryError> {
         self.datasets
             .read()
-            .expect("registry lock")
+            .unwrap_or_else(|e| e.into_inner())
             .get(name)
             .cloned()
             .ok_or_else(|| RegistryError::Unknown(name.to_string()))
@@ -269,7 +446,7 @@ impl Registry {
         let mut infos: Vec<DatasetInfo> = self
             .datasets
             .read()
-            .expect("registry lock")
+            .unwrap_or_else(|e| e.into_inner())
             .values()
             .map(|e| e.info())
             .collect();
@@ -279,7 +456,10 @@ impl Registry {
 
     /// Number of resident datasets.
     pub fn len(&self) -> usize {
-        self.datasets.read().expect("registry lock").len()
+        self.datasets
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
     }
 
     /// Whether no datasets are resident.
@@ -374,5 +554,39 @@ mod tests {
         assert_eq!(snap.version, 0);
         assert!(snap.dataset.is_none());
         assert!(snap.handles.is_empty());
+    }
+
+    #[test]
+    fn durable_registry_recovers_datasets_across_reopen() {
+        let dir = std::env::temp_dir().join(format!(
+            "skyline-reg-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let (want_snap, want_version) = {
+            let reg = Registry::open(StorageConfig::new(dir.clone())).unwrap();
+            let entry = reg
+                .create("durable", 2, &rows(&[[1.0, 5.0], [5.0, 1.0]]))
+                .unwrap();
+            entry.insert_rows(&rows(&[[6.0, 6.0], [0.5, 4.0]])).unwrap();
+            entry.remove_ids(&[2]).unwrap();
+            let (version, skyline) = entry.streaming_skyline();
+            (skyline, version)
+        };
+
+        let reg = Registry::open(StorageConfig::new(dir.clone())).unwrap();
+        let entry = reg.get("durable").unwrap();
+        let (version, skyline) = entry.streaming_skyline();
+        assert_eq!(version, want_version, "recovery lands on the acked version");
+        assert_eq!(skyline, want_snap, "recovered skyline matches pre-crash");
+        assert!(reg.recovery_replayed() > 0, "WAL records were replayed");
+
+        // Further mutations keep handle assignment dense and consistent.
+        let (ids, _, _) = entry.insert_rows(&rows(&[[0.1, 0.1]])).unwrap();
+        assert_eq!(ids, vec![4], "next handle continues from recovered state");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,624 @@
+//! Per-dataset durability: an append-only JSONL write-ahead log plus
+//! periodically compacted snapshots.
+//!
+//! Layout under the data directory, one pair of files per dataset:
+//!
+//! - `<name>.wal` — one JSON record per line, in apply order:
+//!   `{"op":"create","v":0,"dims":D}`, `{"op":"insert","v":V,"row":[…]}`,
+//!   `{"op":"remove","v":V,"id":H}`. `v` is the dataset content version
+//!   *after* the operation, so replay is idempotent: records at or below
+//!   the restored version are skipped.
+//! - `<name>.snap` — one JSON object holding the full slot table of the
+//!   [`StreamingSkyline`] (tombstones as `null`, so handle positions are
+//!   preserved) and the version it materialises. Written to a temp file
+//!   and renamed, so a crash never leaves a torn snapshot.
+//!
+//! Recovery replays the snapshot (if any) and then the log. A torn tail
+//! — a half-written final record after a crash — is detected as the
+//! first unparseable line and truncated away: the dataset recovers to
+//! the last complete (acked) record.
+//!
+//! The log is compacted once it grows past a byte threshold: the current
+//! state is snapshotted and the log truncated to empty.
+
+use std::fmt::Write as _;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+use std::time::{Duration, Instant};
+
+use skyline_core::metrics::Metrics;
+use skyline_core::point::PointId;
+use skyline_core::streaming::StreamingSkyline;
+use skyline_obs::json::Value;
+
+use crate::faults;
+
+/// When WAL appends reach the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every append: an acked write survives power loss.
+    Always,
+    /// `fsync` at most once per interval: bounded data loss, much
+    /// cheaper under write bursts.
+    Interval(Duration),
+    /// Never `fsync` explicitly; the OS flushes on its own schedule.
+    Never,
+}
+
+impl Default for FsyncPolicy {
+    fn default() -> FsyncPolicy {
+        FsyncPolicy::Interval(FsyncPolicy::DEFAULT_INTERVAL)
+    }
+}
+
+impl FsyncPolicy {
+    /// The default flush period of the `interval` policy.
+    pub const DEFAULT_INTERVAL: Duration = Duration::from_millis(100);
+}
+
+impl FromStr for FsyncPolicy {
+    type Err = String;
+
+    /// Parse `always`, `never`, `interval`, or `interval=<ms>`.
+    fn from_str(s: &str) -> Result<FsyncPolicy, String> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "never" => Ok(FsyncPolicy::Never),
+            "interval" => Ok(FsyncPolicy::Interval(Self::DEFAULT_INTERVAL)),
+            other => match other.strip_prefix("interval=") {
+                Some(ms) => ms
+                    .parse::<u64>()
+                    .map(|ms| FsyncPolicy::Interval(Duration::from_millis(ms)))
+                    .map_err(|_| format!("bad fsync interval {ms:?} (milliseconds)")),
+                None => Err(format!(
+                    "bad fsync policy {s:?} (always, interval, interval=<ms>, never)"
+                )),
+            },
+        }
+    }
+}
+
+/// Durability settings for a [`Registry`](crate::registry::Registry).
+#[derive(Debug, Clone)]
+pub struct StorageConfig {
+    /// Directory holding the per-dataset WAL and snapshot files.
+    pub dir: PathBuf,
+    /// When appends are fsynced.
+    pub fsync: FsyncPolicy,
+    /// Compact (snapshot + truncate) once the WAL grows past this size.
+    pub compact_bytes: u64,
+}
+
+impl StorageConfig {
+    /// Storage in `dir` with the default policy (`interval`) and a 1 MiB
+    /// compaction threshold.
+    pub fn new(dir: impl Into<PathBuf>) -> StorageConfig {
+        StorageConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Interval(FsyncPolicy::DEFAULT_INTERVAL),
+            compact_bytes: 1 << 20,
+        }
+    }
+}
+
+/// What recovery found for one dataset.
+pub struct Recovered {
+    /// The reconstructed stream (snapshot + replayed log records).
+    pub stream: StreamingSkyline,
+    /// The reopened log, positioned for appends.
+    pub wal: DatasetWal,
+    /// Log records applied on top of the snapshot.
+    pub replayed: u64,
+}
+
+/// The append side of one dataset's log.
+pub struct DatasetWal {
+    wal_path: PathBuf,
+    snap_path: PathBuf,
+    writer: BufWriter<File>,
+    wal_bytes: u64,
+    policy: FsyncPolicy,
+    last_sync: Instant,
+    compact_bytes: u64,
+}
+
+fn wal_file(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.wal"))
+}
+
+fn snap_file(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.snap"))
+}
+
+/// Format an `f64` so it round-trips through the JSON parser. Rust's
+/// shortest-representation `Display` is exact for finite values;
+/// infinities are written as overflowing literals (`parse` saturates
+/// them back to the infinity).
+fn fmt_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else if v > 0.0 {
+        out.push_str("1e999");
+    } else if v < 0.0 {
+        out.push_str("-1e999");
+    } else {
+        out.push_str("null"); // NaN: rejected upstream, corrupt if seen
+    }
+}
+
+fn row_json(row: &[f64]) -> String {
+    let mut out = String::with_capacity(row.len() * 8 + 2);
+    out.push('[');
+    for (i, &v) in row.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        fmt_f64(v, &mut out);
+    }
+    out.push(']');
+    out
+}
+
+/// The `create` record opening every fresh log. `v` is 0: the record
+/// describes the empty dataset.
+pub fn create_record(dims: usize) -> String {
+    format!("{{\"op\":\"create\",\"v\":0,\"dims\":{dims}}}")
+}
+
+/// An `insert` record; `v` is the content version after the insert.
+pub fn insert_record(row: &[f64], v: u64) -> String {
+    format!("{{\"op\":\"insert\",\"v\":{v},\"row\":{}}}", row_json(row))
+}
+
+/// A `remove` record; `v` is the content version after the removal.
+pub fn remove_record(id: PointId, v: u64) -> String {
+    format!("{{\"op\":\"remove\",\"v\":{v},\"id\":{id}}}")
+}
+
+impl DatasetWal {
+    /// Start a fresh log for a new dataset, truncating any stale files
+    /// left by a dropped dataset of the same name.
+    pub fn create(config: &StorageConfig, name: &str) -> io::Result<DatasetWal> {
+        let wal_path = wal_file(&config.dir, name);
+        let snap_path = snap_file(&config.dir, name);
+        if snap_path.exists() {
+            fs::remove_file(&snap_path)?;
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&wal_path)?;
+        Ok(DatasetWal {
+            wal_path,
+            snap_path,
+            writer: BufWriter::new(file),
+            wal_bytes: 0,
+            policy: config.fsync,
+            last_sync: Instant::now(),
+            compact_bytes: config.compact_bytes,
+        })
+    }
+
+    /// Current size of the log file, bytes.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal_bytes
+    }
+
+    /// Append a batch of records as one write, then apply the fsync
+    /// policy. All-or-nothing from the caller's perspective: on error
+    /// nothing should be treated as acked (a torn tail is truncated at
+    /// recovery).
+    pub fn append_batch(&mut self, records: &[String]) -> io::Result<()> {
+        faults::check_io("wal_append")?;
+        let mut buf = String::with_capacity(records.iter().map(|r| r.len() + 1).sum());
+        for r in records {
+            buf.push_str(r);
+            buf.push('\n');
+        }
+        self.writer.write_all(buf.as_bytes())?;
+        self.wal_bytes += buf.len() as u64;
+        self.sync()
+    }
+
+    /// Flush, and fsync as the policy demands.
+    fn sync(&mut self) -> io::Result<()> {
+        self.writer.flush()?;
+        match self.policy {
+            FsyncPolicy::Always => self.writer.get_ref().sync_data()?,
+            FsyncPolicy::Interval(period) => {
+                if self.last_sync.elapsed() >= period {
+                    self.writer.get_ref().sync_data()?;
+                    self.last_sync = Instant::now();
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(())
+    }
+
+    /// Compact if the log has outgrown the threshold: snapshot `stream`
+    /// and truncate the log. Returns whether a compaction ran.
+    pub fn maybe_compact(&mut self, stream: &StreamingSkyline) -> io::Result<bool> {
+        if self.wal_bytes < self.compact_bytes {
+            return Ok(false);
+        }
+        self.write_snapshot(stream)?;
+        Ok(true)
+    }
+
+    /// Write a snapshot of `stream` (temp file + atomic rename) and
+    /// truncate the log: everything at or below the snapshot version now
+    /// lives in the snapshot.
+    pub fn write_snapshot(&mut self, stream: &StreamingSkyline) -> io::Result<()> {
+        faults::check_io("snapshot")?;
+        let mut doc = String::new();
+        let _ = write!(
+            doc,
+            "{{\"dims\":{},\"version\":{},\"slots\":[",
+            stream.dims(),
+            stream.version()
+        );
+        for (i, slot) in stream.slot_rows().iter().enumerate() {
+            if i > 0 {
+                doc.push(',');
+            }
+            match slot {
+                Some(row) => doc.push_str(&row_json(row)),
+                None => doc.push_str("null"),
+            }
+        }
+        doc.push_str("]}\n");
+        let tmp = self.snap_path.with_extension("snap.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(doc.as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &self.snap_path)?;
+        // The log is now redundant up to the snapshot version.
+        self.writer.flush()?;
+        let file = OpenOptions::new()
+            .write(true)
+            .truncate(true)
+            .open(&self.wal_path)?;
+        self.writer = BufWriter::new(file);
+        self.wal_bytes = 0;
+        self.last_sync = Instant::now();
+        Ok(())
+    }
+}
+
+/// Dataset names that have a WAL or snapshot under `dir`, sorted.
+pub fn list_datasets(dir: &Path) -> io::Result<Vec<String>> {
+    let mut names = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let (Some(stem), Some(ext)) = (
+            path.file_stem().and_then(|s| s.to_str()),
+            path.extension().and_then(|s| s.to_str()),
+        ) else {
+            continue;
+        };
+        if matches!(ext, "wal" | "snap") {
+            names.push(stem.to_string());
+        }
+    }
+    names.sort_unstable();
+    names.dedup();
+    Ok(names)
+}
+
+/// Parsed snapshot parts: `(dims, version, slots)` — slot `i` is
+/// `None` when stream handle `i` has been removed.
+type SnapshotParts = (usize, u64, Vec<Option<Vec<f64>>>);
+
+fn parse_snapshot(text: &str) -> Option<SnapshotParts> {
+    let v = Value::parse(text.trim()).ok()?;
+    let dims = v.get("dims")?.as_u64()? as usize;
+    let version = v.get("version")?.as_u64()?;
+    let mut slots = Vec::new();
+    for slot in v.get("slots")?.as_arr()? {
+        match slot {
+            Value::Null => slots.push(None),
+            Value::Arr(vals) => {
+                let row: Option<Vec<f64>> = vals.iter().map(Value::as_f64).collect();
+                slots.push(Some(row?));
+            }
+            _ => return None,
+        }
+    }
+    Some((dims, version, slots))
+}
+
+/// One parsed log record.
+enum WalRecord {
+    Create { dims: usize },
+    Insert { v: u64, row: Vec<f64> },
+    Remove { v: u64, id: PointId },
+}
+
+fn parse_record(line: &str) -> Option<WalRecord> {
+    let v = Value::parse(line).ok()?;
+    match v.get("op")?.as_str()? {
+        "create" => Some(WalRecord::Create {
+            dims: v.get("dims")?.as_u64()? as usize,
+        }),
+        "insert" => {
+            let row: Option<Vec<f64>> = v.get("row")?.as_arr()?.iter().map(Value::as_f64).collect();
+            Some(WalRecord::Insert {
+                v: v.get("v")?.as_u64()?,
+                row: row?,
+            })
+        }
+        "remove" => Some(WalRecord::Remove {
+            v: v.get("v")?.as_u64()?,
+            id: v.get("id")?.as_u64()? as PointId,
+        }),
+        _ => None,
+    }
+}
+
+/// Recover one dataset from its snapshot and log. Returns `None` when
+/// neither file yields a dataset (e.g. an empty or fully corrupt log
+/// with no snapshot). A torn or corrupt log tail is truncated on disk so
+/// subsequent appends extend a clean log.
+pub fn recover(config: &StorageConfig, name: &str) -> io::Result<Option<Recovered>> {
+    let wal_path = wal_file(&config.dir, name);
+    let snap_path = snap_file(&config.dir, name);
+
+    let mut stream: Option<StreamingSkyline> = None;
+    if snap_path.exists() {
+        if let Some((dims, version, slots)) = parse_snapshot(&fs::read_to_string(&snap_path)?) {
+            stream = StreamingSkyline::restore(dims, &slots, version).ok();
+        }
+    }
+
+    let bytes = if wal_path.exists() {
+        fs::read(&wal_path)?
+    } else {
+        Vec::new()
+    };
+    let mut replayed = 0u64;
+    let mut offset = 0usize; // start of the current line
+    let mut good_end = 0usize; // one past the last fully applied line
+    let mut metrics = Metrics::new();
+    while offset < bytes.len() {
+        let line_end = match bytes[offset..].iter().position(|&b| b == b'\n') {
+            Some(i) => offset + i,
+            None => break, // torn final record: no terminator
+        };
+        let parsed = std::str::from_utf8(&bytes[offset..line_end])
+            .ok()
+            .and_then(parse_record);
+        let Some(record) = parsed else { break };
+        let applied = match record {
+            WalRecord::Create { dims } => match stream {
+                // A snapshot supersedes the create record.
+                Some(_) => true,
+                None => match StreamingSkyline::new(dims) {
+                    Ok(s) => {
+                        stream = Some(s);
+                        true
+                    }
+                    Err(_) => false,
+                },
+            },
+            WalRecord::Insert { v, row } => match stream.as_mut() {
+                Some(s) if v > s.version() => match s.insert(&row, &mut metrics) {
+                    Ok(_) => {
+                        replayed += 1;
+                        true
+                    }
+                    Err(_) => false,
+                },
+                Some(_) => true, // already in the snapshot
+                None => false,
+            },
+            WalRecord::Remove { v, id } => match stream.as_mut() {
+                Some(s) if v > s.version() => {
+                    // A no-op remove means the log disagrees with the
+                    // state; treat the rest as corrupt.
+                    let live = s.remove(id, &mut metrics);
+                    replayed += u64::from(live);
+                    live
+                }
+                Some(_) => true,
+                None => false,
+            },
+        };
+        if !applied {
+            break;
+        }
+        offset = line_end + 1;
+        good_end = offset;
+    }
+
+    let Some(stream) = stream else {
+        return Ok(None);
+    };
+
+    // Truncate a torn or corrupt tail so the reopened log is clean.
+    if good_end < bytes.len() {
+        OpenOptions::new()
+            .write(true)
+            .open(&wal_path)?
+            .set_len(good_end as u64)?;
+    }
+
+    let file = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&wal_path)?;
+    let wal = DatasetWal {
+        wal_path,
+        snap_path,
+        writer: BufWriter::new(file),
+        wal_bytes: good_end as u64,
+        policy: config.fsync,
+        last_sync: Instant::now(),
+        compact_bytes: config.compact_bytes,
+    };
+    Ok(Some(Recovered {
+        stream,
+        wal,
+        replayed,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "skyline-wal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn build(config: &StorageConfig, name: &str) -> StreamingSkyline {
+        let mut stream = StreamingSkyline::new(2).unwrap();
+        let mut wal = DatasetWal::create(config, name).unwrap();
+        wal.append_batch(&[create_record(2)]).unwrap();
+        let mut metrics = Metrics::new();
+        let mut records = Vec::new();
+        for row in [[1.0, 5.0], [5.0, 1.0], [6.0, 6.0], [0.25, 9.5]] {
+            records.push(insert_record(&row, stream.version() + 1));
+            stream.insert(&row, &mut metrics).unwrap();
+        }
+        wal.append_batch(&records).unwrap();
+        assert!(stream.remove(2, &mut metrics));
+        wal.append_batch(&[remove_record(2, stream.version())])
+            .unwrap();
+        stream
+    }
+
+    fn assert_streams_match(a: &StreamingSkyline, b: &StreamingSkyline) {
+        assert_eq!(a.version(), b.version());
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.skyline(), b.skyline());
+        assert_eq!(a.snapshot_rows(), b.snapshot_rows());
+    }
+
+    #[test]
+    fn log_replay_round_trips() {
+        let config = StorageConfig {
+            fsync: FsyncPolicy::Always,
+            ..StorageConfig::new(temp_dir("replay"))
+        };
+        let original = build(&config, "d");
+        let recovered = recover(&config, "d").unwrap().expect("dataset exists");
+        assert_streams_match(&original, &recovered.stream);
+        assert_eq!(recovered.replayed, 5, "4 inserts + 1 remove");
+        fs::remove_dir_all(&config.dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_recovers_to_last_complete_record() {
+        let config = StorageConfig::new(temp_dir("torn"));
+        let original = build(&config, "d");
+        let path = wal_file(&config.dir, "d");
+        // Simulate a crash mid-append: a record without its terminator.
+        let clean_len = fs::metadata(&path).unwrap().len();
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"op\":\"insert\",\"v\":99,\"row\":[1.0,")
+            .unwrap();
+        drop(f);
+
+        let recovered = recover(&config, "d").unwrap().expect("dataset exists");
+        assert_streams_match(&original, &recovered.stream);
+        assert_eq!(
+            fs::metadata(&path).unwrap().len(),
+            clean_len,
+            "torn tail truncated away"
+        );
+        // And again with garbage mid-file followed by a valid record:
+        // everything from the first bad line on is dropped.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"not json\n").unwrap();
+        f.write_all(insert_record(&[0.0, 0.0], original.version() + 1).as_bytes())
+            .unwrap();
+        f.write_all(b"\n").unwrap();
+        drop(f);
+        let recovered = recover(&config, "d").unwrap().expect("dataset exists");
+        assert_streams_match(&original, &recovered.stream);
+        fs::remove_dir_all(&config.dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_snapshots_and_truncates() {
+        let mut config = StorageConfig::new(temp_dir("compact"));
+        config.compact_bytes = 64; // force compaction quickly
+        let mut stream = StreamingSkyline::new(2).unwrap();
+        let mut wal = DatasetWal::create(&config, "c").unwrap();
+        wal.append_batch(&[create_record(2)]).unwrap();
+        let mut metrics = Metrics::new();
+        let mut compactions = 0;
+        for i in 0..20 {
+            let row = [i as f64, 20.0 - i as f64];
+            let rec = insert_record(&row, stream.version() + 1);
+            stream.insert(&row, &mut metrics).unwrap();
+            wal.append_batch(&[rec]).unwrap();
+            if wal.maybe_compact(&stream).unwrap() {
+                compactions += 1;
+            }
+        }
+        assert!(compactions >= 1, "threshold forced at least one snapshot");
+        assert!(snap_file(&config.dir, "c").exists());
+        assert!(wal.wal_bytes() < 64);
+
+        let recovered = recover(&config, "c").unwrap().expect("dataset exists");
+        assert_streams_match(&stream, &recovered.stream);
+        // Handles keep lining up after recovery: the next insert gets the
+        // same id in both streams.
+        let id_a = stream.insert(&[9.0, 9.0], &mut metrics).unwrap();
+        let mut rec_stream = recovered.stream;
+        let id_b = rec_stream.insert(&[9.0, 9.0], &mut metrics).unwrap();
+        assert_eq!(id_a, id_b);
+        fs::remove_dir_all(&config.dir).unwrap();
+    }
+
+    #[test]
+    fn fsync_policy_parses() {
+        assert_eq!("always".parse(), Ok(FsyncPolicy::Always));
+        assert_eq!("never".parse(), Ok(FsyncPolicy::Never));
+        assert_eq!(
+            "interval".parse(),
+            Ok(FsyncPolicy::Interval(FsyncPolicy::DEFAULT_INTERVAL))
+        );
+        assert_eq!(
+            "interval=250".parse(),
+            Ok(FsyncPolicy::Interval(Duration::from_millis(250)))
+        );
+        assert!("interval=abc".parse::<FsyncPolicy>().is_err());
+        assert!("sometimes".parse::<FsyncPolicy>().is_err());
+    }
+
+    #[test]
+    fn list_datasets_finds_wal_and_snap_stems() {
+        let dir = temp_dir("list");
+        fs::write(dir.join("a.wal"), b"").unwrap();
+        fs::write(dir.join("b.snap"), b"").unwrap();
+        fs::write(dir.join("a.snap"), b"").unwrap();
+        fs::write(dir.join("noise.txt"), b"").unwrap();
+        assert_eq!(list_datasets(&dir).unwrap(), vec!["a", "b"]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rows_with_infinities_round_trip() {
+        let rec = insert_record(&[f64::INFINITY, -1.5, f64::NEG_INFINITY], 1);
+        let Some(WalRecord::Insert { v, row }) = parse_record(&rec) else {
+            panic!("parse {rec}");
+        };
+        assert_eq!(v, 1);
+        assert_eq!(row, vec![f64::INFINITY, -1.5, f64::NEG_INFINITY]);
+    }
+}

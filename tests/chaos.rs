@@ -1,0 +1,298 @@
+//! Chaos harness: drives the server through injected faults — WAL I/O
+//! errors, slow writes, torn log tails, handler panics, and overload —
+//! and asserts it degrades *correctly*: unacked writes are rejected
+//! whole, recovery lands on the last acked version, panics turn into
+//! 500s, and excess load is shed with 503 + `Retry-After`.
+//!
+//! Requires the `chaos` feature (`--features chaos --test chaos`),
+//! which compiles the fault probes into `skyline-serve`.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use skyline_core::dataset::Dataset;
+use skyline_integration_tests::{
+    http_client as client, oracle_skyline, parse_skyline_response, rows_json,
+};
+use skyline_obs::json::Value;
+use skyline_serve::faults::{self, Fault};
+use skyline_serve::wal::FsyncPolicy;
+use skyline_serve::{Server, ServerConfig, ServerHandle};
+
+/// The fault table is process-global, so chaos tests must not overlap.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serialises a test and guarantees the fault table is clean on entry
+/// and on exit, even when the test panics.
+struct FaultScope<'a> {
+    _guard: std::sync::MutexGuard<'a, ()>,
+}
+
+impl FaultScope<'_> {
+    fn enter() -> FaultScope<'static> {
+        let guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        faults::clear();
+        FaultScope { _guard: guard }
+    }
+}
+
+impl Drop for FaultScope<'_> {
+    fn drop(&mut self) {
+        faults::clear();
+    }
+}
+
+fn sample_rows() -> Vec<Vec<f64>> {
+    let spec = skyline_data::SyntheticSpec {
+        distribution: skyline_data::Distribution::AntiCorrelated,
+        cardinality: 120,
+        dims: 4,
+        seed: 0xC0DE,
+    };
+    let data = spec.generate();
+    data.iter().map(|(_, row)| row.to_vec()).collect()
+}
+
+fn start_memory_server(max_inflight: usize) -> ServerHandle {
+    Server::start(ServerConfig {
+        threads: 4,
+        max_inflight,
+        ..ServerConfig::default()
+    })
+    .expect("start chaos server")
+}
+
+fn temp_data_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("skyline-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A WAL write error rejects the whole batch — nothing is applied, the
+/// client sees 500 — and once the fault clears, writes succeed again.
+#[test]
+fn wal_io_error_rejects_the_write_whole_then_recovers() {
+    let _scope = FaultScope::enter();
+    let dir = temp_data_dir("walerr");
+    let server = Server::start(ServerConfig {
+        data_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let created = client::post(addr, "/datasets", "{\"name\": \"w\", \"rows\": [[1, 2]]}").unwrap();
+    assert_eq!(created.status, 201, "{}", created.body_str());
+
+    faults::inject("wal_append", Fault::IoError(1));
+    let failed = client::post(addr, "/datasets/w/points", "{\"rows\": [[0.5, 0.5]]}").unwrap();
+    assert_eq!(failed.status, 500, "{}", failed.body_str());
+    assert!(
+        failed.body_str().contains("durability failure"),
+        "{}",
+        failed.body_str()
+    );
+
+    // Nothing was applied: still one point at the creation version.
+    let resp = client::get(addr, "/skyline?dataset=w").unwrap();
+    let (version, _, ids) = parse_skyline_response(&resp.body_str());
+    assert_eq!(version, 1, "unacked insert did not move the version");
+    assert_eq!(ids, vec![0]);
+
+    // Fault budget exhausted: the retried insert succeeds.
+    let ok = client::post(addr, "/datasets/w/points", "{\"rows\": [[0.5, 0.5]]}").unwrap();
+    assert_eq!(ok.status, 200, "{}", ok.body_str());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Slow WAL writes slow the ack but do not fail it.
+#[test]
+fn slow_wal_writes_delay_the_ack_but_succeed() {
+    let _scope = FaultScope::enter();
+    let dir = temp_data_dir("walslow");
+    let server = Server::start(ServerConfig {
+        data_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    client::post(addr, "/datasets", "{\"name\": \"s\", \"rows\": [[1, 2]]}").unwrap();
+
+    faults::inject("wal_append", Fault::Delay(Duration::from_millis(80)));
+    let t = Instant::now();
+    let ok = client::post(addr, "/datasets/s/points", "{\"rows\": [[3, 4]]}").unwrap();
+    let elapsed = t.elapsed();
+    assert_eq!(ok.status, 200, "{}", ok.body_str());
+    assert!(
+        elapsed >= Duration::from_millis(70),
+        "ack waited for the WAL"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A handler panic is isolated into a 500, counted in `/metrics`, and
+/// the server keeps serving.
+#[test]
+fn handler_panic_becomes_500_and_server_stays_up() {
+    let _scope = FaultScope::enter();
+    let server = start_memory_server(0);
+    let addr = server.local_addr();
+
+    faults::inject("handler", Fault::Panic(1));
+    let resp = client::get(addr, "/healthz").unwrap();
+    assert_eq!(resp.status, 500, "{}", resp.body_str());
+    assert!(resp.body_str().contains("panicked"), "{}", resp.body_str());
+
+    let ok = client::get(addr, "/healthz").unwrap();
+    assert_eq!(ok.status, 200, "server survived the panic");
+    let metrics = client::get(addr, "/metrics").unwrap();
+    let v = Value::parse(&metrics.body_str()).unwrap();
+    assert!(
+        v.get("panics_total").unwrap().as_u64().unwrap() >= 1,
+        "{}",
+        metrics.body_str()
+    );
+}
+
+/// With `max_inflight = 1` and a slow compute pinning the only slot, a
+/// concurrent query is shed immediately with 503 + `Retry-After`.
+#[test]
+fn overload_sheds_quickly_with_retry_after() {
+    let _scope = FaultScope::enter();
+    let server = start_memory_server(1);
+    let addr = server.local_addr();
+    let rows = sample_rows();
+    let created = client::post(
+        addr,
+        "/datasets",
+        &format!("{{\"name\": \"load\", \"rows\": {}}}", rows_json(&rows)),
+    )
+    .unwrap();
+    assert_eq!(created.status, 201, "{}", created.body_str());
+
+    faults::inject("compute", Fault::Delay(Duration::from_millis(400)));
+    let slow = std::thread::spawn(move || client::get(addr, "/skyline?dataset=load").unwrap());
+    // Let the slow query take the only admission slot.
+    std::thread::sleep(Duration::from_millis(100));
+
+    let t = Instant::now();
+    let shed = client::get(addr, "/skyline?dataset=load&algo=SFS").unwrap();
+    let elapsed = t.elapsed();
+    assert_eq!(shed.status, 503, "{}", shed.body_str());
+    assert_eq!(shed.header("retry-after"), Some("1"), "{:?}", shed.headers);
+    assert!(
+        elapsed < Duration::from_millis(50),
+        "shedding must be immediate, took {elapsed:?}"
+    );
+
+    let slow_resp = slow.join().unwrap();
+    assert_eq!(slow_resp.status, 200, "the admitted query completed");
+
+    let metrics = client::get(addr, "/metrics").unwrap();
+    let v = Value::parse(&metrics.body_str()).unwrap();
+    assert!(
+        v.get("shed_total").unwrap().as_u64().unwrap() >= 1,
+        "{}",
+        metrics.body_str()
+    );
+}
+
+/// A torn WAL tail (crash mid-append) is truncated at recovery: the
+/// server boots, drops the torn suffix, and serves exactly the acked
+/// prefix — verified against the brute-force oracle.
+#[test]
+fn torn_wal_tail_recovers_to_the_last_acked_version() {
+    let _scope = FaultScope::enter();
+    let dir = temp_data_dir("torn");
+    let rows = sample_rows();
+
+    let acked_version = {
+        // fsync=always so every acked record is on disk when we "crash".
+        let server = Server::start(ServerConfig {
+            data_dir: Some(dir.clone()),
+            fsync: FsyncPolicy::Always,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        let created = client::post(
+            addr,
+            "/datasets",
+            &format!("{{\"name\": \"t\", \"rows\": {}}}", rows_json(&rows)),
+        )
+        .unwrap();
+        assert_eq!(created.status, 201, "{}", created.body_str());
+        let resp = client::get(addr, "/skyline?dataset=t&algo=SFS").unwrap();
+        parse_skyline_response(&resp.body_str()).0
+    };
+
+    // Simulate a crash mid-append: a torn, unterminated record at the
+    // tail of the log.
+    let wal_path = dir.join("t.wal");
+    let mut torn = std::fs::read(&wal_path).unwrap();
+    torn.extend_from_slice(b"{\"op\":\"insert\",\"v\":999,\"row\":[0.0");
+    std::fs::write(&wal_path, &torn).unwrap();
+
+    let server = Server::start(ServerConfig {
+        data_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let resp = client::get(addr, "/skyline?dataset=t&algo=SFS").unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    let (version, _, ids) = parse_skyline_response(&resp.body_str());
+    assert_eq!(
+        version, acked_version,
+        "torn suffix dropped, acked prefix kept"
+    );
+    let oracle = oracle_skyline(&Dataset::from_rows(&rows).unwrap());
+    assert_eq!(
+        ids, oracle,
+        "recovered skyline equals the brute-force oracle"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A snapshot failure during compaction is non-fatal: the write is
+/// acked from the log alone and the dataset stays fully recoverable.
+#[test]
+fn snapshot_failure_is_tolerated_and_data_survives() {
+    let _scope = FaultScope::enter();
+    let dir = temp_data_dir("snapfail");
+    let acked = {
+        let server = Server::start(ServerConfig {
+            data_dir: Some(dir.clone()),
+            fsync: FsyncPolicy::Always,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        client::post(addr, "/datasets", "{\"name\": \"p\", \"rows\": [[5, 5]]}").unwrap();
+        faults::inject("snapshot", Fault::IoError(100));
+        // Insert enough to cross any compaction threshold attempt.
+        for i in 0..50 {
+            let ok = client::post(
+                addr,
+                "/datasets/p/points",
+                &format!("{{\"rows\": [[{}, {}]]}}", i + 6, i + 6),
+            )
+            .unwrap();
+            assert_eq!(ok.status, 200, "{}", ok.body_str());
+        }
+        faults::clear();
+        let resp = client::get(addr, "/skyline?dataset=p").unwrap();
+        parse_skyline_response(&resp.body_str())
+    };
+
+    let server = Server::start(ServerConfig {
+        data_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let resp = client::get(addr, "/skyline?dataset=p").unwrap();
+    let (version, _, ids) = parse_skyline_response(&resp.body_str());
+    assert_eq!(version, acked.0);
+    assert_eq!(ids, acked.2);
+    let _ = std::fs::remove_dir_all(&dir);
+}

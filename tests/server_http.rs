@@ -1,7 +1,12 @@
 //! End-to-end tests of the HTTP query service: byte-identical results
 //! between the HTTP path and a direct library call, cache-hit semantics
-//! on repeated queries, and cache invalidation under streaming
-//! maintenance.
+//! on repeated queries, cache invalidation under streaming maintenance,
+//! protocol robustness against malformed requests, query deadlines, and
+//! durable crash recovery.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
 
 use skyline_algos::{algorithm_by_name, parallel_algorithm};
 use skyline_core::dataset::Dataset;
@@ -9,6 +14,8 @@ use skyline_core::subspace::Subspace;
 use skyline_integration_tests::{
     http_client as client, oracle_skyline, parse_skyline_response, rows_json, start_server,
 };
+use skyline_obs::json::Value;
+use skyline_serve::{Server, ServerConfig};
 
 fn workload_rows() -> Vec<Vec<f64>> {
     let spec = skyline_data::SyntheticSpec {
@@ -201,4 +208,195 @@ fn synthetic_datasets_are_reproducible() {
     }
     .generate();
     assert_eq!(ids, oracle_skyline(&local));
+}
+
+/// Write raw bytes on a fresh connection and read whatever comes back.
+fn raw_exchange(addr: std::net::SocketAddr, payload: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream.write_all(payload).unwrap();
+    let mut out = Vec::new();
+    let _ = stream.read_to_end(&mut out);
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// A garbage request line gets a well-formed 400, not a hang or a drop.
+#[test]
+fn garbage_request_line_gets_400() {
+    let server = start_server();
+    let reply = raw_exchange(server.local_addr(), b"complete nonsense\r\n\r\n");
+    assert!(reply.starts_with("HTTP/1.1 400"), "got: {reply:?}");
+}
+
+/// More request headers than the cap is rejected with 400.
+#[test]
+fn too_many_headers_gets_400() {
+    let server = start_server();
+    let mut req = String::from("GET /healthz HTTP/1.1\r\nHost: x\r\n");
+    for i in 0..200 {
+        req.push_str(&format!("X-Pad-{i}: {i}\r\n"));
+    }
+    req.push_str("\r\n");
+    let reply = raw_exchange(server.local_addr(), req.as_bytes());
+    assert!(reply.starts_with("HTTP/1.1 400"), "got: {reply:?}");
+}
+
+/// A body larger than the configured cap is rejected with 413 before the
+/// server buffers it.
+#[test]
+fn oversized_body_gets_413() {
+    let server = Server::start(ServerConfig {
+        max_body: 1024,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let body = "x".repeat(4096);
+    let req = format!(
+        "POST /datasets HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let reply = raw_exchange(server.local_addr(), req.as_bytes());
+    assert!(reply.starts_with("HTTP/1.1 413"), "got: {reply:?}");
+}
+
+/// A body shorter than its Content-Length stalls until the read times
+/// out; the connection is dropped and the server stays healthy.
+#[test]
+fn truncated_body_drops_connection_and_server_stays_healthy() {
+    let server = Server::start(ServerConfig {
+        request_timeout: Duration::from_millis(200),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream
+        .write_all(b"POST /datasets HTTP/1.1\r\nHost: x\r\nContent-Length: 100\r\n\r\n{\"na")
+        .unwrap();
+    // The server times the read out and closes without a response.
+    let mut out = Vec::new();
+    let _ = stream.read_to_end(&mut out);
+    assert!(out.is_empty(), "no response for a truncated body: {out:?}");
+    // The worker survived: the next request on a fresh connection works.
+    let ok = client::get(addr, "/healthz").unwrap();
+    assert_eq!(ok.status, 200);
+}
+
+/// A 1 ms deadline on a large anti-correlated dataset cancels the
+/// compute with 504, and the counter lands in `/metrics`.
+#[test]
+fn expired_deadline_returns_504_and_is_counted() {
+    let spec = skyline_data::SyntheticSpec {
+        distribution: skyline_data::Distribution::AntiCorrelated,
+        cardinality: 6000,
+        dims: 8,
+        seed: 0xFEED,
+    };
+    let data = spec.generate();
+    let rows: Vec<Vec<f64>> = data.iter().map(|(_, row)| row.to_vec()).collect();
+    let server = start_server();
+    let addr = server.local_addr();
+    let created = client::post(
+        addr,
+        "/datasets",
+        &format!("{{\"name\": \"big\", \"rows\": {}}}", rows_json(&rows)),
+    )
+    .unwrap();
+    assert_eq!(created.status, 201, "{}", created.body_str());
+
+    let resp = client::get(addr, "/skyline?dataset=big&algo=SDI-Subset&deadline_ms=1").unwrap();
+    assert_eq!(resp.status, 504, "{}", resp.body_str());
+
+    let metrics = client::get(addr, "/metrics").unwrap();
+    let v = Value::parse(&metrics.body_str()).unwrap();
+    assert!(
+        v.get("deadline_exceeded_total").unwrap().as_u64().unwrap() >= 1,
+        "{}",
+        metrics.body_str()
+    );
+
+    // Without a deadline the same query completes.
+    let ok = client::get(addr, "/skyline?dataset=big&algo=SDI-Subset").unwrap();
+    assert_eq!(ok.status, 200, "{}", ok.body_str());
+}
+
+/// Bad `deadline_ms` values are rejected up front.
+#[test]
+fn bad_deadline_values_get_400() {
+    let server = start_server();
+    let addr = server.local_addr();
+    client::post(addr, "/datasets", "{\"name\": \"d\", \"rows\": [[1, 2]]}").unwrap();
+    for bad in ["abc", "0", "-5"] {
+        let resp = client::get(addr, &format!("/skyline?dataset=d&deadline_ms={bad}")).unwrap();
+        assert_eq!(resp.status, 400, "deadline_ms={bad}: {}", resp.body_str());
+    }
+}
+
+/// Durable round trip: a server with a data dir is stopped and a new one
+/// opened on the same dir; the dataset comes back at the same content
+/// version with the same skyline.
+#[test]
+fn restart_recovers_datasets_from_the_data_dir() {
+    let dir = std::env::temp_dir().join(format!("skyline-http-recover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let rows = workload_rows();
+
+    let (want_version, want_ids) = {
+        let server = Server::start(ServerConfig {
+            data_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        let created = client::post(
+            addr,
+            "/datasets",
+            &format!("{{\"name\": \"dur\", \"rows\": {}}}", rows_json(&rows)),
+        )
+        .unwrap();
+        assert_eq!(created.status, 201, "{}", created.body_str());
+        client::post(
+            addr,
+            "/datasets/dur/points",
+            "{\"rows\": [[0.01, 0.01, 0.01, 0.01, 0.01]]}",
+        )
+        .unwrap();
+        client::request(addr, "DELETE", "/datasets/dur/points", b"{\"ids\": [3]}").unwrap();
+        let resp = client::get(addr, "/skyline?dataset=dur&algo=SFS").unwrap();
+        let (version, _, ids) = parse_skyline_response(&resp.body_str());
+        (version, ids)
+        // Dropping the handle shuts the first server down.
+    };
+
+    let server = Server::start(ServerConfig {
+        data_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let resp = client::get(addr, "/skyline?dataset=dur&algo=SFS").unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    let (version, _, ids) = parse_skyline_response(&resp.body_str());
+    assert_eq!(version, want_version, "recovered to the acked version");
+    assert_eq!(ids, want_ids, "recovered skyline matches pre-restart");
+
+    let metrics = client::get(addr, "/metrics").unwrap();
+    let v = Value::parse(&metrics.body_str()).unwrap();
+    assert!(
+        v.get("recovery_replayed_records")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            >= 1,
+        "{}",
+        metrics.body_str()
+    );
+    assert!(v.get("wal_bytes").unwrap().as_u64().unwrap() > 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
 }

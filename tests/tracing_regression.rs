@@ -136,7 +136,12 @@ fn boosted_runs_emit_phase_spans_and_events() {
                 Event::ShardScan { .. } | Event::ParallelMerge { .. } => {
                     panic!("{name}: sequential run emitted a parallel event");
                 }
-                Event::Request { .. } | Event::CacheHit { .. } => {
+                Event::Request { .. }
+                | Event::CacheHit { .. }
+                | Event::Shed { .. }
+                | Event::DeadlineExceeded { .. }
+                | Event::HandlerPanic { .. }
+                | Event::Recovery { .. } => {
                     panic!("{name}: library run emitted a server event");
                 }
             }
