@@ -88,6 +88,52 @@ if [[ "$quick" != "quick" ]]; then
         --out "$tmp/BENCH_SERVE.json" 2>/dev/null
     grep -q '"req_per_sec"' "$tmp/BENCH_SERVE.json"
 
+    echo "==> cluster smoke: 2 shards + coordinator, scatter-gather, shard loss"
+    ./target/release/skyline serve --port 0 --threads 2 > "$tmp/shard0.out" &
+    shard0_pid=$!
+    ./target/release/skyline serve --port 0 --threads 2 > "$tmp/shard1.out" &
+    shard1_pid=$!
+    for f in shard0 shard1; do
+        for _ in $(seq 1 50); do
+            grep -q '^listening on ' "$tmp/$f.out" && break
+            sleep 0.1
+        done
+    done
+    shard0=$(sed -n 's/^listening on //p' "$tmp/shard0.out")
+    shard1=$(sed -n 's/^listening on //p' "$tmp/shard1.out")
+    [[ -n "$shard0" && -n "$shard1" ]] || { echo "shards never reported addresses"; exit 1; }
+    ./target/release/skyline cluster --shards "$shard0,$shard1" --port 0 \
+        --trace "$tmp/cluster.jsonl" > "$tmp/cluster.out" &
+    cluster_pid=$!
+    for _ in $(seq 1 50); do
+        grep -q '^listening on ' "$tmp/cluster.out" && break
+        sleep 0.1
+    done
+    coord=$(sed -n 's/^listening on //p' "$tmp/cluster.out")
+    [[ -n "$coord" ]] || { echo "coordinator never reported its address"; exit 1; }
+    curl -sf "http://$coord/healthz" | grep -q '"shards":2'
+    curl -sf -X POST "http://$coord/datasets" \
+        -d '{"name": "ci", "synthetic": {"distribution": "AC", "n": 600, "dims": 4, "seed": 3}}' \
+        | grep -q '"points":600'
+    curl -sf "http://$coord/skyline?dataset=ci&algo=SDI-Subset" \
+        | grep -q '"partial":false'
+    curl -sf "http://$coord/metrics" | grep -q '"shards":\['
+    kill -9 "$shard1_pid"    # shard death degrades, never errors
+    wait "$shard1_pid" 2>/dev/null || true
+    curl -sf "http://$coord/skyline?dataset=ci&algo=SDI-Subset" \
+        | grep -q '"partial":true,"missing_shards":\[1\]'
+    curl -sf -X POST "http://$coord/shutdown" | grep -q 'shutting down'
+    wait "$cluster_pid"
+    curl -sf -X POST "http://$shard0/shutdown" >/dev/null
+    wait "$shard0_pid"
+    grep -q '"type":"shard_rpc"' "$tmp/cluster.jsonl"
+    grep -q '"type":"cluster_merge"' "$tmp/cluster.jsonl"
+
+    echo "==> cluster bench artefact (quick)"
+    ./target/release/repro bench-json --cluster --requests 2 \
+        --out "$tmp/BENCH_CLUSTER.json" 2>/dev/null
+    grep -q '"shards":4' "$tmp/BENCH_CLUSTER.json"
+
     echo "==> chaos smoke: kill -9 mid-flight, reboot from the WAL, same answer"
     ./target/release/skyline serve --port 0 --threads 2 \
         --data-dir "$tmp/data" --fsync always > "$tmp/crash.out" &

@@ -37,12 +37,12 @@
 use std::thread;
 use std::time::Instant;
 
-use skyline_core::cancel::{CancelToken, Cancelled, CHECK_STRIDE};
-use skyline_core::container::{SkylineContainer, SubsetContainer};
+use skyline_core::cancel::{CancelToken, Cancelled};
 use skyline_core::dataset::Dataset;
-use skyline_core::dominance::{dominates, dominating_subspace, lex_cmp, points_equal};
+use skyline_core::dominance::lex_cmp;
 use skyline_core::metrics::Metrics;
-use skyline_core::point::{coordinate_sum, max_coordinate, min_coordinate, PointId};
+use skyline_core::point::{coordinate_sum, max_coordinate, PointId};
+use skyline_core::shard_merge::{merge_shard_skylines, EliteRef, MergeEntry, NO_SHARD};
 use skyline_core::subspace::Subspace;
 use skyline_obs::{Event, NoopRecorder, Recorder};
 
@@ -408,21 +408,15 @@ fn elite_points(data: &Dataset) -> Vec<PointId> {
     keyed.into_iter().map(|(_, id)| id).collect()
 }
 
-/// The shared subset-index merge pass over the union of local skylines.
+/// The shared subset-index merge pass over the union of local skylines —
+/// a thin adapter over [`skyline_core::shard_merge::merge_shard_skylines`],
+/// which the cluster coordinator reuses verbatim.
 ///
-/// The elite set doubles as the subspace reference: every union point
-/// gets `D_{q≺E} = ∪ₑ D_{q≺e}` (one dominance test per elite — points an
-/// elite strictly dominates are dropped on the spot), which is sound for
-/// Lemma 5.1 under *any* reference set — `p ≺ q` implies
-/// `D_{p≺e} ⊇ D_{q≺e}` per elite, hence over the union. Since all shards
-/// share the same elites, the subspaces are mutually comparable and no
-/// second pivot merge is needed.
-///
-/// The scan presorts by SaLSa's `minC` (monotone, and it enables the
-/// stop-point rule regardless of which algorithm ran inside the shards)
-/// and keeps one subset container per shard: a testing point queries
-/// every container except its own shard's, because same-shard local
-/// skyline points are mutually non-dominated.
+/// The elite set doubles as the subspace reference (tagged [`NO_SHARD`]
+/// so every candidate is referenced against every elite): every union
+/// point gets `D_{q≺E} = ∪ₑ D_{q≺e}`, sound for Lemma 5.1 under *any*
+/// shared reference set. See the core module docs for the presort, the
+/// per-shard containers, and the stop-point rule.
 fn merge_shards(
     data: &Dataset,
     shards: &[ShardRun],
@@ -431,89 +425,35 @@ fn merge_shards(
     rec: &mut dyn Recorder,
     cancel: &CancelToken,
 ) -> Result<Vec<PointId>, Cancelled> {
-    let dims = data.dims();
-
-    // Subspace assignment against the shared elite set, dropping points
-    // an elite strictly dominates. Exact elite duplicates stay (an empty
-    // subspace is a valid, maximally-conservative trie key).
-    rec.span_start("sort");
-    let mut entries: Vec<(PointId, u32, Subspace)> = Vec::new();
+    let mut entries: Vec<MergeEntry> =
+        Vec::with_capacity(shards.iter().map(|s| s.skyline.len()).sum());
     for (i, shard) in shards.iter().enumerate() {
-        if cancel.check().is_err() {
-            rec.span_end("sort");
-            return Err(Cancelled);
-        }
-        'points: for &q in &shard.skyline {
-            let q_row = data.point(q);
-            let mut sub = Subspace::from_bits(0);
-            for &e in elites {
-                metrics.count_dt();
-                let d = dominating_subspace(q_row, data.point(e));
-                if d.is_empty() && !points_equal(q_row, data.point(e)) {
-                    continue 'points; // an elite strictly dominates q
-                }
-                sub = sub.union(d);
-            }
-            entries.push((q, i as u32, sub));
+        for &q in &shard.skyline {
+            entries.push(MergeEntry {
+                key: q as u64,
+                shard: i as u32,
+                premask: Subspace::from_bits(0),
+            });
         }
     }
-
-    // Presort by SaLSa's minC function (sum, then lexicographic
-    // tie-breaks so a dominator always precedes its victims even when
-    // scores round equal).
-    entries.sort_unstable_by(|&(a, _, _), &(b, _, _)| {
-        let (pa, pb) = (data.point(a), data.point(b));
-        min_coordinate(pa)
-            .total_cmp(&min_coordinate(pb))
-            .then_with(|| coordinate_sum(pa).total_cmp(&coordinate_sum(pb)))
-            .then_with(|| lex_cmp(pa, pb))
-    });
-    rec.span_end("sort");
-
-    rec.span_start("scan");
-    let mut skyline: Vec<PointId> = Vec::new();
-    let mut best_max = f64::INFINITY;
-    let mut containers: Vec<SubsetContainer> = (0..shards.len())
-        .map(|_| SubsetContainer::new(dims))
+    let elite_refs: Vec<EliteRef> = elites
+        .iter()
+        .map(|&e| EliteRef {
+            shard: NO_SHARD,
+            row: data.point(e),
+        })
         .collect();
-    let mut candidates: Vec<PointId> = Vec::new();
-    for (scanned, &(q, q_shard, q_sub)) in entries.iter().enumerate() {
-        if scanned % CHECK_STRIDE == 0 && cancel.check().is_err() {
-            rec.span_end("scan");
-            return Err(Cancelled);
-        }
-        let q_row = data.point(q);
-        if min_coordinate(q_row) > best_max {
-            // The stop point strictly dominates q, and under minC
-            // ordering every remaining candidate as well.
-            metrics.stop_pruned += (entries.len() - scanned) as u64;
-            break;
-        }
-        let mut dominated = false;
-        'shards: for (s, container) in containers.iter().enumerate() {
-            if s == q_shard as usize || container.is_empty() {
-                continue;
-            }
-            candidates.clear();
-            container.candidates_into(q_sub, &mut candidates, metrics);
-            for &c in &candidates {
-                metrics.count_dt();
-                if dominates(data.point(c), q_row) {
-                    dominated = true;
-                    break 'shards;
-                }
-            }
-        }
-        best_max = best_max.min(max_coordinate(q_row));
-        if !dominated {
-            containers[q_shard as usize].put(q, q_sub, metrics);
-            skyline.push(q);
-        }
-    }
-    rec.span_end("scan");
-
-    skyline.sort_unstable();
-    Ok(skyline)
+    let merged = merge_shard_skylines(
+        data.dims(),
+        shards.len(),
+        &entries,
+        &elite_refs,
+        |k| data.point(k as u32),
+        metrics,
+        rec,
+        cancel,
+    )?;
+    Ok(merged.into_iter().map(|k| k as PointId).collect())
 }
 
 impl<A: SkylineAlgorithm + Sync> SkylineAlgorithm for ParallelBoosted<A> {
@@ -707,6 +647,97 @@ mod tests {
         let sky_plain = engine.compute_with_metrics(&data, &mut via_plain);
         assert_eq!(sky_plain, outcome.skyline);
         assert_eq!(via_plain, outcome.total_metrics());
+    }
+
+    /// Verbatim copy of `merge_shards` as it stood before the merge was
+    /// lifted into `skyline_core::shard_merge` — the oracle pinning the
+    /// extraction: identical skylines *and* identical counter values.
+    fn legacy_merge_shards(
+        data: &Dataset,
+        shards: &[ShardRun],
+        elites: &[PointId],
+        metrics: &mut Metrics,
+    ) -> Vec<PointId> {
+        use skyline_core::container::{SkylineContainer, SubsetContainer};
+        use skyline_core::dominance::{dominates, dominating_subspace, points_equal};
+        use skyline_core::point::min_coordinate;
+
+        let dims = data.dims();
+        let mut entries: Vec<(PointId, u32, Subspace)> = Vec::new();
+        for (i, shard) in shards.iter().enumerate() {
+            'points: for &q in &shard.skyline {
+                let q_row = data.point(q);
+                let mut sub = Subspace::from_bits(0);
+                for &e in elites {
+                    metrics.count_dt();
+                    let d = dominating_subspace(q_row, data.point(e));
+                    if d.is_empty() && !points_equal(q_row, data.point(e)) {
+                        continue 'points;
+                    }
+                    sub = sub.union(d);
+                }
+                entries.push((q, i as u32, sub));
+            }
+        }
+        entries.sort_unstable_by(|&(a, _, _), &(b, _, _)| {
+            let (pa, pb) = (data.point(a), data.point(b));
+            min_coordinate(pa)
+                .total_cmp(&min_coordinate(pb))
+                .then_with(|| coordinate_sum(pa).total_cmp(&coordinate_sum(pb)))
+                .then_with(|| lex_cmp(pa, pb))
+        });
+        let mut skyline: Vec<PointId> = Vec::new();
+        let mut best_max = f64::INFINITY;
+        let mut containers: Vec<SubsetContainer> = (0..shards.len())
+            .map(|_| SubsetContainer::new(dims))
+            .collect();
+        let mut candidates: Vec<PointId> = Vec::new();
+        for (scanned, &(q, q_shard, q_sub)) in entries.iter().enumerate() {
+            let q_row = data.point(q);
+            if min_coordinate(q_row) > best_max {
+                metrics.stop_pruned += (entries.len() - scanned) as u64;
+                break;
+            }
+            let mut dominated = false;
+            'shards: for (s, container) in containers.iter().enumerate() {
+                if s == q_shard as usize || container.is_empty() {
+                    continue;
+                }
+                candidates.clear();
+                container.candidates_into(q_sub, &mut candidates, metrics);
+                for &c in &candidates {
+                    metrics.count_dt();
+                    if dominates(data.point(c), q_row) {
+                        dominated = true;
+                        break 'shards;
+                    }
+                }
+            }
+            best_max = best_max.min(max_coordinate(q_row));
+            if !dominated {
+                containers[q_shard as usize].put(q, q_sub, metrics);
+                skyline.push(q);
+            }
+        }
+        skyline.sort_unstable();
+        skyline
+    }
+
+    #[test]
+    fn extracted_merge_matches_the_pre_refactor_path_exactly() {
+        for (n, d, threads) in [(1500, 4, 3), (2000, 5, 4), (900, 6, 2), (1200, 3, 5)] {
+            let data = pseudo_random_dataset(n, d);
+            let engine = ParallelBoosted::new(SfsSubset::default(), threads);
+            let outcome = engine.compute_detailed(&data, &mut NoopRecorder);
+            let elites = elite_points(&data);
+            let mut legacy_metrics = Metrics::new();
+            let legacy = legacy_merge_shards(&data, &outcome.shards, &elites, &mut legacy_metrics);
+            assert_eq!(outcome.skyline, legacy, "n={n} d={d} threads={threads}");
+            assert_eq!(
+                outcome.merge_metrics, legacy_metrics,
+                "merge counters drifted for n={n} d={d} threads={threads}"
+            );
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! repro all [--full]         # everything, in paper order
 //! repro bench-json [--out BENCH_PR2.json] [--runs N] [--threads T]
 //! repro bench-json --serve [--out BENCH_PR3.json] [--requests N] [--threads T]
+//! repro bench-json --cluster [--out BENCH_PR5.json] [--requests N] [--threads T]
 //! ```
 //!
 //! `bench-json` measures the evaluation suite plus the parallel engines
@@ -21,6 +22,12 @@
 //! repeated). `--requests N` sets the cold sample count (cached takes
 //! 4×N); `--threads` sizes the server's worker pool.
 //!
+//! `bench-json --cluster` benchmarks the sharded coordinator: the same
+//! workload against a plain single-node server and against clusters of
+//! 1, 2, and 4 in-process shards, cold (full scatter-gather recompute)
+//! versus warm (shard caches hit, coordinator still merges). `--requests
+//! N` sets the cold sample count (warm takes 2×N).
+//!
 //! Default workloads are laptop-scale; `--full` uses the paper's exact
 //! cardinalities (hours of compute for the AC sweeps). Results print to
 //! stdout; progress goes to stderr.
@@ -28,13 +35,16 @@
 use std::process::ExitCode;
 
 use skyline_bench::artifact::{reference_workload, write_bench_artifact};
+use skyline_bench::cluster_bench::write_cluster_bench_artifact;
 use skyline_bench::experiments::{experiment_index, run_experiment};
 use skyline_bench::harness::Scale;
 use skyline_bench::serve_bench::write_serve_bench_artifact;
 
 fn bench_json(args: &[String]) -> ExitCode {
     let serve = args.iter().any(|a| a == "--serve");
+    let cluster = args.iter().any(|a| a == "--cluster");
     let out = match args.iter().position(|a| a == "--out") {
+        None if cluster => "BENCH_PR5.json".to_string(),
         None if serve => "BENCH_PR3.json".to_string(),
         None => "BENCH_PR2.json".to_string(),
         Some(i) => match args.get(i + 1) {
@@ -71,6 +81,40 @@ fn bench_json(args: &[String]) -> ExitCode {
         .unwrap_or("BENCH")
         .to_string();
     let spec = reference_workload();
+    if cluster {
+        let cold = match args.iter().position(|a| a == "--requests") {
+            None => 20,
+            Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                Some(r) if r >= 1 => r,
+                _ => {
+                    eprintln!("error: --requests expects a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+        };
+        eprintln!(
+            "==> bench-json --cluster: {} n={} d={} seed={} ({cold} cold / {} warm per topology) -> {out}",
+            spec.distribution.tag(),
+            spec.cardinality,
+            spec.dims,
+            spec.seed,
+            cold * 2
+        );
+        return match write_cluster_bench_artifact(
+            std::path::Path::new(&out),
+            &label,
+            &spec,
+            cold,
+            cold * 2,
+            threads,
+        ) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {out}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if serve {
         let cold = match args.iter().position(|a| a == "--requests") {
             None => 60,
@@ -170,6 +214,9 @@ fn main() -> ExitCode {
         );
         println!(
             "  bench-json --serve [--out BENCH_PR3.json] [--requests N]    HTTP service throughput/latency"
+        );
+        println!(
+            "  bench-json --cluster [--out BENCH_PR5.json] [--requests N]  sharded coordinator vs single node"
         );
         return ExitCode::SUCCESS;
     }

@@ -1,0 +1,258 @@
+//! Cluster benchmark: the same serving workload measured against a
+//! plain single-node server and against coordinators fronting 1, 2,
+//! and 4 shards — what does scatter-gather plus the cross-shard subset
+//! merge cost, and what does sharding buy once per-shard skylines
+//! shrink?
+//!
+//! Two phases per topology, mirroring the single-node serving bench:
+//!
+//! * **cold** — before every query one dominated point is streamed in,
+//!   bumping the content version, so shards recompute their local
+//!   skylines and the coordinator re-merges: the full distributed
+//!   pipeline per request.
+//! * **warm** — the identical query repeated. The single-node server
+//!   answers from its result cache; the cluster's shards answer from
+//!   theirs, but the coordinator still gathers and re-merges, so this
+//!   phase isolates the scatter-gather + merge overhead.
+
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::path::Path;
+use std::time::Instant;
+
+use skyline_cluster::{Cluster, ClusterConfig, ClusterHandle};
+use skyline_data::SyntheticSpec;
+use skyline_obs::json::ObjectWriter;
+use skyline_serve::client::{request_with_retry, RetryPolicy, Session};
+use skyline_serve::{Server, ServerConfig, ServerHandle};
+
+use crate::serve_bench::{expect_field, phase_json, Phase};
+
+/// Shard counts measured next to the single-node baseline.
+pub const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn create_body(spec: &SyntheticSpec) -> String {
+    format!(
+        "{{\"name\": \"bench\", \"synthetic\": {{\"distribution\": \"{}\", \"n\": {}, \"dims\": {}, \"seed\": {}}}}}",
+        spec.distribution.tag(),
+        spec.cardinality,
+        spec.dims,
+        spec.seed
+    )
+}
+
+/// Create the benchmark dataset and run the cold/warm phases against
+/// whatever is listening on `addr` (shard server or coordinator — the
+/// API is the same).
+fn measure_endpoint(
+    addr: SocketAddr,
+    spec: &SyntheticSpec,
+    cold_requests: usize,
+    warm_requests: usize,
+) -> std::io::Result<(Phase, Phase)> {
+    let created = request_with_retry(
+        addr,
+        "POST",
+        "/datasets",
+        create_body(spec).as_bytes(),
+        &RetryPolicy::default(),
+    )?;
+    if created.status != 201 {
+        return Err(std::io::Error::other(format!(
+            "dataset creation failed: {}",
+            created.body_str()
+        )));
+    }
+    let mut session = Session::connect(addr)?;
+    const QUERY: &str = "/skyline?dataset=bench&algo=SDI-Subset";
+    // A point beaten by everything: bumps the version (and so busts
+    // every cache) without changing the skyline, so cold samples stay
+    // comparable.
+    let dominated_row: Vec<String> = (0..spec.dims).map(|_| "1e9".to_string()).collect();
+    let insert_body = format!("{{\"rows\": [[{}]]}}", dominated_row.join(","));
+
+    // Warm-up, and verify the query path end to end before timing.
+    expect_field(&session.request("GET", QUERY, &[])?.body_str(), "\"ids\"")?;
+
+    let mut cold = Phase {
+        latencies_us: Vec::with_capacity(cold_requests),
+        wall_secs: 0.0,
+    };
+    let cold_start = Instant::now();
+    for _ in 0..cold_requests {
+        let resp = session.request("POST", "/datasets/bench/points", insert_body.as_bytes())?;
+        if resp.status != 200 {
+            return Err(std::io::Error::other(format!(
+                "insert failed: {}",
+                resp.body_str()
+            )));
+        }
+        let t = Instant::now();
+        let resp = session.request("GET", QUERY, &[])?;
+        cold.latencies_us.push(t.elapsed().as_micros() as u64);
+        expect_field(&resp.body_str(), "\"cached\":false")?;
+    }
+    cold.wall_secs = cold_start.elapsed().as_secs_f64();
+
+    let mut warm = Phase {
+        latencies_us: Vec::with_capacity(warm_requests),
+        wall_secs: 0.0,
+    };
+    let warm_start = Instant::now();
+    for _ in 0..warm_requests {
+        let t = Instant::now();
+        let resp = session.request("GET", QUERY, &[])?;
+        warm.latencies_us.push(t.elapsed().as_micros() as u64);
+        expect_field(&resp.body_str(), "\"ids\"")?;
+    }
+    warm.wall_secs = warm_start.elapsed().as_secs_f64();
+
+    cold.latencies_us.sort_unstable();
+    warm.latencies_us.sort_unstable();
+    Ok((cold, warm))
+}
+
+fn start_topology(
+    shard_count: usize,
+    threads: usize,
+) -> std::io::Result<(Vec<ServerHandle>, ClusterHandle)> {
+    let mut shards = Vec::with_capacity(shard_count);
+    for _ in 0..shard_count {
+        shards.push(Server::start(ServerConfig {
+            threads,
+            ..Default::default()
+        })?);
+    }
+    let addrs: Vec<SocketAddr> = shards.iter().map(|s| s.local_addr()).collect();
+    let coordinator = Cluster::start(ClusterConfig {
+        threads,
+        ..ClusterConfig::new(addrs)
+    })?;
+    Ok((shards, coordinator))
+}
+
+/// Run the cluster benchmark and return the `BENCH_*.json` document.
+pub fn cluster_bench_json(
+    label: &str,
+    spec: &SyntheticSpec,
+    cold_requests: usize,
+    warm_requests: usize,
+    threads: usize,
+) -> std::io::Result<String> {
+    let threads = if threads == 0 {
+        crate::artifact::default_bench_threads()
+    } else {
+        threads
+    };
+
+    eprintln!("    single-node baseline");
+    let mut baseline_server = Server::start(ServerConfig {
+        threads,
+        ..Default::default()
+    })?;
+    let (base_cold, base_warm) = measure_endpoint(
+        baseline_server.local_addr(),
+        spec,
+        cold_requests,
+        warm_requests,
+    )?;
+    baseline_server.shutdown();
+    let mut single = ObjectWriter::new();
+    single
+        .raw_field("cold", &phase_json(&base_cold))
+        .raw_field("warm", &phase_json(&base_warm));
+
+    let mut sharded_objs: Vec<String> = Vec::new();
+    for &shard_count in &SHARD_COUNTS {
+        eprintln!("    cluster with {shard_count} shard(s)");
+        let (mut shards, mut coordinator) = start_topology(shard_count, threads)?;
+        let (cold, warm) =
+            measure_endpoint(coordinator.local_addr(), spec, cold_requests, warm_requests)?;
+        coordinator.shutdown();
+        for shard in &mut shards {
+            shard.shutdown();
+        }
+        let mut obj = ObjectWriter::new();
+        obj.u64_field("shards", shard_count as u64)
+            .raw_field("cold", &phase_json(&cold))
+            .raw_field("warm", &phase_json(&warm));
+        sharded_objs.push(obj.finish());
+    }
+
+    let mut workload = ObjectWriter::new();
+    workload
+        .str_field("distribution", spec.distribution.tag())
+        .u64_field("cardinality", spec.cardinality as u64)
+        .u64_field("dims", spec.dims as u64)
+        .u64_field("seed", spec.seed)
+        .str_field("algorithm", "SDI-Subset")
+        .u64_field("server_threads", threads as u64)
+        .u64_field("cold_requests", cold_requests as u64)
+        .u64_field("warm_requests", warm_requests as u64);
+
+    let mut cluster = ObjectWriter::new();
+    cluster
+        .raw_field("single_node", &single.finish())
+        .raw_field("sharded", &format!("[{}]", sharded_objs.join(",")));
+
+    let mut doc = ObjectWriter::new();
+    doc.str_field("artifact", label)
+        .raw_field("workload", &workload.finish())
+        .raw_field("cluster", &cluster.finish());
+    let mut out = doc.finish();
+    out.push('\n');
+    Ok(out)
+}
+
+/// Write the cluster benchmark artefact to `path`, echoing a short
+/// summary to stderr.
+pub fn write_cluster_bench_artifact(
+    path: &Path,
+    label: &str,
+    spec: &SyntheticSpec,
+    cold_requests: usize,
+    warm_requests: usize,
+    threads: usize,
+) -> std::io::Result<()> {
+    let doc = cluster_bench_json(label, spec, cold_requests, warm_requests, threads)?;
+    let mut summary = String::new();
+    let _ = write!(summary, "    cluster: {} bytes", doc.len());
+    eprintln!("{summary}");
+    std::fs::write(path, doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyline_data::Distribution;
+    use skyline_obs::json::Value;
+
+    #[test]
+    fn cluster_bench_produces_a_valid_artifact() {
+        let spec = SyntheticSpec {
+            distribution: Distribution::Independent,
+            cardinality: 250,
+            dims: 3,
+            seed: 5,
+        };
+        let doc = cluster_bench_json("TEST", &spec, 2, 2, 2).expect("bench run");
+        let v = Value::parse(doc.trim()).expect("valid JSON");
+        assert_eq!(v.get("artifact").and_then(Value::as_str), Some("TEST"));
+        let cluster = v.get("cluster").expect("cluster section");
+        assert!(cluster.get("single_node").is_some());
+        let sharded = cluster
+            .get("sharded")
+            .and_then(Value::as_arr)
+            .expect("sharded array");
+        assert_eq!(sharded.len(), SHARD_COUNTS.len());
+        for (entry, &count) in sharded.iter().zip(&SHARD_COUNTS) {
+            assert_eq!(
+                entry.get("shards").and_then(Value::as_u64),
+                Some(count as u64)
+            );
+            let cold = entry.get("cold").expect("cold phase");
+            assert_eq!(cold.get("requests").and_then(Value::as_u64), Some(2));
+            assert!(cold.get("p50_us").and_then(Value::as_u64).is_some());
+        }
+    }
+}

@@ -12,6 +12,7 @@
 #![forbid(unsafe_code)]
 
 pub mod artifact;
+pub mod cluster_bench;
 pub mod experiments;
 pub mod harness;
 pub mod serve_bench;

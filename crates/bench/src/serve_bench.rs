@@ -16,13 +16,13 @@ use skyline_serve::client::{request_with_retry, RetryPolicy, Session};
 use skyline_serve::{Server, ServerConfig};
 
 /// One measured phase: sorted per-request latencies plus wall clock.
-struct Phase {
-    latencies_us: Vec<u64>,
-    wall_secs: f64,
+pub(crate) struct Phase {
+    pub(crate) latencies_us: Vec<u64>,
+    pub(crate) wall_secs: f64,
 }
 
 /// Nearest-rank percentile over an ascending latency list.
-fn percentile(sorted: &[u64], p: f64) -> u64 {
+pub(crate) fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
@@ -30,7 +30,7 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[rank.min(sorted.len() - 1)]
 }
 
-fn phase_json(phase: &Phase) -> String {
+pub(crate) fn phase_json(phase: &Phase) -> String {
     let n = phase.latencies_us.len();
     let sum: u64 = phase.latencies_us.iter().sum();
     let mut w = ObjectWriter::new();
@@ -49,7 +49,7 @@ fn phase_json(phase: &Phase) -> String {
     w.finish()
 }
 
-fn expect_field(body: &str, needle: &str) -> std::io::Result<()> {
+pub(crate) fn expect_field(body: &str, needle: &str) -> std::io::Result<()> {
     if body.contains(needle) {
         Ok(())
     } else {

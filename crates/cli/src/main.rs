@@ -10,6 +10,8 @@
 //! skyline tune     <input.csv> [--sample N]
 //! skyline serve    [--port P] [--bind ADDR] [--threads T] [--cache N] [--trace out.jsonl]
 //!                  [--data-dir DIR] [--fsync always|never|interval[=MS]] [--max-inflight N]
+//! skyline cluster  (--shards ADDR,ADDR,... | --spawn-local N) [--port P] [--bind ADDR]
+//!                  [--threads T] [--manifest PATH] [--trace out.jsonl]
 //! skyline algorithms
 //! ```
 //!
@@ -68,6 +70,8 @@ const USAGE: &str = "usage:
   skyline tune     <input.csv> [--sample N]
   skyline serve    [--port P] [--bind ADDR] [--threads T] [--cache N] [--trace out.jsonl]
                    [--data-dir DIR] [--fsync always|never|interval[=MS]] [--max-inflight N]
+  skyline cluster  (--shards ADDR,ADDR,... | --spawn-local N) [--port P] [--bind ADDR]
+                   [--threads T] [--manifest PATH] [--trace out.jsonl]
   skyline algorithms
 
 parallel: --threads T runs the multi-core partition-merge engine (T=0 =
@@ -105,6 +109,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("stats") => stats(&args[1..]),
         Some("tune") => tune(&args[1..]),
         Some("serve") => serve(&args[1..]),
+        Some("cluster") => cluster(&args[1..]),
         Some("algorithms") => {
             let stdout = std::io::stdout();
             let mut out = stdout.lock();
@@ -480,6 +485,76 @@ fn serve(args: &[String]) -> Result<(), String> {
     pipe_ok(std::io::Write::flush(&mut std::io::stdout()))?;
     handle.wait();
     eprintln!("server stopped");
+    Ok(())
+}
+
+/// `skyline cluster` — start the sharded coordinator. Shards come from
+/// `--shards host:port,...` (already-running `skyline serve` nodes),
+/// `--spawn-local N` (N in-process shard servers on ephemeral ports —
+/// the one-command demo and test topology), or both combined.
+fn cluster(args: &[String]) -> Result<(), String> {
+    let port: u16 = match flag_value(args, "--port")? {
+        None => 0,
+        Some(v) => v.parse().map_err(|_| "--port expects a port number")?,
+    };
+    let bind = flag_value(args, "--bind")?.unwrap_or("127.0.0.1");
+    let threads = parse_threads(args)?.unwrap_or(4).max(1);
+    let trace = match flag_value(args, "--trace")? {
+        Some(p) => Some(std::path::PathBuf::from(p)),
+        None => std::env::var("SKYLINE_TRACE")
+            .ok()
+            .filter(|p| !p.is_empty())
+            .map(std::path::PathBuf::from),
+    };
+    let manifest = flag_value(args, "--manifest")?.map(std::path::PathBuf::from);
+
+    let mut shards: Vec<std::net::SocketAddr> = Vec::new();
+    if let Some(list) = flag_value(args, "--shards")? {
+        for part in list.split(',').filter(|p| !p.is_empty()) {
+            shards.push(
+                part.trim()
+                    .parse()
+                    .map_err(|_| format!("--shards entry {part:?} is not host:port"))?,
+            );
+        }
+    }
+    // Local shards keep their handles alive for the coordinator's
+    // lifetime; dropping them at exit shuts the shard servers down.
+    let mut local_shards: Vec<skyline_serve::ServerHandle> = Vec::new();
+    if let Some(n) = flag_value(args, "--spawn-local")? {
+        let n: usize = n.parse().map_err(|_| "--spawn-local expects a count")?;
+        for _ in 0..n {
+            let handle = skyline_serve::Server::start(skyline_serve::ServerConfig {
+                threads,
+                ..Default::default()
+            })
+            .map_err(|e| format!("spawn-local shard: {e}"))?;
+            println!("shard listening on {}", handle.local_addr());
+            shards.push(handle.local_addr());
+            local_shards.push(handle);
+        }
+    }
+    if shards.is_empty() {
+        return Err("cluster needs --shards and/or --spawn-local".to_string());
+    }
+
+    let config = skyline_cluster::ClusterConfig {
+        bind: format!("{bind}:{port}"),
+        threads,
+        trace,
+        manifest,
+        ..skyline_cluster::ClusterConfig::new(shards)
+    };
+    let mut handle =
+        skyline_cluster::Cluster::start(config).map_err(|e| format!("cluster: {e}"))?;
+    // Scripts parse this line for the resolved ephemeral port.
+    println!("listening on {}", handle.local_addr());
+    pipe_ok(std::io::Write::flush(&mut std::io::stdout()))?;
+    handle.wait();
+    for mut shard in local_shards {
+        shard.shutdown();
+    }
+    eprintln!("cluster stopped");
     Ok(())
 }
 

@@ -1,0 +1,1332 @@
+//! `skyline-cluster` — sharded multi-node skyline serving.
+//!
+//! A coordinator process fronting N independent `skyline-serve` shard
+//! nodes over the same zero-dependency HTTP stack. Rows are partitioned
+//! by a deterministic hash of their coordinator-assigned global id
+//! ([`shard_map::shard_of`]); the cluster-level registry (which global
+//! id lives on which shard under which local handle) is persisted in
+//! the coordinator's own WAL-style JSONL manifest ([`manifest`]).
+//!
+//! ## Query path: scatter-gather with the subset merge
+//!
+//! `GET /skyline` scatters to every shard with `include_masks=1&
+//! include_rows=1`, so each shard answers with its local skyline *plus*
+//! each point's maximum dominating subspace w.r.t. the shard's own
+//! elite reference set, the elite positions, and the raw coordinates.
+//! The coordinator translates shard handles back to global ids and
+//! finishes with [`skyline_core::shard_merge::merge_shard_skylines`] —
+//! the exact code path the in-process parallel engine uses — taking the
+//! global reference set to be the union of the per-shard elites. The
+//! shard-supplied premasks already cover same-shard elites, so the
+//! coordinator only pays cross-shard dominance tests during subspace
+//! assignment, and cluster answers match a single-node server fed the
+//! same rows id-for-id.
+//!
+//! ## Degraded operation
+//!
+//! Shard calls go through the retrying client with a total-deadline
+//! budget derived from the request's `deadline_ms`; a shard that stays
+//! down after retries is *skipped*, and the response carries
+//! `"partial": true` plus the missing shard list — the skyline of the
+//! surviving shards' rows, not an error. Mutations are stricter: a
+//! failed shard fails the request (502) after applying what succeeded,
+//! because silently dropping writes would corrupt the registry.
+//!
+//! Telemetry: every shard call emits a `shard_rpc` trace event and
+//! feeds per-shard latency/error counters in `/metrics`; every merge
+//! emits `cluster_merge`. `skyline report` renders both.
+
+pub mod manifest;
+pub mod shard_map;
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use skyline_core::cancel::{CancelToken, Cancelled};
+use skyline_core::metrics::Metrics;
+use skyline_core::shard_merge::{merge_shard_skylines, EliteRef, MergeEntry};
+use skyline_core::subspace::Subspace;
+use skyline_data::{Distribution, SyntheticSpec};
+use skyline_obs::json::{ObjectWriter, Value};
+use skyline_obs::{Event, JsonlRecorder, NoopRecorder, Recorder};
+use skyline_serve::client::{request_with_retry_counted, ClientResponse, RetryPolicy};
+use skyline_serve::http::{self, HttpError, Request, Response};
+use skyline_serve::metrics::ServerMetrics;
+use skyline_serve::pool::ThreadPool;
+
+use manifest::Manifest;
+use shard_map::{shard_of, DatasetState};
+
+/// Coordinator configuration. Built with [`ClusterConfig::new`] from
+/// the shard address list; everything else has serving defaults.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Bind address, `"host:port"`; port 0 picks an ephemeral port.
+    pub bind: String,
+    /// Shard node addresses, in shard-id order. The order *is* the
+    /// sharding function's codomain: restarting the cluster with the
+    /// shards permuted mis-routes every row.
+    pub shards: Vec<SocketAddr>,
+    /// Worker threads for request handling.
+    pub threads: usize,
+    /// Per-connection socket read/write timeout.
+    pub request_timeout: Duration,
+    /// Request body cap, bytes.
+    pub max_body: usize,
+    /// JSON-lines trace sink (`shard_rpc`, `cluster_merge`, `request`
+    /// events).
+    pub trace: Option<PathBuf>,
+    /// WAL-style JSONL manifest path; `None` keeps the registry in
+    /// memory only.
+    pub manifest: Option<PathBuf>,
+    /// Base retry policy for shard calls. Per-request deadline budgets
+    /// override [`RetryPolicy::budget`].
+    pub retry: RetryPolicy,
+}
+
+impl ClusterConfig {
+    /// Defaults for a cluster over `shards`.
+    pub fn new(shards: Vec<SocketAddr>) -> ClusterConfig {
+        ClusterConfig {
+            bind: "127.0.0.1:0".to_string(),
+            shards,
+            threads: 4,
+            request_timeout: Duration::from_secs(30),
+            max_body: http::DEFAULT_MAX_BODY,
+            trace: None,
+            manifest: None,
+            // Shards shed with 503 + Retry-After under overload and a
+            // restarting shard refuses connections briefly, so a couple
+            // of quick retries ride out both.
+            retry: RetryPolicy {
+                attempts: 3,
+                base_delay: Duration::from_millis(10),
+                max_delay: Duration::from_millis(200),
+                budget: None,
+            },
+        }
+    }
+}
+
+/// Per-shard RPC counters surfaced in `/metrics`.
+#[derive(Debug, Default)]
+struct ShardStats {
+    /// Logical calls (one per scatter leg, however many attempts).
+    requests: AtomicU64,
+    /// Calls that ended in a transport error or a >= 400 status.
+    errors: AtomicU64,
+    /// Attempts across all calls (attempts > requests ⇒ retries fired).
+    attempts: AtomicU64,
+    /// Wall-clock across all calls, µs (includes backoff between
+    /// retries).
+    total_us: AtomicU64,
+}
+
+/// State shared by every coordinator worker.
+struct Shared {
+    addr: SocketAddr,
+    shards: Vec<SocketAddr>,
+    shard_stats: Vec<ShardStats>,
+    datasets: Mutex<HashMap<String, DatasetState>>,
+    manifest: Option<Mutex<Manifest>>,
+    replayed: u64,
+    metrics: ServerMetrics,
+    recorder: Option<Mutex<JsonlRecorder<File>>>,
+    shutdown: AtomicBool,
+    started: Instant,
+    threads: usize,
+    retry: RetryPolicy,
+}
+
+impl Shared {
+    fn emit(&self, event: Event) {
+        if let Some(rec) = &self.recorder {
+            rec.lock().unwrap_or_else(|e| e.into_inner()).event(event);
+        }
+    }
+}
+
+/// A running coordinator. Dropping the handle shuts it down.
+pub struct ClusterHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ClusterHandle {
+    /// The address the coordinator is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Block until the coordinator stops (via `POST /shutdown` or
+    /// [`ClusterHandle::shutdown`] from another thread).
+    pub fn wait(&mut self) {
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Stop accepting connections, drain in-flight requests, and join
+    /// every thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.shared.addr);
+        self.wait();
+    }
+}
+
+impl Drop for ClusterHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The coordinator: binds, spawns the accept loop, returns a handle.
+pub struct Cluster;
+
+impl Cluster {
+    /// Bind `config.bind` and start coordinating `config.shards`.
+    pub fn start(config: ClusterConfig) -> io::Result<ClusterHandle> {
+        if config.shards.is_empty() {
+            return Err(io::Error::other("cluster needs at least one shard"));
+        }
+        let listener = TcpListener::bind(&config.bind)?;
+        let addr = listener.local_addr()?;
+        let recorder = match &config.trace {
+            Some(path) => Some(Mutex::new(JsonlRecorder::create(path)?)),
+            None => None,
+        };
+        let (manifest, datasets, replayed) = match &config.manifest {
+            Some(path) => {
+                let (m, replay) = Manifest::open(path, config.shards.len())?;
+                (Some(Mutex::new(m)), replay.datasets, replay.records)
+            }
+            None => (None, HashMap::new(), 0),
+        };
+        let shared = Arc::new(Shared {
+            addr,
+            shard_stats: config
+                .shards
+                .iter()
+                .map(|_| ShardStats::default())
+                .collect(),
+            shards: config.shards,
+            datasets: Mutex::new(datasets),
+            manifest,
+            replayed,
+            metrics: ServerMetrics::new(),
+            recorder,
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            threads: config.threads.max(1),
+            retry: config.retry,
+        });
+        let accept_shared = Arc::clone(&shared);
+        let timeout = config.request_timeout;
+        let max_body = config.max_body;
+        let threads = config.threads.max(1);
+        let accept = std::thread::Builder::new()
+            .name("cluster-accept".to_string())
+            .spawn(move || {
+                // The pool lives in the accept thread: dropping it on
+                // loop exit drains queued connections and joins workers,
+                // so shutdown never truncates a response.
+                let pool = ThreadPool::new(threads, "cluster-worker");
+                for stream in listener.incoming() {
+                    if accept_shared.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let conn_shared = Arc::clone(&accept_shared);
+                    if pool
+                        .execute(move || handle_connection(stream, conn_shared, timeout, max_body))
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            })?;
+        Ok(ClusterHandle {
+            shared,
+            accept: Some(accept),
+        })
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>, timeout: Duration, max_body: usize) {
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let _ = stream.set_nodelay(true);
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match Request::read_from(&mut reader, max_body) {
+            Ok(Some(req)) => {
+                let start = Instant::now();
+                // Same panic isolation as the shard server: a handler
+                // bug costs one 500, not the connection.
+                let (response, endpoint) =
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        route(&shared, &req)
+                    })) {
+                        Ok(pair) => pair,
+                        Err(_) => {
+                            shared.metrics.inc_panics();
+                            shared.emit(Event::HandlerPanic {
+                                endpoint: req.path.clone(),
+                            });
+                            (
+                                Response::error(500, "internal error: handler panicked"),
+                                "(panic)",
+                            )
+                        }
+                    };
+                let elapsed_us = start.elapsed().as_micros() as u64;
+                shared
+                    .metrics
+                    .record(&req.method, endpoint, response.status, elapsed_us);
+                shared.emit(Event::Request {
+                    method: req.method.clone(),
+                    endpoint: endpoint.to_string(),
+                    status: response.status as u64,
+                    elapsed_us,
+                });
+                let close = req.wants_close() || shared.shutdown.load(Ordering::Acquire);
+                if response.write_to(&mut writer).is_err() || close {
+                    return;
+                }
+            }
+            Ok(None) => return,
+            Err(HttpError::Io(_)) => return,
+            Err(e) => {
+                let status = match e {
+                    HttpError::TooLarge { .. } => 413,
+                    _ => 400,
+                };
+                shared.metrics.record("?", "(malformed)", status, 0);
+                let _ = Response::error(status, &e.to_string()).write_to(&mut writer);
+                return;
+            }
+        }
+    }
+}
+
+/// Dispatch one request; returns the response plus the normalised
+/// endpoint label for metrics and trace events.
+fn route(shared: &Shared, req: &Request) -> (Response, &'static str) {
+    if let Some(name) = req
+        .path
+        .strip_prefix("/datasets/")
+        .and_then(|rest| rest.strip_suffix("/points"))
+    {
+        let endpoint = "/datasets/{name}/points";
+        let response = match req.method.as_str() {
+            "POST" => handle_insert(shared, name, req),
+            "DELETE" => handle_remove(shared, name, req),
+            _ => Response::error(405, "points supports POST and DELETE"),
+        };
+        return (response, endpoint);
+    }
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (handle_healthz(shared), "/healthz"),
+        ("GET", "/metrics") => (handle_metrics(shared), "/metrics"),
+        ("GET", "/skyline") => (handle_skyline(shared, req), "/skyline"),
+        ("GET", "/datasets") => (handle_list(shared), "/datasets"),
+        ("POST", "/datasets") => (handle_create(shared, req), "/datasets"),
+        ("POST", "/shutdown") => (handle_shutdown(shared), "/shutdown"),
+        (_, "/healthz" | "/metrics" | "/skyline" | "/datasets" | "/shutdown") => (
+            Response::error(405, "method not allowed on this endpoint"),
+            "(bad-method)",
+        ),
+        _ => (
+            Response::error(404, &format!("no such endpoint {}", req.path)),
+            "(unknown)",
+        ),
+    }
+}
+
+/// Percent-encode one URL component (dataset names, algorithm names).
+fn encode_component(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => {
+                out.push('%');
+                out.push_str(&format!("{b:02X}"));
+            }
+        }
+    }
+    out
+}
+
+/// One shard call through the retrying client, with per-shard counters
+/// and a `shard_rpc` trace event. `budget` caps attempts + backoff
+/// (derived from the request deadline); `endpoint` is the normalised
+/// label for telemetry, `path` the actual request target.
+fn shard_rpc(
+    shared: &Shared,
+    shard: usize,
+    method: &str,
+    endpoint: &str,
+    path: &str,
+    body: &[u8],
+    budget: Option<Duration>,
+) -> io::Result<ClientResponse> {
+    let start = Instant::now();
+    let policy = RetryPolicy {
+        budget,
+        ..shared.retry
+    };
+    let (result, attempts) =
+        request_with_retry_counted(shared.shards[shard], method, path, body, &policy);
+    let elapsed_us = start.elapsed().as_micros() as u64;
+    let status = match &result {
+        Ok(resp) => resp.status as u64,
+        Err(_) => 0, // transport failure: the shard never answered
+    };
+    let stats = &shared.shard_stats[shard];
+    stats.requests.fetch_add(1, Ordering::Relaxed);
+    stats.attempts.fetch_add(attempts as u64, Ordering::Relaxed);
+    stats.total_us.fetch_add(elapsed_us, Ordering::Relaxed);
+    if status == 0 || status >= 400 {
+        stats.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    shared.emit(Event::ShardRpc {
+        shard: shard as u64,
+        endpoint: endpoint.to_string(),
+        status,
+        attempts: attempts as u64,
+        elapsed_us,
+    });
+    result
+}
+
+/// Run `f(shard)` for every shard concurrently and gather the results
+/// in shard order.
+fn scatter<T: Send>(shard_count: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    std::thread::scope(|scope| {
+        let f = &f;
+        let tasks: Vec<_> = (0..shard_count)
+            .map(|s| scope.spawn(move || f(s)))
+            .collect();
+        tasks
+            .into_iter()
+            .map(|t| t.join().expect("scatter leg panicked"))
+            .collect()
+    })
+}
+
+fn handle_healthz(shared: &Shared) -> Response {
+    let datasets = shared.datasets.lock().unwrap_or_else(|e| e.into_inner());
+    let mut w = ObjectWriter::new();
+    w.str_field("status", "ok")
+        .u64_field("shards", shared.shards.len() as u64)
+        .u64_field("datasets", datasets.len() as u64)
+        .u64_field("uptime_us", shared.started.elapsed().as_micros() as u64);
+    Response::json(200, w.finish())
+}
+
+fn handle_shutdown(shared: &Shared) -> Response {
+    shared.shutdown.store(true, Ordering::Release);
+    let _ = TcpStream::connect(shared.addr);
+    let mut w = ObjectWriter::new();
+    w.str_field("status", "shutting down");
+    Response::json(200, w.finish())
+}
+
+fn dataset_info_json(name: &str, state: &DatasetState, shard_count: usize) -> String {
+    let mut w = ObjectWriter::new();
+    w.str_field("name", name)
+        .u64_field("dims", state.dims as u64)
+        .u64_field("points", state.live as u64)
+        .u64_field("version", state.version)
+        .u64_field("shards", shard_count as u64);
+    w.finish()
+}
+
+fn handle_list(shared: &Shared) -> Response {
+    let datasets = shared.datasets.lock().unwrap_or_else(|e| e.into_inner());
+    let mut names: Vec<&String> = datasets.keys().collect();
+    names.sort();
+    let objs: Vec<String> = names
+        .iter()
+        .map(|n| dataset_info_json(n, &datasets[*n], shared.shards.len()))
+        .collect();
+    let mut w = ObjectWriter::new();
+    w.raw_field("datasets", &format!("[{}]", objs.join(",")));
+    Response::json(200, w.finish())
+}
+
+fn handle_metrics(shared: &Shared) -> Response {
+    let shard_objs: Vec<String> = shared
+        .shards
+        .iter()
+        .zip(&shared.shard_stats)
+        .map(|(addr, stats)| {
+            let mut w = ObjectWriter::new();
+            w.str_field("addr", &addr.to_string())
+                .u64_field("requests", stats.requests.load(Ordering::Relaxed))
+                .u64_field("errors", stats.errors.load(Ordering::Relaxed))
+                .u64_field("attempts", stats.attempts.load(Ordering::Relaxed))
+                .u64_field("total_us", stats.total_us.load(Ordering::Relaxed));
+            w.finish()
+        })
+        .collect();
+    let datasets = shared.datasets.lock().unwrap_or_else(|e| e.into_inner());
+    let mut names: Vec<&String> = datasets.keys().collect();
+    names.sort();
+    let dataset_objs: Vec<String> = names
+        .iter()
+        .map(|n| dataset_info_json(n, &datasets[*n], shared.shards.len()))
+        .collect();
+    drop(datasets);
+    let manifest_bytes = shared
+        .manifest
+        .as_ref()
+        .map(|m| m.lock().unwrap_or_else(|e| e.into_inner()).bytes())
+        .unwrap_or(0);
+    let mut w = ObjectWriter::new();
+    w.u64_field("uptime_us", shared.started.elapsed().as_micros() as u64)
+        .u64_field("threads", shared.threads as u64)
+        .u64_field("requests", shared.metrics.total_requests())
+        .u64_field(
+            "deadline_exceeded_total",
+            shared.metrics.deadline_exceeded_total(),
+        )
+        .u64_field("panics_total", shared.metrics.panics_total())
+        .u64_field("manifest_bytes", manifest_bytes)
+        .u64_field("recovery_replayed_records", shared.replayed)
+        .raw_field("endpoints", &shared.metrics.render_json())
+        .raw_field("shards", &format!("[{}]", shard_objs.join(",")))
+        .raw_field("datasets", &format!("[{}]", dataset_objs.join(",")));
+    Response::json(200, w.finish())
+}
+
+fn parse_rows(v: &Value) -> Result<Vec<Vec<f64>>, String> {
+    let arr = v.as_arr().ok_or("\"rows\" must be an array of arrays")?;
+    arr.iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let row = row
+                .as_arr()
+                .ok_or_else(|| format!("row {i} is not an array"))?;
+            row.iter()
+                .enumerate()
+                .map(|(j, val)| {
+                    val.as_f64()
+                        .ok_or_else(|| format!("row {i}, value {j} is not a number"))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn parse_body(req: &Request) -> Result<Value, Response> {
+    let text = req
+        .body_str()
+        .map_err(|e| Response::error(400, &e.to_string()))?;
+    Value::parse(text).map_err(|e| Response::error(400, &format!("bad JSON body: {e}")))
+}
+
+/// Serialise rows as `[[f64, ...], ...]` — `{}` formatting is shortest
+/// round-trip, so shards reconstruct the exact coordinates.
+fn rows_json(rows: &[&[f64]]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, v) in row.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{v}");
+        }
+        out.push(']');
+    }
+    out.push(']');
+    out
+}
+
+/// Partition `rows` (paired with their global ids, arrival order) by
+/// the shard hash.
+fn partition_rows(
+    rows: &[Vec<f64>],
+    first_global: u64,
+    shard_count: usize,
+) -> Vec<(Vec<u64>, Vec<&[f64]>)> {
+    let mut groups: Vec<(Vec<u64>, Vec<&[f64]>)> = vec![(Vec::new(), Vec::new()); shard_count];
+    for (i, row) in rows.iter().enumerate() {
+        let global = first_global + i as u64;
+        let shard = shard_of(global, shard_count);
+        groups[shard].0.push(global);
+        groups[shard].1.push(row.as_slice());
+    }
+    groups
+}
+
+/// Parse a shard's insert response into local handles.
+fn parse_insert_handles(resp: &ClientResponse) -> Result<Vec<u32>, String> {
+    let v = Value::parse(&resp.body_str()).map_err(|e| format!("bad insert response: {e}"))?;
+    v.get("ids")
+        .and_then(Value::as_arr)
+        .ok_or("insert response lacks \"ids\"")?
+        .iter()
+        .map(|x| {
+            x.as_u64()
+                .map(|h| h as u32)
+                .ok_or_else(|| "insert response id is not numeric".to_string())
+        })
+        .collect()
+}
+
+/// Fan out one logical insert: POST each shard its slice of rows,
+/// recording successes into `state` (and the manifest). Returns an
+/// error response naming the failed shards, if any — successes are
+/// *kept*: the registry must reflect what the shards now hold.
+fn fan_out_insert(
+    shared: &Shared,
+    name: &str,
+    state: &mut DatasetState,
+    groups: &[(Vec<u64>, Vec<&[f64]>)],
+    version: u64,
+) -> Result<(), Response> {
+    let path = format!("/datasets/{}/points", encode_component(name));
+    let results = scatter(groups.len(), |s| {
+        let (globals, rows) = &groups[s];
+        if globals.is_empty() {
+            return None;
+        }
+        let body = format!("{{\"rows\":{}}}", rows_json(rows));
+        Some(shard_rpc(
+            shared,
+            s,
+            "POST",
+            "/datasets/{name}/points",
+            &path,
+            body.as_bytes(),
+            None,
+        ))
+    });
+    let mut failures: Vec<String> = Vec::new();
+    for (s, outcome) in results.into_iter().enumerate() {
+        let Some(outcome) = outcome else { continue };
+        let handles = match outcome {
+            Ok(resp) if resp.status == 200 => match parse_insert_handles(&resp) {
+                Ok(h) if h.len() == groups[s].0.len() => h,
+                Ok(_) => {
+                    failures.push(format!("shard {s} acknowledged the wrong row count"));
+                    continue;
+                }
+                Err(e) => {
+                    failures.push(format!("shard {s}: {e}"));
+                    continue;
+                }
+            },
+            Ok(resp) => {
+                failures.push(format!("shard {s} answered {}", resp.status));
+                continue;
+            }
+            Err(e) => {
+                failures.push(format!("shard {s} unreachable: {e}"));
+                continue;
+            }
+        };
+        state.record_insert(s, &groups[s].0, &handles);
+        if let Some(m) = &shared.manifest {
+            let mut m = m.lock().unwrap_or_else(|e| e.into_inner());
+            if let Err(e) = m.append_insert(name, version, s, &groups[s].0, &handles) {
+                failures.push(format!("manifest write failed: {e}"));
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(Response::error(
+            502,
+            &format!(
+                "insert into {name:?} partially failed ({}); successful shards were kept",
+                failures.join("; ")
+            ),
+        ))
+    }
+}
+
+/// `POST /datasets` — same body as a shard (`{"name", "rows"}` or
+/// `{"name", "synthetic"}`); the coordinator assigns global ids,
+/// partitions the rows by [`shard_of`], and fans the creation out.
+fn handle_create(shared: &Shared, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let Some(name) = body.get("name").and_then(Value::as_str) else {
+        return Response::error(400, "missing string field \"name\"");
+    };
+    let (rows, dims) = if let Some(synth) = body.get("synthetic") {
+        let tag = synth
+            .get("distribution")
+            .and_then(Value::as_str)
+            .unwrap_or("UI");
+        let Some(distribution) = Distribution::from_tag(tag) else {
+            return Response::error(400, &format!("unknown distribution {tag:?} (UI, CO, AC)"));
+        };
+        let Some(n) = synth.get("n").and_then(Value::as_u64) else {
+            return Response::error(400, "synthetic spec needs numeric \"n\"");
+        };
+        let Some(dims) = synth.get("dims").and_then(Value::as_u64) else {
+            return Response::error(400, "synthetic spec needs numeric \"dims\"");
+        };
+        let seed = synth.get("seed").and_then(Value::as_u64).unwrap_or(42);
+        let spec = SyntheticSpec {
+            distribution,
+            cardinality: n as usize,
+            dims: dims as usize,
+            seed,
+        };
+        let data = spec.generate();
+        let rows: Vec<Vec<f64>> = data.iter().map(|(_, row)| row.to_vec()).collect();
+        (rows, data.dims())
+    } else if let Some(rows_value) = body.get("rows") {
+        let rows = match parse_rows(rows_value) {
+            Ok(rows) => rows,
+            Err(msg) => return Response::error(400, &msg),
+        };
+        let dims = match (rows.first(), body.get("dims").and_then(Value::as_u64)) {
+            (Some(first), _) => first.len(),
+            (None, Some(dims)) => dims as usize,
+            (None, None) => {
+                return Response::error(400, "empty \"rows\" needs explicit \"dims\"");
+            }
+        };
+        (rows, dims)
+    } else {
+        return Response::error(400, "body needs either \"rows\" or \"synthetic\"");
+    };
+    if dims == 0 || dims > 64 {
+        return Response::error(400, "dims must be between 1 and 64");
+    }
+    if rows.iter().any(|r| r.len() != dims) {
+        return Response::error(400, "every row must have the same dimensionality");
+    }
+
+    // The registry lock is held across the fan-out: creation is an
+    // admin operation, and serialising mutations keeps the manifest a
+    // simple linear history.
+    let mut datasets = shared.datasets.lock().unwrap_or_else(|e| e.into_inner());
+    if datasets.contains_key(name) {
+        return Response::error(409, &format!("dataset {name:?} already exists"));
+    }
+    let shard_count = shared.shards.len();
+
+    // Every shard gets an (initially empty) dataset so later inserts
+    // and queries always find it; rows follow as an insert, whose
+    // response carries the shard-local handles the registry needs.
+    let create_body = format!("{{\"name\":{},\"dims\":{dims},\"rows\":[]}}", quoted(name));
+    let created = scatter(shard_count, |s| {
+        shard_rpc(
+            shared,
+            s,
+            "POST",
+            "/datasets",
+            "/datasets",
+            create_body.as_bytes(),
+            None,
+        )
+    });
+    for (s, outcome) in created.iter().enumerate() {
+        match outcome {
+            Ok(resp) if resp.status == 201 => {}
+            Ok(resp) => {
+                return Response::error(
+                    502,
+                    &format!(
+                        "shard {s} refused creation with {}: {}",
+                        resp.status,
+                        resp.body_str()
+                    ),
+                )
+            }
+            Err(e) => {
+                return Response::error(502, &format!("shard {s} unreachable during creation: {e}"))
+            }
+        }
+    }
+
+    let mut state = DatasetState::new(dims, shard_count);
+    if let Some(m) = &shared.manifest {
+        let mut m = m.lock().unwrap_or_else(|e| e.into_inner());
+        if let Err(e) = m.append_create(name, dims, shard_count) {
+            return Response::error(500, &format!("manifest write failed: {e}"));
+        }
+    }
+    let groups = partition_rows(&rows, 0, shard_count);
+    let create_version = state.version;
+    let outcome = fan_out_insert(shared, name, &mut state, &groups, create_version);
+    let points = state.live;
+    let version = state.version;
+    datasets.insert(name.to_string(), state);
+    if let Err(resp) = outcome {
+        return resp;
+    }
+    let mut w = ObjectWriter::new();
+    w.str_field("name", name)
+        .u64_field("dims", dims as u64)
+        .u64_field("points", points as u64)
+        .u64_field("version", version)
+        .u64_field("shards", shard_count as u64);
+    Response::json(201, w.finish())
+}
+
+/// JSON string literal for `s` (names come back out of `ObjectWriter`
+/// fields elsewhere; bodies built by hand need the same escaping).
+fn quoted(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    skyline_obs::json::escape_into(s, &mut out);
+    out.push('"');
+    out
+}
+
+/// `POST /datasets/{name}/points` — body `{"rows": [[...], ...]}`;
+/// rows get fresh global ids and are routed to their owning shards.
+fn handle_insert(shared: &Shared, name: &str, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let Some(rows_value) = body.get("rows") else {
+        return Response::error(400, "body needs \"rows\"");
+    };
+    let rows = match parse_rows(rows_value) {
+        Ok(rows) => rows,
+        Err(msg) => return Response::error(400, &msg),
+    };
+    let mut datasets = shared.datasets.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(state) = datasets.get_mut(name) else {
+        return Response::error(404, &format!("no dataset {name:?}"));
+    };
+    if rows.iter().any(|r| r.len() != state.dims) {
+        return Response::error(400, &format!("rows must have {} values each", state.dims));
+    }
+    let first_global = state.next_global;
+    // Ids are burned even if a shard later fails: holes are fine,
+    // reuse is not.
+    state.next_global += rows.len() as u64;
+    let version = state.version + 1;
+    let groups = partition_rows(&rows, first_global, shared.shards.len());
+    let outcome = fan_out_insert(shared, name, state, &groups, version);
+    state.version = version;
+    if let Err(resp) = outcome {
+        return resp;
+    }
+    let globals: Vec<u64> = (first_global..first_global + rows.len() as u64).collect();
+    let mut w = ObjectWriter::new();
+    w.u64_field("inserted", rows.len() as u64)
+        .u64_array_field("ids", &globals)
+        .u64_field("version", version);
+    Response::json(200, w.finish())
+}
+
+/// `DELETE /datasets/{name}/points` — body `{"ids": [...]}` with
+/// *global* ids; the registry maps them to shard-local handles.
+fn handle_remove(shared: &Shared, name: &str, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let Some(ids_value) = body.get("ids").and_then(Value::as_arr) else {
+        return Response::error(400, "body needs an \"ids\" array");
+    };
+    let mut globals = Vec::with_capacity(ids_value.len());
+    for (i, v) in ids_value.iter().enumerate() {
+        match v.as_u64() {
+            Some(id) => globals.push(id),
+            None => return Response::error(400, &format!("ids[{i}] is not a point id")),
+        }
+    }
+    let mut datasets = shared.datasets.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(state) = datasets.get_mut(name) else {
+        return Response::error(404, &format!("no dataset {name:?}"));
+    };
+    // Resolve before mutating: only ids the owning shard acknowledges
+    // deleting leave the registry.
+    let shard_count = shared.shards.len();
+    let mut per_shard: Vec<(Vec<u64>, Vec<u32>)> = vec![(Vec::new(), Vec::new()); shard_count];
+    for g in &globals {
+        if let Some(&(shard, handle)) = state.locations.get(g) {
+            per_shard[shard as usize].0.push(*g);
+            per_shard[shard as usize].1.push(handle);
+        }
+    }
+    let path = format!("/datasets/{}/points", encode_component(name));
+    let results = scatter(shard_count, |s| {
+        let (_, handles) = &per_shard[s];
+        if handles.is_empty() {
+            return None;
+        }
+        let ids: Vec<u64> = handles.iter().map(|&h| h as u64).collect();
+        let mut w = ObjectWriter::new();
+        w.u64_array_field("ids", &ids);
+        Some(shard_rpc(
+            shared,
+            s,
+            "DELETE",
+            "/datasets/{name}/points",
+            &path,
+            w.finish().as_bytes(),
+            None,
+        ))
+    });
+    let mut removed_globals: Vec<u64> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    for (s, outcome) in results.into_iter().enumerate() {
+        match outcome {
+            None => {}
+            Some(Ok(resp)) if resp.status == 200 => {
+                removed_globals.extend_from_slice(&per_shard[s].0);
+            }
+            Some(Ok(resp)) => failures.push(format!("shard {s} answered {}", resp.status)),
+            Some(Err(e)) => failures.push(format!("shard {s} unreachable: {e}")),
+        }
+    }
+    let removed = removed_globals.len();
+    if removed > 0 {
+        state.record_remove(&removed_globals);
+        state.version += 1;
+        if let Some(m) = &shared.manifest {
+            let mut m = m.lock().unwrap_or_else(|e| e.into_inner());
+            if let Err(e) = m.append_remove(name, state.version, &removed_globals) {
+                failures.push(format!("manifest write failed: {e}"));
+            }
+        }
+    }
+    if !failures.is_empty() {
+        return Response::error(
+            502,
+            &format!(
+                "remove from {name:?} partially failed ({}); {removed} ids were removed",
+                failures.join("; ")
+            ),
+        );
+    }
+    let mut w = ObjectWriter::new();
+    w.u64_field("removed", removed as u64)
+        .u64_field("version", state.version);
+    Response::json(200, w.finish())
+}
+
+/// One shard's parsed `/skyline` answer (with masks, elites, rows).
+struct ShardSkyline {
+    /// Shard-local handles of the local skyline points.
+    handles: Vec<u32>,
+    /// Premasks parallel to `handles`.
+    masks: Vec<u64>,
+    /// Elite positions into `handles`.
+    elites: Vec<usize>,
+    /// Coordinates parallel to `handles`, already in query space.
+    rows: Vec<Vec<f64>>,
+    /// Resolved algorithm name, echoed back to the client.
+    algorithm: String,
+}
+
+fn parse_shard_skyline(body: &str, dims: usize) -> Result<ShardSkyline, String> {
+    let v = Value::parse(body).map_err(|e| format!("bad shard response: {e}"))?;
+    let ids_u64: Vec<u64> = v
+        .get("ids")
+        .and_then(Value::as_arr)
+        .ok_or("shard response lacks \"ids\"")?
+        .iter()
+        .map(|x| x.as_u64().ok_or("non-numeric id"))
+        .collect::<Result<_, _>>()?;
+    let handles: Vec<u32> = ids_u64.iter().map(|&h| h as u32).collect();
+    let masks: Vec<u64> = v
+        .get("masks")
+        .and_then(Value::as_arr)
+        .ok_or("shard response lacks \"masks\" (shard too old for include_masks?)")?
+        .iter()
+        .map(|x| x.as_u64().ok_or("non-numeric mask"))
+        .collect::<Result<_, _>>()?;
+    let elites: Vec<usize> = v
+        .get("elites")
+        .and_then(Value::as_arr)
+        .ok_or("shard response lacks \"elites\"")?
+        .iter()
+        .map(|x| x.as_u64().map(|e| e as usize).ok_or("non-numeric elite"))
+        .collect::<Result<_, _>>()?;
+    let rows_value = v
+        .get("rows")
+        .and_then(Value::as_arr)
+        .ok_or("shard response lacks \"rows\"")?;
+    let mut rows = Vec::with_capacity(rows_value.len());
+    for row in rows_value {
+        let row = row.as_arr().ok_or("shard row is not an array")?;
+        let coords: Vec<f64> = row
+            .iter()
+            .map(|x| x.as_f64().ok_or("non-numeric coordinate"))
+            .collect::<Result<_, _>>()?;
+        if coords.len() != dims {
+            return Err(format!(
+                "shard row has {} coordinates, expected {dims}",
+                coords.len()
+            ));
+        }
+        rows.push(coords);
+    }
+    if masks.len() != handles.len() || rows.len() != handles.len() {
+        return Err("shard arrays disagree on length".to_string());
+    }
+    if elites.iter().any(|&e| e >= handles.len()) {
+        return Err("shard elite position out of range".to_string());
+    }
+    let algorithm = v
+        .get("algorithm")
+        .and_then(Value::as_str)
+        .unwrap_or("SDI-Subset")
+        .to_string();
+    Ok(ShardSkyline {
+        handles,
+        masks,
+        elites,
+        rows,
+        algorithm,
+    })
+}
+
+/// `GET /skyline?dataset=&algo=&dims=&threads=&deadline_ms=` —
+/// scatter-gather over the shards plus the elite-referenced cross-shard
+/// merge. Responds `"partial": true` with a `missing_shards` list when
+/// shards stayed unreachable after retries.
+fn handle_skyline(shared: &Shared, req: &Request) -> Response {
+    let overall = Instant::now();
+    let Some(name) = req.query_param("dataset") else {
+        return Response::error(400, "missing query parameter \"dataset\"");
+    };
+    let deadline_ms: Option<u64> = match req.query_param("deadline_ms") {
+        None | Some("") => None,
+        Some(raw) => match raw.parse() {
+            Ok(ms) if ms > 0 => Some(ms),
+            _ => {
+                return Response::error(
+                    400,
+                    &format!("bad \"deadline_ms\" value {raw:?} (positive integer)"),
+                )
+            }
+        },
+    };
+    let budget = deadline_ms.map(Duration::from_millis);
+    let threads: u64 = match req.query_param("threads") {
+        None | Some("") => 0,
+        Some(raw) => match raw.parse() {
+            Ok(n) => n,
+            Err(_) => return Response::error(400, &format!("bad \"threads\" value {raw:?}")),
+        },
+    };
+    match req.query_param("k") {
+        None | Some("") | Some("1") => {}
+        Some(_) => {
+            return Response::error(
+                400,
+                "the cluster coordinator serves k=1 only: k-skyband membership cannot be \
+                 decided from per-shard skylines",
+            )
+        }
+    }
+    for flag in ["include_masks", "include_rows"] {
+        if req
+            .query_param(flag)
+            .is_some_and(|v| !v.is_empty() && v != "0")
+        {
+            return Response::error(
+                400,
+                &format!("{flag:?} is a shard-level option, not available on the coordinator"),
+            );
+        }
+    }
+    let algo = req.query_param("algo").filter(|a| !a.is_empty());
+
+    // Snapshot the registry: dims, version, and the per-shard
+    // handle→global maps (Arc clones — the query must not block behind
+    // later mutations, nor see half of one).
+    let (total_dims, version, handle_maps) = {
+        let datasets = shared.datasets.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(state) = datasets.get(name) else {
+            return Response::error(404, &format!("no dataset {name:?}"));
+        };
+        (state.dims, state.version, state.handle_to_global.clone())
+    };
+
+    let full = Subspace::full(total_dims);
+    let mask = match req.query_param("dims") {
+        None | Some("") => full,
+        Some(raw) => {
+            let mut picked = Vec::new();
+            for part in raw.split(',').filter(|p| !p.is_empty()) {
+                match part.trim().parse::<usize>() {
+                    Ok(d) if d < total_dims => picked.push(d),
+                    _ => {
+                        return Response::error(
+                            400,
+                            &format!("bad dimension {part:?} (dataset has {total_dims} dims)"),
+                        )
+                    }
+                }
+            }
+            if picked.is_empty() {
+                return Response::error(400, "\"dims\" must name at least one dimension");
+            }
+            Subspace::from_dims(picked)
+        }
+    };
+    let query_dims = if mask == full {
+        total_dims
+    } else {
+        mask.size()
+    };
+
+    let algo_label = algo.unwrap_or("SDI-Subset").to_string();
+    let deadline_response = |shared: &Shared| {
+        shared.metrics.inc_deadline_exceeded();
+        shared.emit(Event::DeadlineExceeded {
+            dataset: name.to_string(),
+            algorithm: algo_label.clone(),
+            deadline_ms: deadline_ms.unwrap_or(0),
+        });
+        Response::error(
+            504,
+            &format!(
+                "deadline of {} ms exceeded computing the cluster skyline of {name:?}",
+                deadline_ms.unwrap_or(0)
+            ),
+        )
+    };
+
+    // Scatter. Every shard gets the remaining budget as its own
+    // deadline *and* as the retry budget: a slow shard cannot spend
+    // time the merge no longer has.
+    let mut path = format!(
+        "/skyline?dataset={}&include_masks=1&include_rows=1",
+        encode_component(name)
+    );
+    if let Some(a) = algo {
+        path.push_str(&format!("&algo={}", encode_component(a)));
+    }
+    if threads > 0 {
+        path.push_str(&format!("&threads={threads}"));
+    }
+    if let Some(raw) = req.query_param("dims").filter(|d| !d.is_empty()) {
+        path.push_str(&format!("&dims={}", encode_component(raw)));
+    }
+    let remaining = budget.map(|b| b.saturating_sub(overall.elapsed()));
+    if let Some(rem) = remaining {
+        if rem.is_zero() {
+            return deadline_response(shared);
+        }
+        path.push_str(&format!("&deadline_ms={}", rem.as_millis().max(1)));
+    }
+    let shard_count = shared.shards.len();
+    let responses = scatter(shard_count, |s| {
+        shard_rpc(shared, s, "GET", "/skyline", &path, &[], remaining)
+    });
+
+    let mut parsed: Vec<Option<ShardSkyline>> = Vec::with_capacity(shard_count);
+    let mut missing: Vec<u64> = Vec::new();
+    for (s, outcome) in responses.into_iter().enumerate() {
+        match outcome {
+            Ok(resp) if resp.status == 200 => {
+                match parse_shard_skyline(&resp.body_str(), query_dims) {
+                    Ok(sky) => parsed.push(Some(sky)),
+                    Err(_) => {
+                        missing.push(s as u64);
+                        parsed.push(None);
+                    }
+                }
+            }
+            Ok(resp) if resp.status == 504 => return deadline_response(shared),
+            _ => {
+                missing.push(s as u64);
+                parsed.push(None);
+            }
+        }
+    }
+    if missing.len() == shard_count {
+        return Response::error(502, "no shard answered the skyline query");
+    }
+    let partial = !missing.is_empty();
+
+    // Translate shard handles to global ids and assemble the merge
+    // inputs. Rows live in one arena so elite references and the
+    // key→row lookup borrow from the same place.
+    let mut rows_store: Vec<Vec<f64>> = Vec::new();
+    let mut row_index: HashMap<u64, usize> = HashMap::new();
+    let mut entries: Vec<MergeEntry> = Vec::new();
+    let mut elite_slots: Vec<(u32, usize)> = Vec::new();
+    for (s, sky) in parsed.iter().enumerate() {
+        let Some(sky) = sky else { continue };
+        let map = &handle_maps[s];
+        let base = rows_store.len();
+        for (i, &h) in sky.handles.iter().enumerate() {
+            let Some(&global) = map.get(&h) else {
+                return Response::error(
+                    500,
+                    &format!("shard {s} returned handle {h} the registry does not know"),
+                );
+            };
+            row_index.insert(global, rows_store.len());
+            entries.push(MergeEntry {
+                key: global,
+                shard: s as u32,
+                premask: Subspace::from_bits(sky.masks[i]),
+            });
+            rows_store.push(sky.rows[i].clone());
+        }
+        for &e in &sky.elites {
+            elite_slots.push((s as u32, base + e));
+        }
+    }
+    let elites: Vec<EliteRef<'_>> = elite_slots
+        .iter()
+        .map(|&(s, i)| EliteRef {
+            shard: s,
+            row: rows_store[i].as_slice(),
+        })
+        .collect();
+
+    let remaining = budget.map(|b| b.saturating_sub(overall.elapsed()));
+    if remaining.is_some_and(|r| r.is_zero()) {
+        return deadline_response(shared);
+    }
+    let cancel = match remaining {
+        Some(rem) => CancelToken::with_deadline(rem),
+        None => CancelToken::none(),
+    };
+    let mut metrics = Metrics::new();
+    let merge_start = Instant::now();
+    let row_of = |key: u64| rows_store[row_index[&key]].as_slice();
+    let merged: Result<Vec<u64>, Cancelled> = match &shared.recorder {
+        Some(rec) => {
+            let mut rec = rec.lock().unwrap_or_else(|e| e.into_inner());
+            merge_shard_skylines(
+                query_dims,
+                shard_count,
+                &entries,
+                &elites,
+                row_of,
+                &mut metrics,
+                &mut *rec,
+                &cancel,
+            )
+        }
+        None => merge_shard_skylines(
+            query_dims,
+            shard_count,
+            &entries,
+            &elites,
+            row_of,
+            &mut metrics,
+            &mut NoopRecorder,
+            &cancel,
+        ),
+    };
+    let ids = match merged {
+        Ok(ids) => ids,
+        Err(Cancelled) => return deadline_response(shared),
+    };
+    shared.emit(Event::ClusterMerge {
+        shards: shard_count as u64,
+        missing: missing.len() as u64,
+        candidates: entries.len() as u64,
+        skyline_size: ids.len() as u64,
+        dominance_tests: metrics.dominance_tests,
+        elapsed_us: merge_start.elapsed().as_micros() as u64,
+    });
+
+    let algorithm = parsed
+        .iter()
+        .flatten()
+        .next()
+        .map(|sky| sky.algorithm.clone())
+        .unwrap_or(algo_label);
+    let mut w = ObjectWriter::new();
+    w.str_field("dataset", name)
+        .str_field("algorithm", &algorithm)
+        .u64_field("version", version)
+        .u64_field("mask_bits", mask.bits())
+        .u64_field("k", 1)
+        .bool_field("cached", false)
+        .u64_field("count", ids.len() as u64)
+        .u64_field("elapsed_us", overall.elapsed().as_micros() as u64)
+        .u64_array_field("ids", &ids)
+        .u64_field("shards", shard_count as u64)
+        .bool_field("partial", partial)
+        .u64_array_field("missing_shards", &missing);
+    Response::json(200, w.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_encoding_round_trips_through_the_server_decoder() {
+        let raw = "hotels 2024/EU?x=1&y=2";
+        let encoded = encode_component(raw);
+        assert!(!encoded.contains(' ') && !encoded.contains('&') && !encoded.contains('?'));
+        assert_eq!(http::percent_decode(&encoded), raw);
+    }
+
+    #[test]
+    fn rows_json_is_exact_for_awkward_floats() {
+        let rows: Vec<&[f64]> = vec![&[0.1, 2.0 / 3.0], &[f64::MIN_POSITIVE, 1e300]];
+        let json = rows_json(&rows);
+        let v = Value::parse(&json).unwrap();
+        let arr = v.as_arr().unwrap();
+        for (i, row) in rows.iter().enumerate() {
+            let parsed: Vec<f64> = arr[i]
+                .as_arr()
+                .unwrap()
+                .iter()
+                .map(|x| x.as_f64().unwrap())
+                .collect();
+            assert_eq!(&parsed, row, "row {i} must survive the wire bit-exactly");
+        }
+    }
+
+    #[test]
+    fn quoted_escapes_for_json_bodies() {
+        assert_eq!(quoted("plain"), "\"plain\"");
+        assert_eq!(quoted("a\"b"), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn shard_skyline_parser_rejects_inconsistent_payloads() {
+        let good = r#"{"algorithm":"SDI-Subset","ids":[0,2],"masks":[1,3],"elites":[0],"rows":[[0.5,0.25],[0.125,1]]}"#;
+        let sky = parse_shard_skyline(good, 2).unwrap();
+        assert_eq!(sky.handles, vec![0, 2]);
+        assert_eq!(sky.masks, vec![1, 3]);
+        assert_eq!(sky.elites, vec![0]);
+        assert_eq!(sky.rows[1], vec![0.125, 1.0]);
+
+        let wrong_dims = parse_shard_skyline(good, 3);
+        assert!(wrong_dims.is_err());
+        let missing_masks = r#"{"ids":[0],"elites":[],"rows":[[1]]}"#;
+        assert!(parse_shard_skyline(missing_masks, 1).is_err());
+        let elite_oob = r#"{"ids":[0],"masks":[0],"elites":[1],"rows":[[1]]}"#;
+        assert!(parse_shard_skyline(elite_oob, 1).is_err());
+    }
+}

@@ -1,0 +1,269 @@
+//! The coordinator's durable registry: a WAL-style JSONL manifest.
+//!
+//! Shards already write-ahead-log their own rows (`skyline-serve`'s
+//! `--data-dir`); what would be lost on a coordinator crash is the
+//! *cluster-level* bookkeeping — which datasets exist, which global id
+//! lives on which shard under which local handle. Every acknowledged
+//! mutation appends one JSON line here, flushed and fsynced before the
+//! client sees the response, and `open` replays the file back into
+//! [`DatasetState`]s on startup.
+//!
+//! Record shapes (one object per line):
+//!
+//! ```text
+//! {"op":"create","name":"hotels","dims":4,"shards":2}
+//! {"op":"insert","name":"hotels","version":2,"shard":1,"globals":[0,3],"handles":[0,1]}
+//! {"op":"remove","name":"hotels","version":3,"globals":[3]}
+//! ```
+//!
+//! The `shards` count is pinned at creation: replaying a manifest into a
+//! cluster of a different size would silently mis-route every row, so it
+//! is a hard startup error (resharding is out of scope — see DESIGN.md).
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use skyline_obs::json::{ObjectWriter, Value};
+
+use crate::shard_map::DatasetState;
+
+/// Append handle over the manifest file.
+#[derive(Debug)]
+pub struct Manifest {
+    file: File,
+    bytes: u64,
+}
+
+/// What replaying an existing manifest recovered.
+#[derive(Debug)]
+pub struct Replay {
+    /// Rebuilt per-dataset state.
+    pub datasets: HashMap<String, DatasetState>,
+    /// Number of records replayed.
+    pub records: u64,
+}
+
+impl Manifest {
+    /// Open (creating if absent) and replay the manifest at `path` for a
+    /// cluster of `shard_count` shards.
+    pub fn open(path: &Path, shard_count: usize) -> io::Result<(Manifest, Replay)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(path)?;
+        let mut text = String::new();
+        file.read_to_string(&mut text)?;
+        let replay = replay(&text, shard_count).map_err(io::Error::other)?;
+        let bytes = text.len() as u64;
+        Ok((Manifest { file, bytes }, replay))
+    }
+
+    /// Total manifest size, bytes (for `/metrics`).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn append(&mut self, line: String) -> io::Result<()> {
+        let mut buf = line.into_bytes();
+        buf.push(b'\n');
+        self.file.write_all(&buf)?;
+        self.file.flush()?;
+        self.file.sync_data()?;
+        self.bytes += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Log a dataset creation.
+    pub fn append_create(&mut self, name: &str, dims: usize, shards: usize) -> io::Result<()> {
+        let mut w = ObjectWriter::new();
+        w.str_field("op", "create")
+            .str_field("name", name)
+            .u64_field("dims", dims as u64)
+            .u64_field("shards", shards as u64);
+        self.append(w.finish())
+    }
+
+    /// Log one shard's slice of an acknowledged insert (`globals` and
+    /// `handles` are parallel arrays).
+    pub fn append_insert(
+        &mut self,
+        name: &str,
+        version: u64,
+        shard: usize,
+        globals: &[u64],
+        handles: &[u32],
+    ) -> io::Result<()> {
+        let handles64: Vec<u64> = handles.iter().map(|&h| h as u64).collect();
+        let mut w = ObjectWriter::new();
+        w.str_field("op", "insert")
+            .str_field("name", name)
+            .u64_field("version", version)
+            .u64_field("shard", shard as u64)
+            .u64_array_field("globals", globals)
+            .u64_array_field("handles", &handles64);
+        self.append(w.finish())
+    }
+
+    /// Log an acknowledged removal of these global ids.
+    pub fn append_remove(&mut self, name: &str, version: u64, globals: &[u64]) -> io::Result<()> {
+        let mut w = ObjectWriter::new();
+        w.str_field("op", "remove")
+            .str_field("name", name)
+            .u64_field("version", version)
+            .u64_array_field("globals", globals);
+        self.append(w.finish())
+    }
+}
+
+fn field_u64(v: &Value, key: &str, line_no: usize) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("manifest line {line_no}: missing numeric {key:?}"))
+}
+
+fn field_u64_array(v: &Value, key: &str, line_no: usize) -> Result<Vec<u64>, String> {
+    v.get(key)
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("manifest line {line_no}: missing array {key:?}"))?
+        .iter()
+        .map(|x| {
+            x.as_u64()
+                .ok_or_else(|| format!("manifest line {line_no}: {key:?} entry is not an id"))
+        })
+        .collect()
+}
+
+/// Replay manifest `text` into per-dataset state.
+fn replay(text: &str, shard_count: usize) -> Result<Replay, String> {
+    let mut datasets: HashMap<String, DatasetState> = HashMap::new();
+    let mut records = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = Value::parse(line).map_err(|e| format!("manifest line {line_no}: {e}"))?;
+        let op = v
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("manifest line {line_no}: missing \"op\""))?;
+        let name = v
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("manifest line {line_no}: missing \"name\""))?;
+        match op {
+            "create" => {
+                let dims = field_u64(&v, "dims", line_no)? as usize;
+                let shards = field_u64(&v, "shards", line_no)? as usize;
+                if shards != shard_count {
+                    return Err(format!(
+                        "manifest line {line_no}: dataset {name:?} was created over {shards} \
+                         shards but this cluster has {shard_count}; resharding is not supported"
+                    ));
+                }
+                if datasets.contains_key(name) {
+                    return Err(format!(
+                        "manifest line {line_no}: duplicate create {name:?}"
+                    ));
+                }
+                datasets.insert(name.to_string(), DatasetState::new(dims, shard_count));
+            }
+            "insert" => {
+                let version = field_u64(&v, "version", line_no)?;
+                let shard = field_u64(&v, "shard", line_no)? as usize;
+                if shard >= shard_count {
+                    return Err(format!(
+                        "manifest line {line_no}: shard {shard} out of range"
+                    ));
+                }
+                let globals = field_u64_array(&v, "globals", line_no)?;
+                let handles: Vec<u32> = field_u64_array(&v, "handles", line_no)?
+                    .into_iter()
+                    .map(|h| h as u32)
+                    .collect();
+                if globals.len() != handles.len() {
+                    return Err(format!(
+                        "manifest line {line_no}: globals/handles length mismatch"
+                    ));
+                }
+                let state = datasets.get_mut(name).ok_or_else(|| {
+                    format!("manifest line {line_no}: insert into unknown {name:?}")
+                })?;
+                state.record_insert(shard, &globals, &handles);
+                state.version = state.version.max(version);
+            }
+            "remove" => {
+                let version = field_u64(&v, "version", line_no)?;
+                let globals = field_u64_array(&v, "globals", line_no)?;
+                let state = datasets.get_mut(name).ok_or_else(|| {
+                    format!("manifest line {line_no}: remove from unknown {name:?}")
+                })?;
+                state.record_remove(&globals);
+                state.version = state.version.max(version);
+            }
+            other => return Err(format!("manifest line {line_no}: unknown op {other:?}")),
+        }
+        records += 1;
+    }
+    Ok(Replay { datasets, records })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "skyline-cluster-manifest-{tag}-{}",
+            std::process::id()
+        ));
+        p
+    }
+
+    #[test]
+    fn append_then_reopen_rebuilds_the_maps() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut m, replay) = Manifest::open(&path, 2).unwrap();
+            assert_eq!(replay.records, 0);
+            m.append_create("hotels", 4, 2).unwrap();
+            m.append_insert("hotels", 2, 0, &[0, 3], &[0, 1]).unwrap();
+            m.append_insert("hotels", 2, 1, &[1, 2], &[0, 1]).unwrap();
+            m.append_remove("hotels", 3, &[3]).unwrap();
+        }
+        let (m, replay) = Manifest::open(&path, 2).unwrap();
+        assert_eq!(replay.records, 4);
+        assert!(m.bytes() > 0);
+        let st = &replay.datasets["hotels"];
+        assert_eq!((st.dims, st.version, st.live, st.next_global), (4, 3, 3, 4));
+        assert_eq!(st.locations[&1], (1, 0));
+        assert!(!st.locations.contains_key(&3));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shard_count_mismatch_is_a_startup_error() {
+        let path = temp_path("mismatch");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut m, _) = Manifest::open(&path, 2).unwrap();
+            m.append_create("d", 3, 2).unwrap();
+        }
+        let err = Manifest::open(&path, 3).unwrap_err();
+        assert!(err.to_string().contains("resharding"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn garbage_lines_are_rejected_loudly() {
+        let path = temp_path("garbage");
+        std::fs::write(&path, "{\"op\":\"explode\",\"name\":\"x\"}\n").unwrap();
+        assert!(Manifest::open(&path, 1).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -56,6 +56,7 @@ pub mod error;
 pub mod merge;
 pub mod metrics;
 pub mod point;
+pub mod shard_merge;
 pub mod streaming;
 pub mod subset_index;
 pub mod subspace;
@@ -75,6 +76,10 @@ pub mod prelude {
     pub use crate::merge::{merge, MergeConfig, MergeOutcome, PivotScore};
     pub use crate::metrics::{Metrics, RunMeasurement};
     pub use crate::point::{PointId, Preference};
+    pub use crate::shard_merge::{
+        merge_shard_skylines, reference_masks, select_reference_elites, EliteRef, MergeEntry,
+        NO_SHARD,
+    };
     pub use crate::streaming::StreamingSkyline;
     pub use crate::subset_index::{SortedSubsetIndex, SubsetIndex};
     pub use crate::subspace::Subspace;

@@ -131,6 +131,36 @@ pub enum Event {
         /// Content version the dataset recovered to.
         version: u64,
     },
+    /// One RPC from the cluster coordinator to a shard node finished
+    /// (successfully or not).
+    ShardRpc {
+        /// 0-based shard index in the coordinator's shard list.
+        shard: u64,
+        /// Normalised endpoint on the shard (e.g. `/skyline`).
+        endpoint: String,
+        /// HTTP status the shard answered with; `0` when the call
+        /// failed at the transport level (connect/read error).
+        status: u64,
+        /// Attempts the retrying client made, including the first.
+        attempts: u64,
+        /// End-to-end RPC time across all attempts, microseconds.
+        elapsed_us: u64,
+    },
+    /// The coordinator finished a cross-shard scatter-gather merge.
+    ClusterMerge {
+        /// Shards that contributed a local skyline.
+        shards: u64,
+        /// Shards that failed and were left out (`partial` response).
+        missing: u64,
+        /// Union of per-shard skyline candidates fed into the merge.
+        candidates: u64,
+        /// Global skyline cardinality after the merge.
+        skyline_size: u64,
+        /// Dominance tests the coordinator-side merge performed.
+        dominance_tests: u64,
+        /// Merge wall-clock, microseconds (excluding shard RPCs).
+        elapsed_us: u64,
+    },
     /// One algorithm run finished.
     RunSummary {
         /// Algorithm display name.
@@ -191,6 +221,8 @@ impl Event {
             Event::DeadlineExceeded { .. } => "deadline_exceeded",
             Event::HandlerPanic { .. } => "handler_panic",
             Event::Recovery { .. } => "recovery",
+            Event::ShardRpc { .. } => "shard_rpc",
+            Event::ClusterMerge { .. } => "cluster_merge",
             Event::RunSummary { .. } => "run_summary",
         }
     }
@@ -307,6 +339,34 @@ impl Event {
                     .u64_field("replayed", *replayed)
                     .u64_field("version", *version);
             }
+            Event::ShardRpc {
+                shard,
+                endpoint,
+                status,
+                attempts,
+                elapsed_us,
+            } => {
+                w.u64_field("shard", *shard)
+                    .str_field("endpoint", endpoint)
+                    .u64_field("status", *status)
+                    .u64_field("attempts", *attempts)
+                    .u64_field("elapsed_us", *elapsed_us);
+            }
+            Event::ClusterMerge {
+                shards,
+                missing,
+                candidates,
+                skyline_size,
+                dominance_tests,
+                elapsed_us,
+            } => {
+                w.u64_field("shards", *shards)
+                    .u64_field("missing", *missing)
+                    .u64_field("candidates", *candidates)
+                    .u64_field("skyline_size", *skyline_size)
+                    .u64_field("dominance_tests", *dominance_tests)
+                    .u64_field("elapsed_us", *elapsed_us);
+            }
             Event::RunSummary {
                 algorithm,
                 skyline_size,
@@ -388,6 +448,21 @@ impl Event {
                 dataset: v.get("dataset")?.as_str()?.to_string(),
                 replayed: v.get("replayed")?.as_u64()?,
                 version: v.get("version")?.as_u64()?,
+            }),
+            "shard_rpc" => Some(Event::ShardRpc {
+                shard: v.get("shard")?.as_u64()?,
+                endpoint: v.get("endpoint")?.as_str()?.to_string(),
+                status: v.get("status")?.as_u64()?,
+                attempts: v.get("attempts")?.as_u64()?,
+                elapsed_us: v.get("elapsed_us")?.as_u64()?,
+            }),
+            "cluster_merge" => Some(Event::ClusterMerge {
+                shards: v.get("shards")?.as_u64()?,
+                missing: v.get("missing")?.as_u64()?,
+                candidates: v.get("candidates")?.as_u64()?,
+                skyline_size: v.get("skyline_size")?.as_u64()?,
+                dominance_tests: v.get("dominance_tests")?.as_u64()?,
+                elapsed_us: v.get("elapsed_us")?.as_u64()?,
             }),
             "run_summary" => Some(Event::RunSummary {
                 algorithm: v.get("algorithm")?.as_str()?.to_string(),
@@ -472,6 +547,21 @@ mod tests {
                 dataset: "hotels".into(),
                 replayed: 42,
                 version: 58,
+            },
+            Event::ShardRpc {
+                shard: 1,
+                endpoint: "/skyline".into(),
+                status: 200,
+                attempts: 2,
+                elapsed_us: 1_832,
+            },
+            Event::ClusterMerge {
+                shards: 4,
+                missing: 1,
+                candidates: 253,
+                skyline_size: 211,
+                dominance_tests: 1_099,
+                elapsed_us: 642,
             },
             Event::RunSummary {
                 algorithm: "SFS-SUBSET".into(),

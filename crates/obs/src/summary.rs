@@ -93,6 +93,18 @@ pub struct TraceSummary {
     pub recoveries: u64,
     /// Server: WAL records replayed across all boot recoveries.
     pub recovery_replayed: u64,
+    /// Cluster: per-shard RPC statistics keyed by `shard <index>`.
+    pub shard_rpcs: BTreeMap<String, EndpointStats>,
+    /// Cluster: total attempts across all shard RPCs (retries included).
+    pub shard_rpc_attempts: u64,
+    /// Cluster: scatter-gather merges the coordinator performed.
+    pub cluster_merges: u64,
+    /// Cluster: merges that answered with a missing shard (`partial`).
+    pub cluster_partial_merges: u64,
+    /// Cluster: total candidate-union size over all coordinator merges.
+    pub cluster_candidates: u64,
+    /// Cluster: total coordinator-side merge time, microseconds.
+    pub cluster_merge_us: u64,
     /// Merged distribution of trie query depth.
     pub trie_depth: Histogram,
     /// Merged distribution of candidates returned per container query.
@@ -204,6 +216,31 @@ impl TraceSummary {
                 Some(Event::Recovery { replayed, .. }) => {
                     self.recoveries += 1;
                     self.recovery_replayed += replayed;
+                }
+                Some(Event::ShardRpc {
+                    shard,
+                    status,
+                    attempts,
+                    elapsed_us,
+                    ..
+                }) => {
+                    let stats = self.shard_rpcs.entry(format!("shard {shard}")).or_default();
+                    stats.count += 1;
+                    stats.errors += u64::from(status == 0 || status >= 400);
+                    stats.total_us += elapsed_us;
+                    stats.max_us = stats.max_us.max(elapsed_us);
+                    self.shard_rpc_attempts += attempts;
+                }
+                Some(Event::ClusterMerge {
+                    missing,
+                    candidates,
+                    elapsed_us,
+                    ..
+                }) => {
+                    self.cluster_merges += 1;
+                    self.cluster_partial_merges += u64::from(missing > 0);
+                    self.cluster_candidates += candidates;
+                    self.cluster_merge_us += elapsed_us;
                 }
                 Some(Event::RunSummary {
                     algorithm,
@@ -360,6 +397,44 @@ impl TraceSummary {
                     self.recoveries, self.recovery_replayed
                 );
             }
+        }
+        if !self.shard_rpcs.is_empty() || self.cluster_merges > 0 {
+            let _ = writeln!(out, "\n== cluster ==");
+            if !self.shard_rpcs.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "  {:<12} {:>7} {:>7} {:>10} {:>10}",
+                    "shard", "rpcs", "errors", "mean ms", "max ms"
+                );
+                for (name, e) in &self.shard_rpcs {
+                    let mean = if e.count == 0 {
+                        0.0
+                    } else {
+                        e.total_us as f64 / e.count as f64
+                    };
+                    let _ = writeln!(
+                        out,
+                        "  {:<12} {:>7} {:>7} {:>10.3} {:>10.3}",
+                        name,
+                        e.count,
+                        e.errors,
+                        mean / 1e3,
+                        e.max_us as f64 / 1e3
+                    );
+                }
+                let _ = writeln!(out, "  rpc attempts     {:>8}", self.shard_rpc_attempts);
+            }
+            let _ = writeln!(
+                out,
+                "  merges           {:>8} ({} partial)",
+                self.cluster_merges, self.cluster_partial_merges
+            );
+            let _ = writeln!(out, "  merge candidates {:>8}", self.cluster_candidates);
+            let _ = writeln!(
+                out,
+                "  merge time       {:>8.3} ms",
+                self.cluster_merge_us as f64 / 1e3
+            );
         }
         if !self.trie_depth.is_empty() || !self.trie_candidates.is_empty() {
             let _ = writeln!(out, "\n== subset-index (trie) ==");
@@ -596,6 +671,55 @@ mod tests {
         assert!(rendered.contains("deadline (504)"), "{rendered}");
         assert!(rendered.contains("handler panics"), "{rendered}");
         assert!(rendered.contains("15 WAL records replayed"), "{rendered}");
+    }
+
+    #[test]
+    fn cluster_events_aggregate_into_their_own_section() {
+        let mut r = JsonlRecorder::new(Vec::new());
+        for (shard, status, attempts, us) in [
+            (0u64, 200u64, 1u64, 800u64),
+            (1, 200, 2, 2300),
+            (1, 0, 3, 5000),
+        ] {
+            r.event(Event::ShardRpc {
+                shard,
+                endpoint: "/skyline".into(),
+                status,
+                attempts,
+                elapsed_us: us,
+            });
+        }
+        r.event(Event::ClusterMerge {
+            shards: 2,
+            missing: 1,
+            candidates: 90,
+            skyline_size: 80,
+            dominance_tests: 350,
+            elapsed_us: 420,
+        });
+        r.event(Event::ClusterMerge {
+            shards: 2,
+            missing: 0,
+            candidates: 110,
+            skyline_size: 95,
+            dominance_tests: 500,
+            elapsed_us: 380,
+        });
+        let text = String::from_utf8(r.into_inner().unwrap()).unwrap();
+        let s = TraceSummary::from_text(&text);
+        assert_eq!(s.skipped, 0);
+        assert_eq!(s.shard_rpcs["shard 0"].count, 1);
+        assert_eq!(s.shard_rpcs["shard 1"].count, 2);
+        assert_eq!(s.shard_rpcs["shard 1"].errors, 1, "status 0 is an error");
+        assert_eq!(s.shard_rpc_attempts, 6);
+        assert_eq!(s.cluster_merges, 2);
+        assert_eq!(s.cluster_partial_merges, 1);
+        assert_eq!(s.cluster_candidates, 200);
+        assert_eq!(s.cluster_merge_us, 800);
+        let rendered = s.render();
+        assert!(rendered.contains("== cluster =="), "{rendered}");
+        assert!(rendered.contains("shard 1"), "{rendered}");
+        assert!(rendered.contains("(1 partial)"), "{rendered}");
     }
 
     #[test]

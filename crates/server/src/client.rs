@@ -144,6 +144,12 @@ pub struct RetryPolicy {
     pub base_delay: Duration,
     /// Backoff ceiling.
     pub max_delay: Duration,
+    /// Total-deadline budget across *all* attempts and backoffs. A retry
+    /// only fires if its backoff still fits inside the remaining budget;
+    /// otherwise the last response or error is surfaced immediately, so
+    /// backoff can never sleep past a caller's deadline. `None` (the
+    /// default) keeps the historical attempts-only behaviour.
+    pub budget: Option<Duration>,
 }
 
 impl Default for RetryPolicy {
@@ -152,6 +158,7 @@ impl Default for RetryPolicy {
             attempts: 4,
             base_delay: Duration::from_millis(25),
             max_delay: Duration::from_secs(1),
+            budget: None,
         }
     }
 }
@@ -184,23 +191,43 @@ pub fn request_with_retry(
     body: &[u8],
     policy: &RetryPolicy,
 ) -> io::Result<ClientResponse> {
+    request_with_retry_counted(addr, method, path, body, policy).0
+}
+
+/// [`request_with_retry`] that also reports how many attempts fired —
+/// callers that account per-endpoint retry load (the cluster
+/// coordinator's `shard_rpc` telemetry) need the count, not just the
+/// final outcome.
+pub fn request_with_retry_counted(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    policy: &RetryPolicy,
+) -> (io::Result<ClientResponse>, u32) {
     let attempts = policy.attempts.max(1);
-    let mut last_err: Option<io::Error> = None;
+    let start = std::time::Instant::now();
+    let mut last: io::Result<ClientResponse> = Err(bad("retry budget exhausted"));
     for attempt in 1..=attempts {
         match request(addr, method, path, body) {
-            Ok(resp) if resp.status != 503 => return Ok(resp),
-            Ok(resp) if attempt == attempts => return Ok(resp), // budget spent: surface the 503
-            Ok(_) => {}
-            Err(e) => {
-                if attempt == attempts {
-                    return Err(e);
-                }
-                last_err = Some(e);
+            Ok(resp) if resp.status != 503 => return (Ok(resp), attempt),
+            outcome => last = outcome, // latest 503 or error wins
+        }
+        if attempt == attempts {
+            return (last, attempt); // attempts spent
+        }
+        let delay = policy.backoff(attempt);
+        if let Some(budget) = policy.budget {
+            // A retry only fires if its backoff still fits in the
+            // remaining budget; the attempt itself is bounded by the
+            // per-request socket timeouts, not by us.
+            if start.elapsed() + delay >= budget {
+                return (last, attempt);
             }
         }
-        std::thread::sleep(policy.backoff(attempt));
+        std::thread::sleep(delay);
     }
-    Err(last_err.unwrap_or_else(|| bad("retry budget exhausted")))
+    (last, attempts)
 }
 
 /// GET convenience wrapper around [`request`].
@@ -285,6 +312,7 @@ mod tests {
             attempts: 5,
             base_delay: Duration::from_millis(10),
             max_delay: Duration::from_millis(200),
+            budget: None,
         };
         for retry in 1..=10 {
             let d = p.backoff(retry);
@@ -304,7 +332,44 @@ mod tests {
             attempts: 2,
             base_delay: Duration::from_millis(1),
             max_delay: Duration::from_millis(2),
+            budget: None,
         };
         assert!(request_with_retry(addr, "GET", "/healthz", &[], &policy).is_err());
+    }
+
+    #[test]
+    fn retry_honours_a_total_deadline_budget() {
+        // Port 1 refuses instantly, so elapsed time is backoff sleeps
+        // alone. Without the budget this policy would sleep ~100ms+200ms
+        // +400ms+800ms ≈ 1.5s (modulo jitter); the 40ms budget admits at
+        // most the first backoff and must stop there.
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let policy = RetryPolicy {
+            attempts: 5,
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_secs(1),
+            budget: Some(Duration::from_millis(40)),
+        };
+        let start = std::time::Instant::now();
+        assert!(request_with_retry(addr, "GET", "/healthz", &[], &policy).is_err());
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(500),
+            "budgeted retries overshot the deadline: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn zero_budget_still_makes_one_attempt() {
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let policy = RetryPolicy {
+            attempts: 8,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(1),
+            budget: Some(Duration::ZERO),
+        };
+        let start = std::time::Instant::now();
+        assert!(request_with_retry(addr, "GET", "/healthz", &[], &policy).is_err());
+        assert!(start.elapsed() < Duration::from_millis(200));
     }
 }

@@ -36,8 +36,9 @@
 //!
 //! Endpoints: `GET /healthz`, `GET /metrics`, `GET /datasets`,
 //! `POST /datasets`, `POST|DELETE /datasets/{name}/points`,
-//! `GET /skyline?dataset=&algo=&dims=&k=&threads=&deadline_ms=`,
-//! `POST /shutdown`.
+//! `GET /skyline?dataset=&algo=&dims=&k=&threads=&deadline_ms=` (plus
+//! opt-in `include_masks=1` / `include_rows=1` for the cluster
+//! coordinator's scatter-gather merge), `POST /shutdown`.
 //!
 //! [`StreamingSkyline`]: skyline_core::streaming::StreamingSkyline
 
@@ -716,7 +717,28 @@ fn handle_remove(shared: &Shared, name: &str, req: &Request) -> Response {
     }
 }
 
-fn skyline_json(key: &CacheKey, cached: bool, ids: &[PointId], elapsed_us: u64) -> String {
+/// Optional `/skyline` response payload behind `include_masks=1` /
+/// `include_rows=1` — what the cluster coordinator consumes: each
+/// point's maximum dominating subspace w.r.t. this shard's own elite
+/// reference set, which elites those were (as positions into `ids`),
+/// and the raw coordinates for cross-shard dominance tests.
+struct SkylineExtras {
+    /// Per-point subspace masks (bit `i` = dimension `i`), or `None`
+    /// when only rows were requested.
+    masks: Option<(Vec<u64>, Vec<u64>)>,
+    /// `[[f64, ...], ...]` JSON, or `None` when only masks were
+    /// requested. `{}` formatting of `f64` is shortest-round-trip, so
+    /// coordinates survive the wire exactly.
+    rows_json: Option<String>,
+}
+
+fn skyline_json_with(
+    key: &CacheKey,
+    cached: bool,
+    ids: &[PointId],
+    elapsed_us: u64,
+    extras: Option<&SkylineExtras>,
+) -> String {
     let ids64: Vec<u64> = ids.iter().map(|&i| i as u64).collect();
     let mut w = ObjectWriter::new();
     w.str_field("dataset", &key.dataset)
@@ -728,7 +750,70 @@ fn skyline_json(key: &CacheKey, cached: bool, ids: &[PointId], elapsed_us: u64) 
         .u64_field("count", ids.len() as u64)
         .u64_field("elapsed_us", elapsed_us)
         .u64_array_field("ids", &ids64);
+    if let Some(extras) = extras {
+        if let Some((masks, elites)) = &extras.masks {
+            w.u64_array_field("masks", masks)
+                .u64_array_field("elites", elites);
+        }
+        if let Some(rows) = &extras.rows_json {
+            w.raw_field("rows", rows);
+        }
+    }
     w.finish()
+}
+
+/// Compute the opt-in extras for skyline `row_ids` (row indices into
+/// `target`, which is already projected when the query named `dims`).
+fn compute_extras(
+    target: Option<&Dataset>,
+    row_ids: &[PointId],
+    include_masks: bool,
+    include_rows: bool,
+) -> SkylineExtras {
+    let masks = include_masks.then(|| match target {
+        None => (Vec::new(), Vec::new()),
+        Some(data) => {
+            let elite_ids = skyline_core::shard_merge::select_reference_elites(data, row_ids);
+            let masks = skyline_core::shard_merge::reference_masks(data, row_ids, &elite_ids)
+                .into_iter()
+                .map(|s| s.bits())
+                .collect();
+            // Elites as positions into the response arrays, so the
+            // caller never has to reverse any id mapping.
+            let positions = elite_ids
+                .iter()
+                .map(|e| {
+                    row_ids
+                        .iter()
+                        .position(|x| x == e)
+                        .expect("elite ∈ skyline") as u64
+                })
+                .collect();
+            (masks, positions)
+        }
+    });
+    let rows_json = include_rows.then(|| {
+        use std::fmt::Write as _;
+        let mut out = String::from("[");
+        for (i, &id) in row_ids.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            if let Some(data) = target {
+                for (j, v) in data.point(id).iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{v}");
+                }
+            }
+            out.push(']');
+        }
+        out.push(']');
+        out
+    });
+    SkylineExtras { masks, rows_json }
 }
 
 /// `GET /skyline?dataset=&algo=&dims=&k=&threads=&deadline_ms=`.
@@ -789,6 +874,29 @@ fn handle_skyline(shared: &Shared, req: &Request) -> Response {
             _ => return Response::error(400, &format!("bad \"k\" value {raw:?} (k >= 1)")),
         },
     };
+    let include_masks = match req.query_param("include_masks") {
+        None | Some("") | Some("0") => false,
+        Some("1") => true,
+        Some(raw) => {
+            return Response::error(
+                400,
+                &format!("bad \"include_masks\" value {raw:?} (0 or 1)"),
+            )
+        }
+    };
+    let include_rows = match req.query_param("include_rows") {
+        None | Some("") | Some("0") => false,
+        Some("1") => true,
+        Some(raw) => {
+            return Response::error(400, &format!("bad \"include_rows\" value {raw:?} (0 or 1)"))
+        }
+    };
+    if include_masks && k > 1 {
+        return Response::error(
+            400,
+            "include_masks=1 requires k=1: dominating-subspace masks are only defined for the skyline",
+        );
+    }
     let algo_name = match req.query_param("algo") {
         None | Some("") => "SDI-Subset",
         Some(a) => a,
@@ -851,8 +959,31 @@ fn handle_skyline(shared: &Shared, req: &Request) -> Response {
             algorithm: algo.name().to_string(),
             version: snapshot.version,
         });
+        // Extras are derived data, not cached: map the cached handles
+        // back to row indices (the handle list is ascending) and
+        // recompute. The cache key pins the version, so the snapshot
+        // still describes exactly the cached result.
+        let extras = (include_masks || include_rows).then(|| {
+            let projected: Option<Dataset> = match &snapshot.dataset {
+                Some(data) if mask != full => Some(data.project_dims(mask)),
+                _ => None,
+            };
+            let target: Option<&Dataset> = projected.as_ref().or(snapshot.dataset.as_ref());
+            let row_ids: Vec<PointId> = hit
+                .ids
+                .iter()
+                .map(|h| {
+                    snapshot
+                        .handles
+                        .binary_search(h)
+                        .expect("cached handle present at its own version")
+                        as PointId
+                })
+                .collect();
+            compute_extras(target, &row_ids, include_masks, include_rows)
+        });
         let elapsed_us = start.elapsed().as_micros() as u64;
-        let body = skyline_json(&key, true, &hit.ids, elapsed_us);
+        let body = skyline_json_with(&key, true, &hit.ids, elapsed_us, extras.as_ref());
         return Response::json(200, body);
     }
 
@@ -877,8 +1008,14 @@ fn handle_skyline(shared: &Shared, req: &Request) -> Response {
             ),
         )
     };
+    let mut extras: Option<SkylineExtras> = None;
     let ids: Vec<PointId> = match &snapshot.dataset {
-        None => Vec::new(),
+        None => {
+            if include_masks || include_rows {
+                extras = Some(compute_extras(None, &[], include_masks, include_rows));
+            }
+            Vec::new()
+        }
         Some(data) => {
             faults::check_delay("compute");
             let mut metrics = Metrics::new();
@@ -904,6 +1041,14 @@ fn handle_skyline(shared: &Shared, req: &Request) -> Response {
                     Err(_) => return deadline_response(),
                 }
             };
+            if include_masks || include_rows {
+                extras = Some(compute_extras(
+                    Some(target),
+                    &rows,
+                    include_masks,
+                    include_rows,
+                ));
+            }
             // Row indices → stable stream handles. The handle list is
             // ascending, so ascending row ids stay ascending.
             for id in rows.iter_mut() {
@@ -913,7 +1058,7 @@ fn handle_skyline(shared: &Shared, req: &Request) -> Response {
         }
     };
     let elapsed_us = start.elapsed().as_micros() as u64;
-    let body = skyline_json(&key, false, &ids, elapsed_us);
+    let body = skyline_json_with(&key, false, &ids, elapsed_us, extras.as_ref());
     shared.cache.insert(key, CachedResult { ids, elapsed_us });
     Response::json(200, body)
 }

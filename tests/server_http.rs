@@ -400,3 +400,115 @@ fn restart_recovers_datasets_from_the_data_dir() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Opt-in `include_masks`/`include_rows` extras: absent by default
+/// (existing responses unchanged), and when requested they carry the
+/// exact per-point dominating-subspace masks, elite positions, and raw
+/// coordinates the cluster coordinator consumes.
+#[test]
+fn skyline_extras_are_opt_in_and_exact() {
+    let rows = workload_rows();
+    let data = Dataset::from_rows(&rows).unwrap();
+    let server = start_server();
+    let addr = server.local_addr();
+    let created = client::post(
+        addr,
+        "/datasets",
+        &format!("{{\"name\": \"x\", \"rows\": {}}}", rows_json(&rows)),
+    )
+    .unwrap();
+    assert_eq!(created.status, 201, "{}", created.body_str());
+
+    // Default and explicit-zero responses carry no extras.
+    for query in ["", "&include_masks=0&include_rows=0"] {
+        let resp = client::get(addr, &format!("/skyline?dataset=x{query}")).unwrap();
+        assert_eq!(resp.status, 200);
+        let v = Value::parse(&resp.body_str()).unwrap();
+        assert!(v.get("masks").is_none(), "masks must be opt-in");
+        assert!(v.get("elites").is_none());
+        assert!(v.get("rows").is_none());
+    }
+
+    // Twice: the second request is a cache hit, and extras must be
+    // recomputed identically for it.
+    let mut bodies = Vec::new();
+    for _ in 0..2 {
+        let resp = client::get(addr, "/skyline?dataset=x&include_masks=1&include_rows=1").unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body_str());
+        bodies.push(resp.body_str());
+    }
+    let first = Value::parse(&bodies[0]).unwrap();
+    let second = Value::parse(&bodies[1]).unwrap();
+    assert_eq!(
+        second.get("cached").map(|v| matches!(v, Value::Bool(true))),
+        Some(true),
+        "{}",
+        bodies[1]
+    );
+
+    for v in [&first, &second] {
+        let ids: Vec<u32> = v
+            .get("ids")
+            .and_then(Value::as_arr)
+            .unwrap()
+            .iter()
+            .map(|x| x.as_u64().unwrap() as u32)
+            .collect();
+        let masks: Vec<u64> = v
+            .get("masks")
+            .and_then(Value::as_arr)
+            .expect("masks requested")
+            .iter()
+            .map(|x| x.as_u64().unwrap())
+            .collect();
+        let elites: Vec<usize> = v
+            .get("elites")
+            .and_then(Value::as_arr)
+            .expect("elites requested")
+            .iter()
+            .map(|x| x.as_u64().unwrap() as usize)
+            .collect();
+        assert_eq!(masks.len(), ids.len(), "masks parallel to ids");
+        assert!(
+            elites.iter().all(|&e| e < ids.len()),
+            "elite positions in range"
+        );
+
+        // The server must agree with a local run of the same helpers
+        // (handles are 0..n, so ids are row indices).
+        let elite_ids = skyline_core::shard_merge::select_reference_elites(&data, &ids);
+        let expected_masks: Vec<u64> =
+            skyline_core::shard_merge::reference_masks(&data, &ids, &elite_ids)
+                .iter()
+                .map(|s| s.bits())
+                .collect();
+        assert_eq!(masks, expected_masks, "masks match the library helpers");
+        let expected_elites: Vec<usize> = elite_ids
+            .iter()
+            .map(|e| ids.iter().position(|x| x == e).unwrap())
+            .collect();
+        assert_eq!(elites, expected_elites);
+
+        // Rows round-trip the exact coordinates.
+        let resp_rows = v
+            .get("rows")
+            .and_then(Value::as_arr)
+            .expect("rows requested");
+        assert_eq!(resp_rows.len(), ids.len());
+        for (arr, &id) in resp_rows.iter().zip(&ids) {
+            let got: Vec<f64> = arr
+                .as_arr()
+                .unwrap()
+                .iter()
+                .map(|x| x.as_f64().unwrap())
+                .collect();
+            assert_eq!(got.as_slice(), data.point(id), "row {id} must be exact");
+        }
+    }
+
+    // Masks are skyline-only (k=1) and the flag is strictly 0/1.
+    let resp = client::get(addr, "/skyline?dataset=x&include_masks=1&k=2").unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.body_str());
+    let resp = client::get(addr, "/skyline?dataset=x&include_masks=yes").unwrap();
+    assert_eq!(resp.status, 400);
+}

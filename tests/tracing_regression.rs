@@ -141,7 +141,9 @@ fn boosted_runs_emit_phase_spans_and_events() {
                 | Event::Shed { .. }
                 | Event::DeadlineExceeded { .. }
                 | Event::HandlerPanic { .. }
-                | Event::Recovery { .. } => {
+                | Event::Recovery { .. }
+                | Event::ShardRpc { .. }
+                | Event::ClusterMerge { .. } => {
                     panic!("{name}: library run emitted a server event");
                 }
             }
