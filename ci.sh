@@ -78,6 +78,8 @@ if [[ "$quick" != "quick" ]]; then
     curl -sf "http://$addr/skyline?dataset=ci&algo=SDI-Subset" \
         | grep -q '"cached":true'
     curl -sf "http://$addr/metrics" | grep -q '"hits":1'
+    curl -sf "http://$addr/metrics?format=prometheus" \
+        | grep -q '^# TYPE skyline_stage_us histogram'
     curl -sf -X POST "http://$addr/shutdown" | grep -q 'shutting down'
     wait "$serve_pid"   # clean exit after graceful shutdown
     grep -q '"type":"request"' "$tmp/serve.jsonl"
@@ -89,7 +91,8 @@ if [[ "$quick" != "quick" ]]; then
     grep -q '"req_per_sec"' "$tmp/BENCH_SERVE.json"
 
     echo "==> cluster smoke: 2 shards + coordinator, scatter-gather, shard loss"
-    ./target/release/skyline serve --port 0 --threads 2 > "$tmp/shard0.out" &
+    ./target/release/skyline serve --port 0 --threads 2 \
+        --trace "$tmp/shard0.jsonl" > "$tmp/shard0.out" &
     shard0_pid=$!
     ./target/release/skyline serve --port 0 --threads 2 > "$tmp/shard1.out" &
     shard1_pid=$!
@@ -118,6 +121,24 @@ if [[ "$quick" != "quick" ]]; then
     curl -sf "http://$coord/skyline?dataset=ci&algo=SDI-Subset" \
         | grep -q '"partial":false'
     curl -sf "http://$coord/metrics" | grep -q '"shards":\['
+
+    echo "==> tracing smoke: propagated trace id + stitched shard spans"
+    trace_id=feedbead12345678
+    curl -sf -D "$tmp/trace-hdrs" -H "X-Skyline-Trace: $trace_id" \
+        "http://$coord/skyline?dataset=ci&algo=SDI-Subset&timings=1" \
+        | grep -q '"timings":{'
+    grep -qi "^x-skyline-trace: $trace_id" "$tmp/trace-hdrs"
+    grep -qi '^x-skyline-stage-times: .*shard_wait=.*shard0\.' "$tmp/trace-hdrs"
+    grep -q "\"type\":\"shard_rpc\".*\"trace\":\"$trace_id\"" "$tmp/cluster.jsonl"
+    grep -q "\"type\":\"stage_breakdown\".*\"trace\":\"$trace_id\"" "$tmp/cluster.jsonl"
+    grep -q "\"trace\":\"$trace_id\"" "$tmp/shard0.jsonl"
+
+    echo "==> prometheus exposition on the coordinator"
+    curl -sf "http://$coord/metrics?format=prometheus" > "$tmp/prom.txt"
+    grep -q '^# TYPE skyline_requests_total counter' "$tmp/prom.txt"
+    grep -q '^# TYPE skyline_stage_us histogram' "$tmp/prom.txt"
+    grep -q 'skyline_shard_rpc_requests{shard="0"}' "$tmp/prom.txt"
+
     kill -9 "$shard1_pid"    # shard death degrades, never errors
     wait "$shard1_pid" 2>/dev/null || true
     curl -sf "http://$coord/skyline?dataset=ci&algo=SDI-Subset" \
@@ -128,6 +149,8 @@ if [[ "$quick" != "quick" ]]; then
     wait "$shard0_pid"
     grep -q '"type":"shard_rpc"' "$tmp/cluster.jsonl"
     grep -q '"type":"cluster_merge"' "$tmp/cluster.jsonl"
+    ./target/release/skyline report "$tmp/cluster.jsonl" --stages \
+        | grep -q 'dominant stage'
 
     echo "==> cluster bench artefact (quick)"
     ./target/release/repro bench-json --cluster --requests 2 \

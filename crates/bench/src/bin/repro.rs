@@ -6,7 +6,7 @@
 //! repro all [--full]         # everything, in paper order
 //! repro bench-json [--out BENCH_PR2.json] [--runs N] [--threads T]
 //! repro bench-json --serve [--out BENCH_PR3.json] [--requests N] [--threads T]
-//! repro bench-json --cluster [--out BENCH_PR5.json] [--requests N] [--threads T]
+//! repro bench-json --cluster [--out BENCH_PR6.json] [--requests N] [--threads T]
 //! ```
 //!
 //! `bench-json` measures the evaluation suite plus the parallel engines
@@ -25,8 +25,10 @@
 //! `bench-json --cluster` benchmarks the sharded coordinator: the same
 //! workload against a plain single-node server and against clusters of
 //! 1, 2, and 4 in-process shards, cold (full scatter-gather recompute)
-//! versus warm (shard caches hit, coordinator still merges). `--requests
-//! N` sets the cold sample count (warm takes 2×N).
+//! versus warm (shard caches hit, coordinator still merges). Warm
+//! queries run with `timings=1`, so each topology records per-stage
+//! p50/p99 and the dominant stage. `--requests N` sets the cold sample
+//! count (warm takes 2×N).
 //!
 //! Default workloads are laptop-scale; `--full` uses the paper's exact
 //! cardinalities (hours of compute for the AC sweeps). Results print to
@@ -44,7 +46,7 @@ fn bench_json(args: &[String]) -> ExitCode {
     let serve = args.iter().any(|a| a == "--serve");
     let cluster = args.iter().any(|a| a == "--cluster");
     let out = match args.iter().position(|a| a == "--out") {
-        None if cluster => "BENCH_PR5.json".to_string(),
+        None if cluster => "BENCH_PR6.json".to_string(),
         None if serve => "BENCH_PR3.json".to_string(),
         None => "BENCH_PR2.json".to_string(),
         Some(i) => match args.get(i + 1) {
@@ -216,7 +218,7 @@ fn main() -> ExitCode {
             "  bench-json --serve [--out BENCH_PR3.json] [--requests N]    HTTP service throughput/latency"
         );
         println!(
-            "  bench-json --cluster [--out BENCH_PR5.json] [--requests N]  sharded coordinator vs single node"
+            "  bench-json --cluster [--out BENCH_PR6.json] [--requests N]  sharded coordinator vs single node"
         );
         return ExitCode::SUCCESS;
     }

@@ -22,11 +22,11 @@ use std::time::Instant;
 
 use skyline_cluster::{Cluster, ClusterConfig, ClusterHandle};
 use skyline_data::SyntheticSpec;
-use skyline_obs::json::ObjectWriter;
+use skyline_obs::json::{ObjectWriter, Value};
 use skyline_serve::client::{request_with_retry, RetryPolicy, Session};
 use skyline_serve::{Server, ServerConfig, ServerHandle};
 
-use crate::serve_bench::{expect_field, phase_json, Phase};
+use crate::serve_bench::{expect_field, percentile, phase_json, Phase};
 
 /// Shard counts measured next to the single-node baseline.
 pub const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
@@ -44,12 +44,57 @@ fn create_body(spec: &SyntheticSpec) -> String {
 /// Create the benchmark dataset and run the cold/warm phases against
 /// whatever is listening on `addr` (shard server or coordinator — the
 /// API is the same).
+/// Per-stage latency samples harvested from the `timings=1` field of
+/// warm responses, in first-seen stage order.
+type StageSamples = Vec<(String, Vec<u64>)>;
+
+/// Fold one response's `timings` object into the running samples.
+fn collect_stage_samples(samples: &mut StageSamples, body: &str) {
+    let Ok(v) = Value::parse(body) else { return };
+    let Some(Value::Obj(pairs)) = v.get("timings") else {
+        return;
+    };
+    for (stage, us) in pairs {
+        let Some(us) = us.as_u64() else { continue };
+        match samples.iter_mut().find(|(name, _)| name == stage) {
+            Some((_, v)) => v.push(us),
+            None => samples.push((stage.clone(), vec![us])),
+        }
+    }
+}
+
+/// Render stage samples as `{"stages": {...}, "dominant_stage": ...}`
+/// fields on `obj`: per-stage p50/p99 plus the stage owning the most
+/// total attributed time.
+fn write_stage_fields(obj: &mut ObjectWriter, samples: &mut StageSamples) {
+    if samples.is_empty() {
+        return;
+    }
+    let mut stages = ObjectWriter::new();
+    let mut dominant = ("", 0u64);
+    for (stage, lat) in samples.iter_mut() {
+        lat.sort_unstable();
+        let total: u64 = lat.iter().sum();
+        if total >= dominant.1 {
+            dominant = (stage, total);
+        }
+        let mut w = ObjectWriter::new();
+        w.u64_field("p50_us", percentile(lat, 50.0))
+            .u64_field("p99_us", percentile(lat, 99.0))
+            .u64_field("total_us", total);
+        stages.raw_field(stage, &w.finish());
+    }
+    let dominant = dominant.0.to_string();
+    obj.raw_field("stages", &stages.finish())
+        .str_field("dominant_stage", &dominant);
+}
+
 fn measure_endpoint(
     addr: SocketAddr,
     spec: &SyntheticSpec,
     cold_requests: usize,
     warm_requests: usize,
-) -> std::io::Result<(Phase, Phase)> {
+) -> std::io::Result<(Phase, Phase, StageSamples)> {
     let created = request_with_retry(
         addr,
         "POST",
@@ -94,22 +139,28 @@ fn measure_endpoint(
     }
     cold.wall_secs = cold_start.elapsed().as_secs_f64();
 
+    // Warm queries also ask for the per-stage breakdown, so the
+    // artifact can attribute where warm-path time goes per topology.
     let mut warm = Phase {
         latencies_us: Vec::with_capacity(warm_requests),
         wall_secs: 0.0,
     };
+    let mut stage_samples: StageSamples = Vec::new();
+    let timed_query = format!("{QUERY}&timings=1");
     let warm_start = Instant::now();
     for _ in 0..warm_requests {
         let t = Instant::now();
-        let resp = session.request("GET", QUERY, &[])?;
+        let resp = session.request("GET", &timed_query, &[])?;
         warm.latencies_us.push(t.elapsed().as_micros() as u64);
-        expect_field(&resp.body_str(), "\"ids\"")?;
+        let body = resp.body_str();
+        expect_field(&body, "\"ids\"")?;
+        collect_stage_samples(&mut stage_samples, &body);
     }
     warm.wall_secs = warm_start.elapsed().as_secs_f64();
 
     cold.latencies_us.sort_unstable();
     warm.latencies_us.sort_unstable();
-    Ok((cold, warm))
+    Ok((cold, warm, stage_samples))
 }
 
 fn start_topology(
@@ -150,7 +201,7 @@ pub fn cluster_bench_json(
         threads,
         ..Default::default()
     })?;
-    let (base_cold, base_warm) = measure_endpoint(
+    let (base_cold, base_warm, mut base_stages) = measure_endpoint(
         baseline_server.local_addr(),
         spec,
         cold_requests,
@@ -161,12 +212,13 @@ pub fn cluster_bench_json(
     single
         .raw_field("cold", &phase_json(&base_cold))
         .raw_field("warm", &phase_json(&base_warm));
+    write_stage_fields(&mut single, &mut base_stages);
 
     let mut sharded_objs: Vec<String> = Vec::new();
     for &shard_count in &SHARD_COUNTS {
         eprintln!("    cluster with {shard_count} shard(s)");
         let (mut shards, mut coordinator) = start_topology(shard_count, threads)?;
-        let (cold, warm) =
+        let (cold, warm, mut stages) =
             measure_endpoint(coordinator.local_addr(), spec, cold_requests, warm_requests)?;
         coordinator.shutdown();
         for shard in &mut shards {
@@ -176,6 +228,7 @@ pub fn cluster_bench_json(
         obj.u64_field("shards", shard_count as u64)
             .raw_field("cold", &phase_json(&cold))
             .raw_field("warm", &phase_json(&warm));
+        write_stage_fields(&mut obj, &mut stages);
         sharded_objs.push(obj.finish());
     }
 
@@ -253,6 +306,21 @@ mod tests {
             let cold = entry.get("cold").expect("cold phase");
             assert_eq!(cold.get("requests").and_then(Value::as_u64), Some(2));
             assert!(cold.get("p50_us").and_then(Value::as_u64).is_some());
+
+            // Per-stage breakdown from the warm phase: the coordinator
+            // stages must be present with quantiles, and the dominant
+            // stage must name one of them.
+            let stages = entry.get("stages").expect("stages object");
+            for stage in ["connect", "send", "shard_wait", "gather", "merge"] {
+                let s = stages.get(stage).unwrap_or_else(|| panic!("stage {stage}"));
+                assert!(s.get("p50_us").and_then(Value::as_u64).is_some());
+                assert!(s.get("p99_us").and_then(Value::as_u64).is_some());
+            }
+            let dominant = entry
+                .get("dominant_stage")
+                .and_then(Value::as_str)
+                .expect("dominant_stage");
+            assert!(stages.get(dominant).is_some(), "dominant {dominant:?}");
         }
     }
 }

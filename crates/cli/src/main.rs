@@ -4,14 +4,16 @@
 //! skyline compute  <input.csv> [--algo NAME] [--sigma N] [--threads T]
 //!                  [--prefs MIN,MAX,...] [--skyband K] [--rows] [--trace out.jsonl]
 //! skyline bench    <input.csv> [--sigma N] [--threads T] [--trace out.jsonl]
-//! skyline report   <trace.jsonl>
+//! skyline report   <trace.jsonl> [--stages]
 //! skyline generate --dist UI|CO|AC -n N -d D [--seed S] [-o out.csv]
 //! skyline stats    <input.csv>
 //! skyline tune     <input.csv> [--sample N]
 //! skyline serve    [--port P] [--bind ADDR] [--threads T] [--cache N] [--trace out.jsonl]
 //!                  [--data-dir DIR] [--fsync always|never|interval[=MS]] [--max-inflight N]
+//!                  [--slow-ms MS] [--slow-log out.jsonl]
 //! skyline cluster  (--shards ADDR,ADDR,... | --spawn-local N) [--port P] [--bind ADDR]
 //!                  [--threads T] [--manifest PATH] [--trace out.jsonl]
+//!                  [--slow-ms MS] [--slow-log out.jsonl]
 //! skyline algorithms
 //! ```
 //!
@@ -64,21 +66,26 @@ const USAGE: &str = "usage:
   skyline compute  <input.csv> [--algo NAME] [--sigma N] [--threads T]
                    [--prefs MIN,MAX,...] [--skyband K] [--rows] [--trace out.jsonl]
   skyline bench    <input.csv> [--sigma N] [--threads T] [--trace out.jsonl]
-  skyline report   <trace.jsonl>
+  skyline report   <trace.jsonl> [--stages]
   skyline generate --dist UI|CO|AC -n N -d D [--seed S] [-o out.csv]
   skyline stats    <input.csv>
   skyline tune     <input.csv> [--sample N]
   skyline serve    [--port P] [--bind ADDR] [--threads T] [--cache N] [--trace out.jsonl]
                    [--data-dir DIR] [--fsync always|never|interval[=MS]] [--max-inflight N]
+                   [--slow-ms MS] [--slow-log out.jsonl]
   skyline cluster  (--shards ADDR,ADDR,... | --spawn-local N) [--port P] [--bind ADDR]
                    [--threads T] [--manifest PATH] [--trace out.jsonl]
+                   [--slow-ms MS] [--slow-log out.jsonl]
   skyline algorithms
 
 parallel: --threads T runs the multi-core partition-merge engine (T=0 =
 one worker per CPU); bench adds the P-* rows to the table.
 
 tracing: --trace PATH (or env SKYLINE_TRACE=PATH) writes JSON-lines
-telemetry; `skyline report` renders a trace file as tables.";
+telemetry; `skyline report` renders a trace file as tables, and
+`skyline report --stages` the per-stage latency breakdown. Serving:
+--slow-ms MS logs the stitched stage breakdown of any query at or over
+the threshold (to --slow-log PATH, or the trace sink).";
 
 /// Write one line to `out`, treating a closed pipe (e.g. `| head`) as a
 /// polite request to stop rather than an error. Returns `false` when the
@@ -469,6 +476,7 @@ fn serve(args: &[String]) -> Result<(), String> {
             .parse()
             .map_err(|_| "--max-inflight expects a query count (0 = unlimited)")?,
     };
+    let (slow_ms, slow_log) = parse_slow_flags(args)?;
     let config = skyline_serve::ServerConfig {
         bind: format!("{bind}:{port}"),
         threads,
@@ -477,6 +485,8 @@ fn serve(args: &[String]) -> Result<(), String> {
         data_dir,
         fsync,
         max_inflight,
+        slow_ms,
+        slow_log,
         ..Default::default()
     };
     let mut handle = skyline_serve::Server::start(config).map_err(|e| format!("serve: {e}"))?;
@@ -538,11 +548,14 @@ fn cluster(args: &[String]) -> Result<(), String> {
         return Err("cluster needs --shards and/or --spawn-local".to_string());
     }
 
+    let (slow_ms, slow_log) = parse_slow_flags(args)?;
     let config = skyline_cluster::ClusterConfig {
         bind: format!("{bind}:{port}"),
         threads,
         trace,
         manifest,
+        slow_ms,
+        slow_log,
         ..skyline_cluster::ClusterConfig::new(shards)
     };
     let mut handle =
@@ -558,6 +571,21 @@ fn cluster(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `--slow-ms MS` / `--slow-log PATH` shared by `serve` and `cluster`.
+fn parse_slow_flags(args: &[String]) -> Result<(u64, Option<std::path::PathBuf>), String> {
+    let slow_ms: u64 = match flag_value(args, "--slow-ms")? {
+        None => 0,
+        Some(v) => v
+            .parse()
+            .map_err(|_| "--slow-ms expects milliseconds (0 = disabled)")?,
+    };
+    let slow_log = flag_value(args, "--slow-log")?.map(std::path::PathBuf::from);
+    if slow_ms == 0 && slow_log.is_some() {
+        return Err("--slow-log needs --slow-ms to set the threshold".to_string());
+    }
+    Ok((slow_ms, slow_log))
+}
+
 fn report(args: &[String]) -> Result<(), String> {
     let path = args
         .first()
@@ -565,12 +593,14 @@ fn report(args: &[String]) -> Result<(), String> {
         .ok_or("report requires a trace file")?;
     let summary =
         TraceSummary::from_file(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    let rendered = if args.iter().any(|a| a == "--stages") {
+        summary.render_stages()
+    } else {
+        summary.render()
+    };
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    pipe_ok(std::io::Write::write_all(
-        &mut out,
-        summary.render().as_bytes(),
-    ))?;
+    pipe_ok(std::io::Write::write_all(&mut out, rendered.as_bytes()))?;
     Ok(())
 }
 

@@ -55,8 +55,9 @@ use skyline_core::shard_merge::{merge_shard_skylines, EliteRef, MergeEntry};
 use skyline_core::subspace::Subspace;
 use skyline_data::{Distribution, SyntheticSpec};
 use skyline_obs::json::{ObjectWriter, Value};
+use skyline_obs::trace::{self, StageTimer, TraceContext};
 use skyline_obs::{Event, JsonlRecorder, NoopRecorder, Recorder};
-use skyline_serve::client::{request_with_retry_counted, ClientResponse, RetryPolicy};
+use skyline_serve::client::{request_with_retry_timed, ClientResponse, RequestTiming, RetryPolicy};
 use skyline_serve::http::{self, HttpError, Request, Response};
 use skyline_serve::metrics::ServerMetrics;
 use skyline_serve::pool::ThreadPool;
@@ -89,6 +90,13 @@ pub struct ClusterConfig {
     /// Base retry policy for shard calls. Per-request deadline budgets
     /// override [`RetryPolicy::budget`].
     pub retry: RetryPolicy,
+    /// Slow-query threshold, milliseconds: a `/skyline` request whose
+    /// wall-clock reaches it gets its stitched stage breakdown written
+    /// as a JSONL `stage_breakdown` record. `0` disables the slow log.
+    pub slow_ms: u64,
+    /// Dedicated slow-query log path. `None` routes slow records to the
+    /// `trace` sink instead.
+    pub slow_log: Option<PathBuf>,
 }
 
 impl ClusterConfig {
@@ -111,6 +119,8 @@ impl ClusterConfig {
                 max_delay: Duration::from_millis(200),
                 budget: None,
             },
+            slow_ms: 0,
+            slow_log: None,
         }
     }
 }
@@ -143,14 +153,43 @@ struct Shared {
     started: Instant,
     threads: usize,
     retry: RetryPolicy,
+    /// Slow-query threshold in milliseconds; `0` = disabled.
+    slow_ms: u64,
+    /// Dedicated slow-query sink (falls back to `recorder`).
+    slow_log: Option<Mutex<JsonlRecorder<File>>>,
 }
 
 impl Shared {
     fn emit(&self, event: Event) {
         if let Some(rec) = &self.recorder {
-            rec.lock().unwrap_or_else(|e| e.into_inner()).event(event);
+            let mut rec = rec.lock().unwrap_or_else(|e| e.into_inner());
+            rec.event(event);
+            // Request-level events are rare enough to flush eagerly, so
+            // a live trace file can be tailed without a shutdown.
+            rec.flush();
         }
     }
+
+    /// Write a slow-query record to the dedicated slow log, or to the
+    /// trace sink when none is configured.
+    fn emit_slow(&self, event: Event) {
+        if let Some(log) = &self.slow_log {
+            let mut log = log.lock().unwrap_or_else(|e| e.into_inner());
+            log.event(event);
+            log.flush();
+        } else {
+            self.emit(event);
+        }
+    }
+}
+
+/// The validated trace id a request carries in `X-Skyline-Trace`, or
+/// `""` when absent or malformed (never propagate junk into traces).
+fn inherited_trace(req: &Request) -> String {
+    req.header(trace::TRACE_HEADER)
+        .filter(|t| trace::is_valid_id(t))
+        .unwrap_or("")
+        .to_string()
 }
 
 /// A running coordinator. Dropping the handle shuts it down.
@@ -203,6 +242,10 @@ impl Cluster {
             Some(path) => Some(Mutex::new(JsonlRecorder::create(path)?)),
             None => None,
         };
+        let slow_log = match &config.slow_log {
+            Some(path) => Some(Mutex::new(JsonlRecorder::create(path)?)),
+            None => None,
+        };
         let (manifest, datasets, replayed) = match &config.manifest {
             Some(path) => {
                 let (m, replay) = Manifest::open(path, config.shards.len())?;
@@ -227,6 +270,8 @@ impl Cluster {
             started: Instant::now(),
             threads: config.threads.max(1),
             retry: config.retry,
+            slow_ms: config.slow_ms,
+            slow_log,
         });
         let accept_shared = Arc::clone(&shared);
         let timeout = config.request_timeout;
@@ -299,6 +344,7 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>, timeout: Duration, 
                     endpoint: endpoint.to_string(),
                     status: response.status as u64,
                     elapsed_us,
+                    trace: inherited_trace(&req),
                 });
                 let close = req.wants_close() || shared.shutdown.load(Ordering::Acquire);
                 if response.write_to(&mut writer).is_err() || close {
@@ -338,7 +384,7 @@ fn route(shared: &Shared, req: &Request) -> (Response, &'static str) {
     }
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => (handle_healthz(shared), "/healthz"),
-        ("GET", "/metrics") => (handle_metrics(shared), "/metrics"),
+        ("GET", "/metrics") => (handle_metrics(shared, req), "/metrics"),
         ("GET", "/skyline") => (handle_skyline(shared, req), "/skyline"),
         ("GET", "/datasets") => (handle_list(shared), "/datasets"),
         ("POST", "/datasets") => (handle_create(shared, req), "/datasets"),
@@ -374,7 +420,12 @@ fn encode_component(s: &str) -> String {
 /// One shard call through the retrying client, with per-shard counters
 /// and a `shard_rpc` trace event. `budget` caps attempts + backoff
 /// (derived from the request deadline); `endpoint` is the normalised
-/// label for telemetry, `path` the actual request target.
+/// label for telemetry, `path` the actual request target. With a trace
+/// context the call carries `X-Skyline-Trace` (the inherited trace id)
+/// and `X-Skyline-Span` (a fresh per-leg span id), so the shard's own
+/// events join the same trace. The returned [`RequestTiming`] splits
+/// the successful attempt into connect/send/wait.
+#[allow(clippy::too_many_arguments)]
 fn shard_rpc(
     shared: &Shared,
     shard: usize,
@@ -383,17 +434,25 @@ fn shard_rpc(
     path: &str,
     body: &[u8],
     budget: Option<Duration>,
-) -> io::Result<ClientResponse> {
+    ctx: Option<&TraceContext>,
+) -> io::Result<(ClientResponse, RequestTiming)> {
     let start = Instant::now();
     let policy = RetryPolicy {
         budget,
         ..shared.retry
     };
+    let headers: Vec<(String, String)> = match ctx {
+        Some(ctx) => vec![
+            (trace::TRACE_HEADER.to_string(), ctx.trace_id.clone()),
+            (trace::SPAN_HEADER.to_string(), trace::mint_id()),
+        ],
+        None => Vec::new(),
+    };
     let (result, attempts) =
-        request_with_retry_counted(shared.shards[shard], method, path, body, &policy);
+        request_with_retry_timed(shared.shards[shard], method, path, body, &headers, &policy);
     let elapsed_us = start.elapsed().as_micros() as u64;
     let status = match &result {
-        Ok(resp) => resp.status as u64,
+        Ok((resp, _)) => resp.status as u64,
         Err(_) => 0, // transport failure: the shard never answered
     };
     let stats = &shared.shard_stats[shard];
@@ -409,6 +468,7 @@ fn shard_rpc(
         status,
         attempts: attempts as u64,
         elapsed_us,
+        trace: ctx.map(|c| c.trace_id.clone()).unwrap_or_default(),
     });
     result
 }
@@ -469,7 +529,37 @@ fn handle_list(shared: &Shared) -> Response {
     Response::json(200, w.finish())
 }
 
-fn handle_metrics(shared: &Shared) -> Response {
+fn handle_metrics(shared: &Shared, req: &Request) -> Response {
+    match req.query_param("format") {
+        None | Some("") | Some("json") => {}
+        Some("prometheus") => {
+            let mut extras: Vec<(String, f64)> = Vec::new();
+            for counter in ["requests", "errors", "attempts", "total_us"] {
+                for (s, stats) in shared.shard_stats.iter().enumerate() {
+                    let value = match counter {
+                        "requests" => stats.requests.load(Ordering::Relaxed),
+                        "errors" => stats.errors.load(Ordering::Relaxed),
+                        "attempts" => stats.attempts.load(Ordering::Relaxed),
+                        _ => stats.total_us.load(Ordering::Relaxed),
+                    };
+                    extras.push((
+                        format!("skyline_shard_rpc_{counter}{{shard=\"{s}\"}}"),
+                        value as f64,
+                    ));
+                }
+            }
+            let datasets = shared.datasets.lock().unwrap_or_else(|e| e.into_inner());
+            extras.push(("skyline_datasets".to_string(), datasets.len() as f64));
+            drop(datasets);
+            return Response::text(200, shared.metrics.render_prometheus(&extras));
+        }
+        Some(other) => {
+            return Response::error(
+                400,
+                &format!("bad \"format\" value {other:?} (json or prometheus)"),
+            )
+        }
+    }
     let shard_objs: Vec<String> = shared
         .shards
         .iter()
@@ -509,6 +599,7 @@ fn handle_metrics(shared: &Shared) -> Response {
         .u64_field("manifest_bytes", manifest_bytes)
         .u64_field("recovery_replayed_records", shared.replayed)
         .raw_field("endpoints", &shared.metrics.render_json())
+        .raw_field("stages", &shared.metrics.render_stages_json())
         .raw_field("shards", &format!("[{}]", shard_objs.join(",")))
         .raw_field("datasets", &format!("[{}]", dataset_objs.join(",")));
     Response::json(200, w.finish())
@@ -612,15 +703,19 @@ fn fan_out_insert(
             return None;
         }
         let body = format!("{{\"rows\":{}}}", rows_json(rows));
-        Some(shard_rpc(
-            shared,
-            s,
-            "POST",
-            "/datasets/{name}/points",
-            &path,
-            body.as_bytes(),
-            None,
-        ))
+        Some(
+            shard_rpc(
+                shared,
+                s,
+                "POST",
+                "/datasets/{name}/points",
+                &path,
+                body.as_bytes(),
+                None,
+                None,
+            )
+            .map(|(resp, _)| resp),
+        )
     });
     let mut failures: Vec<String> = Vec::new();
     for (s, outcome) in results.into_iter().enumerate() {
@@ -747,7 +842,9 @@ fn handle_create(shared: &Shared, req: &Request) -> Response {
             "/datasets",
             create_body.as_bytes(),
             None,
+            None,
         )
+        .map(|(resp, _)| resp)
     });
     for (s, outcome) in created.iter().enumerate() {
         match outcome {
@@ -883,15 +980,19 @@ fn handle_remove(shared: &Shared, name: &str, req: &Request) -> Response {
         let ids: Vec<u64> = handles.iter().map(|&h| h as u64).collect();
         let mut w = ObjectWriter::new();
         w.u64_array_field("ids", &ids);
-        Some(shard_rpc(
-            shared,
-            s,
-            "DELETE",
-            "/datasets/{name}/points",
-            &path,
-            w.finish().as_bytes(),
-            None,
-        ))
+        Some(
+            shard_rpc(
+                shared,
+                s,
+                "DELETE",
+                "/datasets/{name}/points",
+                &path,
+                w.finish().as_bytes(),
+                None,
+                None,
+            )
+            .map(|(resp, _)| resp),
+        )
     });
     let mut removed_globals: Vec<u64> = Vec::new();
     let mut failures: Vec<String> = Vec::new();
@@ -1014,6 +1115,18 @@ fn parse_shard_skyline(body: &str, dims: usize) -> Result<ShardSkyline, String> 
 /// shards stayed unreachable after retries.
 fn handle_skyline(shared: &Shared, req: &Request) -> Response {
     let overall = Instant::now();
+    let mut timer = StageTimer::start();
+    // The coordinator roots the trace: inherit the caller's trace id
+    // when one arrived, mint one otherwise, and give this request its
+    // own span either way. Scatter legs get per-leg child spans.
+    let ctx = match req
+        .header(trace::TRACE_HEADER)
+        .filter(|t| trace::is_valid_id(t))
+    {
+        Some(t) => TraceContext::child_of(t).expect("validated id"),
+        None => TraceContext::mint(),
+    };
+    let wants_timings = req.query_param("timings") == Some("1");
     let Some(name) = req.query_param("dataset") else {
         return Response::error(400, "missing query parameter \"dataset\"");
     };
@@ -1059,6 +1172,7 @@ fn handle_skyline(shared: &Shared, req: &Request) -> Response {
         }
     }
     let algo = req.query_param("algo").filter(|a| !a.is_empty());
+    timer.mark("accept");
 
     // Snapshot the registry: dims, version, and the per-shard
     // handle→global maps (Arc clones — the query must not block behind
@@ -1140,15 +1254,56 @@ fn handle_skyline(shared: &Shared, req: &Request) -> Response {
         path.push_str(&format!("&deadline_ms={}", rem.as_millis().max(1)));
     }
     let shard_count = shared.shards.len();
-    let responses = scatter(shard_count, |s| {
-        shard_rpc(shared, s, "GET", "/skyline", &path, &[], remaining)
+    timer.mark("route");
+    let legs = scatter(shard_count, |s| {
+        let leg_start = Instant::now();
+        let result = shard_rpc(
+            shared,
+            s,
+            "GET",
+            "/skyline",
+            &path,
+            &[],
+            remaining,
+            Some(&ctx),
+        );
+        (result, leg_start.elapsed().as_micros() as u64)
     });
+
+    // Split the scatter wall-clock into connect / send / shard_wait
+    // (the legs overlap, so each named part is the slowest leg's), note
+    // the straggler, and stitch each shard's own stage times in as
+    // `shard{i}.*` detail entries.
+    let mut max_connect = 0u64;
+    let mut max_send = 0u64;
+    let mut straggler = String::new();
+    let mut straggler_us = 0u64;
+    for (s, (outcome, leg_us)) in legs.iter().enumerate() {
+        if *leg_us >= straggler_us {
+            straggler_us = *leg_us;
+            straggler = format!("shard{s}");
+        }
+        timer.detail(&format!("shard{s}.rpc"), *leg_us);
+        if let Ok((resp, timing)) = outcome {
+            max_connect = max_connect.max(timing.connect_us);
+            max_send = max_send.max(timing.send_us);
+            if let Some(h) = resp.header(trace::STAGE_TIMES_HEADER) {
+                for (stage, us) in trace::decode_stage_times(h) {
+                    timer.detail(&format!("shard{s}.{stage}"), us);
+                }
+            }
+        }
+    }
+    timer.mark_partitioned(
+        &[("connect", max_connect), ("send", max_send)],
+        "shard_wait",
+    );
 
     let mut parsed: Vec<Option<ShardSkyline>> = Vec::with_capacity(shard_count);
     let mut missing: Vec<u64> = Vec::new();
-    for (s, outcome) in responses.into_iter().enumerate() {
+    for (s, (outcome, _)) in legs.into_iter().enumerate() {
         match outcome {
-            Ok(resp) if resp.status == 200 => {
+            Ok((resp, _)) if resp.status == 200 => {
                 match parse_shard_skyline(&resp.body_str(), query_dims) {
                     Ok(sky) => parsed.push(Some(sky)),
                     Err(_) => {
@@ -1157,7 +1312,7 @@ fn handle_skyline(shared: &Shared, req: &Request) -> Response {
                     }
                 }
             }
-            Ok(resp) if resp.status == 504 => return deadline_response(shared),
+            Ok((resp, _)) if resp.status == 504 => return deadline_response(shared),
             _ => {
                 missing.push(s as u64);
                 parsed.push(None);
@@ -1206,6 +1361,7 @@ fn handle_skyline(shared: &Shared, req: &Request) -> Response {
             row: rows_store[i].as_slice(),
         })
         .collect();
+    timer.mark("gather");
 
     let remaining = budget.map(|b| b.saturating_sub(overall.elapsed()));
     if remaining.is_some_and(|r| r.is_zero()) {
@@ -1255,6 +1411,7 @@ fn handle_skyline(shared: &Shared, req: &Request) -> Response {
         dominance_tests: metrics.dominance_tests,
         elapsed_us: merge_start.elapsed().as_micros() as u64,
     });
+    timer.mark("merge");
 
     let algorithm = parsed
         .iter()
@@ -1275,7 +1432,59 @@ fn handle_skyline(shared: &Shared, req: &Request) -> Response {
         .u64_field("shards", shard_count as u64)
         .bool_field("partial", partial)
         .u64_array_field("missing_shards", &missing);
-    Response::json(200, w.finish())
+    if wants_timings {
+        let mut t = ObjectWriter::new();
+        for (stage, us) in timer.stages() {
+            t.u64_field(stage, *us);
+        }
+        w.raw_field("timings", &t.finish());
+    }
+    finish_cluster_skyline(
+        shared,
+        timer,
+        &ctx,
+        straggler,
+        Response::json(200, w.finish()),
+    )
+}
+
+/// Seal a coordinator `/skyline` response: mark the `respond` stage,
+/// record the per-stage histograms, attach the stage-times and trace
+/// headers, and emit the stitched `stage_breakdown` — to the trace sink
+/// always, and to the slow-query log past `--slow-ms`.
+fn finish_cluster_skyline(
+    shared: &Shared,
+    mut timer: StageTimer,
+    ctx: &TraceContext,
+    straggler: String,
+    resp: Response,
+) -> Response {
+    timer.mark("respond");
+    shared.metrics.record_stages(timer.stages());
+    let entries = timer.all_entries();
+    let resp = resp
+        .with_header(
+            trace::STAGE_TIMES_HEADER,
+            &trace::encode_stage_times(&entries),
+        )
+        .with_header(trace::TRACE_HEADER, &ctx.trace_id);
+    let total_us = timer.stages().iter().map(|(_, us)| us).sum();
+    let breakdown = Event::StageBreakdown {
+        trace: ctx.trace_id.clone(),
+        endpoint: "/skyline".to_string(),
+        total_us,
+        stages: entries,
+        straggler,
+    };
+    if shared.slow_ms > 0 && total_us >= shared.slow_ms.saturating_mul(1000) {
+        shared.emit_slow(breakdown.clone());
+        if shared.slow_log.is_some() {
+            shared.emit(breakdown);
+        }
+    } else {
+        shared.emit(breakdown);
+    }
+    resp
 }
 
 #[cfg(test)]

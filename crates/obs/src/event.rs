@@ -93,6 +93,9 @@ pub enum Event {
         status: u64,
         /// End-to-end handling time in microseconds.
         elapsed_us: u64,
+        /// Trace id inherited from `X-Skyline-Trace` (or minted by the
+        /// coordinator); empty when the request was untraced.
+        trace: String,
     },
     /// A skyline query was answered from the server's result cache.
     CacheHit {
@@ -102,6 +105,8 @@ pub enum Event {
         algorithm: String,
         /// Dataset content version the result was computed at.
         version: u64,
+        /// Trace id of the request that hit; empty when untraced.
+        trace: String,
     },
     /// A request was shed by the server's overload gate (503).
     Shed {
@@ -145,6 +150,30 @@ pub enum Event {
         attempts: u64,
         /// End-to-end RPC time across all attempts, microseconds.
         elapsed_us: u64,
+        /// Trace id the coordinator propagated to the shard; empty when
+        /// the RPC was untraced.
+        trace: String,
+    },
+    /// Stage-attributed breakdown of one traced request: contiguous
+    /// stage durations that sum to (within scheduling noise of) the
+    /// request wall-clock, stitched by the coordinator from its own
+    /// timer plus the `X-Skyline-Stage-Times` each shard returned.
+    /// Also the record shape of the slow-query log.
+    StageBreakdown {
+        /// Trace id the breakdown belongs to.
+        trace: String,
+        /// Normalised endpoint the request hit.
+        endpoint: String,
+        /// Measured wall-clock of the whole request, microseconds.
+        total_us: u64,
+        /// Ordered `(stage, microseconds)` pairs. Top-level stage names
+        /// are contiguous and sum to ≈`total_us`; names containing a
+        /// `.` (e.g. `shard1.compute`) are overlapping per-leg detail
+        /// and excluded from that sum.
+        stages: Vec<(String, u64)>,
+        /// Straggler attribution, e.g. `"shard2"` — the leg that
+        /// bounded `shard_wait`. Empty for single-process breakdowns.
+        straggler: String,
     },
     /// The coordinator finished a cross-shard scatter-gather merge.
     ClusterMerge {
@@ -206,6 +235,31 @@ fn u64_vec(v: &Value) -> Option<Vec<u64>> {
     v.as_arr()?.iter().map(Value::as_u64).collect()
 }
 
+fn stages_json(stages: &[(String, u64)]) -> String {
+    let mut w = ObjectWriter::new();
+    for (name, us) in stages {
+        w.u64_field(name, *us);
+    }
+    w.finish()
+}
+
+fn stages_from(v: &Value) -> Option<Vec<(String, u64)>> {
+    match v {
+        Value::Obj(pairs) => pairs
+            .iter()
+            .map(|(k, val)| Some((k.clone(), val.as_u64()?)))
+            .collect(),
+        _ => None,
+    }
+}
+
+fn trace_tag(v: &Value) -> String {
+    v.get("trace")
+        .and_then(Value::as_str)
+        .unwrap_or("")
+        .to_string()
+}
+
 impl Event {
     /// The `"type"` discriminator this event serialises under.
     pub fn type_name(&self) -> &'static str {
@@ -222,6 +276,7 @@ impl Event {
             Event::HandlerPanic { .. } => "handler_panic",
             Event::Recovery { .. } => "recovery",
             Event::ShardRpc { .. } => "shard_rpc",
+            Event::StageBreakdown { .. } => "stage_breakdown",
             Event::ClusterMerge { .. } => "cluster_merge",
             Event::RunSummary { .. } => "run_summary",
         }
@@ -300,20 +355,28 @@ impl Event {
                 endpoint,
                 status,
                 elapsed_us,
+                trace,
             } => {
                 w.str_field("method", method)
                     .str_field("endpoint", endpoint)
                     .u64_field("status", *status)
                     .u64_field("elapsed_us", *elapsed_us);
+                if !trace.is_empty() {
+                    w.str_field("trace", trace);
+                }
             }
             Event::CacheHit {
                 dataset,
                 algorithm,
                 version,
+                trace,
             } => {
                 w.str_field("dataset", dataset)
                     .str_field("algorithm", algorithm)
                     .u64_field("version", *version);
+                if !trace.is_empty() {
+                    w.str_field("trace", trace);
+                }
             }
             Event::Shed { endpoint } => {
                 w.str_field("endpoint", endpoint);
@@ -345,12 +408,31 @@ impl Event {
                 status,
                 attempts,
                 elapsed_us,
+                trace,
             } => {
                 w.u64_field("shard", *shard)
                     .str_field("endpoint", endpoint)
                     .u64_field("status", *status)
                     .u64_field("attempts", *attempts)
                     .u64_field("elapsed_us", *elapsed_us);
+                if !trace.is_empty() {
+                    w.str_field("trace", trace);
+                }
+            }
+            Event::StageBreakdown {
+                trace,
+                endpoint,
+                total_us,
+                stages,
+                straggler,
+            } => {
+                w.str_field("trace", trace)
+                    .str_field("endpoint", endpoint)
+                    .u64_field("total_us", *total_us)
+                    .raw_field("stages", &stages_json(stages));
+                if !straggler.is_empty() {
+                    w.str_field("straggler", straggler);
+                }
             }
             Event::ClusterMerge {
                 shards,
@@ -427,11 +509,13 @@ impl Event {
                 endpoint: v.get("endpoint")?.as_str()?.to_string(),
                 status: v.get("status")?.as_u64()?,
                 elapsed_us: v.get("elapsed_us")?.as_u64()?,
+                trace: trace_tag(v),
             }),
             "cache_hit" => Some(Event::CacheHit {
                 dataset: v.get("dataset")?.as_str()?.to_string(),
                 algorithm: v.get("algorithm")?.as_str()?.to_string(),
                 version: v.get("version")?.as_u64()?,
+                trace: trace_tag(v),
             }),
             "shed" => Some(Event::Shed {
                 endpoint: v.get("endpoint")?.as_str()?.to_string(),
@@ -455,6 +539,18 @@ impl Event {
                 status: v.get("status")?.as_u64()?,
                 attempts: v.get("attempts")?.as_u64()?,
                 elapsed_us: v.get("elapsed_us")?.as_u64()?,
+                trace: trace_tag(v),
+            }),
+            "stage_breakdown" => Some(Event::StageBreakdown {
+                trace: trace_tag(v),
+                endpoint: v.get("endpoint")?.as_str()?.to_string(),
+                total_us: v.get("total_us")?.as_u64()?,
+                stages: stages_from(v.get("stages")?)?,
+                straggler: v
+                    .get("straggler")
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_string(),
             }),
             "cluster_merge" => Some(Event::ClusterMerge {
                 shards: v.get("shards")?.as_u64()?,
@@ -526,11 +622,13 @@ mod tests {
                 endpoint: "/skyline".into(),
                 status: 200,
                 elapsed_us: 412,
+                trace: "deadbeef01234567".into(),
             },
             Event::CacheHit {
                 dataset: "hotels".into(),
                 algorithm: "SDI-Subset".into(),
                 version: 17,
+                trace: String::new(),
             },
             Event::Shed {
                 endpoint: "/skyline".into(),
@@ -554,6 +652,24 @@ mod tests {
                 status: 200,
                 attempts: 2,
                 elapsed_us: 1_832,
+                trace: "deadbeef01234567".into(),
+            },
+            Event::StageBreakdown {
+                trace: "deadbeef01234567".into(),
+                endpoint: "/skyline".into(),
+                total_us: 40_100,
+                stages: vec![
+                    ("accept".into(), 3),
+                    ("route".into(), 2),
+                    ("connect".into(), 90),
+                    ("send".into(), 15),
+                    ("shard_wait".into(), 38_000),
+                    ("gather".into(), 700),
+                    ("merge".into(), 1_200),
+                    ("respond".into(), 40),
+                    ("shard1.compute".into(), 36_500),
+                ],
+                straggler: "shard1".into(),
             },
             Event::ClusterMerge {
                 shards: 4,
@@ -591,6 +707,18 @@ mod tests {
         unique.sort_unstable();
         unique.dedup();
         assert_eq!(unique.len(), names.len());
+    }
+
+    #[test]
+    fn legacy_records_without_a_trace_tag_still_parse() {
+        let v = Value::parse(
+            r#"{"type":"request","ts_us":0,"method":"GET","endpoint":"/skyline","status":200,"elapsed_us":5}"#,
+        )
+        .unwrap();
+        match Event::from_value(&v) {
+            Some(Event::Request { trace, .. }) => assert!(trace.is_empty()),
+            other => panic!("unexpected parse: {other:?}"),
+        }
     }
 
     #[test]

@@ -141,6 +141,40 @@ impl Histogram {
         }
     }
 
+    /// Nearest-rank quantile estimate for `q` in `[0, 1]`.
+    ///
+    /// The estimate is the upper bound of the bucket holding the
+    /// nearest-rank sample, clamped into `[min, max]` — so a
+    /// single-sample histogram reports that sample exactly at every
+    /// quantile, and the overflow bucket reports the observed max
+    /// rather than a fictitious bound. Empty histograms report 0.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                let upper = if i == BUCKETS - 1 { self.max } else { upper };
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`Histogram::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile estimate (see [`Histogram::quantile`]).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
     /// Compact one-line rendering of the non-empty buckets, e.g.
     /// `"1:3 2-3:17 4-7:2"`. Empty histograms render as `"-"`.
     pub fn render_compact(&self) -> String {
@@ -155,6 +189,74 @@ impl Histogram {
             .map(|(i, &c)| format!("{}:{}", Self::bucket_label(i), c))
             .collect();
         parts.join(" ")
+    }
+}
+
+/// Lock-free histogram for hot paths shared across threads.
+///
+/// Same bucket shape as [`Histogram`], but every field is an atomic so
+/// request threads record samples with a handful of `Relaxed` RMW ops
+/// and never serialize on a lock. Cross-field consistency is only
+/// approximate while writers are active; [`AtomicHistogram::snapshot`]
+/// normalises the empty case exactly as [`Histogram::from_parts`] does.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: [core::sync::atomic::AtomicU64; BUCKETS],
+    count: core::sync::atomic::AtomicU64,
+    sum: core::sync::atomic::AtomicU64,
+    min: core::sync::atomic::AtomicU64,
+    max: core::sync::atomic::AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        use core::sync::atomic::AtomicU64;
+        AtomicHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AtomicHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one sample. Safe to call concurrently from many threads.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        use core::sync::atomic::Ordering::Relaxed;
+        self.buckets[bucket_of(value)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(value, Relaxed);
+        self.min.fetch_min(value, Relaxed);
+        self.max.fetch_max(value, Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(core::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Materialise the current state as a plain [`Histogram`].
+    pub fn snapshot(&self) -> Histogram {
+        use core::sync::atomic::Ordering::Relaxed;
+        let mut buckets = [0u64; BUCKETS];
+        for (b, a) in buckets.iter_mut().zip(&self.buckets) {
+            *b = a.load(Relaxed);
+        }
+        Histogram::from_parts(
+            buckets,
+            self.count.load(Relaxed),
+            self.sum.load(Relaxed),
+            self.min.load(Relaxed),
+            self.max.load(Relaxed),
+        )
     }
 }
 
@@ -251,6 +353,104 @@ mod tests {
         h.record(2);
         h.record(3);
         assert_eq!(h.render_compact(), "1:1 2-3:2");
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn single_sample_is_exact_at_every_quantile() {
+        let mut h = Histogram::new();
+        h.record(37);
+        assert_eq!(h.p50(), 37);
+        assert_eq!(h.p99(), 37);
+        assert_eq!(h.quantile(0.0), 37);
+        assert_eq!(h.quantile(1.0), 37);
+    }
+
+    #[test]
+    fn values_above_the_top_bucket_saturate() {
+        let mut h = Histogram::new();
+        h.record(1 << 20);
+        h.record(u64::MAX);
+        assert_eq!(h.buckets()[BUCKETS - 1], 2);
+        // The overflow bucket has no upper bound; quantiles there report
+        // the observed max instead of inventing one.
+        assert_eq!(h.p99(), u64::MAX);
+        assert_eq!(h.sum(), u64::MAX); // saturating add
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_buckets() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(3); // bucket 2, upper bound 3
+        }
+        h.record(1000); // bucket 10, upper bound 1023
+        assert_eq!(h.p50(), 3);
+        assert_eq!(h.p99(), 3);
+        // max clamp keeps the tail estimate at the observed max.
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn merge_of_two_histograms_matches_combined_recording() {
+        // The cluster stitcher merges per-shard stage histograms; the
+        // merged quantiles must match recording every sample into one.
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut combined = Histogram::new();
+        for v in [5u64, 80, 80, 200] {
+            a.record(v);
+            combined.record(v);
+        }
+        for v in [1u64, 7, 4096] {
+            b.record(v);
+            combined.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, combined);
+        assert_eq!(a.p50(), combined.p50());
+        assert_eq!(a.p99(), combined.p99());
+        assert_eq!(a.count(), 7);
+    }
+
+    #[test]
+    fn atomic_histogram_matches_plain_recording() {
+        let a = AtomicHistogram::new();
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 9, 9, 3000, 1 << 30] {
+            a.record(v);
+            h.record(v);
+        }
+        assert_eq!(a.snapshot(), h);
+        assert_eq!(a.count(), 6);
+        assert_eq!(AtomicHistogram::new().snapshot(), Histogram::default());
+    }
+
+    #[test]
+    fn atomic_histogram_is_consistent_across_threads() {
+        let a = AtomicHistogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let a = &a;
+                s.spawn(move || {
+                    for i in 0..250u64 {
+                        a.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        let snap = a.snapshot();
+        assert_eq!(snap.count(), 1000);
+        assert_eq!(snap.min(), 0);
+        assert_eq!(snap.max(), 3249);
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! - [`JsonlRecorder`] — a hand-rolled JSON-lines sink (no serde),
 //!   selected at the CLI via `--trace <path>` or `SKYLINE_TRACE=<path>`;
 //! - [`TraceSummary`] — reads a trace file back and aggregates it into
-//!   human-readable tables (`skyline report <trace.jsonl>`).
+//!   human-readable tables (`skyline report <trace.jsonl>`);
+//! - [`TraceContext`]/[`StageTimer`] — distributed trace-id propagation
+//!   and stage-attributed wall-clock profiling for the serving stack.
 //!
 //! The crate deliberately depends on nothing outside `std` so that the
 //! bottom-most crate of the workspace (`skyline-core`) can depend on it.
@@ -25,8 +27,10 @@ pub mod histogram;
 pub mod json;
 pub mod recorder;
 pub mod summary;
+pub mod trace;
 
 pub use event::Event;
-pub use histogram::{Histogram, BUCKETS};
+pub use histogram::{AtomicHistogram, Histogram, BUCKETS};
 pub use recorder::{JsonlRecorder, MemoryRecorder, NoopRecorder, Record, Recorder};
 pub use summary::TraceSummary;
+pub use trace::{StageTimer, TraceContext};

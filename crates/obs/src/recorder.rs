@@ -198,6 +198,16 @@ impl<W: Write> JsonlRecorder<W> {
         self.io_errors
     }
 
+    /// Flush buffered records to the sink. Servers call this after each
+    /// request-level event so a live trace file can be tailed; failures
+    /// are counted like write failures, not propagated.
+    pub fn flush(&mut self) {
+        let out = self.out.as_mut().expect("sink present until into_inner");
+        if out.flush().is_err() {
+            self.io_errors += 1;
+        }
+    }
+
     /// Flush buffered records and return the underlying sink.
     pub fn into_inner(mut self) -> std::io::Result<W> {
         let out = self.out.take().expect("sink present until into_inner");

@@ -105,6 +105,17 @@ pub struct TraceSummary {
     pub cluster_candidates: u64,
     /// Cluster: total coordinator-side merge time, microseconds.
     pub cluster_merge_us: u64,
+    /// Per-stage latency histograms from `stage_breakdown` records,
+    /// in first-seen order (which is pipeline order, since breakdowns
+    /// list their stages accept → … → respond).
+    pub stage_hists: Vec<(String, Histogram)>,
+    /// `stage_breakdown` records observed.
+    pub stage_breakdowns: u64,
+    /// Total request wall-clock across all stage breakdowns, µs.
+    pub stage_total_us: u64,
+    /// Straggler attribution: how often each leg (e.g. `shard2`)
+    /// bounded `shard_wait`.
+    pub stragglers: BTreeMap<String, u64>,
     /// Merged distribution of trie query depth.
     pub trie_depth: Histogram,
     /// Merged distribution of candidates returned per container query.
@@ -199,6 +210,7 @@ impl TraceSummary {
                     endpoint,
                     status,
                     elapsed_us,
+                    ..
                 }) => {
                     let stats = self
                         .endpoints
@@ -230,6 +242,28 @@ impl TraceSummary {
                     stats.total_us += elapsed_us;
                     stats.max_us = stats.max_us.max(elapsed_us);
                     self.shard_rpc_attempts += attempts;
+                }
+                Some(Event::StageBreakdown {
+                    total_us,
+                    stages,
+                    straggler,
+                    ..
+                }) => {
+                    self.stage_breakdowns += 1;
+                    self.stage_total_us += total_us;
+                    for (name, us) in stages {
+                        match self.stage_hists.iter_mut().find(|(n, _)| *n == name) {
+                            Some((_, h)) => h.record(us),
+                            None => {
+                                let mut h = Histogram::new();
+                                h.record(us);
+                                self.stage_hists.push((name, h));
+                            }
+                        }
+                    }
+                    if !straggler.is_empty() {
+                        *self.stragglers.entry(straggler).or_insert(0) += 1;
+                    }
                 }
                 Some(Event::ClusterMerge {
                     missing,
@@ -436,6 +470,10 @@ impl TraceSummary {
                 self.cluster_merge_us as f64 / 1e3
             );
         }
+        if self.stage_breakdowns > 0 {
+            out.push('\n');
+            out.push_str(&self.render_stages());
+        }
         if !self.trie_depth.is_empty() || !self.trie_candidates.is_empty() {
             let _ = writeln!(out, "\n== subset-index (trie) ==");
             let _ = writeln!(out, "  nodes visited    {:>8}", self.trie_nodes);
@@ -454,6 +492,81 @@ impl TraceSummary {
                 self.trie_candidates.max(),
                 self.trie_candidates.render_compact()
             );
+        }
+        out
+    }
+
+    /// The top-level stage (per-leg `shard{i}.*` detail excluded) with
+    /// the largest total attributed time, and that total in µs.
+    pub fn dominant_stage(&self) -> Option<(&str, u64)> {
+        self.stage_hists
+            .iter()
+            .filter(|(name, _)| !name.contains('.'))
+            .max_by_key(|(_, h)| h.sum())
+            .map(|(name, h)| (name.as_str(), h.sum()))
+    }
+
+    /// Render the per-stage latency table (`skyline report --stages`):
+    /// p50/p99/mean per stage, each top-level stage's share of the
+    /// total attributed time, and the dominant stage.
+    pub fn render_stages(&self) -> String {
+        let mut out = String::new();
+        if self.stage_breakdowns == 0 {
+            let _ = writeln!(out, "no stage_breakdown records in this trace");
+            return out;
+        }
+        let attributed: u64 = self
+            .stage_hists
+            .iter()
+            .filter(|(name, _)| !name.contains('.'))
+            .map(|(_, h)| h.sum())
+            .sum();
+        let _ = writeln!(
+            out,
+            "== stages == ({} breakdowns, {:.3} ms total wall-clock)",
+            self.stage_breakdowns,
+            self.stage_total_us as f64 / 1e3
+        );
+        let _ = writeln!(
+            out,
+            "  {:<18} {:>7} {:>10} {:>10} {:>10} {:>7}",
+            "stage", "count", "p50 us", "p99 us", "total ms", "share"
+        );
+        for (name, h) in &self.stage_hists {
+            let share = if name.contains('.') || attributed == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}%", 100.0 * h.sum() as f64 / attributed as f64)
+            };
+            let _ = writeln!(
+                out,
+                "  {:<18} {:>7} {:>10} {:>10} {:>10.3} {:>7}",
+                name,
+                h.count(),
+                h.p50(),
+                h.p99(),
+                h.sum() as f64 / 1e3,
+                share
+            );
+        }
+        if let Some((name, sum)) = self.dominant_stage() {
+            let share = if attributed == 0 {
+                0.0
+            } else {
+                100.0 * sum as f64 / attributed as f64
+            };
+            let _ = writeln!(
+                out,
+                "  dominant stage   {name} ({share:.1}% of attributed time)"
+            );
+        }
+        if !self.stragglers.is_empty() {
+            let parts: Vec<String> = self
+                .stragglers
+                .iter()
+                .map(|(leg, n)| format!("{leg}:{n}"))
+                .collect();
+            let _ = writeln!(out, "  stragglers       {}", parts.join(" "));
         }
         out
     }
@@ -601,6 +714,7 @@ mod tests {
                 endpoint: "/skyline".into(),
                 status,
                 elapsed_us: us,
+                trace: String::new(),
             });
         }
         r.event(Event::Request {
@@ -608,11 +722,13 @@ mod tests {
             endpoint: "/datasets".into(),
             status: 201,
             elapsed_us: 4000,
+            trace: "aabbccdd00112233".into(),
         });
         r.event(Event::CacheHit {
             dataset: "d".into(),
             algorithm: "SFS".into(),
             version: 3,
+            trace: String::new(),
         });
         let text = String::from_utf8(r.into_inner().unwrap()).unwrap();
         let s = TraceSummary::from_text(&text);
@@ -687,6 +803,7 @@ mod tests {
                 status,
                 attempts,
                 elapsed_us: us,
+                trace: "00112233aabbccdd".into(),
             });
         }
         r.event(Event::ClusterMerge {
@@ -720,6 +837,52 @@ mod tests {
         assert!(rendered.contains("== cluster =="), "{rendered}");
         assert!(rendered.contains("shard 1"), "{rendered}");
         assert!(rendered.contains("(1 partial)"), "{rendered}");
+    }
+
+    #[test]
+    fn stage_breakdowns_aggregate_and_render_the_dominant_stage() {
+        let mut r = JsonlRecorder::new(Vec::new());
+        for (wait, merge, straggler) in [(38_000u64, 1_200u64, "shard1"), (35_000, 900, "shard0")] {
+            r.event(Event::StageBreakdown {
+                trace: "deadbeef01234567".into(),
+                endpoint: "/skyline".into(),
+                total_us: wait + merge + 150,
+                stages: vec![
+                    ("accept".into(), 10),
+                    ("route".into(), 5),
+                    ("connect".into(), 60),
+                    ("send".into(), 25),
+                    ("shard_wait".into(), wait),
+                    ("gather".into(), 30),
+                    ("merge".into(), merge),
+                    ("respond".into(), 20),
+                    ("shard1.compute".into(), wait - 500),
+                ],
+                straggler: straggler.into(),
+            });
+        }
+        let text = String::from_utf8(r.into_inner().unwrap()).unwrap();
+        let s = TraceSummary::from_text(&text);
+        assert_eq!(s.skipped, 0);
+        assert_eq!(s.stage_breakdowns, 2);
+        // First-seen order is pipeline order.
+        assert_eq!(s.stage_hists[0].0, "accept");
+        assert_eq!(s.stage_hists[4].0, "shard_wait");
+        assert_eq!(s.stage_hists[4].1.count(), 2);
+        // Per-leg detail never wins dominance; shard_wait does.
+        let (dominant, _) = s.dominant_stage().expect("has stages");
+        assert_eq!(dominant, "shard_wait");
+        assert_eq!(s.stragglers["shard1"], 1);
+        assert_eq!(s.stragglers["shard0"], 1);
+        let rendered = s.render_stages();
+        assert!(rendered.contains("== stages =="), "{rendered}");
+        assert!(
+            rendered.contains("dominant stage   shard_wait"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("stragglers"), "{rendered}");
+        // The full render includes the stage section too.
+        assert!(s.render().contains("== stages =="));
     }
 
     #[test]

@@ -1,0 +1,322 @@
+//! Trace-context propagation and stage-attributed timing.
+//!
+//! A cluster request crosses three processes (client → coordinator →
+//! shard), and attributing its latency requires two pieces of shared
+//! state: a **trace id** that every event along the path carries, and a
+//! **stage breakdown** that splits the wall-clock into named, contiguous
+//! segments. This module provides both with nothing but `std`:
+//!
+//! - [`TraceContext`] — a 64-bit trace id plus a span id, minted from a
+//!   splitmix64 hash of the clock and a process-wide counter (no RNG
+//!   dependency), rendered as 16-char lowercase hex. The coordinator
+//!   mints one per request and forwards it in the
+//!   [`TRACE_HEADER`]/[`SPAN_HEADER`] request headers; shards inherit it.
+//! - [`StageTimer`] — marks the end of contiguous stages so the named
+//!   durations sum to the measured wall-clock *by construction*.
+//! - [`encode_stage_times`]/[`decode_stage_times`] — the compact
+//!   `name=us,name=us` codec carried in the [`STAGE_TIMES_HEADER`]
+//!   response header, which the coordinator stitches into its own
+//!   breakdown.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Request header carrying the trace id (16-char lowercase hex).
+pub const TRACE_HEADER: &str = "X-Skyline-Trace";
+
+/// Request header carrying the parent span id.
+pub const SPAN_HEADER: &str = "X-Skyline-Span";
+
+/// Response header carrying the encoded per-stage timings.
+pub const STAGE_TIMES_HEADER: &str = "X-Skyline-Stage-Times";
+
+/// splitmix64: a tiny, well-mixed 64-bit permutation. Good enough to
+/// turn (clock, counter) into ids that never collide in practice.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+static MINT_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Mint a fresh 16-char lowercase-hex id. Uniqueness comes from mixing
+/// the wall clock with a process-wide counter, so two ids minted in the
+/// same nanosecond still differ.
+pub fn mint_id() -> String {
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let n = MINT_COUNTER.fetch_add(1, Ordering::Relaxed);
+    format!(
+        "{:016x}",
+        splitmix64(nanos ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    )
+}
+
+/// True when `id` looks like an id we minted (or a forwarded one):
+/// 1–32 lowercase-hex characters. Anything else is dropped rather than
+/// propagated, so a hostile header can't inject into trace files.
+pub fn is_valid_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 32
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+}
+
+/// Trace context for one request: the trace id shared by every hop and
+/// this hop's span id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Trace id shared by every process the request touches.
+    pub trace_id: String,
+    /// Span id of this hop (the coordinator's span for the request it
+    /// fans out, or a shard's span for its local handling).
+    pub span_id: String,
+}
+
+impl TraceContext {
+    /// Mint a root context (new trace id, new span id). The coordinator
+    /// does this once per incoming request.
+    pub fn mint() -> TraceContext {
+        TraceContext {
+            trace_id: mint_id(),
+            span_id: mint_id(),
+        }
+    }
+
+    /// Build a child context under an inherited trace id (a shard
+    /// receiving [`TRACE_HEADER`]). Returns `None` when the id fails
+    /// [`is_valid_id`].
+    pub fn child_of(trace_id: &str) -> Option<TraceContext> {
+        if is_valid_id(trace_id) {
+            Some(TraceContext {
+                trace_id: trace_id.to_string(),
+                span_id: mint_id(),
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// Measures contiguous named stages of one request.
+///
+/// Each [`StageTimer::mark`] closes the segment since the previous mark
+/// (or since construction) under the given name, so the recorded stage
+/// durations sum to the wall-clock between start and the last mark by
+/// construction — the property the stitched breakdown is validated
+/// against. Overlapping per-leg detail (e.g. `shard0.compute`) goes in
+/// via [`StageTimer::detail`], which is excluded from that sum.
+#[derive(Debug)]
+pub struct StageTimer {
+    start: Instant,
+    last: Instant,
+    stages: Vec<(String, u64)>,
+    details: Vec<(String, u64)>,
+}
+
+impl StageTimer {
+    /// Start timing now.
+    pub fn start() -> StageTimer {
+        let now = Instant::now();
+        StageTimer {
+            start: now,
+            last: now,
+            stages: Vec::new(),
+            details: Vec::new(),
+        }
+    }
+
+    /// Close the current segment under `name` and start the next one.
+    /// Returns the segment's duration in microseconds.
+    pub fn mark(&mut self, name: &str) -> u64 {
+        let now = Instant::now();
+        let us = now.duration_since(self.last).as_micros() as u64;
+        self.last = now;
+        self.stages.push((name.to_string(), us));
+        us
+    }
+
+    /// Record an out-of-band measurement (not part of the contiguous
+    /// sum), e.g. a per-shard breakdown entry.
+    pub fn detail(&mut self, name: &str, us: u64) {
+        self.details.push((name.to_string(), us));
+    }
+
+    /// Close the current segment split into named `parts` plus a `rest`
+    /// stage absorbing whatever the parts do not claim. Parts are capped
+    /// at the segment length, so the stages still sum to wall-clock.
+    ///
+    /// Used where one wall-clock span covers phases measured elsewhere:
+    /// the coordinator's scatter is a single segment, but the legs'
+    /// connect/send timings split it into `connect`, `send`, and a
+    /// residual `shard_wait`.
+    pub fn mark_partitioned(&mut self, parts: &[(&str, u64)], rest: &str) {
+        let now = Instant::now();
+        let segment = now.duration_since(self.last).as_micros() as u64;
+        self.last = now;
+        let mut used = 0u64;
+        for (name, us) in parts {
+            let us = (*us).min(segment - used);
+            self.stages.push((name.to_string(), us));
+            used += us;
+        }
+        self.stages.push((rest.to_string(), segment - used));
+    }
+
+    /// The contiguous stages marked so far, in order.
+    pub fn stages(&self) -> &[(String, u64)] {
+        &self.stages
+    }
+
+    /// Detail entries recorded so far, in order.
+    pub fn details(&self) -> &[(String, u64)] {
+        &self.details
+    }
+
+    /// Microseconds since the timer started.
+    pub fn total_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// Contiguous stages followed by detail entries, for encoding.
+    pub fn all_entries(&self) -> Vec<(String, u64)> {
+        let mut out = self.stages.clone();
+        out.extend(self.details.iter().cloned());
+        out
+    }
+}
+
+/// Encode stage timings as the compact `name=us,name=us` wire form
+/// carried in [`STAGE_TIMES_HEADER`]. Names must not contain `=` or
+/// `,` (ours never do; offending entries are skipped defensively).
+pub fn encode_stage_times(stages: &[(String, u64)]) -> String {
+    let mut out = String::new();
+    for (name, us) in stages {
+        if name.is_empty() || name.contains('=') || name.contains(',') {
+            continue;
+        }
+        if !out.is_empty() {
+            out.push(',');
+        }
+        out.push_str(name);
+        out.push('=');
+        out.push_str(&us.to_string());
+    }
+    out
+}
+
+/// Decode the `name=us,name=us` wire form, skipping malformed entries.
+pub fn decode_stage_times(s: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for part in s.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if let Some((name, us)) = part.split_once('=') {
+            if let Ok(us) = us.trim().parse::<u64>() {
+                if !name.is_empty() {
+                    out.push((name.to_string(), us));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minted_ids_are_unique_hex() {
+        let a = mint_id();
+        let b = mint_id();
+        assert_ne!(a, b);
+        for id in [&a, &b] {
+            assert_eq!(id.len(), 16);
+            assert!(is_valid_id(id), "{id}");
+        }
+    }
+
+    #[test]
+    fn id_validation_rejects_junk() {
+        assert!(is_valid_id("00ff00ff"));
+        assert!(!is_valid_id(""));
+        assert!(!is_valid_id("XYZ"));
+        assert!(!is_valid_id("deadbeef\n"));
+        assert!(!is_valid_id(&"a".repeat(33)));
+    }
+
+    #[test]
+    fn child_context_inherits_the_trace_id() {
+        let root = TraceContext::mint();
+        let child = TraceContext::child_of(&root.trace_id).expect("valid id");
+        assert_eq!(child.trace_id, root.trace_id);
+        assert_ne!(child.span_id, root.span_id);
+        assert!(TraceContext::child_of("not hex!").is_none());
+    }
+
+    #[test]
+    fn stage_timer_segments_sum_to_the_span_of_marks() {
+        let mut t = StageTimer::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        t.mark("parse");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        t.mark("compute");
+        t.detail("shard0.compute", 999);
+        let sum: u64 = t.stages().iter().map(|(_, us)| us).sum();
+        assert!(sum >= 4_000, "sum was {sum}");
+        assert!(sum <= t.total_us());
+        assert_eq!(t.stages().len(), 2);
+        assert_eq!(t.details(), &[("shard0.compute".to_string(), 999)]);
+        assert_eq!(t.all_entries().len(), 3);
+    }
+
+    #[test]
+    fn partitioned_marks_keep_the_sum_equal_to_wall_clock() {
+        let mut t = StageTimer::start();
+        std::thread::sleep(std::time::Duration::from_millis(4));
+        t.mark_partitioned(&[("connect", 1), ("send", 1)], "shard_wait");
+        let names: Vec<&str> = t.stages().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["connect", "send", "shard_wait"]);
+        let sum: u64 = t.stages().iter().map(|(_, us)| us).sum();
+        assert!(sum >= 4_000, "sum was {sum}");
+        assert!(sum <= t.total_us());
+
+        // Parts claiming more than the segment are capped, never negative.
+        let mut t = StageTimer::start();
+        t.mark_partitioned(&[("connect", u64::MAX)], "rest");
+        let sum: u64 = t.stages().iter().map(|(_, us)| us).sum();
+        assert!(sum <= t.total_us());
+    }
+
+    #[test]
+    fn stage_times_round_trip_through_the_wire_form() {
+        let stages = vec![
+            ("parse".to_string(), 12u64),
+            ("compute".to_string(), 34_000),
+            ("respond".to_string(), 0),
+        ];
+        let wire = encode_stage_times(&stages);
+        assert_eq!(wire, "parse=12,compute=34000,respond=0");
+        assert_eq!(decode_stage_times(&wire), stages);
+    }
+
+    #[test]
+    fn decoder_skips_malformed_entries() {
+        assert_eq!(
+            decode_stage_times("a=1,,broken,=5,b=x,c=3"),
+            vec![("a".to_string(), 1), ("c".to_string(), 3)]
+        );
+        assert!(decode_stage_times("").is_empty());
+        // Encoder drops names that would corrupt the wire form.
+        let bad = vec![("a=b".to_string(), 1u64), ("ok".to_string(), 2)];
+        assert_eq!(encode_stage_times(&bad), "ok=2");
+    }
+}

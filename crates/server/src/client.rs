@@ -99,17 +99,36 @@ fn write_request<W: Write>(
     path: &str,
     body: &[u8],
     close: bool,
+    headers: &[(String, String)],
 ) -> io::Result<()> {
     let connection = if close { "close" } else { "keep-alive" };
     let mut buf = Vec::with_capacity(body.len() + 128);
     write!(
         buf,
-        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nConnection: {connection}\r\nContent-Length: {}\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nConnection: {connection}\r\nContent-Length: {}\r\n",
         body.len()
     )?;
+    for (name, value) in headers {
+        write!(buf, "{name}: {value}\r\n")?;
+    }
+    buf.extend_from_slice(b"\r\n");
     buf.extend_from_slice(body);
     writer.write_all(&buf)?;
     writer.flush()
+}
+
+/// Where one request's wall-clock went, as seen from the client:
+/// TCP connect, request serialization+send, and the wait for (plus
+/// read of) the response. The coordinator uses this split to attribute
+/// scatter-gather time to stages.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestTiming {
+    /// TCP connect time, microseconds.
+    pub connect_us: u64,
+    /// Request write time, microseconds.
+    pub send_us: u64,
+    /// Time from request flushed to response fully read, microseconds.
+    pub wait_us: u64,
 }
 
 /// Issue one request on a fresh connection and read the full response.
@@ -119,14 +138,33 @@ pub fn request(
     path: &str,
     body: &[u8],
 ) -> io::Result<ClientResponse> {
+    request_timed(addr, method, path, body, &[]).map(|(resp, _)| resp)
+}
+
+/// [`request`] with extra request headers and a per-phase timing split.
+pub fn request_timed(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    headers: &[(String, String)],
+) -> io::Result<(ClientResponse, RequestTiming)> {
+    let mut timing = RequestTiming::default();
+    let t = std::time::Instant::now();
     let stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
     stream.set_write_timeout(Some(Duration::from_secs(30)))?;
     stream.set_nodelay(true)?;
+    timing.connect_us = t.elapsed().as_micros() as u64;
     let mut writer = stream.try_clone()?;
-    write_request(&mut writer, method, path, body, true)?;
+    let t = std::time::Instant::now();
+    write_request(&mut writer, method, path, body, true, headers)?;
+    timing.send_us = t.elapsed().as_micros() as u64;
     let mut reader = BufReader::new(stream);
-    read_response(&mut reader)
+    let t = std::time::Instant::now();
+    let resp = read_response(&mut reader)?;
+    timing.wait_us = t.elapsed().as_micros() as u64;
+    Ok((resp, timing))
 }
 
 /// Bounded retry with jittered exponential backoff.
@@ -205,12 +243,28 @@ pub fn request_with_retry_counted(
     body: &[u8],
     policy: &RetryPolicy,
 ) -> (io::Result<ClientResponse>, u32) {
+    let (outcome, attempts) = request_with_retry_timed(addr, method, path, body, &[], policy);
+    (outcome.map(|(resp, _)| resp), attempts)
+}
+
+/// [`request_with_retry_counted`] with extra request headers and the
+/// [`RequestTiming`] of the attempt whose outcome is returned. The
+/// cluster coordinator uses this to propagate trace headers to shards
+/// and attribute connect/send/wait time per leg.
+pub fn request_with_retry_timed(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    headers: &[(String, String)],
+    policy: &RetryPolicy,
+) -> (io::Result<(ClientResponse, RequestTiming)>, u32) {
     let attempts = policy.attempts.max(1);
     let start = std::time::Instant::now();
-    let mut last: io::Result<ClientResponse> = Err(bad("retry budget exhausted"));
+    let mut last: io::Result<(ClientResponse, RequestTiming)> = Err(bad("retry budget exhausted"));
     for attempt in 1..=attempts {
-        match request(addr, method, path, body) {
-            Ok(resp) if resp.status != 503 => return (Ok(resp), attempt),
+        match request_timed(addr, method, path, body, headers) {
+            Ok((resp, timing)) if resp.status != 503 => return (Ok((resp, timing)), attempt),
             outcome => last = outcome, // latest 503 or error wins
         }
         if attempt == attempts {
@@ -263,7 +317,20 @@ impl Session {
 
     /// Issue one request on the persistent connection.
     pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<ClientResponse> {
-        write_request(&mut self.writer, method, path, body, false)?;
+        write_request(&mut self.writer, method, path, body, false, &[])?;
+        read_response(&mut self.reader)
+    }
+
+    /// Issue one request with extra request headers on the persistent
+    /// connection.
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        headers: &[(String, String)],
+    ) -> io::Result<ClientResponse> {
+        write_request(&mut self.writer, method, path, body, false, headers)?;
         read_response(&mut self.reader)
     }
 }
@@ -304,6 +371,37 @@ mod tests {
         assert_eq!(resp.header("retry-after"), Some("1"));
         assert_eq!(resp.header("Retry-After"), Some("1"));
         assert_eq!(resp.header("x-missing"), None);
+    }
+
+    #[test]
+    fn custom_headers_are_written_into_the_request() {
+        let mut buf = Vec::new();
+        write_request(
+            &mut buf,
+            "GET",
+            "/skyline",
+            b"",
+            true,
+            &[
+                (
+                    "X-Skyline-Trace".to_string(),
+                    "deadbeef01234567".to_string(),
+                ),
+                ("X-Skyline-Span".to_string(), "cafe0123cafe0123".to_string()),
+            ],
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(
+            text.contains("X-Skyline-Trace: deadbeef01234567\r\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("X-Skyline-Span: cafe0123cafe0123\r\n"),
+            "{text}"
+        );
+        let headers_end = text.find("\r\n\r\n").unwrap();
+        assert!(text.find("X-Skyline-Span").unwrap() < headers_end);
     }
 
     #[test]

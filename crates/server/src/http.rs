@@ -246,10 +246,12 @@ fn hex_val(b: Option<&u8>) -> Option<u8> {
 pub struct Response {
     /// Status code.
     pub status: u16,
-    /// Body text (always JSON here).
+    /// Body text (JSON, except for the Prometheus exposition).
     pub body: String,
     /// Extra response headers (`Retry-After`, …), written verbatim.
     pub headers: Vec<(String, String)>,
+    /// `Content-Type` the body is written under.
+    pub content_type: &'static str,
 }
 
 impl Response {
@@ -259,6 +261,17 @@ impl Response {
             status,
             body,
             headers: Vec::new(),
+            content_type: "application/json",
+        }
+    }
+
+    /// A plain-text response (the Prometheus exposition format).
+    pub fn text(status: u16, body: String) -> Response {
+        Response {
+            status,
+            body,
+            headers: Vec::new(),
+            content_type: "text/plain; charset=utf-8",
         }
     }
 
@@ -270,6 +283,7 @@ impl Response {
             status,
             body: w.finish(),
             headers: Vec::new(),
+            content_type: "application/json",
         }
     }
 
@@ -303,9 +317,10 @@ impl Response {
         let mut buf = Vec::with_capacity(self.body.len() + 96);
         write!(
             buf,
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
             self.status,
             Self::status_text(self.status),
+            self.content_type,
             self.body.len()
         )?;
         for (name, value) in &self.headers {
@@ -425,5 +440,27 @@ mod tests {
         let headers_end = text.find("\r\n\r\n").unwrap();
         assert!(text.find("Retry-After").unwrap() < headers_end);
         assert_eq!(Response::status_text(504), "Gateway Timeout");
+    }
+
+    #[test]
+    fn text_responses_carry_a_plain_content_type() {
+        let mut buf = Vec::new();
+        Response::text(200, "# TYPE x counter\n".to_string())
+            .write_to(&mut buf)
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(
+            text.contains("Content-Type: text/plain; charset=utf-8\r\n"),
+            "{text}"
+        );
+        let mut buf = Vec::new();
+        Response::json(200, "{}".to_string())
+            .write_to(&mut buf)
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(
+            text.contains("Content-Type: application/json\r\n"),
+            "{text}"
+        );
     }
 }

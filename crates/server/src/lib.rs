@@ -72,6 +72,7 @@ use skyline_core::point::PointId;
 use skyline_core::subspace::Subspace;
 use skyline_data::synthetic::{Distribution, SyntheticSpec};
 use skyline_obs::json::{ObjectWriter, Value};
+use skyline_obs::trace::{self, StageTimer};
 use skyline_obs::{Event, JsonlRecorder, Recorder};
 
 use cache::{CacheKey, CachedResult, ResultCache};
@@ -108,6 +109,13 @@ pub struct ServerConfig {
     /// Concurrent `/skyline` queries per dataset before shedding with
     /// 503. `0` = unlimited.
     pub max_queries_per_dataset: usize,
+    /// Slow-query threshold, milliseconds: a `/skyline` request whose
+    /// wall-clock reaches it gets its full stage breakdown written as a
+    /// JSONL `stage_breakdown` record. `0` disables the slow-query log.
+    pub slow_ms: u64,
+    /// Dedicated slow-query log path. `None` routes slow records to the
+    /// `trace` sink instead.
+    pub slow_log: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -124,6 +132,8 @@ impl Default for ServerConfig {
             max_inflight: 0,
             queue_limit: 1024,
             max_queries_per_dataset: 0,
+            slow_ms: 0,
+            slow_log: None,
         }
     }
 }
@@ -144,14 +154,43 @@ struct Shared {
     /// Per-dataset concurrent `/skyline` query counts.
     dataset_inflight: Mutex<std::collections::HashMap<String, usize>>,
     max_queries_per_dataset: usize,
+    /// Slow-query threshold in milliseconds; `0` = disabled.
+    slow_ms: u64,
+    /// Dedicated slow-query sink (falls back to `recorder`).
+    slow_log: Option<Mutex<JsonlRecorder<File>>>,
 }
 
 impl Shared {
     fn emit(&self, event: Event) {
         if let Some(rec) = &self.recorder {
-            rec.lock().unwrap_or_else(|e| e.into_inner()).event(event);
+            let mut rec = rec.lock().unwrap_or_else(|e| e.into_inner());
+            rec.event(event);
+            // Request-level events are rare enough to flush eagerly, so
+            // a live trace file can be tailed without a shutdown.
+            rec.flush();
         }
     }
+
+    /// Write a slow-query record to the dedicated slow log, or to the
+    /// trace sink when none is configured.
+    fn emit_slow(&self, event: Event) {
+        if let Some(log) = &self.slow_log {
+            let mut log = log.lock().unwrap_or_else(|e| e.into_inner());
+            log.event(event);
+            log.flush();
+        } else {
+            self.emit(event);
+        }
+    }
+}
+
+/// The validated trace id a request carries in `X-Skyline-Trace`, or
+/// `""` when absent or malformed (never propagate junk into traces).
+fn inherited_trace(req: &Request) -> String {
+    req.header(trace::TRACE_HEADER)
+        .filter(|t| trace::is_valid_id(t))
+        .unwrap_or("")
+        .to_string()
 }
 
 /// RAII permit from the global admission gate: decrements the inflight
@@ -296,6 +335,10 @@ impl Server {
             Some(path) => Some(Mutex::new(JsonlRecorder::create(path)?)),
             None => None,
         };
+        let slow_log = match &config.slow_log {
+            Some(path) => Some(Mutex::new(JsonlRecorder::create(path)?)),
+            None => None,
+        };
         let registry = match &config.data_dir {
             Some(dir) => {
                 let mut storage = wal::StorageConfig::new(dir.clone());
@@ -317,6 +360,8 @@ impl Server {
             max_inflight: config.max_inflight,
             dataset_inflight: Mutex::new(std::collections::HashMap::new()),
             max_queries_per_dataset: config.max_queries_per_dataset,
+            slow_ms: config.slow_ms,
+            slow_log,
         });
         for (dataset, replayed, version) in shared.registry.recovery_log() {
             shared.emit(Event::Recovery {
@@ -417,6 +462,7 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>, timeout: Duration, 
                     endpoint: endpoint.to_string(),
                     status: response.status as u64,
                     elapsed_us,
+                    trace: inherited_trace(&req),
                 });
                 let close = req.wants_close() || shared.shutdown.load(Ordering::Acquire);
                 if response.write_to(&mut writer).is_err() || close {
@@ -457,7 +503,7 @@ fn route(shared: &Shared, req: &Request) -> (Response, &'static str) {
     }
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => (handle_healthz(shared), "/healthz"),
-        ("GET", "/metrics") => (handle_metrics(shared), "/metrics"),
+        ("GET", "/metrics") => (handle_metrics(shared, req), "/metrics"),
         ("GET", "/skyline") => (handle_skyline(shared, req), "/skyline"),
         ("GET", "/datasets") => (handle_list(shared), "/datasets"),
         ("POST", "/datasets") => (handle_create(shared, req), "/datasets"),
@@ -522,8 +568,48 @@ fn handle_list(shared: &Shared) -> Response {
     Response::json(200, w.finish())
 }
 
-fn handle_metrics(shared: &Shared) -> Response {
+/// The `/metrics` cache hit-rate: hits over lookups, 0.0 before any.
+fn cache_hit_rate(stats: &cache::CacheStats) -> f64 {
+    let lookups = stats.hits + stats.misses;
+    if lookups == 0 {
+        0.0
+    } else {
+        stats.hits as f64 / lookups as f64
+    }
+}
+
+fn handle_metrics(shared: &Shared, req: &Request) -> Response {
     let stats = shared.cache.stats();
+    match req.query_param("format") {
+        None | Some("") | Some("json") => {}
+        Some("prometheus") => {
+            let extras = vec![
+                ("skyline_cache_hits_total".to_string(), stats.hits as f64),
+                (
+                    "skyline_cache_misses_total".to_string(),
+                    stats.misses as f64,
+                ),
+                (
+                    "skyline_cache_evictions_total".to_string(),
+                    stats.evictions as f64,
+                ),
+                (
+                    "skyline_cache_invalidations_total".to_string(),
+                    stats.invalidations as f64,
+                ),
+                ("skyline_cache_entries".to_string(), stats.entries as f64),
+                ("skyline_cache_hit_rate".to_string(), cache_hit_rate(&stats)),
+                ("skyline_datasets".to_string(), shared.registry.len() as f64),
+            ];
+            return Response::text(200, shared.metrics.render_prometheus(&extras));
+        }
+        Some(other) => {
+            return Response::error(
+                400,
+                &format!("bad \"format\" value {other:?} (json or prometheus)"),
+            )
+        }
+    }
     let mut cache_obj = ObjectWriter::new();
     cache_obj
         .u64_field("hits", stats.hits)
@@ -531,7 +617,8 @@ fn handle_metrics(shared: &Shared) -> Response {
         .u64_field("evictions", stats.evictions)
         .u64_field("invalidations", stats.invalidations)
         .u64_field("entries", stats.entries)
-        .u64_field("capacity", shared.cache.capacity() as u64);
+        .u64_field("capacity", shared.cache.capacity() as u64)
+        .f64_field("hit_rate", cache_hit_rate(&stats));
     let datasets: Vec<String> = shared
         .registry
         .list()
@@ -554,6 +641,7 @@ fn handle_metrics(shared: &Shared) -> Response {
             shared.registry.recovery_replayed(),
         )
         .raw_field("endpoints", &shared.metrics.render_json())
+        .raw_field("stages", &shared.metrics.render_stages_json())
         .raw_field("cache", &cache_obj.finish())
         .raw_field("datasets", &format!("[{}]", datasets.join(",")));
     Response::json(200, w.finish())
@@ -738,6 +826,7 @@ fn skyline_json_with(
     ids: &[PointId],
     elapsed_us: u64,
     extras: Option<&SkylineExtras>,
+    timings: Option<&[(String, u64)]>,
 ) -> String {
     let ids64: Vec<u64> = ids.iter().map(|&i| i as u64).collect();
     let mut w = ObjectWriter::new();
@@ -759,7 +848,56 @@ fn skyline_json_with(
             w.raw_field("rows", rows);
         }
     }
+    if let Some(stages) = timings {
+        let mut t = ObjectWriter::new();
+        for (name, us) in stages {
+            t.u64_field(name, *us);
+        }
+        w.raw_field("timings", &t.finish());
+    }
     w.finish()
+}
+
+/// Seal a `/skyline` response: mark the `respond` stage, record the
+/// per-stage histograms, attach the stage-times and trace echo headers,
+/// and drop a `StageBreakdown` into the slow-query log when the request
+/// ran longer than `--slow-ms`.
+fn finish_skyline_response(
+    shared: &Shared,
+    mut timer: StageTimer,
+    trace_id: &str,
+    resp: Response,
+) -> Response {
+    timer.mark("respond");
+    shared.metrics.record_stages(timer.stages());
+    let entries = timer.all_entries();
+    let mut resp = resp.with_header(
+        trace::STAGE_TIMES_HEADER,
+        &trace::encode_stage_times(&entries),
+    );
+    if !trace_id.is_empty() {
+        resp = resp.with_header(trace::TRACE_HEADER, trace_id);
+    }
+    let total_us = timer.stages().iter().map(|(_, us)| us).sum();
+    let breakdown = Event::StageBreakdown {
+        trace: trace_id.to_string(),
+        endpoint: "/skyline".to_string(),
+        total_us,
+        stages: entries,
+        straggler: String::new(),
+    };
+    // Every query's breakdown goes to the trace sink (that is what
+    // `skyline report --stages` aggregates); slow ones also land in the
+    // dedicated slow-query log.
+    if shared.slow_ms > 0 && total_us >= shared.slow_ms.saturating_mul(1000) {
+        shared.emit_slow(breakdown.clone());
+        if shared.slow_log.is_some() {
+            shared.emit(breakdown);
+        }
+    } else {
+        shared.emit(breakdown);
+    }
+    resp
 }
 
 /// Compute the opt-in extras for skyline `row_ids` (row indices into
@@ -818,6 +956,9 @@ fn compute_extras(
 
 /// `GET /skyline?dataset=&algo=&dims=&k=&threads=&deadline_ms=`.
 fn handle_skyline(shared: &Shared, req: &Request) -> Response {
+    let mut timer = StageTimer::start();
+    let trace_id = inherited_trace(req);
+    let wants_timings = req.query_param("timings") == Some("1");
     let Some(name) = req.query_param("dataset") else {
         return Response::error(400, "missing query parameter \"dataset\"");
     };
@@ -943,6 +1084,7 @@ fn handle_skyline(shared: &Shared, req: &Request) -> Response {
         }
     };
 
+    timer.mark("parse");
     let snapshot = entry.snapshot();
     let key = CacheKey {
         dataset: name.to_string(),
@@ -958,6 +1100,7 @@ fn handle_skyline(shared: &Shared, req: &Request) -> Response {
             dataset: name.to_string(),
             algorithm: algo.name().to_string(),
             version: snapshot.version,
+            trace: trace_id.clone(),
         });
         // Extras are derived data, not cached: map the cached handles
         // back to row indices (the handle list is ascending) and
@@ -982,10 +1125,19 @@ fn handle_skyline(shared: &Shared, req: &Request) -> Response {
                 .collect();
             compute_extras(target, &row_ids, include_masks, include_rows)
         });
+        timer.mark("cache");
         let elapsed_us = start.elapsed().as_micros() as u64;
-        let body = skyline_json_with(&key, true, &hit.ids, elapsed_us, extras.as_ref());
-        return Response::json(200, body);
+        let body = skyline_json_with(
+            &key,
+            true,
+            &hit.ids,
+            elapsed_us,
+            extras.as_ref(),
+            wants_timings.then(|| timer.stages().to_vec()).as_deref(),
+        );
+        return finish_skyline_response(shared, timer, &trace_id, Response::json(200, body));
     }
+    timer.mark("cache");
 
     // The deadline starts at compute time: parsing and cache probing are
     // bounded, the algorithm run is not.
@@ -1041,6 +1193,7 @@ fn handle_skyline(shared: &Shared, req: &Request) -> Response {
                     Err(_) => return deadline_response(),
                 }
             };
+            timer.mark("compute");
             if include_masks || include_rows {
                 extras = Some(compute_extras(
                     Some(target),
@@ -1057,10 +1210,18 @@ fn handle_skyline(shared: &Shared, req: &Request) -> Response {
             rows
         }
     };
+    timer.mark("extras");
     let elapsed_us = start.elapsed().as_micros() as u64;
-    let body = skyline_json_with(&key, false, &ids, elapsed_us, extras.as_ref());
+    let body = skyline_json_with(
+        &key,
+        false,
+        &ids,
+        elapsed_us,
+        extras.as_ref(),
+        wants_timings.then(|| timer.stages().to_vec()).as_deref(),
+    );
     shared.cache.insert(key, CachedResult { ids, elapsed_us });
-    Response::json(200, body)
+    finish_skyline_response(shared, timer, &trace_id, Response::json(200, body))
 }
 
 #[cfg(test)]
@@ -1182,5 +1343,97 @@ mod tests {
         assert_eq!(resp.status, 200);
         server.wait(); // returns because the accept loop exited
         assert!(client::get(addr, "/healthz").is_err(), "listener is closed");
+    }
+
+    #[test]
+    fn skyline_responses_carry_stage_times_and_echo_the_trace() {
+        let server = start_test_server();
+        let addr = server.local_addr();
+        client::post(
+            addr,
+            "/datasets",
+            r#"{"name": "tr", "rows": [[1, 5], [5, 1], [6, 6]]}"#,
+        )
+        .unwrap();
+
+        let headers = vec![(trace::TRACE_HEADER.to_string(), "abc123".to_string())];
+        let (resp, _timing) =
+            client::request_timed(addr, "GET", "/skyline?dataset=tr&timings=1", &[], &headers)
+                .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body_str());
+        assert_eq!(resp.header(trace::TRACE_HEADER), Some("abc123"));
+        let stage_times = resp.header(trace::STAGE_TIMES_HEADER).expect("stage times");
+        let stages = trace::decode_stage_times(stage_times);
+        let names: Vec<&str> = stages.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["parse", "cache", "compute", "extras", "respond"]);
+
+        // `timings=1` also inlines the stages into the body (without the
+        // `respond` stage, which only exists once the body is built).
+        let v = Value::parse(&resp.body_str()).unwrap();
+        let timings = v.get("timings").expect("timings field");
+        assert!(timings.get("compute").unwrap().as_u64().is_some());
+        assert!(timings.get("respond").is_none());
+
+        // Without `timings=1` the body is unchanged but headers remain.
+        let plain = client::get(addr, "/skyline?dataset=tr").unwrap();
+        let vp = Value::parse(&plain.body_str()).unwrap();
+        assert!(vp.get("timings").is_none());
+        assert!(plain.header(trace::STAGE_TIMES_HEADER).is_some());
+        assert!(
+            plain.header(trace::TRACE_HEADER).is_none(),
+            "no inherited trace"
+        );
+
+        // A malformed inherited trace id is ignored, not echoed.
+        let bad = vec![(trace::TRACE_HEADER.to_string(), "not hex!".to_string())];
+        let (resp, _) =
+            client::request_timed(addr, "GET", "/skyline?dataset=tr", &[], &bad).unwrap();
+        assert!(resp.header(trace::TRACE_HEADER).is_none());
+    }
+
+    #[test]
+    fn metrics_expose_stage_histograms_cache_hit_rate_and_prometheus() {
+        let server = start_test_server();
+        let addr = server.local_addr();
+        client::post(
+            addr,
+            "/datasets",
+            r#"{"name": "m", "rows": [[1, 5], [5, 1]]}"#,
+        )
+        .unwrap();
+        client::get(addr, "/skyline?dataset=m").unwrap();
+        client::get(addr, "/skyline?dataset=m").unwrap(); // cache hit
+
+        let metrics = client::get(addr, "/metrics").unwrap();
+        let v = Value::parse(&metrics.body_str()).unwrap();
+        let stages = v.get("stages").expect("stages object");
+        for stage in ["parse", "cache", "compute", "respond"] {
+            let s = stages.get(stage).unwrap_or_else(|| panic!("stage {stage}"));
+            assert!(s.get("count").unwrap().as_u64().unwrap() >= 1);
+            assert!(s.get("p99_us").unwrap().as_u64().is_some());
+        }
+        let cache = v.get("cache").unwrap();
+        assert_eq!(cache.get("hits").unwrap().as_u64(), Some(1));
+        assert_eq!(cache.get("misses").unwrap().as_u64(), Some(1));
+        match cache.get("hit_rate").unwrap() {
+            Value::Num(rate) => assert!((rate - 0.5).abs() < 1e-9),
+            other => panic!("hit_rate not a number: {other:?}"),
+        }
+
+        let prom = client::get(addr, "/metrics?format=prometheus").unwrap();
+        assert_eq!(prom.status, 200);
+        assert!(prom
+            .header("content-type")
+            .unwrap()
+            .starts_with("text/plain"));
+        let text = prom.body_str();
+        assert!(text.contains("# TYPE skyline_requests_total counter"));
+        assert!(text.contains("# TYPE skyline_stage_us histogram"));
+        assert!(text.contains("stage=\"compute\""));
+        assert!(text.contains("le=\"+Inf\""));
+        assert!(text.contains("skyline_cache_hit_rate 0.5"));
+
+        let bad = client::get(addr, "/metrics?format=xml").unwrap();
+        assert_eq!(bad.status, 400);
     }
 }

@@ -1,0 +1,258 @@
+//! End-to-end distributed tracing over a live sharded cluster: the
+//! trace id handed to the coordinator must reach every shard's trace
+//! file, the stitched stage breakdown must account for the measured
+//! wall-clock, and slow queries must land in the dedicated slow log.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+
+use skyline_cluster::{Cluster, ClusterConfig, ClusterHandle};
+use skyline_integration_tests::{http_client, rows_json};
+use skyline_obs::trace::{decode_stage_times, STAGE_TIMES_HEADER, TRACE_HEADER};
+use skyline_obs::TraceSummary;
+use skyline_serve::ServerHandle;
+
+/// A trace id the test controls end to end (valid lowercase hex).
+const TRACE_ID: &str = "feedface00c0ffee";
+
+struct TracedCluster {
+    _shards: Vec<ServerHandle>,
+    coordinator: ClusterHandle,
+    shard_traces: Vec<PathBuf>,
+    coordinator_trace: PathBuf,
+    slow_log: PathBuf,
+}
+
+/// Spawn `n` shards and a coordinator, every process writing its own
+/// JSONL trace sink under a fresh temp directory. The coordinator's
+/// slow threshold is 1 ms so the heavy query below is guaranteed to
+/// cross it.
+fn start_traced_cluster(n: usize, tag: &str) -> TracedCluster {
+    let dir = std::env::temp_dir().join(format!("skyline-trace-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+
+    let mut shard_traces = Vec::new();
+    let shards: Vec<ServerHandle> = (0..n)
+        .map(|i| {
+            let trace = dir.join(format!("shard{i}.jsonl"));
+            shard_traces.push(trace.clone());
+            skyline_serve::Server::start(skyline_serve::ServerConfig {
+                threads: 2,
+                trace: Some(trace),
+                ..Default::default()
+            })
+            .expect("start shard")
+        })
+        .collect();
+    let addrs: Vec<SocketAddr> = shards.iter().map(|s| s.local_addr()).collect();
+    let coordinator_trace = dir.join("coordinator.jsonl");
+    let slow_log = dir.join("slow.jsonl");
+    let coordinator = Cluster::start(ClusterConfig {
+        threads: 4,
+        trace: Some(coordinator_trace.clone()),
+        slow_ms: 1,
+        slow_log: Some(slow_log.clone()),
+        ..ClusterConfig::new(addrs)
+    })
+    .expect("start coordinator");
+    TracedCluster {
+        _shards: shards,
+        coordinator,
+        shard_traces,
+        coordinator_trace,
+        slow_log,
+    }
+}
+
+fn create_dataset(coord: SocketAddr, name: &str, rows: &[Vec<f64>]) {
+    let body = format!("{{\"name\":\"{name}\",\"rows\":{}}}", rows_json(rows));
+    let resp = http_client::post(coord, "/datasets", &body).expect("create");
+    assert_eq!(resp.status, 201, "create failed: {}", resp.body_str());
+}
+
+/// A warm 4-shard traced query: the client's trace id comes back in the
+/// response, shows up in the coordinator's trace *and every shard's*,
+/// and the stitched contiguous stages account for the measured
+/// wall-clock to within 10%.
+#[test]
+fn traced_query_propagates_and_accounts_for_wall_clock() {
+    let cluster = start_traced_cluster(4, "e2e");
+    let coord = cluster.coordinator.local_addr();
+    let spec = skyline_data::SyntheticSpec {
+        distribution: skyline_data::Distribution::AntiCorrelated,
+        cardinality: 3000,
+        dims: 5,
+        seed: 0x7ACE,
+    };
+    let data = spec.generate();
+    let rows: Vec<Vec<f64>> = data.iter().map(|(_, row)| row.to_vec()).collect();
+    create_dataset(coord, "big", &rows);
+
+    // Warm the path end to end (threads, registry, shard listeners).
+    let resp = http_client::get(coord, "/skyline?dataset=big").expect("warm-up");
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+
+    // Measured query: a different projection misses every shard cache,
+    // so real compute dominates the fixed per-hop overhead and the 10%
+    // accounting bound is meaningful.
+    let headers = vec![(TRACE_HEADER.to_string(), TRACE_ID.to_string())];
+    let (resp, timing) = http_client::request_timed(
+        coord,
+        "GET",
+        "/skyline?dataset=big&dims=0,1,2,3&timings=1",
+        &[],
+        &headers,
+    )
+    .expect("traced query");
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    assert_eq!(
+        resp.header(TRACE_HEADER),
+        Some(TRACE_ID),
+        "coordinator must echo the inherited trace id"
+    );
+
+    // The stitched breakdown: contiguous stages in pipeline order, then
+    // dotted per-shard detail (rpc wall plus the shard's own stages).
+    let encoded = resp
+        .header(STAGE_TIMES_HEADER)
+        .expect("stage-times header")
+        .to_string();
+    let entries = decode_stage_times(&encoded);
+    let contiguous: Vec<&str> = entries
+        .iter()
+        .filter(|(n, _)| !n.contains('.'))
+        .map(|(n, _)| n.as_str())
+        .collect();
+    assert_eq!(
+        contiguous,
+        [
+            "accept",
+            "route",
+            "connect",
+            "send",
+            "shard_wait",
+            "gather",
+            "merge",
+            "respond"
+        ],
+        "unexpected coordinator stage taxonomy"
+    );
+    for s in 0..4 {
+        let rpc = format!("shard{s}.rpc");
+        assert!(
+            entries.iter().any(|(n, _)| *n == rpc),
+            "missing {rpc} in {encoded}"
+        );
+        let prefix = format!("shard{s}.");
+        assert!(
+            entries
+                .iter()
+                .any(|(n, _)| n.starts_with(&prefix) && n.ends_with(".compute")),
+            "missing stitched {prefix}compute in {encoded}"
+        );
+    }
+
+    // Accounting: the contiguous stages sum to the handler's wall-clock
+    // by construction, so they must cover at least 90% of the client's
+    // observed wait (which adds socket read/write on both ends) and
+    // never exceed the full round trip.
+    let sum: u64 = entries
+        .iter()
+        .filter(|(n, _)| !n.contains('.'))
+        .map(|(_, us)| us)
+        .sum();
+    let wall = timing.wait_us;
+    let round_trip = timing.connect_us + timing.send_us + timing.wait_us;
+    assert!(
+        sum <= round_trip,
+        "stage sum {sum}µs exceeds the client round trip {round_trip}µs"
+    );
+    assert!(
+        sum * 10 >= wall * 9,
+        "stage sum {sum}µs accounts for <90% of the {wall}µs wall-clock"
+    );
+
+    // The body's timings object (opt-in via timings=1) mirrors the
+    // contiguous stages.
+    let v = skyline_obs::json::Value::parse(&resp.body_str()).expect("body JSON");
+    let timings = v.get("timings").expect("timings field with timings=1");
+    assert!(timings.get("shard_wait").is_some(), "{timings:?}");
+
+    // Propagation: the trace id appears in the coordinator's trace file
+    // and in every shard's.
+    let coord_text =
+        std::fs::read_to_string(&cluster.coordinator_trace).expect("coordinator trace");
+    assert!(
+        coord_text.contains(TRACE_ID),
+        "coordinator trace lacks the trace id"
+    );
+    for (s, path) in cluster.shard_traces.iter().enumerate() {
+        let text = std::fs::read_to_string(path).expect("shard trace");
+        assert!(
+            text.contains(TRACE_ID),
+            "shard {s} trace lacks the trace id"
+        );
+    }
+
+    // The coordinator's trace aggregates into per-stage histograms and
+    // names a dominant stage from the contiguous taxonomy.
+    let summary = TraceSummary::from_text(&coord_text);
+    assert_eq!(summary.skipped, 0, "unparseable trace lines");
+    assert!(
+        summary.stage_breakdowns >= 2,
+        "both queries must break down"
+    );
+    let (dominant, _) = summary.dominant_stage().expect("dominant stage");
+    assert!(
+        contiguous.contains(&dominant),
+        "dominant stage {dominant:?} is not a coordinator stage"
+    );
+    let rendered = summary.render_stages();
+    assert!(rendered.contains(dominant), "{rendered}");
+
+    // Slow-query log: both queries took over the 1 ms threshold, so the
+    // dedicated slow log holds their breakdowns — tagged with our id.
+    let slow_text = std::fs::read_to_string(&cluster.slow_log).expect("slow log");
+    assert!(
+        slow_text.contains("stage_breakdown"),
+        "slow log has no breakdown records"
+    );
+    assert!(
+        slow_text.contains(TRACE_ID),
+        "slow log breakdown lost the trace id"
+    );
+}
+
+/// Garbage in the trace header must not propagate: the coordinator
+/// mints its own id instead, and the response still carries a valid
+/// stitched breakdown.
+#[test]
+fn malformed_trace_ids_are_replaced_not_propagated() {
+    let cluster = start_traced_cluster(2, "junk");
+    let coord = cluster.coordinator.local_addr();
+    create_dataset(coord, "tiny", &[vec![1.0, 2.0], vec![2.0, 1.0]]);
+
+    let headers = vec![(TRACE_HEADER.to_string(), "NOT HEX \u{7}".to_string())];
+    let (resp, _) =
+        http_client::request_timed(coord, "GET", "/skyline?dataset=tiny", &[], &headers)
+            .expect("query");
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    let echoed = resp.header(TRACE_HEADER).expect("minted trace id");
+    assert_ne!(echoed, "NOT HEX \u{7}");
+    assert!(
+        skyline_obs::trace::is_valid_id(echoed),
+        "minted id {echoed:?} is not valid hex"
+    );
+    assert!(resp.header(STAGE_TIMES_HEADER).is_some());
+
+    // The hostile bytes never reach any trace file.
+    let coord_text =
+        std::fs::read_to_string(&cluster.coordinator_trace).expect("coordinator trace");
+    assert!(!coord_text.contains("NOT HEX"));
+    assert!(coord_text.contains(echoed), "minted id must be recorded");
+    for path in &cluster.shard_traces {
+        let text = std::fs::read_to_string(path).expect("shard trace");
+        assert!(!text.contains("NOT HEX"));
+    }
+}

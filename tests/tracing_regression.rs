@@ -143,7 +143,8 @@ fn boosted_runs_emit_phase_spans_and_events() {
                 | Event::HandlerPanic { .. }
                 | Event::Recovery { .. }
                 | Event::ShardRpc { .. }
-                | Event::ClusterMerge { .. } => {
+                | Event::ClusterMerge { .. }
+                | Event::StageBreakdown { .. } => {
                     panic!("{name}: library run emitted a server event");
                 }
             }
