@@ -33,6 +33,10 @@ if [[ "$quick" != "quick" ]]; then
         --test parallel_agreement
     cargo test -q -p skyline-integration-tests --test parallel_agreement
 
+    echo "==> delta engine: differential oracle + property suites (tier-1)"
+    cargo test -q -p skyline-integration-tests --test delta_oracle
+    cargo test -q -p skyline-integration-tests --test delta_properties
+
     echo "==> opt-in: property tests"
     cargo test -q -p skyline-integration-tests --features property-tests \
         --test property_skyline
@@ -59,7 +63,7 @@ if [[ "$quick" != "quick" ]]; then
     grep -q '"type":"shard_scan"' "$tmp/p.jsonl"
     grep -q '"type":"parallel_merge"' "$tmp/p.jsonl"
 
-    echo "==> server smoke: serve + healthz/skyline/metrics + cache hit + shutdown"
+    echo "==> server smoke: serve + cache hit + mutation patches cache + shutdown"
     ./target/release/skyline serve --port 0 --threads 2 \
         --trace "$tmp/serve.jsonl" > "$tmp/serve.out" &
     serve_pid=$!
@@ -77,13 +81,20 @@ if [[ "$quick" != "quick" ]]; then
         | grep -q '"cached":false'
     curl -sf "http://$addr/skyline?dataset=ci&algo=SDI-Subset" \
         | grep -q '"cached":true'
-    curl -sf "http://$addr/metrics" | grep -q '"hits":1'
+    curl -sf -X POST "http://$addr/datasets/ci/points" \
+        -d '{"rows": [[0.001, 0.001, 0.001, 0.001]]}' \
+        | grep -q '"cache_patched":1'
+    curl -sf "http://$addr/skyline?dataset=ci&algo=SDI-Subset" \
+        | grep -q '"cached":true'
+    curl -sf "http://$addr/metrics" | grep -q '"hits":2'
+    curl -sf "http://$addr/metrics" | grep -q '"patched":1'
     curl -sf "http://$addr/metrics?format=prometheus" \
         | grep -q '^# TYPE skyline_stage_us histogram'
     curl -sf -X POST "http://$addr/shutdown" | grep -q 'shutting down'
     wait "$serve_pid"   # clean exit after graceful shutdown
     grep -q '"type":"request"' "$tmp/serve.jsonl"
     grep -q '"type":"cache_hit"' "$tmp/serve.jsonl"
+    grep -q '"type":"delta_applied"' "$tmp/serve.jsonl"
 
     echo "==> serve bench artefact (quick)"
     ./target/release/repro bench-json --serve --requests 3 \

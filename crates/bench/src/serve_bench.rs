@@ -1,7 +1,17 @@
 //! Serving-mode benchmark: measure the HTTP query service end to end —
-//! request throughput and latency percentiles, cold (every request
-//! recomputes, because a streaming insert invalidated the cache) versus
-//! cached (every request is a cache hit).
+//! request throughput and latency percentiles across three phases:
+//!
+//! - **cold** — every request recomputes, measured on a server with the
+//!   result cache disabled (mutations patch cached entries forward now,
+//!   so a cache-enabled server cannot show the recompute path after a
+//!   mutation any more);
+//! - **patched** — a streaming insert before each request moves the
+//!   content version, but the mutation's skyline delta patches the
+//!   cached entry to the new version, so the query still answers warm;
+//! - **cached** — the same query repeated verbatim, all plain hits.
+//!
+//! The patched-vs-cold gap is the headline of the incremental
+//! maintenance engine: post-mutation queries at cache-hit latency.
 //!
 //! The client side uses the in-tree keep-alive [`Session`], so the
 //! numbers measure the server, not TCP handshakes.
@@ -13,7 +23,7 @@ use std::time::Instant;
 use skyline_data::SyntheticSpec;
 use skyline_obs::json::ObjectWriter;
 use skyline_serve::client::{request_with_retry, RetryPolicy, Session};
-use skyline_serve::{Server, ServerConfig};
+use skyline_serve::{Server, ServerConfig, ServerHandle};
 
 /// One measured phase: sorted per-request latencies plus wall clock.
 pub(crate) struct Phase {
@@ -59,30 +69,21 @@ pub(crate) fn expect_field(body: &str, needle: &str) -> std::io::Result<()> {
     }
 }
 
-/// Run the serving benchmark and return the `BENCH_*.json` document.
-///
-/// Cold phase: before each query one dominated point is streamed in, so
-/// the content version moves and the query recomputes. Cached phase: the
-/// same query repeated verbatim, all cache hits. `threads` is the
-/// server's worker-pool size (0 = the artefact default).
-pub fn serve_bench_json(
-    label: &str,
+const QUERY: &str = "/skyline?dataset=bench&algo=SDI-Subset";
+
+/// Start a server with `cache_capacity`, create the benchmark dataset
+/// on it, and connect a keep-alive session.
+fn bench_server(
     spec: &SyntheticSpec,
-    cold_requests: usize,
-    cached_requests: usize,
     threads: usize,
-) -> std::io::Result<String> {
-    let threads = if threads == 0 {
-        crate::artifact::default_bench_threads()
-    } else {
-        threads
-    };
-    let mut server = Server::start(ServerConfig {
+    cache_capacity: usize,
+) -> std::io::Result<(ServerHandle, Session)> {
+    let server = Server::start(ServerConfig {
         threads,
+        cache_capacity,
         ..Default::default()
     })?;
     let addr = server.local_addr();
-
     let create_body = format!(
         "{{\"name\": \"bench\", \"synthetic\": {{\"distribution\": \"{}\", \"n\": {}, \"dims\": {}, \"seed\": {}}}}}",
         spec.distribution.tag(),
@@ -106,39 +107,102 @@ pub fn serve_bench_json(
             created.body_str()
         )));
     }
+    let session = Session::connect(addr)?;
+    Ok((server, session))
+}
 
-    let mut session = Session::connect(addr)?;
-    const QUERY: &str = "/skyline?dataset=bench&algo=SDI-Subset";
+/// One insert + timed query sample of a mutation-heavy phase. The
+/// response must carry `want_cached` — `false` on the cache-disabled
+/// cold server, `true` on the patch-forward server.
+fn mutate_and_query(
+    session: &mut Session,
+    insert_body: &str,
+    phase: &mut Phase,
+    want_cached: bool,
+) -> std::io::Result<()> {
+    let resp = session.request("POST", "/datasets/bench/points", insert_body.as_bytes())?;
+    if resp.status != 200 {
+        return Err(std::io::Error::other(format!(
+            "insert failed: {}",
+            resp.body_str()
+        )));
+    }
+    if want_cached {
+        // The mutation's delta must have carried the entry forward.
+        expect_field(&resp.body_str(), "\"cache_patched\":1")?;
+    }
+    let t = Instant::now();
+    let resp = session.request("GET", QUERY, &[])?;
+    phase.latencies_us.push(t.elapsed().as_micros() as u64);
+    expect_field(
+        &resp.body_str(),
+        if want_cached {
+            "\"cached\":true"
+        } else {
+            "\"cached\":false"
+        },
+    )
+}
+
+/// Run the serving benchmark and return the `BENCH_*.json` document.
+///
+/// Cold phase (cache-disabled server): before each query one dominated
+/// point is streamed in and the query recomputes. Patched phase (cache
+/// enabled, same mutation pattern): the insert's skyline delta patches
+/// the cached entry forward, so the post-mutation query answers warm.
+/// Cached phase: the same query repeated verbatim, all cache hits.
+/// `threads` is the server's worker-pool size (0 = the artefact
+/// default).
+pub fn serve_bench_json(
+    label: &str,
+    spec: &SyntheticSpec,
+    cold_requests: usize,
+    cached_requests: usize,
+    threads: usize,
+) -> std::io::Result<String> {
+    let threads = if threads == 0 {
+        crate::artifact::default_bench_threads()
+    } else {
+        threads
+    };
     // A point beaten by everything: the streaming insert is cheap and the
-    // skyline itself never changes, so every cold sample does equal work.
+    // skyline itself never changes, so every mutation sample does equal
+    // work (and its delta is empty, the cheapest possible patch).
     let dominated_row: Vec<String> = (0..spec.dims).map(|_| "1e9".to_string()).collect();
     let insert_body = format!("{{\"rows\": [[{}]]}}", dominated_row.join(","));
 
-    // Warm-up (also verifies the query path before timing anything).
-    expect_field(&session.request("GET", QUERY, &[])?.body_str(), "\"ids\"")?;
-
+    // Cold: the recompute path, pinned by disabling the cache outright.
     let mut cold = Phase {
         latencies_us: Vec::with_capacity(cold_requests),
         wall_secs: 0.0,
     };
-    let cold_start = Instant::now();
-    for _ in 0..cold_requests {
-        let resp = session.request("POST", "/datasets/bench/points", insert_body.as_bytes())?;
-        if resp.status != 200 {
-            return Err(std::io::Error::other(format!(
-                "insert failed: {}",
-                resp.body_str()
-            )));
+    {
+        let (mut server, mut session) = bench_server(spec, threads, 0)?;
+        // Warm-up (also verifies the query path before timing anything).
+        expect_field(&session.request("GET", QUERY, &[])?.body_str(), "\"ids\"")?;
+        let cold_start = Instant::now();
+        for _ in 0..cold_requests {
+            mutate_and_query(&mut session, &insert_body, &mut cold, false)?;
         }
-        let t = Instant::now();
-        let resp = session.request("GET", QUERY, &[])?;
-        cold.latencies_us.push(t.elapsed().as_micros() as u64);
-        expect_field(&resp.body_str(), "\"cached\":false")?;
+        cold.wall_secs = cold_start.elapsed().as_secs_f64();
+        server.shutdown();
     }
-    cold.wall_secs = cold_start.elapsed().as_secs_f64();
 
-    // The final cold query already primed the cache at the final
-    // version, so every request from here on is a pure hit.
+    // Patched + cached phases share one cache-enabled server.
+    let (mut server, mut session) = bench_server(spec, threads, 256)?;
+    // The warm-up query primes the cache entry the patched phase rides.
+    expect_field(&session.request("GET", QUERY, &[])?.body_str(), "\"ids\"")?;
+
+    let mut patched = Phase {
+        latencies_us: Vec::with_capacity(cold_requests),
+        wall_secs: 0.0,
+    };
+    let patched_start = Instant::now();
+    for _ in 0..cold_requests {
+        mutate_and_query(&mut session, &insert_body, &mut patched, true)?;
+    }
+    patched.wall_secs = patched_start.elapsed().as_secs_f64();
+
     let mut cached = Phase {
         latencies_us: Vec::with_capacity(cached_requests),
         wall_secs: 0.0,
@@ -153,6 +217,7 @@ pub fn serve_bench_json(
     cached.wall_secs = cached_start.elapsed().as_secs_f64();
 
     cold.latencies_us.sort_unstable();
+    patched.latencies_us.sort_unstable();
     cached.latencies_us.sort_unstable();
     let stats = server.cache_stats();
     server.shutdown();
@@ -161,7 +226,8 @@ pub fn serve_bench_json(
     cache
         .u64_field("hits", stats.hits)
         .u64_field("misses", stats.misses)
-        .u64_field("invalidations", stats.invalidations);
+        .u64_field("invalidations", stats.invalidations)
+        .u64_field("patched", stats.patched);
 
     let mut workload = ObjectWriter::new();
     workload
@@ -175,6 +241,7 @@ pub fn serve_bench_json(
     let mut serve = ObjectWriter::new();
     serve
         .raw_field("cold", &phase_json(&cold))
+        .raw_field("patched", &phase_json(&patched))
         .raw_field("cached", &phase_json(&cached))
         .raw_field("cache", &cache.finish());
 
@@ -236,15 +303,22 @@ mod tests {
         );
         let serve = v.get("serve").unwrap();
         let cold = serve.get("cold").unwrap();
+        let patched = serve.get("patched").unwrap();
         let cached = serve.get("cached").unwrap();
         assert_eq!(cold.get("requests").unwrap().as_u64(), Some(5));
+        assert_eq!(patched.get("requests").unwrap().as_u64(), Some(5));
         assert_eq!(cached.get("requests").unwrap().as_u64(), Some(10));
         assert!(cold.get("p99_us").unwrap().as_u64().unwrap() >= 1);
         assert!(cached.get("req_per_sec").unwrap().as_f64().unwrap() > 0.0);
-        // Cold queries recompute; cached ones must not be slower than the
-        // cold p99 on the same connection (they skip the whole algorithm).
         let cache = serve.get("cache").unwrap();
-        assert_eq!(cache.get("hits").unwrap().as_u64(), Some(10));
-        assert!(cache.get("invalidations").unwrap().as_u64().unwrap() >= 1);
+        // Warm-up miss, then 5 patched-phase hits + 10 cached-phase hits.
+        assert_eq!(cache.get("hits").unwrap().as_u64(), Some(15));
+        assert_eq!(cache.get("misses").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            cache.get("patched").unwrap().as_u64(),
+            Some(5),
+            "every insert patched the entry forward"
+        );
+        assert_eq!(cache.get("invalidations").unwrap().as_u64(), Some(0));
     }
 }

@@ -13,7 +13,7 @@
 //!                  [--slow-ms MS] [--slow-log out.jsonl]
 //! skyline cluster  (--shards ADDR,ADDR,... | --spawn-local N) [--port P] [--bind ADDR]
 //!                  [--threads T] [--manifest PATH] [--trace out.jsonl]
-//!                  [--slow-ms MS] [--slow-log out.jsonl]
+//!                  [--slow-ms MS] [--slow-log out.jsonl] [--shard-reuse]
 //! skyline algorithms
 //! ```
 //!
@@ -75,7 +75,7 @@ const USAGE: &str = "usage:
                    [--slow-ms MS] [--slow-log out.jsonl]
   skyline cluster  (--shards ADDR,ADDR,... | --spawn-local N) [--port P] [--bind ADDR]
                    [--threads T] [--manifest PATH] [--trace out.jsonl]
-                   [--slow-ms MS] [--slow-log out.jsonl]
+                   [--slow-ms MS] [--slow-log out.jsonl] [--shard-reuse]
   skyline algorithms
 
 parallel: --threads T runs the multi-core partition-merge engine (T=0 =
@@ -556,6 +556,7 @@ fn cluster(args: &[String]) -> Result<(), String> {
         manifest,
         slow_ms,
         slow_log,
+        shard_reuse: args.iter().any(|a| a == "--shard-reuse"),
         ..skyline_cluster::ClusterConfig::new(shards)
     };
     let mut handle =

@@ -22,6 +22,16 @@
 //! assignment, and cluster answers match a single-node server fed the
 //! same rows id-for-id.
 //!
+//! With [`ClusterConfig::shard_reuse`] on, the coordinator additionally
+//! keeps each shard's last parsed answer per exact query, tagged with
+//! that shard's per-dataset mutation version
+//! ([`shard_map::DatasetState::shard_versions`]). A scatter leg to a
+//! shard whose version has not moved is skipped outright and its cached
+//! answer fed straight into the merge; the response lists such shards
+//! in `reused_shards`. This is the cluster-side face of the incremental
+//! maintenance engine: a mutation re-queries only the shards it
+//! touched.
+//!
 //! ## Degraded operation
 //!
 //! Shard calls go through the retrying client with a total-deadline
@@ -97,6 +107,14 @@ pub struct ClusterConfig {
     /// Dedicated slow-query log path. `None` routes slow records to the
     /// `trace` sink instead.
     pub slow_log: Option<PathBuf>,
+    /// Reuse an unchanged shard's previous parsed `/skyline` answer
+    /// instead of re-issuing the RPC. Sound because the per-dataset
+    /// [`shard_map::DatasetState::shard_versions`] counter moves exactly
+    /// when a mutation touches the shard. Off by default: reuse also
+    /// masks a *dead* shard whose answer is still current, which is the
+    /// wrong default for health-sensitive deployments that watch
+    /// `"partial"` to detect outages.
+    pub shard_reuse: bool,
 }
 
 impl ClusterConfig {
@@ -121,6 +139,7 @@ impl ClusterConfig {
             },
             slow_ms: 0,
             slow_log: None,
+            shard_reuse: false,
         }
     }
 }
@@ -157,7 +176,20 @@ struct Shared {
     slow_ms: u64,
     /// Dedicated slow-query sink (falls back to `recorder`).
     slow_log: Option<Mutex<JsonlRecorder<File>>>,
+    /// Serve unchanged shards from `reuse` instead of re-querying them.
+    shard_reuse: bool,
+    /// Per (dataset, query-signature): each shard's last parsed answer
+    /// tagged with the shard's mutation version at the time. Only
+    /// consulted when `shard_reuse` is on; entries whose version no
+    /// longer matches are simply skipped (and overwritten by the next
+    /// live answer).
+    reuse: Mutex<HashMap<(String, String), Vec<ReusableAnswer>>>,
 }
+
+/// One shard's cached answer: `None` until the shard has answered this
+/// query shape, otherwise the answer tagged with the shard's mutation
+/// version at the time it was produced.
+type ReusableAnswer = Option<(u64, Arc<ShardSkyline>)>;
 
 impl Shared {
     fn emit(&self, event: Event) {
@@ -272,6 +304,8 @@ impl Cluster {
             retry: config.retry,
             slow_ms: config.slow_ms,
             slow_log,
+            shard_reuse: config.shard_reuse,
+            reuse: Mutex::new(HashMap::new()),
         });
         let accept_shared = Arc::clone(&shared);
         let timeout = config.request_timeout;
@@ -1174,15 +1208,20 @@ fn handle_skyline(shared: &Shared, req: &Request) -> Response {
     let algo = req.query_param("algo").filter(|a| !a.is_empty());
     timer.mark("accept");
 
-    // Snapshot the registry: dims, version, and the per-shard
-    // handle→global maps (Arc clones — the query must not block behind
-    // later mutations, nor see half of one).
-    let (total_dims, version, handle_maps) = {
+    // Snapshot the registry: dims, version, per-shard mutation versions
+    // and the per-shard handle→global maps (Arc clones — the query must
+    // not block behind later mutations, nor see half of one).
+    let (total_dims, version, handle_maps, shard_versions) = {
         let datasets = shared.datasets.lock().unwrap_or_else(|e| e.into_inner());
         let Some(state) = datasets.get(name) else {
             return Response::error(404, &format!("no dataset {name:?}"));
         };
-        (state.dims, state.version, state.handle_to_global.clone())
+        (
+            state.dims,
+            state.version,
+            state.handle_to_global.clone(),
+            state.shard_versions.clone(),
+        )
     };
 
     let full = Subspace::full(total_dims);
@@ -1246,6 +1285,10 @@ fn handle_skyline(shared: &Shared, req: &Request) -> Response {
     if let Some(raw) = req.query_param("dims").filter(|d| !d.is_empty()) {
         path.push_str(&format!("&dims={}", encode_component(raw)));
     }
+    // Everything the shards see except the (reuse-irrelevant) deadline:
+    // the reuse cache key, so a cached answer is only ever replayed for
+    // the byte-identical shard query.
+    let reuse_sig = path.clone();
     let remaining = budget.map(|b| b.saturating_sub(overall.elapsed()));
     if let Some(rem) = remaining {
         if rem.is_zero() {
@@ -1254,8 +1297,28 @@ fn handle_skyline(shared: &Shared, req: &Request) -> Response {
         path.push_str(&format!("&deadline_ms={}", rem.as_millis().max(1)));
     }
     let shard_count = shared.shards.len();
+
+    // With `--shard-reuse` on, a shard whose mutation version is
+    // unchanged since its last parsed answer for this exact query is
+    // served from that answer and its scatter leg never happens.
+    let mut reused: Vec<Option<Arc<ShardSkyline>>> = vec![None; shard_count];
+    if shared.shard_reuse {
+        let cache = shared.reuse.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(entry) = cache.get(&(name.to_string(), reuse_sig.clone())) {
+            for (s, slot) in entry.iter().enumerate().take(shard_count) {
+                if let Some((v, sky)) = slot {
+                    if *v == shard_versions[s] {
+                        reused[s] = Some(Arc::clone(sky));
+                    }
+                }
+            }
+        }
+    }
     timer.mark("route");
     let legs = scatter(shard_count, |s| {
+        if reused[s].is_some() {
+            return None;
+        }
         let leg_start = Instant::now();
         let result = shard_rpc(
             shared,
@@ -1267,7 +1330,7 @@ fn handle_skyline(shared: &Shared, req: &Request) -> Response {
             remaining,
             Some(&ctx),
         );
-        (result, leg_start.elapsed().as_micros() as u64)
+        Some((result, leg_start.elapsed().as_micros() as u64))
     });
 
     // Split the scatter wall-clock into connect / send / shard_wait
@@ -1278,7 +1341,10 @@ fn handle_skyline(shared: &Shared, req: &Request) -> Response {
     let mut max_send = 0u64;
     let mut straggler = String::new();
     let mut straggler_us = 0u64;
-    for (s, (outcome, leg_us)) in legs.iter().enumerate() {
+    for (s, leg) in legs.iter().enumerate() {
+        let Some((outcome, leg_us)) = leg else {
+            continue; // reused shard: no RPC, no stage times
+        };
         if *leg_us >= straggler_us {
             straggler_us = *leg_us;
             straggler = format!("shard{s}");
@@ -1299,13 +1365,19 @@ fn handle_skyline(shared: &Shared, req: &Request) -> Response {
         "shard_wait",
     );
 
-    let mut parsed: Vec<Option<ShardSkyline>> = Vec::with_capacity(shard_count);
+    let mut parsed: Vec<Option<Arc<ShardSkyline>>> = Vec::with_capacity(shard_count);
     let mut missing: Vec<u64> = Vec::new();
-    for (s, (outcome, _)) in legs.into_iter().enumerate() {
+    let mut reused_shards: Vec<u64> = Vec::new();
+    for (s, leg) in legs.into_iter().enumerate() {
+        let Some((outcome, _)) = leg else {
+            reused_shards.push(s as u64);
+            parsed.push(reused[s].take());
+            continue;
+        };
         match outcome {
             Ok((resp, _)) if resp.status == 200 => {
                 match parse_shard_skyline(&resp.body_str(), query_dims) {
-                    Ok(sky) => parsed.push(Some(sky)),
+                    Ok(sky) => parsed.push(Some(Arc::new(sky))),
                     Err(_) => {
                         missing.push(s as u64);
                         parsed.push(None);
@@ -1323,6 +1395,28 @@ fn handle_skyline(shared: &Shared, req: &Request) -> Response {
         return Response::error(502, "no shard answered the skyline query");
     }
     let partial = !missing.is_empty();
+
+    // Remember every answer we now hold (fresh or replayed) under the
+    // shard version it reflects, so the *next* identical query can skip
+    // the RPC to any shard that has not moved since.
+    if shared.shard_reuse {
+        let mut cache = shared.reuse.lock().unwrap_or_else(|e| e.into_inner());
+        let key = (name.to_string(), reuse_sig);
+        // Crude but bounded: past 64 distinct (dataset, query) shapes,
+        // start over rather than grow without limit.
+        if cache.len() >= 64 && !cache.contains_key(&key) {
+            cache.clear();
+        }
+        let entry = cache.entry(key).or_insert_with(|| vec![None; shard_count]);
+        if entry.len() != shard_count {
+            *entry = vec![None; shard_count];
+        }
+        for (s, sky) in parsed.iter().enumerate() {
+            if let Some(sky) = sky {
+                entry[s] = Some((shard_versions[s], Arc::clone(sky)));
+            }
+        }
+    }
 
     // Translate shard handles to global ids and assemble the merge
     // inputs. Rows live in one arena so elite references and the
@@ -1431,7 +1525,8 @@ fn handle_skyline(shared: &Shared, req: &Request) -> Response {
         .u64_array_field("ids", &ids)
         .u64_field("shards", shard_count as u64)
         .bool_field("partial", partial)
-        .u64_array_field("missing_shards", &missing);
+        .u64_array_field("missing_shards", &missing)
+        .u64_array_field("reused_shards", &reused_shards);
     if wants_timings {
         let mut t = ObjectWriter::new();
         for (stage, us) in timer.stages() {

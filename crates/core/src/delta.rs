@@ -1,0 +1,262 @@
+//! Incremental skyline deltas — the O(|Δoutput|) view-maintenance layer
+//! over [`crate::streaming::StreamingSkyline`].
+//!
+//! Every successful mutation of a maintained skyline moves its content
+//! version from `v` to `v + 1` and changes the skyline membership of a
+//! (usually tiny) set of points. A [`SkylineDelta`] captures exactly
+//! that edge: the ids that **entered** the skyline, the ids that
+//! **left** it, and the post-apply `version`. Consumers that hold a
+//! materialised skyline at version `v` — a serving-layer result cache,
+//! a cluster coordinator's per-shard answer, a replica tailing a
+//! write-ahead log — can *patch* their copy forward instead of
+//! recomputing from scratch, in time proportional to the change rather
+//! than the data.
+//!
+//! The shape follows the delta-propagation discipline of incremental
+//! view maintenance (DBSP-style Z-set updates specialised to a set of
+//! point ids): deltas are **normalised** (`entered ∩ left = ∅`, both
+//! sides sorted and duplicate-free), **composable** (a consecutive run
+//! of deltas [coalesces](SkylineDelta::then) into one delta equal to
+//! their sequential application), and **versioned** (applying a delta
+//! to a skyline at any version other than `delta.version - 1` is a
+//! protocol error that [`SkylineDelta::apply`] surfaces rather than
+//! hides).
+
+use crate::point::PointId;
+
+/// The skyline-membership change of one mutation (or of a coalesced run
+/// of mutations): ids that entered the skyline, ids that left it, and
+/// the content version the producing structure reached.
+///
+/// Invariants (upheld by every constructor in this crate):
+/// - `entered` and `left` are sorted ascending and duplicate-free;
+/// - `entered ∩ left = ∅` — a point that both entered and left within
+///   the covered mutation run nets out to nothing and is dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkylineDelta {
+    /// Ids that entered the skyline, ascending.
+    pub entered: Vec<PointId>,
+    /// Ids that left the skyline (evicted, demoted, or deleted), ascending.
+    pub left: Vec<PointId>,
+    /// Content version after applying this delta.
+    pub version: u64,
+}
+
+impl SkylineDelta {
+    /// A delta that changes nothing, at `version`.
+    pub fn empty(version: u64) -> SkylineDelta {
+        SkylineDelta {
+            entered: Vec::new(),
+            left: Vec::new(),
+            version,
+        }
+    }
+
+    /// Normalise raw transition events into a delta: sort, deduplicate,
+    /// and cancel ids that appear on both sides (entered then left —
+    /// or vice versa — within one mutation is a net no-op).
+    pub fn from_events(
+        mut entered: Vec<PointId>,
+        mut left: Vec<PointId>,
+        version: u64,
+    ) -> SkylineDelta {
+        entered.sort_unstable();
+        entered.dedup();
+        left.sort_unstable();
+        left.dedup();
+        // Cancel the (rare) intersection with one sorted sweep.
+        let mut e = Vec::with_capacity(entered.len());
+        let mut l = Vec::with_capacity(left.len());
+        let (mut i, mut j) = (0, 0);
+        while i < entered.len() && j < left.len() {
+            match entered[i].cmp(&left[j]) {
+                std::cmp::Ordering::Less => {
+                    e.push(entered[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    l.push(left[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        e.extend_from_slice(&entered[i..]);
+        l.extend_from_slice(&left[j..]);
+        SkylineDelta {
+            entered: e,
+            left: l,
+            version,
+        }
+    }
+
+    /// Whether the delta changes no membership (the version still moved:
+    /// e.g. inserting a dominated point, or removing a shadowed one).
+    pub fn is_empty(&self) -> bool {
+        self.entered.is_empty() && self.left.is_empty()
+    }
+
+    /// Patch a materialised skyline (sorted ascending ids, as every
+    /// algorithm and [`crate::streaming::StreamingSkyline::skyline`]
+    /// produce) forward by this delta, in place.
+    ///
+    /// Returns `false` — leaving `skyline` untouched — when the patch
+    /// does not fit: an id in `left` is absent, or an id in `entered`
+    /// is already present. That means the caller's copy is not at
+    /// version `self.version - 1` and must be recomputed instead.
+    pub fn apply(&self, skyline: &mut Vec<PointId>) -> bool {
+        if self.is_empty() {
+            return true;
+        }
+        debug_assert!(skyline.windows(2).all(|w| w[0] <= w[1]));
+        if self
+            .left
+            .iter()
+            .any(|id| skyline.binary_search(id).is_err())
+            || self
+                .entered
+                .iter()
+                .any(|id| skyline.binary_search(id).is_ok())
+        {
+            return false;
+        }
+        // One backward merge pass: drop `left`, splice in `entered`.
+        let mut merged = Vec::with_capacity(skyline.len() + self.entered.len() - self.left.len());
+        let mut enter = self.entered.iter().copied().peekable();
+        let mut leave = self.left.iter().copied().peekable();
+        for &id in skyline.iter() {
+            while enter.peek().is_some_and(|&e| e < id) {
+                merged.push(enter.next().expect("peeked"));
+            }
+            if leave.peek() == Some(&id) {
+                leave.next();
+                continue;
+            }
+            merged.push(id);
+        }
+        merged.extend(enter);
+        *skyline = merged;
+        true
+    }
+
+    /// Sequential composition: the single delta equivalent to applying
+    /// `self` and then `next`. The result carries `next.version`.
+    ///
+    /// Composition follows set-difference algebra: an id that `self`
+    /// says entered and `next` says left cancels (and symmetrically),
+    /// because handles are never reused a point can oscillate in and
+    /// out of the skyline across mutations and must net to its final
+    /// membership change.
+    pub fn then(&self, next: &SkylineDelta) -> SkylineDelta {
+        let mut entered = self.entered.clone();
+        let mut left = self.left.clone();
+        for &id in &next.entered {
+            // Entering after having left nets out; otherwise it is a
+            // fresh entry.
+            if let Ok(at) = left.binary_search(&id) {
+                left.remove(at);
+            } else {
+                entered.push(id);
+            }
+        }
+        for &id in &next.left {
+            if let Some(at) = entered.iter().position(|&e| e == id) {
+                entered.remove(at);
+            } else {
+                left.push(id);
+            }
+        }
+        SkylineDelta::from_events(entered, left, next.version)
+    }
+
+    /// Coalesce a consecutive run of deltas into their sequential sum.
+    /// Returns `None` for an empty run (there is no version to carry).
+    pub fn coalesce(deltas: &[SkylineDelta]) -> Option<SkylineDelta> {
+        let (first, rest) = deltas.split_first()?;
+        Some(rest.iter().fold(first.clone(), |acc, d| acc.then(d)))
+    }
+}
+
+/// Internal event buffer threaded through the streaming structure's
+/// mutation paths: raw enter/leave transitions in occurrence order,
+/// normalised into a [`SkylineDelta`] when the mutation commits.
+#[derive(Debug, Default)]
+pub(crate) struct DeltaEvents {
+    pub(crate) entered: Vec<PointId>,
+    pub(crate) left: Vec<PointId>,
+}
+
+impl DeltaEvents {
+    pub(crate) fn into_delta(self, version: u64) -> SkylineDelta {
+        SkylineDelta::from_events(self.entered, self.left, version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(entered: &[PointId], left: &[PointId], version: u64) -> SkylineDelta {
+        SkylineDelta::from_events(entered.to_vec(), left.to_vec(), version)
+    }
+
+    #[test]
+    fn from_events_normalises() {
+        let delta = d(&[5, 1, 5, 3], &[2, 3, 2], 7);
+        assert_eq!(delta.entered, vec![1, 5]);
+        assert_eq!(delta.left, vec![2]);
+        assert_eq!(delta.version, 7);
+        assert!(!delta.is_empty());
+        assert!(d(&[4], &[4], 1).is_empty(), "enter+leave cancels");
+    }
+
+    #[test]
+    fn apply_patches_a_sorted_skyline() {
+        let mut sky = vec![1, 3, 5, 9];
+        assert!(d(&[0, 4, 10], &[3, 9], 2).apply(&mut sky));
+        assert_eq!(sky, vec![0, 1, 4, 5, 10]);
+        // Empty delta is always applicable.
+        assert!(SkylineDelta::empty(3).apply(&mut sky));
+        assert_eq!(sky, vec![0, 1, 4, 5, 10]);
+    }
+
+    #[test]
+    fn apply_rejects_mismatched_bases() {
+        let mut sky = vec![1, 3];
+        // Leaving an id that is not present: wrong base.
+        assert!(!d(&[], &[2], 2).apply(&mut sky));
+        assert_eq!(sky, vec![1, 3], "failed patch must not mutate");
+        // Entering an id that is already present: wrong base.
+        assert!(!d(&[3], &[], 2).apply(&mut sky));
+        assert_eq!(sky, vec![1, 3]);
+    }
+
+    #[test]
+    fn then_composes_like_sequential_application() {
+        let a = d(&[2, 7], &[4], 1);
+        let b = d(&[4, 9], &[2], 2);
+        let ab = a.then(&b);
+        assert_eq!(ab.version, 2);
+
+        let mut step = vec![0, 4];
+        assert!(a.apply(&mut step));
+        assert!(b.apply(&mut step));
+        let mut sum = vec![0, 4];
+        assert!(ab.apply(&mut sum));
+        assert_eq!(step, sum);
+        // 4 left then re-entered, 2 entered then left: both net out.
+        assert_eq!(ab.entered, vec![7, 9]);
+        assert_eq!(ab.left, Vec::<PointId>::new());
+    }
+
+    #[test]
+    fn coalesce_folds_a_run() {
+        assert_eq!(SkylineDelta::coalesce(&[]), None);
+        let run = [d(&[1], &[], 1), d(&[2], &[1], 2), d(&[3], &[], 3)];
+        let sum = SkylineDelta::coalesce(&run).unwrap();
+        assert_eq!(sum, d(&[2, 3], &[], 3));
+    }
+}

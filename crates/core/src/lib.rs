@@ -51,6 +51,7 @@ pub mod boost;
 pub mod cancel;
 pub mod container;
 pub mod dataset;
+pub mod delta;
 pub mod dominance;
 pub mod error;
 pub mod merge;
@@ -71,6 +72,7 @@ pub mod prelude {
     pub use crate::cancel::{CancelToken, Cancelled};
     pub use crate::container::{ListContainer, SkylineContainer, SubsetContainer};
     pub use crate::dataset::Dataset;
+    pub use crate::delta::SkylineDelta;
     pub use crate::dominance::{dominance, dominates, dominating_subspace, DomRelation};
     pub use crate::error::{Error, Result};
     pub use crate::merge::{merge, MergeConfig, MergeOutcome, PivotScore};

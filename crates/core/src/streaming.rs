@@ -38,6 +38,7 @@
 
 use std::collections::HashMap;
 
+use crate::delta::{DeltaEvents, SkylineDelta};
 use crate::dominance::{dominates, dominating_subspace};
 use crate::error::{Error, Result};
 use crate::metrics::Metrics;
@@ -236,12 +237,40 @@ impl StreamingSkyline {
         })
     }
 
+    /// The *dominator witness* of a live point: the one live dominator
+    /// recorded for it when it was last classified (`None` for skyline
+    /// points, unknown handles, and tombstones).
+    ///
+    /// Witness invariant: a shadowed point's witness is live and
+    /// dominates it, so a point's skyline membership can only change
+    /// when its witness is removed — deletion re-examines exactly the
+    /// points whose witness was the deleted id, which is what makes
+    /// [`StreamingSkyline::remove_delta`] proportional to the change.
+    pub fn witness(&self, id: PointId) -> Option<PointId> {
+        match self.state.get(id as usize) {
+            Some(EntryState::Shadowed { killer }) => Some(*killer),
+            _ => None,
+        }
+    }
+
     /// Insert a point; returns its handle.
     ///
     /// Cost: one subset-index query plus dominance tests against the
     /// returned candidates (and, for new skyline points, the eviction
     /// candidates).
     pub fn insert(&mut self, row: &[f64], metrics: &mut Metrics) -> Result<PointId> {
+        self.insert_delta(row, metrics).map(|(id, _)| id)
+    }
+
+    /// As [`StreamingSkyline::insert`], additionally returning the
+    /// [`SkylineDelta`] of the mutation: which ids entered the skyline
+    /// (at most the new point itself), which skyline ids it evicted,
+    /// and the post-insert content version.
+    pub fn insert_delta(
+        &mut self,
+        row: &[f64],
+        metrics: &mut Metrics,
+    ) -> Result<(PointId, SkylineDelta)> {
         if row.len() != self.dims {
             return Err(Error::RowLength {
                 row: self.rows.len(),
@@ -276,14 +305,16 @@ impl StreamingSkyline {
             self.reference.push(row.to_vec());
             self.reanchor(metrics);
         }
-        self.classify(id, metrics);
+        let mut events = DeltaEvents::default();
+        self.classify(id, metrics, &mut events);
         self.version += 1;
-        Ok(id)
+        Ok((id, events.into_delta(self.version)))
     }
 
     /// Classify a (new or resurfacing) point against the current skyline
-    /// and wire it into the structure.
-    fn classify(&mut self, id: PointId, metrics: &mut Metrics) {
+    /// and wire it into the structure, recording skyline-membership
+    /// transitions into `events`.
+    fn classify(&mut self, id: PointId, metrics: &mut Metrics, events: &mut DeltaEvents) {
         let sub = self.subspace_of(&self.rows[id as usize]);
         // Dominator check: only skyline points with D ⊇ sub can dominate.
         let mut candidates = Vec::new();
@@ -307,17 +338,18 @@ impl StreamingSkyline {
         for &s in &victims {
             metrics.count_dt();
             if dominates(&self.rows[id as usize], &self.rows[s as usize]) {
-                self.demote(s, id);
+                self.demote(s, id, events);
             }
         }
         self.state[id as usize] = EntryState::Skyline(sub);
         self.dominator_index.put(id, sub);
         self.evict_index.put(id, sub.complement(self.dims));
         self.skyline_len += 1;
+        events.entered.push(id);
     }
 
     /// Move a skyline point into the shadow of `killer`.
-    fn demote(&mut self, s: PointId, killer: PointId) {
+    fn demote(&mut self, s: PointId, killer: PointId, events: &mut DeltaEvents) {
         let EntryState::Skyline(sub) = self.state[s as usize] else {
             unreachable!("eviction candidates are skyline points");
         };
@@ -326,6 +358,7 @@ impl StreamingSkyline {
         self.skyline_len -= 1;
         self.state[s as usize] = EntryState::Shadowed { killer };
         self.shadowed_by.entry(killer).or_default().push(s);
+        events.left.push(s);
     }
 
     /// Remove a live point. Returns `false` if the handle is unknown or
@@ -334,14 +367,32 @@ impl StreamingSkyline {
     /// Deleting a shadowed point is O(1); deleting a skyline point
     /// re-resolves exactly the points it was shadowing.
     pub fn remove(&mut self, id: PointId, metrics: &mut Metrics) -> bool {
-        let removed = self.remove_inner(id, metrics);
-        if removed {
-            self.version += 1;
-        }
-        removed
+        self.remove_delta(id, metrics).is_some()
     }
 
-    fn remove_inner(&mut self, id: PointId, metrics: &mut Metrics) -> bool {
+    /// As [`StreamingSkyline::remove`], additionally returning the
+    /// [`SkylineDelta`] of the mutation — `None` when the handle is
+    /// unknown or already deleted (no version bump, no delta). Removing
+    /// a shadowed point yields an empty delta at the bumped version;
+    /// removing a skyline point yields it in `left` plus any orphans it
+    /// was witnessing that re-promoted into `entered`.
+    pub fn remove_delta(&mut self, id: PointId, metrics: &mut Metrics) -> Option<SkylineDelta> {
+        let mut events = DeltaEvents::default();
+        let removed = self.remove_inner(id, metrics, &mut events);
+        if removed {
+            self.version += 1;
+            Some(events.into_delta(self.version))
+        } else {
+            None
+        }
+    }
+
+    fn remove_inner(
+        &mut self,
+        id: PointId,
+        metrics: &mut Metrics,
+        events: &mut DeltaEvents,
+    ) -> bool {
         match self.state.get(id as usize).cloned() {
             None | Some(EntryState::Deleted) => false,
             Some(EntryState::Shadowed { killer }) => {
@@ -369,7 +420,8 @@ impl StreamingSkyline {
                 self.skyline_len -= 1;
                 self.state[id as usize] = EntryState::Deleted;
                 self.live -= 1;
-                self.reresolve_orphans_of(id, metrics);
+                events.left.push(id);
+                self.reresolve_orphans_of(id, metrics, events);
                 true
             }
         }
@@ -379,7 +431,12 @@ impl StreamingSkyline {
     /// monotone order so dominators resurface before the points they
     /// dominate (not required for correctness — promotion evicts — but
     /// it minimises churn).
-    fn reresolve_orphans_of(&mut self, id: PointId, metrics: &mut Metrics) {
+    fn reresolve_orphans_of(
+        &mut self,
+        id: PointId,
+        metrics: &mut Metrics,
+        events: &mut DeltaEvents,
+    ) {
         let mut orphans = self.shadowed_by.remove(&id).unwrap_or_default();
         orphans.sort_by(|&a, &b| {
             coordinate_sum(&self.rows[a as usize])
@@ -391,7 +448,7 @@ impl StreamingSkyline {
                 self.state[q as usize],
                 EntryState::Shadowed { .. }
             ));
-            self.classify(q, metrics);
+            self.classify(q, metrics, events);
         }
     }
 
@@ -761,6 +818,81 @@ mod tests {
         let b = restored.insert(&[1.0, 1.0, 1.0], &mut metrics).unwrap();
         assert_eq!(a, b);
         assert_eq!(restored.version(), s.version());
+    }
+
+    #[test]
+    fn insert_delta_reports_entries_and_evictions() {
+        let mut s = StreamingSkyline::new(2).unwrap();
+        let mut metrics = m();
+        let (a, d) = s.insert_delta(&[3.0, 3.0], &mut metrics).unwrap();
+        assert_eq!(
+            (d.entered.as_slice(), d.left.as_slice()),
+            ([a].as_slice(), [].as_slice())
+        );
+        assert_eq!(d.version, 1);
+        let (b, d) = s.insert_delta(&[4.0, 2.0], &mut metrics).unwrap();
+        assert_eq!(d.entered, vec![b]);
+        // Dominates both: they leave, it enters.
+        let (c, d) = s.insert_delta(&[1.0, 1.0], &mut metrics).unwrap();
+        assert_eq!(d.entered, vec![c]);
+        assert_eq!(d.left, vec![a, b]);
+        assert_eq!(d.version, 3);
+        // A dominated insert nets to an empty delta at a bumped version.
+        let (_, d) = s.insert_delta(&[9.0, 9.0], &mut metrics).unwrap();
+        assert!(d.is_empty());
+        assert_eq!(d.version, 4);
+    }
+
+    #[test]
+    fn remove_delta_reports_promotions() {
+        let mut s = StreamingSkyline::new(2).unwrap();
+        let mut metrics = m();
+        let a = s.insert(&[1.0, 1.0], &mut metrics).unwrap();
+        let b = s.insert(&[2.0, 2.0], &mut metrics).unwrap(); // witnessed by a
+        let c = s.insert(&[3.0, 3.0], &mut metrics).unwrap(); // witnessed by a
+        assert_eq!(s.witness(b), Some(a));
+        assert_eq!(s.witness(a), None, "skyline points carry no witness");
+        // Removing a shadowed point: empty delta, version still moves.
+        let d = s.remove_delta(c, &mut metrics).unwrap();
+        assert!(d.is_empty());
+        assert_eq!(d.version, 4);
+        // Removing the witness promotes exactly its orphan.
+        let d = s.remove_delta(a, &mut metrics).unwrap();
+        assert_eq!(d.entered, vec![b]);
+        assert_eq!(d.left, vec![a]);
+        assert_eq!(d.version, 5);
+        // Unknown/dead handles: no delta, no version bump.
+        assert!(s.remove_delta(a, &mut metrics).is_none());
+        assert!(s.remove_delta(999, &mut metrics).is_none());
+        assert_eq!(s.version(), 5);
+    }
+
+    #[test]
+    fn delta_stream_patches_a_materialised_skyline() {
+        // Apply every delta to an external copy and never read
+        // s.skyline() between mutations: the patched copy must track.
+        let mut s = StreamingSkyline::new(3).unwrap();
+        let mut metrics = m();
+        let mut patched: Vec<PointId> = Vec::new();
+        let mut live: Vec<PointId> = Vec::new();
+        let mut next = 1u64;
+        for step in 0..200 {
+            next = next
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let r = next >> 33;
+            if step % 4 == 3 && !live.is_empty() {
+                let victim = live.remove(r as usize % live.len());
+                let d = s.remove_delta(victim, &mut metrics).unwrap();
+                assert!(d.apply(&mut patched), "step {step}: remove patch fits");
+            } else {
+                let row = vec![(r % 7) as f64, ((r / 7) % 7) as f64, ((r / 49) % 7) as f64];
+                let (id, d) = s.insert_delta(&row, &mut metrics).unwrap();
+                live.push(id);
+                assert!(d.apply(&mut patched), "step {step}: insert patch fits");
+            }
+            assert_eq!(patched, s.skyline(), "step {step}");
+        }
     }
 
     #[test]

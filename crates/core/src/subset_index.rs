@@ -304,6 +304,13 @@ impl<C: Children> GenericSubsetIndex<C> {
     /// add skyline points) but is required by the streaming extension
     /// ([`crate::streaming`]) where skyline points can be evicted.
     pub fn remove(&mut self, point: PointId, subspace: Subspace) -> bool {
+        if self.len == 0 {
+            // Nothing is stored, so nothing can be removed: skip the
+            // path materialisation and trie walk entirely. Mutation-
+            // heavy streaming workloads hit this constantly (every
+            // remove against an empty or drained structure).
+            return false;
+        }
         let reversed = subspace.complement(self.dims);
         let dims: Vec<u8> = reversed.dims().map(|d| d as u8).collect();
         let removed = Self::remove_rec(&mut self.root, &dims, point);

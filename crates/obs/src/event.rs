@@ -108,6 +108,27 @@ pub enum Event {
         /// Trace id of the request that hit; empty when untraced.
         trace: String,
     },
+    /// A streaming mutation produced a skyline delta that was applied to
+    /// the server's state — and, where possible, patched forward into
+    /// cached results instead of invalidating them.
+    DeltaApplied {
+        /// Dataset name the mutation targeted.
+        dataset: String,
+        /// Content version before the mutation batch.
+        base_version: u64,
+        /// Content version after the mutation batch.
+        version: u64,
+        /// Points that entered the skyline.
+        entered: u64,
+        /// Points that left the skyline.
+        left: u64,
+        /// Cache entries patched forward to `version`.
+        cache_patched: u64,
+        /// Cache entries the delta could not describe and dropped.
+        cache_invalidated: u64,
+        /// Trace id of the mutating request; empty when untraced.
+        trace: String,
+    },
     /// A request was shed by the server's overload gate (503).
     Shed {
         /// Normalised endpoint the shed request targeted.
@@ -271,6 +292,7 @@ impl Event {
             Event::ParallelMerge { .. } => "parallel_merge",
             Event::Request { .. } => "request",
             Event::CacheHit { .. } => "cache_hit",
+            Event::DeltaApplied { .. } => "delta_applied",
             Event::Shed { .. } => "shed",
             Event::DeadlineExceeded { .. } => "deadline_exceeded",
             Event::HandlerPanic { .. } => "handler_panic",
@@ -374,6 +396,27 @@ impl Event {
                 w.str_field("dataset", dataset)
                     .str_field("algorithm", algorithm)
                     .u64_field("version", *version);
+                if !trace.is_empty() {
+                    w.str_field("trace", trace);
+                }
+            }
+            Event::DeltaApplied {
+                dataset,
+                base_version,
+                version,
+                entered,
+                left,
+                cache_patched,
+                cache_invalidated,
+                trace,
+            } => {
+                w.str_field("dataset", dataset)
+                    .u64_field("base_version", *base_version)
+                    .u64_field("version", *version)
+                    .u64_field("entered", *entered)
+                    .u64_field("left", *left)
+                    .u64_field("cache_patched", *cache_patched)
+                    .u64_field("cache_invalidated", *cache_invalidated);
                 if !trace.is_empty() {
                     w.str_field("trace", trace);
                 }
@@ -517,6 +560,16 @@ impl Event {
                 version: v.get("version")?.as_u64()?,
                 trace: trace_tag(v),
             }),
+            "delta_applied" => Some(Event::DeltaApplied {
+                dataset: v.get("dataset")?.as_str()?.to_string(),
+                base_version: v.get("base_version")?.as_u64()?,
+                version: v.get("version")?.as_u64()?,
+                entered: v.get("entered")?.as_u64()?,
+                left: v.get("left")?.as_u64()?,
+                cache_patched: v.get("cache_patched")?.as_u64()?,
+                cache_invalidated: v.get("cache_invalidated")?.as_u64()?,
+                trace: trace_tag(v),
+            }),
             "shed" => Some(Event::Shed {
                 endpoint: v.get("endpoint")?.as_str()?.to_string(),
             }),
@@ -629,6 +682,16 @@ mod tests {
                 algorithm: "SDI-Subset".into(),
                 version: 17,
                 trace: String::new(),
+            },
+            Event::DeltaApplied {
+                dataset: "hotels".into(),
+                base_version: 17,
+                version: 18,
+                entered: 1,
+                left: 2,
+                cache_patched: 1,
+                cache_invalidated: 3,
+                trace: "deadbeef01234567".into(),
             },
             Event::Shed {
                 endpoint: "/skyline".into(),

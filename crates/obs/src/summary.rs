@@ -83,6 +83,13 @@ pub struct TraceSummary {
     pub endpoints: BTreeMap<String, EndpointStats>,
     /// Server: skyline queries answered from the result cache.
     pub cache_hits: u64,
+    /// Server: streaming mutation deltas applied (`delta_applied`).
+    pub deltas_applied: u64,
+    /// Server: total skyline membership churn (entered + left) across
+    /// all applied deltas.
+    pub delta_churn: u64,
+    /// Server: cached results patched forward by deltas.
+    pub cache_patched: u64,
     /// Server: requests shed by the overload gate (503).
     pub shed_total: u64,
     /// Server: queries cancelled at their deadline (504).
@@ -222,6 +229,16 @@ impl TraceSummary {
                     stats.max_us = stats.max_us.max(elapsed_us);
                 }
                 Some(Event::CacheHit { .. }) => self.cache_hits += 1,
+                Some(Event::DeltaApplied {
+                    entered,
+                    left,
+                    cache_patched,
+                    ..
+                }) => {
+                    self.deltas_applied += 1;
+                    self.delta_churn += entered + left;
+                    self.cache_patched += cache_patched;
+                }
                 Some(Event::Shed { .. }) => self.shed_total += 1,
                 Some(Event::DeadlineExceeded { .. }) => self.deadline_exceeded_total += 1,
                 Some(Event::HandlerPanic { .. }) => self.panics_total += 1,
@@ -389,6 +406,7 @@ impl TraceSummary {
             let _ = writeln!(out, "  merge candidates {:>8}", self.parallel_candidates);
         }
         let server_counters = self.cache_hits
+            + self.deltas_applied
             + self.shed_total
             + self.deadline_exceeded_total
             + self.panics_total
@@ -417,6 +435,11 @@ impl TraceSummary {
                 );
             }
             let _ = writeln!(out, "  cache hits       {:>8}", self.cache_hits);
+            if self.deltas_applied > 0 {
+                let _ = writeln!(out, "  deltas applied   {:>8}", self.deltas_applied);
+                let _ = writeln!(out, "  delta churn      {:>8}", self.delta_churn);
+                let _ = writeln!(out, "  cache patched    {:>8}", self.cache_patched);
+            }
             let _ = writeln!(out, "  shed (503)       {:>8}", self.shed_total);
             let _ = writeln!(
                 out,

@@ -3,10 +3,17 @@
 //! Results are keyed by everything that determines the answer bytes:
 //! dataset name **and content version**, canonical algorithm name,
 //! subspace mask, k-skyband depth, and worker count. Because the version
-//! is part of the key, a stale entry can never be served; explicit
-//! [`ResultCache::invalidate_dataset`] on every streaming mutation exists
-//! for memory hygiene and for the observable invalidation counter, not
-//! for correctness.
+//! is part of the key, a stale entry can never be served.
+//!
+//! On a streaming mutation the serving layer calls
+//! [`ResultCache::patch_dataset`] with the mutation's
+//! [`SkylineDelta`]: full-space plain-skyline entries sitting exactly at
+//! the mutation's base version are **patched forward** — their id list
+//! is updated by the delta's sorted merge and the entry is re-keyed to
+//! the new version — so the next warm query hits without a recompute.
+//! Entries the delta cannot describe (projected subspaces, k-skybands,
+//! other versions) are dropped, exactly as the older
+//! [`ResultCache::invalidate_dataset`] path would.
 //!
 //! Eviction is least-recently-used over a bounded map. The capacity is
 //! small (hundreds), so the eviction scan is a cheap linear pass rather
@@ -15,6 +22,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
+use skyline_core::delta::SkylineDelta;
 use skyline_core::point::PointId;
 
 /// Everything that determines a cached skyline result.
@@ -54,8 +62,19 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Entries dropped by dataset invalidation.
     pub invalidations: u64,
+    /// Entries patched forward by a mutation delta instead of dropped.
+    pub patched: u64,
     /// Entries currently resident.
     pub entries: u64,
+}
+
+/// What [`ResultCache::patch_dataset`] did to a dataset's entries.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PatchOutcome {
+    /// Entries patched forward to the new version.
+    pub patched: usize,
+    /// Entries dropped because the delta could not describe them.
+    pub invalidated: usize,
 }
 
 #[derive(Debug, Default)]
@@ -66,6 +85,7 @@ struct Inner {
     misses: u64,
     evictions: u64,
     invalidations: u64,
+    patched: u64,
 }
 
 /// Bounded, thread-safe LRU cache of skyline results.
@@ -76,10 +96,14 @@ pub struct ResultCache {
 }
 
 impl ResultCache {
-    /// A cache holding at most `capacity` results (minimum 1).
+    /// A cache holding at most `capacity` results. Capacity `0` disables
+    /// caching entirely: every lookup misses and inserts are dropped —
+    /// the benchmark harness uses this to measure the pure recompute
+    /// path now that mutations patch entries forward instead of
+    /// invalidating them.
     pub fn new(capacity: usize) -> ResultCache {
         ResultCache {
-            capacity: capacity.max(1),
+            capacity,
             inner: Mutex::new(Inner::default()),
         }
     }
@@ -110,6 +134,9 @@ impl ResultCache {
 
     /// Insert a result, evicting the least-recently-used entry when full.
     pub fn insert(&self, key: CacheKey, result: CachedResult) {
+        if self.capacity == 0 {
+            return;
+        }
         let mut inner = self.inner.lock().expect("cache lock");
         inner.tick += 1;
         let tick = inner.tick;
@@ -138,6 +165,54 @@ impl ResultCache {
         removed
     }
 
+    /// Carry `dataset`'s entries across a mutation described by `delta`
+    /// (base version → `delta.version`).
+    ///
+    /// Entries the delta fully describes — plain skyline (`k == 1`) over
+    /// the full space (`mask_bits == full_mask`) computed exactly at the
+    /// base version — are patched in place: the delta's sorted merge
+    /// updates the id list and the entry is re-keyed to `delta.version`,
+    /// preserving recency. Everything else of this dataset (projected
+    /// subspaces, skybands, stale versions) is dropped. A patch that does
+    /// not fit its entry (ids contradict the delta's base) drops the
+    /// entry too — served bytes are never guessed.
+    pub fn patch_dataset(
+        &self,
+        dataset: &str,
+        full_mask: u64,
+        base_version: u64,
+        delta: &SkylineDelta,
+    ) -> PatchOutcome {
+        let mut inner = self.inner.lock().expect("cache lock");
+        let keys: Vec<CacheKey> = inner
+            .map
+            .keys()
+            .filter(|k| k.dataset == dataset)
+            .cloned()
+            .collect();
+        let mut outcome = PatchOutcome::default();
+        for key in keys {
+            let patchable = key.version == base_version && key.k == 1 && key.mask_bits == full_mask;
+            let (used, result) = inner.map.remove(&key).expect("key just listed");
+            if patchable {
+                let mut patched = (*result).clone();
+                if delta.apply(&mut patched.ids) {
+                    let new_key = CacheKey {
+                        version: delta.version,
+                        ..key
+                    };
+                    inner.map.insert(new_key, (used, Arc::new(patched)));
+                    outcome.patched += 1;
+                    continue;
+                }
+            }
+            outcome.invalidated += 1;
+        }
+        inner.patched += outcome.patched as u64;
+        inner.invalidations += outcome.invalidated as u64;
+        outcome
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         let inner = self.inner.lock().expect("cache lock");
@@ -146,6 +221,7 @@ impl ResultCache {
             misses: inner.misses,
             evictions: inner.evictions,
             invalidations: inner.invalidations,
+            patched: inner.patched,
             entries: inner.map.len() as u64,
         }
     }
@@ -212,6 +288,45 @@ mod tests {
         assert_eq!(cache.stats().evictions, 0);
         assert_eq!(cache.get(&key("a", 1, 1)).unwrap().ids, vec![9]);
         assert!(cache.get(&key("a", 1, 2)).is_some());
+    }
+
+    #[test]
+    fn patch_carries_full_space_entries_and_drops_the_rest() {
+        let cache = ResultCache::new(8);
+        // Full space is mask 3 in this fixture.
+        cache.insert(key("a", 5, 3), result(&[1, 2, 4]));
+        cache.insert(key("a", 5, 1), result(&[1])); // projected: drop
+        cache.insert(key("a", 4, 3), result(&[1, 2])); // stale: drop
+        cache.insert(key("b", 5, 3), result(&[7])); // other dataset: keep
+        let delta = SkylineDelta::from_events(vec![3], vec![2], 6);
+        let out = cache.patch_dataset("a", 3, 5, &delta);
+        assert_eq!((out.patched, out.invalidated), (1, 2));
+        assert_eq!(cache.get(&key("a", 6, 3)).unwrap().ids, vec![1, 3, 4]);
+        assert!(cache.get(&key("a", 5, 1)).is_none());
+        assert!(cache.get(&key("a", 4, 3)).is_none());
+        assert!(cache.get(&key("b", 5, 3)).is_some());
+        let s = cache.stats();
+        assert_eq!((s.patched, s.invalidations), (1, 2));
+    }
+
+    #[test]
+    fn patch_that_does_not_fit_drops_the_entry() {
+        let cache = ResultCache::new(8);
+        cache.insert(key("a", 5, 3), result(&[1, 2]));
+        // Delta says 9 left the skyline, but the entry never had 9.
+        let delta = SkylineDelta::from_events(vec![], vec![9], 6);
+        let out = cache.patch_dataset("a", 3, 5, &delta);
+        assert_eq!((out.patched, out.invalidated), (0, 1));
+        assert!(cache.get(&key("a", 6, 3)).is_none());
+    }
+
+    #[test]
+    fn capacity_zero_disables_caching() {
+        let cache = ResultCache::new(0);
+        cache.insert(key("a", 1, 3), result(&[1]));
+        assert!(cache.get(&key("a", 1, 3)).is_none());
+        let s = cache.stats();
+        assert_eq!((s.entries, s.misses), (0, 1));
     }
 
     #[test]

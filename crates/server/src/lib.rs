@@ -597,6 +597,10 @@ fn handle_metrics(shared: &Shared, req: &Request) -> Response {
                     "skyline_cache_invalidations_total".to_string(),
                     stats.invalidations as f64,
                 ),
+                (
+                    "skyline_cache_patched_total".to_string(),
+                    stats.patched as f64,
+                ),
                 ("skyline_cache_entries".to_string(), stats.entries as f64),
                 ("skyline_cache_hit_rate".to_string(), cache_hit_rate(&stats)),
                 ("skyline_datasets".to_string(), shared.registry.len() as f64),
@@ -616,6 +620,7 @@ fn handle_metrics(shared: &Shared, req: &Request) -> Response {
         .u64_field("misses", stats.misses)
         .u64_field("evictions", stats.evictions)
         .u64_field("invalidations", stats.invalidations)
+        .u64_field("patched", stats.patched)
         .u64_field("entries", stats.entries)
         .u64_field("capacity", shared.cache.capacity() as u64)
         .f64_field("hit_rate", cache_hit_rate(&stats));
@@ -730,8 +735,64 @@ fn handle_create(shared: &Shared, req: &Request) -> Response {
     }
 }
 
+/// Carry the result cache across a mutation and trace the delta.
+///
+/// Patches forward every full-space skyline entry sitting at the
+/// mutation's base version, drops the rest, bumps the `cache_patched`
+/// counter, and emits one `delta_applied` trace event — the observable
+/// spine of the incremental-maintenance path.
+fn apply_mutation(
+    shared: &Shared,
+    name: &str,
+    dims: usize,
+    mutation: &registry::Mutation,
+    trace_id: &str,
+) -> cache::PatchOutcome {
+    if mutation.version == mutation.base_version {
+        // Nothing changed (empty batch / no live removals): every cached
+        // entry is still exact and there is no delta to trace.
+        return cache::PatchOutcome::default();
+    }
+    let out = shared.cache.patch_dataset(
+        name,
+        Subspace::full(dims).bits(),
+        mutation.base_version,
+        &mutation.delta,
+    );
+    shared.emit(Event::DeltaApplied {
+        dataset: name.to_string(),
+        base_version: mutation.base_version,
+        version: mutation.version,
+        entered: mutation.delta.entered.len() as u64,
+        left: mutation.delta.left.len() as u64,
+        cache_patched: out.patched as u64,
+        cache_invalidated: out.invalidated as u64,
+        trace: trace_id.to_string(),
+    });
+    out
+}
+
+/// Shared tail of the mutation responses: version movement, skyline
+/// cardinality, the delta's membership changes, and what happened to
+/// the cache.
+fn mutation_json_fields(
+    w: &mut ObjectWriter,
+    mutation: &registry::Mutation,
+    out: &cache::PatchOutcome,
+) {
+    let entered: Vec<u64> = mutation.delta.entered.iter().map(|&i| i as u64).collect();
+    let left: Vec<u64> = mutation.delta.left.iter().map(|&i| i as u64).collect();
+    w.u64_field("version", mutation.version)
+        .u64_field("skyline", mutation.skyline_len as u64)
+        .u64_array_field("entered", &entered)
+        .u64_array_field("left", &left)
+        .u64_field("cache_patched", out.patched as u64)
+        .u64_field("cache_invalidated", out.invalidated as u64);
+}
+
 /// `POST /datasets/{name}/points` — body `{"rows": [[...], ...]}`.
 fn handle_insert(shared: &Shared, name: &str, req: &Request) -> Response {
+    let trace_id = inherited_trace(req);
     let entry = match shared.registry.get(name) {
         Ok(e) => e,
         Err(e) => return registry_response(e),
@@ -748,19 +809,13 @@ fn handle_insert(shared: &Shared, name: &str, req: &Request) -> Response {
         Err(msg) => return Response::error(400, &msg),
     };
     match entry.insert_rows(&rows) {
-        Ok((ids, version, skyline_len)) => {
-            let invalidated = if ids.is_empty() {
-                0
-            } else {
-                shared.cache.invalidate_dataset(name)
-            };
+        Ok((ids, mutation)) => {
+            let out = apply_mutation(shared, name, entry.dims(), &mutation, &trace_id);
             let ids64: Vec<u64> = ids.iter().map(|&i| i as u64).collect();
             let mut w = ObjectWriter::new();
             w.u64_field("inserted", ids.len() as u64)
-                .u64_array_field("ids", &ids64)
-                .u64_field("version", version)
-                .u64_field("skyline", skyline_len as u64)
-                .u64_field("cache_invalidated", invalidated as u64);
+                .u64_array_field("ids", &ids64);
+            mutation_json_fields(&mut w, &mutation, &out);
             Response::json(200, w.finish())
         }
         Err(e) => registry_response(e),
@@ -769,6 +824,7 @@ fn handle_insert(shared: &Shared, name: &str, req: &Request) -> Response {
 
 /// `DELETE /datasets/{name}/points` — body `{"ids": [...]}`.
 fn handle_remove(shared: &Shared, name: &str, req: &Request) -> Response {
+    let trace_id = inherited_trace(req);
     let entry = match shared.registry.get(name) {
         Ok(e) => e,
         Err(e) => return registry_response(e),
@@ -788,17 +844,11 @@ fn handle_remove(shared: &Shared, name: &str, req: &Request) -> Response {
         }
     }
     match entry.remove_ids(&ids) {
-        Ok((removed, version, skyline_len)) => {
-            let invalidated = if removed == 0 {
-                0
-            } else {
-                shared.cache.invalidate_dataset(name)
-            };
+        Ok((removed, mutation)) => {
+            let out = apply_mutation(shared, name, entry.dims(), &mutation, &trace_id);
             let mut w = ObjectWriter::new();
-            w.u64_field("removed", removed as u64)
-                .u64_field("version", version)
-                .u64_field("skyline", skyline_len as u64)
-                .u64_field("cache_invalidated", invalidated as u64);
+            w.u64_field("removed", removed as u64);
+            mutation_json_fields(&mut w, &mutation, &out);
             Response::json(200, w.finish())
         }
         Err(e) => registry_response(e),
@@ -1250,7 +1300,7 @@ mod tests {
     }
 
     #[test]
-    fn create_query_cache_and_invalidate() {
+    fn create_query_cache_and_patch() {
         let server = start_test_server();
         let addr = server.local_addr();
         let created = client::post(
@@ -1272,16 +1322,29 @@ mod tests {
         assert_eq!(v2.get("cached").unwrap(), &Value::Bool(true));
         assert_eq!(v2.get("ids").unwrap(), v1.get("ids").unwrap());
 
-        // A streaming insert bumps the version and invalidates the cache.
+        // A streaming insert bumps the version; the full-space entry is
+        // patched forward by the mutation's delta, not dropped.
         let inserted =
             client::post(addr, "/datasets/t/points", r#"{"rows": [[0.5, 0.5]]}"#).unwrap();
         assert_eq!(inserted.status, 200, "{}", inserted.body_str());
         let vi = Value::parse(&inserted.body_str()).unwrap();
-        assert_eq!(vi.get("cache_invalidated").unwrap().as_u64(), Some(1));
+        assert_eq!(vi.get("cache_patched").unwrap().as_u64(), Some(1));
+        assert_eq!(vi.get("cache_invalidated").unwrap().as_u64(), Some(0));
+        let entered: Vec<u64> = vi
+            .get("entered")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .filter_map(Value::as_u64)
+            .collect();
+        assert_eq!(entered, vec![3], "the dominating insert entered");
 
+        // The warm query at the new version answers from the patched
+        // entry — no recompute — and matches a recompute exactly.
         let third = client::get(addr, "/skyline?dataset=t&algo=SFS").unwrap();
         let v3 = Value::parse(&third.body_str()).unwrap();
-        assert_eq!(v3.get("cached").unwrap(), &Value::Bool(false));
+        assert_eq!(v3.get("cached").unwrap(), &Value::Bool(true));
         assert_eq!(
             v3.get("count").unwrap().as_u64(),
             Some(1),

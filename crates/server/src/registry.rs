@@ -19,6 +19,7 @@ use std::fmt;
 use std::sync::{Arc, RwLock};
 
 use skyline_core::dataset::Dataset;
+use skyline_core::delta::SkylineDelta;
 use skyline_core::metrics::Metrics;
 use skyline_core::point::PointId;
 use skyline_core::streaming::StreamingSkyline;
@@ -68,6 +69,23 @@ pub struct Snapshot {
     pub handles: Vec<PointId>,
     /// The live rows as a batch dataset (`None` when empty).
     pub dataset: Option<Dataset>,
+}
+
+/// The outcome of one mutation batch: where the version moved and the
+/// coalesced skyline delta covering the whole batch. The delta is what
+/// the serving layer uses to patch cached results forward (see
+/// [`crate::cache::ResultCache::patch_dataset`]) instead of discarding
+/// them.
+#[derive(Debug, Clone)]
+pub struct Mutation {
+    /// Content version before the batch.
+    pub base_version: u64,
+    /// Content version after the batch.
+    pub version: u64,
+    /// Skyline cardinality after the batch.
+    pub skyline_len: usize,
+    /// Net skyline-membership change, `base_version` → `version`.
+    pub delta: SkylineDelta,
 }
 
 /// Summary row for listings and `/metrics`.
@@ -224,8 +242,9 @@ impl DatasetEntry {
             .map_or(0, DatasetWal::wal_bytes)
     }
 
-    /// Insert rows (all-or-nothing), returning their handles and the new
-    /// `(version, skyline_len)`.
+    /// Insert rows (all-or-nothing), returning their handles and the
+    /// [`Mutation`] summary (post-apply version, skyline size, and the
+    /// coalesced [`SkylineDelta`] covering the whole batch).
     ///
     /// Durable registries log the whole batch *before* touching memory:
     /// a WAL failure rejects the batch with nothing applied, so the
@@ -234,15 +253,15 @@ impl DatasetEntry {
     pub fn insert_rows(
         &self,
         rows: &[Vec<f64>],
-    ) -> Result<(Vec<PointId>, u64, usize), RegistryError> {
+    ) -> Result<(Vec<PointId>, Mutation), RegistryError> {
         validate_rows(rows, self.dims)?;
         let mut inner = write_lock(&self.inner);
+        let base_version = inner.stream.version();
         if inner.wal.is_some() {
-            let base = inner.stream.version();
             let records: Vec<String> = rows
                 .iter()
                 .enumerate()
-                .map(|(i, row)| wal::insert_record(row, base + i as u64 + 1))
+                .map(|(i, row)| wal::insert_record(row, base_version + i as u64 + 1))
                 .collect();
             inner
                 .wal
@@ -253,36 +272,47 @@ impl DatasetEntry {
         }
         let mut metrics = Metrics::new();
         let mut ids = Vec::with_capacity(rows.len());
+        let mut deltas = Vec::with_capacity(rows.len());
         for row in rows {
             // Cannot fail: rows were validated above.
-            let id = inner
+            let (id, delta) = inner
                 .stream
-                .insert(row, &mut metrics)
+                .insert_delta(row, &mut metrics)
                 .map_err(|e| RegistryError::BadData(e.to_string()))?;
             ids.push(id);
+            deltas.push(delta);
         }
         self.after_mutation(&mut inner)?;
-        Ok((ids, inner.stream.version(), inner.stream.skyline_len()))
+        let mutation = Mutation {
+            base_version,
+            version: inner.stream.version(),
+            skyline_len: inner.stream.skyline_len(),
+            delta: SkylineDelta::coalesce(&deltas)
+                .unwrap_or_else(|| SkylineDelta::empty(base_version)),
+        };
+        Ok((ids, mutation))
     }
 
-    /// Remove points by handle, returning how many were live and the new
-    /// `(version, skyline_len)`. Unknown or already-deleted handles are
+    /// Remove points by handle, returning how many were live and the
+    /// [`Mutation`] summary. Unknown or already-deleted handles are
     /// counted out, not errors.
     ///
     /// Removals apply to memory first (whether a handle is live is only
     /// known then) and are logged after. A WAL failure here returns an
     /// error — the removal is not acknowledged and may resurrect on
     /// recovery — but handle assignment stays consistent either way.
-    pub fn remove_ids(&self, ids: &[PointId]) -> Result<(usize, u64, usize), RegistryError> {
+    pub fn remove_ids(&self, ids: &[PointId]) -> Result<(usize, Mutation), RegistryError> {
         let mut inner = write_lock(&self.inner);
+        let base_version = inner.stream.version();
         let mut metrics = Metrics::new();
         let mut removed = 0;
         let mut records = Vec::new();
+        let mut deltas = Vec::new();
         for &id in ids {
-            if inner.stream.remove(id, &mut metrics) {
+            if let Some(delta) = inner.stream.remove_delta(id, &mut metrics) {
                 removed += 1;
-                let v = inner.stream.version();
-                records.push(wal::remove_record(id, v));
+                records.push(wal::remove_record(id, delta.version));
+                deltas.push(delta);
             }
         }
         if removed > 0 {
@@ -292,7 +322,14 @@ impl DatasetEntry {
             }
             self.after_mutation(&mut inner)?;
         }
-        Ok((removed, inner.stream.version(), inner.stream.skyline_len()))
+        let mutation = Mutation {
+            base_version,
+            version: inner.stream.version(),
+            skyline_len: inner.stream.skyline_len(),
+            delta: SkylineDelta::coalesce(&deltas)
+                .unwrap_or_else(|| SkylineDelta::empty(base_version)),
+        };
+        Ok((removed, mutation))
     }
 
     /// Post-mutation upkeep under the write lock: rebuild the read
@@ -488,18 +525,22 @@ mod tests {
         assert_eq!(snap.handles, vec![0, 1, 2]);
         assert_eq!(snap.version, 3, "one version bump per initial row");
 
-        let (ids, v, sky) = entry.insert_rows(&rows(&[[0.5, 0.5]])).unwrap();
+        let (ids, m) = entry.insert_rows(&rows(&[[0.5, 0.5]])).unwrap();
         assert_eq!(ids, vec![3]);
-        assert_eq!(v, 4);
-        assert_eq!(sky, 1, "new point dominates everything");
+        assert_eq!((m.base_version, m.version), (3, 4));
+        assert_eq!(m.skyline_len, 1, "new point dominates everything");
+        assert_eq!(m.delta.entered, vec![3]);
+        assert_eq!(m.delta.left, vec![0, 1], "old skyline evicted");
         let (version, skyline) = entry.streaming_skyline();
         assert_eq!(version, 4);
         assert_eq!(skyline, vec![3]);
 
-        let (removed, v2, sky2) = entry.remove_ids(&[3, 99]).unwrap();
+        let (removed, m2) = entry.remove_ids(&[3, 99]).unwrap();
         assert_eq!(removed, 1);
-        assert_eq!(v2, 5);
-        assert_eq!(sky2, 2, "old skyline resurfaces");
+        assert_eq!((m2.base_version, m2.version), (4, 5));
+        assert_eq!(m2.skyline_len, 2, "old skyline resurfaces");
+        assert_eq!(m2.delta.entered, vec![0, 1]);
+        assert_eq!(m2.delta.left, vec![3]);
         let snap2 = entry.snapshot();
         assert_eq!(snap2.handles, vec![0, 1, 2]);
         assert_eq!(snap2.version, 5);
@@ -584,7 +625,7 @@ mod tests {
         assert!(reg.recovery_replayed() > 0, "WAL records were replayed");
 
         // Further mutations keep handle assignment dense and consistent.
-        let (ids, _, _) = entry.insert_rows(&rows(&[[0.1, 0.1]])).unwrap();
+        let (ids, _) = entry.insert_rows(&rows(&[[0.1, 0.1]])).unwrap();
         assert_eq!(ids, vec![4], "next handle continues from recovered state");
 
         let _ = std::fs::remove_dir_all(&dir);

@@ -28,6 +28,7 @@ use std::path::{Path, PathBuf};
 use std::str::FromStr;
 use std::time::{Duration, Instant};
 
+use skyline_core::delta::SkylineDelta;
 use skyline_core::metrics::Metrics;
 use skyline_core::point::PointId;
 use skyline_core::streaming::StreamingSkyline;
@@ -111,6 +112,13 @@ pub struct Recovered {
     pub wal: DatasetWal,
     /// Log records applied on top of the snapshot.
     pub replayed: u64,
+    /// The skyline delta of every replayed record, in replay order —
+    /// the same versioned enter/leave stream the live process produced
+    /// when it first applied these mutations. Records absorbed by the
+    /// snapshot contribute nothing (their effect is already in the
+    /// snapshot's state, not a delta). The chaos harness compares this
+    /// stream against the uncrashed run's to pin replay fidelity.
+    pub deltas: Vec<SkylineDelta>,
 }
 
 /// The append side of one dataset's log.
@@ -382,6 +390,7 @@ pub fn recover(config: &StorageConfig, name: &str) -> io::Result<Option<Recovere
         Vec::new()
     };
     let mut replayed = 0u64;
+    let mut deltas = Vec::new();
     let mut offset = 0usize; // start of the current line
     let mut good_end = 0usize; // one past the last fully applied line
     let mut metrics = Metrics::new();
@@ -407,9 +416,10 @@ pub fn recover(config: &StorageConfig, name: &str) -> io::Result<Option<Recovere
                 },
             },
             WalRecord::Insert { v, row } => match stream.as_mut() {
-                Some(s) if v > s.version() => match s.insert(&row, &mut metrics) {
-                    Ok(_) => {
+                Some(s) if v > s.version() => match s.insert_delta(&row, &mut metrics) {
+                    Ok((_, delta)) => {
                         replayed += 1;
+                        deltas.push(delta);
                         true
                     }
                     Err(_) => false,
@@ -421,9 +431,14 @@ pub fn recover(config: &StorageConfig, name: &str) -> io::Result<Option<Recovere
                 Some(s) if v > s.version() => {
                     // A no-op remove means the log disagrees with the
                     // state; treat the rest as corrupt.
-                    let live = s.remove(id, &mut metrics);
-                    replayed += u64::from(live);
-                    live
+                    match s.remove_delta(id, &mut metrics) {
+                        Some(delta) => {
+                            replayed += 1;
+                            deltas.push(delta);
+                            true
+                        }
+                        None => false,
+                    }
                 }
                 Some(_) => true,
                 None => false,
@@ -465,6 +480,7 @@ pub fn recover(config: &StorageConfig, name: &str) -> io::Result<Option<Recovere
         stream,
         wal,
         replayed,
+        deltas,
     }))
 }
 

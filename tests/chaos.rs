@@ -11,12 +11,15 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use skyline_core::dataset::Dataset;
+use skyline_core::delta::SkylineDelta;
+use skyline_core::metrics::Metrics;
+use skyline_core::streaming::StreamingSkyline;
 use skyline_integration_tests::{
     http_client as client, oracle_skyline, parse_skyline_response, rows_json,
 };
 use skyline_obs::json::Value;
 use skyline_serve::faults::{self, Fault};
-use skyline_serve::wal::FsyncPolicy;
+use skyline_serve::wal::{self, FsyncPolicy};
 use skyline_serve::{Server, ServerConfig, ServerHandle};
 
 /// The fault table is process-global, so chaos tests must not overlap.
@@ -250,6 +253,124 @@ fn torn_wal_tail_recovers_to_the_last_acked_version() {
         ids, oracle,
         "recovered skyline equals the brute-force oracle"
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// WAL replay reconstructs the *delta stream*, not just the final
+/// state: after a simulated kill -9 (torn record at the log tail, no
+/// graceful handover), recovery must re-produce exactly the versioned
+/// enter/leave sets the uncrashed process emitted — with a
+/// `wal_append`-fault-rejected mutation leaving no trace in the stream.
+#[test]
+fn wal_replay_reconstructs_the_live_delta_stream() {
+    let _scope = FaultScope::enter();
+    let dir = temp_data_dir("deltastream");
+    let initial = vec![
+        vec![1.0, 5.0, 5.0],
+        vec![5.0, 1.0, 5.0],
+        vec![5.0, 5.0, 1.0],
+        vec![6.0, 6.0, 6.0],
+    ];
+
+    // The uncrashed run's delta stream, mirrored independently of the
+    // server: same rows, same order, same handles.
+    let mut mirror = StreamingSkyline::new(3).unwrap();
+    let mut metrics = Metrics::new();
+    let mut live_stream: Vec<SkylineDelta> = Vec::new();
+    for row in &initial {
+        let (_, d) = mirror.insert_delta(row, &mut metrics).unwrap();
+        live_stream.push(d);
+    }
+
+    {
+        let server = Server::start(ServerConfig {
+            data_dir: Some(dir.clone()),
+            fsync: FsyncPolicy::Always,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        let created = client::post(
+            addr,
+            "/datasets",
+            &format!("{{\"name\": \"d\", \"rows\": {}}}", rows_json(&initial)),
+        )
+        .unwrap();
+        assert_eq!(created.status, 201, "{}", created.body_str());
+
+        // A WAL-rejected mutation is not acked, so it must contribute
+        // nothing to either stream (and burn no handle).
+        faults::inject("wal_append", Fault::IoError(1));
+        let failed =
+            client::post(addr, "/datasets/d/points", "{\"rows\": [[0.5, 0.5, 0.5]]}").unwrap();
+        assert_eq!(failed.status, 500, "{}", failed.body_str());
+        faults::clear();
+
+        // Acked mutations: a dominator enters (old skyline leaves), a
+        // dominated row moves only the version, the dominator's removal
+        // resurrects the old skyline, a final fresh point enters.
+        let script: Vec<(&str, &str)> = vec![
+            ("POST", "{\"rows\": [[0.5, 0.5, 0.5]]}"),
+            ("POST", "{\"rows\": [[7.0, 7.0, 7.0]]}"),
+            ("DELETE", "{\"ids\": [4]}"),
+            ("POST", "{\"rows\": [[0.25, 6.0, 6.0]]}"),
+        ];
+        for (method, body) in script {
+            let resp =
+                client::request(addr, method, "/datasets/d/points", body.as_bytes()).unwrap();
+            assert_eq!(resp.status, 200, "{method} {body}: {}", resp.body_str());
+            let d = match method {
+                "POST" => {
+                    let row: Vec<f64> = Value::parse(body)
+                        .unwrap()
+                        .get("rows")
+                        .and_then(Value::as_arr)
+                        .unwrap()[0]
+                        .as_arr()
+                        .unwrap()
+                        .iter()
+                        .map(|x| x.as_f64().unwrap())
+                        .collect();
+                    mirror.insert_delta(&row, &mut metrics).unwrap().1
+                }
+                _ => mirror.remove_delta(4, &mut metrics).unwrap(),
+            };
+            // The server's live response must already carry the
+            // mirror's delta — version, entered, and left.
+            let v = Value::parse(&resp.body_str()).unwrap();
+            let ids = |field: &str| -> Vec<u32> {
+                v.get(field)
+                    .and_then(Value::as_arr)
+                    .unwrap_or_else(|| panic!("{field} missing: {}", resp.body_str()))
+                    .iter()
+                    .map(|x| x.as_u64().unwrap() as u32)
+                    .collect()
+            };
+            assert_eq!(v.get("version").and_then(Value::as_u64), Some(d.version));
+            assert_eq!(ids("entered"), d.entered, "{method} {body}");
+            assert_eq!(ids("left"), d.left, "{method} {body}");
+            live_stream.push(d);
+        }
+        // Dropping the handle stops the server; fsync=always means every
+        // acked record is already on disk, like a kill -9 after the ack.
+    }
+
+    // Kill -9 mid-append: a torn, unterminated record at the tail.
+    let wal_path = dir.join("d.wal");
+    let mut torn = std::fs::read(&wal_path).unwrap();
+    torn.extend_from_slice(b"{\"op\":\"insert\",\"v\":999,\"row\":[0.0");
+    std::fs::write(&wal_path, &torn).unwrap();
+
+    // Replay through the recovery path itself and compare streams.
+    let recovered = wal::recover(&wal::StorageConfig::new(dir.clone()), "d")
+        .unwrap()
+        .expect("dataset recovers");
+    assert_eq!(
+        recovered.deltas, live_stream,
+        "replayed delta stream must equal the uncrashed run's"
+    );
+    assert_eq!(recovered.stream.version(), mirror.version());
+    assert_eq!(recovered.stream.skyline(), mirror.skyline());
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -1,0 +1,269 @@
+//! Differential oracle for the incremental delta engine: random
+//! mutation scripts over [`StreamingSkyline`] where the skyline is
+//! maintained **only** by applying each mutation's [`SkylineDelta`] to
+//! a materialised id list — never read back from the structure — and
+//! after every step that patched list must byte-match a naive
+//! from-scratch recompute over the live rows (and the structure's own
+//! view, and its invariants).
+//!
+//! Scripts mix four operations — fresh insert, duplicate-row insert,
+//! live remove, and remove of a missing id — across three data
+//! distributions and d = 2..8. Every operation is defined so that *any
+//! subsequence* of a script is executable (selectors resolve against
+//! whatever is live at execution time), which is what makes the
+//! shrink-on-failure loop sound: on divergence the harness greedily
+//! deletes ops while the failure reproduces and panics with the minimal
+//! failing script, ready to paste into a regression test.
+
+use skyline_core::dataset::Dataset;
+use skyline_core::delta::SkylineDelta;
+use skyline_core::metrics::Metrics;
+use skyline_core::point::PointId;
+use skyline_core::streaming::StreamingSkyline;
+use skyline_data::rng::Rng64;
+use skyline_data::{Distribution, SyntheticSpec};
+use skyline_integration_tests::oracle_skyline;
+
+/// One scripted mutation. Selectors (`u64`) are resolved modulo the
+/// live population *at execution time*, so dropping earlier ops never
+/// makes a later op meaningless — at worst it becomes a no-op.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Insert this row.
+    Insert(Vec<f64>),
+    /// Re-insert the row of the selector-chosen live point (exact
+    /// duplicate; no-op when nothing is live).
+    DuplicateRow(u64),
+    /// Remove the selector-chosen live point (no-op when nothing is
+    /// live).
+    RemoveLive(u64),
+    /// Remove an id that is not live: a previously removed handle when
+    /// one exists (selector-chosen), a never-issued handle otherwise.
+    /// Must yield no delta and must not move the version.
+    RemoveMissing(u64),
+}
+
+/// Brute-force skyline of the live points, as sorted streaming ids —
+/// the from-scratch answer the delta-patched list must byte-match.
+fn scratch_oracle(live: &[(PointId, Vec<f64>)]) -> Vec<PointId> {
+    if live.is_empty() {
+        return Vec::new();
+    }
+    let rows: Vec<Vec<f64>> = live.iter().map(|(_, r)| r.clone()).collect();
+    let data = Dataset::from_rows(&rows).unwrap();
+    let mut ids: Vec<PointId> = oracle_skyline(&data)
+        .into_iter()
+        .map(|i| live[i as usize].0)
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+/// Execute `ops`, maintaining the skyline purely by delta application.
+/// Returns the first divergence as `Err` (no panics: the shrinker needs
+/// to re-run candidate scripts cheaply).
+fn run_script(dims: usize, ops: &[Op]) -> Result<(), String> {
+    let mut sky = StreamingSkyline::new(dims).map_err(|e| e.to_string())?;
+    let mut metrics = Metrics::new();
+    let mut live: Vec<(PointId, Vec<f64>)> = Vec::new();
+    let mut dead: Vec<PointId> = Vec::new();
+    let mut issued: u64 = 0;
+    // The delta-maintained skyline: only ever touched via apply().
+    let mut patched: Vec<PointId> = Vec::new();
+
+    for (step, op) in ops.iter().enumerate() {
+        let fail = |what: String| Err::<(), String>(format!("step {step} ({op:?}): {what}"));
+        let before = sky.version();
+        let delta: Option<SkylineDelta> = match op {
+            Op::Insert(row) => {
+                let (id, d) = match sky.insert_delta(row, &mut metrics) {
+                    Ok(pair) => pair,
+                    Err(e) => return fail(format!("insert failed: {e}")),
+                };
+                issued += 1;
+                live.push((id, row.clone()));
+                Some(d)
+            }
+            Op::DuplicateRow(sel) => match live.is_empty() {
+                true => None,
+                false => {
+                    let row = live[(*sel as usize) % live.len()].1.clone();
+                    let (id, d) = match sky.insert_delta(&row, &mut metrics) {
+                        Ok(pair) => pair,
+                        Err(e) => return fail(format!("duplicate insert failed: {e}")),
+                    };
+                    issued += 1;
+                    live.push((id, row));
+                    Some(d)
+                }
+            },
+            Op::RemoveLive(sel) => match live.is_empty() {
+                true => None,
+                false => {
+                    let (id, _) = live.remove((*sel as usize) % live.len());
+                    dead.push(id);
+                    match sky.remove_delta(id, &mut metrics) {
+                        Some(d) => Some(d),
+                        None => return fail(format!("live id {id} refused removal")),
+                    }
+                }
+            },
+            Op::RemoveMissing(sel) => {
+                let victim = if dead.is_empty() {
+                    // Handles are issued densely from 0, so this one
+                    // cannot exist yet.
+                    (issued + 1 + sel % 7) as PointId
+                } else {
+                    dead[(*sel as usize) % dead.len()]
+                };
+                if let Some(d) = sky.remove_delta(victim, &mut metrics) {
+                    return fail(format!("missing id {victim} produced delta {d:?}"));
+                }
+                if sky.version() != before {
+                    return fail("missing-id remove moved the version".to_string());
+                }
+                None
+            }
+        };
+
+        if let Some(d) = &delta {
+            if d.version != before + 1 {
+                return fail(format!(
+                    "delta version {} is not base {before} + 1",
+                    d.version
+                ));
+            }
+            if d.version != sky.version() {
+                return fail(format!(
+                    "delta version {} disagrees with the structure's {}",
+                    d.version,
+                    sky.version()
+                ));
+            }
+            if !d.apply(&mut patched) {
+                return fail(format!("delta {d:?} refused to apply to {patched:?}"));
+            }
+        }
+
+        sky.check_invariants();
+        let expected = scratch_oracle(&live);
+        if patched != expected {
+            return fail(format!(
+                "delta-patched skyline {patched:?} != scratch recompute {expected:?}"
+            ));
+        }
+        if patched != sky.skyline() {
+            return fail(format!(
+                "delta-patched skyline {patched:?} != structure view {:?}",
+                sky.skyline()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Greedy delta-debugging: drop one op at a time, keeping any drop
+/// under which the script still fails, until no single removal
+/// reproduces. Panics with the minimal script and its error.
+fn shrink_and_report(dims: usize, mut script: Vec<Op>, mut err: String) -> ! {
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let mut i = 0;
+        while i < script.len() {
+            let mut candidate = script.clone();
+            candidate.remove(i);
+            match run_script(dims, &candidate) {
+                Err(e) => {
+                    script = candidate;
+                    err = e;
+                    changed = true;
+                }
+                Ok(()) => i += 1,
+            }
+        }
+    }
+    panic!(
+        "delta engine diverged from the scratch oracle (dims={dims}).\n\
+         error: {err}\n\
+         minimal failing script ({} ops):\n{script:#?}",
+        script.len()
+    );
+}
+
+/// Generate one script: rows drawn from `dist` so the skyline density
+/// matches real workloads, with ~15% duplicate inserts, ~20% live
+/// removals, and ~10% missing-id removals mixed in.
+fn gen_script(dist: Distribution, dims: usize, steps: usize, seed: u64) -> Vec<Op> {
+    let spec = SyntheticSpec {
+        distribution: dist,
+        cardinality: steps,
+        dims,
+        seed,
+    };
+    let data = spec.generate();
+    let mut pool = data.iter().map(|(_, row)| row.to_vec());
+    let mut rng = Rng64::seed_from_u64(seed ^ 0xDE17A);
+    let mut ops = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let roll = rng.next_u64() % 100;
+        let sel = rng.next_u64();
+        ops.push(match roll {
+            0..=54 => Op::Insert(pool.next().expect("pool sized to steps")),
+            55..=69 => Op::DuplicateRow(sel),
+            70..=89 => Op::RemoveLive(sel),
+            _ => Op::RemoveMissing(sel),
+        });
+    }
+    ops
+}
+
+fn fuzz(dist: Distribution, steps_per_dim: usize) {
+    for dims in 2..=8usize {
+        let seed = 0x5EED_0000 + dims as u64;
+        let script = gen_script(dist, dims, steps_per_dim, seed);
+        if let Err(e) = run_script(dims, &script) {
+            shrink_and_report(dims, script, e);
+        }
+    }
+}
+
+// 3 distributions × 7 dimensionalities × 60 steps = 1260 randomized
+// steps, each checked against the scratch oracle.
+
+#[test]
+fn independent_scripts_match_scratch_recompute() {
+    fuzz(Distribution::Independent, 60);
+}
+
+#[test]
+fn correlated_scripts_match_scratch_recompute() {
+    fuzz(Distribution::Correlated, 60);
+}
+
+#[test]
+fn anticorrelated_scripts_match_scratch_recompute() {
+    fuzz(Distribution::AntiCorrelated, 60);
+}
+
+/// The degenerate scripts the fuzzer rarely lands on exactly.
+#[test]
+fn edge_scripts_hold() {
+    // Empty script: nothing to check, nothing to crash.
+    assert_eq!(run_script(3, &[]), Ok(()));
+    // Only missing-id removals: version must never move.
+    assert_eq!(
+        run_script(2, &[Op::RemoveMissing(0), Op::RemoveMissing(41)]),
+        Ok(())
+    );
+    // Insert, duplicate it, remove both, then re-remove (missing).
+    let script = vec![
+        Op::Insert(vec![0.5, 0.5]),
+        Op::DuplicateRow(0),
+        Op::RemoveLive(1),
+        Op::RemoveLive(0),
+        Op::RemoveMissing(0),
+        Op::RemoveMissing(1),
+    ];
+    assert_eq!(run_script(2, &script), Ok(()));
+}

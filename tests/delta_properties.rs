@@ -1,0 +1,165 @@
+//! Property tests for the delta algebra ([`SkylineDelta`]) and the
+//! deltas the streaming engine actually produces: normalisation
+//! (`entered ∩ left = ∅`, both sides sorted and duplicate-free), dense
+//! monotone versioning, sequence-equals-coalesced-sum composition, and
+//! the empty delta for removing a point that was never in the skyline.
+//!
+//! Runs in tier-1 (no feature gate): the delta engine is load-bearing
+//! for the server's cache-patch path, so its algebra is pinned on every
+//! `cargo test`.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use skyline_core::delta::SkylineDelta;
+use skyline_core::metrics::Metrics;
+use skyline_core::point::PointId;
+use skyline_core::streaming::StreamingSkyline;
+
+/// One scripted op: `(kind, row, selector)`. Kind 0 inserts `row`,
+/// kind 1 re-inserts a previously inserted row (duplicate), kind 2
+/// removes a selector-chosen live point, kind 3 removes a missing id.
+type ScriptOp = (u8, Vec<i8>, u16);
+
+/// Execute a script on a fresh structure; returns the deltas of every
+/// *effective* mutation plus the structure's starting version. Small
+/// quantised coordinates force plenty of ties, duplicates, and skyline
+/// churn.
+fn run(ops: &[ScriptOp], dims: usize) -> (Vec<SkylineDelta>, u64) {
+    let mut sky = StreamingSkyline::new(dims).unwrap();
+    let base = sky.version();
+    let mut metrics = Metrics::new();
+    let mut live: Vec<PointId> = Vec::new();
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut issued: u64 = 0;
+    let mut deltas = Vec::new();
+    for (kind, row, sel) in ops {
+        let row: Vec<f64> = row.iter().map(|&v| v as f64).collect();
+        match kind % 4 {
+            0 | 1 => {
+                let row = match (kind % 4 == 1, rows.is_empty()) {
+                    (true, false) => rows[*sel as usize % rows.len()].clone(),
+                    _ => row,
+                };
+                let (id, d) = sky.insert_delta(&row, &mut metrics).unwrap();
+                issued += 1;
+                live.push(id);
+                rows.push(row);
+                deltas.push(d);
+            }
+            2 => {
+                if !live.is_empty() {
+                    let id = live.remove(*sel as usize % live.len());
+                    deltas.push(sky.remove_delta(id, &mut metrics).unwrap());
+                }
+            }
+            _ => {
+                // Handles are dense, so this id cannot exist; the
+                // structure must refuse without minting a delta.
+                assert!(sky
+                    .remove_delta((issued + 3) as PointId, &mut metrics)
+                    .is_none());
+            }
+        }
+    }
+    (deltas, base)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every delta a real mutation run produces is normalised: both
+    /// sides strictly ascending (sorted, duplicate-free) and disjoint.
+    #[test]
+    fn produced_deltas_are_normalised(
+        ops in vec((0..4u8, vec(0..5i8, 3), 0..64u16), 0..40),
+    ) {
+        let (deltas, _) = run(&ops, 3);
+        for d in &deltas {
+            prop_assert!(d.entered.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(d.left.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(
+                d.entered.iter().all(|id| d.left.binary_search(id).is_err()),
+                "entered ∩ left must be empty: {:?}", d
+            );
+        }
+    }
+
+    /// Versions are dense and monotone: the i-th effective mutation
+    /// carries exactly `base + i + 1` — no gaps, no reuse, no reorder.
+    #[test]
+    fn versions_are_dense_and_monotone(
+        ops in vec((0..4u8, vec(0..5i8, 2), 0..64u16), 0..40),
+    ) {
+        let (deltas, base) = run(&ops, 2);
+        for (i, d) in deltas.iter().enumerate() {
+            prop_assert_eq!(d.version, base + 1 + i as u64);
+        }
+    }
+
+    /// Applying a run of deltas one by one lands on the same skyline as
+    /// applying their coalesced sum once — and the sum carries the last
+    /// version.
+    #[test]
+    fn sequence_equals_coalesced_sum(
+        ops in vec((0..4u8, vec(0..5i8, 4), 0..64u16), 0..40),
+    ) {
+        let (deltas, _) = run(&ops, 4);
+        let mut stepped: Vec<PointId> = Vec::new();
+        for d in &deltas {
+            prop_assert!(d.apply(&mut stepped), "chain must apply: {:?}", d);
+        }
+        match SkylineDelta::coalesce(&deltas) {
+            None => prop_assert!(stepped.is_empty()),
+            Some(sum) => {
+                let mut summed: Vec<PointId> = Vec::new();
+                prop_assert!(sum.apply(&mut summed));
+                prop_assert_eq!(&stepped, &summed);
+                prop_assert_eq!(sum.version, deltas.last().unwrap().version);
+            }
+        }
+    }
+
+    /// Removing a point that was never in the skyline (strictly
+    /// dominated from birth) is membership-invisible: the delta is
+    /// empty, yet the version still moves — consumers must be able to
+    /// stay in lockstep on no-op mutations.
+    #[test]
+    fn removing_a_shadowed_point_yields_an_empty_delta(
+        a in vec(0..5i8, 4),
+        off in vec(1..4i8, 4),
+    ) {
+        let mut sky = StreamingSkyline::new(4).unwrap();
+        let mut m = Metrics::new();
+        let a_row: Vec<f64> = a.iter().map(|&v| v as f64).collect();
+        let b_row: Vec<f64> = a.iter().zip(&off).map(|(&v, &o)| (v + o) as f64).collect();
+        sky.insert(&a_row, &mut m).unwrap();
+        let (b, _) = sky.insert_delta(&b_row, &mut m).unwrap();
+        prop_assert!(!sky.skyline().contains(&b), "b must be shadowed");
+        let skyline_before = sky.skyline();
+        let version_before = sky.version();
+        let d = sky.remove_delta(b, &mut m).unwrap();
+        prop_assert!(d.is_empty(), "shadowed remove must be membership-invisible");
+        prop_assert_eq!(d.version, version_before + 1);
+        prop_assert_eq!(sky.skyline(), skyline_before);
+    }
+
+    /// `from_events` on arbitrary raw event streams: the result is the
+    /// symmetric difference semantics — an id survives on the side it
+    /// appears on iff it does not also appear on the other.
+    #[test]
+    fn from_events_normalises_arbitrary_streams(
+        entered in vec(0..32u32, 0..20),
+        left in vec(0..32u32, 0..20),
+    ) {
+        let d = SkylineDelta::from_events(entered.clone(), left.clone(), 9);
+        prop_assert_eq!(d.version, 9);
+        prop_assert!(d.entered.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(d.left.windows(2).all(|w| w[0] < w[1]));
+        for id in 0..32u32 {
+            let e = entered.contains(&id);
+            let l = left.contains(&id);
+            prop_assert_eq!(d.entered.contains(&id), e && !l);
+            prop_assert_eq!(d.left.contains(&id), l && !e);
+        }
+    }
+}

@@ -1,8 +1,8 @@
 //! End-to-end tests of the HTTP query service: byte-identical results
 //! between the HTTP path and a direct library call, cache-hit semantics
-//! on repeated queries, cache invalidation under streaming maintenance,
-//! protocol robustness against malformed requests, query deadlines, and
-//! durable crash recovery.
+//! on repeated queries, delta-patched cache entries under streaming
+//! maintenance, protocol robustness against malformed requests, query
+//! deadlines, and durable crash recovery.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -133,11 +133,11 @@ fn second_identical_request_is_a_cache_hit() {
     assert_eq!(stats.misses, 2, "{stats:?}");
 }
 
-/// Streaming maintenance invalidates the cache: after an insert the next
-/// response recomputes and reflects the new point; after a delete it
-/// reflects the removal.
+/// Streaming maintenance patches the cache: a full-space cached entry
+/// is carried forward by each mutation's skyline delta, so the next
+/// response still answers warm — at the new version, with the new ids.
 #[test]
-fn streaming_mutation_invalidates_cache_and_updates_results() {
+fn streaming_mutation_patches_cache_and_updates_results() {
     let rows = vec![
         vec![1.0, 5.0, 5.0],
         vec![5.0, 1.0, 5.0],
@@ -165,24 +165,102 @@ fn streaming_mutation_invalidates_cache_and_updates_results() {
         .1
     );
 
-    // Insert a point that dominates everything.
+    // Insert a point that dominates everything: entered [4], left
+    // [0, 1, 2] — the mutation patches the cached entry forward.
     let inserted =
         client::post(addr, "/datasets/m/points", "{\"rows\": [[0.5, 0.5, 0.5]]}").unwrap();
     assert_eq!(inserted.status, 200, "{}", inserted.body_str());
+    assert!(
+        inserted.body_str().contains("\"cache_patched\":1"),
+        "{}",
+        inserted.body_str()
+    );
     let after = client::get(addr, "/skyline?dataset=m&algo=SFS").unwrap();
     let (v1, cached, ids1) = parse_skyline_response(&after.body_str());
-    assert!(!cached, "mutation invalidated the cached entry");
+    assert!(cached, "the patched entry answers the post-mutation query");
     assert!(v1 > v0);
     assert_eq!(ids1, vec![4], "the new point is the whole skyline");
 
-    // Remove it again: the old skyline resurfaces under a new version.
+    // Remove it again: the old skyline resurfaces under a new version,
+    // still without a recompute.
     let removed = client::request(addr, "DELETE", "/datasets/m/points", b"{\"ids\": [4]}").unwrap();
     assert_eq!(removed.status, 200, "{}", removed.body_str());
+    assert!(
+        removed.body_str().contains("\"cache_patched\":1"),
+        "{}",
+        removed.body_str()
+    );
     let last = client::get(addr, "/skyline?dataset=m&algo=SFS").unwrap();
     let (v2, cached2, ids2) = parse_skyline_response(&last.body_str());
-    assert!(!cached2);
+    assert!(cached2);
     assert!(v2 > v1);
     assert_eq!(ids2, vec![0, 1, 2]);
+}
+
+/// The patched entry is not a guess: after an insert, the warm answer
+/// (cache hit on the delta-patched entry, `cache_patched` counted in
+/// `/metrics`) byte-matches a cold recompute of the same query.
+#[test]
+fn patched_cache_entry_matches_cold_recompute() {
+    let rows = workload_rows();
+    let server = start_server();
+    let addr = server.local_addr();
+    client::post(
+        addr,
+        "/datasets",
+        &format!("{{\"name\": \"patch\", \"rows\": {}}}", rows_json(&rows)),
+    )
+    .unwrap();
+
+    // Prime the entry, then mutate: a point dominating everything makes
+    // the delta non-trivial (it enters, the whole old skyline leaves).
+    let primed = client::get(addr, "/skyline?dataset=patch&algo=SDI-Subset").unwrap();
+    assert_eq!(primed.status, 200, "{}", primed.body_str());
+    let inserted = client::post(
+        addr,
+        "/datasets/patch/points",
+        "{\"rows\": [[0.0, 0.0, 0.0, 0.0, 0.0]]}",
+    )
+    .unwrap();
+    assert_eq!(inserted.status, 200, "{}", inserted.body_str());
+    assert!(
+        inserted.body_str().contains("\"cache_patched\":1"),
+        "{}",
+        inserted.body_str()
+    );
+
+    let hits_before = server.cache_stats().hits;
+    let warm = client::get(addr, "/skyline?dataset=patch&algo=SDI-Subset").unwrap();
+    let (warm_version, warm_cached, warm_ids) = parse_skyline_response(&warm.body_str());
+    assert!(warm_cached, "patched entry must serve the query");
+    assert_eq!(
+        server.cache_stats().hits,
+        hits_before + 1,
+        "a hit, not a recompute"
+    );
+    assert_eq!(warm_version, rows.len() as u64 + 1);
+
+    // Cold recompute of the same query: SFS has no cache entry yet, so
+    // this one computes from the live structure.
+    let cold = client::get(addr, "/skyline?dataset=patch&algo=SFS").unwrap();
+    let (cold_version, cold_cached, cold_ids) = parse_skyline_response(&cold.body_str());
+    assert!(!cold_cached, "fresh key must recompute");
+    assert_eq!(cold_version, warm_version);
+    assert_eq!(warm_ids, cold_ids, "patched answer must match recompute");
+    assert_eq!(warm_ids, vec![rows.len() as u32]);
+
+    // The patch shows up in both stats surfaces.
+    assert_eq!(server.cache_stats().patched, 1);
+    let metrics = client::get(addr, "/metrics").unwrap();
+    let v = Value::parse(&metrics.body_str()).unwrap();
+    assert_eq!(
+        v.get("cache")
+            .and_then(|c| c.get("patched"))
+            .and_then(Value::as_u64),
+        Some(1),
+        "{}",
+        metrics.body_str()
+    );
 }
 
 /// The synthetic-spec form of `POST /datasets` generates server-side and

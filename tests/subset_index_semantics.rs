@@ -80,6 +80,48 @@ fn merge_produced_subspaces_roundtrip_through_the_index() {
     }
 }
 
+/// Regression: removing from an empty (or fully drained) index is a
+/// no-op fast path — it must not materialise the reversed path, must
+/// not touch metrics-visible state, and must keep answering queries
+/// correctly afterwards. Mutation-heavy streaming workloads hit the
+/// empty-remove case constantly.
+#[test]
+fn remove_on_empty_index_is_a_noop_fast_path() {
+    let dims = 6;
+    let mut index = SubsetIndex::new(dims);
+    let mut m = Metrics::new();
+
+    // Fresh-empty: every remove misses, nothing panics, nothing counts.
+    for id in 0..8u32 {
+        assert!(!index.remove(id, Subspace::from_bits(id as u64 & 0x3F)));
+        assert!(!index.remove(id, Subspace::full(dims)));
+        assert!(!index.remove(id, Subspace::from_bits(0)));
+    }
+    assert!(index.is_empty());
+    assert_eq!(index.len(), 0);
+    assert_eq!(index.node_count(), 1, "no trie nodes may be materialised");
+
+    // Drained-empty: fill, empty out, then remove again — the fast path
+    // must also cover an index that *became* empty.
+    for id in 0..16u32 {
+        index.put(id, Subspace::from_bits(id as u64 % 5));
+    }
+    for id in 0..16u32 {
+        assert!(index.remove(id, Subspace::from_bits(id as u64 % 5)));
+    }
+    assert!(index.is_empty());
+    for id in 0..16u32 {
+        assert!(!index.remove(id, Subspace::from_bits(id as u64 % 5)));
+    }
+
+    // The structure stays fully usable after the no-op removes.
+    index.put(42, Subspace::from_bits(0b11));
+    let got = index.query(Subspace::from_bits(0b01), &mut m);
+    assert_eq!(got, vec![42]);
+    assert!(index.remove(42, Subspace::from_bits(0b11)));
+    assert!(index.is_empty());
+}
+
 #[test]
 fn node_count_is_bounded_by_total_path_length() {
     let mut rng = Rng64::seed_from_u64(7);

@@ -144,7 +144,8 @@ fn boosted_runs_emit_phase_spans_and_events() {
                 | Event::Recovery { .. }
                 | Event::ShardRpc { .. }
                 | Event::ClusterMerge { .. }
-                | Event::StageBreakdown { .. } => {
+                | Event::StageBreakdown { .. }
+                | Event::DeltaApplied { .. } => {
                     panic!("{name}: library run emitted a server event");
                 }
             }
