@@ -205,6 +205,101 @@ if [[ "$quick" != "quick" ]]; then
     curl -sf -X POST "http://$addr/shutdown" | grep -q 'shutting down'
     wait "$serve_pid"
 
+    echo "==> replication smoke: follower converges, survives a primary kill -9"
+    ./target/release/skyline serve --port 0 --threads 2 \
+        --data-dir "$tmp/primary" --fsync always > "$tmp/primary.out" &
+    primary_pid=$!
+    for _ in $(seq 1 50); do
+        grep -q '^listening on ' "$tmp/primary.out" && break
+        sleep 0.1
+    done
+    paddr=$(sed -n 's/^listening on //p' "$tmp/primary.out")
+    [[ -n "$paddr" ]] || { echo "primary never reported its address"; exit 1; }
+    pport=${paddr##*:}
+    curl -sf -X POST "http://$paddr/datasets" \
+        -d '{"name": "rep", "synthetic": {"distribution": "AC", "n": 300, "dims": 4, "seed": 7}}' \
+        | grep -q '"points":300'
+    ./target/release/skyline serve --port 0 --threads 2 \
+        --follow "$paddr" --follow-wait-ms 200 > "$tmp/follower.out" &
+    follower_pid=$!
+    for _ in $(seq 1 50); do
+        grep -q '^listening on ' "$tmp/follower.out" && break
+        sleep 0.1
+    done
+    faddr=$(sed -n 's/^listening on //p' "$tmp/follower.out")
+    [[ -n "$faddr" ]] || { echo "follower never reported its address"; exit 1; }
+
+    # skyline_core: "version":N plus "ids":[...], timing fields stripped.
+    skyline_core() {
+        local body
+        body=$(curl -sf "http://$1/skyline?dataset=rep&algo=SFS" 2>/dev/null) || return 0
+        printf '%s;%s' \
+            "$(printf '%s' "$body" | grep -o '"version":[0-9]*')" \
+            "$(printf '%s' "$body" | grep -o '"ids":\[[^]]*\]')"
+    }
+    converge() {
+        for _ in $(seq 1 100); do
+            p=$(skyline_core "$paddr"); f=$(skyline_core "$faddr")
+            [[ -n "$p" && "$p" == "$f" ]] && return 0
+            sleep 0.1
+        done
+        echo "follower never converged: primary=$p follower=$f"; return 1
+    }
+    converge                 # initial snapshot sync
+    curl -sf -X POST "http://$paddr/datasets/rep/points" \
+        -d '{"rows": [[0.001, 0.001, 0.001, 0.001]]}' | grep -q '"inserted":1'
+    converge                 # this mutation had to travel the change feed
+    curl -sfD "$tmp/replica-hdrs" "http://$faddr/skyline?dataset=rep" >/dev/null
+    grep -qi '^x-skyline-replica-lag: ' "$tmp/replica-hdrs"
+    curl -sf "http://$faddr/healthz" | grep -q '"role":"replica"'
+    # Writes bounce to the primary with a 307 + Location.
+    code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+        "http://$faddr/datasets/rep/points" -d '{"rows": [[1, 1, 1, 1]]}')
+    [[ "$code" == "307" ]] || { echo "follower accepted a write ($code)"; exit 1; }
+    # Replication counters, JSON and prometheus exposition.
+    curl -sf "http://$faddr/metrics" | grep -q '"resyncs_total":1'
+    curl -sf "http://$faddr/metrics?format=prometheus" > "$tmp/replica-prom.txt"
+    grep -q '^skyline_replica_applied_total [1-9]' "$tmp/replica-prom.txt"
+    grep -q 'skyline_replica_lag_versions{dataset="rep"}' "$tmp/replica-prom.txt"
+    # The feed itself: dense records from the start, resumable cursor.
+    curl -sf "http://$paddr/datasets/rep/changes?since=0&limit=2" \
+        | grep -q '"records":\[{"version":1,'
+    curl -sf "http://$paddr/datasets/rep/changes?since=301&subscribe=1&wait_ms=100" \
+        | grep -q '"heartbeat":true'
+
+    kill -9 "$primary_pid"   # hard crash mid-stream: the follower holds its cursor
+    wait "$primary_pid" 2>/dev/null || true
+    sleep 0.3
+    for _ in $(seq 1 20); do   # rebind the vacated port, retrying while the kernel frees it
+        ./target/release/skyline serve --port "$pport" --threads 2 \
+            --data-dir "$tmp/primary" --fsync always > "$tmp/primary2.out" 2>&1 &
+        primary_pid=$!
+        for _ in $(seq 1 30); do
+            grep -q '^listening on ' "$tmp/primary2.out" && break
+            kill -0 "$primary_pid" 2>/dev/null || break
+            sleep 0.1
+        done
+        grep -q '^listening on ' "$tmp/primary2.out" && break
+        wait "$primary_pid" 2>/dev/null || true
+        sleep 0.2
+    done
+    grep -q '^listening on ' "$tmp/primary2.out" \
+        || { echo "primary never came back on port $pport"; exit 1; }
+    curl -sf -X POST "http://$paddr/datasets/rep/points" \
+        -d '{"rows": [[0.0005, 0.0005, 0.0005, 0.0005]]}' | grep -q '"inserted":1'
+    converge                 # reconnect-replay from the follower's cursor
+    curl -sf "http://$faddr/metrics" | grep -q '"resyncs_total":1'   # replay, not resync
+    curl -sf -X POST "http://$paddr/shutdown" | grep -q 'shutting down'
+    wait "$primary_pid"
+    curl -sf -X POST "http://$faddr/shutdown" | grep -q 'shutting down'
+    wait "$follower_pid"
+
+    echo "==> replication bench artefact (quick)"
+    ./target/release/repro bench-json --replicated --requests 2 \
+        --out "$tmp/BENCH_REPL.json" 2>/dev/null
+    grep -q '"lag":{' "$tmp/BENCH_REPL.json"
+    grep -q '"follower_reads"' "$tmp/BENCH_REPL.json"
+
     echo "==> opt-in: chaos fault-injection harness"
     cargo test -q -p skyline-integration-tests --features chaos --test chaos
 fi

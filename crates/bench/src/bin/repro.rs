@@ -7,6 +7,7 @@
 //! repro bench-json [--out BENCH_PR2.json] [--runs N] [--threads T]
 //! repro bench-json --serve [--out BENCH_PR3.json] [--requests N] [--threads T]
 //! repro bench-json --cluster [--out BENCH_PR6.json] [--requests N] [--threads T]
+//! repro bench-json --replicated [--out BENCH_PR8.json] [--requests N] [--threads T]
 //! ```
 //!
 //! `bench-json` measures the evaluation suite plus the parallel engines
@@ -30,6 +31,13 @@
 //! p50/p99 and the dominant stage. `--requests N` sets the cold sample
 //! count (warm takes 2×N).
 //!
+//! `bench-json --replicated` benchmarks change-feed replication: a
+//! follower (`--follow`) tails the primary while it absorbs streaming
+//! inserts. Each sample times ack-on-primary to visible-on-follower
+//! (replication lag, p50/p99), then pure follower reads measure the
+//! read throughput a replica adds off the primary's critical path.
+//! `--requests N` sets the lag sample count (follower reads take 4×N).
+//!
 //! Default workloads are laptop-scale; `--full` uses the paper's exact
 //! cardinalities (hours of compute for the AC sweeps). Results print to
 //! stdout; progress goes to stderr.
@@ -40,12 +48,14 @@ use skyline_bench::artifact::{reference_workload, write_bench_artifact};
 use skyline_bench::cluster_bench::write_cluster_bench_artifact;
 use skyline_bench::experiments::{experiment_index, run_experiment};
 use skyline_bench::harness::Scale;
-use skyline_bench::serve_bench::write_serve_bench_artifact;
+use skyline_bench::serve_bench::{write_replication_bench_artifact, write_serve_bench_artifact};
 
 fn bench_json(args: &[String]) -> ExitCode {
     let serve = args.iter().any(|a| a == "--serve");
     let cluster = args.iter().any(|a| a == "--cluster");
+    let replicated = args.iter().any(|a| a == "--replicated");
     let out = match args.iter().position(|a| a == "--out") {
+        None if replicated => "BENCH_PR8.json".to_string(),
         None if cluster => "BENCH_PR6.json".to_string(),
         None if serve => "BENCH_PR3.json".to_string(),
         None => "BENCH_PR2.json".to_string(),
@@ -83,6 +93,40 @@ fn bench_json(args: &[String]) -> ExitCode {
         .unwrap_or("BENCH")
         .to_string();
     let spec = reference_workload();
+    if replicated {
+        let mutations = match args.iter().position(|a| a == "--requests") {
+            None => 60,
+            Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                Some(r) if r >= 1 => r,
+                _ => {
+                    eprintln!("error: --requests expects a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+        };
+        eprintln!(
+            "==> bench-json --replicated: {} n={} d={} seed={} ({mutations} lag samples / {} follower reads) -> {out}",
+            spec.distribution.tag(),
+            spec.cardinality,
+            spec.dims,
+            spec.seed,
+            mutations * 4
+        );
+        return match write_replication_bench_artifact(
+            std::path::Path::new(&out),
+            &label,
+            &spec,
+            mutations,
+            mutations * 4,
+            threads,
+        ) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {out}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if cluster {
         let cold = match args.iter().position(|a| a == "--requests") {
             None => 20,

@@ -21,7 +21,7 @@ use std::path::Path;
 use std::time::Instant;
 
 use skyline_data::SyntheticSpec;
-use skyline_obs::json::ObjectWriter;
+use skyline_obs::json::{ObjectWriter, Value};
 use skyline_serve::client::{request_with_retry, RetryPolicy, Session};
 use skyline_serve::{Server, ServerConfig, ServerHandle};
 
@@ -254,6 +254,172 @@ pub fn serve_bench_json(
     Ok(out)
 }
 
+/// Poll `session` until the follower serves `dataset` at `version` or
+/// beyond; returns the elapsed wait. Errors out after `deadline`.
+fn wait_for_replica_version(
+    session: &mut Session,
+    query: &str,
+    version: u64,
+    deadline: std::time::Duration,
+) -> std::io::Result<std::time::Duration> {
+    let start = Instant::now();
+    loop {
+        if let Ok(resp) = session.request("GET", query, &[]) {
+            if resp.status == 200 {
+                let served = Value::parse(&resp.body_str())
+                    .ok()
+                    .and_then(|v| v.get("version").and_then(Value::as_u64));
+                if served.is_some_and(|v| v >= version) {
+                    return Ok(start.elapsed());
+                }
+            }
+        }
+        if start.elapsed() > deadline {
+            return Err(std::io::Error::other(format!(
+                "follower never reached version {version}"
+            )));
+        }
+        std::thread::sleep(std::time::Duration::from_micros(200));
+    }
+}
+
+/// Run the replication benchmark and return the `BENCH_*.json` document.
+///
+/// A follower tails the primary's change feed while the primary absorbs
+/// `mutations` streaming inserts; each sample times how long the
+/// mutation takes to become visible on the follower (replication lag,
+/// ack on the primary to serving on the replica). Then `reads` queries
+/// hammer the follower alone for read throughput off the primary's
+/// critical path.
+pub fn replication_bench_json(
+    label: &str,
+    spec: &SyntheticSpec,
+    mutations: usize,
+    reads: usize,
+    threads: usize,
+) -> std::io::Result<String> {
+    let threads = if threads == 0 {
+        crate::artifact::default_bench_threads()
+    } else {
+        threads
+    };
+    let (mut primary, mut session) = bench_server(spec, threads, 256)?;
+    let follower = Server::start(ServerConfig {
+        threads,
+        follow: Some(primary.local_addr()),
+        follow_wait_ms: 50,
+        ..Default::default()
+    })?;
+    let mut replica_session = Session::connect(follower.local_addr())?;
+    let sync_deadline = std::time::Duration::from_secs(30);
+
+    // Creation inserted one row per point: the content version is the
+    // cardinality. Wait out the follower's initial snapshot sync so the
+    // lag samples measure the feed, not the bootstrap.
+    let mut version = spec.cardinality as u64;
+    wait_for_replica_version(&mut replica_session, QUERY, version, sync_deadline)?;
+
+    let dominated_row: Vec<String> = (0..spec.dims).map(|_| "1e9".to_string()).collect();
+    let insert_body = format!("{{\"rows\": [[{}]]}}", dominated_row.join(","));
+    let mut lag = Phase {
+        latencies_us: Vec::with_capacity(mutations),
+        wall_secs: 0.0,
+    };
+    let lag_start = Instant::now();
+    for _ in 0..mutations {
+        let resp = session.request("POST", "/datasets/bench/points", insert_body.as_bytes())?;
+        if resp.status != 200 {
+            return Err(std::io::Error::other(format!(
+                "insert failed: {}",
+                resp.body_str()
+            )));
+        }
+        version += 1;
+        let waited = wait_for_replica_version(&mut replica_session, QUERY, version, sync_deadline)?;
+        lag.latencies_us.push(waited.as_micros() as u64);
+    }
+    lag.wall_secs = lag_start.elapsed().as_secs_f64();
+
+    // Pure follower reads: the primary is idle, every answer is local.
+    let mut follower_reads = Phase {
+        latencies_us: Vec::with_capacity(reads),
+        wall_secs: 0.0,
+    };
+    let reads_start = Instant::now();
+    for _ in 0..reads {
+        let t = Instant::now();
+        let resp = replica_session.request("GET", QUERY, &[])?;
+        follower_reads
+            .latencies_us
+            .push(t.elapsed().as_micros() as u64);
+        expect_field(&resp.body_str(), "\"ids\"")?;
+    }
+    follower_reads.wall_secs = reads_start.elapsed().as_secs_f64();
+
+    // The follower's own accounting, straight from its /metrics.
+    let metrics = replica_session.request("GET", "/metrics", &[])?;
+    let counters = Value::parse(&metrics.body_str())
+        .ok()
+        .and_then(|v| {
+            let rep = v.get("replication")?;
+            Some((
+                rep.get("applied_total").and_then(Value::as_u64)?,
+                rep.get("duplicates_total").and_then(Value::as_u64)?,
+                rep.get("resyncs_total").and_then(Value::as_u64)?,
+            ))
+        })
+        .ok_or_else(|| std::io::Error::other("follower /metrics lacks replication counters"))?;
+    primary.shutdown();
+
+    lag.latencies_us.sort_unstable();
+    follower_reads.latencies_us.sort_unstable();
+
+    let mut workload = ObjectWriter::new();
+    workload
+        .str_field("distribution", spec.distribution.tag())
+        .u64_field("cardinality", spec.cardinality as u64)
+        .u64_field("dims", spec.dims as u64)
+        .u64_field("seed", spec.seed)
+        .str_field("algorithm", "SDI-Subset")
+        .u64_field("server_threads", threads as u64);
+
+    let mut feed = ObjectWriter::new();
+    feed.u64_field("applied_total", counters.0)
+        .u64_field("duplicates_total", counters.1)
+        .u64_field("resyncs_total", counters.2);
+
+    let mut replication = ObjectWriter::new();
+    replication
+        .raw_field("lag", &phase_json(&lag))
+        .raw_field("follower_reads", &phase_json(&follower_reads))
+        .raw_field("feed", &feed.finish());
+
+    let mut doc = ObjectWriter::new();
+    doc.str_field("artifact", label)
+        .raw_field("workload", &workload.finish())
+        .raw_field("replication", &replication.finish());
+    let mut out = doc.finish();
+    out.push('\n');
+    Ok(out)
+}
+
+/// Write the replication benchmark artefact to `path`, echoing a short
+/// summary to stderr.
+pub fn write_replication_bench_artifact(
+    path: &Path,
+    label: &str,
+    spec: &SyntheticSpec,
+    mutations: usize,
+    reads: usize,
+    threads: usize,
+) -> std::io::Result<()> {
+    let doc = replication_bench_json(label, spec, mutations, reads, threads)?;
+    let mut summary = String::new();
+    let _ = write!(summary, "    replication: {} bytes", doc.len());
+    eprintln!("{summary}");
+    std::fs::write(path, doc)
+}
+
 /// Write the serving benchmark artefact to `path`, echoing a short
 /// summary to stderr.
 pub fn write_serve_bench_artifact(
@@ -285,6 +451,30 @@ mod tests {
         assert_eq!(percentile(&v, 100.0), 100);
         assert_eq!(percentile(&[], 50.0), 0);
         assert_eq!(percentile(&[7], 99.0), 7);
+    }
+
+    #[test]
+    fn replication_bench_produces_a_valid_artifact() {
+        let spec = SyntheticSpec {
+            distribution: Distribution::Independent,
+            cardinality: 200,
+            dims: 3,
+            seed: 13,
+        };
+        let doc = replication_bench_json("BENCH_TEST_REPL", &spec, 5, 8, 2).expect("bench runs");
+        let v = Value::parse(doc.trim()).expect("valid JSON");
+        assert_eq!(v.get("artifact").unwrap().as_str(), Some("BENCH_TEST_REPL"));
+        let rep = v.get("replication").unwrap();
+        let lag = rep.get("lag").unwrap();
+        assert_eq!(lag.get("requests").unwrap().as_u64(), Some(5));
+        assert!(lag.get("p99_us").unwrap().as_u64().unwrap() >= 1);
+        let reads = rep.get("follower_reads").unwrap();
+        assert_eq!(reads.get("requests").unwrap().as_u64(), Some(8));
+        assert!(reads.get("req_per_sec").unwrap().as_f64().unwrap() > 0.0);
+        let feed = rep.get("feed").unwrap();
+        // Every lag sample rode the feed; the initial sync is a resync.
+        assert!(feed.get("applied_total").unwrap().as_u64().unwrap() >= 5);
+        assert!(feed.get("resyncs_total").unwrap().as_u64().unwrap() >= 1);
     }
 
     #[test]

@@ -10,10 +10,12 @@
 //! skyline tune     <input.csv> [--sample N]
 //! skyline serve    [--port P] [--bind ADDR] [--threads T] [--cache N] [--trace out.jsonl]
 //!                  [--data-dir DIR] [--fsync always|never|interval[=MS]] [--max-inflight N]
-//!                  [--slow-ms MS] [--slow-log out.jsonl]
+//!                  [--slow-ms MS] [--slow-log out.jsonl] [--follow ADDR]
+//!                  [--follow-wait-ms MS] [--feed-retain N] [--compact-bytes N]
 //! skyline cluster  (--shards ADDR,ADDR,... | --spawn-local N) [--port P] [--bind ADDR]
 //!                  [--threads T] [--manifest PATH] [--trace out.jsonl]
 //!                  [--slow-ms MS] [--slow-log out.jsonl] [--shard-reuse]
+//!                  [--replicas S=ADDR,...] [--replica-staleness V]
 //! skyline algorithms
 //! ```
 //!
@@ -28,7 +30,13 @@
 //! mutation is write-ahead logged and datasets recover on restart;
 //! `--fsync` picks the durability/throughput trade-off and
 //! `--max-inflight` caps concurrent queries (excess load is shed with
-//! 503 + `Retry-After`).
+//! 503 + `Retry-After`). `--follow ADDR` starts a read-only replica
+//! that tails the primary's per-dataset change feeds
+//! (`GET /datasets/{name}/changes`), serves reads with an
+//! `X-Skyline-Replica-Lag` header and bounces writes to the primary
+//! with 307; `skyline cluster --replicas 0=ADDR,...` routes read legs
+//! to those followers (bounded by `--replica-staleness`), keeping
+//! writes on the primaries.
 //!
 //! Tracing: `--trace <path>` (or the `SKYLINE_TRACE` environment
 //! variable) appends structured JSON-lines telemetry — spans, Merge
@@ -72,10 +80,12 @@ const USAGE: &str = "usage:
   skyline tune     <input.csv> [--sample N]
   skyline serve    [--port P] [--bind ADDR] [--threads T] [--cache N] [--trace out.jsonl]
                    [--data-dir DIR] [--fsync always|never|interval[=MS]] [--max-inflight N]
-                   [--slow-ms MS] [--slow-log out.jsonl]
+                   [--slow-ms MS] [--slow-log out.jsonl] [--follow ADDR]
+                   [--follow-wait-ms MS] [--feed-retain N] [--compact-bytes N]
   skyline cluster  (--shards ADDR,ADDR,... | --spawn-local N) [--port P] [--bind ADDR]
                    [--threads T] [--manifest PATH] [--trace out.jsonl]
                    [--slow-ms MS] [--slow-log out.jsonl] [--shard-reuse]
+                   [--replicas S=ADDR,...] [--replica-staleness V]
   skyline algorithms
 
 parallel: --threads T runs the multi-core partition-merge engine (T=0 =
@@ -476,6 +486,31 @@ fn serve(args: &[String]) -> Result<(), String> {
             .parse()
             .map_err(|_| "--max-inflight expects a query count (0 = unlimited)")?,
     };
+    let follow: Option<std::net::SocketAddr> = match flag_value(args, "--follow")? {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| "--follow expects the primary's host:port")?,
+        ),
+    };
+    let follow_wait_ms: u64 = match flag_value(args, "--follow-wait-ms")? {
+        None => 1000,
+        Some(v) => v
+            .parse()
+            .map_err(|_| "--follow-wait-ms expects milliseconds")?,
+    };
+    let feed_retain: usize = match flag_value(args, "--feed-retain")? {
+        None => skyline_serve::registry::DEFAULT_FEED_RETAIN,
+        Some(v) => v
+            .parse()
+            .map_err(|_| "--feed-retain expects a record count")?,
+    };
+    let compact_bytes: u64 = match flag_value(args, "--compact-bytes")? {
+        None => 1 << 20,
+        Some(v) => v
+            .parse()
+            .map_err(|_| "--compact-bytes expects a byte count")?,
+    };
     let (slow_ms, slow_log) = parse_slow_flags(args)?;
     let config = skyline_serve::ServerConfig {
         bind: format!("{bind}:{port}"),
@@ -487,6 +522,10 @@ fn serve(args: &[String]) -> Result<(), String> {
         max_inflight,
         slow_ms,
         slow_log,
+        follow,
+        follow_wait_ms,
+        feed_retain,
+        compact_bytes,
         ..Default::default()
     };
     let mut handle = skyline_serve::Server::start(config).map_err(|e| format!("serve: {e}"))?;
@@ -548,6 +587,38 @@ fn cluster(args: &[String]) -> Result<(), String> {
         return Err("cluster needs --shards and/or --spawn-local".to_string());
     }
 
+    // `--replicas 0=host:port,1=host:port,...` — read replicas keyed
+    // by shard index; a shard may appear more than once.
+    let mut replicas: Vec<Vec<std::net::SocketAddr>> = vec![Vec::new(); shards.len()];
+    let mut have_replicas = false;
+    if let Some(list) = flag_value(args, "--replicas")? {
+        for part in list.split(',').filter(|p| !p.is_empty()) {
+            let (idx, addr) = part
+                .trim()
+                .split_once('=')
+                .ok_or_else(|| format!("--replicas entry {part:?} is not SHARD=host:port"))?;
+            let idx: usize = idx
+                .parse()
+                .map_err(|_| format!("--replicas shard index {idx:?} is not a number"))?;
+            if idx >= shards.len() {
+                return Err(format!(
+                    "--replicas names shard {idx}, the cluster has {}",
+                    shards.len()
+                ));
+            }
+            replicas[idx].push(
+                addr.parse()
+                    .map_err(|_| format!("--replicas address {addr:?} is not host:port"))?,
+            );
+            have_replicas = true;
+        }
+    }
+    let replica_staleness: u64 = match flag_value(args, "--replica-staleness")? {
+        None => 0,
+        Some(v) => v
+            .parse()
+            .map_err(|_| "--replica-staleness expects a version count")?,
+    };
     let (slow_ms, slow_log) = parse_slow_flags(args)?;
     let config = skyline_cluster::ClusterConfig {
         bind: format!("{bind}:{port}"),
@@ -557,6 +628,8 @@ fn cluster(args: &[String]) -> Result<(), String> {
         slow_ms,
         slow_log,
         shard_reuse: args.iter().any(|a| a == "--shard-reuse"),
+        replicas: if have_replicas { replicas } else { Vec::new() },
+        replica_staleness,
         ..skyline_cluster::ClusterConfig::new(shards)
     };
     let mut handle =

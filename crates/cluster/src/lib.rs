@@ -54,7 +54,7 @@ use std::fs::File;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -115,6 +115,16 @@ pub struct ClusterConfig {
     /// wrong default for health-sensitive deployments that watch
     /// `"partial"` to detect outages.
     pub shard_reuse: bool,
+    /// Read replicas per shard, in shard-id order (`skyline serve
+    /// --follow` followers of that shard). When a shard has replicas,
+    /// `/skyline` scatter legs go to them round-robin; writes always
+    /// stay on the primaries. Empty = read from primaries only.
+    pub replicas: Vec<Vec<SocketAddr>>,
+    /// Bounded staleness for replica reads: the largest self-reported
+    /// replica lag (versions behind the primary, from the
+    /// `X-Skyline-Replica-Lag` header) a read leg accepts before
+    /// falling back to the primary. 0 = only fully caught-up replicas.
+    pub replica_staleness: u64,
 }
 
 impl ClusterConfig {
@@ -140,6 +150,8 @@ impl ClusterConfig {
             slow_ms: 0,
             slow_log: None,
             shard_reuse: false,
+            replicas: Vec::new(),
+            replica_staleness: 0,
         }
     }
 }
@@ -184,6 +196,18 @@ struct Shared {
     /// longer matches are simply skipped (and overwritten by the next
     /// live answer).
     reuse: Mutex<HashMap<(String, String), Vec<ReusableAnswer>>>,
+    /// Read replicas per shard (empty inner vec = primary reads only).
+    replicas: Vec<Vec<SocketAddr>>,
+    /// Largest acceptable self-reported replica lag, versions.
+    replica_staleness: u64,
+    /// Round-robin cursor over each shard's replica list (one shared
+    /// counter is fine: it only spreads load, it carries no meaning).
+    replica_rr: AtomicUsize,
+    /// Scatter read legs that were routed to a replica first.
+    replica_requests: AtomicU64,
+    /// Replica-first legs that fell back to the primary (unreachable,
+    /// error status, or staleness beyond the bound).
+    replica_fallbacks: AtomicU64,
 }
 
 /// One shard's cached answer: `None` until the shard has answered this
@@ -268,6 +292,13 @@ impl Cluster {
         if config.shards.is_empty() {
             return Err(io::Error::other("cluster needs at least one shard"));
         }
+        if !config.replicas.is_empty() && config.replicas.len() != config.shards.len() {
+            return Err(io::Error::other(format!(
+                "--replicas lists {} shards, the cluster has {}",
+                config.replicas.len(),
+                config.shards.len()
+            )));
+        }
         let listener = TcpListener::bind(&config.bind)?;
         let addr = listener.local_addr()?;
         let recorder = match &config.trace {
@@ -306,6 +337,11 @@ impl Cluster {
             slow_log,
             shard_reuse: config.shard_reuse,
             reuse: Mutex::new(HashMap::new()),
+            replicas: config.replicas,
+            replica_staleness: config.replica_staleness,
+            replica_rr: AtomicUsize::new(0),
+            replica_requests: AtomicU64::new(0),
+            replica_fallbacks: AtomicU64::new(0),
         });
         let accept_shared = Arc::clone(&shared);
         let timeout = config.request_timeout;
@@ -470,6 +506,34 @@ fn shard_rpc(
     budget: Option<Duration>,
     ctx: Option<&TraceContext>,
 ) -> io::Result<(ClientResponse, RequestTiming)> {
+    shard_rpc_at(
+        shared,
+        shard,
+        shared.shards[shard],
+        method,
+        endpoint,
+        path,
+        body,
+        budget,
+        ctx,
+    )
+}
+
+/// [`shard_rpc`] against an explicit address — the same counters and
+/// trace events (attributed to the shard index), but aimed at a read
+/// replica instead of the primary.
+#[allow(clippy::too_many_arguments)]
+fn shard_rpc_at(
+    shared: &Shared,
+    shard: usize,
+    addr: SocketAddr,
+    method: &str,
+    endpoint: &str,
+    path: &str,
+    body: &[u8],
+    budget: Option<Duration>,
+    ctx: Option<&TraceContext>,
+) -> io::Result<(ClientResponse, RequestTiming)> {
     let start = Instant::now();
     let policy = RetryPolicy {
         budget,
@@ -482,8 +546,7 @@ fn shard_rpc(
         ],
         None => Vec::new(),
     };
-    let (result, attempts) =
-        request_with_retry_timed(shared.shards[shard], method, path, body, &headers, &policy);
+    let (result, attempts) = request_with_retry_timed(addr, method, path, body, &headers, &policy);
     let elapsed_us = start.elapsed().as_micros() as u64;
     let status = match &result {
         Ok((resp, _)) => resp.status as u64,
@@ -505,6 +568,56 @@ fn shard_rpc(
         trace: ctx.map(|c| c.trace_id.clone()).unwrap_or_default(),
     });
     result
+}
+
+/// Whether a replica's answer is usable under the staleness bound: it
+/// must self-report its lag (the header is what distinguishes a
+/// follower from a mis-addressed primary) and the lag must be within
+/// `bound` versions.
+fn replica_is_fresh(resp: &ClientResponse, bound: u64) -> bool {
+    resp.header(skyline_serve::replica::LAG_HEADER)
+        .and_then(|raw| raw.parse::<u64>().ok())
+        .is_some_and(|lag| lag <= bound)
+}
+
+/// Route one `/skyline` read leg: prefer the shard's replicas
+/// (round-robin) and accept a replica answer only when it is fresh
+/// enough; anything else — unreachable replica, error status, missing
+/// lag header, staleness beyond the bound — falls back to the primary.
+/// Writes never come through here.
+fn shard_read_rpc(
+    shared: &Shared,
+    shard: usize,
+    path: &str,
+    budget: Option<Duration>,
+    ctx: Option<&TraceContext>,
+) -> io::Result<(ClientResponse, RequestTiming)> {
+    let followers = shared.replicas.get(shard).map_or(&[][..], Vec::as_slice);
+    if !followers.is_empty() {
+        let pick = shared.replica_rr.fetch_add(1, Ordering::Relaxed) % followers.len();
+        shared.replica_requests.fetch_add(1, Ordering::Relaxed);
+        match shard_rpc_at(
+            shared,
+            shard,
+            followers[pick],
+            "GET",
+            "/skyline",
+            path,
+            &[],
+            budget,
+            ctx,
+        ) {
+            Ok((resp, timing))
+                if resp.status == 200 && replica_is_fresh(&resp, shared.replica_staleness) =>
+            {
+                return Ok((resp, timing));
+            }
+            _ => {
+                shared.replica_fallbacks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    shard_rpc(shared, shard, "GET", "/skyline", path, &[], budget, ctx)
 }
 
 /// Run `f(shard)` for every shard concurrently and gather the results
@@ -582,6 +695,14 @@ fn handle_metrics(shared: &Shared, req: &Request) -> Response {
                     ));
                 }
             }
+            extras.push((
+                "skyline_replica_read_requests_total".to_string(),
+                shared.replica_requests.load(Ordering::Relaxed) as f64,
+            ));
+            extras.push((
+                "skyline_replica_read_fallbacks_total".to_string(),
+                shared.replica_fallbacks.load(Ordering::Relaxed) as f64,
+            ));
             let datasets = shared.datasets.lock().unwrap_or_else(|e| e.into_inner());
             extras.push(("skyline_datasets".to_string(), datasets.len() as f64));
             drop(datasets);
@@ -632,6 +753,14 @@ fn handle_metrics(shared: &Shared, req: &Request) -> Response {
         .u64_field("panics_total", shared.metrics.panics_total())
         .u64_field("manifest_bytes", manifest_bytes)
         .u64_field("recovery_replayed_records", shared.replayed)
+        .u64_field(
+            "replica_read_requests",
+            shared.replica_requests.load(Ordering::Relaxed),
+        )
+        .u64_field(
+            "replica_read_fallbacks",
+            shared.replica_fallbacks.load(Ordering::Relaxed),
+        )
         .raw_field("endpoints", &shared.metrics.render_json())
         .raw_field("stages", &shared.metrics.render_stages_json())
         .raw_field("shards", &format!("[{}]", shard_objs.join(",")))
@@ -1320,16 +1449,7 @@ fn handle_skyline(shared: &Shared, req: &Request) -> Response {
             return None;
         }
         let leg_start = Instant::now();
-        let result = shard_rpc(
-            shared,
-            s,
-            "GET",
-            "/skyline",
-            &path,
-            &[],
-            remaining,
-            Some(&ctx),
-        );
+        let result = shard_read_rpc(shared, s, &path, remaining, Some(&ctx));
         Some((result, leg_start.elapsed().as_micros() as u64))
     });
 

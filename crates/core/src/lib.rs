@@ -49,6 +49,7 @@
 
 pub mod boost;
 pub mod cancel;
+pub mod changelog;
 pub mod container;
 pub mod dataset;
 pub mod delta;
@@ -70,6 +71,7 @@ pub mod prelude {
         BoostOutcome, SortStrategy,
     };
     pub use crate::cancel::{CancelToken, Cancelled};
+    pub use crate::changelog::{ChangeLog, ChangeOp, ChangeRecord, FeedBatch, FeedGone};
     pub use crate::container::{ListContainer, SkylineContainer, SubsetContainer};
     pub use crate::dataset::Dataset;
     pub use crate::delta::SkylineDelta;

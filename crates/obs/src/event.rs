@@ -157,6 +157,44 @@ pub enum Event {
         /// Content version the dataset recovered to.
         version: u64,
     },
+    /// One change-feed cursor read (`GET /datasets/{name}/changes`)
+    /// was answered, including long-poll heartbeats.
+    FeedPoll {
+        /// Dataset the feed belongs to.
+        dataset: String,
+        /// Cursor the consumer presented.
+        since: u64,
+        /// Records returned in this batch.
+        returned: u64,
+        /// Cursor after this batch (`== since` on a heartbeat).
+        next: u64,
+        /// The dataset's latest version at read time.
+        latest: u64,
+        /// Whether this was a long-poll timeout heartbeat.
+        heartbeat: bool,
+    },
+    /// A follower applied one batch of replicated change records.
+    ReplicaApply {
+        /// Dataset the records belong to.
+        dataset: String,
+        /// Follower content version after the batch.
+        version: u64,
+        /// Records applied in this batch (duplicates excluded).
+        records: u64,
+        /// Versions the follower still trailed the primary by after
+        /// this batch.
+        lag: u64,
+    },
+    /// A follower discarded a dataset and resynced from a primary
+    /// snapshot (initial sync, stale cursor, or divergence).
+    ReplicaResync {
+        /// Dataset that was resynced.
+        dataset: String,
+        /// Content version of the snapshot the follower installed.
+        version: u64,
+        /// Why the follower resynced rather than applying the feed.
+        reason: String,
+    },
     /// One RPC from the cluster coordinator to a shard node finished
     /// (successfully or not).
     ShardRpc {
@@ -297,6 +335,9 @@ impl Event {
             Event::DeadlineExceeded { .. } => "deadline_exceeded",
             Event::HandlerPanic { .. } => "handler_panic",
             Event::Recovery { .. } => "recovery",
+            Event::FeedPoll { .. } => "feed_poll",
+            Event::ReplicaApply { .. } => "replica_apply",
+            Event::ReplicaResync { .. } => "replica_resync",
             Event::ShardRpc { .. } => "shard_rpc",
             Event::StageBreakdown { .. } => "stage_breakdown",
             Event::ClusterMerge { .. } => "cluster_merge",
@@ -445,6 +486,41 @@ impl Event {
                     .u64_field("replayed", *replayed)
                     .u64_field("version", *version);
             }
+            Event::FeedPoll {
+                dataset,
+                since,
+                returned,
+                next,
+                latest,
+                heartbeat,
+            } => {
+                w.str_field("dataset", dataset)
+                    .u64_field("since", *since)
+                    .u64_field("returned", *returned)
+                    .u64_field("next", *next)
+                    .u64_field("latest", *latest)
+                    .bool_field("heartbeat", *heartbeat);
+            }
+            Event::ReplicaApply {
+                dataset,
+                version,
+                records,
+                lag,
+            } => {
+                w.str_field("dataset", dataset)
+                    .u64_field("version", *version)
+                    .u64_field("records", *records)
+                    .u64_field("lag", *lag);
+            }
+            Event::ReplicaResync {
+                dataset,
+                version,
+                reason,
+            } => {
+                w.str_field("dataset", dataset)
+                    .u64_field("version", *version)
+                    .str_field("reason", reason);
+            }
             Event::ShardRpc {
                 shard,
                 endpoint,
@@ -586,6 +662,25 @@ impl Event {
                 replayed: v.get("replayed")?.as_u64()?,
                 version: v.get("version")?.as_u64()?,
             }),
+            "feed_poll" => Some(Event::FeedPoll {
+                dataset: v.get("dataset")?.as_str()?.to_string(),
+                since: v.get("since")?.as_u64()?,
+                returned: v.get("returned")?.as_u64()?,
+                next: v.get("next")?.as_u64()?,
+                latest: v.get("latest")?.as_u64()?,
+                heartbeat: matches!(v.get("heartbeat")?, Value::Bool(true)),
+            }),
+            "replica_apply" => Some(Event::ReplicaApply {
+                dataset: v.get("dataset")?.as_str()?.to_string(),
+                version: v.get("version")?.as_u64()?,
+                records: v.get("records")?.as_u64()?,
+                lag: v.get("lag")?.as_u64()?,
+            }),
+            "replica_resync" => Some(Event::ReplicaResync {
+                dataset: v.get("dataset")?.as_str()?.to_string(),
+                version: v.get("version")?.as_u64()?,
+                reason: v.get("reason")?.as_str()?.to_string(),
+            }),
             "shard_rpc" => Some(Event::ShardRpc {
                 shard: v.get("shard")?.as_u64()?,
                 endpoint: v.get("endpoint")?.as_str()?.to_string(),
@@ -708,6 +803,25 @@ mod tests {
                 dataset: "hotels".into(),
                 replayed: 42,
                 version: 58,
+            },
+            Event::FeedPoll {
+                dataset: "hotels".into(),
+                since: 17,
+                returned: 2,
+                next: 19,
+                latest: 19,
+                heartbeat: false,
+            },
+            Event::ReplicaApply {
+                dataset: "hotels".into(),
+                version: 19,
+                records: 2,
+                lag: 0,
+            },
+            Event::ReplicaResync {
+                dataset: "hotels".into(),
+                version: 19,
+                reason: "cursor 3 predates oldest retained version 12".into(),
             },
             Event::ShardRpc {
                 shard: 1,

@@ -100,6 +100,20 @@ pub struct TraceSummary {
     pub recoveries: u64,
     /// Server: WAL records replayed across all boot recoveries.
     pub recovery_replayed: u64,
+    /// Feed: `/changes` polls served (`feed_poll`).
+    pub feed_polls: u64,
+    /// Feed: polls that timed out into a heartbeat.
+    pub feed_heartbeats: u64,
+    /// Feed: change records shipped across all polls.
+    pub feed_records_served: u64,
+    /// Replication: follower apply batches (`replica_apply`).
+    pub replica_applies: u64,
+    /// Replication: change records applied across all batches.
+    pub replica_records: u64,
+    /// Replication: worst post-batch version lag observed.
+    pub replica_max_lag: u64,
+    /// Replication: full snapshot resyncs (`replica_resync`).
+    pub replica_resyncs: u64,
     /// Cluster: per-shard RPC statistics keyed by `shard <index>`.
     pub shard_rpcs: BTreeMap<String, EndpointStats>,
     /// Cluster: total attempts across all shard RPCs (retries included).
@@ -246,6 +260,21 @@ impl TraceSummary {
                     self.recoveries += 1;
                     self.recovery_replayed += replayed;
                 }
+                Some(Event::FeedPoll {
+                    returned,
+                    heartbeat,
+                    ..
+                }) => {
+                    self.feed_polls += 1;
+                    self.feed_heartbeats += u64::from(heartbeat);
+                    self.feed_records_served += returned;
+                }
+                Some(Event::ReplicaApply { records, lag, .. }) => {
+                    self.replica_applies += 1;
+                    self.replica_records += records;
+                    self.replica_max_lag = self.replica_max_lag.max(lag);
+                }
+                Some(Event::ReplicaResync { .. }) => self.replica_resyncs += 1,
                 Some(Event::ShardRpc {
                     shard,
                     status,
@@ -454,6 +483,24 @@ impl TraceSummary {
                     self.recoveries, self.recovery_replayed
                 );
             }
+        }
+        if self.feed_polls + self.replica_applies + self.replica_resyncs > 0 {
+            let _ = writeln!(out, "\n== replication ==");
+            if self.feed_polls > 0 {
+                let _ = writeln!(
+                    out,
+                    "  feed polls       {:>8} ({} heartbeats, {} records served)",
+                    self.feed_polls, self.feed_heartbeats, self.feed_records_served
+                );
+            }
+            if self.replica_applies > 0 {
+                let _ = writeln!(
+                    out,
+                    "  apply batches    {:>8} ({} records, max lag {})",
+                    self.replica_applies, self.replica_records, self.replica_max_lag
+                );
+            }
+            let _ = writeln!(out, "  resyncs          {:>8}", self.replica_resyncs);
         }
         if !self.shard_rpcs.is_empty() || self.cluster_merges > 0 {
             let _ = writeln!(out, "\n== cluster ==");
@@ -810,6 +857,52 @@ mod tests {
         assert!(rendered.contains("deadline (504)"), "{rendered}");
         assert!(rendered.contains("handler panics"), "{rendered}");
         assert!(rendered.contains("15 WAL records replayed"), "{rendered}");
+    }
+
+    #[test]
+    fn replication_events_aggregate_into_their_own_section() {
+        let mut r = JsonlRecorder::new(Vec::new());
+        r.event(Event::FeedPoll {
+            dataset: "hotels".into(),
+            since: 10,
+            returned: 4,
+            next: 14,
+            latest: 14,
+            heartbeat: false,
+        });
+        r.event(Event::FeedPoll {
+            dataset: "hotels".into(),
+            since: 14,
+            returned: 0,
+            next: 14,
+            latest: 14,
+            heartbeat: true,
+        });
+        r.event(Event::ReplicaApply {
+            dataset: "hotels".into(),
+            version: 14,
+            records: 4,
+            lag: 2,
+        });
+        r.event(Event::ReplicaResync {
+            dataset: "hotels".into(),
+            version: 10,
+            reason: "initial".into(),
+        });
+        let text = String::from_utf8(r.into_inner().unwrap()).unwrap();
+        let s = TraceSummary::from_text(&text);
+        assert_eq!(s.skipped, 0);
+        assert_eq!(s.feed_polls, 2);
+        assert_eq!(s.feed_heartbeats, 1);
+        assert_eq!(s.feed_records_served, 4);
+        assert_eq!(s.replica_applies, 1);
+        assert_eq!(s.replica_records, 4);
+        assert_eq!(s.replica_max_lag, 2);
+        assert_eq!(s.replica_resyncs, 1);
+        let rendered = s.render();
+        assert!(rendered.contains("== replication =="), "{rendered}");
+        assert!(rendered.contains("feed polls"), "{rendered}");
+        assert!(rendered.contains("resyncs"), "{rendered}");
     }
 
     #[test]

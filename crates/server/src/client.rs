@@ -247,6 +247,15 @@ pub fn request_with_retry_counted(
     (outcome.map(|(resp, _)| resp), attempts)
 }
 
+/// The server's own `Retry-After` (whole seconds) on a shed response.
+/// It is an explicit instruction, so it preempts the jittered backoff —
+/// but capped by the policy's ceiling, so a misbehaving server cannot
+/// park the client arbitrarily long.
+fn retry_after_delay(resp: &ClientResponse, policy: &RetryPolicy) -> Option<Duration> {
+    let secs: u64 = resp.header("retry-after")?.trim().parse().ok()?;
+    Some(Duration::from_secs(secs).min(policy.max_delay))
+}
+
 /// [`request_with_retry_counted`] with extra request headers and the
 /// [`RequestTiming`] of the attempt whose outcome is returned. The
 /// cluster coordinator uses this to propagate trace headers to shards
@@ -270,7 +279,12 @@ pub fn request_with_retry_timed(
         if attempt == attempts {
             return (last, attempt); // attempts spent
         }
-        let delay = policy.backoff(attempt);
+        let delay = match &last {
+            Ok((resp, _)) => {
+                retry_after_delay(resp, policy).unwrap_or_else(|| policy.backoff(attempt))
+            }
+            Err(_) => policy.backoff(attempt),
+        };
         if let Some(budget) = policy.budget {
             // A retry only fires if its backoff still fits in the
             // remaining budget; the attempt itself is bounded by the
@@ -455,6 +469,71 @@ mod tests {
             elapsed < Duration::from_millis(500),
             "budgeted retries overshot the deadline: {elapsed:?}"
         );
+    }
+
+    #[test]
+    fn retry_after_header_is_honoured_before_backoff() {
+        // A fixture server that sheds every request with Retry-After: 0.
+        // The policy's own backoff is 300ms per retry, so finishing all
+        // three attempts well under one backoff proves the header's
+        // explicit delay preempted it.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            for _ in 0..3 {
+                let (mut stream, _) = listener.accept().unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut line = String::new();
+                while reader.read_line(&mut line).unwrap() > 0 && line != "\r\n" {
+                    line.clear();
+                }
+                stream
+                    .write_all(
+                        b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 0\r\n\
+                          Content-Length: 0\r\n\r\n",
+                    )
+                    .unwrap();
+            }
+        });
+        let policy = RetryPolicy {
+            attempts: 3,
+            base_delay: Duration::from_millis(300),
+            max_delay: Duration::from_secs(2),
+            budget: None,
+        };
+        let start = std::time::Instant::now();
+        let resp = request_with_retry(addr, "GET", "/x", &[], &policy).unwrap();
+        assert_eq!(resp.status, 503, "all attempts were shed");
+        assert!(
+            start.elapsed() < Duration::from_millis(150),
+            "Retry-After: 0 should preempt the 300ms jittered backoff, took {:?}",
+            start.elapsed()
+        );
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn retry_after_is_parsed_and_capped_by_the_policy_ceiling() {
+        let policy = RetryPolicy {
+            max_delay: Duration::from_millis(200),
+            ..RetryPolicy::default()
+        };
+        let resp = |headers: Vec<(String, String)>| ClientResponse {
+            status: 503,
+            headers,
+            body: Vec::new(),
+        };
+        let shed = resp(vec![("retry-after".to_string(), "1".to_string())]);
+        assert_eq!(
+            retry_after_delay(&shed, &policy),
+            Some(Duration::from_millis(200)),
+            "a 1s instruction is capped by the 200ms ceiling"
+        );
+        let instant = resp(vec![("retry-after".to_string(), "0".to_string())]);
+        assert_eq!(retry_after_delay(&instant, &policy), Some(Duration::ZERO));
+        assert_eq!(retry_after_delay(&resp(Vec::new()), &policy), None);
+        let junk = resp(vec![("retry-after".to_string(), "soon".to_string())]);
+        assert_eq!(retry_after_delay(&junk, &policy), None);
     }
 
     #[test]

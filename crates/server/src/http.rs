@@ -298,11 +298,13 @@ impl Response {
         match status {
             200 => "OK",
             201 => "Created",
+            307 => "Temporary Redirect",
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
             408 => "Request Timeout",
             409 => "Conflict",
+            410 => "Gone",
             413 => "Payload Too Large",
             500 => "Internal Server Error",
             503 => "Service Unavailable",

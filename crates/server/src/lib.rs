@@ -38,7 +38,10 @@
 //! `POST /datasets`, `POST|DELETE /datasets/{name}/points`,
 //! `GET /skyline?dataset=&algo=&dims=&k=&threads=&deadline_ms=` (plus
 //! opt-in `include_masks=1` / `include_rows=1` for the cluster
-//! coordinator's scatter-gather merge), `POST /shutdown`.
+//! coordinator's scatter-gather merge),
+//! `GET /datasets/{name}/changes?since=&subscribe=&ops=` (the
+//! per-version change feed; see [`replica`] for the follower that
+//! consumes it), `GET /datasets/{name}/snapshot`, `POST /shutdown`.
 //!
 //! [`StreamingSkyline`]: skyline_core::streaming::StreamingSkyline
 
@@ -52,6 +55,7 @@ pub mod http;
 pub mod metrics;
 pub mod pool;
 pub mod registry;
+pub mod replica;
 pub mod wal;
 
 use std::fs::File;
@@ -116,6 +120,19 @@ pub struct ServerConfig {
     /// Dedicated slow-query log path. `None` routes slow records to the
     /// `trace` sink instead.
     pub slow_log: Option<PathBuf>,
+    /// Change-feed retention per dataset, records. Cursors older than
+    /// the retained window answer 410 Gone and must resync.
+    pub feed_retain: usize,
+    /// WAL size that triggers snapshot compaction, bytes; only
+    /// meaningful with `data_dir`.
+    pub compact_bytes: u64,
+    /// Primary to follow. Turns this server into a read-only replica
+    /// that tails the primary's change feeds; conflicts with
+    /// `data_dir` (followers are memory-only; durability lives on the
+    /// primary).
+    pub follow: Option<SocketAddr>,
+    /// Long-poll hold the follower asks the primary for, milliseconds.
+    pub follow_wait_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -134,6 +151,10 @@ impl Default for ServerConfig {
             max_queries_per_dataset: 0,
             slow_ms: 0,
             slow_log: None,
+            feed_retain: registry::DEFAULT_FEED_RETAIN,
+            compact_bytes: 1 << 20,
+            follow: None,
+            follow_wait_ms: 1000,
         }
     }
 }
@@ -158,6 +179,8 @@ struct Shared {
     slow_ms: u64,
     /// Dedicated slow-query sink (falls back to `recorder`).
     slow_log: Option<Mutex<JsonlRecorder<File>>>,
+    /// Replication state when this server follows a primary.
+    replica: Option<replica::ReplicaState>,
 }
 
 impl Shared {
@@ -286,6 +309,8 @@ fn shed_response(shared: &Shared, endpoint: &str, why: &str) -> Response {
 pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
+    /// Follower-mode discovery thread (tails the primary's feeds).
+    tail: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -303,6 +328,9 @@ impl ServerHandle {
     /// [`ServerHandle::shutdown`] from another thread).
     pub fn wait(&mut self) {
         if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.tail.take() {
             let _ = t.join();
         }
     }
@@ -339,13 +367,21 @@ impl Server {
             Some(path) => Some(Mutex::new(JsonlRecorder::create(path)?)),
             None => None,
         };
+        if config.follow.is_some() && config.data_dir.is_some() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "--follow conflicts with --data-dir: followers are memory-only \
+                 (durability lives on the primary)",
+            ));
+        }
         let registry = match &config.data_dir {
             Some(dir) => {
                 let mut storage = wal::StorageConfig::new(dir.clone());
                 storage.fsync = config.fsync;
-                Registry::open(storage)?
+                storage.compact_bytes = config.compact_bytes;
+                Registry::open_with(storage, config.feed_retain)?
             }
-            None => Registry::new(),
+            None => Registry::with_feed_retain(config.feed_retain),
         };
         let shared = Arc::new(Shared {
             addr,
@@ -362,6 +398,9 @@ impl Server {
             max_queries_per_dataset: config.max_queries_per_dataset,
             slow_ms: config.slow_ms,
             slow_log,
+            replica: config
+                .follow
+                .map(|primary| replica::ReplicaState::new(primary, config.follow_wait_ms)),
         });
         for (dataset, replayed, version) in shared.registry.recovery_log() {
             shared.emit(Event::Recovery {
@@ -400,9 +439,21 @@ impl Server {
                     }
                 }
             })?;
+        let tail = match shared.replica.is_some() {
+            true => {
+                let tail_shared = Arc::clone(&shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name("skyline-follower".to_string())
+                        .spawn(move || replica::run_follower(tail_shared))?,
+                )
+            }
+            false => None,
+        };
         Ok(ServerHandle {
             shared,
             accept: Some(accept),
+            tail,
         })
     }
 }
@@ -494,10 +545,37 @@ fn route(shared: &Shared, req: &Request) -> (Response, &'static str) {
         .and_then(|rest| rest.strip_suffix("/points"))
     {
         let endpoint = "/datasets/{name}/points";
+        if let Some(redirect) = replica_redirect(shared, &req.path) {
+            return (redirect, endpoint);
+        }
         let response = match req.method.as_str() {
             "POST" => handle_insert(shared, name, req),
             "DELETE" => handle_remove(shared, name, req),
             _ => Response::error(405, "points supports POST and DELETE"),
+        };
+        return (response, endpoint);
+    }
+    if let Some(name) = req
+        .path
+        .strip_prefix("/datasets/")
+        .and_then(|rest| rest.strip_suffix("/changes"))
+    {
+        let endpoint = "/datasets/{name}/changes";
+        let response = match req.method.as_str() {
+            "GET" => handle_changes(shared, name, req),
+            _ => Response::error(405, "changes supports GET"),
+        };
+        return (response, endpoint);
+    }
+    if let Some(name) = req
+        .path
+        .strip_prefix("/datasets/")
+        .and_then(|rest| rest.strip_suffix("/snapshot"))
+    {
+        let endpoint = "/datasets/{name}/snapshot";
+        let response = match req.method.as_str() {
+            "GET" => handle_snapshot(shared, name),
+            _ => Response::error(405, "snapshot supports GET"),
         };
         return (response, endpoint);
     }
@@ -506,7 +584,10 @@ fn route(shared: &Shared, req: &Request) -> (Response, &'static str) {
         ("GET", "/metrics") => (handle_metrics(shared, req), "/metrics"),
         ("GET", "/skyline") => (handle_skyline(shared, req), "/skyline"),
         ("GET", "/datasets") => (handle_list(shared), "/datasets"),
-        ("POST", "/datasets") => (handle_create(shared, req), "/datasets"),
+        ("POST", "/datasets") => match replica_redirect(shared, &req.path) {
+            Some(redirect) => (redirect, "/datasets"),
+            None => (handle_create(shared, req), "/datasets"),
+        },
         ("POST", "/shutdown") => (handle_shutdown(shared), "/shutdown"),
         (_, "/healthz" | "/metrics" | "/skyline" | "/datasets" | "/shutdown") => (
             Response::error(405, "method not allowed on this endpoint"),
@@ -534,6 +615,15 @@ fn handle_healthz(shared: &Shared) -> Response {
     w.str_field("status", "ok")
         .u64_field("datasets", shared.registry.len() as u64)
         .u64_field("uptime_us", shared.started.elapsed().as_micros() as u64);
+    match &shared.replica {
+        Some(state) => {
+            w.str_field("role", "replica")
+                .str_field("primary", &state.primary.to_string());
+        }
+        None => {
+            w.str_field("role", "primary");
+        }
+    }
     Response::json(200, w.finish())
 }
 
@@ -566,6 +656,180 @@ fn handle_list(shared: &Shared) -> Response {
     let mut w = ObjectWriter::new();
     w.raw_field("datasets", &format!("[{}]", objs.join(",")));
     Response::json(200, w.finish())
+}
+
+/// On a follower, writes answer 307 with a `Location` pointing the
+/// client at the primary; `None` on a primary (handle normally).
+fn replica_redirect(shared: &Shared, path: &str) -> Option<Response> {
+    let state = shared.replica.as_ref()?;
+    let mut w = ObjectWriter::new();
+    w.str_field("error", "read-only replica: writes go to the primary")
+        .str_field("primary", &state.primary.to_string());
+    Some(
+        Response::json(307, w.finish())
+            .with_header("Location", &format!("http://{}{path}", state.primary)),
+    )
+}
+
+/// On a follower, stamp a read response with how many versions the
+/// queried dataset trails the primary by (see [`replica::LAG_HEADER`]).
+fn with_replica_lag(shared: &Shared, dataset: &str, resp: Response) -> Response {
+    match &shared.replica {
+        Some(state) => resp.with_header(replica::LAG_HEADER, &state.lag_of(dataset).to_string()),
+        None => resp,
+    }
+}
+
+/// One change record on the feed wire: always the delta
+/// (`version`/`entered`/`left`), plus the raw operation (`row` for an
+/// insert, `remove` for a removal) when the consumer asked for
+/// `ops=1` — that is what lets a follower rebuild the full point set
+/// with identical handle assignment.
+fn change_record_json(record: &skyline_core::changelog::ChangeRecord, with_ops: bool) -> String {
+    use skyline_core::changelog::ChangeOp;
+    let entered: Vec<u64> = record.delta.entered.iter().map(|&i| i as u64).collect();
+    let left: Vec<u64> = record.delta.left.iter().map(|&i| i as u64).collect();
+    let mut w = ObjectWriter::new();
+    w.u64_field("version", record.version())
+        .u64_array_field("entered", &entered)
+        .u64_array_field("left", &left);
+    if with_ops {
+        match &record.op {
+            ChangeOp::Insert { row } => {
+                w.raw_field("row", &wal::row_json(row));
+            }
+            ChangeOp::Remove { id } => {
+                w.u64_field("remove", *id as u64);
+            }
+        }
+    }
+    w.finish()
+}
+
+/// Feed long-poll ceiling, ms — below the 30 s request timeout so a
+/// subscriber's held request always answers before the socket dies.
+const MAX_WAIT_MS: u64 = 25_000;
+
+/// `GET /datasets/{name}/changes?since=&limit=&ops=&subscribe=&wait_ms=`
+/// — the change feed. Returns records strictly after `since` plus a
+/// `next` cursor; `subscribe=1` long-polls until a change lands or the
+/// hold expires into an explicit heartbeat (empty batch, unchanged
+/// cursor); a cursor behind the retention horizon answers 410 Gone
+/// with `oldest_version` so the consumer knows to resync.
+fn handle_changes(shared: &Shared, name: &str, req: &Request) -> Response {
+    let entry = match shared.registry.get(name) {
+        Ok(e) => e,
+        Err(e) => return registry_response(e),
+    };
+    let since: u64 = match req.query_param("since") {
+        None | Some("") => 0,
+        Some(raw) => match raw.parse() {
+            Ok(v) => v,
+            Err(_) => return Response::error(400, &format!("bad \"since\" value {raw:?}")),
+        },
+    };
+    let limit: usize = match req.query_param("limit") {
+        None | Some("") => 512,
+        Some(raw) => match raw.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => return Response::error(400, &format!("bad \"limit\" value {raw:?} (>= 1)")),
+        },
+    };
+    let with_ops = match req.query_param("ops") {
+        None | Some("") | Some("0") => false,
+        Some("1") => true,
+        Some(raw) => return Response::error(400, &format!("bad \"ops\" value {raw:?} (0 or 1)")),
+    };
+    let subscribe = match req.query_param("subscribe") {
+        None | Some("") | Some("0") => false,
+        Some("1") => true,
+        Some(raw) => {
+            return Response::error(400, &format!("bad \"subscribe\" value {raw:?} (0 or 1)"))
+        }
+    };
+    let wait_ms: u64 = match req.query_param("wait_ms") {
+        None | Some("") => {
+            if subscribe {
+                10_000
+            } else {
+                0
+            }
+        }
+        Some(raw) => match raw.parse() {
+            Ok(ms) => ms,
+            Err(_) => return Response::error(400, &format!("bad \"wait_ms\" value {raw:?}")),
+        },
+    };
+    // Long-poll: park on the dataset's feed condvar until a version
+    // beyond the cursor exists. Waits are sliced so shutdown never
+    // blocks behind a subscriber's full hold.
+    let deadline = Instant::now() + Duration::from_millis(wait_ms.min(MAX_WAIT_MS));
+    loop {
+        let now = Instant::now();
+        if now >= deadline || shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let slice = (deadline - now).min(Duration::from_millis(250));
+        if entry.wait_for_version(since, slice) > since {
+            break;
+        }
+    }
+    match entry.changes_since(since, limit) {
+        Err(gone) => {
+            shared.emit(Event::FeedPoll {
+                dataset: name.to_string(),
+                since,
+                returned: 0,
+                next: since,
+                latest: entry.info().version,
+                heartbeat: false,
+            });
+            let mut w = ObjectWriter::new();
+            w.str_field(
+                "error",
+                &format!(
+                    "cursor {since} predates the retained change feed; \
+                     resync from /datasets/{name}/snapshot"
+                ),
+            )
+            .u64_field("oldest_version", gone.oldest);
+            Response::json(410, w.finish())
+        }
+        Ok(batch) => {
+            let heartbeat = batch.records.is_empty();
+            shared.emit(Event::FeedPoll {
+                dataset: name.to_string(),
+                since,
+                returned: batch.records.len() as u64,
+                next: batch.next,
+                latest: batch.latest,
+                heartbeat,
+            });
+            let records: Vec<String> = batch
+                .records
+                .iter()
+                .map(|r| change_record_json(r, with_ops))
+                .collect();
+            let mut w = ObjectWriter::new();
+            w.str_field("dataset", name)
+                .u64_field("since", since)
+                .u64_field("next", batch.next)
+                .u64_field("latest", batch.latest)
+                .u64_field("oldest", batch.oldest)
+                .bool_field("heartbeat", heartbeat)
+                .raw_field("records", &format!("[{}]", records.join(",")));
+            Response::json(200, w.finish())
+        }
+    }
+}
+
+/// `GET /datasets/{name}/snapshot` — the dataset's full state in the
+/// `.snap` wire format; what a follower resyncs from.
+fn handle_snapshot(shared: &Shared, name: &str) -> Response {
+    match shared.registry.get(name) {
+        Ok(entry) => Response::json(200, entry.snapshot_doc()),
+        Err(e) => registry_response(e),
+    }
 }
 
 /// The `/metrics` cache hit-rate: hits over lookups, 0.0 before any.
@@ -605,6 +869,36 @@ fn handle_metrics(shared: &Shared, req: &Request) -> Response {
                 ("skyline_cache_hit_rate".to_string(), cache_hit_rate(&stats)),
                 ("skyline_datasets".to_string(), shared.registry.len() as f64),
             ];
+            let mut extras = extras;
+            if let Some(state) = &shared.replica {
+                extras.push((
+                    "skyline_replica_applied_total".to_string(),
+                    state.applied_total.load(Ordering::Relaxed) as f64,
+                ));
+                extras.push((
+                    "skyline_replica_duplicates_total".to_string(),
+                    state.duplicates_total.load(Ordering::Relaxed) as f64,
+                ));
+                extras.push((
+                    "skyline_replica_resyncs_total".to_string(),
+                    state.resyncs_total.load(Ordering::Relaxed) as f64,
+                ));
+                // One family at a time: the renderer writes a TYPE line
+                // per consecutive run of the same metric family.
+                let progress = state.progress_snapshot();
+                for (dataset, applied, latest) in &progress {
+                    extras.push((
+                        format!("skyline_replica_lag_versions{{dataset=\"{dataset}\"}}"),
+                        latest.saturating_sub(*applied) as f64,
+                    ));
+                }
+                for (dataset, applied, _) in &progress {
+                    extras.push((
+                        format!("skyline_replica_applied_version{{dataset=\"{dataset}\"}}"),
+                        *applied as f64,
+                    ));
+                }
+            }
             return Response::text(200, shared.metrics.render_prometheus(&extras));
         }
         Some(other) => {
@@ -649,6 +943,33 @@ fn handle_metrics(shared: &Shared, req: &Request) -> Response {
         .raw_field("stages", &shared.metrics.render_stages_json())
         .raw_field("cache", &cache_obj.finish())
         .raw_field("datasets", &format!("[{}]", datasets.join(",")));
+    if let Some(state) = &shared.replica {
+        let lag = state.lag.snapshot();
+        let progress: Vec<String> = state
+            .progress_snapshot()
+            .iter()
+            .map(|(name, applied, latest)| {
+                let mut p = ObjectWriter::new();
+                p.str_field("name", name)
+                    .u64_field("applied", *applied)
+                    .u64_field("primary_latest", *latest)
+                    .u64_field("lag", latest.saturating_sub(*applied));
+                p.finish()
+            })
+            .collect();
+        let mut r = ObjectWriter::new();
+        r.str_field("primary", &state.primary.to_string())
+            .u64_field("applied_total", state.applied_total.load(Ordering::Relaxed))
+            .u64_field(
+                "duplicates_total",
+                state.duplicates_total.load(Ordering::Relaxed),
+            )
+            .u64_field("resyncs_total", state.resyncs_total.load(Ordering::Relaxed))
+            .u64_field("lag_p50", lag.p50())
+            .u64_field("lag_p99", lag.p99())
+            .raw_field("datasets", &format!("[{}]", progress.join(",")));
+        w.raw_field("replication", &r.finish());
+    }
     Response::json(200, w.finish())
 }
 
@@ -1185,7 +1506,8 @@ fn handle_skyline(shared: &Shared, req: &Request) -> Response {
             extras.as_ref(),
             wants_timings.then(|| timer.stages().to_vec()).as_deref(),
         );
-        return finish_skyline_response(shared, timer, &trace_id, Response::json(200, body));
+        let resp = with_replica_lag(shared, name, Response::json(200, body));
+        return finish_skyline_response(shared, timer, &trace_id, resp);
     }
     timer.mark("cache");
 
@@ -1271,7 +1593,8 @@ fn handle_skyline(shared: &Shared, req: &Request) -> Response {
         wants_timings.then(|| timer.stages().to_vec()).as_deref(),
     );
     shared.cache.insert(key, CachedResult { ids, elapsed_us });
-    finish_skyline_response(shared, timer, &trace_id, Response::json(200, body))
+    let resp = with_replica_lag(shared, name, Response::json(200, body));
+    finish_skyline_response(shared, timer, &trace_id, resp)
 }
 
 #[cfg(test)]
@@ -1452,6 +1775,182 @@ mod tests {
         let (resp, _) =
             client::request_timed(addr, "GET", "/skyline?dataset=tr", &[], &bad).unwrap();
         assert!(resp.header(trace::TRACE_HEADER).is_none());
+    }
+
+    #[test]
+    fn change_feed_serves_dense_batches_with_ops_and_cursors() {
+        let server = start_test_server();
+        let addr = server.local_addr();
+        client::post(
+            addr,
+            "/datasets",
+            r#"{"name": "f", "rows": [[1.0, 5.0], [5.0, 1.0]]}"#,
+        )
+        .unwrap();
+        client::post(addr, "/datasets/f/points", r#"{"rows": [[0.5, 0.5]]}"#).unwrap();
+
+        let resp = client::get(addr, "/datasets/f/changes?since=0&ops=1").unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body_str());
+        let v = Value::parse(&resp.body_str()).unwrap();
+        assert_eq!(v.get("since").unwrap().as_u64(), Some(0));
+        assert_eq!(v.get("next").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("latest").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("heartbeat").unwrap(), &Value::Bool(false));
+        let records = v.get("records").unwrap().as_arr().unwrap();
+        assert_eq!(records.len(), 3, "create rows + one insert");
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.get("version").unwrap().as_u64(), Some(i as u64 + 1));
+            assert!(r.get("row").is_some(), "ops=1 ships the raw insert");
+        }
+
+        // A mid-stream cursor returns only the suffix; without ops=1
+        // the records are bare deltas.
+        let resp = client::get(addr, "/datasets/f/changes?since=2").unwrap();
+        let v = Value::parse(&resp.body_str()).unwrap();
+        let records = v.get("records").unwrap().as_arr().unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(records[0].get("row").is_none());
+
+        // A future cursor is a heartbeat, not an error.
+        let resp = client::get(addr, "/datasets/f/changes?since=99").unwrap();
+        let v = Value::parse(&resp.body_str()).unwrap();
+        assert_eq!(v.get("heartbeat").unwrap(), &Value::Bool(true));
+        assert_eq!(v.get("next").unwrap().as_u64(), Some(99));
+
+        assert_eq!(
+            client::get(addr, "/datasets/nope/changes").unwrap().status,
+            404
+        );
+        assert_eq!(
+            client::get(addr, "/datasets/f/changes?since=junk")
+                .unwrap()
+                .status,
+            400
+        );
+        assert_eq!(
+            client::post(addr, "/datasets/f/changes", "")
+                .unwrap()
+                .status,
+            405
+        );
+    }
+
+    #[test]
+    fn snapshot_endpoint_serves_the_wire_format() {
+        let server = start_test_server();
+        let addr = server.local_addr();
+        client::post(
+            addr,
+            "/datasets",
+            r#"{"name": "sn", "rows": [[1.0, 5.0], [5.0, 1.0]]}"#,
+        )
+        .unwrap();
+        let resp = client::get(addr, "/datasets/sn/snapshot").unwrap();
+        assert_eq!(resp.status, 200);
+        let (dims, version, slots) = wal::parse_snapshot(&resp.body_str()).expect("parses");
+        assert_eq!(dims, 2);
+        assert_eq!(version, 2);
+        assert_eq!(slots.len(), 2);
+    }
+
+    #[test]
+    fn follower_mode_conflicts_with_a_data_dir() {
+        let err = match Server::start(ServerConfig {
+            follow: Some("127.0.0.1:1".parse().unwrap()),
+            data_dir: Some(std::env::temp_dir().join("skyline-follow-conflict")),
+            ..ServerConfig::default()
+        }) {
+            Err(e) => e,
+            Ok(_) => panic!("follower mode must refuse a data dir"),
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn follower_converges_rejects_writes_and_reports_lag() {
+        let primary = start_test_server();
+        let paddr = primary.local_addr();
+        client::post(
+            addr_of(&primary),
+            "/datasets",
+            r#"{"name": "rep", "rows": [[1.0, 5.0], [5.0, 1.0], [6.0, 6.0]]}"#,
+        )
+        .unwrap();
+
+        let follower = Server::start(ServerConfig {
+            threads: 2,
+            follow: Some(paddr),
+            follow_wait_ms: 100,
+            ..ServerConfig::default()
+        })
+        .expect("start follower");
+        let faddr = follower.local_addr();
+
+        // The follower discovers, resyncs and tails on its own threads.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let primary_ids = loop {
+            let p = client::get(paddr, "/skyline?dataset=rep").unwrap();
+            let f = client::get(faddr, "/skyline?dataset=rep");
+            if let Ok(f) = &f {
+                if f.status == 200 {
+                    let pv = Value::parse(&p.body_str()).unwrap();
+                    let fv = Value::parse(&f.body_str()).unwrap();
+                    if pv.get("version") == fv.get("version") {
+                        assert_eq!(pv.get("ids"), fv.get("ids"), "byte-identical skyline");
+                        assert!(
+                            f.header(replica::LAG_HEADER).is_some(),
+                            "reads carry the lag header"
+                        );
+                        break pv.get("ids").unwrap().clone();
+                    }
+                }
+            }
+            assert!(Instant::now() < deadline, "follower never converged");
+            std::thread::sleep(Duration::from_millis(25));
+        };
+
+        // A mutation on the primary flows through the feed.
+        client::post(paddr, "/datasets/rep/points", r#"{"rows": [[0.5, 0.5]]}"#).unwrap();
+        loop {
+            let f = client::get(faddr, "/skyline?dataset=rep").unwrap();
+            let fv = Value::parse(&f.body_str()).unwrap();
+            if fv.get("version").unwrap().as_u64() == Some(4) {
+                assert_eq!(fv.get("count").unwrap().as_u64(), Some(1));
+                assert_ne!(fv.get("ids").unwrap(), &primary_ids);
+                break;
+            }
+            assert!(Instant::now() < deadline, "mutation never replicated");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+
+        // Writes bounce with a redirect at the primary.
+        let rejected =
+            client::post(faddr, "/datasets/rep/points", r#"{"rows": [[0.1, 0.1]]}"#).unwrap();
+        assert_eq!(rejected.status, 307);
+        assert_eq!(
+            rejected.header("location"),
+            Some(format!("http://{paddr}/datasets/rep/points").as_str())
+        );
+        let create = client::post(faddr, "/datasets", r#"{"name": "x", "rows": [[1.0]]}"#).unwrap();
+        assert_eq!(create.status, 307);
+
+        // Role and replication telemetry are visible.
+        let health = Value::parse(&client::get(faddr, "/healthz").unwrap().body_str()).unwrap();
+        assert_eq!(health.get("role").unwrap().as_str(), Some("replica"));
+        let metrics = Value::parse(&client::get(faddr, "/metrics").unwrap().body_str()).unwrap();
+        let repl = metrics.get("replication").expect("replication section");
+        assert!(repl.get("applied_total").unwrap().as_u64().unwrap() >= 1);
+        let prom = client::get(faddr, "/metrics?format=prometheus").unwrap();
+        let text = prom.body_str();
+        assert!(text.contains("skyline_replica_applied_total"), "{text}");
+        assert!(
+            text.contains("skyline_replica_lag_versions{dataset=\"rep\"}"),
+            "{text}"
+        );
+    }
+
+    fn addr_of(server: &ServerHandle) -> SocketAddr {
+        server.local_addr()
     }
 
     #[test]

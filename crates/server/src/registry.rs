@@ -16,8 +16,10 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
+use skyline_core::changelog::{ChangeLog, ChangeOp, ChangeRecord, FeedBatch, FeedGone};
 use skyline_core::dataset::Dataset;
 use skyline_core::delta::SkylineDelta;
 use skyline_core::metrics::Metrics;
@@ -25,6 +27,9 @@ use skyline_core::point::PointId;
 use skyline_core::streaming::StreamingSkyline;
 
 use crate::wal::{self, DatasetWal, StorageConfig};
+
+/// Default number of change records retained per dataset for the feed.
+pub const DEFAULT_FEED_RETAIN: usize = 4096;
 
 /// Errors raised by registry operations.
 #[derive(Debug)]
@@ -103,11 +108,28 @@ pub struct DatasetInfo {
     pub version: u64,
 }
 
+/// The outcome of feeding one change record into a follower dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplicaApply {
+    /// The record advanced the dataset to its version.
+    Applied,
+    /// The record's version was already applied; at-least-once delivery
+    /// makes duplicates normal, and version arithmetic makes them safe.
+    Duplicate,
+    /// The record cannot be applied safely (version gap, wrong-base
+    /// delta refusal, or a delta mismatch after applying the op). The
+    /// follower must discard this dataset and resync from a snapshot —
+    /// fail closed, never serve a wrong answer.
+    Diverged(String),
+}
+
 struct Inner {
     stream: StreamingSkyline,
     snapshot: Arc<Snapshot>,
     /// Durability log; `None` for a memory-only registry.
     wal: Option<DatasetWal>,
+    /// The bounded per-version change feed (see [`ChangeLog`]).
+    changes: ChangeLog,
 }
 
 /// One named dataset: a streaming skyline plus its current snapshot.
@@ -115,6 +137,10 @@ pub struct DatasetEntry {
     name: String,
     dims: usize,
     inner: RwLock<Inner>,
+    /// Long-poll support: the latest content version mirrored outside
+    /// the dataset lock, with a condvar notified on every mutation so
+    /// feed subscribers on an idle dataset block instead of spinning.
+    feed_signal: (Mutex<u64>, Condvar),
 }
 
 /// Lock helpers that survive a poisoned lock: a panicking handler must
@@ -148,17 +174,23 @@ impl DatasetEntry {
         dims: usize,
         rows: &[Vec<f64>],
         storage: Option<&StorageConfig>,
+        feed_retain: usize,
     ) -> Result<DatasetEntry, RegistryError> {
         let mut stream =
             StreamingSkyline::new(dims).map_err(|e| RegistryError::BadData(e.to_string()))?;
         validate_rows(rows, dims)?;
         let mut metrics = Metrics::new();
+        let mut changes = ChangeLog::new(feed_retain);
         let mut records = vec![wal::create_record(dims)];
         for row in rows {
             records.push(wal::insert_record(row, stream.version() + 1));
-            stream
-                .insert(row, &mut metrics)
+            let (_, delta) = stream
+                .insert_delta(row, &mut metrics)
                 .map_err(|e| RegistryError::BadData(e.to_string()))?;
+            changes.append(ChangeRecord {
+                op: ChangeOp::Insert { row: row.clone() },
+                delta,
+            });
         }
         let wal = match storage {
             Some(config) => {
@@ -171,6 +203,7 @@ impl DatasetEntry {
             None => None,
         };
         let snapshot = build_snapshot(&stream)?;
+        let version = stream.version();
         Ok(DatasetEntry {
             name: name.to_string(),
             dims,
@@ -178,17 +211,26 @@ impl DatasetEntry {
                 stream,
                 snapshot,
                 wal,
+                changes,
             }),
+            feed_signal: (Mutex::new(version), Condvar::new()),
         })
     }
 
-    /// Rehydrate an entry from recovery.
+    /// Rehydrate an entry from recovery. The change feed resumes with
+    /// the records the WAL could still replay: history absorbed into
+    /// the compaction snapshot is below the retention horizon and stale
+    /// cursors get an explicit [`FeedGone`] instead of a silent gap.
     fn recovered(
         name: &str,
         stream: StreamingSkyline,
         wal: DatasetWal,
+        records: Vec<ChangeRecord>,
+        feed_retain: usize,
     ) -> Result<DatasetEntry, RegistryError> {
         let snapshot = build_snapshot(&stream)?;
+        let version = stream.version();
+        let changes = ChangeLog::resume(version, records, feed_retain);
         Ok(DatasetEntry {
             name: name.to_string(),
             dims: stream.dims(),
@@ -196,7 +238,33 @@ impl DatasetEntry {
                 stream,
                 snapshot,
                 wal: Some(wal),
+                changes,
             }),
+            feed_signal: (Mutex::new(version), Condvar::new()),
+        })
+    }
+
+    /// Build a follower-side entry from a primary snapshot (memory-only:
+    /// replicas re-sync from the primary, they do not keep their own
+    /// WAL). The feed starts empty at the snapshot version.
+    fn replica(
+        name: &str,
+        stream: StreamingSkyline,
+        feed_retain: usize,
+    ) -> Result<DatasetEntry, RegistryError> {
+        let snapshot = build_snapshot(&stream)?;
+        let version = stream.version();
+        let changes = ChangeLog::resume(version, Vec::new(), feed_retain);
+        Ok(DatasetEntry {
+            name: name.to_string(),
+            dims: stream.dims(),
+            inner: RwLock::new(Inner {
+                stream,
+                snapshot,
+                wal: None,
+                changes,
+            }),
+            feed_signal: (Mutex::new(version), Condvar::new()),
         })
     }
 
@@ -280,6 +348,10 @@ impl DatasetEntry {
                 .insert_delta(row, &mut metrics)
                 .map_err(|e| RegistryError::BadData(e.to_string()))?;
             ids.push(id);
+            inner.changes.append(ChangeRecord {
+                op: ChangeOp::Insert { row: row.clone() },
+                delta: delta.clone(),
+            });
             deltas.push(delta);
         }
         self.after_mutation(&mut inner)?;
@@ -312,6 +384,10 @@ impl DatasetEntry {
             if let Some(delta) = inner.stream.remove_delta(id, &mut metrics) {
                 removed += 1;
                 records.push(wal::remove_record(id, delta.version));
+                inner.changes.append(ChangeRecord {
+                    op: ChangeOp::Remove { id },
+                    delta: delta.clone(),
+                });
                 deltas.push(delta);
             }
         }
@@ -333,7 +409,8 @@ impl DatasetEntry {
     }
 
     /// Post-mutation upkeep under the write lock: rebuild the read
-    /// snapshot and compact the log if it outgrew its threshold.
+    /// snapshot, compact the log if it outgrew its threshold, and wake
+    /// every long-poll feed subscriber.
     fn after_mutation(&self, inner: &mut Inner) -> Result<(), RegistryError> {
         inner.snapshot = build_snapshot(&inner.stream)?;
         if let Some(wal) = inner.wal.as_mut() {
@@ -341,7 +418,110 @@ impl DatasetEntry {
             // still holds the full history, so just carry on.
             let _ = wal.maybe_compact(&inner.stream);
         }
+        let (lock, cvar) = &self.feed_signal;
+        *lock.lock().unwrap_or_else(|e| e.into_inner()) = inner.stream.version();
+        cvar.notify_all();
         Ok(())
+    }
+
+    /// Serve a change-feed cursor read: up to `limit` records strictly
+    /// after `since`, or [`FeedGone`] when the cursor predates the
+    /// retention horizon and the consumer must resync.
+    pub fn changes_since(&self, since: u64, limit: usize) -> Result<FeedBatch, FeedGone> {
+        read_lock(&self.inner).changes.since(since, limit)
+    }
+
+    /// Block until the content version exceeds `since` or `timeout`
+    /// elapses, returning the last version observed. Long-poll
+    /// subscribers park here so an idle dataset costs nothing.
+    pub fn wait_for_version(&self, since: u64, timeout: Duration) -> u64 {
+        let (lock, cvar) = &self.feed_signal;
+        let deadline = Instant::now() + timeout;
+        let mut version = lock.lock().unwrap_or_else(|e| e.into_inner());
+        while *version <= since {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            version = cvar
+                .wait_timeout(version, deadline - now)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+        *version
+    }
+
+    /// The dataset's full state as a snapshot document (the same wire
+    /// format `.snap` files use) — what a follower resyncs from.
+    pub fn snapshot_doc(&self) -> String {
+        wal::snapshot_doc(&read_lock(&self.inner).stream)
+    }
+
+    /// Apply one replicated change record on a follower.
+    ///
+    /// Duplicates (version at or below ours) are skipped by arithmetic;
+    /// the next dense version is applied through the op *and* checked
+    /// against the shipped [`SkylineDelta`] — first by asking the
+    /// wrong-base-refusing [`SkylineDelta::apply`] whether it even fits
+    /// our current skyline, then by comparing the locally produced delta
+    /// to the shipped one. Any disagreement reports
+    /// [`ReplicaApply::Diverged`] and the caller resyncs.
+    pub fn apply_replicated(&self, record: &ChangeRecord) -> Result<ReplicaApply, RegistryError> {
+        let mut inner = write_lock(&self.inner);
+        let current = inner.stream.version();
+        let v = record.version();
+        if v <= current {
+            return Ok(ReplicaApply::Duplicate);
+        }
+        if v != current + 1 {
+            return Ok(ReplicaApply::Diverged(format!(
+                "version gap: follower at {current}, record is {v}"
+            )));
+        }
+        let mut sky = inner.stream.skyline();
+        if !record.delta.apply(&mut sky) {
+            return Ok(ReplicaApply::Diverged(format!(
+                "delta for version {v} refused our base skyline"
+            )));
+        }
+        let mut metrics = Metrics::new();
+        let local = match &record.op {
+            ChangeOp::Insert { row } => {
+                if row.len() != self.dims {
+                    return Ok(ReplicaApply::Diverged(format!(
+                        "insert at version {v} has {} dims, dataset has {}",
+                        row.len(),
+                        self.dims
+                    )));
+                }
+                match inner.stream.insert_delta(row, &mut metrics) {
+                    Ok((_, delta)) => Some(delta),
+                    Err(e) => {
+                        return Ok(ReplicaApply::Diverged(format!(
+                            "insert at version {v} refused: {e}"
+                        )))
+                    }
+                }
+            }
+            ChangeOp::Remove { id } => inner.stream.remove_delta(*id, &mut metrics),
+        };
+        match local {
+            Some(delta) if delta == record.delta => {}
+            Some(delta) => {
+                return Ok(ReplicaApply::Diverged(format!(
+                    "delta mismatch at version {v}: local {delta:?} vs shipped {:?}",
+                    record.delta
+                )));
+            }
+            None => {
+                return Ok(ReplicaApply::Diverged(format!(
+                    "remove at version {v} was a no-op here"
+                )));
+            }
+        }
+        inner.changes.append(record.clone());
+        self.after_mutation(&mut inner)?;
+        Ok(ReplicaApply::Applied)
     }
 }
 
@@ -378,7 +558,6 @@ fn validate_name(name: &str) -> Result<(), RegistryError> {
 /// All resident datasets, by name. The outer `RwLock` guards the name
 /// table only; per-dataset state has its own lock, so queries against one
 /// dataset never block loads of another.
-#[derive(Default)]
 pub struct Registry {
     datasets: RwLock<HashMap<String, Arc<DatasetEntry>>>,
     /// Serialises creations: two racing creates of the same name must
@@ -390,6 +569,21 @@ pub struct Registry {
     recovery_replayed: u64,
     /// Per-dataset recovery results: `(name, replayed, version)`.
     recovery_log: Vec<(String, u64, u64)>,
+    /// Change records retained per dataset for the feed.
+    feed_retain: usize,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry {
+            datasets: RwLock::new(HashMap::new()),
+            create_lock: std::sync::Mutex::new(()),
+            storage: None,
+            recovery_replayed: 0,
+            recovery_log: Vec::new(),
+            feed_retain: DEFAULT_FEED_RETAIN,
+        }
+    }
 }
 
 impl Registry {
@@ -398,9 +592,24 @@ impl Registry {
         Registry::default()
     }
 
+    /// An empty, memory-only registry with an explicit change-feed
+    /// retention cap (records per dataset).
+    pub fn with_feed_retain(feed_retain: usize) -> Registry {
+        Registry {
+            feed_retain: feed_retain.max(1),
+            ..Registry::default()
+        }
+    }
+
     /// A durable registry: creates the data directory if needed and
     /// recovers every dataset found there from snapshot + log.
     pub fn open(storage: StorageConfig) -> std::io::Result<Registry> {
+        Registry::open_with(storage, DEFAULT_FEED_RETAIN)
+    }
+
+    /// [`Registry::open`] with an explicit change-feed retention cap.
+    pub fn open_with(storage: StorageConfig, feed_retain: usize) -> std::io::Result<Registry> {
+        let feed_retain = feed_retain.max(1);
         std::fs::create_dir_all(&storage.dir)?;
         let mut map = HashMap::new();
         let mut recovery_replayed = 0;
@@ -411,8 +620,14 @@ impl Registry {
             };
             recovery_replayed += recovered.replayed;
             recovery_log.push((name.clone(), recovered.replayed, recovered.stream.version()));
-            let entry = DatasetEntry::recovered(&name, recovered.stream, recovered.wal)
-                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            let entry = DatasetEntry::recovered(
+                &name,
+                recovered.stream,
+                recovered.wal,
+                recovered.records,
+                feed_retain,
+            )
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
             map.insert(name, Arc::new(entry));
         }
         Ok(Registry {
@@ -421,6 +636,7 @@ impl Registry {
             storage: Some(storage),
             recovery_replayed,
             recovery_log,
+            feed_retain,
         })
     }
 
@@ -462,7 +678,29 @@ impl Registry {
                 return Err(RegistryError::Exists(name.to_string()));
             }
         }
-        let entry = Arc::new(DatasetEntry::new(name, dims, rows, self.storage.as_ref())?);
+        let entry = Arc::new(DatasetEntry::new(
+            name,
+            dims,
+            rows,
+            self.storage.as_ref(),
+            self.feed_retain,
+        )?);
+        let mut map = self.datasets.write().unwrap_or_else(|e| e.into_inner());
+        map.insert(name.to_string(), Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Install (or replace) a follower-side dataset rebuilt from a
+    /// primary snapshot. Replacing is the resync path: the stale entry
+    /// and its feed are dropped wholesale.
+    pub fn install_replica(
+        &self,
+        name: &str,
+        stream: StreamingSkyline,
+    ) -> Result<Arc<DatasetEntry>, RegistryError> {
+        validate_name(name)?;
+        let _creating = self.create_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = Arc::new(DatasetEntry::replica(name, stream, self.feed_retain)?);
         let mut map = self.datasets.write().unwrap_or_else(|e| e.into_inner());
         map.insert(name.to_string(), Arc::clone(&entry));
         Ok(entry)
@@ -595,6 +833,122 @@ mod tests {
         assert_eq!(snap.version, 0);
         assert!(snap.dataset.is_none());
         assert!(snap.handles.is_empty());
+    }
+
+    #[test]
+    fn change_feed_records_every_mutation_in_version_order() {
+        let reg = Registry::new();
+        let entry = reg
+            .create("feed", 2, &rows(&[[1.0, 5.0], [5.0, 1.0]]))
+            .unwrap();
+        entry.insert_rows(&rows(&[[0.5, 0.5]])).unwrap();
+        entry.remove_ids(&[2]).unwrap();
+        let batch = entry.changes_since(0, 100).unwrap();
+        assert_eq!(
+            batch
+                .records
+                .iter()
+                .map(ChangeRecord::version)
+                .collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+        assert_eq!(batch.next, 4);
+        assert!(matches!(batch.records[3].op, ChangeOp::Remove { id: 2 }));
+        // Caught-up cursor waits out its timeout and keeps its cursor.
+        let version = entry.wait_for_version(4, Duration::from_millis(20));
+        assert_eq!(version, 4);
+        assert!(entry.changes_since(4, 100).unwrap().records.is_empty());
+    }
+
+    #[test]
+    fn feed_retention_cap_turns_stale_cursors_into_gone() {
+        let reg = Registry::with_feed_retain(2);
+        let entry = reg.create("small", 2, &[]).unwrap();
+        for i in 0..5 {
+            entry
+                .insert_rows(&rows(&[[i as f64, 5.0 - i as f64]]))
+                .unwrap();
+        }
+        let gone = entry.changes_since(0, 100).unwrap_err();
+        assert_eq!(gone.oldest, 4, "only versions 4..=5 retained");
+        let batch = entry.changes_since(3, 100).unwrap();
+        assert_eq!(batch.records.len(), 2);
+    }
+
+    #[test]
+    fn replicated_records_rebuild_the_primary_exactly() {
+        let primary = Registry::new();
+        let p = primary
+            .create("rep", 2, &rows(&[[1.0, 5.0], [5.0, 1.0], [6.0, 6.0]]))
+            .unwrap();
+        p.insert_rows(&rows(&[[0.5, 4.0]])).unwrap();
+        p.remove_ids(&[1]).unwrap();
+
+        let follower = Registry::new();
+        let f = follower.create("rep", 2, &[]).unwrap();
+        let batch = p.changes_since(0, 100).unwrap();
+        for record in &batch.records {
+            assert_eq!(f.apply_replicated(record).unwrap(), ReplicaApply::Applied);
+        }
+        assert_eq!(f.streaming_skyline(), p.streaming_skyline());
+        assert_eq!(f.snapshot_doc(), p.snapshot_doc(), "full state matches");
+
+        // At-least-once: replaying any prefix is a harmless duplicate.
+        for record in &batch.records {
+            assert_eq!(f.apply_replicated(record).unwrap(), ReplicaApply::Duplicate);
+        }
+        assert_eq!(f.streaming_skyline(), p.streaming_skyline());
+    }
+
+    #[test]
+    fn replica_apply_fails_closed_on_gaps_and_bad_deltas() {
+        let primary = Registry::new();
+        let p = primary.create("div", 2, &[]).unwrap();
+        for i in 0..4 {
+            p.insert_rows(&rows(&[[i as f64, 4.0 - i as f64]])).unwrap();
+        }
+        let records = p.changes_since(0, 100).unwrap().records;
+
+        // Version gap: skipping a record is detected by arithmetic.
+        let follower = Registry::new();
+        let f = follower.create("div", 2, &[]).unwrap();
+        f.apply_replicated(&records[0]).unwrap();
+        assert!(matches!(
+            f.apply_replicated(&records[2]).unwrap(),
+            ReplicaApply::Diverged(_)
+        ));
+
+        // A delta whose base does not match is refused before any
+        // mutation happens.
+        let mut forged = records[1].clone();
+        forged.delta = SkylineDelta::from_events(vec![9], vec![7], forged.delta.version);
+        let before = f.streaming_skyline();
+        assert!(matches!(
+            f.apply_replicated(&forged).unwrap(),
+            ReplicaApply::Diverged(_)
+        ));
+        assert_eq!(f.streaming_skyline(), before, "refusal did not mutate");
+    }
+
+    #[test]
+    fn install_replica_replaces_stale_state() {
+        let primary = Registry::new();
+        let p = primary
+            .create("sync", 2, &rows(&[[1.0, 2.0], [2.0, 1.0]]))
+            .unwrap();
+        let doc = p.snapshot_doc();
+        let (dims, version, slots) = wal::parse_snapshot(&doc).expect("snapshot doc parses");
+        let stream = StreamingSkyline::restore(dims, &slots, version).unwrap();
+
+        let follower = Registry::new();
+        follower.create("sync", 2, &rows(&[[9.0, 9.0]])).unwrap();
+        let f = follower.install_replica("sync", stream).unwrap();
+        assert_eq!(f.streaming_skyline(), p.streaming_skyline());
+        assert_eq!(follower.get("sync").unwrap().snapshot_doc(), doc);
+        // The replaced entry's feed starts at the snapshot version:
+        // pre-snapshot cursors must resync, the current cursor is fine.
+        assert!(f.changes_since(0, 10).is_err());
+        assert!(f.changes_since(2, 10).unwrap().records.is_empty());
     }
 
     #[test]

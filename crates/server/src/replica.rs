@@ -1,0 +1,321 @@
+//! Follower mode: tail a primary's change feeds into local datasets.
+//!
+//! `skyline serve --follow <primary>` starts the server read-only and
+//! spawns one discovery thread here. The discovery loop polls the
+//! primary's `/datasets` listing and hands each dataset to a dedicated
+//! tailer thread, which long-polls
+//! `GET /datasets/{name}/changes?ops=1&subscribe=1` and pushes every
+//! record through the wrong-base-refusing
+//! [`DatasetEntry::apply_replicated`]. Anything suspicious — a stale
+//! cursor (410 Gone), a version gap, a delta that refuses our base, a
+//! delta mismatch after applying the op — fails closed: the tailer
+//! discards the dataset and resyncs from `GET /datasets/{name}/snapshot`
+//! rather than ever serving a wrong answer.
+//!
+//! Delivery is at-least-once end to end. Reconnects replay from the
+//! follower's own applied version, so duplicates are routine and
+//! version arithmetic (`ReplicaApply::Duplicate`) makes them harmless;
+//! a skipped version is impossible because `apply_replicated` only
+//! accepts the next dense version.
+//!
+//! [`DatasetEntry::apply_replicated`]: crate::registry::DatasetEntry::apply_replicated
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use skyline_core::changelog::{ChangeOp, ChangeRecord};
+use skyline_core::delta::SkylineDelta;
+use skyline_core::point::PointId;
+use skyline_core::streaming::StreamingSkyline;
+use skyline_obs::json::Value;
+use skyline_obs::{AtomicHistogram, Event};
+
+use crate::registry::ReplicaApply;
+use crate::{client, wal, Shared};
+
+/// Response header a follower stamps on reads: how many versions its
+/// copy of the queried dataset trailed the primary by at the last
+/// applied batch. The cluster coordinator uses it as the bounded-
+/// staleness guard when routing reads to replicas.
+pub const LAG_HEADER: &str = "X-Skyline-Replica-Lag";
+
+/// Everything a follower tracks about its replication stream.
+pub struct ReplicaState {
+    /// The primary this server tails.
+    pub primary: SocketAddr,
+    /// Long-poll hold passed to the primary's `/changes`, milliseconds.
+    pub wait_ms: u64,
+    /// Change records applied (duplicates excluded).
+    pub applied_total: AtomicU64,
+    /// Duplicate records skipped by version arithmetic.
+    pub duplicates_total: AtomicU64,
+    /// Snapshot resyncs, the initial sync included.
+    pub resyncs_total: AtomicU64,
+    /// Distribution of `primary_latest - record_version` at apply time:
+    /// how far behind each applied record was when it landed.
+    pub lag: AtomicHistogram,
+    /// Per-dataset `(applied_version, primary_latest)` at the last batch.
+    progress: Mutex<HashMap<String, (u64, u64)>>,
+}
+
+impl ReplicaState {
+    /// Fresh state for a follower of `primary`.
+    pub fn new(primary: SocketAddr, wait_ms: u64) -> ReplicaState {
+        ReplicaState {
+            primary,
+            wait_ms,
+            applied_total: AtomicU64::new(0),
+            duplicates_total: AtomicU64::new(0),
+            resyncs_total: AtomicU64::new(0),
+            lag: AtomicHistogram::new(),
+            progress: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Versions `dataset` trailed the primary by at the last applied
+    /// batch (0 when unknown or fully caught up).
+    pub fn lag_of(&self, dataset: &str) -> u64 {
+        let map = self.progress.lock().unwrap_or_else(|e| e.into_inner());
+        map.get(dataset)
+            .map_or(0, |&(applied, latest)| latest.saturating_sub(applied))
+    }
+
+    /// Record `dataset`'s replication progress after a batch.
+    fn note(&self, dataset: &str, applied: u64, latest: u64) {
+        let mut map = self.progress.lock().unwrap_or_else(|e| e.into_inner());
+        map.insert(dataset.to_string(), (applied, latest));
+    }
+
+    /// Snapshot of per-dataset `(name, applied, primary_latest)`,
+    /// sorted by name for stable rendering.
+    pub fn progress_snapshot(&self) -> Vec<(String, u64, u64)> {
+        let map = self.progress.lock().unwrap_or_else(|e| e.into_inner());
+        let mut rows: Vec<(String, u64, u64)> = map
+            .iter()
+            .map(|(name, &(applied, latest))| (name.clone(), applied, latest))
+            .collect();
+        rows.sort();
+        rows
+    }
+}
+
+/// Sleep in short slices so shutdown is never delayed by a backoff.
+fn sleep_checking_shutdown(shared: &Shared, total: Duration) {
+    let deadline = Instant::now() + total;
+    while Instant::now() < deadline && !shared.shutdown.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(25).min(total));
+    }
+}
+
+/// The discovery loop: poll the primary's dataset listing, spawn one
+/// tailer per dataset, join them all on shutdown.
+pub(crate) fn run_follower(shared: Arc<Shared>) {
+    let primary = shared
+        .replica
+        .as_ref()
+        .expect("run_follower requires replica state")
+        .primary;
+    let mut tails: HashMap<String, JoinHandle<()>> = HashMap::new();
+    while !shared.shutdown.load(Ordering::Acquire) {
+        if let Ok(names) = list_primary_datasets(primary) {
+            for name in names {
+                if tails.contains_key(&name) {
+                    continue;
+                }
+                let tail_shared = Arc::clone(&shared);
+                let tail_name = name.clone();
+                let spawned = std::thread::Builder::new()
+                    .name(format!("skyline-tail-{name}"))
+                    .spawn(move || tail_dataset(&tail_shared, &tail_name));
+                if let Ok(handle) = spawned {
+                    tails.insert(name, handle);
+                }
+            }
+        }
+        sleep_checking_shutdown(&shared, Duration::from_millis(250));
+    }
+    for (_, handle) in tails {
+        let _ = handle.join();
+    }
+}
+
+/// The primary's dataset names, from `GET /datasets`.
+fn list_primary_datasets(primary: SocketAddr) -> Result<Vec<String>, ()> {
+    let resp = client::get(primary, "/datasets").map_err(|_| ())?;
+    if resp.status != 200 {
+        return Err(());
+    }
+    let v = Value::parse(&resp.body_str()).map_err(|_| ())?;
+    let arr = v.get("datasets").and_then(Value::as_arr).ok_or(())?;
+    Ok(arr
+        .iter()
+        .filter_map(|d| d.get("name").and_then(Value::as_str))
+        .map(str::to_string)
+        .collect())
+}
+
+/// Tail one dataset's change feed forever (until shutdown).
+fn tail_dataset(shared: &Arc<Shared>, name: &str) {
+    let state = shared.replica.as_ref().expect("replica state");
+    // `Some(reason)` = the cursor is unusable and the next step is a
+    // full snapshot resync; the reason lands in the trace event.
+    let mut needs_resync: Option<String> = Some("initial sync".to_string());
+    let mut cursor: u64 = 0;
+    while !shared.shutdown.load(Ordering::Acquire) {
+        if let Some(reason) = needs_resync.take() {
+            match resync(shared, name, &reason) {
+                Ok(version) => cursor = version,
+                Err(_) => {
+                    needs_resync = Some(reason);
+                    sleep_checking_shutdown(shared, Duration::from_millis(200));
+                    continue;
+                }
+            }
+        }
+        let path = format!(
+            "/datasets/{name}/changes?since={cursor}&ops=1&subscribe=1&wait_ms={}",
+            state.wait_ms
+        );
+        let resp = match client::get(state.primary, &path) {
+            Ok(resp) => resp,
+            Err(_) => {
+                // Primary unreachable (crashed, restarting): keep the
+                // cursor and reconnect-replay from it.
+                sleep_checking_shutdown(shared, Duration::from_millis(200));
+                continue;
+            }
+        };
+        match resp.status {
+            200 => {}
+            410 => {
+                needs_resync = Some(format!(
+                    "cursor {cursor} predates the primary's retention horizon"
+                ));
+                continue;
+            }
+            _ => {
+                sleep_checking_shutdown(shared, Duration::from_millis(200));
+                continue;
+            }
+        }
+        let Ok(body) = Value::parse(&resp.body_str()) else {
+            sleep_checking_shutdown(shared, Duration::from_millis(200));
+            continue;
+        };
+        let Some((records, latest)) = parse_batch(&body) else {
+            needs_resync = Some("unparseable change batch".to_string());
+            continue;
+        };
+        match apply_batch(shared, name, &records, latest) {
+            Ok(version) => {
+                cursor = version;
+                state.note(name, version, latest.max(version));
+            }
+            Err(reason) => needs_resync = Some(reason),
+        }
+    }
+}
+
+/// Apply one parsed batch; returns the follower's version afterwards,
+/// or the divergence reason that forces a resync.
+fn apply_batch(
+    shared: &Arc<Shared>,
+    name: &str,
+    records: &[ChangeRecord],
+    latest: u64,
+) -> Result<u64, String> {
+    let state = shared.replica.as_ref().expect("replica state");
+    let entry = shared
+        .registry
+        .get(name)
+        .map_err(|e| format!("dataset vanished locally: {e}"))?;
+    let mut applied = 0u64;
+    let mut version = entry.info().version;
+    for record in records {
+        match entry.apply_replicated(record) {
+            Ok(ReplicaApply::Applied) => {
+                applied += 1;
+                version = record.version();
+                state.applied_total.fetch_add(1, Ordering::Relaxed);
+                state.lag.record(latest.saturating_sub(record.version()));
+            }
+            Ok(ReplicaApply::Duplicate) => {
+                state.duplicates_total.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(ReplicaApply::Diverged(why)) => return Err(why),
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    if applied > 0 {
+        shared.emit(Event::ReplicaApply {
+            dataset: name.to_string(),
+            version,
+            records: applied,
+            lag: latest.saturating_sub(version),
+        });
+    }
+    Ok(version)
+}
+
+/// Discard the local dataset and rebuild it from the primary's
+/// snapshot endpoint. Returns the installed content version.
+fn resync(shared: &Arc<Shared>, name: &str, reason: &str) -> Result<u64, ()> {
+    let state = shared.replica.as_ref().expect("replica state");
+    let resp = client::get(state.primary, &format!("/datasets/{name}/snapshot")).map_err(|_| ())?;
+    if resp.status != 200 {
+        return Err(());
+    }
+    let (dims, version, slots) = wal::parse_snapshot(&resp.body_str()).ok_or(())?;
+    let stream = StreamingSkyline::restore(dims, &slots, version).map_err(|_| ())?;
+    shared
+        .registry
+        .install_replica(name, stream)
+        .map_err(|_| ())?;
+    state.resyncs_total.fetch_add(1, Ordering::Relaxed);
+    state.note(name, version, version);
+    shared.emit(Event::ReplicaResync {
+        dataset: name.to_string(),
+        version,
+        reason: reason.to_string(),
+    });
+    Ok(version)
+}
+
+/// Parse a `/changes?ops=1` body into records plus the primary's
+/// `latest`. `None` on any shape surprise — the caller resyncs.
+pub fn parse_batch(v: &Value) -> Option<(Vec<ChangeRecord>, u64)> {
+    let latest = v.get("latest")?.as_u64()?;
+    let arr = v.get("records")?.as_arr()?;
+    let mut records = Vec::with_capacity(arr.len());
+    for r in arr {
+        let version = r.get("version")?.as_u64()?;
+        let entered = point_ids(r.get("entered")?)?;
+        let left = point_ids(r.get("left")?)?;
+        let op = if let Some(row) = r.get("row") {
+            let row: Option<Vec<f64>> = row.as_arr()?.iter().map(Value::as_f64).collect();
+            ChangeOp::Insert { row: row? }
+        } else if let Some(id) = r.get("remove").and_then(Value::as_u64) {
+            ChangeOp::Remove {
+                id: PointId::try_from(id).ok()?,
+            }
+        } else {
+            return None; // ops=1 was requested; a bare record is a bug
+        };
+        records.push(ChangeRecord {
+            op,
+            delta: SkylineDelta::from_events(entered, left, version),
+        });
+    }
+    Some((records, latest))
+}
+
+fn point_ids(v: &Value) -> Option<Vec<PointId>> {
+    v.as_arr()?
+        .iter()
+        .map(|x| x.as_u64().and_then(|n| PointId::try_from(n).ok()))
+        .collect()
+}

@@ -28,7 +28,7 @@ use std::path::{Path, PathBuf};
 use std::str::FromStr;
 use std::time::{Duration, Instant};
 
-use skyline_core::delta::SkylineDelta;
+use skyline_core::changelog::{ChangeOp, ChangeRecord};
 use skyline_core::metrics::Metrics;
 use skyline_core::point::PointId;
 use skyline_core::streaming::StreamingSkyline;
@@ -112,13 +112,15 @@ pub struct Recovered {
     pub wal: DatasetWal,
     /// Log records applied on top of the snapshot.
     pub replayed: u64,
-    /// The skyline delta of every replayed record, in replay order —
-    /// the same versioned enter/leave stream the live process produced
-    /// when it first applied these mutations. Records absorbed by the
-    /// snapshot contribute nothing (their effect is already in the
-    /// snapshot's state, not a delta). The chaos harness compares this
-    /// stream against the uncrashed run's to pin replay fidelity.
-    pub deltas: Vec<SkylineDelta>,
+    /// Every replayed record as a [`ChangeRecord`] — the operation plus
+    /// the skyline delta it produced, in replay order: the same
+    /// versioned enter/leave stream the live process emitted when it
+    /// first applied these mutations. Records absorbed by the snapshot
+    /// contribute nothing (their effect is already in the snapshot's
+    /// state, not a delta) — which is exactly the change log's
+    /// retention horizon after a restart. The chaos harness compares
+    /// this stream against the uncrashed run's to pin replay fidelity.
+    pub records: Vec<ChangeRecord>,
 }
 
 /// The append side of one dataset's log.
@@ -156,7 +158,7 @@ fn fmt_f64(v: f64, out: &mut String) {
     }
 }
 
-fn row_json(row: &[f64]) -> String {
+pub(crate) fn row_json(row: &[f64]) -> String {
     let mut out = String::with_capacity(row.len() * 8 + 2);
     out.push('[');
     for (i, &v) in row.iter().enumerate() {
@@ -262,23 +264,7 @@ impl DatasetWal {
     /// lives in the snapshot.
     pub fn write_snapshot(&mut self, stream: &StreamingSkyline) -> io::Result<()> {
         faults::check_io("snapshot")?;
-        let mut doc = String::new();
-        let _ = write!(
-            doc,
-            "{{\"dims\":{},\"version\":{},\"slots\":[",
-            stream.dims(),
-            stream.version()
-        );
-        for (i, slot) in stream.slot_rows().iter().enumerate() {
-            if i > 0 {
-                doc.push(',');
-            }
-            match slot {
-                Some(row) => doc.push_str(&row_json(row)),
-                None => doc.push_str("null"),
-            }
-        }
-        doc.push_str("]}\n");
+        let doc = snapshot_doc(stream);
         let tmp = self.snap_path.with_extension("snap.tmp");
         {
             let mut f = File::create(&tmp)?;
@@ -297,6 +283,31 @@ impl DatasetWal {
         self.last_sync = Instant::now();
         Ok(())
     }
+}
+
+/// The snapshot document for `stream`: the full slot table (tombstones
+/// as `null`, preserving handle positions) plus the version it
+/// materialises. The same wire format serves the on-disk `.snap` file
+/// and the `GET /datasets/{name}/snapshot` replica-resync endpoint.
+pub fn snapshot_doc(stream: &StreamingSkyline) -> String {
+    let mut doc = String::new();
+    let _ = write!(
+        doc,
+        "{{\"dims\":{},\"version\":{},\"slots\":[",
+        stream.dims(),
+        stream.version()
+    );
+    for (i, slot) in stream.slot_rows().iter().enumerate() {
+        if i > 0 {
+            doc.push(',');
+        }
+        match slot {
+            Some(row) => doc.push_str(&row_json(row)),
+            None => doc.push_str("null"),
+        }
+    }
+    doc.push_str("]}\n");
+    doc
 }
 
 /// Dataset names that have a WAL or snapshot under `dir`, sorted.
@@ -319,11 +330,13 @@ pub fn list_datasets(dir: &Path) -> io::Result<Vec<String>> {
     Ok(names)
 }
 
-/// Parsed snapshot parts: `(dims, version, slots)` — slot `i` is
+///// Parsed snapshot parts: `(dims, version, slots)` — slot `i` is
 /// `None` when stream handle `i` has been removed.
-type SnapshotParts = (usize, u64, Vec<Option<Vec<f64>>>);
+pub type SnapshotParts = (usize, u64, Vec<Option<Vec<f64>>>);
 
-fn parse_snapshot(text: &str) -> Option<SnapshotParts> {
+/// Parse a snapshot document (the `.snap` file format, also served by
+/// `GET /datasets/{name}/snapshot`). `None` on any structural problem.
+pub fn parse_snapshot(text: &str) -> Option<SnapshotParts> {
     let v = Value::parse(text.trim()).ok()?;
     let dims = v.get("dims")?.as_u64()? as usize;
     let version = v.get("version")?.as_u64()?;
@@ -390,7 +403,7 @@ pub fn recover(config: &StorageConfig, name: &str) -> io::Result<Option<Recovere
         Vec::new()
     };
     let mut replayed = 0u64;
-    let mut deltas = Vec::new();
+    let mut records = Vec::new();
     let mut offset = 0usize; // start of the current line
     let mut good_end = 0usize; // one past the last fully applied line
     let mut metrics = Metrics::new();
@@ -419,7 +432,10 @@ pub fn recover(config: &StorageConfig, name: &str) -> io::Result<Option<Recovere
                 Some(s) if v > s.version() => match s.insert_delta(&row, &mut metrics) {
                     Ok((_, delta)) => {
                         replayed += 1;
-                        deltas.push(delta);
+                        records.push(ChangeRecord {
+                            op: ChangeOp::Insert { row },
+                            delta,
+                        });
                         true
                     }
                     Err(_) => false,
@@ -434,7 +450,10 @@ pub fn recover(config: &StorageConfig, name: &str) -> io::Result<Option<Recovere
                     match s.remove_delta(id, &mut metrics) {
                         Some(delta) => {
                             replayed += 1;
-                            deltas.push(delta);
+                            records.push(ChangeRecord {
+                                op: ChangeOp::Remove { id },
+                                delta,
+                            });
                             true
                         }
                         None => false,
@@ -480,7 +499,7 @@ pub fn recover(config: &StorageConfig, name: &str) -> io::Result<Option<Recovere
         stream,
         wal,
         replayed,
-        deltas,
+        records,
     }))
 }
 

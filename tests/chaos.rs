@@ -365,8 +365,9 @@ fn wal_replay_reconstructs_the_live_delta_stream() {
     let recovered = wal::recover(&wal::StorageConfig::new(dir.clone()), "d")
         .unwrap()
         .expect("dataset recovers");
+    let replayed: Vec<_> = recovered.records.iter().map(|r| r.delta.clone()).collect();
     assert_eq!(
-        recovered.deltas, live_stream,
+        replayed, live_stream,
         "replayed delta stream must equal the uncrashed run's"
     );
     assert_eq!(recovered.stream.version(), mirror.version());
@@ -416,4 +417,324 @@ fn snapshot_failure_is_tolerated_and_data_survives() {
     assert_eq!(version, acked.0);
     assert_eq!(ids, acked.2);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// At-least-once pin: the feed may deliver any record any number of
+/// times, and version arithmetic makes that harmless — every duplicate
+/// is a no-op, while a version *gap* is refused outright rather than
+/// silently applied. No delivery schedule can skip a version.
+#[test]
+fn feed_delivery_is_at_least_once_and_never_skips() {
+    let _scope = FaultScope::enter();
+    let server = start_memory_server(64);
+    let addr = server.local_addr();
+    client::post(
+        addr,
+        "/datasets",
+        "{\"name\": \"alo\", \"rows\": [[9, 1], [1, 9]]}",
+    )
+    .unwrap();
+    for i in 0..6 {
+        let body = format!("{{\"rows\": [[{}, {}]]}}", 8 - i, 8 - i);
+        assert_eq!(
+            client::post(addr, "/datasets/alo/points", &body)
+                .unwrap()
+                .status,
+            200
+        );
+    }
+    let resp = client::get(addr, "/datasets/alo/changes?since=0&ops=1").unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    let (records, _latest) =
+        skyline_serve::replica::parse_batch(&Value::parse(&resp.body_str()).unwrap())
+            .expect("parse feed batch");
+    assert_eq!(records.len(), 8, "2 creation rows + 6 inserts");
+
+    // A follower built from nothing, fed the batch once: all applied.
+    let registry = skyline_serve::registry::Registry::with_feed_retain(64);
+    let empty = StreamingSkyline::restore(2, &[], 0).unwrap();
+    let entry = registry.install_replica("alo", empty).unwrap();
+    for record in &records {
+        assert!(matches!(
+            entry.apply_replicated(record).unwrap(),
+            skyline_serve::registry::ReplicaApply::Applied
+        ));
+    }
+    let converged = entry.streaming_skyline();
+
+    // The same batch redelivered whole — twice: pure no-ops.
+    for _ in 0..2 {
+        for record in &records {
+            assert!(matches!(
+                entry.apply_replicated(record).unwrap(),
+                skyline_serve::registry::ReplicaApply::Duplicate
+            ));
+        }
+    }
+    assert_eq!(
+        entry.streaming_skyline(),
+        converged,
+        "duplicate delivery must not change the replica"
+    );
+
+    // A gapped delivery — record 1, then record 3 — is refused, and the
+    // refusal leaves the replica exactly where it was.
+    let gapped = registry
+        .install_replica("gap", StreamingSkyline::restore(2, &[], 0).unwrap())
+        .unwrap();
+    assert!(matches!(
+        gapped.apply_replicated(&records[0]).unwrap(),
+        skyline_serve::registry::ReplicaApply::Applied
+    ));
+    let before = gapped.streaming_skyline();
+    assert!(matches!(
+        gapped.apply_replicated(&records[2]).unwrap(),
+        skyline_serve::registry::ReplicaApply::Diverged(_)
+    ));
+    assert_eq!(
+        gapped.streaming_skyline(),
+        before,
+        "a refused gap must not touch the replica"
+    );
+}
+
+/// Kill -9 the primary mid-stream: the follower keeps its cursor
+/// through the outage and reconnect-replays from it once the primary
+/// restarts on the same address — ending byte-identical, no resync.
+#[test]
+fn follower_replays_from_cursor_after_primary_kill_and_restart() {
+    let _scope = FaultScope::enter();
+    let dir = temp_data_dir("replay");
+    let paddr;
+    {
+        let primary = Server::start(ServerConfig {
+            data_dir: Some(dir.clone()),
+            fsync: FsyncPolicy::Always,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        paddr = primary.local_addr();
+        client::post(
+            paddr,
+            "/datasets",
+            "{\"name\": \"r\", \"rows\": [[9, 1], [1, 9]]}",
+        )
+        .unwrap();
+        for i in 0..4 {
+            let body = format!("{{\"rows\": [[{}, {}]]}}", 8 - i, 8 - i);
+            assert_eq!(
+                client::post(paddr, "/datasets/r/points", &body)
+                    .unwrap()
+                    .status,
+                200
+            );
+        }
+
+        // Follower outlives the primary's first incarnation.
+        let follower = Server::start(ServerConfig {
+            follow: Some(paddr),
+            follow_wait_ms: 100,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let faddr = follower.local_addr();
+        wait_for_follower(faddr, "r", 6);
+
+        // fsync=always: dropping the handle is a kill -9 after the last
+        // ack. The follower is left long-polling a dead socket.
+        drop(primary);
+        std::thread::sleep(Duration::from_millis(300));
+
+        // Restart on the SAME address with the SAME WAL; a follower
+        // must be able to resume its cursor against the reborn primary.
+        let primary = restart_on(paddr, &dir);
+        for i in 0..3 {
+            let body = format!("{{\"rows\": [[{}, {}]]}}", 3 - i, 3 - i);
+            assert_eq!(
+                client::post(paddr, "/datasets/r/points", &body)
+                    .unwrap()
+                    .status,
+                200,
+                "restarted primary rejects writes"
+            );
+        }
+        wait_for_follower(faddr, "r", 9);
+
+        // Byte-identical at the tip, and the follower never resynced a
+        // second time: the cursor replay alone carried it across.
+        let p = client::get(paddr, "/skyline?dataset=r").unwrap();
+        let f = client::get(faddr, "/skyline?dataset=r").unwrap();
+        assert_eq!(
+            parse_skyline_response(&p.body_str()).2,
+            parse_skyline_response(&f.body_str()).2,
+            "follower diverged across the primary restart"
+        );
+        let metrics = client::get(faddr, "/metrics").unwrap();
+        let v = Value::parse(&metrics.body_str()).unwrap();
+        let rep = v.get("replication").expect("replication metrics");
+        assert_eq!(
+            rep.get("resyncs_total").and_then(Value::as_u64),
+            Some(1),
+            "only the initial sync: the restart was bridged by replay: {}",
+            metrics.body_str()
+        );
+        drop(primary);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Replica lag under write load: while the primary absorbs a stream of
+/// inserts, every answer the follower serves must match the primary's
+/// state at that exact version — laggy is fine, wrong is not — and the
+/// lag histogram in `/metrics` must be populated.
+#[test]
+fn replica_serves_consistent_prefixes_under_load() {
+    let _scope = FaultScope::enter();
+    let primary = start_memory_server(64);
+    let paddr = primary.local_addr();
+    let follower = Server::start(ServerConfig {
+        follow: Some(paddr),
+        follow_wait_ms: 100,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let faddr = follower.local_addr();
+
+    // Ground truth per version, computed from the same rows in the
+    // same order (ids are assigned densely, so the mirror agrees).
+    let mut mirror = StreamingSkyline::new(2).unwrap();
+    let mut metrics = Metrics::default();
+    let rows: Vec<Vec<f64>> = (0..80)
+        .map(|i| {
+            let x = f64::from((i * 31) % 67) + 1.0;
+            vec![x, 70.0 - x]
+        })
+        .collect();
+    let mut expected = std::collections::HashMap::new();
+    for row in &rows {
+        mirror.insert_delta(row, &mut metrics).unwrap();
+        expected.insert(mirror.version(), mirror.skyline());
+    }
+    let tip = mirror.version();
+
+    client::post(
+        paddr,
+        "/datasets",
+        &format!("{{\"name\":\"load\",\"rows\":{}}}", rows_json(&rows[..1])),
+    )
+    .unwrap();
+    // Let the follower finish its initial sync at version 1 first, so
+    // every later version must travel through the change feed.
+    wait_for_follower(faddr, "load", 1);
+
+    // Reader thread: hammer the follower while the writes land.
+    let reader = std::thread::spawn(move || {
+        let mut observed = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while Instant::now() < deadline {
+            if let Ok(resp) = client::get(faddr, "/skyline?dataset=load") {
+                if resp.status == 200 {
+                    let (version, _, ids) = parse_skyline_response(&resp.body_str());
+                    observed.push((version, ids));
+                    if version == tip {
+                        break;
+                    }
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        observed
+    });
+
+    for row in &rows[1..] {
+        let body = format!("{{\"rows\": {}}}", rows_json(std::slice::from_ref(row)));
+        assert_eq!(
+            client::post(paddr, "/datasets/load/points", &body)
+                .unwrap()
+                .status,
+            200
+        );
+    }
+
+    let observed = reader.join().expect("reader thread");
+    assert!(!observed.is_empty(), "follower never answered under load");
+    for (version, ids) in &observed {
+        let want = expected
+            .get(version)
+            .unwrap_or_else(|| panic!("follower served unacknowledged version {version}"));
+        assert_eq!(
+            ids, want,
+            "follower answer at version {version} does not match the primary's history"
+        );
+    }
+    assert_eq!(
+        observed.last().map(|(v, _)| *v),
+        Some(tip),
+        "follower never converged to the tip under load"
+    );
+
+    let resp = client::get(faddr, "/metrics").unwrap();
+    let v = Value::parse(&resp.body_str()).unwrap();
+    let rep = v.get("replication").expect("replication metrics");
+    // The initial snapshot sync may absorb a prefix, so `applied_total`
+    // can trail `tip`; the per-dataset progress must reach it exactly.
+    assert!(
+        rep.get("applied_total")
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+            >= 1,
+        "no applies recorded: {}",
+        resp.body_str()
+    );
+    let progress = rep
+        .get("datasets")
+        .and_then(Value::as_arr)
+        .and_then(|d| d.first())
+        .expect("per-dataset replication progress");
+    assert_eq!(
+        progress.get("applied").and_then(Value::as_u64),
+        Some(tip),
+        "progress never reached the tip: {}",
+        resp.body_str()
+    );
+    assert!(
+        rep.get("lag_p99").and_then(Value::as_f64).is_some(),
+        "lag percentiles absent: {}",
+        resp.body_str()
+    );
+}
+
+/// Poll the follower until `dataset` reaches `version`.
+fn wait_for_follower(faddr: std::net::SocketAddr, dataset: &str, version: u64) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while Instant::now() < deadline {
+        if let Ok(resp) = client::get(faddr, &format!("/skyline?dataset={dataset}")) {
+            if resp.status == 200 && parse_skyline_response(&resp.body_str()).0 >= version {
+                return;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("follower never reached {dataset} version {version}");
+}
+
+/// Restart a durable server on a specific (just-vacated) address,
+/// retrying while the kernel releases the port.
+fn restart_on(addr: std::net::SocketAddr, dir: &std::path::Path) -> ServerHandle {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match Server::start(ServerConfig {
+            bind: addr.to_string(),
+            data_dir: Some(dir.to_path_buf()),
+            fsync: FsyncPolicy::Always,
+            ..ServerConfig::default()
+        }) {
+            Ok(server) => return server,
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(e) => panic!("could not rebind {addr}: {e}"),
+        }
+    }
 }

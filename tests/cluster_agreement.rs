@@ -436,3 +436,148 @@ fn coordinator_validates_requests() {
     let resp = http_client::get(coord, "/skyline?dataset=v").unwrap();
     assert_eq!(resp.status, 200);
 }
+
+/// Metric counter from the coordinator's `/metrics` JSON.
+fn coord_metric(coord: SocketAddr, field: &str) -> u64 {
+    let resp = http_client::get(coord, "/metrics").unwrap();
+    let v = Value::parse(&resp.body_str()).expect("metrics JSON");
+    v.get(field)
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("missing {field:?}: {}", resp.body_str()))
+}
+
+/// With a follower behind every shard, coordinator reads route to the
+/// replicas once they catch up — and the answers are indistinguishable
+/// from primary-only reads: exactly the oracle skyline.
+#[test]
+fn replica_reads_agree_with_the_oracle() {
+    let shard_count = 2usize;
+    let shards: Vec<ServerHandle> = (0..shard_count)
+        .map(|_| {
+            skyline_serve::Server::start(skyline_serve::ServerConfig {
+                threads: 2,
+                ..Default::default()
+            })
+            .expect("start shard")
+        })
+        .collect();
+    let addrs: Vec<SocketAddr> = shards.iter().map(|s| s.local_addr()).collect();
+    let followers: Vec<ServerHandle> = addrs
+        .iter()
+        .map(|&primary| {
+            skyline_serve::Server::start(skyline_serve::ServerConfig {
+                threads: 2,
+                follow: Some(primary),
+                follow_wait_ms: 100,
+                ..Default::default()
+            })
+            .expect("start follower")
+        })
+        .collect();
+    let coordinator = Cluster::start(ClusterConfig {
+        threads: 4,
+        replicas: followers.iter().map(|f| vec![f.local_addr()]).collect(),
+        ..ClusterConfig::new(addrs)
+    })
+    .expect("start coordinator");
+    let coord = coordinator.local_addr();
+
+    let spec = skyline_data::SyntheticSpec {
+        distribution: skyline_data::Distribution::AntiCorrelated,
+        cardinality: 300,
+        dims: 3,
+        seed: 0x5EED,
+    };
+    let data = spec.generate();
+    let rows: Vec<Vec<f64>> = data.iter().map(|(_, row)| row.to_vec()).collect();
+    create_dataset(coord, "rep", &rows);
+    let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+    let dataset = Dataset::from_flat(flat, rows[0].len()).expect("dataset");
+    let expected: Vec<u64> = oracle_skyline(&dataset).iter().map(|&i| i as u64).collect();
+
+    // Staleness bound 0: a lagging replica fails the freshness check
+    // and the read falls back to the primary, so every answer — before,
+    // during, and after replica catch-up — must equal the oracle.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    let mut replica_served = false;
+    while std::time::Instant::now() < deadline {
+        let (ids, partial, missing) = query_skyline(coord, "rep");
+        assert!(!partial);
+        assert!(missing.is_empty());
+        assert_eq!(
+            ids, expected,
+            "replica-routed read disagrees with the oracle"
+        );
+        let requests = coord_metric(coord, "replica_read_requests");
+        let fallbacks = coord_metric(coord, "replica_read_fallbacks");
+        assert!(requests > 0, "replicas configured but never attempted");
+        if requests > fallbacks {
+            replica_served = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    assert!(
+        replica_served,
+        "no read was ever answered by a caught-up replica"
+    );
+}
+
+/// A dead replica never hurts correctness: each attempt is counted as
+/// a fallback and the primary serves the read.
+#[test]
+fn unreachable_replica_falls_back_to_the_primary() {
+    let shards: Vec<ServerHandle> = (0..2)
+        .map(|_| {
+            skyline_serve::Server::start(skyline_serve::ServerConfig {
+                threads: 2,
+                ..Default::default()
+            })
+            .expect("start shard")
+        })
+        .collect();
+    let addrs: Vec<SocketAddr> = shards.iter().map(|s| s.local_addr()).collect();
+    // Port 1 is never listening: every replica attempt must fail over.
+    let dead: SocketAddr = "127.0.0.1:1".parse().unwrap();
+    let coordinator = Cluster::start(ClusterConfig {
+        threads: 4,
+        replicas: vec![vec![dead]; 2],
+        ..ClusterConfig::new(addrs)
+    })
+    .expect("start coordinator");
+    let coord = coordinator.local_addr();
+
+    create_dataset(
+        coord,
+        "dead",
+        &[vec![1.0, 5.0], vec![5.0, 1.0], vec![6.0, 6.0]],
+    );
+    let (ids, partial, missing) = query_skyline(coord, "dead");
+    assert!(!partial);
+    assert!(missing.is_empty());
+    assert_eq!(ids, vec![0, 1], "fallback read must still be exact");
+    assert!(
+        coord_metric(coord, "replica_read_fallbacks") > 0,
+        "dead replica attempts must be visible in metrics"
+    );
+}
+
+/// Replica lists must match the shard map: a count mismatch is a
+/// config error at startup, not a silent partial routing table.
+#[test]
+fn mismatched_replica_config_is_refused() {
+    let shard = skyline_serve::Server::start(skyline_serve::ServerConfig {
+        threads: 2,
+        ..Default::default()
+    })
+    .expect("start shard");
+    let dead: SocketAddr = "127.0.0.1:1".parse().unwrap();
+    let err = match Cluster::start(ClusterConfig {
+        replicas: vec![vec![dead]; 3],
+        ..ClusterConfig::new(vec![shard.local_addr()])
+    }) {
+        Err(e) => e.to_string(),
+        Ok(_) => panic!("3 replica lists over 1 shard must be refused"),
+    };
+    assert!(err.contains("--replicas"), "unhelpful error: {err}");
+}

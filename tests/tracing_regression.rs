@@ -145,7 +145,10 @@ fn boosted_runs_emit_phase_spans_and_events() {
                 | Event::ShardRpc { .. }
                 | Event::ClusterMerge { .. }
                 | Event::StageBreakdown { .. }
-                | Event::DeltaApplied { .. } => {
+                | Event::DeltaApplied { .. }
+                | Event::FeedPoll { .. }
+                | Event::ReplicaApply { .. }
+                | Event::ReplicaResync { .. } => {
                     panic!("{name}: library run emitted a server event");
                 }
             }
