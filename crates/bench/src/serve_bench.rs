@@ -371,6 +371,29 @@ pub fn replication_bench_json(
         .ok_or_else(|| std::io::Error::other("follower /metrics lacks replication counters"))?;
     primary.shutdown();
 
+    // Failover: with the primary gone, time the promotion itself and
+    // the gap until the ex-follower accepts its first write — the
+    // node-side share of the detection-to-recovery budget (the
+    // coordinator's probe cadence is configuration, not mechanism).
+    let failover_start = Instant::now();
+    let resp = replica_session.request("POST", "/promote", b"{\"epoch\":1}")?;
+    if resp.status != 200 {
+        return Err(std::io::Error::other(format!(
+            "promotion failed: {}",
+            resp.body_str()
+        )));
+    }
+    let promote_us = failover_start.elapsed().as_micros() as u64;
+    let resp = replica_session.request("POST", "/datasets/bench/points", insert_body.as_bytes())?;
+    if resp.status != 200 {
+        return Err(std::io::Error::other(format!(
+            "promoted node refused a write: {}",
+            resp.body_str()
+        )));
+    }
+    expect_field(&resp.body_str(), "\"epoch\":1")?;
+    let first_write_us = failover_start.elapsed().as_micros() as u64;
+
     lag.latencies_us.sort_unstable();
     follower_reads.latencies_us.sort_unstable();
 
@@ -388,11 +411,17 @@ pub fn replication_bench_json(
         .u64_field("duplicates_total", counters.1)
         .u64_field("resyncs_total", counters.2);
 
+    let mut failover = ObjectWriter::new();
+    failover
+        .u64_field("promote_us", promote_us)
+        .u64_field("first_write_us", first_write_us);
+
     let mut replication = ObjectWriter::new();
     replication
         .raw_field("lag", &phase_json(&lag))
         .raw_field("follower_reads", &phase_json(&follower_reads))
-        .raw_field("feed", &feed.finish());
+        .raw_field("feed", &feed.finish())
+        .raw_field("failover", &failover.finish());
 
     let mut doc = ObjectWriter::new();
     doc.str_field("artifact", label)
@@ -475,6 +504,11 @@ mod tests {
         // Every lag sample rode the feed; the initial sync is a resync.
         assert!(feed.get("applied_total").unwrap().as_u64().unwrap() >= 5);
         assert!(feed.get("resyncs_total").unwrap().as_u64().unwrap() >= 1);
+        let failover = rep.get("failover").unwrap();
+        let promote = failover.get("promote_us").unwrap().as_u64().unwrap();
+        let first_write = failover.get("first_write_us").unwrap().as_u64().unwrap();
+        assert!(promote >= 1);
+        assert!(first_write >= promote, "write accepted before promotion?");
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //!                  [--threads T] [--manifest PATH] [--trace out.jsonl]
 //!                  [--slow-ms MS] [--slow-log out.jsonl] [--shard-reuse]
 //!                  [--replicas S=ADDR,...] [--replica-staleness V]
+//!                  [--failover] [--probe-ms MS] [--suspect-misses N]
 //! skyline algorithms
 //! ```
 //!
@@ -36,7 +37,12 @@
 //! `X-Skyline-Replica-Lag` header and bounces writes to the primary
 //! with 307; `skyline cluster --replicas 0=ADDR,...` routes read legs
 //! to those followers (bounded by `--replica-staleness`), keeping
-//! writes on the primaries.
+//! writes on the primaries. `--failover` adds the failure detector:
+//! the coordinator probes each primary's `/healthz` every
+//! `--probe-ms` milliseconds and, after `--suspect-misses` consecutive
+//! misses, promotes the most-caught-up replica under a fresh fencing
+//! epoch (`POST /promote`), re-points the survivors, and fences the
+//! deposed primary if it ever comes back.
 //!
 //! Tracing: `--trace <path>` (or the `SKYLINE_TRACE` environment
 //! variable) appends structured JSON-lines telemetry — spans, Merge
@@ -86,6 +92,7 @@ const USAGE: &str = "usage:
                    [--threads T] [--manifest PATH] [--trace out.jsonl]
                    [--slow-ms MS] [--slow-log out.jsonl] [--shard-reuse]
                    [--replicas S=ADDR,...] [--replica-staleness V]
+                   [--failover] [--probe-ms MS] [--suspect-misses N]
   skyline algorithms
 
 parallel: --threads T runs the multi-core partition-merge engine (T=0 =
@@ -619,6 +626,17 @@ fn cluster(args: &[String]) -> Result<(), String> {
             .parse()
             .map_err(|_| "--replica-staleness expects a version count")?,
     };
+    let failover = args.iter().any(|a| a == "--failover");
+    let probe_ms: u64 = match flag_value(args, "--probe-ms")? {
+        None => 500,
+        Some(v) => v.parse().map_err(|_| "--probe-ms expects milliseconds")?,
+    };
+    let suspect_misses: u32 = match flag_value(args, "--suspect-misses")? {
+        None => 3,
+        Some(v) => v
+            .parse()
+            .map_err(|_| "--suspect-misses expects a probe count")?,
+    };
     let (slow_ms, slow_log) = parse_slow_flags(args)?;
     let config = skyline_cluster::ClusterConfig {
         bind: format!("{bind}:{port}"),
@@ -630,6 +648,9 @@ fn cluster(args: &[String]) -> Result<(), String> {
         shard_reuse: args.iter().any(|a| a == "--shard-reuse"),
         replicas: if have_replicas { replicas } else { Vec::new() },
         replica_staleness,
+        failover,
+        probe_ms,
+        suspect_misses,
         ..skyline_cluster::ClusterConfig::new(shards)
     };
     let mut handle =

@@ -67,7 +67,9 @@ use skyline_data::{Distribution, SyntheticSpec};
 use skyline_obs::json::{ObjectWriter, Value};
 use skyline_obs::trace::{self, StageTimer, TraceContext};
 use skyline_obs::{Event, JsonlRecorder, NoopRecorder, Recorder};
-use skyline_serve::client::{request_with_retry_timed, ClientResponse, RequestTiming, RetryPolicy};
+use skyline_serve::client::{
+    request_with_retry_timed, request_with_timeout, ClientResponse, RequestTiming, RetryPolicy,
+};
 use skyline_serve::http::{self, HttpError, Request, Response};
 use skyline_serve::metrics::ServerMetrics;
 use skyline_serve::pool::ThreadPool;
@@ -125,6 +127,18 @@ pub struct ClusterConfig {
     /// `X-Skyline-Replica-Lag` header) a read leg accepts before
     /// falling back to the primary. 0 = only fully caught-up replicas.
     pub replica_staleness: u64,
+    /// Run the failure detector: probe every shard primary's `/healthz`
+    /// on a jittered cadence and, on [`ClusterConfig::suspect_misses`]
+    /// consecutive misses, promote that shard's most-caught-up replica
+    /// under a fresh fencing epoch. Off by default — failover without
+    /// replicas to promote would only add probe traffic.
+    pub failover: bool,
+    /// Failure-detector probe cadence, milliseconds (also the probe's
+    /// connect/read timeout).
+    pub probe_ms: u64,
+    /// Consecutive missed probes before a primary is declared dead and
+    /// a promotion is attempted.
+    pub suspect_misses: u32,
 }
 
 impl ClusterConfig {
@@ -152,6 +166,9 @@ impl ClusterConfig {
             shard_reuse: false,
             replicas: Vec::new(),
             replica_staleness: 0,
+            failover: false,
+            probe_ms: 500,
+            suspect_misses: 3,
         }
     }
 }
@@ -170,10 +187,33 @@ struct ShardStats {
     total_us: AtomicU64,
 }
 
+/// Mutable routing state: which node is each shard's primary right
+/// now, which are its replicas, and the shard's fencing epoch. Guarded
+/// by one `RwLock` — request paths take brief read snapshots, only the
+/// failure detector writes (on promotion and stale-node reintegration).
+#[derive(Debug, Clone)]
+struct Topology {
+    /// Primary address per shard — the write target.
+    primaries: Vec<SocketAddr>,
+    /// Read replicas per shard (empty inner vec = primary reads only).
+    replicas: Vec<Vec<SocketAddr>>,
+    /// Fencing epoch per shard. 0 until the first failover; every
+    /// promotion raises it by one, and writes stamp it so a deposed
+    /// primary that comes back refuses them with `409 Fenced`.
+    epochs: Vec<u64>,
+    /// Deposed primaries (and replicas that missed their demotion
+    /// notice), waiting to be demoted into the replica pool when they
+    /// resurface. Probed each detector round.
+    stale: Vec<Vec<SocketAddr>>,
+}
+
 /// State shared by every coordinator worker.
 struct Shared {
     addr: SocketAddr,
-    shards: Vec<SocketAddr>,
+    /// Number of shards — fixed for the cluster's lifetime even as the
+    /// topology's addresses move around.
+    shard_count: usize,
+    topology: std::sync::RwLock<Topology>,
     shard_stats: Vec<ShardStats>,
     datasets: Mutex<HashMap<String, DatasetState>>,
     manifest: Option<Mutex<Manifest>>,
@@ -196,8 +236,6 @@ struct Shared {
     /// longer matches are simply skipped (and overwritten by the next
     /// live answer).
     reuse: Mutex<HashMap<(String, String), Vec<ReusableAnswer>>>,
-    /// Read replicas per shard (empty inner vec = primary reads only).
-    replicas: Vec<Vec<SocketAddr>>,
     /// Largest acceptable self-reported replica lag, versions.
     replica_staleness: u64,
     /// Round-robin cursor over each shard's replica list (one shared
@@ -208,6 +246,14 @@ struct Shared {
     /// Replica-first legs that fell back to the primary (unreachable,
     /// error status, or staleness beyond the bound).
     replica_fallbacks: AtomicU64,
+    /// Run the failure detector / promotion loop.
+    failover: bool,
+    /// Detector probe cadence and per-probe timeout, milliseconds.
+    probe_ms: u64,
+    /// Consecutive missed probes before promotion fires.
+    suspect_misses: u32,
+    /// Successful automatic promotions since boot.
+    promotions_total: AtomicU64,
 }
 
 /// One shard's cached answer: `None` until the shard has answered this
@@ -216,6 +262,31 @@ struct Shared {
 type ReusableAnswer = Option<(u64, Arc<ShardSkyline>)>;
 
 impl Shared {
+    /// Read-locked topology snapshot accessors. Each takes the lock
+    /// briefly; callers hold copies, never the guard, so the failure
+    /// detector's write lock is never starved.
+    fn primary_of(&self, shard: usize) -> SocketAddr {
+        self.topology
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .primaries[shard]
+    }
+
+    fn epoch_of(&self, shard: usize) -> u64 {
+        self.topology
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .epochs[shard]
+    }
+
+    fn replicas_of(&self, shard: usize) -> Vec<SocketAddr> {
+        self.topology
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .replicas[shard]
+            .clone()
+    }
+
     fn emit(&self, event: Event) {
         if let Some(rec) = &self.recorder {
             let mut rec = rec.lock().unwrap_or_else(|e| e.into_inner());
@@ -252,6 +323,8 @@ fn inherited_trace(req: &Request) -> String {
 pub struct ClusterHandle {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
+    /// Failure detector; `None` unless `--failover` is on.
+    prober: Option<JoinHandle<()>>,
 }
 
 impl ClusterHandle {
@@ -264,6 +337,9 @@ impl ClusterHandle {
     /// [`ClusterHandle::shutdown`] from another thread).
     pub fn wait(&mut self) {
         if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.prober.take() {
             let _ = t.join();
         }
     }
@@ -309,21 +385,57 @@ impl Cluster {
             Some(path) => Some(Mutex::new(JsonlRecorder::create(path)?)),
             None => None,
         };
-        let (manifest, datasets, replayed) = match &config.manifest {
-            Some(path) => {
-                let (m, replay) = Manifest::open(path, config.shards.len())?;
-                (Some(Mutex::new(m)), replay.datasets, replay.records)
-            }
-            None => (None, HashMap::new(), 0),
+        let shard_count = config.shards.len();
+        let (manifest, datasets, replayed, promote_epochs, promote_primaries) =
+            match &config.manifest {
+                Some(path) => {
+                    let (m, replay) = Manifest::open(path, shard_count)?;
+                    (
+                        Some(Mutex::new(m)),
+                        replay.datasets,
+                        replay.records,
+                        replay.epochs,
+                        replay.primaries,
+                    )
+                }
+                None => (
+                    None,
+                    HashMap::new(),
+                    0,
+                    vec![0; shard_count],
+                    vec![None; shard_count],
+                ),
+            };
+        // Boot topology: the configured order, then replayed promote
+        // records applied on top — a restarted coordinator routes to
+        // the promoted primaries, not the addresses it was booted with.
+        let mut primaries = config.shards;
+        let mut replicas = if config.replicas.is_empty() {
+            vec![Vec::new(); shard_count]
+        } else {
+            config.replicas
         };
+        let mut stale: Vec<Vec<SocketAddr>> = vec![Vec::new(); shard_count];
+        for shard in 0..shard_count {
+            if let Some(promoted) = promote_primaries[shard] {
+                if promoted != primaries[shard] {
+                    let deposed = primaries[shard];
+                    replicas[shard].retain(|a| *a != promoted);
+                    stale[shard].push(deposed);
+                    primaries[shard] = promoted;
+                }
+            }
+        }
         let shared = Arc::new(Shared {
             addr,
-            shard_stats: config
-                .shards
-                .iter()
-                .map(|_| ShardStats::default())
-                .collect(),
-            shards: config.shards,
+            shard_count,
+            shard_stats: (0..shard_count).map(|_| ShardStats::default()).collect(),
+            topology: std::sync::RwLock::new(Topology {
+                primaries,
+                replicas,
+                epochs: promote_epochs,
+                stale,
+            }),
             datasets: Mutex::new(datasets),
             manifest,
             replayed,
@@ -337,11 +449,14 @@ impl Cluster {
             slow_log,
             shard_reuse: config.shard_reuse,
             reuse: Mutex::new(HashMap::new()),
-            replicas: config.replicas,
             replica_staleness: config.replica_staleness,
             replica_rr: AtomicUsize::new(0),
             replica_requests: AtomicU64::new(0),
             replica_fallbacks: AtomicU64::new(0),
+            failover: config.failover,
+            probe_ms: config.probe_ms.max(10),
+            suspect_misses: config.suspect_misses.max(1),
+            promotions_total: AtomicU64::new(0),
         });
         let accept_shared = Arc::clone(&shared);
         let timeout = config.request_timeout;
@@ -368,9 +483,20 @@ impl Cluster {
                     }
                 }
             })?;
+        let prober = if shared.failover {
+            let probe_shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("cluster-prober".to_string())
+                    .spawn(move || run_prober(probe_shared))?,
+            )
+        } else {
+            None
+        };
         Ok(ClusterHandle {
             shared,
             accept: Some(accept),
+            prober,
         })
     }
 }
@@ -509,7 +635,7 @@ fn shard_rpc(
     shard_rpc_at(
         shared,
         shard,
-        shared.shards[shard],
+        shared.primary_of(shard),
         method,
         endpoint,
         path,
@@ -539,13 +665,27 @@ fn shard_rpc_at(
         budget,
         ..shared.retry
     };
-    let headers: Vec<(String, String)> = match ctx {
+    let mut headers: Vec<(String, String)> = match ctx {
         Some(ctx) => vec![
             (trace::TRACE_HEADER.to_string(), ctx.trace_id.clone()),
             (trace::SPAN_HEADER.to_string(), trace::mint_id()),
         ],
         None => Vec::new(),
     };
+    // Writes carry the shard's fencing epoch plus the current primary,
+    // so a deposed primary that resurfaces refuses them (409) and
+    // demotes itself toward the successor. Epoch 0 means no failover
+    // has ever happened — don't stamp, nodes then skip the fence check.
+    if method != "GET" {
+        let epoch = shared.epoch_of(shard);
+        if epoch > 0 {
+            headers.push((skyline_serve::EPOCH_HEADER.to_string(), epoch.to_string()));
+            headers.push((
+                skyline_serve::PRIMARY_HEADER.to_string(),
+                shared.primary_of(shard).to_string(),
+            ));
+        }
+    }
     let (result, attempts) = request_with_retry_timed(addr, method, path, body, &headers, &policy);
     let elapsed_us = start.elapsed().as_micros() as u64;
     let status = match &result {
@@ -592,7 +732,7 @@ fn shard_read_rpc(
     budget: Option<Duration>,
     ctx: Option<&TraceContext>,
 ) -> io::Result<(ClientResponse, RequestTiming)> {
-    let followers = shared.replicas.get(shard).map_or(&[][..], Vec::as_slice);
+    let followers = shared.replicas_of(shard);
     if !followers.is_empty() {
         let pick = shared.replica_rr.fetch_add(1, Ordering::Relaxed) % followers.len();
         shared.replica_requests.fetch_add(1, Ordering::Relaxed);
@@ -635,11 +775,182 @@ fn scatter<T: Send>(shard_count: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T>
     })
 }
 
+/// Sleep `total` in short slices so shutdown is honoured promptly.
+fn sleep_checking_shutdown(shared: &Shared, total: Duration) {
+    let deadline = Instant::now() + total;
+    while Instant::now() < deadline && !shared.shutdown.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(20).min(total));
+    }
+}
+
+/// One `/healthz` probe. Returns the parsed body on a 200, `None` on
+/// transport failure or any other status — for the detector those are
+/// the same thing: a miss.
+fn probe_healthz(addr: SocketAddr, timeout: Duration) -> Option<Value> {
+    let resp = request_with_timeout(addr, "GET", "/healthz", b"", timeout).ok()?;
+    if resp.status != 200 {
+        return None;
+    }
+    let text = std::str::from_utf8(&resp.body).ok()?;
+    Value::parse(text).ok()
+}
+
+/// The failure detector: probe every shard primary's `/healthz` on a
+/// jittered cadence; `suspect_misses` consecutive misses confirm the
+/// primary dead and trigger [`try_failover`]. Deposed primaries (and
+/// replicas that missed their demotion notice) sit in the topology's
+/// `stale` lists and are probed too — once they answer again they are
+/// demoted under the current epoch and rejoin the replica pool.
+fn run_prober(shared: Arc<Shared>) {
+    let mut misses: Vec<u32> = vec![0; shared.shard_count];
+    // Tiny deterministic LCG for probe jitter — keeps probes from N
+    // coordinators (or N shards) from landing in lockstep. Quality is
+    // irrelevant; it only de-synchronises timers.
+    let mut jitter_state: u64 = 0x243f_6a88_85a3_08d3 ^ (shared.addr.port() as u64);
+    while !shared.shutdown.load(Ordering::Acquire) {
+        jitter_state = jitter_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let jitter = jitter_state % (shared.probe_ms / 4 + 1);
+        sleep_checking_shutdown(&shared, Duration::from_millis(shared.probe_ms + jitter));
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let timeout = Duration::from_millis(shared.probe_ms.max(50));
+        for (shard, miss) in misses.iter_mut().enumerate() {
+            let primary = shared.primary_of(shard);
+            if probe_healthz(primary, timeout).is_some() {
+                *miss = 0;
+                continue;
+            }
+            *miss = miss.saturating_add(1);
+            shared.emit(Event::FailoverSuspect {
+                shard: shard as u64,
+                addr: primary.to_string(),
+                misses: *miss as u64,
+            });
+            if *miss >= shared.suspect_misses && try_failover(&shared, shard, timeout) {
+                *miss = 0;
+            }
+        }
+        reintegrate_stale(&shared, timeout);
+    }
+}
+
+/// Promote `shard`'s most-caught-up replica under a fresh fencing
+/// epoch. Returns `true` when the topology was updated (so the caller
+/// resets its miss counter and starts probing the new primary).
+fn try_failover(shared: &Shared, shard: usize, timeout: Duration) -> bool {
+    let (candidates, epoch, old_primary) = {
+        let topo = shared.topology.read().unwrap_or_else(|e| e.into_inner());
+        (
+            topo.replicas[shard].clone(),
+            topo.epochs[shard],
+            topo.primaries[shard],
+        )
+    };
+    // Elect the most-caught-up live replica: losing a dead primary is
+    // unavoidable, losing replicated writes by picking a laggard is not.
+    let mut winner: Option<(u64, SocketAddr)> = None;
+    for addr in &candidates {
+        let Some(health) = probe_healthz(*addr, timeout) else {
+            continue;
+        };
+        let applied = health
+            .get("applied_version")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0) as u64;
+        if winner.map_or(true, |(best, _)| applied > best) {
+            winner = Some((applied, *addr));
+        }
+    }
+    let Some((_, new_primary)) = winner else {
+        // No live replica — nothing to promote, keep probing.
+        return false;
+    };
+    let new_epoch = epoch + 1;
+    let body = format!("{{\"epoch\":{new_epoch}}}");
+    match request_with_timeout(new_primary, "POST", "/promote", body.as_bytes(), timeout) {
+        Ok(resp) if resp.status == 200 => {}
+        _ => return false,
+    }
+    // Promotion is durable on the node; make the routing change durable
+    // here before serving on it, so a coordinator restart replays it.
+    if let Some(m) = &shared.manifest {
+        let mut m = m.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = m.append_promote(shard, new_epoch, &new_primary);
+    }
+    let siblings: Vec<SocketAddr> = {
+        let mut topo = shared.topology.write().unwrap_or_else(|e| e.into_inner());
+        topo.primaries[shard] = new_primary;
+        topo.replicas[shard].retain(|a| *a != new_primary);
+        topo.epochs[shard] = new_epoch;
+        topo.stale[shard].push(old_primary);
+        topo.replicas[shard].clone()
+    };
+    shared.promotions_total.fetch_add(1, Ordering::Relaxed);
+    shared.emit(Event::Failover {
+        shard: shard as u64,
+        epoch: new_epoch,
+        old_primary: old_primary.to_string(),
+        new_primary: new_primary.to_string(),
+    });
+    // Point the surviving replicas at the new primary. One that cannot
+    // be reached right now goes stale and is retargeted when it
+    // resurfaces (it would also self-demote on the first fenced feed
+    // poll that reaches the new primary).
+    for sibling in siblings {
+        if !demote_node(sibling, new_epoch, new_primary, timeout) {
+            let mut topo = shared.topology.write().unwrap_or_else(|e| e.into_inner());
+            topo.replicas[shard].retain(|a| *a != sibling);
+            topo.stale[shard].push(sibling);
+        }
+    }
+    true
+}
+
+/// `POST /demote` to `addr`, pointing it at `primary` under `epoch`.
+fn demote_node(addr: SocketAddr, epoch: u64, primary: SocketAddr, timeout: Duration) -> bool {
+    let body = format!("{{\"epoch\":{epoch},\"primary\":\"{primary}\"}}");
+    matches!(
+        request_with_timeout(addr, "POST", "/demote", body.as_bytes(), timeout),
+        Ok(resp) if resp.status == 200
+    )
+}
+
+/// Probe every stale node (deposed primaries, unreachable siblings);
+/// any that answers is demoted into following the current primary and
+/// moved back into the replica pool.
+fn reintegrate_stale(shared: &Shared, timeout: Duration) {
+    for shard in 0..shared.shard_count {
+        let (stale, epoch, primary) = {
+            let topo = shared.topology.read().unwrap_or_else(|e| e.into_inner());
+            (
+                topo.stale[shard].clone(),
+                topo.epochs[shard],
+                topo.primaries[shard],
+            )
+        };
+        for addr in stale {
+            if probe_healthz(addr, timeout).is_none() {
+                continue;
+            }
+            if demote_node(addr, epoch, primary, timeout) {
+                let mut topo = shared.topology.write().unwrap_or_else(|e| e.into_inner());
+                topo.stale[shard].retain(|a| *a != addr);
+                if !topo.replicas[shard].contains(&addr) {
+                    topo.replicas[shard].push(addr);
+                }
+            }
+        }
+    }
+}
+
 fn handle_healthz(shared: &Shared) -> Response {
     let datasets = shared.datasets.lock().unwrap_or_else(|e| e.into_inner());
     let mut w = ObjectWriter::new();
     w.str_field("status", "ok")
-        .u64_field("shards", shared.shards.len() as u64)
+        .u64_field("shards", shared.shard_count as u64)
         .u64_field("datasets", datasets.len() as u64)
         .u64_field("uptime_us", shared.started.elapsed().as_micros() as u64);
     Response::json(200, w.finish())
@@ -669,7 +980,7 @@ fn handle_list(shared: &Shared) -> Response {
     names.sort();
     let objs: Vec<String> = names
         .iter()
-        .map(|n| dataset_info_json(n, &datasets[*n], shared.shards.len()))
+        .map(|n| dataset_info_json(n, &datasets[*n], shared.shard_count))
         .collect();
     let mut w = ObjectWriter::new();
     w.raw_field("datasets", &format!("[{}]", objs.join(",")));
@@ -703,6 +1014,19 @@ fn handle_metrics(shared: &Shared, req: &Request) -> Response {
                 "skyline_replica_read_fallbacks_total".to_string(),
                 shared.replica_fallbacks.load(Ordering::Relaxed) as f64,
             ));
+            extras.push((
+                "skyline_promotions_total".to_string(),
+                shared.promotions_total.load(Ordering::Relaxed) as f64,
+            ));
+            {
+                let topo = shared.topology.read().unwrap_or_else(|e| e.into_inner());
+                for (s, epoch) in topo.epochs.iter().enumerate() {
+                    extras.push((
+                        format!("skyline_shard_epoch{{shard=\"{s}\"}}"),
+                        *epoch as f64,
+                    ));
+                }
+            }
             let datasets = shared.datasets.lock().unwrap_or_else(|e| e.into_inner());
             extras.push(("skyline_datasets".to_string(), datasets.len() as f64));
             drop(datasets);
@@ -715,13 +1039,22 @@ fn handle_metrics(shared: &Shared, req: &Request) -> Response {
             )
         }
     }
-    let shard_objs: Vec<String> = shared
-        .shards
+    let topo = shared
+        .topology
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone();
+    let shard_objs: Vec<String> = topo
+        .primaries
         .iter()
         .zip(&shared.shard_stats)
-        .map(|(addr, stats)| {
+        .enumerate()
+        .map(|(s, (addr, stats))| {
             let mut w = ObjectWriter::new();
             w.str_field("addr", &addr.to_string())
+                .u64_field("epoch", topo.epochs[s])
+                .u64_field("replicas", topo.replicas[s].len() as u64)
+                .u64_field("stale", topo.stale[s].len() as u64)
                 .u64_field("requests", stats.requests.load(Ordering::Relaxed))
                 .u64_field("errors", stats.errors.load(Ordering::Relaxed))
                 .u64_field("attempts", stats.attempts.load(Ordering::Relaxed))
@@ -734,7 +1067,7 @@ fn handle_metrics(shared: &Shared, req: &Request) -> Response {
     names.sort();
     let dataset_objs: Vec<String> = names
         .iter()
-        .map(|n| dataset_info_json(n, &datasets[*n], shared.shards.len()))
+        .map(|n| dataset_info_json(n, &datasets[*n], shared.shard_count))
         .collect();
     drop(datasets);
     let manifest_bytes = shared
@@ -760,6 +1093,10 @@ fn handle_metrics(shared: &Shared, req: &Request) -> Response {
         .u64_field(
             "replica_read_fallbacks",
             shared.replica_fallbacks.load(Ordering::Relaxed),
+        )
+        .u64_field(
+            "promotions_total",
+            shared.promotions_total.load(Ordering::Relaxed),
         )
         .raw_field("endpoints", &shared.metrics.render_json())
         .raw_field("stages", &shared.metrics.render_stages_json())
@@ -990,7 +1327,7 @@ fn handle_create(shared: &Shared, req: &Request) -> Response {
     if datasets.contains_key(name) {
         return Response::error(409, &format!("dataset {name:?} already exists"));
     }
-    let shard_count = shared.shards.len();
+    let shard_count = shared.shard_count;
 
     // Every shard gets an (initially empty) dataset so later inserts
     // and queries always find it; rows follow as an insert, whose
@@ -1089,7 +1426,7 @@ fn handle_insert(shared: &Shared, name: &str, req: &Request) -> Response {
     // reuse is not.
     state.next_global += rows.len() as u64;
     let version = state.version + 1;
-    let groups = partition_rows(&rows, first_global, shared.shards.len());
+    let groups = partition_rows(&rows, first_global, shared.shard_count);
     let outcome = fan_out_insert(shared, name, state, &groups, version);
     state.version = version;
     if let Err(resp) = outcome {
@@ -1126,7 +1463,7 @@ fn handle_remove(shared: &Shared, name: &str, req: &Request) -> Response {
     };
     // Resolve before mutating: only ids the owning shard acknowledges
     // deleting leave the registry.
-    let shard_count = shared.shards.len();
+    let shard_count = shared.shard_count;
     let mut per_shard: Vec<(Vec<u64>, Vec<u32>)> = vec![(Vec::new(), Vec::new()); shard_count];
     for g in &globals {
         if let Some(&(shard, handle)) = state.locations.get(g) {
@@ -1425,7 +1762,7 @@ fn handle_skyline(shared: &Shared, req: &Request) -> Response {
         }
         path.push_str(&format!("&deadline_ms={}", rem.as_millis().max(1)));
     }
-    let shard_count = shared.shards.len();
+    let shard_count = shared.shard_count;
 
     // With `--shard-reuse` on, a shard whose mutation version is
     // unchanged since its last parsed answer for this exact query is

@@ -14,7 +14,14 @@
 //! {"op":"create","name":"hotels","dims":4,"shards":2}
 //! {"op":"insert","name":"hotels","version":2,"shard":1,"globals":[0,3],"handles":[0,1]}
 //! {"op":"remove","name":"hotels","version":3,"globals":[3]}
+//! {"op":"promote","shard":1,"epoch":2,"primary":"127.0.0.1:9103"}
 //! ```
+//!
+//! `promote` records (written by the failure detector) carry no dataset
+//! name: they change *routing*, not data. Replay keeps only the latest
+//! promotion per shard — the highest epoch and its primary address —
+//! so a restarted coordinator resumes routing writes to the promoted
+//! node instead of the deposed boot-config primary.
 //!
 //! The `shards` count is pinned at creation: replaying a manifest into a
 //! cluster of a different size would silently mis-route every row, so it
@@ -43,6 +50,11 @@ pub struct Replay {
     pub datasets: HashMap<String, DatasetState>,
     /// Number of records replayed.
     pub records: u64,
+    /// Highest fencing epoch seen per shard (0 = never failed over).
+    pub epochs: Vec<u64>,
+    /// Latest promoted primary per shard, from the highest-epoch
+    /// `promote` record; `None` = the boot-config primary still stands.
+    pub primaries: Vec<Option<std::net::SocketAddr>>,
 }
 
 impl Manifest {
@@ -116,6 +128,24 @@ impl Manifest {
             .u64_array_field("globals", globals);
         self.append(w.finish())
     }
+
+    /// Log a promotion: `primary` now owns `shard` under fencing
+    /// `epoch`. Appended *after* the node acknowledged `POST /promote`
+    /// (the epoch is durable on the node first) and *before* the
+    /// coordinator routes writes to it.
+    pub fn append_promote(
+        &mut self,
+        shard: usize,
+        epoch: u64,
+        primary: &std::net::SocketAddr,
+    ) -> io::Result<()> {
+        let mut w = ObjectWriter::new();
+        w.str_field("op", "promote")
+            .u64_field("shard", shard as u64)
+            .u64_field("epoch", epoch)
+            .str_field("primary", &primary.to_string());
+        self.append(w.finish())
+    }
 }
 
 fn field_u64(v: &Value, key: &str, line_no: usize) -> Result<u64, String> {
@@ -140,6 +170,8 @@ fn field_u64_array(v: &Value, key: &str, line_no: usize) -> Result<Vec<u64>, Str
 fn replay(text: &str, shard_count: usize) -> Result<Replay, String> {
     let mut datasets: HashMap<String, DatasetState> = HashMap::new();
     let mut records = 0u64;
+    let mut epochs = vec![0u64; shard_count];
+    let mut primaries: Vec<Option<std::net::SocketAddr>> = vec![None; shard_count];
     for (i, line) in text.lines().enumerate() {
         let line_no = i + 1;
         if line.trim().is_empty() {
@@ -150,6 +182,30 @@ fn replay(text: &str, shard_count: usize) -> Result<Replay, String> {
             .get("op")
             .and_then(Value::as_str)
             .ok_or_else(|| format!("manifest line {line_no}: missing \"op\""))?;
+        // Routing records carry no dataset name — handle them before
+        // the name extraction below.
+        if op == "promote" {
+            let shard = field_u64(&v, "shard", line_no)? as usize;
+            if shard >= shard_count {
+                return Err(format!(
+                    "manifest line {line_no}: shard {shard} out of range"
+                ));
+            }
+            let epoch = field_u64(&v, "epoch", line_no)?;
+            let primary = v
+                .get("primary")
+                .and_then(Value::as_str)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| {
+                    format!("manifest line {line_no}: missing or unparseable \"primary\"")
+                })?;
+            if epoch >= epochs[shard] {
+                epochs[shard] = epoch;
+                primaries[shard] = Some(primary);
+            }
+            records += 1;
+            continue;
+        }
         let name = v
             .get("name")
             .and_then(Value::as_str)
@@ -208,7 +264,12 @@ fn replay(text: &str, shard_count: usize) -> Result<Replay, String> {
         }
         records += 1;
     }
-    Ok(Replay { datasets, records })
+    Ok(Replay {
+        datasets,
+        records,
+        epochs,
+        primaries,
+    })
 }
 
 #[cfg(test)]
@@ -256,6 +317,25 @@ mod tests {
         }
         let err = Manifest::open(&path, 3).unwrap_err();
         assert!(err.to_string().contains("resharding"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn promote_records_survive_reopen_and_keep_the_highest_epoch() {
+        let path = temp_path("promote");
+        let _ = std::fs::remove_file(&path);
+        let a: std::net::SocketAddr = "127.0.0.1:9101".parse().unwrap();
+        let b: std::net::SocketAddr = "127.0.0.1:9102".parse().unwrap();
+        {
+            let (mut m, _) = Manifest::open(&path, 2).unwrap();
+            m.append_create("hotels", 4, 2).unwrap();
+            m.append_promote(1, 1, &a).unwrap();
+            m.append_promote(1, 2, &b).unwrap();
+        }
+        let (_, replay) = Manifest::open(&path, 2).unwrap();
+        assert_eq!(replay.records, 3);
+        assert_eq!(replay.epochs, vec![0, 2]);
+        assert_eq!(replay.primaries, vec![None, Some(b)]);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -213,6 +213,56 @@ pub enum Event {
         /// the RPC was untraced.
         trace: String,
     },
+    /// A node accepted a `POST /promote` and became the primary for a
+    /// new fencing epoch.
+    Promotion {
+        /// Fencing epoch the node now serves under.
+        epoch: u64,
+        /// Datasets the node inherited from its replication feed.
+        datasets: u64,
+        /// Summed content version across those datasets at promotion.
+        version: u64,
+    },
+    /// A node stepped down into follower mode, either told to by the
+    /// coordinator or after discovering a higher fencing epoch.
+    Demotion {
+        /// Fencing epoch the node demoted under.
+        epoch: u64,
+        /// Address of the primary the node now follows.
+        primary: String,
+    },
+    /// A request carrying a mismatched fencing epoch was refused with
+    /// `409 Fenced`.
+    FencedRequest {
+        /// Endpoint the stale request hit.
+        endpoint: String,
+        /// Epoch the request was stamped with.
+        request_epoch: u64,
+        /// Epoch this node is serving under.
+        node_epoch: u64,
+    },
+    /// The coordinator's failure detector missed a health probe and
+    /// raised (or advanced) suspicion of a shard primary.
+    FailoverSuspect {
+        /// 0-based shard index of the suspected primary.
+        shard: u64,
+        /// Address of the suspected primary.
+        addr: String,
+        /// Consecutive probe misses so far.
+        misses: u64,
+    },
+    /// The coordinator confirmed a primary dead and promoted the most
+    /// caught-up replica under a new fencing epoch.
+    Failover {
+        /// 0-based shard index that failed over.
+        shard: u64,
+        /// Fencing epoch the new primary serves under.
+        epoch: u64,
+        /// Address of the dead primary.
+        old_primary: String,
+        /// Address of the promoted replica.
+        new_primary: String,
+    },
     /// Stage-attributed breakdown of one traced request: contiguous
     /// stage durations that sum to (within scheduling noise of) the
     /// request wall-clock, stitched by the coordinator from its own
@@ -339,6 +389,11 @@ impl Event {
             Event::ReplicaApply { .. } => "replica_apply",
             Event::ReplicaResync { .. } => "replica_resync",
             Event::ShardRpc { .. } => "shard_rpc",
+            Event::Promotion { .. } => "promotion",
+            Event::Demotion { .. } => "demotion",
+            Event::FencedRequest { .. } => "fenced_request",
+            Event::FailoverSuspect { .. } => "failover_suspect",
+            Event::Failover { .. } => "failover",
             Event::StageBreakdown { .. } => "stage_breakdown",
             Event::ClusterMerge { .. } => "cluster_merge",
             Event::RunSummary { .. } => "run_summary",
@@ -538,6 +593,47 @@ impl Event {
                     w.str_field("trace", trace);
                 }
             }
+            Event::Promotion {
+                epoch,
+                datasets,
+                version,
+            } => {
+                w.u64_field("epoch", *epoch)
+                    .u64_field("datasets", *datasets)
+                    .u64_field("version", *version);
+            }
+            Event::Demotion { epoch, primary } => {
+                w.u64_field("epoch", *epoch).str_field("primary", primary);
+            }
+            Event::FencedRequest {
+                endpoint,
+                request_epoch,
+                node_epoch,
+            } => {
+                w.str_field("endpoint", endpoint)
+                    .u64_field("request_epoch", *request_epoch)
+                    .u64_field("node_epoch", *node_epoch);
+            }
+            Event::FailoverSuspect {
+                shard,
+                addr,
+                misses,
+            } => {
+                w.u64_field("shard", *shard)
+                    .str_field("addr", addr)
+                    .u64_field("misses", *misses);
+            }
+            Event::Failover {
+                shard,
+                epoch,
+                old_primary,
+                new_primary,
+            } => {
+                w.u64_field("shard", *shard)
+                    .u64_field("epoch", *epoch)
+                    .str_field("old_primary", old_primary)
+                    .str_field("new_primary", new_primary);
+            }
             Event::StageBreakdown {
                 trace,
                 endpoint,
@@ -689,6 +785,31 @@ impl Event {
                 elapsed_us: v.get("elapsed_us")?.as_u64()?,
                 trace: trace_tag(v),
             }),
+            "promotion" => Some(Event::Promotion {
+                epoch: v.get("epoch")?.as_u64()?,
+                datasets: v.get("datasets")?.as_u64()?,
+                version: v.get("version")?.as_u64()?,
+            }),
+            "demotion" => Some(Event::Demotion {
+                epoch: v.get("epoch")?.as_u64()?,
+                primary: v.get("primary")?.as_str()?.to_string(),
+            }),
+            "fenced_request" => Some(Event::FencedRequest {
+                endpoint: v.get("endpoint")?.as_str()?.to_string(),
+                request_epoch: v.get("request_epoch")?.as_u64()?,
+                node_epoch: v.get("node_epoch")?.as_u64()?,
+            }),
+            "failover_suspect" => Some(Event::FailoverSuspect {
+                shard: v.get("shard")?.as_u64()?,
+                addr: v.get("addr")?.as_str()?.to_string(),
+                misses: v.get("misses")?.as_u64()?,
+            }),
+            "failover" => Some(Event::Failover {
+                shard: v.get("shard")?.as_u64()?,
+                epoch: v.get("epoch")?.as_u64()?,
+                old_primary: v.get("old_primary")?.as_str()?.to_string(),
+                new_primary: v.get("new_primary")?.as_str()?.to_string(),
+            }),
             "stage_breakdown" => Some(Event::StageBreakdown {
                 trace: trace_tag(v),
                 endpoint: v.get("endpoint")?.as_str()?.to_string(),
@@ -830,6 +951,31 @@ mod tests {
                 attempts: 2,
                 elapsed_us: 1_832,
                 trace: "deadbeef01234567".into(),
+            },
+            Event::Promotion {
+                epoch: 3,
+                datasets: 2,
+                version: 57,
+            },
+            Event::Demotion {
+                epoch: 3,
+                primary: "127.0.0.1:7101".into(),
+            },
+            Event::FencedRequest {
+                endpoint: "/datasets/hotels/points".into(),
+                request_epoch: 2,
+                node_epoch: 3,
+            },
+            Event::FailoverSuspect {
+                shard: 1,
+                addr: "127.0.0.1:7100".into(),
+                misses: 2,
+            },
+            Event::Failover {
+                shard: 1,
+                epoch: 3,
+                old_primary: "127.0.0.1:7100".into(),
+                new_primary: "127.0.0.1:7101".into(),
             },
             Event::StageBreakdown {
                 trace: "deadbeef01234567".into(),

@@ -114,6 +114,17 @@ pub struct TraceSummary {
     pub replica_max_lag: u64,
     /// Replication: full snapshot resyncs (`replica_resync`).
     pub replica_resyncs: u64,
+    /// Failover: promotions accepted (`promotion`).
+    pub promotions: u64,
+    /// Failover: demotions accepted (`demotion`).
+    pub demotions: u64,
+    /// Failover: requests refused with 409 Fenced (`fenced_request`).
+    pub fenced_requests: u64,
+    /// Failover: suspicion events from the failure detector
+    /// (`failover_suspect`).
+    pub failover_suspects: u64,
+    /// Failover: completed coordinator-driven failovers (`failover`).
+    pub failovers: u64,
     /// Cluster: per-shard RPC statistics keyed by `shard <index>`.
     pub shard_rpcs: BTreeMap<String, EndpointStats>,
     /// Cluster: total attempts across all shard RPCs (retries included).
@@ -275,6 +286,11 @@ impl TraceSummary {
                     self.replica_max_lag = self.replica_max_lag.max(lag);
                 }
                 Some(Event::ReplicaResync { .. }) => self.replica_resyncs += 1,
+                Some(Event::Promotion { .. }) => self.promotions += 1,
+                Some(Event::Demotion { .. }) => self.demotions += 1,
+                Some(Event::FencedRequest { .. }) => self.fenced_requests += 1,
+                Some(Event::FailoverSuspect { .. }) => self.failover_suspects += 1,
+                Some(Event::Failover { .. }) => self.failovers += 1,
                 Some(Event::ShardRpc {
                     shard,
                     status,
@@ -501,6 +517,25 @@ impl TraceSummary {
                 );
             }
             let _ = writeln!(out, "  resyncs          {:>8}", self.replica_resyncs);
+        }
+        let failover_total = self.promotions
+            + self.demotions
+            + self.fenced_requests
+            + self.failover_suspects
+            + self.failovers;
+        if failover_total > 0 {
+            let _ = writeln!(out, "\n== failover ==");
+            let _ = writeln!(
+                out,
+                "  failovers        {:>8} ({} suspicions)",
+                self.failovers, self.failover_suspects
+            );
+            let _ = writeln!(
+                out,
+                "  role flips       {:>8} promotions, {} demotions",
+                self.promotions, self.demotions
+            );
+            let _ = writeln!(out, "  fenced requests  {:>8}", self.fenced_requests);
         }
         if !self.shard_rpcs.is_empty() || self.cluster_merges > 0 {
             let _ = writeln!(out, "\n== cluster ==");

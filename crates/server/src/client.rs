@@ -141,6 +141,26 @@ pub fn request(
     request_timed(addr, method, path, body, &[]).map(|(resp, _)| resp)
 }
 
+/// [`request`] bounded by one explicit timeout covering connect, send,
+/// and read. The failure detector's probe primitive: a dead or hung
+/// peer must cost at most `timeout`, not the default 30s socket
+/// timeouts.
+pub fn request_with_timeout(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> io::Result<ClientResponse> {
+    let stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    write_request(&mut writer, method, path, body, true, &[])?;
+    read_response(&mut BufReader::new(stream))
+}
+
 /// [`request`] with extra request headers and a per-phase timing split.
 pub fn request_timed(
     addr: SocketAddr,
@@ -256,10 +276,61 @@ fn retry_after_delay(resp: &ClientResponse, policy: &RetryPolicy) -> Option<Dura
     Some(Duration::from_secs(secs).min(policy.max_delay))
 }
 
+/// How many `307` redirects one logical request may follow before the
+/// client gives up. Replicas answer writes with a redirect to their
+/// primary; after a failover the stale primary may in turn redirect
+/// once more — anything past that is a routing loop, not a topology.
+pub const MAX_REDIRECT_HOPS: u32 = 2;
+
+/// Parse a `Location: http://{addr}{path}` redirect target. `None` for
+/// anything the in-tree client cannot follow (other schemes, names
+/// needing DNS).
+fn parse_location(value: &str) -> Option<(SocketAddr, String)> {
+    let rest = value.strip_prefix("http://")?;
+    let split = rest.find('/').unwrap_or(rest.len());
+    let addr = rest[..split].parse().ok()?;
+    let path = if split == rest.len() {
+        "/".to_string()
+    } else {
+        rest[split..].to_string()
+    };
+    Some((addr, path))
+}
+
+/// One attempt of `method path`, following up to [`MAX_REDIRECT_HOPS`]
+/// `307` redirects (re-sending the body each hop, as 307 demands). A
+/// redirect chain longer than the hop cap is a loop and errors out; a
+/// 307 whose `Location` the client cannot parse is surfaced as-is.
+fn request_following_redirects(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    headers: &[(String, String)],
+) -> io::Result<(ClientResponse, RequestTiming)> {
+    let mut addr = addr;
+    let mut path = path.to_string();
+    for _ in 0..=MAX_REDIRECT_HOPS {
+        let (resp, timing) = request_timed(addr, method, &path, body, headers)?;
+        if resp.status != 307 {
+            return Ok((resp, timing));
+        }
+        let Some((next_addr, next_path)) = resp.header("location").and_then(parse_location) else {
+            return Ok((resp, timing));
+        };
+        addr = next_addr;
+        path = next_path;
+    }
+    Err(io::Error::other(format!(
+        "redirect loop: more than {MAX_REDIRECT_HOPS} hops from {method} {path}"
+    )))
+}
+
 /// [`request_with_retry_counted`] with extra request headers and the
 /// [`RequestTiming`] of the attempt whose outcome is returned. The
 /// cluster coordinator uses this to propagate trace headers to shards
-/// and attribute connect/send/wait time per leg.
+/// and attribute connect/send/wait time per leg. Each attempt follows
+/// `307` write redirects (see [`request_following_redirects`]).
 pub fn request_with_retry_timed(
     addr: SocketAddr,
     method: &str,
@@ -272,7 +343,7 @@ pub fn request_with_retry_timed(
     let start = std::time::Instant::now();
     let mut last: io::Result<(ClientResponse, RequestTiming)> = Err(bad("retry budget exhausted"));
     for attempt in 1..=attempts {
-        match request_timed(addr, method, path, body, headers) {
+        match request_following_redirects(addr, method, path, body, headers) {
             Ok((resp, timing)) if resp.status != 503 => return (Ok((resp, timing)), attempt),
             outcome => last = outcome, // latest 503 or error wins
         }
@@ -534,6 +605,109 @@ mod tests {
         assert_eq!(retry_after_delay(&resp(Vec::new()), &policy), None);
         let junk = resp(vec![("retry-after".to_string(), "soon".to_string())]);
         assert_eq!(retry_after_delay(&junk, &policy), None);
+    }
+
+    /// A fixture server answering `conns` connections with one canned
+    /// response each; returns its address and the join handle.
+    fn fixture(
+        conns: usize,
+        response: impl Fn(usize) -> String + Send + 'static,
+    ) -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            for i in 0..conns {
+                let Ok((mut stream, _)) = listener.accept() else {
+                    return;
+                };
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut line = String::new();
+                while reader.read_line(&mut line).unwrap_or(0) > 0 && line != "\r\n" {
+                    line.clear();
+                }
+                let _ = stream.write_all(response(i).as_bytes());
+            }
+        });
+        (addr, handle)
+    }
+
+    fn redirect_to(addr: SocketAddr, path: &str) -> String {
+        format!("HTTP/1.1 307 Temporary Redirect\r\nLocation: http://{addr}{path}\r\nContent-Length: 0\r\n\r\n")
+    }
+
+    #[test]
+    fn location_headers_parse_or_are_refused() {
+        assert_eq!(
+            parse_location("http://127.0.0.1:9999/datasets/d/points"),
+            Some((
+                "127.0.0.1:9999".parse().unwrap(),
+                "/datasets/d/points".into()
+            ))
+        );
+        assert_eq!(
+            parse_location("http://127.0.0.1:80"),
+            Some(("127.0.0.1:80".parse().unwrap(), "/".into()))
+        );
+        assert_eq!(parse_location("https://127.0.0.1:80/x"), None);
+        assert_eq!(parse_location("http://example.com/x"), None, "needs DNS");
+    }
+
+    #[test]
+    fn write_redirects_are_followed_to_the_primary() {
+        // B answers the real write; A merely points at it.
+        let (b_addr, b) = fixture(1, |_| {
+            "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok".to_string()
+        });
+        let (a_addr, a) = fixture(1, move |_| redirect_to(b_addr, "/datasets/d/points"));
+        let policy = RetryPolicy {
+            attempts: 1,
+            ..RetryPolicy::default()
+        };
+        let resp =
+            request_with_retry(a_addr, "POST", "/datasets/d/points", b"{}", &policy).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body_str(), "ok");
+        a.join().unwrap();
+        b.join().unwrap();
+    }
+
+    #[test]
+    fn a_redirect_loop_errors_out_instead_of_spinning() {
+        // A server that bounces every write back to itself, forever.
+        // The hop cap must turn that into an error after exactly
+        // MAX_REDIRECT_HOPS+1 requests, not an unbounded ping-pong.
+        let served = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let counter = std::sync::Arc::clone(&served);
+        let _server = std::thread::spawn(move || {
+            for _ in 0..16 {
+                let Ok((mut stream, _)) = listener.accept() else {
+                    return;
+                };
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut line = String::new();
+                while reader.read_line(&mut line).unwrap_or(0) > 0 && line != "\r\n" {
+                    line.clear();
+                }
+                counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                let _ = stream.write_all(redirect_to(addr, "/w").as_bytes());
+            }
+        });
+        let policy = RetryPolicy {
+            attempts: 1,
+            ..RetryPolicy::default()
+        };
+        let err = request_with_retry(addr, "POST", "/w", b"{}", &policy).unwrap_err();
+        assert!(
+            err.to_string().contains("redirect loop"),
+            "unexpected error: {err}"
+        );
+        assert_eq!(
+            served.load(std::sync::atomic::Ordering::SeqCst),
+            MAX_REDIRECT_HOPS as usize + 1,
+            "the loop kept spinning"
+        );
     }
 
     #[test]

@@ -41,7 +41,9 @@
 //! coordinator's scatter-gather merge),
 //! `GET /datasets/{name}/changes?since=&subscribe=&ops=` (the
 //! per-version change feed; see [`replica`] for the follower that
-//! consumes it), `GET /datasets/{name}/snapshot`, `POST /shutdown`.
+//! consumes it), `GET /datasets/{name}/snapshot`, `POST /promote` and
+//! `POST /demote` (the epoch-fenced role flips driving automatic
+//! failover; see [`replica`]), `POST /shutdown`.
 //!
 //! [`StreamingSkyline`]: skyline_core::streaming::StreamingSkyline
 
@@ -84,6 +86,24 @@ use http::{HttpError, Request, Response};
 use metrics::ServerMetrics;
 use pool::ThreadPool;
 use registry::{Registry, RegistryError};
+use replica::Role;
+
+/// Request header carrying the fencing epoch the sender believes is
+/// current. A mismatch against the receiving node's own epoch is
+/// refused with `409 Fenced`; see [`replica`] for the full protocol.
+pub const EPOCH_HEADER: &str = "X-Skyline-Epoch";
+
+/// Request header naming the primary the sender routes writes to.
+/// Alongside a higher [`EPOCH_HEADER`] it tells a stale primary who
+/// succeeded it, so the fenced node can demote itself in place.
+pub const PRIMARY_HEADER: &str = "X-Skyline-Primary";
+
+/// Request header carrying a read-your-writes session token's version:
+/// the read must observe the dataset at this version or newer. A
+/// replica that cannot catch up in time bounces the client to its
+/// primary with 307; a primary that has never seen the version answers
+/// 409.
+pub const MIN_VERSION_HEADER: &str = "X-Skyline-Min-Version";
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -179,8 +199,10 @@ struct Shared {
     slow_ms: u64,
     /// Dedicated slow-query sink (falls back to `recorder`).
     slow_log: Option<Mutex<JsonlRecorder<File>>>,
-    /// Replication state when this server follows a primary.
-    replica: Option<replica::ReplicaState>,
+    /// The node's failover state: role, fencing epoch, and replication
+    /// progress. Present on every server — a primary can be demoted
+    /// into a follower and a follower promoted, both in place.
+    failover: replica::ReplicaState,
 }
 
 impl Shared {
@@ -309,7 +331,8 @@ fn shed_response(shared: &Shared, endpoint: &str, why: &str) -> Response {
 pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
-    /// Follower-mode discovery thread (tails the primary's feeds).
+    /// Replication supervisor thread: tails the primary's feeds while
+    /// the node is a follower, idles while it is a primary.
     tail: Option<JoinHandle<()>>,
 }
 
@@ -383,6 +406,14 @@ impl Server {
             }
             None => Registry::with_feed_retain(config.feed_retain),
         };
+        // The fencing epoch survives restarts on a durable node; a
+        // memory-only node (and every follower) boots at 0 and adopts
+        // the cluster's epoch from its first fenced request.
+        let boot_epoch = registry.recovered_epoch();
+        let role = match config.follow {
+            Some(primary) => Role::Follower { primary },
+            None => Role::Primary,
+        };
         let shared = Arc::new(Shared {
             addr,
             registry,
@@ -398,9 +429,7 @@ impl Server {
             max_queries_per_dataset: config.max_queries_per_dataset,
             slow_ms: config.slow_ms,
             slow_log,
-            replica: config
-                .follow
-                .map(|primary| replica::ReplicaState::new(primary, config.follow_wait_ms)),
+            failover: replica::ReplicaState::new(role, config.follow_wait_ms, boot_epoch),
         });
         for (dataset, replayed, version) in shared.registry.recovery_log() {
             shared.emit(Event::Recovery {
@@ -439,17 +468,15 @@ impl Server {
                     }
                 }
             })?;
-        let tail = match shared.replica.is_some() {
-            true => {
-                let tail_shared = Arc::clone(&shared);
-                Some(
-                    std::thread::Builder::new()
-                        .name("skyline-follower".to_string())
-                        .spawn(move || replica::run_follower(tail_shared))?,
-                )
-            }
-            false => None,
-        };
+        // The supervisor runs on every server, not just boot-time
+        // followers: it idles while the node is a primary and starts
+        // tailing the moment a demotion flips the role.
+        let tail_shared = Arc::clone(&shared);
+        let tail = Some(
+            std::thread::Builder::new()
+                .name("skyline-follower".to_string())
+                .spawn(move || replica::run_follower(tail_shared))?,
+        );
         Ok(ServerHandle {
             shared,
             accept: Some(accept),
@@ -545,6 +572,12 @@ fn route(shared: &Shared, req: &Request) -> (Response, &'static str) {
         .and_then(|rest| rest.strip_suffix("/points"))
     {
         let endpoint = "/datasets/{name}/points";
+        // Fencing beats redirection: a write stamped with the wrong
+        // epoch is refused outright, a correctly-stamped write on a
+        // follower bounces to the primary.
+        if let Some(fenced) = fence_check(shared, req, endpoint) {
+            return (fenced, endpoint);
+        }
         if let Some(redirect) = replica_redirect(shared, &req.path) {
             return (redirect, endpoint);
         }
@@ -561,6 +594,11 @@ fn route(shared: &Shared, req: &Request) -> (Response, &'static str) {
         .and_then(|rest| rest.strip_suffix("/changes"))
     {
         let endpoint = "/datasets/{name}/changes";
+        // Followers stamp feed reads with their epoch, which is how a
+        // resurrected stale primary learns of its own succession.
+        if let Some(fenced) = fence_check(shared, req, endpoint) {
+            return (fenced, endpoint);
+        }
         let response = match req.method.as_str() {
             "GET" => handle_changes(shared, name, req),
             _ => Response::error(405, "changes supports GET"),
@@ -584,12 +622,21 @@ fn route(shared: &Shared, req: &Request) -> (Response, &'static str) {
         ("GET", "/metrics") => (handle_metrics(shared, req), "/metrics"),
         ("GET", "/skyline") => (handle_skyline(shared, req), "/skyline"),
         ("GET", "/datasets") => (handle_list(shared), "/datasets"),
-        ("POST", "/datasets") => match replica_redirect(shared, &req.path) {
-            Some(redirect) => (redirect, "/datasets"),
-            None => (handle_create(shared, req), "/datasets"),
+        ("POST", "/datasets") => match fence_check(shared, req, "/datasets") {
+            Some(fenced) => (fenced, "/datasets"),
+            None => match replica_redirect(shared, &req.path) {
+                Some(redirect) => (redirect, "/datasets"),
+                None => (handle_create(shared, req), "/datasets"),
+            },
         },
+        ("POST", "/promote") => (handle_promote(shared, req), "/promote"),
+        ("POST", "/demote") => (handle_demote(shared, req), "/demote"),
         ("POST", "/shutdown") => (handle_shutdown(shared), "/shutdown"),
-        (_, "/healthz" | "/metrics" | "/skyline" | "/datasets" | "/shutdown") => (
+        (
+            _,
+            "/healthz" | "/metrics" | "/skyline" | "/datasets" | "/shutdown" | "/promote"
+            | "/demote",
+        ) => (
             Response::error(405, "method not allowed on this endpoint"),
             "(bad-method)",
         ),
@@ -610,21 +657,181 @@ fn registry_response(err: RegistryError) -> Response {
     Response::error(status, &err.to_string())
 }
 
+/// `GET /healthz` — one JSON shape on both roles: liveness plus the
+/// node's `role`, fencing `epoch`, and latest applied versions. The
+/// cluster's failure detector reads this to pick the most-caught-up
+/// replica at promotion time, so `applied_version` (the per-dataset
+/// versions summed) must reflect everything the node has applied.
 fn handle_healthz(shared: &Shared) -> Response {
+    let infos = shared.registry.list();
+    let applied: u64 = infos.iter().map(|i| i.version).sum();
+    let mut versions = ObjectWriter::new();
+    for info in &infos {
+        versions.u64_field(&info.name, info.version);
+    }
     let mut w = ObjectWriter::new();
-    w.str_field("status", "ok")
-        .u64_field("datasets", shared.registry.len() as u64)
-        .u64_field("uptime_us", shared.started.elapsed().as_micros() as u64);
-    match &shared.replica {
-        Some(state) => {
-            w.str_field("role", "replica")
-                .str_field("primary", &state.primary.to_string());
-        }
-        None => {
+    w.str_field("status", "ok");
+    match shared.failover.role() {
+        Role::Primary => {
             w.str_field("role", "primary");
         }
+        Role::Follower { primary } => {
+            w.str_field("role", "replica")
+                .str_field("primary", &primary.to_string());
+        }
     }
+    w.u64_field("epoch", shared.failover.epoch())
+        .u64_field("datasets", infos.len() as u64)
+        .u64_field("applied_version", applied)
+        .raw_field("versions", &versions.finish())
+        .u64_field("uptime_us", shared.started.elapsed().as_micros() as u64);
     Response::json(200, w.finish())
+}
+
+/// Enforce the fencing epoch on a request that stamped one
+/// ([`EPOCH_HEADER`]). `None` = no epoch claimed or it matches ours
+/// (handle normally); `Some` = the caller must return this refusal.
+///
+/// A *higher* request epoch means a succession happened that this node
+/// missed — the canonical case is a resurrected old primary receiving
+/// traffic stamped by the new regime. When the request also names the
+/// new primary ([`PRIMARY_HEADER`]), the node demotes itself into a
+/// follower of it on the spot; the refused request is retried by its
+/// sender, and by then this node redirects like any other replica.
+fn fence_check(shared: &Shared, req: &Request, endpoint: &str) -> Option<Response> {
+    let raw = req.header(EPOCH_HEADER)?;
+    let Ok(request_epoch) = raw.parse::<u64>() else {
+        return Some(Response::error(
+            400,
+            &format!("bad {EPOCH_HEADER} value {raw:?}"),
+        ));
+    };
+    let node_epoch = shared.failover.epoch();
+    if request_epoch == node_epoch {
+        return None;
+    }
+    shared.failover.fenced_total.fetch_add(1, Ordering::Relaxed);
+    shared.emit(Event::FencedRequest {
+        endpoint: endpoint.to_string(),
+        request_epoch,
+        node_epoch,
+    });
+    let mut successor: Option<SocketAddr> = None;
+    if request_epoch > node_epoch {
+        if let Some(primary) = req
+            .header(PRIMARY_HEADER)
+            .and_then(|p| p.parse::<SocketAddr>().ok())
+            .filter(|p| *p != shared.addr)
+        {
+            if shared.failover.demote(request_epoch, primary).is_ok() {
+                // Followers are memory-only so this is a no-op there; a
+                // durable node that fails the write re-learns the epoch
+                // from the next fenced request.
+                let _ = shared.registry.persist_epoch(request_epoch);
+                shared.emit(Event::Demotion {
+                    epoch: request_epoch,
+                    primary: primary.to_string(),
+                });
+                successor = Some(primary);
+            }
+        }
+    }
+    let mut w = ObjectWriter::new();
+    w.str_field("error", "fenced: request epoch does not match this node")
+        .u64_field("epoch", shared.failover.epoch())
+        .u64_field("request_epoch", request_epoch);
+    if let Some(primary) = successor {
+        w.str_field("primary", &primary.to_string());
+    }
+    Some(Response::json(409, w.finish()))
+}
+
+/// `POST /promote` — body `{"epoch": E}`: flip this node to primary
+/// under fencing epoch `E`. `E` must be strictly above the node's own
+/// epoch (a retry of an accepted promotion is an idempotent 200);
+/// anything else is refused with 409 and the node's epoch. On success
+/// the epoch is made durable before the response acks, tailer threads
+/// wind down via the generation bump, and the node starts accepting
+/// writes at its inherited version.
+fn handle_promote(shared: &Shared, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let Some(epoch) = body.get("epoch").and_then(Value::as_u64) else {
+        return Response::error(400, "body needs numeric \"epoch\"");
+    };
+    match shared.failover.promote(epoch) {
+        Err(current) => {
+            let mut w = ObjectWriter::new();
+            w.str_field("error", "promotion fenced: epoch must rise")
+                .u64_field("epoch", current)
+                .u64_field("request_epoch", epoch);
+            Response::json(409, w.finish())
+        }
+        Ok(()) => {
+            if let Err(e) = shared.registry.persist_epoch(epoch) {
+                return Response::error(500, &format!("promoted but epoch not durable: {e}"));
+            }
+            let infos = shared.registry.list();
+            let applied: u64 = infos.iter().map(|i| i.version).sum();
+            shared.emit(Event::Promotion {
+                epoch,
+                datasets: infos.len() as u64,
+                version: applied,
+            });
+            let mut w = ObjectWriter::new();
+            w.str_field("role", "primary")
+                .u64_field("epoch", epoch)
+                .u64_field("applied_version", applied);
+            Response::json(200, w.finish())
+        }
+    }
+}
+
+/// `POST /demote` — body `{"epoch": E, "primary": "host:port"}`: step
+/// down into a follower of `primary` under epoch `E` (at or above the
+/// node's own; equal allows a retarget). The node's datasets resync
+/// from the new primary on the follower path.
+fn handle_demote(shared: &Shared, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let Some(epoch) = body.get("epoch").and_then(Value::as_u64) else {
+        return Response::error(400, "body needs numeric \"epoch\"");
+    };
+    let Some(primary) = body
+        .get("primary")
+        .and_then(Value::as_str)
+        .and_then(|s| s.parse::<SocketAddr>().ok())
+    else {
+        return Response::error(400, "body needs \"primary\" as host:port");
+    };
+    if primary == shared.addr {
+        return Response::error(400, "refusing to demote into following myself");
+    }
+    match shared.failover.demote(epoch, primary) {
+        Err(current) => {
+            let mut w = ObjectWriter::new();
+            w.str_field("error", "demotion fenced: epoch must not regress")
+                .u64_field("epoch", current)
+                .u64_field("request_epoch", epoch);
+            Response::json(409, w.finish())
+        }
+        Ok(()) => {
+            let _ = shared.registry.persist_epoch(epoch);
+            shared.emit(Event::Demotion {
+                epoch,
+                primary: primary.to_string(),
+            });
+            let mut w = ObjectWriter::new();
+            w.str_field("role", "replica")
+                .u64_field("epoch", epoch)
+                .str_field("primary", &primary.to_string());
+            Response::json(200, w.finish())
+        }
+    }
 }
 
 fn handle_shutdown(shared: &Shared) -> Response {
@@ -661,22 +868,24 @@ fn handle_list(shared: &Shared) -> Response {
 /// On a follower, writes answer 307 with a `Location` pointing the
 /// client at the primary; `None` on a primary (handle normally).
 fn replica_redirect(shared: &Shared, path: &str) -> Option<Response> {
-    let state = shared.replica.as_ref()?;
+    let primary = shared.failover.follow_target()?;
     let mut w = ObjectWriter::new();
     w.str_field("error", "read-only replica: writes go to the primary")
-        .str_field("primary", &state.primary.to_string());
+        .str_field("primary", &primary.to_string());
     Some(
-        Response::json(307, w.finish())
-            .with_header("Location", &format!("http://{}{path}", state.primary)),
+        Response::json(307, w.finish()).with_header("Location", &format!("http://{primary}{path}")),
     )
 }
 
 /// On a follower, stamp a read response with how many versions the
 /// queried dataset trails the primary by (see [`replica::LAG_HEADER`]).
 fn with_replica_lag(shared: &Shared, dataset: &str, resp: Response) -> Response {
-    match &shared.replica {
-        Some(state) => resp.with_header(replica::LAG_HEADER, &state.lag_of(dataset).to_string()),
-        None => resp,
+    match shared.failover.role() {
+        Role::Follower { .. } => resp.with_header(
+            replica::LAG_HEADER,
+            &shared.failover.lag_of(dataset).to_string(),
+        ),
+        Role::Primary => resp,
     }
 }
 
@@ -870,34 +1079,46 @@ fn handle_metrics(shared: &Shared, req: &Request) -> Response {
                 ("skyline_datasets".to_string(), shared.registry.len() as f64),
             ];
             let mut extras = extras;
-            if let Some(state) = &shared.replica {
+            let state = &shared.failover;
+            extras.push(("skyline_epoch".to_string(), state.epoch() as f64));
+            extras.push((
+                "skyline_promotions_total".to_string(),
+                state.promotions_total.load(Ordering::Relaxed) as f64,
+            ));
+            extras.push((
+                "skyline_demotions_total".to_string(),
+                state.demotions_total.load(Ordering::Relaxed) as f64,
+            ));
+            extras.push((
+                "skyline_fenced_requests_total".to_string(),
+                state.fenced_total.load(Ordering::Relaxed) as f64,
+            ));
+            extras.push((
+                "skyline_replica_applied_total".to_string(),
+                state.applied_total.load(Ordering::Relaxed) as f64,
+            ));
+            extras.push((
+                "skyline_replica_duplicates_total".to_string(),
+                state.duplicates_total.load(Ordering::Relaxed) as f64,
+            ));
+            extras.push((
+                "skyline_replica_resyncs_total".to_string(),
+                state.resyncs_total.load(Ordering::Relaxed) as f64,
+            ));
+            // One family at a time: the renderer writes a TYPE line
+            // per consecutive run of the same metric family.
+            let progress = state.progress_snapshot();
+            for (dataset, applied, latest) in &progress {
                 extras.push((
-                    "skyline_replica_applied_total".to_string(),
-                    state.applied_total.load(Ordering::Relaxed) as f64,
+                    format!("skyline_replica_lag_versions{{dataset=\"{dataset}\"}}"),
+                    latest.saturating_sub(*applied) as f64,
                 ));
+            }
+            for (dataset, applied, _) in &progress {
                 extras.push((
-                    "skyline_replica_duplicates_total".to_string(),
-                    state.duplicates_total.load(Ordering::Relaxed) as f64,
+                    format!("skyline_replica_applied_version{{dataset=\"{dataset}\"}}"),
+                    *applied as f64,
                 ));
-                extras.push((
-                    "skyline_replica_resyncs_total".to_string(),
-                    state.resyncs_total.load(Ordering::Relaxed) as f64,
-                ));
-                // One family at a time: the renderer writes a TYPE line
-                // per consecutive run of the same metric family.
-                let progress = state.progress_snapshot();
-                for (dataset, applied, latest) in &progress {
-                    extras.push((
-                        format!("skyline_replica_lag_versions{{dataset=\"{dataset}\"}}"),
-                        latest.saturating_sub(*applied) as f64,
-                    ));
-                }
-                for (dataset, applied, _) in &progress {
-                    extras.push((
-                        format!("skyline_replica_applied_version{{dataset=\"{dataset}\"}}"),
-                        *applied as f64,
-                    ));
-                }
             }
             return Response::text(200, shared.metrics.render_prometheus(&extras));
         }
@@ -943,33 +1164,50 @@ fn handle_metrics(shared: &Shared, req: &Request) -> Response {
         .raw_field("stages", &shared.metrics.render_stages_json())
         .raw_field("cache", &cache_obj.finish())
         .raw_field("datasets", &format!("[{}]", datasets.join(",")));
-    if let Some(state) = &shared.replica {
-        let lag = state.lag.snapshot();
-        let progress: Vec<String> = state
-            .progress_snapshot()
-            .iter()
-            .map(|(name, applied, latest)| {
-                let mut p = ObjectWriter::new();
-                p.str_field("name", name)
-                    .u64_field("applied", *applied)
-                    .u64_field("primary_latest", *latest)
-                    .u64_field("lag", latest.saturating_sub(*applied));
-                p.finish()
-            })
-            .collect();
-        let mut r = ObjectWriter::new();
-        r.str_field("primary", &state.primary.to_string())
-            .u64_field("applied_total", state.applied_total.load(Ordering::Relaxed))
-            .u64_field(
-                "duplicates_total",
-                state.duplicates_total.load(Ordering::Relaxed),
-            )
-            .u64_field("resyncs_total", state.resyncs_total.load(Ordering::Relaxed))
-            .u64_field("lag_p50", lag.p50())
-            .u64_field("lag_p99", lag.p99())
-            .raw_field("datasets", &format!("[{}]", progress.join(",")));
-        w.raw_field("replication", &r.finish());
+    let state = &shared.failover;
+    let lag = state.lag.snapshot();
+    let progress: Vec<String> = state
+        .progress_snapshot()
+        .iter()
+        .map(|(name, applied, latest)| {
+            let mut p = ObjectWriter::new();
+            p.str_field("name", name)
+                .u64_field("applied", *applied)
+                .u64_field("primary_latest", *latest)
+                .u64_field("lag", latest.saturating_sub(*applied));
+            p.finish()
+        })
+        .collect();
+    let mut r = ObjectWriter::new();
+    match state.role() {
+        Role::Primary => {
+            r.str_field("role", "primary");
+        }
+        Role::Follower { primary } => {
+            r.str_field("role", "replica")
+                .str_field("primary", &primary.to_string());
+        }
     }
+    r.u64_field("epoch", state.epoch())
+        .u64_field(
+            "promotions_total",
+            state.promotions_total.load(Ordering::Relaxed),
+        )
+        .u64_field(
+            "demotions_total",
+            state.demotions_total.load(Ordering::Relaxed),
+        )
+        .u64_field("fenced_total", state.fenced_total.load(Ordering::Relaxed))
+        .u64_field("applied_total", state.applied_total.load(Ordering::Relaxed))
+        .u64_field(
+            "duplicates_total",
+            state.duplicates_total.load(Ordering::Relaxed),
+        )
+        .u64_field("resyncs_total", state.resyncs_total.load(Ordering::Relaxed))
+        .u64_field("lag_p50", lag.p50())
+        .u64_field("lag_p99", lag.p99())
+        .raw_field("datasets", &format!("[{}]", progress.join(",")));
+    w.raw_field("replication", &r.finish());
     Response::json(200, w.finish())
 }
 
@@ -1095,15 +1333,20 @@ fn apply_mutation(
 
 /// Shared tail of the mutation responses: version movement, skyline
 /// cardinality, the delta's membership changes, and what happened to
-/// the cache.
+/// the cache — plus the fencing epoch the write was accepted under.
+/// `(epoch, version)` is the read-your-writes session token: stamp a
+/// later read with [`MIN_VERSION_HEADER`]` = version` and it will never
+/// observe an older state, on any node.
 fn mutation_json_fields(
     w: &mut ObjectWriter,
     mutation: &registry::Mutation,
     out: &cache::PatchOutcome,
+    epoch: u64,
 ) {
     let entered: Vec<u64> = mutation.delta.entered.iter().map(|&i| i as u64).collect();
     let left: Vec<u64> = mutation.delta.left.iter().map(|&i| i as u64).collect();
     w.u64_field("version", mutation.version)
+        .u64_field("epoch", epoch)
         .u64_field("skyline", mutation.skyline_len as u64)
         .u64_array_field("entered", &entered)
         .u64_array_field("left", &left)
@@ -1136,7 +1379,7 @@ fn handle_insert(shared: &Shared, name: &str, req: &Request) -> Response {
             let mut w = ObjectWriter::new();
             w.u64_field("inserted", ids.len() as u64)
                 .u64_array_field("ids", &ids64);
-            mutation_json_fields(&mut w, &mutation, &out);
+            mutation_json_fields(&mut w, &mutation, &out, shared.failover.epoch());
             Response::json(200, w.finish())
         }
         Err(e) => registry_response(e),
@@ -1169,7 +1412,7 @@ fn handle_remove(shared: &Shared, name: &str, req: &Request) -> Response {
             let out = apply_mutation(shared, name, entry.dims(), &mutation, &trace_id);
             let mut w = ObjectWriter::new();
             w.u64_field("removed", removed as u64);
-            mutation_json_fields(&mut w, &mutation, &out);
+            mutation_json_fields(&mut w, &mutation, &out, shared.failover.epoch());
             Response::json(200, w.finish())
         }
         Err(e) => registry_response(e),
@@ -1325,6 +1568,75 @@ fn compute_extras(
     SkylineExtras { masks, rows_json }
 }
 
+/// How long a read stamped with a session token waits for replication
+/// to catch up before bouncing to the primary.
+const MIN_VERSION_WAIT: Duration = Duration::from_millis(500);
+
+/// Honour a read-your-writes session token ([`MIN_VERSION_HEADER`]):
+/// the read must observe `name` at the token's version or newer.
+/// `None` = satisfied (proceed with the read). A follower that cannot
+/// catch up within [`MIN_VERSION_WAIT`] bounces the client to its
+/// primary with 307; a primary that has never reached the version
+/// answers 409 — the token came from a history this node does not have,
+/// which after a failover means the client must surface the lost write
+/// rather than silently read around it.
+fn min_version_gate(
+    shared: &Shared,
+    entry: &registry::DatasetEntry,
+    name: &str,
+    req: &Request,
+) -> Option<Response> {
+    let raw = req.header(MIN_VERSION_HEADER)?;
+    let Ok(min_version) = raw.parse::<u64>() else {
+        return Some(Response::error(
+            400,
+            &format!("bad {MIN_VERSION_HEADER} value {raw:?}"),
+        ));
+    };
+    if min_version == 0 {
+        return None;
+    }
+    let deadline = Instant::now() + MIN_VERSION_WAIT;
+    loop {
+        if entry.wait_for_version(min_version - 1, Duration::from_millis(50)) >= min_version {
+            return None;
+        }
+        if Instant::now() >= deadline || shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+    }
+    match shared.failover.follow_target() {
+        Some(primary) => {
+            // Rebuild the request target so the client can replay the
+            // exact read against the primary.
+            let query: Vec<String> = req.query.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let target = if query.is_empty() {
+                req.path.clone()
+            } else {
+                format!("{}?{}", req.path, query.join("&"))
+            };
+            let mut w = ObjectWriter::new();
+            w.str_field(
+                "error",
+                "replica is behind the session token; read from the primary",
+            )
+            .u64_field("min_version", min_version)
+            .str_field("primary", &primary.to_string());
+            Some(
+                Response::json(307, w.finish())
+                    .with_header("Location", &format!("http://{primary}{target}")),
+            )
+        }
+        None => Some(Response::error(
+            409,
+            &format!(
+                "session token demands version {min_version} of {name:?}, \
+                 which this primary has never applied"
+            ),
+        )),
+    }
+}
+
 /// `GET /skyline?dataset=&algo=&dims=&k=&threads=&deadline_ms=`.
 fn handle_skyline(shared: &Shared, req: &Request) -> Response {
     let mut timer = StageTimer::start();
@@ -1360,6 +1672,9 @@ fn handle_skyline(shared: &Shared, req: &Request) -> Response {
             )
         }
     };
+    if let Some(resp) = min_version_gate(shared, &entry, name, req) {
+        return resp;
+    }
     let deadline_ms: Option<u64> = match req.query_param("deadline_ms") {
         None | Some("") => None,
         Some(raw) => match raw.parse() {

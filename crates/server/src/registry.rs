@@ -523,6 +523,17 @@ impl DatasetEntry {
         self.after_mutation(&mut inner)?;
         Ok(ReplicaApply::Applied)
     }
+
+    /// Stamp an `epoch` record into this dataset's log (no-op for a
+    /// memory-only entry).
+    fn log_epoch(&self, epoch: u64) -> Result<(), RegistryError> {
+        let mut inner = write_lock(&self.inner);
+        if let Some(wal) = inner.wal.as_mut() {
+            wal.append_batch(&[wal::epoch_record(epoch)])
+                .map_err(|e| RegistryError::Io(e.to_string()))?;
+        }
+        Ok(())
+    }
 }
 
 fn validate_rows(rows: &[Vec<f64>], dims: usize) -> Result<(), RegistryError> {
@@ -571,6 +582,9 @@ pub struct Registry {
     recovery_log: Vec<(String, u64, u64)>,
     /// Change records retained per dataset for the feed.
     feed_retain: usize,
+    /// Highest fencing epoch found at boot (node epoch file plus any
+    /// epoch records still in the logs); 0 for a fresh node.
+    recovered_epoch: u64,
 }
 
 impl Default for Registry {
@@ -582,6 +596,7 @@ impl Default for Registry {
             recovery_replayed: 0,
             recovery_log: Vec::new(),
             feed_retain: DEFAULT_FEED_RETAIN,
+            recovered_epoch: 0,
         }
     }
 }
@@ -614,10 +629,12 @@ impl Registry {
         let mut map = HashMap::new();
         let mut recovery_replayed = 0;
         let mut recovery_log = Vec::new();
+        let mut recovered_epoch = wal::read_node_epoch(&storage.dir);
         for name in wal::list_datasets(&storage.dir)? {
             let Some(recovered) = wal::recover(&storage, &name)? else {
                 continue;
             };
+            recovered_epoch = recovered_epoch.max(recovered.epoch);
             recovery_replayed += recovered.replayed;
             recovery_log.push((name.clone(), recovered.replayed, recovered.stream.version()));
             let entry = DatasetEntry::recovered(
@@ -637,7 +654,37 @@ impl Registry {
             recovery_replayed,
             recovery_log,
             feed_retain,
+            recovered_epoch,
         })
+    }
+
+    /// Highest fencing epoch persisted for this node at boot: the node
+    /// epoch file, widened by any epoch records compaction had not yet
+    /// absorbed. 0 for memory-only or never-promoted nodes.
+    pub fn recovered_epoch(&self) -> u64 {
+        self.recovered_epoch
+    }
+
+    /// Persist a fencing epoch: write the node epoch file and stamp an
+    /// `epoch` record into every dataset's log so a restart resumes
+    /// under this epoch. A no-op for memory-only registries (the epoch
+    /// then lives only in memory, which is all a replica has anyway).
+    pub fn persist_epoch(&self, epoch: u64) -> Result<(), RegistryError> {
+        let Some(storage) = &self.storage else {
+            return Ok(());
+        };
+        wal::write_node_epoch(&storage.dir, epoch).map_err(|e| RegistryError::Io(e.to_string()))?;
+        let entries: Vec<Arc<DatasetEntry>> = self
+            .datasets
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .cloned()
+            .collect();
+        for entry in entries {
+            entry.log_epoch(epoch)?;
+        }
+        Ok(())
     }
 
     /// WAL records replayed on boot, summed over every dataset.
@@ -981,6 +1028,31 @@ mod tests {
         // Further mutations keep handle assignment dense and consistent.
         let (ids, _) = entry.insert_rows(&rows(&[[0.1, 0.1]])).unwrap();
         assert_eq!(ids, vec![4], "next handle continues from recovered state");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persisted_epoch_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!(
+            "skyline-reg-epoch-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        {
+            let reg = Registry::open(StorageConfig::new(dir.clone())).unwrap();
+            assert_eq!(reg.recovered_epoch(), 0, "fresh node starts at epoch 0");
+            reg.create("fenced", 2, &rows(&[[1.0, 2.0]])).unwrap();
+            reg.persist_epoch(3).unwrap();
+        }
+        let reg = Registry::open(StorageConfig::new(dir.clone())).unwrap();
+        assert_eq!(reg.recovered_epoch(), 3);
+        // Memory-only registries accept but do not persist epochs.
+        let mem = Registry::new();
+        mem.persist_epoch(9).unwrap();
+        assert_eq!(mem.recovered_epoch(), 0);
 
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -1,9 +1,10 @@
-//! Follower mode: tail a primary's change feeds into local datasets.
+//! The replica role state machine: follower mode, promotion, fencing.
 //!
-//! `skyline serve --follow <primary>` starts the server read-only and
-//! spawns one discovery thread here. The discovery loop polls the
-//! primary's `/datasets` listing and hands each dataset to a dedicated
-//! tailer thread, which long-polls
+//! `skyline serve --follow <primary>` starts the server in the
+//! [`Role::Follower`] state and the supervisor loop here tails the
+//! primary's change feeds into local datasets. The discovery loop polls
+//! the primary's `/datasets` listing and hands each dataset to a
+//! dedicated tailer thread, which long-polls
 //! `GET /datasets/{name}/changes?ops=1&subscribe=1` and pushes every
 //! record through the wrong-base-refusing
 //! [`DatasetEntry::apply_replicated`]. Anything suspicious — a stale
@@ -11,6 +12,16 @@
 //! delta mismatch after applying the op — fails closed: the tailer
 //! discards the dataset and resyncs from `GET /datasets/{name}/snapshot`
 //! rather than ever serving a wrong answer.
+//!
+//! Roles are not fixed at boot. A `POST /promote` carrying a fencing
+//! epoch strictly above the node's own flips a follower to
+//! [`Role::Primary`] in place: the generation counter bumps, every
+//! tailer notices and exits, and the node starts accepting writes and
+//! serving its own change feed from the inherited version. A
+//! `POST /demote` (or a fenced request revealing a higher epoch) flips
+//! a node the other way. The epoch only ever rises; requests stamped
+//! with a stale epoch are refused with `409 Fenced` so a resurrected
+//! old primary cannot split the brain.
 //!
 //! Delivery is at-least-once end to end. Reconnects replay from the
 //! follower's own applied version, so duplicates are routine and
@@ -23,7 +34,7 @@
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -43,12 +54,37 @@ use crate::{client, wal, Shared};
 /// staleness guard when routing reads to replicas.
 pub const LAG_HEADER: &str = "X-Skyline-Replica-Lag";
 
-/// Everything a follower tracks about its replication stream.
+/// What this node currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Accepts writes and serves its own change feed.
+    Primary,
+    /// Read-only; tails `primary`'s change feeds.
+    Follower {
+        /// The primary this node replicates from.
+        primary: SocketAddr,
+    },
+}
+
+/// The node's failover state: its role, fencing epoch, and everything a
+/// follower tracks about its replication stream.
 pub struct ReplicaState {
-    /// The primary this server tails.
-    pub primary: SocketAddr,
+    /// Current role. Guarded by a lock so role flips are atomic with
+    /// the epoch/generation updates they imply.
+    role: RwLock<Role>,
+    /// Bumped on every role change; tailer threads snapshot it and exit
+    /// as soon as it moves, which is how promotion "stops the tailers".
+    generation: AtomicU64,
+    /// The fencing epoch this node serves under. Only ever rises.
+    epoch: AtomicU64,
     /// Long-poll hold passed to the primary's `/changes`, milliseconds.
     pub wait_ms: u64,
+    /// Promotions accepted (follower → primary).
+    pub promotions_total: AtomicU64,
+    /// Demotions accepted (primary/follower → follower).
+    pub demotions_total: AtomicU64,
+    /// Requests refused with `409 Fenced` for a stale epoch.
+    pub fenced_total: AtomicU64,
     /// Change records applied (duplicates excluded).
     pub applied_total: AtomicU64,
     /// Duplicate records skipped by version arithmetic.
@@ -63,17 +99,86 @@ pub struct ReplicaState {
 }
 
 impl ReplicaState {
-    /// Fresh state for a follower of `primary`.
-    pub fn new(primary: SocketAddr, wait_ms: u64) -> ReplicaState {
+    /// Fresh state starting in `role` under fencing epoch `epoch`.
+    pub fn new(role: Role, wait_ms: u64, epoch: u64) -> ReplicaState {
         ReplicaState {
-            primary,
+            role: RwLock::new(role),
+            generation: AtomicU64::new(0),
+            epoch: AtomicU64::new(epoch),
             wait_ms,
+            promotions_total: AtomicU64::new(0),
+            demotions_total: AtomicU64::new(0),
+            fenced_total: AtomicU64::new(0),
             applied_total: AtomicU64::new(0),
             duplicates_total: AtomicU64::new(0),
             resyncs_total: AtomicU64::new(0),
             lag: AtomicHistogram::new(),
             progress: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The node's current role.
+    pub fn role(&self) -> Role {
+        *self.role.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The primary this node follows, when it is a follower.
+    pub fn follow_target(&self) -> Option<SocketAddr> {
+        match self.role() {
+            Role::Primary => None,
+            Role::Follower { primary } => Some(primary),
+        }
+    }
+
+    /// The fencing epoch this node serves under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The role-change generation; tailers exit when it moves.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Accept a promotion to primary under `epoch`. The epoch must be
+    /// strictly above ours (a retry of an already-accepted promotion is
+    /// an idempotent success); otherwise our epoch is returned as the
+    /// error so the caller can see who outran them.
+    pub fn promote(&self, epoch: u64) -> Result<(), u64> {
+        let mut role = self.role.write().unwrap_or_else(|e| e.into_inner());
+        let current = self.epoch.load(Ordering::Acquire);
+        if matches!(*role, Role::Primary) && epoch == current {
+            return Ok(());
+        }
+        if epoch <= current {
+            return Err(current);
+        }
+        self.epoch.store(epoch, Ordering::Release);
+        *role = Role::Primary;
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        self.promotions_total.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Step down into a follower of `primary` under `epoch`. The epoch
+    /// must be at or above ours (equal allows a retarget within one
+    /// epoch); a lower epoch is refused with ours as the error. When
+    /// the node is already following `primary`, only the epoch widens —
+    /// the generation stays put so running tailers are not churned.
+    pub fn demote(&self, epoch: u64, primary: SocketAddr) -> Result<(), u64> {
+        let mut role = self.role.write().unwrap_or_else(|e| e.into_inner());
+        let current = self.epoch.load(Ordering::Acquire);
+        if epoch < current {
+            return Err(current);
+        }
+        self.epoch.store(epoch, Ordering::Release);
+        if *role == (Role::Follower { primary }) {
+            return Ok(());
+        }
+        *role = Role::Follower { primary };
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        self.demotions_total.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Versions `dataset` trailed the primary by at the last applied
@@ -111,35 +216,43 @@ fn sleep_checking_shutdown(shared: &Shared, total: Duration) {
     }
 }
 
-/// The discovery loop: poll the primary's dataset listing, spawn one
-/// tailer per dataset, join them all on shutdown.
+/// The follower supervisor, spawned once per server regardless of the
+/// boot role. While the node is a primary it idles; while it is a
+/// follower it runs the discovery loop — poll the primary's dataset
+/// listing, spawn one tailer per dataset — for as long as the
+/// generation holds. A role flip bumps the generation: the discovery
+/// loop and every tailer notice, wind down, and the supervisor starts
+/// over against the new role (possibly a new primary).
 pub(crate) fn run_follower(shared: Arc<Shared>) {
-    let primary = shared
-        .replica
-        .as_ref()
-        .expect("run_follower requires replica state")
-        .primary;
-    let mut tails: HashMap<String, JoinHandle<()>> = HashMap::new();
     while !shared.shutdown.load(Ordering::Acquire) {
-        if let Ok(names) = list_primary_datasets(primary) {
-            for name in names {
-                if tails.contains_key(&name) {
-                    continue;
-                }
-                let tail_shared = Arc::clone(&shared);
-                let tail_name = name.clone();
-                let spawned = std::thread::Builder::new()
-                    .name(format!("skyline-tail-{name}"))
-                    .spawn(move || tail_dataset(&tail_shared, &tail_name));
-                if let Ok(handle) = spawned {
-                    tails.insert(name, handle);
+        let state = &shared.failover;
+        let Some(primary) = state.follow_target() else {
+            sleep_checking_shutdown(&shared, Duration::from_millis(100));
+            continue;
+        };
+        let generation = state.generation();
+        let mut tails: HashMap<String, JoinHandle<()>> = HashMap::new();
+        while !shared.shutdown.load(Ordering::Acquire) && state.generation() == generation {
+            if let Ok(names) = list_primary_datasets(primary) {
+                for name in names {
+                    if tails.contains_key(&name) {
+                        continue;
+                    }
+                    let tail_shared = Arc::clone(&shared);
+                    let tail_name = name.clone();
+                    let spawned = std::thread::Builder::new()
+                        .name(format!("skyline-tail-{name}"))
+                        .spawn(move || tail_dataset(&tail_shared, &tail_name, primary, generation));
+                    if let Ok(handle) = spawned {
+                        tails.insert(name, handle);
+                    }
                 }
             }
+            sleep_checking_shutdown(&shared, Duration::from_millis(250));
         }
-        sleep_checking_shutdown(&shared, Duration::from_millis(250));
-    }
-    for (_, handle) in tails {
-        let _ = handle.join();
+        for (_, handle) in tails {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -158,16 +271,16 @@ fn list_primary_datasets(primary: SocketAddr) -> Result<Vec<String>, ()> {
         .collect())
 }
 
-/// Tail one dataset's change feed forever (until shutdown).
-fn tail_dataset(shared: &Arc<Shared>, name: &str) {
-    let state = shared.replica.as_ref().expect("replica state");
+/// Tail one dataset's change feed until shutdown or a role change.
+fn tail_dataset(shared: &Arc<Shared>, name: &str, primary: SocketAddr, generation: u64) {
+    let state = &shared.failover;
     // `Some(reason)` = the cursor is unusable and the next step is a
     // full snapshot resync; the reason lands in the trace event.
     let mut needs_resync: Option<String> = Some("initial sync".to_string());
     let mut cursor: u64 = 0;
-    while !shared.shutdown.load(Ordering::Acquire) {
+    while !shared.shutdown.load(Ordering::Acquire) && state.generation() == generation {
         if let Some(reason) = needs_resync.take() {
-            match resync(shared, name, &reason) {
+            match resync(shared, name, primary, generation, &reason) {
                 Ok(version) => cursor = version,
                 Err(_) => {
                     needs_resync = Some(reason);
@@ -180,8 +293,18 @@ fn tail_dataset(shared: &Arc<Shared>, name: &str) {
             "/datasets/{name}/changes?since={cursor}&ops=1&subscribe=1&wait_ms={}",
             state.wait_ms
         );
-        let resp = match client::get(state.primary, &path) {
-            Ok(resp) => resp,
+        // Stamp the feed read with our epoch (and who we think the
+        // primary is): a node that fell behind an epoch learns so from
+        // the 409, a stale primary we still point at learns of its own
+        // succession and demotes itself.
+        let mut headers: Vec<(String, String)> = Vec::new();
+        let epoch = state.epoch();
+        if epoch > 0 {
+            headers.push((crate::EPOCH_HEADER.to_string(), epoch.to_string()));
+            headers.push((crate::PRIMARY_HEADER.to_string(), primary.to_string()));
+        }
+        let resp = match client::request_timed(primary, "GET", &path, b"", &headers) {
+            Ok((resp, _)) => resp,
             Err(_) => {
                 // Primary unreachable (crashed, restarting): keep the
                 // cursor and reconnect-replay from it.
@@ -191,6 +314,18 @@ fn tail_dataset(shared: &Arc<Shared>, name: &str) {
         };
         match resp.status {
             200 => {}
+            409 => {
+                // Fenced: the primary serves a higher epoch than we
+                // carry. Adopt it (same follow target) and retry.
+                if let Some(theirs) = Value::parse(&resp.body_str())
+                    .ok()
+                    .and_then(|v| v.get("epoch").and_then(Value::as_u64))
+                {
+                    let _ = state.demote(theirs, primary);
+                }
+                sleep_checking_shutdown(shared, Duration::from_millis(200));
+                continue;
+            }
             410 => {
                 needs_resync = Some(format!(
                     "cursor {cursor} predates the primary's retention horizon"
@@ -210,6 +345,11 @@ fn tail_dataset(shared: &Arc<Shared>, name: &str) {
             needs_resync = Some("unparseable change batch".to_string());
             continue;
         };
+        // A batch fetched before a promotion must not land after it:
+        // the promoted node owns its versions now.
+        if state.generation() != generation {
+            break;
+        }
         match apply_batch(shared, name, &records, latest) {
             Ok(version) => {
                 cursor = version;
@@ -228,7 +368,7 @@ fn apply_batch(
     records: &[ChangeRecord],
     latest: u64,
 ) -> Result<u64, String> {
-    let state = shared.replica.as_ref().expect("replica state");
+    let state = &shared.failover;
     let entry = shared
         .registry
         .get(name)
@@ -263,14 +403,25 @@ fn apply_batch(
 
 /// Discard the local dataset and rebuild it from the primary's
 /// snapshot endpoint. Returns the installed content version.
-fn resync(shared: &Arc<Shared>, name: &str, reason: &str) -> Result<u64, ()> {
-    let state = shared.replica.as_ref().expect("replica state");
-    let resp = client::get(state.primary, &format!("/datasets/{name}/snapshot")).map_err(|_| ())?;
+fn resync(
+    shared: &Arc<Shared>,
+    name: &str,
+    primary: SocketAddr,
+    generation: u64,
+    reason: &str,
+) -> Result<u64, ()> {
+    let state = &shared.failover;
+    let resp = client::get(primary, &format!("/datasets/{name}/snapshot")).map_err(|_| ())?;
     if resp.status != 200 {
         return Err(());
     }
     let (dims, version, slots) = wal::parse_snapshot(&resp.body_str()).ok_or(())?;
     let stream = StreamingSkyline::restore(dims, &slots, version).map_err(|_| ())?;
+    // Never install a snapshot fetched under an old role: a promoted
+    // node's state must not be clobbered by a straggling resync.
+    if state.generation() != generation {
+        return Err(());
+    }
     shared
         .registry
         .install_replica(name, stream)
@@ -318,4 +469,45 @@ fn point_ids(v: &Value) -> Option<Vec<PointId>> {
         .iter()
         .map(|x| x.as_u64().and_then(|n| PointId::try_from(n).ok()))
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(port: u16) -> SocketAddr {
+        format!("127.0.0.1:{port}").parse().unwrap()
+    }
+
+    #[test]
+    fn promote_requires_a_strictly_higher_epoch() {
+        let state = ReplicaState::new(Role::Follower { primary: addr(1) }, 100, 0);
+        assert_eq!(state.promote(0), Err(0), "epoch must rise");
+        assert_eq!(state.promote(2), Ok(()));
+        assert_eq!(state.role(), Role::Primary);
+        assert_eq!(state.epoch(), 2);
+        let generation = state.generation();
+        assert_eq!(state.promote(2), Ok(()), "idempotent retry");
+        assert_eq!(state.generation(), generation, "retry does not churn");
+        assert_eq!(state.promote(1), Err(2), "stale epoch refused");
+        assert_eq!(state.promotions_total.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn demote_accepts_equal_epochs_and_keeps_tailers_on_retarget() {
+        let state = ReplicaState::new(Role::Primary, 100, 3);
+        assert_eq!(state.demote(2, addr(2)), Err(3), "lower epoch refused");
+        assert_eq!(state.demote(3, addr(2)), Ok(()), "equal epoch retargets");
+        assert_eq!(state.follow_target(), Some(addr(2)));
+        let generation = state.generation();
+        // Same target, higher epoch: only the epoch widens.
+        assert_eq!(state.demote(5, addr(2)), Ok(()));
+        assert_eq!(state.epoch(), 5);
+        assert_eq!(state.generation(), generation);
+        // New target: the generation moves so tailers restart.
+        assert_eq!(state.demote(5, addr(9)), Ok(()));
+        assert_eq!(state.follow_target(), Some(addr(9)));
+        assert!(state.generation() > generation);
+        assert_eq!(state.demotions_total.load(Ordering::Relaxed), 2);
+    }
 }

@@ -121,6 +121,11 @@ pub struct Recovered {
     /// retention horizon after a restart. The chaos harness compares
     /// this stream against the uncrashed run's to pin replay fidelity.
     pub records: Vec<ChangeRecord>,
+    /// Highest fencing epoch recorded in the log. Compaction truncates
+    /// epoch records along with everything else, so the node-level
+    /// epoch file (see [`read_node_epoch`]) stays authoritative; this
+    /// only widens the recovered maximum.
+    pub epoch: u64,
 }
 
 /// The append side of one dataset's log.
@@ -185,6 +190,38 @@ pub fn insert_record(row: &[f64], v: u64) -> String {
 /// A `remove` record; `v` is the content version after the removal.
 pub fn remove_record(id: PointId, v: u64) -> String {
     format!("{{\"op\":\"remove\",\"v\":{v},\"id\":{id}}}")
+}
+
+/// An `epoch` record marking that the node began serving this dataset
+/// under a new fencing epoch. Does not advance the content version.
+pub fn epoch_record(epoch: u64) -> String {
+    format!("{{\"op\":\"epoch\",\"epoch\":{epoch}}}")
+}
+
+fn node_epoch_file(dir: &Path) -> PathBuf {
+    dir.join("node.epoch")
+}
+
+/// The fencing epoch persisted for this data directory; 0 when the node
+/// has never been promoted or demoted.
+pub fn read_node_epoch(dir: &Path) -> u64 {
+    fs::read_to_string(node_epoch_file(dir))
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Persist the node's fencing epoch (temp file + atomic rename, synced)
+/// so a restart resumes under the same epoch.
+pub fn write_node_epoch(dir: &Path, epoch: u64) -> io::Result<()> {
+    let path = node_epoch_file(dir);
+    let tmp = path.with_extension("epoch.tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(format!("{epoch}\n").as_bytes())?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, &path)
 }
 
 impl DatasetWal {
@@ -359,6 +396,7 @@ enum WalRecord {
     Create { dims: usize },
     Insert { v: u64, row: Vec<f64> },
     Remove { v: u64, id: PointId },
+    Epoch { epoch: u64 },
 }
 
 fn parse_record(line: &str) -> Option<WalRecord> {
@@ -377,6 +415,9 @@ fn parse_record(line: &str) -> Option<WalRecord> {
         "remove" => Some(WalRecord::Remove {
             v: v.get("v")?.as_u64()?,
             id: v.get("id")?.as_u64()? as PointId,
+        }),
+        "epoch" => Some(WalRecord::Epoch {
+            epoch: v.get("epoch")?.as_u64()?,
         }),
         _ => None,
     }
@@ -404,6 +445,7 @@ pub fn recover(config: &StorageConfig, name: &str) -> io::Result<Option<Recovere
     };
     let mut replayed = 0u64;
     let mut records = Vec::new();
+    let mut epoch = 0u64;
     let mut offset = 0usize; // start of the current line
     let mut good_end = 0usize; // one past the last fully applied line
     let mut metrics = Metrics::new();
@@ -462,6 +504,10 @@ pub fn recover(config: &StorageConfig, name: &str) -> io::Result<Option<Recovere
                 Some(_) => true,
                 None => false,
             },
+            WalRecord::Epoch { epoch: e } => {
+                epoch = epoch.max(e);
+                true
+            }
         };
         if !applied {
             break;
@@ -500,6 +546,7 @@ pub fn recover(config: &StorageConfig, name: &str) -> io::Result<Option<Recovere
         wal,
         replayed,
         records,
+        epoch,
     }))
 }
 
@@ -645,6 +692,32 @@ mod tests {
         fs::write(dir.join("noise.txt"), b"").unwrap();
         assert_eq!(list_datasets(&dir).unwrap(), vec!["a", "b"]);
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn epoch_records_replay_without_bumping_the_version() {
+        let config = StorageConfig {
+            fsync: FsyncPolicy::Always,
+            ..StorageConfig::new(temp_dir("epoch"))
+        };
+        let original = build(&config, "d");
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(wal_file(&config.dir, "d"))
+            .unwrap();
+        f.write_all(format!("{}\n{}\n", epoch_record(2), epoch_record(5)).as_bytes())
+            .unwrap();
+        drop(f);
+        let recovered = recover(&config, "d").unwrap().expect("dataset exists");
+        assert_streams_match(&original, &recovered.stream);
+        assert_eq!(recovered.epoch, 5, "max epoch in the log wins");
+
+        assert_eq!(read_node_epoch(&config.dir), 0, "no file yet");
+        write_node_epoch(&config.dir, 7).unwrap();
+        assert_eq!(read_node_epoch(&config.dir), 7);
+        write_node_epoch(&config.dir, 9).unwrap();
+        assert_eq!(read_node_epoch(&config.dir), 9);
+        fs::remove_dir_all(&config.dir).unwrap();
     }
 
     #[test]

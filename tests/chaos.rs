@@ -704,6 +704,204 @@ fn replica_serves_consistent_prefixes_under_load() {
     );
 }
 
+/// Failover chaos pin: the primary dies while a WAL compaction is in
+/// flight and a subscriber is hammering the replica. The promoted
+/// replica must hold every acked write and keep serving consistent
+/// prefixes of the primary's history; the resurrected old primary is
+/// fenced on its first stamped write and demotes itself into a
+/// follower of its successor, converging byte-for-byte.
+#[test]
+fn primary_killed_mid_compaction_fails_over_without_losing_acked_writes() {
+    let _scope = FaultScope::enter();
+    let dir = temp_data_dir("failover");
+
+    // Ground truth: the same rows in the same order, every version.
+    let mut mirror = StreamingSkyline::new(2).unwrap();
+    let mut metrics = Metrics::default();
+    let rows: Vec<Vec<f64>> = (0..60)
+        .map(|i| {
+            let x = f64::from((i * 31) % 53) + 1.0;
+            vec![x, 60.0 - x]
+        })
+        .collect();
+    let mut expected = std::collections::HashMap::new();
+    for row in &rows {
+        mirror.insert_delta(row, &mut metrics).unwrap();
+        expected.insert(mirror.version(), mirror.skyline());
+    }
+    let (phase1, phase2) = (30usize, 60usize);
+
+    let primary = Server::start(ServerConfig {
+        data_dir: Some(dir.clone()),
+        fsync: FsyncPolicy::Always,
+        // Tiny threshold: compaction fires again and again under the
+        // write stream, so the kill lands around one.
+        compact_bytes: 256,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let paddr = primary.local_addr();
+    client::post(
+        paddr,
+        "/datasets",
+        &format!("{{\"name\":\"fo\",\"rows\":{}}}", rows_json(&rows[..1])),
+    )
+    .unwrap();
+
+    let follower = Server::start(ServerConfig {
+        follow: Some(paddr),
+        follow_wait_ms: 100,
+        feed_retain: 4096,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let faddr = follower.local_addr();
+    wait_for_follower(faddr, "fo", 1);
+
+    // Subscriber load for the whole scenario: every answer the replica
+    // serves — before, during, and after the failover — must be a
+    // consistent prefix of the (single) write history.
+    let tip2 = phase2 as u64;
+    let subscriber = std::thread::spawn(move || {
+        let mut observed = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while Instant::now() < deadline {
+            if let Ok(resp) = client::get(faddr, "/skyline?dataset=fo") {
+                if resp.status == 200 {
+                    let (version, _, ids) = parse_skyline_response(&resp.body_str());
+                    observed.push((version, ids));
+                    if version >= tip2 {
+                        break;
+                    }
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        observed
+    });
+
+    // Phase 1 writes, with compactions slowed to fatten the window the
+    // kill can land in. Everything acked here must survive.
+    faults::inject("snapshot", Fault::Delay(Duration::from_millis(40)));
+    let mut acked = 1u64;
+    for row in &rows[1..phase1] {
+        let body = format!("{{\"rows\": {}}}", rows_json(std::slice::from_ref(row)));
+        let ok = client::post(paddr, "/datasets/fo/points", &body).unwrap();
+        assert_eq!(ok.status, 200, "{}", ok.body_str());
+        acked += 1;
+    }
+    let tip1 = acked;
+    // Zero-acked-write-loss needs the replica caught up before the
+    // primary dies; replication is async, so an ack the feed never
+    // shipped dies with the primary. The detector elects the
+    // most-caught-up replica for the same reason.
+    wait_for_follower(faddr, "fo", tip1);
+
+    // Kill the primary — compaction is mid-flight more often than not
+    // with the injected delay; fsync=always means every acked write is
+    // already on disk either way.
+    drop(primary);
+    faults::clear();
+
+    // Promote the replica under epoch 1 (what the coordinator's
+    // detector does after K missed probes).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let resp = client::post(faddr, "/promote", "{\"epoch\":1}").unwrap();
+        if resp.status == 200 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "promotion never succeeded: {}",
+            resp.body_str()
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // Every acked write survived the failover.
+    let resp = client::get(faddr, "/skyline?dataset=fo").unwrap();
+    let (version, _, ids) = parse_skyline_response(&resp.body_str());
+    assert!(version >= tip1, "promoted replica lost acked writes");
+    assert_eq!(&ids, expected.get(&version).unwrap());
+
+    // Phase 2: the promoted node takes writes and stamps epoch 1.
+    for row in &rows[phase1..phase2] {
+        let body = format!("{{\"rows\": {}}}", rows_json(std::slice::from_ref(row)));
+        let ok = client::post(faddr, "/datasets/fo/points", &body).unwrap();
+        assert_eq!(ok.status, 200, "{}", ok.body_str());
+        let v = Value::parse(&ok.body_str()).unwrap();
+        assert_eq!(
+            v.get("epoch").and_then(Value::as_u64),
+            Some(1),
+            "session token must carry the promotion epoch"
+        );
+    }
+
+    // The subscriber saw only consistent prefixes across the failover.
+    let observed = subscriber.join().expect("subscriber thread");
+    assert!(!observed.is_empty());
+    for (version, ids) in &observed {
+        let want = expected
+            .get(version)
+            .unwrap_or_else(|| panic!("replica served unacknowledged version {version}"));
+        assert_eq!(ids, want, "inconsistent prefix at version {version}");
+    }
+    assert_eq!(observed.last().map(|(v, _)| *v), Some(tip2));
+
+    // Resurrect the old primary from its WAL on the same address. It
+    // boots as a primary at epoch 0 — exactly the split-brain risk the
+    // fence exists for.
+    let old = restart_on(paddr, &dir);
+    let fenced = client::request_timed(
+        paddr,
+        "POST",
+        "/datasets/fo/points",
+        b"{\"rows\": [[30, 30]]}",
+        &[
+            (skyline_serve::EPOCH_HEADER.to_string(), "1".to_string()),
+            (skyline_serve::PRIMARY_HEADER.to_string(), faddr.to_string()),
+        ],
+    )
+    .unwrap()
+    .0;
+    assert_eq!(
+        fenced.status,
+        409,
+        "stale primary accepted a fenced write: {}",
+        fenced.body_str()
+    );
+
+    // ...and it demoted itself cleanly: a follower of its successor,
+    // converging on the post-failover history.
+    let resp = client::get(paddr, "/healthz").unwrap();
+    let h = Value::parse(&resp.body_str()).unwrap();
+    assert_eq!(h.get("role").and_then(Value::as_str), Some("replica"));
+    assert_eq!(
+        h.get("primary").and_then(Value::as_str),
+        Some(faddr.to_string().as_str())
+    );
+    assert_eq!(h.get("epoch").and_then(Value::as_u64), Some(1));
+    wait_for_follower(paddr, "fo", tip2);
+    let p = client::get(paddr, "/skyline?dataset=fo").unwrap();
+    let f = client::get(faddr, "/skyline?dataset=fo").unwrap();
+    assert_eq!(
+        parse_skyline_response(&p.body_str()).2,
+        parse_skyline_response(&f.body_str()).2,
+        "demoted ex-primary diverged from its successor"
+    );
+
+    // The promoted node's metrics tell the story.
+    let resp = client::get(faddr, "/metrics").unwrap();
+    let v = Value::parse(&resp.body_str()).unwrap();
+    let rep = v.get("replication").expect("replication metrics");
+    assert_eq!(rep.get("role").and_then(Value::as_str), Some("primary"));
+    assert_eq!(rep.get("epoch").and_then(Value::as_u64), Some(1));
+    assert_eq!(rep.get("promotions_total").and_then(Value::as_u64), Some(1));
+
+    drop(old);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Poll the follower until `dataset` reaches `version`.
 fn wait_for_follower(faddr: std::net::SocketAddr, dataset: &str, version: u64) {
     let deadline = Instant::now() + Duration::from_secs(20);

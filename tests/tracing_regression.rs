@@ -148,7 +148,12 @@ fn boosted_runs_emit_phase_spans_and_events() {
                 | Event::DeltaApplied { .. }
                 | Event::FeedPoll { .. }
                 | Event::ReplicaApply { .. }
-                | Event::ReplicaResync { .. } => {
+                | Event::ReplicaResync { .. }
+                | Event::Promotion { .. }
+                | Event::Demotion { .. }
+                | Event::FencedRequest { .. }
+                | Event::FailoverSuspect { .. }
+                | Event::Failover { .. } => {
                     panic!("{name}: library run emitted a server event");
                 }
             }
